@@ -1,0 +1,75 @@
+// E36: cost of the axiomatic machinery itself -- consistency analysis vs
+// event count, happens-before fixpoint, and whole-program enumeration of the
+// key litmus shapes.
+#include <benchmark/benchmark.h>
+
+#include "litmus/catalog.hpp"
+#include "litmus/graph_enum.hpp"
+#include "model/consistency.hpp"
+
+namespace {
+
+using namespace mtx;
+using namespace mtx::model;
+
+// A chain of n committed transactions passing a token, plus plain writes:
+// scales the trace size for analysis cost measurements.
+Trace chain_trace(int txns) {
+  Trace t = Trace::with_init(2);
+  for (int i = 0; i < txns; ++i) {
+    const int thread = i % 4;
+    const int b = t.append(make_begin(thread));
+    if (i > 0) t.append(make_read(thread, 0, i - 1, Rational(i)));
+    t.append(make_write(thread, 0, i, Rational(i + 1)));
+    t.append(make_commit(thread, t[static_cast<std::size_t>(b)].name));
+    t.append(make_write(thread, 1, i, Rational(i + 1)));
+  }
+  return t;
+}
+
+void BM_Analyze(benchmark::State& state) {
+  const Trace t = chain_trace(static_cast<int>(state.range(0)));
+  const ModelConfig cfg = ModelConfig::programmer();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze(t, cfg).consistent());
+  }
+  state.SetLabel(std::to_string(t.size()) + " events");
+}
+BENCHMARK(BM_Analyze)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_HappensBeforeFixpoint(benchmark::State& state) {
+  const Trace t = chain_trace(static_cast<int>(state.range(0)));
+  const Relations rel = Relations::compute(t);
+  const ModelConfig cfg = ModelConfig::strongest();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_hb(t, rel, cfg).count());
+  }
+}
+BENCHMARK(BM_HappensBeforeFixpoint)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_WellFormedness(benchmark::State& state) {
+  const Trace t = chain_trace(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_wellformed(t).ok());
+  }
+}
+BENCHMARK(BM_WellFormedness)->Arg(8)->Arg(24);
+
+void BM_EnumerateCatalogEntry(benchmark::State& state) {
+  const auto& tests = lit::catalog();
+  const auto& test = tests[static_cast<std::size_t>(state.range(0))];
+  const ModelConfig cfg = ModelConfig::programmer();
+  std::uint64_t execs = 0;
+  for (auto _ : state) {
+    lit::GraphEnum e(test.program, cfg);
+    const auto outcomes = e.outcomes();
+    benchmark::DoNotOptimize(outcomes.size());
+    execs = e.stats().consistent;
+  }
+  state.SetLabel(test.id + " (" + std::to_string(execs) + " consistent execs)");
+}
+BENCHMARK(BM_EnumerateCatalogEntry)->Arg(0)->Arg(2)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// E35: transactional data structures -- sorted list set, striped hash map
+// and the bank workload -- across the three backends.
+#include <benchmark/benchmark.h>
+
+#include "containers/bank.hpp"
+#include "containers/thash.hpp"
+#include "containers/tlist.hpp"
+#include "stm/eager.hpp"
+#include "stm/sgl.hpp"
+#include "stm/tl2.hpp"
+#include "substrate/rng.hpp"
+
+namespace {
+
+using namespace mtx::containers;
+using mtx::stm::EagerStm;
+using mtx::stm::SglStm;
+using mtx::stm::Tl2Stm;
+
+constexpr std::int64_t kKeyRange = 128;
+
+template <typename Stm>
+void BM_ListMixed(benchmark::State& state) {
+  static Stm stm;
+  static TList<Stm>* list = [] {
+    auto* l = new TList<Stm>(stm);
+    for (std::int64_t k = 0; k < kKeyRange; k += 2) l->insert(k);
+    return l;
+  }();
+  mtx::Rng rng(static_cast<std::uint64_t>(state.thread_index()) * 7 + 3);
+  for (auto _ : state) {
+    const std::int64_t key = static_cast<std::int64_t>(rng.below(kKeyRange));
+    switch (rng.below(10)) {
+      case 0: list->insert(key); break;
+      case 1: list->remove(key); break;
+      default: benchmark::DoNotOptimize(list->contains(key));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_TEMPLATE(BM_ListMixed, Tl2Stm)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_ListMixed, EagerStm)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_ListMixed, SglStm)->ThreadRange(1, 8)->UseRealTime();
+
+template <typename Stm>
+void BM_HashMixed(benchmark::State& state) {
+  static Stm stm;
+  static THash<Stm>* map = [] {
+    auto* m = new THash<Stm>(stm, 64);
+    for (std::int64_t k = 0; k < kKeyRange; k += 2) m->put(k, k);
+    return m;
+  }();
+  mtx::Rng rng(static_cast<std::uint64_t>(state.thread_index()) * 13 + 5);
+  for (auto _ : state) {
+    const std::int64_t key = static_cast<std::int64_t>(rng.below(kKeyRange));
+    switch (rng.below(10)) {
+      case 0: map->put(key, key); break;
+      case 1: map->erase(key); break;
+      default: {
+        std::int64_t v;
+        benchmark::DoNotOptimize(map->get(key, &v));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_TEMPLATE(BM_HashMixed, Tl2Stm)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_HashMixed, EagerStm)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_HashMixed, SglStm)->ThreadRange(1, 8)->UseRealTime();
+
+template <typename Stm>
+void BM_BankTransfers(benchmark::State& state) {
+  static Stm stm;
+  static Bank<Stm> bank(stm, 256, 1000);
+  mtx::Rng rng(static_cast<std::uint64_t>(state.thread_index()) * 31 + 7);
+  for (auto _ : state) {
+    const auto from = static_cast<std::size_t>(rng.below(bank.size()));
+    const auto to = (from + 1 + static_cast<std::size_t>(rng.below(bank.size() - 1))) %
+                    bank.size();
+    bank.transfer(from, to, 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_TEMPLATE(BM_BankTransfers, Tl2Stm)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_BankTransfers, EagerStm)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_BankTransfers, SglStm)->ThreadRange(1, 8)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

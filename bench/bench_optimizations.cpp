@@ -1,0 +1,77 @@
+// E26: the §5 optimizations as *runtime* ablations, plus the model-level
+// soundness checker's cost.
+//
+// Fusion (atomic{P};atomic{Q} -> atomic{P;Q}) halves the per-transaction
+// fixed cost; empty-transaction elision removes it entirely.  The model
+// validated these transformations; here we measure what they buy.
+#include <benchmark/benchmark.h>
+
+#include "ltrf/optimizations.hpp"
+#include "stm/tl2.hpp"
+
+namespace {
+
+using namespace mtx::stm;
+
+void BM_AdjacentTxns(benchmark::State& state) {
+  static Tl2Stm stm;
+  static Cell x(0), y(0);
+  for (auto _ : state) {
+    stm.atomically([&](auto& tx) { tx.write(x, tx.read(x) + 1); });
+    stm.atomically([&](auto& tx) { tx.write(y, tx.read(y) + 1); });
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdjacentTxns);
+
+void BM_FusedTxn(benchmark::State& state) {
+  static Tl2Stm stm;
+  static Cell x(0), y(0);
+  for (auto _ : state) {
+    stm.atomically([&](auto& tx) {
+      tx.write(x, tx.read(x) + 1);
+      tx.write(y, tx.read(y) + 1);
+    });
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FusedTxn);
+
+void BM_WithEmptyTxn(benchmark::State& state) {
+  static Tl2Stm stm;
+  static Cell x(0);
+  for (auto _ : state) {
+    x.plain_store(x.plain_load() + 1);
+    stm.atomically([](auto&) {});  // the elidable empty transaction
+    x.plain_store(x.plain_load() + 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WithEmptyTxn);
+
+void BM_EmptyTxnElided(benchmark::State& state) {
+  static Cell x(0);
+  for (auto _ : state) {
+    x.plain_store(x.plain_load() + 1);
+    x.plain_store(x.plain_load() + 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EmptyTxnElided);
+
+// Model-level: cost of checking one transformation's observational
+// soundness by exhaustive enumeration.
+void BM_SoundnessCheck(benchmark::State& state) {
+  const auto cases = mtx::ltrf::standard_cases();
+  const auto& c = cases[static_cast<std::size_t>(state.range(0))];
+  const auto cfg = mtx::model::ModelConfig::implementation();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mtx::ltrf::transformation_sound(c, cfg));
+  }
+  state.SetLabel(c.name);
+}
+BENCHMARK(BM_SoundnessCheck)->Arg(0)->Arg(3)->Arg(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// E34: the publication idiom (§1) on the runtime.
+//
+// Publication needs no fence: the reader's transactional dependency on the
+// published flag provides the order (HBdefn's cwr edge; §5's "direct
+// dependency").  The benchmark measures publish/consume throughput and
+// counts payload violations (always zero) with and without a redundant
+// fence, showing the fence buys nothing here -- the asymmetry with
+// privatization is the §5 story.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "stm/eager.hpp"
+#include "stm/tl2.hpp"
+
+namespace {
+
+using namespace mtx::stm;
+
+template <typename Stm, bool RedundantFence>
+void BM_Publish(benchmark::State& state) {
+  static Stm stm;
+  static Cell flag(0);
+  static Cell payload(0);
+  static std::atomic<bool> stop{false};
+  static std::atomic<std::uint64_t> violations{0};
+  static std::thread consumer;
+  static std::atomic<word_t> generation{0};
+
+  if (state.thread_index() == 0) {
+    stop = false;
+    violations = 0;
+    consumer = std::thread([] {
+      word_t last_seen = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        word_t f = 0;
+        stm.atomically([&](auto& tx) { f = tx.read(flag); });
+        if (f > last_seen) {
+          // Transactionally observed publication f: the plain payload must
+          // already carry generation f.
+          if (payload.plain_load() < f) violations.fetch_add(1);
+          last_seen = f;
+        }
+      }
+    });
+  }
+
+  for (auto _ : state) {
+    const word_t g = generation.fetch_add(1) + 1;
+    payload.plain_store(g);  // plain initialization
+    if (RedundantFence) stm.quiesce();
+    stm.atomically([&](auto& tx) { tx.write(flag, g); });  // publish
+  }
+
+  if (state.thread_index() == 0) {
+    stop = true;
+    consumer.join();
+    state.SetLabel("violations=" + std::to_string(violations.load()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_TEMPLATE(BM_Publish, Tl2Stm, false)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_Publish, Tl2Stm, true)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_Publish, EagerStm, false)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_Publish, EagerStm, true)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// E35: STM backend scaling -- TL2 (lazy) vs eager (undo-log) vs SGL
+// (global lock) on counter workloads at 1..N threads, in low- and
+// high-contention regimes.  The expected shape: SGL flat or degrading with
+// threads; TL2/eager scale on disjoint data and degrade under contention,
+// with eager paying rollback costs on conflicts.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "stm/eager.hpp"
+#include "stm/norec.hpp"
+#include "stm/sgl.hpp"
+#include "stm/tl2.hpp"
+#include "substrate/rng.hpp"
+
+namespace {
+
+using namespace mtx::stm;
+
+// Shared counters; each benchmark thread hammers one slot (disjoint) or slot
+// zero (contended).
+template <typename Stm, bool Contended>
+void BM_Counter(benchmark::State& state) {
+  static Stm stm;
+  static std::vector<Cell> cells(64);
+  if (state.thread_index() == 0)
+    for (auto& c : cells) c.plain_store(0);
+
+  const std::size_t slot =
+      Contended ? 0 : static_cast<std::size_t>(state.thread_index()) % cells.size();
+  for (auto _ : state) {
+    stm.atomically([&](auto& tx) { tx.write(cells[slot], tx.read(cells[slot]) + 1); });
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0)
+    state.SetLabel("conflict_rate=" +
+                   std::to_string(stm.stats().conflict_rate()).substr(0, 5));
+}
+
+BENCHMARK_TEMPLATE(BM_Counter, Tl2Stm, false)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_Counter, EagerStm, false)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_Counter, NorecStm, false)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_Counter, SglStm, false)->ThreadRange(1, 8)->UseRealTime();
+
+BENCHMARK_TEMPLATE(BM_Counter, Tl2Stm, true)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_Counter, EagerStm, true)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_Counter, SglStm, true)->ThreadRange(1, 8)->UseRealTime();
+
+// Read-mostly transactions over a 1K-cell array: 8 reads + 1 write.
+template <typename Stm>
+void BM_ReadMostly(benchmark::State& state) {
+  static Stm stm;
+  static std::vector<Cell> cells(1024);
+  mtx::Rng rng(static_cast<std::uint64_t>(state.thread_index()) + 17);
+  for (auto _ : state) {
+    stm.atomically([&](auto& tx) {
+      word_t sum = 0;
+      for (int i = 0; i < 8; ++i)
+        sum += tx.read(cells[rng.below(cells.size())]);
+      tx.write(cells[rng.below(cells.size())], sum);
+    });
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_TEMPLATE(BM_ReadMostly, Tl2Stm)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_ReadMostly, EagerStm)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_ReadMostly, NorecStm)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_ReadMostly, SglStm)->ThreadRange(1, 8)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Regenerates the paper's evaluation artifact: the allowed/forbidden verdict
+// of every execution figure and final-outcome claim, under every model
+// configuration the paper discusses it in, plus the Example 2.3 variant
+// grid.  Output is the table EXPERIMENTS.md records as paper-vs-measured.
+//
+// Usage: litmus_verdicts [--variants]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "litmus/catalog.hpp"
+#include "ltrf/optimizations.hpp"
+#include "substrate/format.hpp"
+
+namespace {
+
+using namespace mtx;
+using namespace mtx::lit;
+
+const char* verdict(bool allowed) { return allowed ? "Allowed" : "Forbidden"; }
+
+int run_main_table() {
+  Table table({"id", "paper", "witness", "model", "paper says", "measured", "ok"});
+  std::size_t mismatches = 0;
+  for (const VerdictRow& row : run_catalog()) {
+    const LitmusTest* test = nullptr;
+    for (const LitmusTest& t : catalog())
+      if (t.id == row.id) test = &t;
+    table.add_row({row.id, test ? test->paper_ref : "?",
+                   test ? test->witness_desc : "?", row.config,
+                   verdict(row.expected_allowed), verdict(row.actual_allowed),
+                   row.matches() ? "yes" : "MISMATCH"});
+    if (!row.matches()) ++mismatches;
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("verdict rows: %zu, mismatches: %zu\n", table.rows(), mismatches);
+  return mismatches == 0 ? 0 : 1;
+}
+
+int run_variant_grid() {
+  // Every catalog witness under every Example 2.3 variant (informational:
+  // the paper only pins down a subset; this is the full design-space grid).
+  std::vector<model::ModelConfig> configs = {
+      model::ModelConfig::base(), model::ModelConfig::programmer(),
+      model::ModelConfig::implementation(), model::ModelConfig::strongest()};
+  for (const auto& v : model::ModelConfig::example_2_3_variants())
+    configs.push_back(v);
+
+  std::vector<std::string> headers = {"id"};
+  for (const auto& c : configs) headers.push_back(c.name);
+  Table table(headers);
+  for (const LitmusTest& t : catalog()) {
+    std::vector<std::string> row = {t.id};
+    for (const auto& cfg : configs) {
+      const OutcomeSet set = enumerate_outcomes(t.program, cfg);
+      row.push_back(set.any(t.witness) ? "A" : "F");
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("Witness verdict per model (A = allowed, F = forbidden)\n\n%s\n",
+              table.render().c_str());
+  return 0;
+}
+
+int run_optimization_table() {
+  Table table({"transformation", "programmer", "expected", "implementation",
+               "expected"});
+  std::size_t mismatches = 0;
+  for (const auto& c : mtx::ltrf::standard_cases()) {
+    const bool sp = mtx::ltrf::transformation_sound(c, model::ModelConfig::programmer());
+    const bool si =
+        mtx::ltrf::transformation_sound(c, model::ModelConfig::implementation());
+    table.add_row({c.name, sp ? "sound" : "UNSOUND",
+                   c.sound_programmer ? "sound" : "UNSOUND",
+                   si ? "sound" : "UNSOUND",
+                   c.sound_implementation ? "sound" : "UNSOUND"});
+    mismatches += (sp != c.sound_programmer) + (si != c.sound_implementation);
+  }
+  std::printf("\nS5 compiler optimizations (observational soundness)\n\n%s\n",
+              table.render().c_str());
+  std::printf("optimization mismatches: %zu\n", mismatches);
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool variants = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--variants") == 0) variants = true;
+
+  int rc = run_main_table();
+  rc |= run_optimization_table();
+  if (variants) rc |= run_variant_grid();
+  return rc;
+}

@@ -1,0 +1,69 @@
+// Interactive-ish litmus explorer: list the paper's catalog, and for a
+// chosen entry print every consistent execution trace and the outcome set
+// under a chosen model.
+//
+//   litmus_explorer                       list entries
+//   litmus_explorer E01                   run E01 under all its expected configs
+//   litmus_explorer E01 programmer        run one config, dumping traces
+//   litmus_explorer E01 programmer --dot  emit Graphviz for each execution
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "litmus/catalog.hpp"
+#include "model/dot.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mtx::lit;
+
+  if (argc < 2) {
+    std::printf("%-6s %-40s %s\n", "id", "paper reference", "witness");
+    for (const LitmusTest& t : catalog())
+      std::printf("%-6s %-40s %s\n", t.id.c_str(), t.paper_ref.c_str(),
+                  t.witness_desc.c_str());
+    std::printf("\nusage: litmus_explorer <id> [model-config]\n");
+    return 0;
+  }
+
+  const std::string id = argv[1];
+  const LitmusTest* test = nullptr;
+  for (const LitmusTest& t : catalog())
+    if (t.id == id) test = &t;
+  if (!test) {
+    std::fprintf(stderr, "unknown catalog id '%s'\n", id.c_str());
+    return 1;
+  }
+
+  if (argc >= 3) {
+    bool emit_dot = false;
+    for (int i = 3; i < argc; ++i)
+      if (std::strcmp(argv[i], "--dot") == 0) emit_dot = true;
+    const auto cfg = config_by_name(argv[2]);
+    GraphEnum e(test->program, cfg);
+    std::size_t n = 0;
+    e.for_each([&](const Execution& ex) {
+      std::printf("---- execution %zu ----\n%s", ++n, ex.trace.str().c_str());
+      if (emit_dot) {
+        const auto an = mtx::model::analyze(ex.trace, cfg);
+        std::printf("%s", mtx::model::to_dot(ex.trace, an).c_str());
+      }
+    });
+    const OutcomeSet set = enumerate_outcomes(test->program, cfg);
+    std::printf("\n%zu consistent executions, %zu distinct outcomes:\n%s", n,
+                set.size(), set.str().c_str());
+    std::printf("witness '%s': %s\n", test->witness_desc.c_str(),
+                set.any(test->witness) ? "Allowed" : "Forbidden");
+    return 0;
+  }
+
+  std::printf("%s (%s), witness: %s\n\n", test->id.c_str(),
+              test->paper_ref.c_str(), test->witness_desc.c_str());
+  for (const Expectation& exp : test->expected) {
+    const VerdictRow row = run_verdict(*test, exp);
+    std::printf("  %-16s paper: %-9s measured: %-9s %s\n", exp.config.c_str(),
+                exp.allowed ? "Allowed" : "Forbidden",
+                row.actual_allowed ? "Allowed" : "Forbidden",
+                row.matches() ? "(ok)" : "(MISMATCH)");
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+#include "containers/bank.hpp"
+
+#include "stm/eager.hpp"
+#include "stm/norec.hpp"
+#include "stm/sgl.hpp"
+#include "stm/tl2.hpp"
+
+namespace mtx::containers {
+template class Bank<stm::Tl2Stm>;
+template class Bank<stm::EagerStm>;
+template class Bank<stm::NorecStm>;
+template class Bank<stm::SglStm>;
+}  // namespace mtx::containers

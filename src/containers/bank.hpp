@@ -1,0 +1,72 @@
+// The bank-account workload: concurrent transfers must conserve the total
+// balance — the classic whole-system atomicity check for an STM, and the
+// natural host for the privatization idiom (audit an account privately
+// after marking it closed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stm/api.hpp"
+
+namespace mtx::containers {
+
+template <class Stm>
+class Bank {
+ public:
+  Bank(Stm& stm, std::size_t accounts, std::int64_t initial_balance)
+      : stm_(stm), accounts_(accounts), initial_total_(static_cast<std::int64_t>(
+                                            accounts) * initial_balance) {
+    for (auto& a : accounts_) a.plain_store(static_cast<stm::word_t>(initial_balance));
+  }
+
+  Bank(const Bank&) = delete;
+  Bank& operator=(const Bank&) = delete;
+
+  std::size_t size() const { return accounts_.size(); }
+  std::int64_t expected_total() const { return initial_total_; }
+
+  // Transfer amount between two accounts (may drive a balance negative;
+  // conservation is the invariant, not solvency).
+  void transfer(std::size_t from, std::size_t to, std::int64_t amount) {
+    if (from == to) return;  // self-transfer would double-apply the delta
+    stm_.atomically([&](auto& tx) {
+      const auto f = static_cast<std::int64_t>(tx.read(accounts_[from]));
+      const auto t = static_cast<std::int64_t>(tx.read(accounts_[to]));
+      tx.write(accounts_[from], static_cast<stm::word_t>(f - amount));
+      tx.write(accounts_[to], static_cast<stm::word_t>(t + amount));
+    });
+  }
+
+  // Transactional snapshot of the total balance.
+  std::int64_t total() {
+    std::int64_t sum = 0;
+    stm_.atomically([&](auto& tx) {
+      sum = 0;
+      for (auto& a : accounts_) sum += static_cast<std::int64_t>(tx.read(a));
+    });
+    return sum;
+  }
+
+  // Privatization-style audit: after a quiescence fence, in-flight
+  // transactions have drained and a *plain* (nontransactional) sweep of the
+  // accounts is safe -- the §5 idiom.  Without the fence this read would be
+  // a mixed race against concurrent commits.
+  std::int64_t audit_after_quiesce() {
+    stm_.quiesce();
+    std::int64_t sum = 0;
+    for (auto& a : accounts_) sum += static_cast<std::int64_t>(a.plain_load());
+    return sum;
+  }
+
+  std::int64_t plain_balance(std::size_t i) const {
+    return static_cast<std::int64_t>(accounts_[i].plain_load());
+  }
+
+ private:
+  Stm& stm_;
+  std::vector<stm::Cell> accounts_;
+  std::int64_t initial_total_;
+};
+
+}  // namespace mtx::containers

@@ -1,0 +1,13 @@
+#include "containers/thash.hpp"
+
+#include "stm/eager.hpp"
+#include "stm/norec.hpp"
+#include "stm/sgl.hpp"
+#include "stm/tl2.hpp"
+
+namespace mtx::containers {
+template class THash<stm::Tl2Stm>;
+template class THash<stm::EagerStm>;
+template class THash<stm::NorecStm>;
+template class THash<stm::SglStm>;
+}  // namespace mtx::containers

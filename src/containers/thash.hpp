@@ -1,0 +1,138 @@
+// Striped transactional hash map: fixed bucket array of sorted chains.
+// Operations on different buckets conflict only through the STM's orec
+// hashing, so the map scales where the single list cannot.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "stm/api.hpp"
+
+namespace mtx::containers {
+
+template <class Stm>
+class THash {
+ public:
+  THash(Stm& stm, std::size_t buckets = 64)
+      : stm_(stm), heads_(buckets ? buckets : 1) {}
+
+  ~THash() {
+    std::lock_guard<std::mutex> g(nodes_mu_);
+    for (Node* n : nodes_) delete n;
+  }
+
+  THash(const THash&) = delete;
+  THash& operator=(const THash&) = delete;
+
+  // Inserts or updates; returns true when the key was new.
+  bool put(std::int64_t key, std::int64_t value) {
+    bool fresh = false;
+    stm_.atomically([&](auto& tx) {
+      fresh = false;
+      stm::Cell& head = heads_[bucket(key)];
+      Node* prev = nullptr;
+      Node* cur = decode(tx.read(head));
+      while (cur && cur->key < key) {
+        prev = cur;
+        cur = decode(tx.read(cur->next));
+      }
+      if (cur && cur->key == key) {
+        tx.write(cur->value, static_cast<stm::word_t>(value));
+        return;
+      }
+      Node* fresh_node = new_node(key, value);
+      fresh_node->next.plain_store(encode(cur));
+      if (prev)
+        tx.write(prev->next, encode(fresh_node));
+      else
+        tx.write(head, encode(fresh_node));
+      fresh = true;
+    });
+    return fresh;
+  }
+
+  // Returns true and sets *out when present.
+  bool get(std::int64_t key, std::int64_t* out) {
+    bool found = false;
+    stm_.atomically([&](auto& tx) {
+      found = false;
+      Node* cur = decode(tx.read(heads_[bucket(key)]));
+      while (cur && cur->key < key) cur = decode(tx.read(cur->next));
+      if (cur && cur->key == key) {
+        if (out) *out = static_cast<std::int64_t>(tx.read(cur->value));
+        found = true;
+      }
+    });
+    return found;
+  }
+
+  bool erase(std::int64_t key) {
+    bool removed = false;
+    stm_.atomically([&](auto& tx) {
+      removed = false;
+      stm::Cell& head = heads_[bucket(key)];
+      Node* prev = nullptr;
+      Node* cur = decode(tx.read(head));
+      while (cur && cur->key < key) {
+        prev = cur;
+        cur = decode(tx.read(cur->next));
+      }
+      if (!cur || cur->key != key) return;
+      const stm::word_t nxt = tx.read(cur->next);
+      if (prev)
+        tx.write(prev->next, nxt);
+      else
+        tx.write(head, nxt);
+      removed = true;
+    });
+    return removed;
+  }
+
+  std::size_t size() {
+    std::size_t n = 0;
+    stm_.atomically([&](auto& tx) {
+      n = 0;
+      for (stm::Cell& head : heads_) {
+        Node* cur = decode(tx.read(head));
+        while (cur) {
+          ++n;
+          cur = decode(tx.read(cur->next));
+        }
+      }
+    });
+    return n;
+  }
+
+ private:
+  struct Node {
+    Node(std::int64_t k, std::int64_t v)
+        : key(k), value(static_cast<stm::word_t>(v)) {}
+    const std::int64_t key;
+    stm::Cell value;
+    stm::Cell next;
+  };
+
+  static stm::word_t encode(Node* n) { return reinterpret_cast<stm::word_t>(n); }
+  static Node* decode(stm::word_t w) { return reinterpret_cast<Node*>(w); }
+
+  std::size_t bucket(std::int64_t key) const {
+    auto h = static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(h >> 33) % heads_.size();
+  }
+
+  Node* new_node(std::int64_t key, std::int64_t value) {
+    Node* n = new Node(key, value);
+    std::lock_guard<std::mutex> g(nodes_mu_);
+    nodes_.push_back(n);
+    return n;
+  }
+
+  Stm& stm_;
+  std::vector<stm::Cell> heads_;
+  std::mutex nodes_mu_;
+  std::vector<Node*> nodes_;
+};
+
+}  // namespace mtx::containers

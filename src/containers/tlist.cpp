@@ -1,0 +1,15 @@
+#include "containers/tlist.hpp"
+
+#include "stm/eager.hpp"
+#include "stm/norec.hpp"
+#include "stm/sgl.hpp"
+#include "stm/tl2.hpp"
+
+// Anchor the template for the three backends so interface breakage is caught
+// at library build time rather than first use.
+namespace mtx::containers {
+template class TList<stm::Tl2Stm>;
+template class TList<stm::EagerStm>;
+template class TList<stm::NorecStm>;
+template class TList<stm::SglStm>;
+}  // namespace mtx::containers

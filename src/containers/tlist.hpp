@@ -1,0 +1,130 @@
+// Sorted linked-list set over the transactional API — the canonical STM
+// data structure benchmark.  Keys are int64; nodes are traversed via
+// transactional reads of the next-pointers, so lookups serialize correctly
+// against concurrent inserts/removes on any backend.
+//
+// Memory reclamation: removed nodes are retired, not freed, until the list
+// is destroyed (readers of a doomed transaction may still traverse them;
+// retirement makes that safe without an epoch reclaimer).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "stm/api.hpp"
+
+namespace mtx::containers {
+
+using stm::Cell;
+using stm::word_t;
+
+template <class Stm>
+class TList {
+ public:
+  explicit TList(Stm& stm) : stm_(stm) {
+    head_ = new_node(std::numeric_limits<std::int64_t>::min());
+    tail_ = new_node(std::numeric_limits<std::int64_t>::max());
+    head_->next.plain_store(encode(tail_));
+  }
+
+  ~TList() {
+    std::lock_guard<std::mutex> g(nodes_mu_);
+    for (Node* n : nodes_) delete n;
+  }
+
+  TList(const TList&) = delete;
+  TList& operator=(const TList&) = delete;
+
+  bool insert(std::int64_t key) {
+    bool inserted = false;
+    stm_.atomically([&](auto& tx) {
+      inserted = false;
+      auto [prev, cur] = locate(tx, key);
+      if (node_key(cur) == key) return;
+      Node* fresh = new_node(key);
+      fresh->next.plain_store(encode(cur));
+      tx.write(prev->next, encode(fresh));
+      inserted = true;
+    });
+    return inserted;
+  }
+
+  bool remove(std::int64_t key) {
+    bool removed = false;
+    stm_.atomically([&](auto& tx) {
+      removed = false;
+      auto [prev, cur] = locate(tx, key);
+      if (node_key(cur) != key) return;
+      const word_t nxt = tx.read(cur->next);
+      tx.write(prev->next, nxt);
+      removed = true;
+    });
+    return removed;
+  }
+
+  bool contains(std::int64_t key) {
+    bool found = false;
+    stm_.atomically([&](auto& tx) {
+      auto [prev, cur] = locate(tx, key);
+      (void)prev;
+      found = node_key(cur) == key;
+    });
+    return found;
+  }
+
+  // Transactional size (linear traversal).
+  std::size_t size() {
+    std::size_t n = 0;
+    stm_.atomically([&](auto& tx) {
+      n = 0;
+      Node* cur = decode(tx.read(head_->next));
+      while (cur != tail_) {
+        ++n;
+        cur = decode(tx.read(cur->next));
+      }
+    });
+    return n;
+  }
+
+ private:
+  struct Node {
+    explicit Node(std::int64_t k) : key(static_cast<word_t>(k)) {}
+    Cell key;
+    Cell next;
+  };
+
+  static word_t encode(Node* n) { return reinterpret_cast<word_t>(n); }
+  static Node* decode(word_t w) { return reinterpret_cast<Node*>(w); }
+  static std::int64_t node_key(Node* n) {
+    return static_cast<std::int64_t>(n->key.plain_load());
+  }
+
+  Node* new_node(std::int64_t key) {
+    Node* n = new Node(key);
+    std::lock_guard<std::mutex> g(nodes_mu_);
+    nodes_.push_back(n);
+    return n;
+  }
+
+  // Returns (prev, cur) with prev->key < key <= cur->key.
+  template <typename Tx>
+  std::pair<Node*, Node*> locate(Tx& tx, std::int64_t key) {
+    Node* prev = head_;
+    Node* cur = decode(tx.read(head_->next));
+    while (node_key(cur) < key) {
+      prev = cur;
+      cur = decode(tx.read(cur->next));
+    }
+    return {prev, cur};
+  }
+
+  Stm& stm_;
+  Node* head_;
+  Node* tail_;
+  std::mutex nodes_mu_;
+  std::vector<Node*> nodes_;
+};
+
+}  // namespace mtx::containers

@@ -1,0 +1,13 @@
+#include "containers/tqueue.hpp"
+
+#include "stm/eager.hpp"
+#include "stm/norec.hpp"
+#include "stm/sgl.hpp"
+#include "stm/tl2.hpp"
+
+namespace mtx::containers {
+template class TQueue<stm::Tl2Stm>;
+template class TQueue<stm::EagerStm>;
+template class TQueue<stm::NorecStm>;
+template class TQueue<stm::SglStm>;
+}  // namespace mtx::containers

@@ -1,0 +1,71 @@
+// Bounded transactional FIFO queue: a ring buffer whose head/tail indices
+// and slots are transactional cells.  push/pop are small transactions with
+// head/tail conflicts only, a good contention microbenchmark.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "stm/api.hpp"
+
+namespace mtx::containers {
+
+template <class Stm>
+class TQueue {
+ public:
+  TQueue(Stm& stm, std::size_t capacity = 1024)
+      : stm_(stm), slots_(capacity ? capacity : 1) {}
+
+  TQueue(const TQueue&) = delete;
+  TQueue& operator=(const TQueue&) = delete;
+
+  // Returns false when full.
+  bool push(std::int64_t v) {
+    bool ok = false;
+    stm_.atomically([&](auto& tx) {
+      const stm::word_t head = tx.read(head_);
+      const stm::word_t tail = tx.read(tail_);
+      if (tail - head >= slots_.size()) {
+        ok = false;
+        return;
+      }
+      tx.write(slots_[tail % slots_.size()], static_cast<stm::word_t>(v));
+      tx.write(tail_, tail + 1);
+      ok = true;
+    });
+    return ok;
+  }
+
+  // Empty optional when the queue is empty.
+  std::optional<std::int64_t> pop() {
+    std::optional<std::int64_t> out;
+    stm_.atomically([&](auto& tx) {
+      out.reset();
+      const stm::word_t head = tx.read(head_);
+      const stm::word_t tail = tx.read(tail_);
+      if (head == tail) return;
+      out = static_cast<std::int64_t>(tx.read(slots_[head % slots_.size()]));
+      tx.write(head_, head + 1);
+    });
+    return out;
+  }
+
+  std::size_t size() {
+    std::size_t n = 0;
+    stm_.atomically([&](auto& tx) {
+      n = static_cast<std::size_t>(tx.read(tail_) - tx.read(head_));
+    });
+    return n;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  Stm& stm_;
+  stm::Cell head_;
+  stm::Cell tail_;
+  std::vector<stm::Cell> slots_;
+};
+
+}  // namespace mtx::containers

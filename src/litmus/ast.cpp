@@ -1,0 +1,156 @@
+#include "litmus/ast.hpp"
+
+#include <cassert>
+
+namespace mtx::lit {
+
+Value Expr::eval(const std::vector<Value>& regs) const {
+  switch (kind) {
+    case Kind::Const: return k;
+    case Kind::Reg: return regs[static_cast<std::size_t>(reg)];
+    case Kind::AddConst: return regs[static_cast<std::size_t>(reg)] + k;
+  }
+  return 0;
+}
+
+Expr constant(Value v) {
+  Expr e;
+  e.kind = Expr::Kind::Const;
+  e.k = v;
+  return e;
+}
+
+Expr reg(int r) {
+  Expr e;
+  e.kind = Expr::Kind::Reg;
+  e.reg = r;
+  return e;
+}
+
+Expr add(int r, Value k) {
+  Expr e;
+  e.kind = Expr::Kind::AddConst;
+  e.reg = r;
+  e.k = k;
+  return e;
+}
+
+bool Cond::eval(const std::vector<Value>& regs) const {
+  const Value v = regs[static_cast<std::size_t>(reg)];
+  const Value rhs = reg2 >= 0 ? regs[static_cast<std::size_t>(reg2)] : k;
+  return kind == Kind::Eq ? v == rhs : v != rhs;
+}
+
+Cond eq(int r, Value v) {
+  Cond c;
+  c.kind = Cond::Kind::Eq;
+  c.reg = r;
+  c.k = v;
+  return c;
+}
+
+Cond ne(int r, Value v) {
+  Cond c;
+  c.kind = Cond::Kind::Ne;
+  c.reg = r;
+  c.k = v;
+  return c;
+}
+
+Cond eq_reg(int r, int r2) {
+  Cond c;
+  c.kind = Cond::Kind::Eq;
+  c.reg = r;
+  c.reg2 = r2;
+  return c;
+}
+
+Cond ne_reg(int r, int r2) {
+  Cond c;
+  c.kind = Cond::Kind::Ne;
+  c.reg = r;
+  c.reg2 = r2;
+  return c;
+}
+
+Loc LocExpr::eval(const std::vector<Value>& regs) const {
+  if (reg < 0) return base;
+  return base + static_cast<Loc>(regs[static_cast<std::size_t>(reg)]);
+}
+
+LocExpr at(Loc x) {
+  LocExpr l;
+  l.base = x;
+  return l;
+}
+
+LocExpr at(Loc base, int index_reg) {
+  LocExpr l;
+  l.base = base;
+  l.reg = index_reg;
+  return l;
+}
+
+Stmt read(int r, LocExpr l) {
+  Stmt s;
+  s.kind = Stmt::Kind::Read;
+  s.reg = r;
+  s.loc = l;
+  return s;
+}
+
+Stmt write(LocExpr l, Expr v) {
+  Stmt s;
+  s.kind = Stmt::Kind::Write;
+  s.loc = l;
+  s.value = v;
+  return s;
+}
+
+Stmt write(LocExpr l, Value v) { return write(l, constant(v)); }
+
+Stmt atomic(Block body, std::string label) {
+  Stmt s;
+  s.kind = Stmt::Kind::Atomic;
+  s.body = std::move(body);
+  s.label = std::move(label);
+  return s;
+}
+
+Stmt if_then(Cond c, Block then_b) {
+  Stmt s;
+  s.kind = Stmt::Kind::If;
+  s.cond = c;
+  s.body = std::move(then_b);
+  return s;
+}
+
+Stmt if_then_else(Cond c, Block then_b, Block else_b) {
+  Stmt s = if_then(c, std::move(then_b));
+  s.else_body = std::move(else_b);
+  return s;
+}
+
+Stmt while_loop(Cond c, Block body, int bound) {
+  Stmt s;
+  s.kind = Stmt::Kind::While;
+  s.cond = c;
+  s.body = std::move(body);
+  s.bound = bound;
+  return s;
+}
+
+Stmt abort_stmt() {
+  Stmt s;
+  s.kind = Stmt::Kind::Abort;
+  return s;
+}
+
+Stmt qfence(Loc x) {
+  Stmt s;
+  s.kind = Stmt::Kind::Fence;
+  s.loc = at(x);
+  return s;
+}
+
+}  // namespace mtx::lit

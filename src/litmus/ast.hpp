@@ -1,0 +1,106 @@
+// A small concurrent language for the paper's litmus programs:
+//
+//   stmt ::= r := [loc]            plain/transactional read
+//          | [loc] := e            plain/transactional write
+//          | atomic { stmt* }      isolated transaction
+//          | if (c) {..} else {..}
+//          | while (c) {..}        bounded unrolling
+//          | abort                 (inside atomic only)
+//          | qfence(x)             quiescence fence (implementation model)
+//
+// Locations may be register-indexed arrays (z[r], as in Example 3.5).
+// Expressions and conditions range over per-thread registers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/action.hpp"
+
+namespace mtx::lit {
+
+using model::Loc;
+using model::Thread;
+using model::Value;
+
+inline constexpr int kMaxRegs = 8;
+
+struct Expr {
+  enum class Kind { Const, Reg, AddConst };
+  Kind kind = Kind::Const;
+  Value k = 0;   // Const payload / addend
+  int reg = -1;  // Reg payload
+
+  Value eval(const std::vector<Value>& regs) const;
+};
+
+Expr constant(Value v);
+Expr reg(int r);
+Expr add(int r, Value k);  // regs[r] + k
+
+struct Cond {
+  enum class Kind { Eq, Ne };
+  Kind kind = Kind::Eq;
+  int reg = 0;
+  Value k = 0;
+  int reg2 = -1;  // when >= 0, compare regs[reg] against regs[reg2] not k
+
+  bool eval(const std::vector<Value>& regs) const;
+};
+
+Cond eq(int r, Value v);
+Cond ne(int r, Value v);
+Cond eq_reg(int r, int r2);
+Cond ne_reg(int r, int r2);
+
+// A location: a static cell, or base + regs[reg] for array indexing.
+struct LocExpr {
+  Loc base = 0;
+  int reg = -1;
+
+  bool dynamic() const { return reg >= 0; }
+  Loc eval(const std::vector<Value>& regs) const;
+};
+
+LocExpr at(Loc x);
+LocExpr at(Loc base, int index_reg);
+
+struct Stmt;
+using Block = std::vector<Stmt>;
+
+struct Stmt {
+  enum class Kind { Read, Write, Atomic, If, While, Abort, Fence };
+  Kind kind = Kind::Read;
+
+  int reg = -1;        // Read target
+  LocExpr loc;         // Read/Write/Fence location
+  Expr value;          // Write payload
+  Block body;          // Atomic/If-then/While body
+  Block else_body;     // If
+  Cond cond;           // If/While
+  int bound = 2;       // While unroll bound
+  std::string label;   // Atomic label (for diagnostics)
+};
+
+Stmt read(int r, LocExpr l);
+Stmt write(LocExpr l, Expr v);
+Stmt write(LocExpr l, Value v);
+Stmt atomic(Block body, std::string label = "");
+Stmt if_then(Cond c, Block then_b);
+Stmt if_then_else(Cond c, Block then_b, Block else_b);
+Stmt while_loop(Cond c, Block body, int bound);
+Stmt abort_stmt();
+Stmt qfence(Loc x);
+
+struct Program {
+  std::string name;
+  int num_locs = 0;
+  std::vector<Block> threads;
+
+  Program& add_thread(Block b) {
+    threads.push_back(std::move(b));
+    return *this;
+  }
+};
+
+}  // namespace mtx::lit

@@ -1,0 +1,638 @@
+#include "litmus/catalog.hpp"
+
+#include <stdexcept>
+
+namespace mtx::lit {
+
+namespace {
+
+using model::ModelConfig;
+
+constexpr bool kAllowed = true;
+constexpr bool kForbidden = false;
+
+Expectation exp_(const char* cfg, bool allowed) { return Expectation{cfg, allowed}; }
+
+// Shorthand for the four standard configurations sharing one verdict.
+std::vector<Expectation> everywhere(bool allowed) {
+  return {exp_("base", allowed), exp_("programmer", allowed),
+          exp_("implementation", allowed), exp_("strongest(x86)", allowed)};
+}
+
+// ---------------------------------------------------------------------------
+// Program builders.  Location conventions are per-program; registers are
+// per-thread r0..r7.
+// ---------------------------------------------------------------------------
+
+// S1 privatization:  atomic_a{ if !y then x:=1 }  ||  atomic_b{ y:=1 }; x:=2
+Program privatization(bool fenced) {
+  constexpr Loc X = 0, Y = 1;
+  Program p;
+  p.name = fenced ? "privatization+Q" : "privatization";
+  p.num_locs = 2;
+  p.add_thread({atomic({read(0, at(Y)), if_then(eq(0, 0), {write(at(X), 1)})}, "a")});
+  Block t1 = {atomic({write(at(Y), 1)}, "b")};
+  if (fenced) t1.push_back(qfence(X));
+  t1.push_back(write(at(X), 2));
+  p.add_thread(std::move(t1));
+  return p;
+}
+
+// S1 publication:  x:=1; atomic_a{ y:=1 } || atomic_b{ z:=2; if y then z:=x }
+Program publication() {
+  constexpr Loc X = 0, Y = 1, Z = 2;
+  Program p;
+  p.name = "publication";
+  p.num_locs = 3;
+  p.add_thread({write(at(X), 1), atomic({write(at(Y), 1)}, "a")});
+  p.add_thread({atomic({write(at(Z), 2), read(0, at(Y)),
+                        if_then(ne(0, 0), {read(1, at(X)), write(at(Z), reg(1))})},
+                       "b")});
+  return p;
+}
+
+// S1 IRIW with racy writes to z interposed between the transactional reads.
+Program iriw_racy_z() {
+  constexpr Loc X = 0, Y = 1, Z = 2;
+  Program p;
+  p.name = "IRIW+z";
+  p.num_locs = 3;
+  p.add_thread({atomic({write(at(X), 1)})});
+  p.add_thread({atomic({write(at(Y), 1)})});
+  p.add_thread({atomic({read(0, at(X))}), write(at(Z), 1), atomic({read(1, at(Y))})});
+  p.add_thread({atomic({read(0, at(Y))}), write(at(Z), 2), atomic({read(1, at(X))})});
+  return p;
+}
+
+// Example 2.2: atomic_a{ if !y then x:=2 } || atomic_b{ y:=1 }; x:=1
+Program example_2_2() {
+  constexpr Loc X = 0, Y = 1;
+  Program p;
+  p.name = "ex2.2";
+  p.num_locs = 2;
+  p.add_thread({atomic({read(0, at(Y)), if_then(eq(0, 0), {write(at(X), 2)})}, "a")});
+  p.add_thread({atomic({write(at(Y), 1)}, "b"), write(at(X), 1)});
+  return p;
+}
+
+// Plain load buffering.
+Program load_buffering() {
+  constexpr Loc X = 0, Y = 1;
+  Program p;
+  p.name = "LB";
+  p.num_locs = 2;
+  p.add_thread({read(0, at(X)), write(at(Y), 1)});
+  p.add_thread({read(0, at(Y)), write(at(X), 1)});
+  return p;
+}
+
+// Plain store buffering.
+Program store_buffering() {
+  constexpr Loc X = 0, Y = 1;
+  Program p;
+  p.name = "SB";
+  p.num_locs = 2;
+  p.add_thread({write(at(X), 1), read(0, at(Y))});
+  p.add_thread({write(at(Y), 1), read(0, at(X))});
+  return p;
+}
+
+// S2 aborted-read publication (the xwr-vs-cwr figure).
+Program aborted_read_publication() {
+  constexpr Loc X = 0, Y = 1;
+  Program p;
+  p.name = "aborted-read-pub";
+  p.num_locs = 2;
+  p.add_thread({atomic({write(at(X), 1), write(at(Y), 1)}, "a")});
+  p.add_thread({atomic({read(0, at(Y)), abort_stmt()}, "c"), read(1, at(X))});
+  return p;
+}
+
+// S2 transactional IRIW (the opacity figure); abort_readers makes thread 2's
+// reading transaction abort, which must not weaken the verdict.
+Program transactional_iriw(bool abort_readers) {
+  constexpr Loc X = 0, Y = 1;
+  Program p;
+  p.name = abort_readers ? "tx-IRIW-aborted" : "tx-IRIW";
+  p.num_locs = 2;
+  p.add_thread({atomic({write(at(X), 1)})});
+  p.add_thread({atomic({write(at(Y), 1)})});
+  Block t2 = {atomic(abort_readers
+                         ? Block{read(0, at(X)), read(1, at(Y)), abort_stmt()}
+                         : Block{read(0, at(X)), read(1, at(Y))})};
+  p.add_thread(std::move(t2));
+  p.add_thread({atomic({read(0, at(Y)), read(1, at(X))})});
+  return p;
+}
+
+// S2 plain 2+2W figure.
+Program two_plus_two_w() {
+  constexpr Loc X = 0, Y = 1;
+  Program p;
+  p.name = "2+2W";
+  p.num_locs = 2;
+  p.add_thread({write(at(X), 2), write(at(Y), 1)});
+  p.add_thread({write(at(Y), 2), write(at(X), 1)});
+  return p;
+}
+
+// S2 coherence figures: forbidden (stronger than Java) and allowed (CSE).
+// The y accesses are singleton transactions (the figure's cwr edge): they
+// play the role of the volatile in the original LDRF example.
+Program coherence_java() {
+  constexpr Loc X = 0, Y = 1;
+  Program p;
+  p.name = "coherence-java";
+  p.num_locs = 2;
+  p.add_thread({write(at(X), 1), atomic({write(at(Y), 1)})});
+  p.add_thread({write(at(X), 2), atomic({read(0, at(Y))}), read(1, at(X)),
+                read(2, at(X))});
+  return p;
+}
+
+Program coherence_cse() {
+  constexpr Loc X = 0;
+  Program p;
+  p.name = "coherence-cse";
+  p.num_locs = 1;
+  p.add_thread({write(at(X), 1), write(at(X), 2)});
+  p.add_thread({read(0, at(X)), read(1, at(X)), read(2, at(X))});
+  return p;
+}
+
+// Example 2.3 HBww/AntiWW row with the unconditional read+write body:
+// atomic_a{ r:=y; x:=1 } || atomic_b{ y:=1 }; x:=2.
+Program hb_ww_row() {
+  constexpr Loc X = 0, Y = 1;
+  Program p;
+  p.name = "hbww-row";
+  p.num_locs = 2;
+  p.add_thread({atomic({read(0, at(Y)), write(at(X), 1)}, "a")});
+  p.add_thread({atomic({write(at(Y), 1)}, "b"), write(at(X), 2)});
+  return p;
+}
+
+// Example 2.3 HBrw/AntiRW row, reversed for the anti axiom: the transaction
+// writes x, the privatizing thread then reads it plainly.
+Program anti_rw_program() {
+  constexpr Loc X = 0, Y = 1;
+  Program p;
+  p.name = "anti-rw";
+  p.num_locs = 2;
+  p.add_thread({atomic({read(0, at(Y)), write(at(X), 1)}, "a")});
+  p.add_thread({atomic({write(at(Y), 1)}, "b"), read(0, at(X))});
+  return p;
+}
+
+// Example 2.3 HB'ww/Anti'WW row: x:=1; atomic_b{ r:=y } || atomic_c{ x:=2; y:=1 }
+Program anti_ww_prime_program() {
+  constexpr Loc X = 0, Y = 1;
+  Program p;
+  p.name = "anti-ww'";
+  p.num_locs = 2;
+  p.add_thread({write(at(X), 1), atomic({read(0, at(Y))}, "b")});
+  p.add_thread({atomic({write(at(X), 2), write(at(Y), 1)}, "c")});
+  return p;
+}
+
+// Example 3.1 (== Example 2.3 HB'rw row): publication by antidependency.
+Program ex3_1_pub_antidep() {
+  constexpr Loc X = 0, Y = 1;
+  Program p;
+  p.name = "ex3.1";
+  p.num_locs = 2;
+  p.add_thread({write(at(X), 1), atomic({read(0, at(Y))}, "a")});
+  p.add_thread({atomic({read(0, at(X)), write(at(Y), 1)}, "b")});
+  return p;
+}
+
+// Example 3.2: no global lock atomicity.
+Program ex3_2_no_gla() {
+  constexpr Loc X = 0, Y = 1, Z = 2;
+  Program p;
+  p.name = "ex3.2";
+  p.num_locs = 3;
+  p.add_thread({write(at(X), 1), atomic({write(at(Y), 1)}, "a"), read(0, at(Z))});
+  p.add_thread({atomic({read(0, at(X)), write(at(Z), 1)}, "b")});
+  return p;
+}
+
+// Example 3.3: benign racy publication (forbidden by our model).
+Program ex3_3_racy_pub() {
+  constexpr Loc X = 0, Y = 1, Q = 2;
+  Program p;
+  p.name = "ex3.3";
+  p.num_locs = 3;
+  p.add_thread({write(at(X), 1), atomic({write(at(Y), 1)}, "a")});
+  p.add_thread({write(at(Q), 2),
+                atomic({read(0, at(X)), read(1, at(Y)),
+                        if_then(ne(1, 0), {write(at(Q), reg(0))})},
+                       "b")});
+  return p;
+}
+
+// Example 3.4: eager versioning / speculative lost update.
+Program ex3_4_eager() {
+  constexpr Loc X = 0, Y = 1;
+  Program p;
+  p.name = "ex3.4";
+  p.num_locs = 2;
+  p.add_thread({atomic({read(0, at(Y)),
+                        if_then(eq(0, 0), {write(at(X), 1), abort_stmt()})},
+                       "a"),
+                atomic({read(1, at(Y)), if_then(eq(1, 0), {write(at(X), 1)})}, "b"),
+                read(2, at(X))});
+  p.add_thread({write(at(X), 2), write(at(Y), 1), read(0, at(X))});
+  return p;
+}
+
+// Example 3.5: lazy versioning with an array z indexed by the privatized
+// value.  Locations: X=0, z[0]=1 (the only reachable cell: 42 is guarded).
+Program ex3_5_lazy() {
+  constexpr Loc X = 0, Z = 1;
+  Program p;
+  p.name = "ex3.5";
+  p.num_locs = 2;
+  p.add_thread({atomic({read(0, at(X)), write(at(X), 42)}, "a"),
+                read(1, at(Z, 0)), read(2, at(Z, 0)), write(at(Z, 0), 0)});
+  p.add_thread({atomic({read(0, at(X)),
+                        if_then(ne(0, 42), {read(1, at(Z, 0)),
+                                            write(at(Z, 0), add(1, 1))})},
+                       "b")});
+  return p;
+}
+
+// S1 temporal locality, scaled to enumeration size: two threads race on x
+// then bump a transactional flag F; a reader that transactionally observes
+// F == 2 is past the races and must see a single coherent x.
+Program temporal_guard() {
+  constexpr Loc X = 0, F = 1;
+  Program p;
+  p.name = "temporal-guard";
+  p.num_locs = 2;
+  p.add_thread({write(at(X), 1), atomic({read(0, at(F)), write(at(F), add(0, 1))})});
+  p.add_thread({write(at(X), 2), atomic({read(0, at(F)), write(at(F), add(0, 1))})});
+  p.add_thread({atomic({read(0, at(F))}),
+                if_then(eq(0, 2), {read(1, at(X)), read(2, at(X))})});
+  return p;
+}
+
+// S4 doomed transaction with the actual while loop (bounded): if a reads
+// y=0, it spins on x; exiting the loop with x=1 would make it a doomed
+// zombie, which consistency forbids.
+Program doomed_while() {
+  constexpr Loc X = 0, Y = 1;
+  Program p;
+  p.name = "doomed-while";
+  p.num_locs = 2;
+  p.add_thread({atomic({read(0, at(Y)),
+                        if_then(eq(0, 0),
+                                {while_loop(ne(1, 1), {read(1, at(X))}, 2)})},
+                       "a")});
+  p.add_thread({atomic({write(at(Y), 1)}, "b"), write(at(X), 1)});
+  return p;
+}
+
+// S4 doomed transaction, encoded through the read that would doom it.
+Program doomed() {
+  constexpr Loc X = 0, Y = 1;
+  Program p;
+  p.name = "doomed";
+  p.num_locs = 2;
+  p.add_thread({atomic({read(0, at(Y)), if_then(eq(0, 0), {read(1, at(X))})}, "a")});
+  p.add_thread({atomic({write(at(Y), 1)}, "b"), write(at(X), 1)});
+  return p;
+}
+
+// S4 worked LDRF example (temporal/spatial locality).
+Program ldrf_worked() {
+  constexpr Loc X = 0, Y = 1, F = 2, Z = 3;
+  Program p;
+  p.name = "ldrf-worked";
+  p.num_locs = 4;
+  p.add_thread({write(at(X), 1), write(at(Y), 1), atomic({write(at(F), 1)}, "a"),
+                write(at(Z), 1)});
+  p.add_thread({write(at(Y), 2), atomic({read(0, at(F))}, "b"), write(at(Z), 2),
+                if_then(ne(0, 0),
+                        {read(1, at(X)), read(2, at(Y)), read(3, at(Y))})});
+  return p;
+}
+
+// S5 (dagger) and its (invalid) reordering.
+Program dagger(bool reordered) {
+  constexpr Loc X = 0, Y = 1, Z = 2;
+  Program p;
+  p.name = reordered ? "dagger-reordered" : "dagger";
+  p.num_locs = 3;
+  p.add_thread({write(at(Z), 1),
+                atomic({read(0, at(Y)), if_then(eq(0, 0), {write(at(X), 1)})}, "a")});
+  if (reordered) {
+    p.add_thread({atomic({write(at(Y), 1)}, "b"), read(0, at(Z)), write(at(X), 2)});
+  } else {
+    p.add_thread({atomic({write(at(Y), 1)}, "b"), write(at(X), 2), read(0, at(Z))});
+  }
+  return p;
+}
+
+// Appendix D.1: opaque writes.
+Program d1_opaque_writes() {
+  constexpr Loc X = 0;
+  Program p;
+  p.name = "D.1";
+  p.num_locs = 1;
+  p.add_thread({atomic({write(at(X), 1), abort_stmt()}, "a")});
+  p.add_thread({atomic({read(0, at(X))}, "b")});
+  return p;
+}
+
+// Appendix D.2: race-free speculation.
+Program d2_speculation() {
+  constexpr Loc X = 0, Y = 1, Z = 2;
+  Program p;
+  p.name = "D.2";
+  p.num_locs = 3;
+  p.add_thread({atomic({read(0, at(X)), write(at(X), add(0, 1)), read(1, at(Y)),
+                        write(at(Y), add(1, 1))},
+                       "a")});
+  p.add_thread({atomic({read(0, at(X)), read(1, at(Y)),
+                        if_then(ne_reg(0, 1), {write(at(Z), 1), abort_stmt()})},
+                       "b")});
+  p.add_thread({write(at(Z), 2), read(0, at(Z))});
+  return p;
+}
+
+// Appendix D.3: dirty reads.
+Program d3_dirty_reads() {
+  constexpr Loc X = 0, Y = 1;
+  Program p;
+  p.name = "D.3";
+  p.num_locs = 2;
+  p.add_thread({atomic({read(0, at(Y)),
+                        if_then(eq(0, 0), {write(at(X), 1), abort_stmt()})},
+                       "a"),
+                atomic({read(1, at(Y)), if_then(eq(1, 0), {write(at(X), 1)})}, "b")});
+  p.add_thread({read(0, at(X)), if_then(eq(0, 1), {write(at(Y), 1)})});
+  return p;
+}
+
+// Appendix D.4: no overlapped writes; z[] published through x.
+// Locations: X=0, Y=1, z[0]=2, z[1]=3.
+Program d4_no_overlap() {
+  constexpr Loc X = 0, Y = 1, Z = 2;
+  Program p;
+  p.name = "D.4";
+  p.num_locs = 4;
+  p.add_thread({atomic({write(at(Y), 1), read(0, at(Y)), write(at(Z, 0), 1),
+                        write(at(X), 1)},
+                       "a")});
+  p.add_thread({atomic({read(0, at(X))}, "b"),
+                if_then(ne(0, 0), {read(1, at(Z, 0))})});
+  return p;
+}
+
+std::vector<LitmusTest> build_catalog() {
+  std::vector<LitmusTest> v;
+
+  v.push_back({"E01", "S1/Ex2.1 privatization", "final x == 1",
+               privatization(false),
+               [](const Outcome& o) { return o.loc(0) == 1; },
+               {exp_("base", kAllowed), exp_("programmer", kForbidden),
+                exp_("implementation", kAllowed), exp_("strongest(x86)", kForbidden)}});
+
+  v.push_back({"E02", "S1 publication", "final z == 0", publication(),
+               [](const Outcome& o) { return o.loc(2) == 0; },
+               everywhere(kForbidden)});
+
+  v.push_back({"E03", "S1 IRIW with racy z", "r1=1,r2=0,q1=1,q2=0",
+               iriw_racy_z(),
+               [](const Outcome& o) {
+                 return o.reg(2, 0) == 1 && o.reg(2, 1) == 0 && o.reg(3, 0) == 1 &&
+                        o.reg(3, 1) == 0;
+               },
+               everywhere(kForbidden)});
+
+  v.push_back({"E06", "Ex2.2 reversed privatization", "a read y=0 and final x == 2",
+               example_2_2(),
+               [](const Outcome& o) { return o.reg(0, 0) == 0 && o.loc(0) == 2; },
+               {exp_("base", kAllowed), exp_("programmer", kForbidden),
+                exp_("implementation", kAllowed), exp_("strongest(x86)", kForbidden)}});
+
+  v.push_back({"E07", "S2 load buffering", "r=1 and q=1", load_buffering(),
+               [](const Outcome& o) { return o.reg(0, 0) == 1 && o.reg(1, 0) == 1; },
+               everywhere(kForbidden)});
+
+  v.push_back({"E08", "S2 store buffering", "r=0 and q=0", store_buffering(),
+               [](const Outcome& o) { return o.reg(0, 0) == 0 && o.reg(1, 0) == 0; },
+               everywhere(kAllowed)});
+
+  v.push_back({"E09", "S2 publication through aborted read", "r=1 and q=0",
+               aborted_read_publication(),
+               [](const Outcome& o) { return o.reg(1, 0) == 1 && o.reg(1, 1) == 0; },
+               everywhere(kAllowed)});
+
+  v.push_back({"E10", "S2 transactional IRIW (opacity)", "1,0 / 1,0",
+               transactional_iriw(false),
+               [](const Outcome& o) {
+                 return o.reg(2, 0) == 1 && o.reg(2, 1) == 0 && o.reg(3, 0) == 1 &&
+                        o.reg(3, 1) == 0;
+               },
+               everywhere(kForbidden)});
+
+  v.push_back({"E10b", "S2 transactional IRIW, aborted reader", "1,0 / 1,0",
+               transactional_iriw(true),
+               [](const Outcome& o) {
+                 return o.reg(2, 0) == 1 && o.reg(2, 1) == 0 && o.reg(3, 0) == 1 &&
+                        o.reg(3, 1) == 0;
+               },
+               everywhere(kForbidden)});
+
+  v.push_back({"E11", "S2 2+2W", "final x == 2 and y == 2", two_plus_two_w(),
+               [](const Outcome& o) { return o.loc(0) == 2 && o.loc(1) == 2; },
+               everywhere(kAllowed)});
+
+  v.push_back({"E12a", "S2 coherence (stronger than Java)", "reads y=1; x=2 then x=1",
+               coherence_java(),
+               [](const Outcome& o) {
+                 return o.reg(1, 0) == 1 && o.reg(1, 1) == 2 && o.reg(1, 2) == 1;
+               },
+               everywhere(kForbidden)});
+
+  v.push_back({"E12b", "S2 coherence (CSE-friendly)", "reads x=2,1,2",
+               coherence_cse(),
+               [](const Outcome& o) {
+                 return o.reg(1, 0) == 2 && o.reg(1, 1) == 1 && o.reg(1, 2) == 2;
+               },
+               everywhere(kAllowed)});
+
+  v.push_back({"E13ww", "Ex2.3 AntiWW row (unconditional)",
+               "a read y=0 and final x == 1", hb_ww_row(),
+               [](const Outcome& o) { return o.reg(0, 0) == 0 && o.loc(0) == 1; },
+               {exp_("base", kAllowed), exp_("programmer", kForbidden),
+                exp_("HBww+AntiWW", kForbidden), exp_("implementation", kAllowed),
+                exp_("strongest(x86)", kForbidden)}});
+
+  v.push_back({"E13rw", "Ex2.3 AntiRW row", "a read y=0 and plain q=x reads 0",
+               anti_rw_program(),
+               [](const Outcome& o) { return o.reg(0, 0) == 0 && o.reg(1, 0) == 0; },
+               {exp_("base", kAllowed), exp_("programmer", kAllowed),
+                exp_("HBrw+AntiRW", kForbidden), exp_("strongest(x86)", kForbidden)}});
+
+  v.push_back({"E13wwp", "Ex2.3 Anti'WW row", "b read y=0 and final x == 1",
+               anti_ww_prime_program(),
+               [](const Outcome& o) { return o.reg(0, 0) == 0 && o.loc(0) == 1; },
+               {exp_("base", kAllowed), exp_("programmer", kAllowed),
+                exp_("HB'ww+Anti'WW", kForbidden),
+                exp_("strongest(x86)", kForbidden)}});
+
+  v.push_back({"E14", "Ex3.1 no publication by antidependency", "r=0 and q=0",
+               ex3_1_pub_antidep(),
+               [](const Outcome& o) { return o.reg(0, 0) == 0 && o.reg(1, 0) == 0; },
+               {exp_("base", kAllowed), exp_("programmer", kAllowed),
+                exp_("implementation", kAllowed), exp_("HB'rw+Anti'RW", kForbidden),
+                exp_("strongest(x86)", kForbidden)}});
+
+  v.push_back({"E15", "Ex3.2 no global lock atomicity", "r=0 and q=0",
+               ex3_2_no_gla(),
+               [](const Outcome& o) { return o.reg(0, 0) == 0 && o.reg(1, 0) == 0; },
+               {exp_("base", kAllowed), exp_("programmer", kAllowed),
+                exp_("implementation", kAllowed), exp_("strongest(x86)", kAllowed)}});
+
+  v.push_back({"E16", "Ex3.3 benign racy publication", "final q == 0",
+               ex3_3_racy_pub(),
+               [](const Outcome& o) { return o.loc(2) == 0; },
+               everywhere(kForbidden)});
+
+  v.push_back({"E17a", "Ex3.4 speculative lost update", "plain q=x reads 0",
+               ex3_4_eager(),
+               [](const Outcome& o) { return o.reg(1, 0) == 0; },
+               everywhere(kForbidden)});
+
+  v.push_back({"E17b", "Ex3.4 allowed execution 1", "r=0 and q=2", ex3_4_eager(),
+               [](const Outcome& o) { return o.reg(0, 2) == 0 && o.reg(1, 0) == 2; },
+               everywhere(kAllowed)});
+
+  v.push_back({"E17c", "Ex3.4 allowed execution 2", "r=2", ex3_4_eager(),
+               [](const Outcome& o) { return o.reg(0, 2) == 2; },
+               everywhere(kAllowed)});
+
+  v.push_back({"E18a", "Ex3.5 lazy versioning", "r1 != r2", ex3_5_lazy(),
+               [](const Outcome& o) { return o.reg(0, 1) != o.reg(0, 2); },
+               {exp_("base", kAllowed), exp_("programmer", kAllowed),
+                exp_("implementation", kAllowed), exp_("HBrw+AntiRW", kForbidden),
+                exp_("strongest(x86)", kForbidden)}});
+
+  v.push_back({"E18b", "Ex3.5 lazy versioning", "final z[0] != 0", ex3_5_lazy(),
+               [](const Outcome& o) { return o.loc(1) != 0; },
+               {exp_("base", kAllowed), exp_("programmer", kForbidden),
+                exp_("implementation", kAllowed), exp_("strongest(x86)", kForbidden)}});
+
+  v.push_back({"E19a", "S4 LDRF worked example", "read F=1 then x=0", ldrf_worked(),
+               [](const Outcome& o) { return o.reg(1, 0) == 1 && o.reg(1, 1) == 0; },
+               everywhere(kForbidden)});
+
+  v.push_back({"E19b", "S4 LDRF worked example", "read F=1, y reads differ",
+               ldrf_worked(),
+               [](const Outcome& o) {
+                 return o.reg(1, 0) == 1 && o.reg(1, 2) != o.reg(1, 3);
+               },
+               everywhere(kForbidden)});
+
+  v.push_back({"E04", "S1 temporal locality (scaled)", "F=2 observed, x reads differ",
+               temporal_guard(),
+               [](const Outcome& o) {
+                 return o.reg(2, 0) == 2 && o.reg(2, 1) != o.reg(2, 2);
+               },
+               everywhere(kForbidden)});
+
+  v.push_back({"E04b", "S1 temporal locality (scaled)", "F=2 observed, x reads 0",
+               temporal_guard(),
+               [](const Outcome& o) { return o.reg(2, 0) == 2 && o.reg(2, 1) == 0; },
+               everywhere(kForbidden)});
+
+  v.push_back({"E20", "S4 doomed transaction", "a reads y=0 then x=1", doomed(),
+               [](const Outcome& o) { return o.reg(0, 0) == 0 && o.reg(0, 1) == 1; },
+               everywhere(kForbidden)});
+
+  v.push_back({"E20b", "S4 doomed transaction (while loop)",
+               "a reads y=0, loop exits with x=1", doomed_while(),
+               [](const Outcome& o) { return o.reg(0, 0) == 0 && o.reg(0, 1) == 1; },
+               everywhere(kForbidden)});
+
+  v.push_back({"E23", "S5 (dagger)", "a read y=0 and plain r=z reads 0",
+               dagger(false),
+               [](const Outcome& o) { return o.reg(0, 0) == 0 && o.reg(1, 0) == 0; },
+               {exp_("base", kAllowed), exp_("programmer", kForbidden),
+                exp_("implementation", kAllowed), exp_("strongest(x86)", kForbidden)}});
+
+  v.push_back({"E23b", "S5 (dagger) reordered", "a read y=0 and plain r=z reads 0",
+               dagger(true),
+               [](const Outcome& o) { return o.reg(0, 0) == 0 && o.reg(1, 0) == 0; },
+               everywhere(kAllowed)});
+
+  v.push_back({"E27", "App D.1 opaque writes", "r == 1", d1_opaque_writes(),
+               [](const Outcome& o) { return o.reg(1, 0) == 1; },
+               everywhere(kForbidden)});
+
+  v.push_back({"E28", "App D.2 race-free speculation", "r != 2", d2_speculation(),
+               [](const Outcome& o) { return o.reg(2, 0) != 2; },
+               everywhere(kForbidden)});
+
+  v.push_back({"E29", "App D.3 dirty reads", "final x == 0 and y == 1",
+               d3_dirty_reads(),
+               [](const Outcome& o) { return o.loc(0) == 0 && o.loc(1) == 1; },
+               everywhere(kForbidden)});
+
+  v.push_back({"E30", "App D.4 no overlapped writes", "q = 1 and r = z[1] reads 0",
+               d4_no_overlap(),
+               [](const Outcome& o) { return o.reg(1, 0) == 1 && o.reg(1, 1) == 0; },
+               everywhere(kForbidden)});
+
+  v.push_back({"E34a", "S5 privatization with quiescence fence", "final x == 1",
+               privatization(true),
+               [](const Outcome& o) { return o.loc(0) == 1; },
+               {exp_("implementation", kForbidden)}});
+
+  return v;
+}
+
+}  // namespace
+
+const std::vector<LitmusTest>& catalog() {
+  static const std::vector<LitmusTest> tests = build_catalog();
+  return tests;
+}
+
+ModelConfig config_by_name(const std::string& name) {
+  const std::vector<ModelConfig> all = {
+      ModelConfig::base(),           ModelConfig::programmer(),
+      ModelConfig::implementation(), ModelConfig::strongest(),
+      ModelConfig::variant_hb_ww(),  ModelConfig::variant_hb_rw(),
+      ModelConfig::variant_hb_wr(),  ModelConfig::variant_hb_ww_p(),
+      ModelConfig::variant_hb_rw_p(), ModelConfig::variant_hb_wr_p()};
+  for (const ModelConfig& c : all)
+    if (c.name == name) return c;
+  throw std::invalid_argument("unknown model config: " + name);
+}
+
+VerdictRow run_verdict(const LitmusTest& test, const Expectation& exp,
+                       EnumOptions opts) {
+  GraphEnum e(test.program, config_by_name(exp.config), opts);
+  const OutcomeSet set = e.outcomes();
+  VerdictRow row;
+  row.id = test.id;
+  row.config = exp.config;
+  row.expected_allowed = exp.allowed;
+  row.actual_allowed = set.any(test.witness);
+  row.outcome_count = set.size();
+  row.consistent_execs = e.stats().consistent;
+  return row;
+}
+
+std::vector<VerdictRow> run_catalog(EnumOptions opts) {
+  std::vector<VerdictRow> rows;
+  for (const LitmusTest& t : catalog())
+    for (const Expectation& exp : t.expected) rows.push_back(run_verdict(t, exp, opts));
+  return rows;
+}
+
+}  // namespace mtx::lit

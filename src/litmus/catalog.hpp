@@ -1,0 +1,54 @@
+// The reproduction catalog: every execution diagram / final-outcome claim in
+// the paper, encoded as a litmus program with a witness predicate and the
+// expected allowed/forbidden verdict under each model configuration the
+// paper evaluates it in.  DESIGN.md maps entries (E01..E30) to paper
+// sections; EXPERIMENTS.md records paper-vs-measured.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "litmus/graph_enum.hpp"
+#include "model/model_config.hpp"
+
+namespace mtx::lit {
+
+struct Expectation {
+  std::string config;  // ModelConfig name
+  bool allowed;
+};
+
+struct LitmusTest {
+  std::string id;            // "E01"
+  std::string paper_ref;     // "S1 privatization"
+  std::string witness_desc;  // human-readable witness
+  Program program;
+  std::function<bool(const Outcome&)> witness;
+  std::vector<Expectation> expected;
+};
+
+const std::vector<LitmusTest>& catalog();
+
+// Look up a preset ModelConfig by its name() (base / programmer /
+// implementation / strongest(x86) / the six Example 2.3 variants).
+model::ModelConfig config_by_name(const std::string& name);
+
+struct VerdictRow {
+  std::string id;
+  std::string config;
+  bool expected_allowed = false;
+  bool actual_allowed = false;
+  std::uint64_t outcome_count = 0;
+  std::uint64_t consistent_execs = 0;
+  bool matches() const { return expected_allowed == actual_allowed; }
+};
+
+// Runs one catalog entry under one of its expected configs.
+VerdictRow run_verdict(const LitmusTest& test, const Expectation& exp,
+                       EnumOptions opts = {});
+
+// Runs the whole catalog; returns all rows.
+std::vector<VerdictRow> run_catalog(EnumOptions opts = {});
+
+}  // namespace mtx::lit

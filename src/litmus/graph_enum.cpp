@@ -1,0 +1,527 @@
+#include "litmus/graph_enum.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "substrate/digraph.hpp"
+#include "substrate/enumerate.hpp"
+
+namespace mtx::lit {
+
+namespace {
+
+using model::Action;
+using model::kInitThread;
+using model::Loc;
+using model::ModelConfig;
+using model::Trace;
+using mtx::Rational;
+
+// A concrete event of a candidate execution.  Ids are global: the init
+// transaction's events come first (begin, one write per location, commit),
+// then thread events in (thread, path position) order.
+struct Event {
+  int id = -1;
+  int thread = kInitThread;
+  PEvent::Kind kind = PEvent::Kind::Begin;
+
+  // Static template (program events).
+  LocExpr locx;
+  Expr valuex;
+  int reg = -1;
+
+  // Transaction structure, known statically from the path shape.
+  int txn_begin = -1;   // event id of enclosing begin (self for B/C/A)
+  bool txn_aborted = false;
+
+  // Resolved during replay.
+  Loc loc = -1;
+  Value value = 0;
+  bool resolved = false;
+
+  // Coherence position -> timestamp (writes), or the writer's ts (reads).
+  Rational ts{0};
+
+  bool is_write() const { return kind == PEvent::Kind::Write; }
+  bool is_read() const { return kind == PEvent::Kind::Read; }
+  bool plain() const { return txn_begin < 0; }
+  bool nonaborted_writer() const { return plain() || !txn_aborted; }
+};
+
+struct Candidate {
+  std::vector<Event> events;                   // all events, id-indexed
+  std::vector<std::vector<int>> thread_events; // program event ids per thread
+  std::vector<std::vector<PEvent>> guards_before;  // guards preceding event k of thread
+  std::vector<std::vector<PEvent>> trailing_guards;  // guards after last action
+  std::vector<int> reads;                      // event ids of reads
+  std::vector<int> writes;                     // event ids of all writes (incl init)
+  int num_locs = 0;
+  int init_commit_id = 0;
+};
+
+// Instantiate events for a path combination.
+Candidate build_candidate(const Program& prog,
+                          const std::vector<std::vector<Path>>& paths,
+                          const std::vector<std::size_t>& combo) {
+  Candidate c;
+  c.num_locs = prog.num_locs;
+  int next_id = 0;
+
+  // Init transaction events.
+  {
+    Event b;
+    b.id = next_id++;
+    b.kind = PEvent::Kind::Begin;
+    b.txn_begin = b.id;
+    b.resolved = true;
+    c.events.push_back(b);
+    for (Loc x = 0; x < prog.num_locs; ++x) {
+      Event w;
+      w.id = next_id++;
+      w.kind = PEvent::Kind::Write;
+      w.txn_begin = b.id;
+      w.loc = x;
+      w.value = 0;
+      w.ts = Rational(0);
+      w.resolved = true;
+      c.events.push_back(w);
+      c.writes.push_back(w.id);
+    }
+    Event e;
+    e.id = next_id++;
+    e.kind = PEvent::Kind::Commit;
+    e.txn_begin = b.id;
+    e.resolved = true;
+    c.init_commit_id = e.id;
+    c.events.push_back(e);
+  }
+
+  c.thread_events.resize(prog.threads.size());
+  c.guards_before.resize(0);
+
+  for (std::size_t t = 0; t < prog.threads.size(); ++t) {
+    const Path& path = paths[t][combo[t]];
+    int open_begin = -1;
+    bool open_aborted = false;
+    // Determine, per begin, whether the txn aborts (path is linear).
+    std::vector<PEvent> pending_guards;
+    std::vector<std::vector<PEvent>> guards_for_thread;
+    for (const PEvent& pe : path) {
+      if (pe.kind == PEvent::Kind::Guard) {
+        pending_guards.push_back(pe);
+        continue;
+      }
+      Event e;
+      e.id = next_id++;
+      e.thread = static_cast<int>(t);
+      e.kind = pe.kind;
+      e.locx = pe.loc;
+      e.valuex = pe.value;
+      e.reg = pe.reg;
+      switch (pe.kind) {
+        case PEvent::Kind::Begin: {
+          e.txn_begin = e.id;
+          open_begin = e.id;
+          // Scan forward in the path: does this atomic end in Abort?
+          open_aborted = false;
+          {
+            int depth = 0;
+            bool found = false;
+            for (const PEvent& q : path) {
+              if (&q <= &pe) continue;
+              if (q.kind == PEvent::Kind::Begin) ++depth;
+              if (q.kind == PEvent::Kind::Commit || q.kind == PEvent::Kind::Abort) {
+                if (depth == 0) {
+                  open_aborted = q.kind == PEvent::Kind::Abort;
+                  found = true;
+                  break;
+                }
+                --depth;
+              }
+            }
+            (void)found;
+          }
+          e.txn_aborted = open_aborted;
+          break;
+        }
+        case PEvent::Kind::Commit:
+        case PEvent::Kind::Abort:
+          e.txn_begin = open_begin;
+          e.txn_aborted = open_aborted;
+          open_begin = -1;
+          break;
+        case PEvent::Kind::Fence:
+          e.txn_begin = -1;
+          break;
+        default:
+          e.txn_begin = open_begin;
+          e.txn_aborted = open_begin >= 0 && open_aborted;
+          break;
+      }
+      c.events.push_back(e);
+      c.thread_events[t].push_back(e.id);
+      guards_for_thread.push_back(pending_guards);
+      pending_guards.clear();
+      if (e.is_read()) c.reads.push_back(e.id);
+      if (e.is_write()) c.writes.push_back(e.id);
+    }
+    c.guards_before.insert(c.guards_before.end(), guards_for_thread.begin(),
+                           guards_for_thread.end());
+    c.trailing_guards.push_back(pending_guards);
+  }
+  return c;
+}
+
+// Per-thread guard lists are stored flat in candidate build order; recover
+// them by walking thread_events in the same order.
+struct GuardIndex {
+  // guards_before[k] corresponds to the k-th program event appended overall.
+  const Candidate& c;
+  std::vector<std::vector<const std::vector<PEvent>*>> per_thread;
+
+  explicit GuardIndex(const Candidate& cand) : c(cand) {
+    per_thread.resize(c.thread_events.size());
+    std::size_t flat = 0;
+    for (std::size_t t = 0; t < c.thread_events.size(); ++t)
+      for (std::size_t k = 0; k < c.thread_events[t].size(); ++k)
+        per_thread[t].push_back(&c.guards_before[flat++]);
+  }
+};
+
+// Replay all threads, resolving locations and values given an rf choice.
+// Returns final register files, or nullopt if infeasible.
+std::optional<std::vector<std::vector<Value>>> replay(
+    Candidate& c, const std::vector<int>& rf, const GuardIndex& gi) {
+  const std::size_t nthreads = c.thread_events.size();
+  std::vector<std::vector<Value>> regs(nthreads, std::vector<Value>(kMaxRegs, 0));
+  std::vector<std::size_t> pc(nthreads, 0);
+
+  // Map read event id -> its index in c.reads for rf lookup.
+  auto writer_of = [&](int read_id) -> Event& {
+    for (std::size_t i = 0; i < c.reads.size(); ++i)
+      if (c.reads[i] == read_id) return c.events[static_cast<std::size_t>(rf[i])];
+    std::abort();
+  };
+
+  bool progress = true;
+  std::size_t done = 0;
+  std::size_t total = 0;
+  for (auto& te : c.thread_events) total += te.size();
+
+  while (progress && done < total) {
+    progress = false;
+    for (std::size_t t = 0; t < nthreads; ++t) {
+      while (pc[t] < c.thread_events[t].size()) {
+        Event& e = c.events[static_cast<std::size_t>(c.thread_events[t][pc[t]])];
+        // Guards preceding this event.
+        for (const PEvent& g : *gi.per_thread[t][pc[t]])
+          if (g.cond.eval(regs[t]) != g.expected) return std::nullopt;
+        if (e.is_read()) {
+          Event& w = writer_of(e.id);
+          if (!w.resolved) break;  // wait for the writer's value
+          e.loc = e.locx.eval(regs[t]);
+          if (w.loc != e.loc) return std::nullopt;  // rf loc mismatch
+          e.value = w.value;
+          regs[t][static_cast<std::size_t>(e.reg)] = e.value;
+        } else if (e.is_write()) {
+          e.loc = e.locx.eval(regs[t]);
+          e.value = e.valuex.eval(regs[t]);
+        } else if (e.kind == PEvent::Kind::Fence) {
+          e.loc = e.locx.eval(regs[t]);
+        }
+        if (e.loc >= c.num_locs && (e.is_read() || e.is_write()))
+          return std::nullopt;  // out-of-range array index
+        e.resolved = true;
+        ++pc[t];
+        ++done;
+        progress = true;
+      }
+    }
+  }
+  if (done < total) return std::nullopt;  // cyclic value dependency
+  // Trailing guards (after the last action of each thread).
+  for (std::size_t t = 0; t < nthreads; ++t)
+    for (const PEvent& g : c.trailing_guards[t])
+      if (g.cond.eval(regs[t]) != g.expected) return std::nullopt;
+  return regs;
+}
+
+// Build the WF-constraint digraph and return a linearization of the program
+// events (init events excluded; they come first by construction), or
+// nullopt if none exists.
+std::optional<std::vector<int>> linearize(const Candidate& c,
+                                          const std::vector<int>& rf,
+                                          const std::vector<std::size_t>& fence_choice,
+                                          const std::vector<std::pair<int, int>>& fence_pairs) {
+  const std::size_t n = c.events.size();
+  Digraph g(n);
+
+  // Init transaction before every program event.
+  for (std::size_t i = static_cast<std::size_t>(c.init_commit_id) + 1; i < n; ++i)
+    g.add_edge(static_cast<std::size_t>(c.init_commit_id), i);
+  for (int i = 0; i < c.init_commit_id; ++i)
+    g.add_edge(static_cast<std::size_t>(i), static_cast<std::size_t>(i + 1));
+
+  // Program order.
+  for (const auto& te : c.thread_events)
+    for (std::size_t k = 0; k + 1 < te.size(); ++k)
+      g.add_edge(static_cast<std::size_t>(te[k]), static_cast<std::size_t>(te[k + 1]));
+
+  // WF8: writers precede their readers.
+  for (std::size_t i = 0; i < c.reads.size(); ++i)
+    g.add_edge(static_cast<std::size_t>(rf[i]), static_cast<std::size_t>(c.reads[i]));
+
+  auto ww = [&](const Event& a, const Event& b) {
+    return a.is_write() && b.is_write() && a.loc == b.loc && a.ts < b.ts;
+  };
+
+  for (int wid : c.writes) {
+    const Event& b = c.events[static_cast<std::size_t>(wid)];
+    if (b.thread == kInitThread || b.txn_begin < 0 || b.txn_aborted) continue;
+    // WF9: nonaborted transactional write b must precede any
+    // committed-or-live transactional write c with b ww c (plain and
+    // aborted writes are unconstrained).
+    for (int cid : c.writes) {
+      if (cid == wid) continue;
+      const Event& cw = c.events[static_cast<std::size_t>(cid)];
+      if (cw.txn_begin < 0 || cw.txn_aborted) continue;
+      if (ww(b, cw)) g.add_edge(static_cast<std::size_t>(wid), static_cast<std::size_t>(cid));
+    }
+  }
+
+  for (std::size_t i = 0; i < c.reads.size(); ++i) {
+    const Event& b = c.events[static_cast<std::size_t>(c.reads[i])];
+    const Event& a = c.events[static_cast<std::size_t>(rf[i])];
+    if (b.txn_begin < 0) continue;
+    for (int cid : c.writes) {
+      if (cid == a.id) continue;
+      const Event& cw = c.events[static_cast<std::size_t>(cid)];
+      if (!ww(a, cw)) continue;
+      // WF10: if the writer is transactional, b precedes every
+      // committed-or-live transactional overwrite of its source.
+      if (a.txn_begin >= 0 && cw.txn_begin >= 0 && !cw.txn_aborted)
+        g.add_edge(static_cast<std::size_t>(b.id), static_cast<std::size_t>(cid));
+      // WF11: b precedes same-transaction overwrites of its source.
+      if (cw.txn_begin >= 0 && cw.txn_begin == b.txn_begin)
+        g.add_edge(static_cast<std::size_t>(b.id), static_cast<std::size_t>(cid));
+    }
+  }
+
+  // WF12 fence choices: fence before the txn's begin, or after its
+  // resolution.
+  for (std::size_t k = 0; k < fence_pairs.size(); ++k) {
+    const auto [fence_id, begin_id] = fence_pairs[k];
+    // Find the resolution event of this begin.
+    int res_id = -1;
+    for (const Event& e : c.events)
+      if ((e.kind == PEvent::Kind::Commit || e.kind == PEvent::Kind::Abort) &&
+          e.txn_begin == begin_id)
+        res_id = e.id;
+    if (fence_choice[k] == 0 && res_id >= 0) {
+      g.add_edge(static_cast<std::size_t>(res_id), static_cast<std::size_t>(fence_id));
+    } else {
+      g.add_edge(static_cast<std::size_t>(fence_id), static_cast<std::size_t>(begin_id));
+    }
+  }
+
+  auto order = g.topo_order();
+  if (!order) return std::nullopt;
+  std::vector<int> program_order;
+  for (std::size_t v : *order)
+    if (static_cast<int>(v) > c.init_commit_id) program_order.push_back(static_cast<int>(v));
+  return program_order;
+}
+
+Trace build_trace(const Candidate& c, const std::vector<int>& order) {
+  Trace t = Trace::with_init(c.num_locs);
+  for (int id : order) {
+    const Event& e = c.events[static_cast<std::size_t>(id)];
+    switch (e.kind) {
+      case PEvent::Kind::Read:
+        t.append(model::make_read(e.thread, e.loc, e.value, e.ts, e.id));
+        break;
+      case PEvent::Kind::Write:
+        t.append(model::make_write(e.thread, e.loc, e.value, e.ts, e.id));
+        break;
+      case PEvent::Kind::Begin:
+        t.append(model::make_begin(e.thread, e.id));
+        break;
+      case PEvent::Kind::Commit:
+        t.append(model::make_commit(e.thread, e.txn_begin, e.id));
+        break;
+      case PEvent::Kind::Abort:
+        t.append(model::make_abort(e.thread, e.txn_begin, e.id));
+        break;
+      case PEvent::Kind::Fence:
+        t.append(model::make_qfence(e.thread, e.loc, e.id));
+        break;
+      case PEvent::Kind::Guard:
+        break;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+GraphEnum::GraphEnum(Program p, model::ModelConfig cfg, EnumOptions opts)
+    : prog_(std::move(p)), cfg_(std::move(cfg)), opts_(opts) {}
+
+void GraphEnum::for_each(const std::function<void(const Execution&)>& fn) {
+  std::vector<std::vector<Path>> paths;
+  paths.reserve(prog_.threads.size());
+  for (const Block& b : prog_.threads) paths.push_back(expand_paths(b));
+
+  std::vector<std::size_t> combo_radices;
+  for (const auto& ps : paths) combo_radices.push_back(ps.size());
+
+  Budget budget(opts_.budget);
+
+  for_each_product(combo_radices, [&](const std::vector<std::size_t>& combo) {
+    Candidate base = build_candidate(prog_, paths, combo);
+    const GuardIndex gi(base);
+
+    // rf candidates per read: any write that is statically compatible.
+    std::vector<std::vector<int>> rf_candidates;
+    for (int rid : base.reads) {
+      const Event& r = base.events[static_cast<std::size_t>(rid)];
+      std::vector<int> cands;
+      for (int wid : base.writes) {
+        const Event& w = base.events[static_cast<std::size_t>(wid)];
+        // Static location filter (dynamic locations checked in replay).
+        if (!w.locx.dynamic() && !r.locx.dynamic() && w.thread != kInitThread &&
+            w.locx.base != r.locx.base)
+          continue;
+        // WF7 visibility: an aborted writer is readable only within its own
+        // transaction.  (All paths end resolved, so there is no live case.)
+        if (w.txn_begin >= 0 && w.txn_aborted && w.txn_begin != r.txn_begin) continue;
+        cands.push_back(wid);
+      }
+      rf_candidates.push_back(std::move(cands));
+    }
+
+    std::vector<std::size_t> rf_radices;
+    for (const auto& cands : rf_candidates) rf_radices.push_back(cands.size());
+
+    for_each_product(rf_radices, [&](const std::vector<std::size_t>& rf_choice) {
+      Candidate cand = base;
+      std::vector<int> rf(rf_choice.size());
+      for (std::size_t i = 0; i < rf_choice.size(); ++i)
+        rf[i] = rf_candidates[i][rf_choice[i]];
+
+      if (!budget.spend()) {
+        stats_.truncated = true;
+        return false;
+      }
+      ++stats_.candidates;
+
+      auto regs = replay(cand, rf, gi);
+      if (!regs) {
+        ++stats_.infeasible;
+        return true;
+      }
+
+      // Group program writes by resolved location for coherence enumeration.
+      std::vector<std::vector<int>> by_loc(static_cast<std::size_t>(cand.num_locs));
+      for (int wid : cand.writes) {
+        const Event& w = cand.events[static_cast<std::size_t>(wid)];
+        if (w.thread == kInitThread) continue;
+        by_loc[static_cast<std::size_t>(w.loc)].push_back(wid);
+      }
+
+      // Fence/transaction ordering decisions.
+      std::vector<std::pair<int, int>> fence_pairs;
+      for (const Event& f : cand.events) {
+        if (f.kind != PEvent::Kind::Fence) continue;
+        for (const Event& b : cand.events) {
+          if (b.kind != PEvent::Kind::Begin || b.thread == kInitThread) continue;
+          // Does this transaction touch the fence's location?
+          bool touches = false;
+          for (const Event& m : cand.events)
+            if (m.txn_begin == b.id && (m.is_read() || m.is_write()) && m.loc == f.loc)
+              touches = true;
+          if (touches) fence_pairs.emplace_back(f.id, b.id);
+        }
+      }
+
+      // Odometer over per-location write permutations and fence choices.
+      // Encode each location's coherence order as a permutation index.
+      std::vector<std::size_t> co_radices;
+      std::vector<std::vector<std::vector<int>>> co_perms(by_loc.size());
+      for (std::size_t x = 0; x < by_loc.size(); ++x) {
+        std::vector<std::vector<int>> perms;
+        std::vector<int> ids = by_loc[x];
+        std::sort(ids.begin(), ids.end());
+        do {
+          perms.push_back(ids);
+        } while (std::next_permutation(ids.begin(), ids.end()));
+        co_radices.push_back(perms.size());
+        co_perms[x] = std::move(perms);
+      }
+      std::vector<std::size_t> fence_radices(fence_pairs.size(), 2);
+
+      std::vector<std::size_t> radices = co_radices;
+      radices.insert(radices.end(), fence_radices.begin(), fence_radices.end());
+
+      for_each_product(radices, [&](const std::vector<std::size_t>& choice) {
+        if (!budget.spend()) {
+          stats_.truncated = true;
+          return false;
+        }
+        ++stats_.candidates;
+
+        // Assign timestamps from coherence positions.
+        for (std::size_t x = 0; x < by_loc.size(); ++x) {
+          const auto& perm = co_perms[x][choice[x]];
+          for (std::size_t k = 0; k < perm.size(); ++k)
+            cand.events[static_cast<std::size_t>(perm[k])].ts =
+                Rational(static_cast<std::int64_t>(k) + 1);
+        }
+        for (std::size_t i = 0; i < cand.reads.size(); ++i) {
+          Event& r = cand.events[static_cast<std::size_t>(cand.reads[i])];
+          r.ts = cand.events[static_cast<std::size_t>(rf[i])].ts;
+        }
+
+        std::vector<std::size_t> fence_choice(choice.begin() +
+                                                  static_cast<std::ptrdiff_t>(co_radices.size()),
+                                              choice.end());
+        auto order = linearize(cand, rf, fence_choice, fence_pairs);
+        if (!order) {
+          ++stats_.unlinearizable;
+          return true;
+        }
+        Trace t = build_trace(cand, *order);
+        if (!model::consistent(t, cfg_)) {
+          ++stats_.inconsistent;
+          return true;
+        }
+        ++stats_.consistent;
+        fn(Execution{std::move(t), *regs});
+        return true;
+      });
+      return !budget.exhausted();
+    });
+    return !budget.exhausted();
+  });
+}
+
+OutcomeSet GraphEnum::outcomes() {
+  OutcomeSet set;
+  for_each([&](const Execution& e) {
+    Outcome o;
+    o.mem.resize(static_cast<std::size_t>(prog_.num_locs));
+    for (Loc x = 0; x < prog_.num_locs; ++x)
+      o.mem[static_cast<std::size_t>(x)] = e.trace.final_value(x);
+    o.regs = e.regs;
+    set.insert(std::move(o));
+  });
+  return set;
+}
+
+OutcomeSet enumerate_outcomes(const Program& p, const model::ModelConfig& cfg,
+                              EnumOptions opts) {
+  GraphEnum e(p, cfg, opts);
+  return e.outcomes();
+}
+
+}  // namespace mtx::lit

@@ -1,0 +1,67 @@
+// Axiomatic execution enumerator.
+//
+// For a litmus program, enumerates every candidate execution:
+//   control paths  x  reads-from choices  x  per-location coherence orders
+//   x  fence/transaction orderings (WF12),
+// resolves values by a replay fixpoint (locations may be register-indexed,
+// so the value flow can cross threads through reads-from), constructs a
+// concrete trace via a WF8-WF11-respecting linearization, and keeps the
+// executions that are well-formed and consistent under the chosen model.
+//
+// This is the engine behind every allowed/forbidden verdict reproduced from
+// the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "litmus/ast.hpp"
+#include "litmus/outcome.hpp"
+#include "litmus/program.hpp"
+#include "model/consistency.hpp"
+
+namespace mtx::lit {
+
+struct EnumOptions {
+  // Upper bound on candidate executions examined (pre-consistency).
+  std::uint64_t budget = 4'000'000;
+};
+
+struct Execution {
+  model::Trace trace;
+  std::vector<std::vector<Value>> regs;  // final registers per thread
+};
+
+struct EnumStats {
+  std::uint64_t candidates = 0;   // (path, rf, co, fence) tuples examined
+  std::uint64_t infeasible = 0;   // failed replay (guards/locs/cyclic values)
+  std::uint64_t unlinearizable = 0;  // no WF-respecting index order
+  std::uint64_t inconsistent = 0;    // failed WF or an axiom
+  std::uint64_t consistent = 0;
+  bool truncated = false;
+};
+
+class GraphEnum {
+ public:
+  GraphEnum(Program p, model::ModelConfig cfg, EnumOptions opts = {});
+
+  // Calls fn for every consistent execution found.
+  void for_each(const std::function<void(const Execution&)>& fn);
+
+  // Deduplicated final-state outcomes of all consistent executions.
+  OutcomeSet outcomes();
+
+  const EnumStats& stats() const { return stats_; }
+
+ private:
+  Program prog_;
+  model::ModelConfig cfg_;
+  EnumOptions opts_;
+  EnumStats stats_;
+};
+
+// One-call helper.
+OutcomeSet enumerate_outcomes(const Program& p, const model::ModelConfig& cfg,
+                              EnumOptions opts = {});
+
+}  // namespace mtx::lit

@@ -1,0 +1,41 @@
+#include "litmus/outcome.hpp"
+
+namespace mtx::lit {
+
+std::string Outcome::str() const {
+  std::string s = "mem[";
+  for (std::size_t x = 0; x < mem.size(); ++x) {
+    if (x) s += ",";
+    s += std::to_string(mem[x]);
+  }
+  s += "]";
+  for (std::size_t t = 0; t < regs.size(); ++t) {
+    s += " t" + std::to_string(t) + "(";
+    for (std::size_t r = 0; r < regs[t].size(); ++r) {
+      if (r) s += ",";
+      s += std::to_string(regs[t][r]);
+    }
+    s += ")";
+  }
+  return s;
+}
+
+bool OutcomeSet::any(const std::function<bool(const Outcome&)>& pred) const {
+  for (const Outcome& o : outcomes_)
+    if (pred(o)) return true;
+  return false;
+}
+
+bool OutcomeSet::all(const std::function<bool(const Outcome&)>& pred) const {
+  for (const Outcome& o : outcomes_)
+    if (!pred(o)) return false;
+  return true;
+}
+
+std::string OutcomeSet::str() const {
+  std::string s;
+  for (const Outcome& o : outcomes_) s += o.str() + "\n";
+  return s;
+}
+
+}  // namespace mtx::lit

@@ -1,0 +1,47 @@
+// Final-state outcomes of litmus executions: the final value of every
+// location (over committed/plain writes) plus every thread's final register
+// file.  OutcomeSet is the set of outcomes of all consistent executions of a
+// program under a model; verdicts ("allowed"/"forbidden") are queries on it.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model/action.hpp"
+
+namespace mtx::lit {
+
+using model::Value;
+
+struct Outcome {
+  std::vector<Value> mem;                // [loc]
+  std::vector<std::vector<Value>> regs;  // [thread][reg]
+
+  friend auto operator<=>(const Outcome&, const Outcome&) = default;
+
+  Value reg(std::size_t thread, std::size_t r) const { return regs[thread][r]; }
+  Value loc(std::size_t x) const { return mem[x]; }
+
+  std::string str() const;
+};
+
+class OutcomeSet {
+ public:
+  void insert(Outcome o) { outcomes_.insert(std::move(o)); }
+  std::size_t size() const { return outcomes_.size(); }
+  bool empty() const { return outcomes_.empty(); }
+
+  bool any(const std::function<bool(const Outcome&)>& pred) const;
+  bool all(const std::function<bool(const Outcome&)>& pred) const;
+
+  const std::set<Outcome>& outcomes() const { return outcomes_; }
+
+  std::string str() const;
+
+ private:
+  std::set<Outcome> outcomes_;
+};
+
+}  // namespace mtx::lit

@@ -1,0 +1,194 @@
+#include "litmus/program.hpp"
+
+#include <stdexcept>
+
+namespace mtx::lit {
+
+namespace {
+
+PEvent guard_event(const Cond& c, bool expected) {
+  PEvent e;
+  e.kind = PEvent::Kind::Guard;
+  e.cond = c;
+  e.expected = expected;
+  return e;
+}
+
+// A partially expanded path.  `aborting` is set while an abort is
+// propagating: it swallows the remaining statements of the *enclosing
+// atomic block* only — the Atomic expansion closes it off, so statements
+// after the atomic block still run.
+struct Partial {
+  Path events;
+  bool aborting = false;
+};
+
+// Expands a block into paths.  `in_atomic` governs legality of abort/fence.
+std::vector<Partial> expand_block(const Block& block, bool in_atomic);
+
+std::vector<Partial> concat_each(const std::vector<Partial>& prefixes,
+                                 const std::vector<Partial>& suffixes) {
+  std::vector<Partial> out;
+  out.reserve(prefixes.size() * suffixes.size());
+  for (const Partial& pre : prefixes) {
+    if (pre.aborting) {
+      // An aborting path swallows the rest of the enclosing block.
+      out.push_back(pre);
+      continue;
+    }
+    for (const Partial& suf : suffixes) {
+      Partial p = pre;
+      p.events.insert(p.events.end(), suf.events.begin(), suf.events.end());
+      p.aborting = suf.aborting;
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<Partial> expand_stmt(const Stmt& s, bool in_atomic) {
+  switch (s.kind) {
+    case Stmt::Kind::Read: {
+      PEvent e;
+      e.kind = PEvent::Kind::Read;
+      e.reg = s.reg;
+      e.loc = s.loc;
+      return {{{e}, false}};
+    }
+    case Stmt::Kind::Write: {
+      PEvent e;
+      e.kind = PEvent::Kind::Write;
+      e.loc = s.loc;
+      e.value = s.value;
+      return {{{e}, false}};
+    }
+    case Stmt::Kind::Abort: {
+      if (!in_atomic) throw std::invalid_argument("abort outside atomic");
+      PEvent e;
+      e.kind = PEvent::Kind::Abort;
+      return {{{e}, true}};
+    }
+    case Stmt::Kind::Fence: {
+      if (in_atomic) throw std::invalid_argument("qfence inside atomic");
+      PEvent e;
+      e.kind = PEvent::Kind::Fence;
+      e.loc = s.loc;
+      return {{{e}, false}};
+    }
+    case Stmt::Kind::Atomic: {
+      if (in_atomic) throw std::invalid_argument("nested atomic");
+      std::vector<Partial> out;
+      for (const Partial& body : expand_block(s.body, /*in_atomic=*/true)) {
+        Partial p;
+        PEvent b;
+        b.kind = PEvent::Kind::Begin;
+        p.events.push_back(b);
+        p.events.insert(p.events.end(), body.events.begin(), body.events.end());
+        // Abort, if present, already ends the transaction; otherwise commit.
+        // Either way the atomic block is over: control continues after it.
+        if (!body.aborting) {
+          PEvent c;
+          c.kind = PEvent::Kind::Commit;
+          p.events.push_back(c);
+        }
+        p.aborting = false;
+        out.push_back(std::move(p));
+      }
+      return out;
+    }
+    case Stmt::Kind::If: {
+      std::vector<Partial> out;
+      for (Partial p : expand_block(s.body, in_atomic)) {
+        p.events.insert(p.events.begin(), guard_event(s.cond, true));
+        out.push_back(std::move(p));
+      }
+      // expand_block({}) yields one empty path, so an absent else branch
+      // still contributes the negative-guard path.
+      for (Partial p : expand_block(s.else_body, in_atomic)) {
+        p.events.insert(p.events.begin(), guard_event(s.cond, false));
+        out.push_back(std::move(p));
+      }
+      return out;
+    }
+    case Stmt::Kind::While: {
+      // 0..bound iterations; the loop must exit (bounded model), so each
+      // path ends with the negative guard.
+      std::vector<Partial> out;
+      const std::vector<Partial> body = expand_block(s.body, in_atomic);
+      std::vector<Partial> prefixes = {{}};
+      for (int iter = 0; iter <= s.bound; ++iter) {
+        for (const Partial& pre : prefixes) {
+          if (pre.aborting) {
+            out.push_back(pre);
+            continue;
+          }
+          Partial done = pre;
+          done.events.push_back(guard_event(s.cond, false));
+          out.push_back(std::move(done));
+        }
+        if (iter == s.bound) break;
+        std::vector<Partial> next;
+        for (const Partial& pre : prefixes) {
+          if (pre.aborting) continue;
+          for (const Partial& b : body) {
+            Partial p = pre;
+            p.events.push_back(guard_event(s.cond, true));
+            p.events.insert(p.events.end(), b.events.begin(), b.events.end());
+            p.aborting = b.aborting;
+            next.push_back(std::move(p));
+          }
+        }
+        prefixes = std::move(next);
+        if (prefixes.empty()) break;
+      }
+      return out;
+    }
+  }
+  return {{}};
+}
+
+std::vector<Partial> expand_block(const Block& block, bool in_atomic) {
+  std::vector<Partial> acc = {{}};
+  for (const Stmt& s : block) acc = concat_each(acc, expand_stmt(s, in_atomic));
+  return acc;
+}
+
+}  // namespace
+
+std::vector<Path> expand_paths(const Block& block) {
+  std::vector<Path> out;
+  for (Partial& p : expand_block(block, /*in_atomic=*/false))
+    out.push_back(std::move(p.events));
+  return out;
+}
+
+std::size_t action_count(const Path& p) {
+  std::size_t n = 0;
+  for (const PEvent& e : p)
+    if (e.is_action()) ++n;
+  return n;
+}
+
+std::string path_str(const Path& p) {
+  std::string out;
+  for (const PEvent& e : p) {
+    switch (e.kind) {
+      case PEvent::Kind::Read:
+        out += "R(r" + std::to_string(e.reg) + ",x" + std::to_string(e.loc.base) + ") ";
+        break;
+      case PEvent::Kind::Write:
+        out += "W(x" + std::to_string(e.loc.base) + ") ";
+        break;
+      case PEvent::Kind::Begin: out += "B "; break;
+      case PEvent::Kind::Commit: out += "C "; break;
+      case PEvent::Kind::Abort: out += "A "; break;
+      case PEvent::Kind::Fence: out += "Q(x" + std::to_string(e.loc.base) + ") "; break;
+      case PEvent::Kind::Guard:
+        out += std::string("G(") + (e.expected ? "+" : "-") + ") ";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mtx::lit

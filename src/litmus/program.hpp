@@ -1,0 +1,40 @@
+// Control-path expansion: each thread's statement block expands into the
+// finite set of straight-line paths through its branches and bounded loops.
+// A path is a sequence of primitive events; Guard events record the branch
+// conditions that must evaluate a particular way for the path to be taken
+// (checked later, once reads-from choices fix register values).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "litmus/ast.hpp"
+
+namespace mtx::lit {
+
+struct PEvent {
+  enum class Kind { Read, Write, Begin, Commit, Abort, Fence, Guard };
+  Kind kind = Kind::Guard;
+
+  int reg = -1;       // Read target
+  LocExpr loc;        // Read/Write/Fence
+  Expr value;         // Write
+  Cond cond;          // Guard condition ...
+  bool expected = true;  // ... and the branch direction taken
+
+  bool is_action() const { return kind != Kind::Guard; }
+};
+
+using Path = std::vector<PEvent>;
+
+// All control paths through a thread's block.  Throws std::invalid_argument
+// on malformed programs (abort outside atomic, fence inside atomic, nested
+// atomic).
+std::vector<Path> expand_paths(const Block& block);
+
+// Number of non-Guard events in a path.
+std::size_t action_count(const Path& p);
+
+std::string path_str(const Path& p);
+
+}  // namespace mtx::lit

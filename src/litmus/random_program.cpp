@@ -1,0 +1,56 @@
+#include "litmus/random_program.hpp"
+
+namespace mtx::lit {
+
+namespace {
+
+Stmt random_access(Rng& rng, const RandomProgramParams& p, int& next_reg) {
+  const Loc x = static_cast<Loc>(rng.below(static_cast<std::uint64_t>(p.locs)));
+  if (rng.chance(1, 2) && next_reg < kMaxRegs) {
+    return read(next_reg++, at(x));
+  }
+  return write(at(x), static_cast<Value>(1 + rng.below(3)));
+}
+
+}  // namespace
+
+Program random_program(Rng& rng, const RandomProgramParams& p) {
+  Program prog;
+  prog.name = "random";
+  prog.num_locs = p.locs;
+
+  for (int t = 0; t < p.threads; ++t) {
+    Block thread_block;
+    int next_reg = 0;
+    for (int s = 0; s < p.stmts_per_thread; ++s) {
+      if (rng.chance(p.atomic_percent, 100)) {
+        Block body;
+        const int body_len = 1 + static_cast<int>(rng.below(
+                                     static_cast<std::uint64_t>(p.max_atomic_body)));
+        for (int i = 0; i < body_len; ++i) {
+          if (next_reg > 0 && rng.chance(p.branch_percent, 100)) {
+            const int guard_reg = static_cast<int>(
+                rng.below(static_cast<std::uint64_t>(next_reg)));
+            Block then_b = {random_access(rng, p, next_reg)};
+            body.push_back(if_then(eq(guard_reg, 0), std::move(then_b)));
+          } else {
+            body.push_back(random_access(rng, p, next_reg));
+          }
+        }
+        if (rng.chance(p.abort_percent, 100)) body.push_back(abort_stmt());
+        thread_block.push_back(atomic(std::move(body)));
+      } else if (next_reg > 0 && rng.chance(p.branch_percent, 100)) {
+        const int guard_reg =
+            static_cast<int>(rng.below(static_cast<std::uint64_t>(next_reg)));
+        Block then_b = {random_access(rng, p, next_reg)};
+        thread_block.push_back(if_then(ne(guard_reg, 0), std::move(then_b)));
+      } else {
+        thread_block.push_back(random_access(rng, p, next_reg));
+      }
+    }
+    prog.add_thread(std::move(thread_block));
+  }
+  return prog;
+}
+
+}  // namespace mtx::lit

@@ -1,0 +1,23 @@
+// Random litmus-program generator for differential model testing: small
+// programs over a few locations mixing plain accesses, transactions,
+// conditional branches and occasional aborts.  Deterministic per seed.
+#pragma once
+
+#include "litmus/ast.hpp"
+#include "substrate/rng.hpp"
+
+namespace mtx::lit {
+
+struct RandomProgramParams {
+  int threads = 2;
+  int locs = 2;
+  int stmts_per_thread = 3;     // top-level statements
+  unsigned atomic_percent = 45;  // top-level statement is an atomic block
+  unsigned abort_percent = 15;   // an atomic block ends with abort
+  unsigned branch_percent = 20;  // a body statement is an if on a prior read
+  int max_atomic_body = 3;
+};
+
+Program random_program(Rng& rng, const RandomProgramParams& params);
+
+}  // namespace mtx::lit

@@ -1,0 +1,315 @@
+#include "litmus/trace_enum.hpp"
+
+#include <algorithm>
+
+#include "substrate/enumerate.hpp"
+
+namespace mtx::lit {
+
+using model::Action;
+using model::Analysis;
+using model::Loc;
+using model::Trace;
+using mtx::Rational;
+
+namespace {
+
+// Candidate timestamps for a new write to x: strictly between existing
+// same-location stamps, or after the last one.  (Slots before the initial
+// write's 0 are omitted: Coherence rejects them against init anyway.)
+std::vector<Rational> ts_slots(const Trace& t, Loc x) {
+  std::vector<Rational> existing;
+  for (std::size_t i = 0; i < t.size(); ++i)
+    if (t[i].is_write() && t[i].loc == x) existing.push_back(t[i].ts);
+  std::sort(existing.begin(), existing.end());
+  std::vector<Rational> slots;
+  if (existing.empty()) {
+    slots.push_back(Rational(1));
+    return slots;
+  }
+  for (std::size_t i = 0; i + 1 < existing.size(); ++i)
+    slots.push_back(Rational::midpoint(existing[i], existing[i + 1]));
+  slots.push_back(existing.back() + Rational(1));
+  return slots;
+}
+
+}  // namespace
+
+TraceEnum::TraceEnum(Program p, model::ModelConfig cfg, TraceEnumOptions opts)
+    : prog_(std::move(p)), cfg_(std::move(cfg)), opts_(opts) {
+  paths_.reserve(prog_.threads.size());
+  for (const Block& b : prog_.threads) paths_.push_back(expand_paths(b));
+}
+
+bool TraceEnum::try_child(Trace trace, std::vector<ThreadState> st,
+                          const Visitor& v, bool& stop) {
+  if (nodes_left_ == 0) {
+    truncated_ = true;
+    stop = true;
+    return false;
+  }
+  --nodes_left_;
+  const Analysis a = model::analyze(trace, cfg_);
+  if (!a.consistent()) return false;
+  switch (v(trace, a, trace.size() - 1)) {
+    case Visit::Stop:
+      stop = true;
+      return false;
+    case Visit::Prune:
+      return true;
+    case Visit::Continue:
+      break;
+  }
+  dfs(trace, st, v, stop);
+  return true;
+}
+
+void TraceEnum::dfs(Trace& trace, std::vector<ThreadState>& st, const Visitor& v,
+                    bool& stop) {
+  for (std::size_t t = 0; t < st.size() && !stop; ++t) {
+    ThreadState& ts = st[t];
+    const Path& path = paths_[t][ts.path];
+
+    // Consume guards to find the next action; a failed guard blocks this
+    // thread in this control path (the sibling path covers the other
+    // branch).
+    std::size_t pos = ts.pos;
+    bool blocked = false;
+    while (pos < path.size() && path[pos].kind == PEvent::Kind::Guard) {
+      if (path[pos].cond.eval(ts.regs) != path[pos].expected) {
+        blocked = true;
+        break;
+      }
+      ++pos;
+    }
+    if (blocked || pos >= path.size()) continue;
+    const PEvent& e = path[pos];
+
+    auto child_state = [&](std::size_t new_pos) {
+      std::vector<ThreadState> ns = st;
+      ns[t].pos = new_pos;
+      return ns;
+    };
+
+    switch (e.kind) {
+      case PEvent::Kind::Read: {
+        const Loc x = e.loc.eval(ts.regs);
+        if (x < 0 || x >= prog_.num_locs) break;
+        // Candidate fulfilling writes already in the trace.
+        const int open_idx =
+            ts.open_begin_name >= 0 ? trace.index_of_name(ts.open_begin_name) : -1;
+        for (std::size_t w = 0; w < trace.size(); ++w) {
+          if (!trace[w].is_write() || trace[w].loc != x) continue;
+          // WF7: aborted/live writers only visible within their own txn.
+          if ((trace.aborted(w) || trace.live(w)) &&
+              trace.txn_of(w) != open_idx)
+            continue;
+          Trace child = trace;
+          child.append(model::make_read(static_cast<int>(t), x, trace[w].value,
+                                        trace[w].ts));
+          std::vector<ThreadState> ns = child_state(pos + 1);
+          ns[t].regs[static_cast<std::size_t>(e.reg)] = trace[w].value;
+          if (!try_child(std::move(child), std::move(ns), v, stop) && stop) return;
+        }
+        break;
+      }
+      case PEvent::Kind::Write: {
+        const Loc x = e.loc.eval(ts.regs);
+        if (x < 0 || x >= prog_.num_locs) break;
+        const Value val = e.value.eval(ts.regs);
+        for (const Rational& slot : ts_slots(trace, x)) {
+          Trace child = trace;
+          child.append(model::make_write(static_cast<int>(t), x, val, slot));
+          if (!try_child(std::move(child), child_state(pos + 1), v, stop) && stop)
+            return;
+        }
+        break;
+      }
+      case PEvent::Kind::Begin: {
+        Trace child = trace;
+        const int idx = child.append(model::make_begin(static_cast<int>(t)));
+        std::vector<ThreadState> ns = child_state(pos + 1);
+        ns[t].open_begin_name = child[static_cast<std::size_t>(idx)].name;
+        if (!try_child(std::move(child), std::move(ns), v, stop) && stop) return;
+        break;
+      }
+      case PEvent::Kind::Commit:
+      case PEvent::Kind::Abort: {
+        Trace child = trace;
+        if (e.kind == PEvent::Kind::Commit)
+          child.append(model::make_commit(static_cast<int>(t), ts.open_begin_name));
+        else
+          child.append(model::make_abort(static_cast<int>(t), ts.open_begin_name));
+        std::vector<ThreadState> ns = child_state(pos + 1);
+        ns[t].open_begin_name = -1;
+        if (!try_child(std::move(child), std::move(ns), v, stop) && stop) return;
+        break;
+      }
+      case PEvent::Kind::Fence: {
+        Trace child = trace;
+        child.append(model::make_qfence(static_cast<int>(t), e.loc.base));
+        if (!try_child(std::move(child), child_state(pos + 1), v, stop) && stop)
+          return;
+        break;
+      }
+      case PEvent::Kind::Guard:
+        break;
+    }
+  }
+}
+
+void TraceEnum::explore(const Visitor& v) {
+  nodes_left_ = opts_.node_budget;
+  truncated_ = false;
+  std::vector<std::size_t> radices;
+  for (const auto& ps : paths_) radices.push_back(ps.size());
+  bool stop = false;
+  for_each_product(radices, [&](const std::vector<std::size_t>& combo) {
+    Trace trace = Trace::with_init(prog_.num_locs);
+    std::vector<ThreadState> st(prog_.threads.size());
+    for (std::size_t t = 0; t < st.size(); ++t) st[t].path = combo[t];
+    const Analysis a = model::analyze(trace, cfg_);
+    switch (v(trace, a, static_cast<std::size_t>(-1))) {
+      case Visit::Stop: return false;
+      case Visit::Prune: return true;
+      case Visit::Continue: break;
+    }
+    dfs(trace, st, v, stop);
+    return !stop;
+  });
+}
+
+bool TraceEnum::replay(const Trace& base, std::vector<ThreadState>& st) const {
+  const std::size_t init_len = static_cast<std::size_t>(prog_.num_locs) + 2;
+  if (base.size() < init_len) return false;
+  for (std::size_t i = init_len; i < base.size(); ++i) {
+    const Action& a = base[i];
+    const std::size_t t = static_cast<std::size_t>(a.thread);
+    if (t >= st.size()) return false;
+    ThreadState& ts = st[t];
+    const Path& path = paths_[t][ts.path];
+    // Consume guards.
+    while (ts.pos < path.size() && path[ts.pos].kind == PEvent::Kind::Guard) {
+      if (path[ts.pos].cond.eval(ts.regs) != path[ts.pos].expected) return false;
+      ++ts.pos;
+    }
+    if (ts.pos >= path.size()) return false;
+    const PEvent& e = path[ts.pos];
+    switch (a.kind) {
+      case model::Kind::Read:
+        if (e.kind != PEvent::Kind::Read || e.loc.eval(ts.regs) != a.loc)
+          return false;
+        ts.regs[static_cast<std::size_t>(e.reg)] = a.value;
+        break;
+      case model::Kind::Write:
+        if (e.kind != PEvent::Kind::Write || e.loc.eval(ts.regs) != a.loc ||
+            e.value.eval(ts.regs) != a.value)
+          return false;
+        break;
+      case model::Kind::Begin:
+        if (e.kind != PEvent::Kind::Begin) return false;
+        ts.open_begin_name = a.name;
+        break;
+      case model::Kind::Commit:
+        if (e.kind != PEvent::Kind::Commit || a.peer != ts.open_begin_name)
+          return false;
+        ts.open_begin_name = -1;
+        break;
+      case model::Kind::Abort:
+        if (e.kind != PEvent::Kind::Abort || a.peer != ts.open_begin_name)
+          return false;
+        ts.open_begin_name = -1;
+        break;
+      case model::Kind::QFence:
+        if (e.kind != PEvent::Kind::Fence || e.loc.base != a.loc) return false;
+        break;
+    }
+    ++ts.pos;
+  }
+  return true;
+}
+
+void TraceEnum::explore_from(const Trace& base, const Visitor& v) {
+  nodes_left_ = opts_.node_budget;
+  truncated_ = false;
+  std::vector<std::size_t> radices;
+  for (const auto& ps : paths_) radices.push_back(ps.size());
+  bool stop = false;
+  for_each_product(radices, [&](const std::vector<std::size_t>& combo) {
+    std::vector<ThreadState> st(prog_.threads.size());
+    for (std::size_t t = 0; t < st.size(); ++t) st[t].path = combo[t];
+    if (!replay(base, st)) return true;  // base unreachable on this combo
+    Trace trace = base;
+    const Analysis a = model::analyze(trace, cfg_);
+    if (!a.consistent()) return true;
+    switch (v(trace, a, static_cast<std::size_t>(-1))) {
+      case Visit::Stop: return false;
+      case Visit::Prune: return true;
+      case Visit::Continue: break;
+    }
+    dfs(trace, st, v, stop);
+    return !stop;
+  });
+}
+
+std::vector<Trace> TraceEnum::all_traces() {
+  std::vector<Trace> out;
+  explore([&](const Trace& t, const Analysis&, std::size_t) {
+    out.push_back(t);
+    return Visit::Continue;
+  });
+  return out;
+}
+
+bool TraceEnum::is_L_stable(const Trace& sigma, const model::LocSet& L) {
+  const std::size_t base_len = sigma.size();
+  bool stable = true;
+  explore_from(sigma, [&](const Trace& t, const Analysis& an, std::size_t appended) {
+    if (appended == static_cast<std::size_t>(-1)) return Visit::Continue;
+    // Stability quantifies over L-sequential extensions only; an L-weak
+    // action ends consideration of this branch (its extensions contain it
+    // too).  L-sequentiality of an action never changes as the trace grows,
+    // so pruning at the first weak action is sound.
+    if (model::is_L_weak_action(t, appended, L)) return Visit::Prune;
+    for (std::size_t a = 0; a < base_len; ++a) {
+      if (model::is_l_race(t, an.hb, a, appended, L)) {
+        stable = false;
+        return Visit::Stop;
+      }
+    }
+    return Visit::Continue;
+  });
+  return stable;
+}
+
+bool TraceEnum::is_transactionally_L_stable(const Trace& sigma,
+                                            const model::LocSet& L) {
+  if (!model::all_transactions_contiguous(sigma)) return false;
+  if (!model::all_transactions_resolved(sigma)) return false;
+  if (!is_L_stable(sigma, L)) return false;
+
+  // Future-proofing: no extension may contain a transactional action phi
+  // touching L with an xrw antidependency between phi and some psi in
+  // sigma, in either direction.  psi xrw phi: a new conflicting
+  // transactional write would have to serialize before resolution of
+  // sigma's reads.  phi xrw psi: a new transactional read antidepends on a
+  // write inside sigma, so linearizing it sequentially would require
+  // removing sigma's transaction (Example A.1's forbidden decomposition).
+  const std::size_t base_len = sigma.size();
+  bool ok = true;
+  explore_from(sigma, [&](const Trace& t, const Analysis& an, std::size_t appended) {
+    if (appended == static_cast<std::size_t>(-1)) return Visit::Continue;
+    if (t.transactional(appended) && model::touches_locset(t[appended], L)) {
+      for (std::size_t psi = 0; psi < base_len; ++psi) {
+        if (an.rel.xrw.test(psi, appended) || an.rel.xrw.test(appended, psi)) {
+          ok = false;
+          return Visit::Stop;
+        }
+      }
+    }
+    return Visit::Continue;
+  });
+  return ok;
+}
+
+}  // namespace mtx::lit

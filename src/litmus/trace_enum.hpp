@@ -1,0 +1,96 @@
+// DFS trace enumerator.
+//
+// Where GraphEnum enumerates complete executions, TraceEnum walks the set of
+// *traces* of a program: every consistent interleaved prefix, including
+// traces with live (unresolved) transactions.  This is the program semantics
+// Sigma of §4, which the LTRF definitions (L-stability, transactional
+// L-stability, the SC-LTRF theorem) quantify over.
+//
+// The walk appends one action at a time, choosing for reads a fulfilling
+// write already in the trace (reads cannot see the future, WF8) and for
+// writes a timestamp slot among the existing same-location timestamps
+// (rational timestamps always leave room).  Every node is checked for
+// well-formedness and consistency; inconsistent prefixes are pruned, which
+// is sound because all the axioms are monotone in the trace extension
+// ordering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "litmus/ast.hpp"
+#include "litmus/program.hpp"
+#include "model/consistency.hpp"
+#include "model/race.hpp"
+#include "model/sequentiality.hpp"
+
+namespace mtx::lit {
+
+struct TraceEnumOptions {
+  std::uint64_t node_budget = 2'000'000;
+};
+
+class TraceEnum {
+ public:
+  enum class Visit {
+    Continue,  // keep exploring extensions of this trace
+    Prune,     // do not extend this trace (siblings continue)
+    Stop,      // abandon the whole exploration
+  };
+
+  // Called for every consistent trace visited.  `appended` is the index of
+  // the action just appended (SIZE_MAX for the exploration root).  The same
+  // trace may be visited more than once when control paths share prefixes.
+  using Visitor = std::function<Visit(const model::Trace&, const model::Analysis&,
+                                      std::size_t appended)>;
+
+  TraceEnum(Program p, model::ModelConfig cfg, TraceEnumOptions opts = {});
+
+  // Explore all consistent traces from the initial state.
+  void explore(const Visitor& v);
+
+  // Explore all consistent extensions of `base` (which must be a trace of
+  // this program; otherwise nothing is visited).
+  void explore_from(const model::Trace& base, const Visitor& v);
+
+  // Convenience: collect all complete+partial traces (may contain
+  // duplicates across control paths).
+  std::vector<model::Trace> all_traces();
+
+  // §4: sigma is L-stable iff no L-sequential extension tau has an L-race
+  // between an action of tau and an action of sigma.
+  bool is_L_stable(const model::Trace& sigma, const model::LocSet& L);
+
+  // §4: transactionally L-stable: L-stable, all transactions contiguous and
+  // resolved, and no extension contains a transactional action phi touching
+  // L with psi xrw phi for some psi in sigma ("future proofing").
+  bool is_transactionally_L_stable(const model::Trace& sigma, const model::LocSet& L);
+
+  bool truncated() const { return truncated_; }
+
+ private:
+  struct ThreadState {
+    std::size_t path = 0;  // chosen control path
+    std::size_t pos = 0;   // next event within the path
+    std::vector<Value> regs = std::vector<Value>(kMaxRegs, 0);
+    int open_begin_name = -1;  // name of the open transaction's begin
+  };
+
+  void dfs(model::Trace& trace, std::vector<ThreadState>& st, const Visitor& v,
+           bool& stop);
+  bool try_child(model::Trace trace, std::vector<ThreadState> st,
+                 const Visitor& v, bool& stop);
+
+  // Replays `base` under the given path combination; returns the thread
+  // states, or nothing when the combination cannot produce `base`.
+  bool replay(const model::Trace& base, std::vector<ThreadState>& st) const;
+
+  Program prog_;
+  model::ModelConfig cfg_;
+  TraceEnumOptions opts_;
+  std::vector<std::vector<Path>> paths_;
+  std::uint64_t nodes_left_ = 0;
+  bool truncated_ = false;
+};
+
+}  // namespace mtx::lit

@@ -1,0 +1,163 @@
+#include "ltrf/metatheory.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace mtx::ltrf {
+
+using model::Action;
+using model::Analysis;
+using model::Loc;
+using model::ModelConfig;
+using model::Trace;
+using mtx::Rational;
+
+bool aborted_erasure_preserves_consistency(const Trace& t, const ModelConfig& cfg) {
+  if (!model::consistent(t, cfg)) return true;  // vacuous
+  return model::consistent(t.without_aborted(), cfg);
+}
+
+bool contiguous_permutation_ok(const Trace& t, const ModelConfig& cfg) {
+  if (!model::consistent(t, cfg)) return true;  // vacuous
+  auto perm = model::contiguous_permutation(t, cfg);
+  if (!perm) return false;
+  if (!model::is_order_preserving_permutation(t, *perm)) return false;
+  if (!model::all_transactions_contiguous(*perm)) return false;
+  return model::consistent(*perm, cfg);
+}
+
+bool lemma_5_1_holds(const Trace& t) {
+  const ModelConfig impl = ModelConfig::implementation();
+  const Analysis an = model::analyze(t, impl);
+  if (!an.consistent()) return true;             // vacuous
+  if (model::has_mixed_race(t, an.hb)) return true;  // vacuous
+  return model::consistent(t.without_qfences(), ModelConfig::programmer());
+}
+
+WeakRaceStatus weak_action_race_status(const Trace& t, const BitRel& hb,
+                                       std::size_t c, const model::LocSet& L) {
+  if (model::is_L_sequential_action(t, c, L)) return WeakRaceStatus::NotWeak;
+
+  // An action of an aborted transaction can never be in an L-race
+  // (L-conflict requires both sides nonaborted), so the lemma's promise
+  // does not extend to it.
+  if (t.aborted(c)) return WeakRaceStatus::AbortedOnly;
+
+  // Offending earlier writes: those whose timestamps make c weak.
+  bool any_nonaborted_offender = false;
+  bool any_mixed_offender = false;  // at least one side plain: race possible
+  bool race_found = false;
+  const Action& ac = t[c];
+  for (std::size_t b = 0; b < c; ++b) {
+    const Action& ab = t[b];
+    if (!ab.is_write() || ab.loc != ac.loc) continue;
+    if (!(ac.ts < ab.ts)) continue;  // not an offender
+    if (t.aborted(b)) continue;
+    any_nonaborted_offender = true;
+    if (t.plain(b) || t.plain(c)) any_mixed_offender = true;
+    if (model::is_l_race(t, hb, b, c, L)) race_found = true;
+  }
+  if (race_found) return WeakRaceStatus::HasRace;
+  if (!any_nonaborted_offender) return WeakRaceStatus::AbortedOnly;
+  if (!any_mixed_offender) return WeakRaceStatus::TransactionalPair;
+  return WeakRaceStatus::NoRace;
+}
+
+namespace {
+
+// One random step candidate applied to a trace; returns true if the result
+// stays consistent (in which case t is updated).
+bool try_append(Trace& t, const Action& a, const ModelConfig& cfg) {
+  Trace child = t;
+  child.append(a);
+  if (!model::consistent(child, cfg)) return false;
+  t = std::move(child);
+  return true;
+}
+
+}  // namespace
+
+Trace random_consistent_trace(Rng& rng, const RandomTraceParams& params,
+                              const ModelConfig& cfg) {
+  Trace t = Trace::with_init(params.locs);
+  std::vector<int> open_begin(static_cast<std::size_t>(params.threads), -1);
+
+  int appended = 0;
+  int attempts = 0;
+  const int max_attempts = params.actions * 12;
+  while (appended < params.actions && attempts < max_attempts) {
+    ++attempts;
+    const int thread = static_cast<int>(rng.below(static_cast<std::uint64_t>(params.threads)));
+    const std::size_t tid = static_cast<std::size_t>(thread);
+    const Loc x = static_cast<Loc>(rng.below(static_cast<std::uint64_t>(params.locs)));
+
+    // Choose a step: open/close transactions, fence, or a memory access.
+    if (open_begin[tid] < 0 && rng.chance(params.txn_percent, 100)) {
+      if (try_append(t, model::make_begin(thread), cfg)) {
+        open_begin[tid] = t[t.size() - 1].name;
+        ++appended;
+      }
+      continue;
+    }
+    if (open_begin[tid] >= 0 && rng.chance(30, 100)) {
+      const bool abort = rng.chance(params.abort_percent, 100);
+      const Action a = abort ? model::make_abort(thread, open_begin[tid])
+                             : model::make_commit(thread, open_begin[tid]);
+      if (try_append(t, a, cfg)) {
+        open_begin[tid] = -1;
+        ++appended;
+      }
+      continue;
+    }
+    if (open_begin[tid] < 0 && params.fence_percent > 0 &&
+        rng.chance(params.fence_percent, 100)) {
+      if (try_append(t, model::make_qfence(thread, x), cfg)) ++appended;
+      continue;
+    }
+
+    if (rng.chance(params.write_percent, 100)) {
+      // Random timestamp slot among existing writes to x.
+      std::vector<Rational> existing;
+      for (std::size_t i = 0; i < t.size(); ++i)
+        if (t[i].is_write() && t[i].loc == x) existing.push_back(t[i].ts);
+      std::sort(existing.begin(), existing.end());
+      std::vector<Rational> slots;
+      for (std::size_t i = 0; i + 1 < existing.size(); ++i)
+        slots.push_back(Rational::midpoint(existing[i], existing[i + 1]));
+      slots.push_back((existing.empty() ? Rational(0) : existing.back()) + Rational(1));
+      const Rational ts = slots[rng.below(slots.size())];
+      const model::Value v = static_cast<model::Value>(rng.below(5));
+      if (try_append(t, model::make_write(thread, x, v, ts), cfg)) ++appended;
+    } else {
+      // Random visible write to read from.
+      std::vector<std::size_t> cands;
+      const int open_idx =
+          open_begin[tid] >= 0 ? t.index_of_name(open_begin[tid]) : -1;
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!t[i].is_write() || t[i].loc != x) continue;
+        if ((t.aborted(i) || t.live(i)) && t.txn_of(i) != open_idx) continue;
+        cands.push_back(i);
+      }
+      if (cands.empty()) continue;
+      const std::size_t w = cands[rng.below(cands.size())];
+      if (try_append(t, model::make_read(thread, x, t[w].value, t[w].ts), cfg))
+        ++appended;
+    }
+  }
+
+  // Resolve any transactions still open so callers get resolved traces
+  // most of the time (leave live occasionally for coverage).
+  for (std::size_t tid = 0; tid < open_begin.size(); ++tid) {
+    if (open_begin[tid] < 0) continue;
+    if (rng.chance(80, 100)) {
+      const bool abort = rng.chance(params.abort_percent, 100);
+      const Action a = abort
+                           ? model::make_abort(static_cast<int>(tid), open_begin[tid])
+                           : model::make_commit(static_cast<int>(tid), open_begin[tid]);
+      try_append(t, a, cfg);
+    }
+  }
+  return t;
+}
+
+}  // namespace mtx::ltrf

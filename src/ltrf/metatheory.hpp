@@ -1,0 +1,73 @@
+// Executable checks for the paper's supporting metatheory:
+//
+//   Theorem 4.2   consistency is preserved by erasing aborted transactions
+//   Lemma A.4     an L-weak action in a consistent trace has an earlier
+//                 L-race partner (up to the aborted-write caveat; see
+//                 weak_action_race_status)
+//   Lemma A.5     every consistent trace with resolved transactions has an
+//                 order-preserving permutation with contiguous transactions
+//   Lemma 5.1     implementation-model consistency without mixed races
+//                 implies programmer-model consistency (after dropping
+//                 fences)
+//
+// plus the randomized trace generator used by the property-test suites.
+#pragma once
+
+#include "model/closure.hpp"
+#include "model/consistency.hpp"
+#include "model/race.hpp"
+#include "model/sequentiality.hpp"
+#include "substrate/rng.hpp"
+
+namespace mtx::ltrf {
+
+// Theorem 4.2: if t is consistent under cfg then so is t.without_aborted().
+bool aborted_erasure_preserves_consistency(const model::Trace& t,
+                                           const model::ModelConfig& cfg);
+
+// Lemma A.5: contiguous_permutation(t) exists, is an order-preserving
+// permutation of t, is consistent, and has contiguous transactions.
+bool contiguous_permutation_ok(const model::Trace& t, const model::ModelConfig& cfg);
+
+// Lemma 5.1: t consistent in the implementation model and mixed-race-free
+// implies t.without_qfences() consistent in the programmer model.
+// Returns true when the implication holds (vacuously or not).
+bool lemma_5_1_holds(const model::Trace& t);
+
+// Lemma A.4 status of an L-weak action c in a consistent trace.
+enum class WeakRaceStatus {
+  NotWeak,            // c is L-sequential
+  HasRace,            // some earlier b with (b, c) an L-race
+  AbortedOnly,        // weakness caused only by aborted writes (no partner)
+  TransactionalPair,  // every nonaborted offender is transactional and c is
+                      // transactional: races are excluded by definition
+                      // (such configurations are constrained by WF9/WF10 and
+                      // Causality via xrw instead)
+  NoRace,             // a mixed (one-side-plain) nonaborted offender exists
+                      // but no race — would contradict the lemma's argument
+};
+WeakRaceStatus weak_action_race_status(const model::Trace& t,
+                                       const BitRel& hb, std::size_t c,
+                                       const model::LocSet& L);
+
+// ---------------------------------------------------------------------------
+// Randomized well-formed consistent traces for property tests.
+// ---------------------------------------------------------------------------
+
+struct RandomTraceParams {
+  int threads = 3;
+  int locs = 3;
+  int actions = 12;          // target number of non-init actions
+  unsigned txn_percent = 50;    // chance a thread opens a transaction
+  unsigned abort_percent = 25;  // chance an open transaction aborts
+  unsigned write_percent = 55;  // writes vs reads
+  unsigned fence_percent = 0;   // quiescence fences (implementation model)
+};
+
+// Builds a random consistent trace by rejection-sampled appends (mirrors the
+// TraceEnum step relation).  Always returns a consistent trace; it may be
+// shorter than params.actions when no consistent step exists.
+model::Trace random_consistent_trace(Rng& rng, const RandomTraceParams& params,
+                                     const model::ModelConfig& cfg);
+
+}  // namespace mtx::ltrf

@@ -1,0 +1,140 @@
+#include "ltrf/optimizations.hpp"
+
+namespace mtx::ltrf {
+
+using namespace mtx::lit;
+
+bool transformation_sound(const OptimizationCase& c, const model::ModelConfig& cfg,
+                          EnumOptions opts) {
+  const OutcomeSet before = enumerate_outcomes(c.before, cfg, opts);
+  const OutcomeSet after = enumerate_outcomes(c.after, cfg, opts);
+  for (const Outcome& o : after.outcomes())
+    if (!before.outcomes().contains(o)) return false;
+  return true;
+}
+
+namespace {
+
+constexpr Loc X = 0, Y = 1, Z = 2;
+
+// P write-only, Q read-only, disjoint:  x:=1; atomic{r:=y}  ~>  atomic{r:=y}; x:=1
+OptimizationCase reorder_case() {
+  Program before;
+  before.name = "reorder-before";
+  before.num_locs = 2;
+  before.add_thread({write(at(X), 1), atomic({read(0, at(Y))})});
+  before.add_thread({atomic({write(at(Y), 1)}), read(0, at(X))});
+
+  Program after = before;
+  after.name = "reorder-after";
+  after.threads[0] = {atomic({read(0, at(Y))}), write(at(X), 1)};
+  return {"reorder P;atomic{Q} -> atomic{Q};P", before, after, true, true};
+}
+
+// Roach motel: x:=1; atomic{r:=y}; z:=1  ~>  atomic{x:=1; r:=y; z:=1}
+OptimizationCase roach_case() {
+  Program before;
+  before.name = "roach-before";
+  before.num_locs = 3;
+  before.add_thread({write(at(X), 1), atomic({read(0, at(Y))}), write(at(Z), 1)});
+  before.add_thread({atomic({read(0, at(X)), read(1, at(Z)), write(at(Y), 1)})});
+
+  Program after = before;
+  after.name = "roach-after";
+  after.threads[0] = {
+      atomic({write(at(X), 1), read(0, at(Y)), write(at(Z), 1)})};
+  return {"roach motel P;atomic{R};Q -> atomic{P;R;Q}", before, after, true, true};
+}
+
+// Roach motel converse: pulling accesses out of a transaction is unsound.
+OptimizationCase roach_converse_case() {
+  OptimizationCase c = roach_case();
+  std::swap(c.before, c.after);
+  c.name = "roach converse atomic{P;R;Q} -> P;atomic{R};Q";
+  c.sound_programmer = false;
+  c.sound_implementation = false;
+  return c;
+}
+
+// Fusion: atomic{x:=1}; atomic{y:=1}  ~>  atomic{x:=1; y:=1}
+OptimizationCase fusion_case() {
+  Program before;
+  before.name = "fusion-before";
+  before.num_locs = 2;
+  before.add_thread({atomic({write(at(X), 1)}), atomic({write(at(Y), 1)})});
+  before.add_thread({atomic({read(0, at(X)), read(1, at(Y))})});
+
+  Program after = before;
+  after.name = "fusion-after";
+  after.threads[0] = {atomic({write(at(X), 1), write(at(Y), 1)})};
+  return {"fusion atomic{P};atomic{Q} -> atomic{P;Q}", before, after, true, true};
+}
+
+// Fission (the converse of fusion) is not validated: splitting exposes the
+// intermediate state x=1, y=0.
+OptimizationCase fission_case() {
+  OptimizationCase c = fusion_case();
+  std::swap(c.before, c.after);
+  c.name = "fission atomic{P;Q} -> atomic{P};atomic{Q}";
+  c.sound_programmer = false;
+  c.sound_implementation = false;
+  return c;
+}
+
+// Empty-transaction elision: x:=1; atomic{}; y:=1  ~>  x:=1; y:=1
+OptimizationCase elision_case() {
+  Program before;
+  before.name = "elision-before";
+  before.num_locs = 2;
+  before.add_thread({write(at(X), 1), atomic({}), write(at(Y), 1)});
+  before.add_thread({atomic({read(0, at(Y))}), read(1, at(X))});
+
+  Program after = before;
+  after.name = "elision-after";
+  after.threads[0] = {write(at(X), 1), write(at(Y), 1)};
+  return {"elision P;atomic{};Q -> P;Q", before, after, true, true};
+}
+
+// The (dagger) reordering of §5: "x:=2; r:=z" -> "r:=z; x:=2" after a
+// transaction.  Unsound in the programmer model (HBww order through the
+// privatization), sound in the implementation model (no HBww).
+OptimizationCase dagger_case() {
+  Program before;
+  before.name = "dagger-before";
+  before.num_locs = 3;
+  before.add_thread({write(at(Z), 1),
+                     atomic({read(0, at(Y)), if_then(eq(0, 0), {write(at(X), 1)})})});
+  before.add_thread({atomic({write(at(Y), 1)}), write(at(X), 2), read(0, at(Z))});
+
+  Program after = before;
+  after.name = "dagger-after";
+  after.threads[1] = {atomic({write(at(Y), 1)}), read(0, at(Z)), write(at(X), 2)};
+  return {"(dagger) x:=2;r:=z -> r:=z;x:=2", before, after,
+          /*sound_programmer=*/false, /*sound_implementation=*/true};
+}
+
+// LDRF-inherited restriction: a read cannot be delayed past a later write
+// (r:=z; x:=1 -> x:=1; r:=z), because load buffering is forbidden.
+OptimizationCase read_write_reorder_case() {
+  Program before;
+  before.name = "rw-reorder-before";
+  before.num_locs = 2;  // X=0, Z=1
+  before.add_thread({read(0, at(1)), write(at(0), 1)});
+  before.add_thread({read(0, at(0)), write(at(1), 1)});
+
+  Program after = before;
+  after.name = "rw-reorder-after";
+  after.threads[0] = {write(at(0), 1), read(0, at(1))};
+  return {"read-write reorder r:=z;x:=1 -> x:=1;r:=z", before, after,
+          /*sound_programmer=*/false, /*sound_implementation=*/false};
+}
+
+}  // namespace
+
+std::vector<OptimizationCase> standard_cases() {
+  return {reorder_case(),  roach_case(),   roach_converse_case(), fusion_case(),
+          fission_case(),  elision_case(), dagger_case(),
+          read_write_reorder_case()};
+}
+
+}  // namespace mtx::ltrf

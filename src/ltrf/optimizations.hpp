@@ -1,0 +1,40 @@
+// §5 compiler optimizations, validated observationally: a transformation
+// P ~> Q is sound under a model when every final-state outcome of Q is
+// already an outcome of P (no new behaviors).  The paper proves soundness of
+//
+//   reorder   P; atomic{Q} ~> atomic{Q}; P      (P write-only, Q read-only,
+//                                                no conflicts)
+//   roach     P; atomic{R}; Q ~> atomic{P;R;Q}  (roach motel)
+//   fusion    atomic{P}; atomic{Q} ~> atomic{P;Q}
+//   elision   P; atomic{}; Q ~> P; Q
+//
+// and notes that the converse of fusion is NOT sound, and that in the
+// programmer model "x:=2; r:=z" cannot be reordered to "r:=z; x:=2"
+// (the (dagger) example).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "litmus/graph_enum.hpp"
+
+namespace mtx::ltrf {
+
+struct OptimizationCase {
+  std::string name;
+  lit::Program before;  // P
+  lit::Program after;   // Q (transformed)
+  bool sound_programmer = true;      // expected soundness, programmer model
+  bool sound_implementation = true;  // expected soundness, implementation model
+};
+
+// Every outcome of `after` is an outcome of `before` under cfg.
+bool transformation_sound(const OptimizationCase& c, const model::ModelConfig& cfg,
+                          lit::EnumOptions opts = {});
+
+// The standard battery: each §5 transformation instantiated on concrete
+// programs with an adversarial observer thread, plus the known-unsound
+// converses.
+std::vector<OptimizationCase> standard_cases();
+
+}  // namespace mtx::ltrf

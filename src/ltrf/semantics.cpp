@@ -1,0 +1,33 @@
+#include "ltrf/semantics.hpp"
+
+#include <set>
+
+namespace mtx::ltrf {
+
+Semantics::Semantics(lit::Program p, model::ModelConfig cfg,
+                     lit::TraceEnumOptions opts)
+    : prog_(std::move(p)), cfg_(std::move(cfg)), enum_(prog_, cfg_, opts) {}
+
+std::string Semantics::key(const model::Trace& t) {
+  std::string k;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const model::Action& a = t[i];
+    k += std::to_string(static_cast<int>(a.kind)) + ":" +
+         std::to_string(a.thread) + ":" + std::to_string(a.loc) + ":" +
+         std::to_string(a.value) + ":" + a.ts.str() + ";";
+  }
+  return k;
+}
+
+const std::vector<model::Trace>& Semantics::traces() {
+  if (enumerated_) return traces_;
+  std::set<std::string> seen;
+  enum_.explore([&](const model::Trace& t, const model::Analysis&, std::size_t) {
+    if (seen.insert(key(t)).second) traces_.push_back(t);
+    return lit::TraceEnum::Visit::Continue;
+  });
+  enumerated_ = true;
+  return traces_;
+}
+
+}  // namespace mtx::ltrf

@@ -1,0 +1,45 @@
+// Program semantics Sigma (§4) as an executable object: the set of
+// consistent traces of a litmus program under a model, with the stability
+// and sequentiality queries the LTRF definitions need.  Thin coordination
+// layer over lit::TraceEnum.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "litmus/trace_enum.hpp"
+
+namespace mtx::ltrf {
+
+class Semantics {
+ public:
+  Semantics(lit::Program p, model::ModelConfig cfg,
+            lit::TraceEnumOptions opts = {});
+
+  const lit::Program& program() const { return prog_; }
+  const model::ModelConfig& config() const { return cfg_; }
+  lit::TraceEnum& enumerator() { return enum_; }
+
+  // All consistent traces (deduplicated by canonical key).
+  const std::vector<model::Trace>& traces();
+
+  // Canonical string key for a trace (action payloads in index order);
+  // traces equal under this key are the same trace.
+  static std::string key(const model::Trace& t);
+
+  bool is_L_stable(const model::Trace& sigma, const model::LocSet& L) {
+    return enum_.is_L_stable(sigma, L);
+  }
+  bool is_transactionally_L_stable(const model::Trace& sigma, const model::LocSet& L) {
+    return enum_.is_transactionally_L_stable(sigma, L);
+  }
+
+ private:
+  lit::Program prog_;
+  model::ModelConfig cfg_;
+  lit::TraceEnum enum_;
+  bool enumerated_ = false;
+  std::vector<model::Trace> traces_;
+};
+
+}  // namespace mtx::ltrf

@@ -1,0 +1,140 @@
+#include "ltrf/theorem_sc_ltrf.hpp"
+
+#include <map>
+
+namespace mtx::ltrf {
+
+namespace {
+
+using lit::TraceEnum;
+using model::Analysis;
+using model::LocSet;
+using model::Trace;
+
+// act~ identity of an action as (thread, po-position within thread, kind,
+// location): the same program event, possibly with a different value or
+// timestamp.
+struct ActId {
+  int thread;
+  std::size_t po_pos;
+  model::Kind kind;
+  model::Loc loc;
+  friend auto operator<=>(const ActId&, const ActId&) = default;
+};
+
+ActId act_id(const Trace& t, std::size_t i) {
+  std::size_t pos = 0;
+  for (std::size_t j = 0; j < i; ++j)
+    if (t[j].thread == t[i].thread) ++pos;
+  return ActId{t[i].thread, pos, t[i].kind, t[i].loc};
+}
+
+// Every action of t at index >= from is L-sequential in t.
+bool suffix_L_sequential(const Trace& t, std::size_t from, const LocSet& L) {
+  for (std::size_t i = from; i < t.size(); ++i)
+    if (model::is_L_weak_action(t, i, L)) return false;
+  return true;
+}
+
+// No L-race in t involving an action at index >= from.
+bool suffix_race_free(const Trace& t, const BitRel& hb, std::size_t from,
+                      const LocSet& L) {
+  for (std::size_t b = 0; b < t.size(); ++b)
+    for (std::size_t c = std::max(b + 1, from); c < t.size(); ++c)
+      if (model::is_l_race(t, hb, b, c, L)) return false;
+  return true;
+}
+
+}  // namespace
+
+TheoremReport check_sc_ltrf(Semantics& sem, const LocSet& L, TheoremOptions opts) {
+  TheoremReport report;
+  const std::size_t init_len =
+      static_cast<std::size_t>(sem.program().num_locs) + 2;
+
+  // Memoize the expensive stability query per sigma.
+  std::map<std::string, bool> stable_cache;
+  auto stable = [&](const Trace& sigma) {
+    const std::string k = Semantics::key(sigma);
+    auto it = stable_cache.find(k);
+    if (it != stable_cache.end()) return it->second;
+    const bool s = sem.is_transactionally_L_stable(sigma, L);
+    stable_cache.emplace(k, s);
+    return s;
+  };
+
+  const std::vector<Trace>& traces = sem.traces();
+  for (const Trace& full : traces) {
+    if (report.traces_examined >= opts.max_traces) {
+      report.truncated = true;
+      break;
+    }
+    ++report.traces_examined;
+    if (full.size() <= init_len) continue;
+
+    // phi = last action; it must be L-weak in the full trace.
+    const std::size_t phi = full.size() - 1;
+    if (!model::is_L_weak_action(full, phi, L)) continue;
+    const ActId phi_id = act_id(full, phi);
+
+    // sigma tau = everything before phi.
+    std::vector<bool> keep(full.size(), true);
+    keep[phi] = false;
+    const Trace sigma_tau = full.subsequence(keep);
+    const Analysis st_an = model::analyze(sigma_tau, sem.config());
+    if (!st_an.consistent()) continue;
+
+    // All split points sigma | tau (sigma at least the initialization).
+    for (std::size_t cut = init_len; cut <= sigma_tau.size(); ++cut) {
+      // tau must be transactionally L-sequential in sigma tau: tau's actions
+      // L-sequential, all transactions of sigma tau contiguous.
+      if (!model::all_transactions_contiguous(sigma_tau)) break;
+      if (!suffix_L_sequential(sigma_tau, cut, L)) continue;
+      if (!suffix_race_free(sigma_tau, st_an.hb, cut, L)) continue;
+
+      std::vector<bool> sk(sigma_tau.size(), false);
+      for (std::size_t i = 0; i < cut; ++i) sk[i] = true;
+      const Trace sigma = sigma_tau.subsequence(sk);
+      if (!stable(sigma)) continue;
+
+      ++report.hypothesis_instances;
+
+      // Search for the witness: an extension sigma tau' phi' of sigma where
+      // every appended action is L-sequential, all transactions remain
+      // contiguous, phi' act~ phi, and (b, phi') is an L-race for some b in
+      // tau' (stability of sigma guarantees the partner cannot be in sigma;
+      // see Lemma A.4's proof).
+      bool found = false;
+      sem.enumerator().explore_from(
+          sigma, [&](const Trace& t, const Analysis& an, std::size_t appended) {
+            if (appended == static_cast<std::size_t>(-1))
+              return TraceEnum::Visit::Continue;
+            if (model::is_L_weak_action(t, appended, L))
+              return TraceEnum::Visit::Prune;
+            if (act_id(t, appended) == phi_id) {
+              if (model::all_transactions_contiguous(t)) {
+                for (std::size_t b = cut; b < appended; ++b) {
+                  if (model::is_l_race(t, an.hb, b, appended, L)) {
+                    found = true;
+                    return TraceEnum::Visit::Stop;
+                  }
+                }
+              }
+              // This occurrence of phi' is L-sequential; its extensions
+              // repeat other program events, not phi'.
+              return TraceEnum::Visit::Prune;
+            }
+            return TraceEnum::Visit::Continue;
+          });
+
+      if (found) {
+        ++report.witnesses_found;
+      } else {
+        ++report.counterexamples;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace mtx::ltrf

@@ -1,0 +1,40 @@
+// Bounded exhaustive checker for Theorem 4.1 (SC-LTRF).
+//
+//   Fix Sigma as the semantics of a program, and sigma tau phi in Sigma with
+//     - sigma transactionally L-stable,
+//     - tau transactionally L-sequential in sigma tau,
+//     - no L-races involving tau in sigma tau, and
+//     - phi L-weak in sigma tau phi.
+//   Then there are b in sigma, phi' act~ phi and sigma tau' phi' in Sigma
+//   with tau' phi' transactionally L-sequential in sigma tau' phi' and
+//   (b, phi') an L-race.
+//
+// The checker enumerates all traces of the program, identifies every
+// hypothesis instance (sigma, tau, phi), and searches extensions of sigma
+// for the promised witness.  A hypothesis instance with no witness is a
+// counterexample to the theorem.
+#pragma once
+
+#include "ltrf/semantics.hpp"
+
+namespace mtx::ltrf {
+
+struct TheoremOptions {
+  // Bound on traces considered as sigma-tau-phi sources.
+  std::size_t max_traces = 50'000;
+};
+
+struct TheoremReport {
+  std::uint64_t traces_examined = 0;
+  std::uint64_t hypothesis_instances = 0;  // (sigma, tau, phi) satisfying all hypotheses
+  std::uint64_t witnesses_found = 0;
+  std::uint64_t counterexamples = 0;
+  bool truncated = false;
+
+  bool holds() const { return counterexamples == 0; }
+};
+
+TheoremReport check_sc_ltrf(Semantics& sem, const model::LocSet& L,
+                            TheoremOptions opts = {});
+
+}  // namespace mtx::ltrf

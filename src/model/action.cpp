@@ -1,0 +1,97 @@
+#include "model/action.hpp"
+
+namespace mtx::model {
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::Write: return "W";
+    case Kind::Read: return "R";
+    case Kind::Begin: return "B";
+    case Kind::Commit: return "C";
+    case Kind::Abort: return "A";
+    case Kind::QFence: return "Q";
+  }
+  return "?";
+}
+
+std::string Action::str() const {
+  std::string s = "<" + std::to_string(name) + ":";
+  s += thread == kInitThread ? std::string("init") : "t" + std::to_string(thread);
+  s += " ";
+  s += kind_name(kind);
+  switch (kind) {
+    case Kind::Write:
+    case Kind::Read:
+      s += "x" + std::to_string(loc) + "=" + std::to_string(value) + "@" + ts.str();
+      break;
+    case Kind::Commit:
+    case Kind::Abort:
+      s += "(" + std::to_string(peer) + ")";
+      break;
+    case Kind::QFence:
+      s += "x" + std::to_string(loc);
+      break;
+    case Kind::Begin:
+      break;
+  }
+  return s + ">";
+}
+
+Action make_write(Thread s, Loc x, Value v, Rational ts, int name) {
+  Action a;
+  a.kind = Kind::Write;
+  a.thread = s;
+  a.loc = x;
+  a.value = v;
+  a.ts = ts;
+  a.name = name;
+  return a;
+}
+
+Action make_read(Thread s, Loc x, Value v, Rational ts, int name) {
+  Action a;
+  a.kind = Kind::Read;
+  a.thread = s;
+  a.loc = x;
+  a.value = v;
+  a.ts = ts;
+  a.name = name;
+  return a;
+}
+
+Action make_begin(Thread s, int name) {
+  Action a;
+  a.kind = Kind::Begin;
+  a.thread = s;
+  a.name = name;
+  return a;
+}
+
+Action make_commit(Thread s, int begin_name, int name) {
+  Action a;
+  a.kind = Kind::Commit;
+  a.thread = s;
+  a.peer = begin_name;
+  a.name = name;
+  return a;
+}
+
+Action make_abort(Thread s, int begin_name, int name) {
+  Action a;
+  a.kind = Kind::Abort;
+  a.thread = s;
+  a.peer = begin_name;
+  a.name = name;
+  return a;
+}
+
+Action make_qfence(Thread s, Loc x, int name) {
+  Action a;
+  a.kind = Kind::QFence;
+  a.thread = s;
+  a.loc = x;
+  a.name = name;
+  return a;
+}
+
+}  // namespace mtx::model

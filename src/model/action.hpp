@@ -1,0 +1,66 @@
+// Action syntax of the paper (§2 "Actions" plus the §5 quiescence fence):
+//
+//   phi ::= <a:s W x v q>   write of v to x by thread s at timestamp q
+//         | <a:s R x v q>   read of v from x at timestamp q
+//         | <a:s B>         transaction begin (the begin's name names the txn)
+//         | <a:s C b>       commit of transaction b
+//         | <a:s A b>       abort of transaction b
+//         | <a:s Q x>       quiescence fence on x   (implementation model, §5)
+//
+// Action names are unique identifiers; timestamps are rationals; values are
+// integers; the reserved thread `init` performs initialization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "substrate/rational.hpp"
+
+namespace mtx::model {
+
+enum class Kind : std::uint8_t { Write, Read, Begin, Commit, Abort, QFence };
+
+using Thread = int;
+using Loc = int;
+using Value = std::int64_t;
+
+// The reserved initialization thread id.
+inline constexpr Thread kInitThread = -1;
+
+const char* kind_name(Kind k);
+
+struct Action {
+  Kind kind = Kind::Begin;
+  Thread thread = 0;
+  Loc loc = -1;       // Write/Read/QFence
+  Value value = 0;    // Write/Read
+  Rational ts{};      // Write/Read (a read carries its fulfilling write's ts)
+  int name = -1;      // unique action name; assigned by Trace::append if -1
+  int peer = -1;      // Commit/Abort: the *name* of the matching begin
+
+  bool is_write() const { return kind == Kind::Write; }
+  bool is_read() const { return kind == Kind::Read; }
+  bool is_begin() const { return kind == Kind::Begin; }
+  bool is_commit() const { return kind == Kind::Commit; }
+  bool is_abort() const { return kind == Kind::Abort; }
+  bool is_resolution() const { return is_commit() || is_abort(); }
+  bool is_qfence() const { return kind == Kind::QFence; }
+  bool is_memory_access() const { return is_write() || is_read(); }
+  // TAct of §5: the transactional boundary actions.
+  bool is_boundary() const { return is_begin() || is_resolution(); }
+
+  // Does this action touch location x (read or write it)?  Fences are
+  // handled separately (they name a location but do not access it).
+  bool accesses(Loc x) const { return is_memory_access() && loc == x; }
+
+  std::string str() const;
+};
+
+Action make_write(Thread s, Loc x, Value v, Rational ts, int name = -1);
+Action make_read(Thread s, Loc x, Value v, Rational ts, int name = -1);
+Action make_begin(Thread s, int name = -1);
+Action make_commit(Thread s, int begin_name, int name = -1);
+Action make_abort(Thread s, int begin_name, int name = -1);
+Action make_qfence(Thread s, Loc x, int name = -1);
+
+}  // namespace mtx::model

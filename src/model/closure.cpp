@@ -1,0 +1,35 @@
+#include "model/closure.hpp"
+
+namespace mtx::model {
+
+std::vector<bool> causal_removal_mask(const Trace& t,
+                                      const std::vector<std::size_t>& members,
+                                      const ModelConfig& cfg) {
+  const Relations rel = Relations::compute(t);
+  const BitRel hb = compute_hb(t, rel, cfg);
+  const BitRel causal = (hb | rel.lwr | rel.xrw).transitive_closure();
+  std::vector<bool> keep(t.size(), true);
+  for (std::size_t a : members)
+    for (std::size_t b = 0; b < t.size(); ++b)
+      if (causal.test(a, b)) keep[b] = false;
+  // The pivot actions themselves stay (a in sigma # a), unless another
+  // member causally follows them -- which the loop above already encodes.
+  for (std::size_t a : members) {
+    bool removed_by_other = false;
+    for (std::size_t m : members)
+      if (causal.test(m, a)) removed_by_other = true;
+    if (!removed_by_other) keep[a] = true;
+  }
+  return keep;
+}
+
+Trace causal_removal_set(const Trace& t, const std::vector<std::size_t>& members,
+                         const ModelConfig& cfg) {
+  return t.subsequence(causal_removal_mask(t, members, cfg));
+}
+
+Trace causal_removal(const Trace& t, std::size_t a, const ModelConfig& cfg) {
+  return causal_removal_set(t, {a}, cfg);
+}
+
+}  // namespace mtx::model

@@ -1,0 +1,27 @@
+// Causal closure (§4 / Appendix A): sigma # a ("sigma down a") removes all
+// events that causally follow a:
+//
+//   b not-in (sigma # a)  iff  a (hb U lwr U xrw)+ b
+//
+// a itself remains.  The set-valued form sigma # phi removes the causal
+// upclosure of every member of phi.
+#pragma once
+
+#include <vector>
+
+#include "model/consistency.hpp"
+#include "model/trace.hpp"
+
+namespace mtx::model {
+
+Trace causal_removal(const Trace& t, std::size_t a, const ModelConfig& cfg);
+
+Trace causal_removal_set(const Trace& t, const std::vector<std::size_t>& members,
+                         const ModelConfig& cfg);
+
+// Indices kept by causal_removal (for callers that need the mask).
+std::vector<bool> causal_removal_mask(const Trace& t,
+                                      const std::vector<std::size_t>& members,
+                                      const ModelConfig& cfg);
+
+}  // namespace mtx::model

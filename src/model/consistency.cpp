@@ -1,0 +1,58 @@
+#include "model/consistency.hpp"
+
+namespace mtx::model {
+
+std::string Analysis::failure() const {
+  if (!wf.ok()) return "WF";
+  if (!causality) return "Causality";
+  if (!coherence) return "Coherence";
+  if (!observation) return "Observation";
+  if (!anti_ww) return "AntiWW";
+  if (!anti_rw) return "AntiRW";
+  if (!anti_ww_p) return "Anti'WW";
+  if (!anti_rw_p) return "Anti'RW";
+  return "";
+}
+
+Analysis analyze(const Trace& t, const ModelConfig& cfg) {
+  Analysis a;
+  a.rel = Relations::compute(t);
+  a.wf = check_wellformed(t, a.rel);
+  a.hb = compute_hb(t, a.rel, cfg);
+
+  a.causality = (a.hb | a.rel.lwr | a.rel.xrw).is_acyclic();
+  a.coherence = a.hb.compose(a.rel.lww).is_irreflexive();
+  a.observation = a.hb.compose(a.rel.lrw).is_irreflexive();
+
+  if (cfg.anti_ww)
+    a.anti_ww = a.rel.crw.compose(a.hb).compose(a.rel.lww).is_irreflexive();
+  if (cfg.anti_rw)
+    a.anti_rw = a.rel.crw.compose(a.hb).compose(a.rel.lrw).is_irreflexive();
+  if (cfg.anti_ww_p)
+    a.anti_ww_p = a.hb.compose(a.rel.crw).compose(a.rel.lww).is_irreflexive();
+  if (cfg.anti_rw_p)
+    a.anti_rw_p = a.hb.compose(a.rel.crw).compose(a.rel.lrw).is_irreflexive();
+  return a;
+}
+
+bool consistent(const Trace& t, const ModelConfig& cfg) {
+  return analyze(t, cfg).consistent();
+}
+
+bool axioms_hold(const Trace& t, const Relations& rel, const ModelConfig& cfg) {
+  const BitRel hb = compute_hb(t, rel, cfg);
+  if (!(hb | rel.lwr | rel.xrw).is_acyclic()) return false;
+  if (!hb.compose(rel.lww).is_irreflexive()) return false;
+  if (!hb.compose(rel.lrw).is_irreflexive()) return false;
+  if (cfg.anti_ww && !rel.crw.compose(hb).compose(rel.lww).is_irreflexive())
+    return false;
+  if (cfg.anti_rw && !rel.crw.compose(hb).compose(rel.lrw).is_irreflexive())
+    return false;
+  if (cfg.anti_ww_p && !hb.compose(rel.crw).compose(rel.lww).is_irreflexive())
+    return false;
+  if (cfg.anti_rw_p && !hb.compose(rel.crw).compose(rel.lrw).is_irreflexive())
+    return false;
+  return true;
+}
+
+}  // namespace mtx::model

@@ -1,0 +1,59 @@
+// Consistency (§2): an execution is consistent iff it is well-formed and
+//
+//   Causality     (hb U lwr U xrw)  acyclic
+//   Coherence     (hb ; lww)        irreflexive
+//   Observation   (hb ; lrw)        irreflexive
+//   AntiWW        (crw ; hb ; lww)  irreflexive        [programmer model]
+//
+// plus the Example 2.3 variant axioms when enabled:
+//   AntiRW   (crw ; hb ; lrw)  irreflexive
+//   Anti'WW  (hb ; crw ; lww)  irreflexive
+//   Anti'RW  (hb ; crw ; lrw)  irreflexive
+#pragma once
+
+#include <string>
+
+#include "model/derived.hpp"
+#include "model/happens_before.hpp"
+#include "model/model_config.hpp"
+#include "model/trace.hpp"
+#include "model/wellformed.hpp"
+
+namespace mtx::model {
+
+// A fully analyzed trace: relations, happens-before, well-formedness, and
+// the verdict of every consistency axiom under the chosen model.
+struct Analysis {
+  Relations rel;
+  BitRel hb;
+  WfReport wf;
+
+  bool causality = false;
+  bool coherence = false;
+  bool observation = false;
+  bool anti_ww = true;    // trivially true when the axiom is disabled
+  bool anti_rw = true;
+  bool anti_ww_p = true;
+  bool anti_rw_p = true;
+
+  bool wellformed() const { return wf.ok(); }
+  bool axioms_hold() const {
+    return causality && coherence && observation && anti_ww && anti_rw &&
+           anti_ww_p && anti_rw_p;
+  }
+  bool consistent() const { return wellformed() && axioms_hold(); }
+
+  // Name of the first failed requirement ("WF", "Causality", ...), or "".
+  std::string failure() const;
+};
+
+Analysis analyze(const Trace& t, const ModelConfig& cfg);
+
+// Shorthand: well-formed and all enabled axioms hold.
+bool consistent(const Trace& t, const ModelConfig& cfg);
+
+// Axioms only (caller asserts well-formedness separately); useful when the
+// same trace is checked under many configs.
+bool axioms_hold(const Trace& t, const Relations& rel, const ModelConfig& cfg);
+
+}  // namespace mtx::model

@@ -1,0 +1,73 @@
+#include "model/derived.hpp"
+
+namespace mtx::model {
+
+BitRel lift(const Trace& t, const BitRel& r) {
+  const std::size_t n = t.size();
+  // E = tx~ (with identity).  l R = R  |  (E;R;E restricted to a !tx~ b).
+  BitRel eq(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    eq.set(i, i);
+    for (std::size_t j = 0; j < n; ++j)
+      if (t.same_txn(i, j)) eq.set(i, j);
+  }
+  BitRel lifted = eq.compose(r).compose(eq).filtered(
+      [&](std::size_t a, std::size_t b) { return !t.same_txn(a, b); });
+  lifted |= r;
+  return lifted;
+}
+
+Relations Relations::compute(const Trace& t) {
+  const std::size_t n = t.size();
+  Relations rel;
+  rel.index = BitRel(n);
+  rel.init = BitRel(n);
+  rel.po = BitRel(n);
+  rel.ww = BitRel(n);
+  rel.wr = BitRel(n);
+  rel.rw = BitRel(n);
+  rel.tx = BitRel(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Action& a = t[i];
+    rel.tx.set(i, i);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const Action& b = t[j];
+      if (i < j) rel.index.set(i, j);
+      if (a.thread == kInitThread && b.thread != kInitThread) rel.init.set(i, j);
+      if (i < j && a.thread == b.thread) rel.po.set(i, j);
+      if (t.same_txn(i, j)) rel.tx.set(i, j);
+      if (a.is_write() && b.is_write() && a.loc == b.loc && a.ts < b.ts)
+        rel.ww.set(i, j);
+      if (a.is_write() && b.is_read() && a.loc == b.loc && a.value == b.value &&
+          a.ts == b.ts)
+        rel.wr.set(i, j);
+    }
+  }
+
+  // rw: b rw c iff exists a with a wr b, a ww c, and c plain or nonaborted.
+  // (wr^T ; ww), filtered on the target's resolution state.
+  rel.rw = rel.wr.transposed().compose(rel.ww).filtered(
+      [&](std::size_t, std::size_t c) { return t.plain(c) || t.nonaborted(c); });
+
+  auto transactional_pair = [&](std::size_t a, std::size_t b) {
+    return t.transactional(a) && t.transactional(b);
+  };
+  auto nonaborted_pair = [&](std::size_t a, std::size_t b) {
+    return t.nonaborted(a) && t.nonaborted(b);
+  };
+
+  rel.lww = lift(t, rel.ww);
+  rel.lwr = lift(t, rel.wr);
+  rel.lrw = lift(t, rel.rw);
+  rel.xww = rel.lww.filtered(transactional_pair);
+  rel.xwr = rel.lwr.filtered(transactional_pair);
+  rel.xrw = rel.lrw.filtered(transactional_pair);
+  rel.cww = rel.xww.filtered(nonaborted_pair);
+  rel.cwr = rel.xwr.filtered(nonaborted_pair);
+  rel.crw = rel.xrw.filtered(nonaborted_pair);
+  return rel;
+}
+
+}  // namespace mtx::model

@@ -1,0 +1,37 @@
+// Derived relations of §2: index, init, po, ww (coherence), wr (reads-from),
+// rw (antidependency / from-read), the tx~ equivalence, and the lifted
+// l/x/c variants of ww, wr, rw.
+//
+//   a l R b  iff  a R b, or a' R b' for some a' tx~ a !tx~ b tx~ b'
+//   a x R b  iff  a l R b and a, b transactional
+//   a c R b  iff  a x R b and a, b committed or live
+//
+// Antidependency handles aborted targets: b rw c iff a wr b and a ww c for
+// some a, and c is plain or nonaborted.
+#pragma once
+
+#include "model/trace.hpp"
+#include "substrate/bitrel.hpp"
+
+namespace mtx::model {
+
+struct Relations {
+  BitRel index;  // absolute order of events
+  BitRel init;   // initialization actions before all others
+  BitRel po;     // index restricted to same thread
+  BitRel ww;     // same-location writes ordered by timestamp
+  BitRel wr;     // write fulfilling a read (same loc, value, timestamp)
+  BitRel rw;     // antidependency: read before write it cannot follow
+  BitRel tx;     // tx~ equivalence (includes identity)
+
+  BitRel lww, lwr, lrw;  // lifted
+  BitRel xww, xwr, xrw;  // lifted, restricted to transactional
+  BitRel cww, cwr, crw;  // lifted, restricted to committed-or-live txns
+
+  static Relations compute(const Trace& t);
+};
+
+// Lift base relation R over the tx~ equivalence of `t` (the "l" prefix).
+BitRel lift(const Trace& t, const BitRel& r);
+
+}  // namespace mtx::model

@@ -1,0 +1,73 @@
+#include "model/dot.hpp"
+
+namespace mtx::model {
+
+namespace {
+
+std::string node_name(std::size_t i) { return "n" + std::to_string(i); }
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const Trace& t, const Analysis& an, DotOptions opts) {
+  std::string dot = "digraph execution {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+
+  auto skip = [&](std::size_t i) {
+    return !opts.include_init && t[i].thread == kInitThread;
+  };
+
+  // Transaction clusters.
+  for (std::size_t b : t.begins()) {
+    if (skip(b)) continue;
+    const bool aborted = t.txn_state(b) == TxnState::Aborted;
+    dot += "  subgraph cluster_txn" + std::to_string(b) + " {\n";
+    dot += aborted ? "    style=dashed; color=red;\n"
+                   : "    style=solid; color=blue;\n";
+    for (std::size_t m : t.txn_members(b))
+      dot += "    " + node_name(m) + ";\n";
+    dot += "  }\n";
+  }
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (skip(i)) continue;
+    dot += "  " + node_name(i) + " [label=\"" + escape(t[i].str()) + "\"];\n";
+  }
+
+  auto emit = [&](const BitRel& r, const char* label, const char* color) {
+    r.for_each([&](std::size_t a, std::size_t b) {
+      if (skip(a) || skip(b)) return;
+      dot += "  " + node_name(a) + " -> " + node_name(b) + " [label=\"" + label +
+             "\", color=" + color + "];\n";
+    });
+  };
+
+  if (opts.show_po) {
+    // Immediate po only (transitive reduction within threads).
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (skip(i)) continue;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (t[j].thread != t[i].thread) continue;
+        if (!skip(j))
+          dot += "  " + node_name(i) + " -> " + node_name(j) + " [style=dotted];\n";
+        break;
+      }
+    }
+  }
+  if (opts.show_wr) emit(an.rel.wr, "wr", "darkgreen");
+  if (opts.show_ww) emit(an.rel.ww, "ww", "black");
+  if (opts.show_rw) emit(an.rel.rw, "rw", "orange");
+  if (opts.show_hb) emit(an.hb, "hb", "gray");
+
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace mtx::model

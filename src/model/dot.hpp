@@ -1,0 +1,24 @@
+// Graphviz export of executions: transactions as clusters (solid for
+// committed/live, dashed for aborted, mirroring the paper's figures) with
+// po / wr / ww / rw edges, and optionally the derived happens-before.
+#pragma once
+
+#include <string>
+
+#include "model/consistency.hpp"
+#include "model/trace.hpp"
+
+namespace mtx::model {
+
+struct DotOptions {
+  bool show_po = true;
+  bool show_wr = true;
+  bool show_ww = true;
+  bool show_rw = true;
+  bool show_hb = false;  // hb is dense; off by default
+  bool include_init = false;
+};
+
+std::string to_dot(const Trace& t, const Analysis& an, DotOptions opts = {});
+
+}  // namespace mtx::model

@@ -1,0 +1,54 @@
+#include "model/happens_before.hpp"
+
+namespace mtx::model {
+
+BitRel compute_hb(const Trace& t, const Relations& rel, const ModelConfig& cfg) {
+  const std::size_t n = t.size();
+
+  BitRel hb = rel.init | rel.po | rel.cwr | rel.cww;
+
+  if (cfg.qfences) {
+    // HBCQ / HBQB fence edges (these do not depend on hb, so add them once).
+    for (std::size_t q = 0; q < n; ++q) {
+      if (!t[q].is_qfence()) continue;
+      const Loc x = t[q].loc;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (t[i].is_commit() && i < q) {
+          const int b = t.index_of_name(t[i].peer);
+          if (b >= 0 && t.txn_touches(static_cast<std::size_t>(b), x)) hb.set(i, q);
+        }
+        if (t[i].is_begin() && q < i && t.txn_touches(i, x)) hb.set(q, i);
+      }
+    }
+  }
+
+  auto plain = [&](std::size_t i) { return t.plain(i); };
+
+  for (;;) {
+    hb = hb.transitive_closure();
+    BitRel before = hb;
+
+    if (cfg.any_hb_rule()) {
+      // M1(a,c): exists b with a crw b hb c.   M2(a,c): exists b, a hb b crw c.
+      const BitRel m1 = rel.crw.compose(hb);
+      const BitRel m2 = hb.compose(rel.crw);
+      auto apply = [&](const BitRel& lifted, const BitRel& m, bool plain_target) {
+        lifted.for_each([&](std::size_t a, std::size_t c) {
+          if (!m.test(a, c)) return;
+          if (plain_target ? !plain(c) : !plain(a)) return;
+          hb.set(a, c);
+        });
+      };
+      if (cfg.hb_ww) apply(rel.lww, m1, /*plain_target=*/true);
+      if (cfg.hb_rw) apply(rel.lrw, m1, /*plain_target=*/true);
+      if (cfg.hb_wr) apply(rel.lwr, m1, /*plain_target=*/true);
+      if (cfg.hb_ww_p) apply(rel.lww, m2, /*plain_target=*/false);
+      if (cfg.hb_rw_p) apply(rel.lrw, m2, /*plain_target=*/false);
+      if (cfg.hb_wr_p) apply(rel.lwr, m2, /*plain_target=*/false);
+    }
+
+    if (hb == before) return hb;
+  }
+}
+
+}  // namespace mtx::model

@@ -1,0 +1,26 @@
+// Happens-before (§2): the least transitive relation closed under
+//
+//   HBdefn   a hb c  if  a (init U po U cwr U cww) c
+//   HBtrans  a hb c  if  a hb b hb c
+//   HBww     a hb c  if  c plain, a lww c, and a crw b hb c   (programmer model)
+//   ... plus the Example 2.3 variants, selected by ModelConfig.
+//
+// In the implementation model (§5) the side conditions are replaced by
+// fence ordering:
+//
+//   HBCQ  <a:Cb> hb <c:Qx>  if a index-> c and txn b touches x
+//   HBQB  <c:Qx> hb <b:B>   if c index-> b and txn b touches x
+//
+// Computed as a monotone fixpoint: close transitively, apply the enabled
+// side conditions, repeat until stable.
+#pragma once
+
+#include "model/derived.hpp"
+#include "model/model_config.hpp"
+#include "model/trace.hpp"
+
+namespace mtx::model {
+
+BitRel compute_hb(const Trace& t, const Relations& rel, const ModelConfig& cfg);
+
+}  // namespace mtx::model

@@ -1,0 +1,85 @@
+#include "model/model_config.hpp"
+
+namespace mtx::model {
+
+ModelConfig ModelConfig::base() {
+  ModelConfig c;
+  c.name = "base";
+  return c;
+}
+
+ModelConfig ModelConfig::programmer() {
+  ModelConfig c;
+  c.name = "programmer";
+  c.hb_ww = true;
+  c.anti_ww = true;
+  return c;
+}
+
+ModelConfig ModelConfig::implementation() {
+  ModelConfig c;
+  c.name = "implementation";
+  c.qfences = true;
+  return c;
+}
+
+ModelConfig ModelConfig::strongest() {
+  ModelConfig c;
+  c.name = "strongest(x86)";
+  c.hb_ww = c.hb_rw = c.hb_wr = true;
+  c.hb_ww_p = c.hb_rw_p = c.hb_wr_p = true;
+  c.anti_ww = c.anti_rw = true;
+  c.anti_ww_p = c.anti_rw_p = true;
+  return c;
+}
+
+ModelConfig ModelConfig::variant_hb_ww() {
+  ModelConfig c = programmer();
+  c.name = "HBww+AntiWW";
+  return c;
+}
+
+ModelConfig ModelConfig::variant_hb_rw() {
+  ModelConfig c;
+  c.name = "HBrw+AntiRW";
+  c.hb_rw = true;
+  c.anti_rw = true;
+  return c;
+}
+
+ModelConfig ModelConfig::variant_hb_wr() {
+  ModelConfig c;
+  c.name = "HBwr";
+  c.hb_wr = true;
+  return c;
+}
+
+ModelConfig ModelConfig::variant_hb_ww_p() {
+  ModelConfig c;
+  c.name = "HB'ww+Anti'WW";
+  c.hb_ww_p = true;
+  c.anti_ww_p = true;
+  return c;
+}
+
+ModelConfig ModelConfig::variant_hb_rw_p() {
+  ModelConfig c;
+  c.name = "HB'rw+Anti'RW";
+  c.hb_rw_p = true;
+  c.anti_rw_p = true;
+  return c;
+}
+
+ModelConfig ModelConfig::variant_hb_wr_p() {
+  ModelConfig c;
+  c.name = "HB'wr";
+  c.hb_wr_p = true;
+  return c;
+}
+
+std::vector<ModelConfig> ModelConfig::example_2_3_variants() {
+  return {variant_hb_ww(),   variant_hb_rw(),   variant_hb_wr(),
+          variant_hb_ww_p(), variant_hb_rw_p(), variant_hb_wr_p()};
+}
+
+}  // namespace mtx::model

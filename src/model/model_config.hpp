@@ -1,0 +1,63 @@
+// Model configurations: which happens-before side conditions (§2 HBww and
+// the five Example 2.3 variants) and which antidependency axioms are in
+// force, and whether the §5 implementation model's quiescence fences
+// (WF12, HBCQ, HBQB) are enabled.
+//
+// Named presets:
+//   programmer()      §2 model: HBww + AntiWW                     (the paper's model)
+//   implementation()  §5 model: no HB side conditions, no AntiWW, fences on
+//   base()            HBdefn/HBtrans only (LDRF-style core, no fences)
+//   strongest()       all six side conditions + all four anti axioms; this is
+//                     the x86-TSO-validated variant of §6
+//   variant_*()       the six single-rule models of Example 2.3
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mtx::model {
+
+struct ModelConfig {
+  std::string name = "base";
+
+  // HB side conditions (Example 2.3).  Unprimed rules order a transactional
+  // action before a later plain action; primed rules order a plain action
+  // before a later transactional one.
+  bool hb_ww = false;    // a hb c if c plain, a lww c, a crw b hb c
+  bool hb_rw = false;    // a hb c if c plain, a lrw c, a crw b hb c
+  bool hb_wr = false;    // a hb c if c plain, a lwr c, a crw b hb c
+  bool hb_ww_p = false;  // a hb c if a plain, a lww c, a hb b crw c
+  bool hb_rw_p = false;  // a hb c if a plain, a lrw c, a hb b crw c
+  bool hb_wr_p = false;  // a hb c if a plain, a lwr c, a hb b crw c
+
+  // Antidependency axioms.
+  bool anti_ww = false;    // (crw ; hb ; lww) irreflexive
+  bool anti_rw = false;    // (crw ; hb ; lrw) irreflexive
+  bool anti_ww_p = false;  // (hb ; crw ; lww) irreflexive
+  bool anti_rw_p = false;  // (hb ; crw ; lrw) irreflexive
+
+  // Implementation model: drop HB side conditions, add quiescence fences
+  // with HBCQ/HBQB ordering (and WF12 well-formedness).
+  bool qfences = false;
+
+  bool any_hb_rule() const {
+    return hb_ww || hb_rw || hb_wr || hb_ww_p || hb_rw_p || hb_wr_p;
+  }
+
+  static ModelConfig base();
+  static ModelConfig programmer();
+  static ModelConfig implementation();
+  static ModelConfig strongest();
+
+  static ModelConfig variant_hb_ww();    // == programmer modulo name
+  static ModelConfig variant_hb_rw();    // HBrw + AntiRW
+  static ModelConfig variant_hb_wr();    // HBwr (Causality suffices, no anti)
+  static ModelConfig variant_hb_ww_p();  // HB'ww + Anti'WW
+  static ModelConfig variant_hb_rw_p();  // HB'rw + Anti'RW
+  static ModelConfig variant_hb_wr_p();  // HB'wr
+
+  // The six Example 2.3 variants, in the order the paper lists them.
+  static std::vector<ModelConfig> example_2_3_variants();
+};
+
+}  // namespace mtx::model

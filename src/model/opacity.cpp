@@ -1,0 +1,49 @@
+#include "model/opacity.hpp"
+
+namespace mtx::model {
+
+SerializationGraph serialization_graph(const Trace& t, const Relations& rel) {
+  const std::size_t n = t.size();
+  SerializationGraph g;
+  g.edges = BitRel(n);
+  g.txns = t.begins();
+
+  // Class-level transactional dependency edges.  The x-variants are already
+  // restricted to transactional endpoints and lifted over members, so
+  // projecting to the begin representative loses nothing.
+  auto add_class_edges = [&](const BitRel& r) {
+    r.for_each([&](std::size_t a, std::size_t b) {
+      const int ra = t.txn_of(a);
+      const int rb = t.txn_of(b);
+      if (ra >= 0 && rb >= 0 && ra != rb)
+        g.edges.set(static_cast<std::size_t>(ra), static_cast<std::size_t>(rb));
+    });
+  };
+  add_class_edges(rel.xwr);  // reads-from (writers are nonaborted by WF7)
+  add_class_edges(rel.xrw);  // antidependency; aborted readers included
+  add_class_edges(rel.cww);  // coherence among nonaborted transactions
+
+  // Real-time order: a transaction resolved before another begins must
+  // serialize first.
+  for (std::size_t a : g.txns) {
+    const int res = t.resolution_of(a);
+    if (res < 0) continue;  // live: overlaps everything after its begin
+    for (std::size_t b : g.txns)
+      if (a != b && static_cast<std::size_t>(res) < b) g.edges.set(a, b);
+  }
+
+  const auto order = g.edges.topological_order();
+  g.acyclic = !order.empty() || n == 0;
+  if (g.acyclic) {
+    for (std::size_t v : order)
+      if (t[v].is_begin()) g.witness_order.push_back(v);
+  }
+  return g;
+}
+
+bool opaque(const Trace& t) {
+  const Relations rel = Relations::compute(t);
+  return serialization_graph(t, rel).acyclic;
+}
+
+}  // namespace mtx::model

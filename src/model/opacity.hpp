@@ -1,0 +1,40 @@
+// Opacity (Guerraoui & Kapalka), the correctness condition §2 argues the
+// model guarantees: there must be a serialization of *all* transactions --
+// committed, aborted and live alike -- consistent with the execution's
+// transactional dependencies and real-time order.
+//
+// We check the standard sufficient graph condition over the transactional
+// subsystem: nodes are transactions (begins), edges are transactional
+// reads-from (xwr), transactional antidependency (xrw -- note aborted
+// *readers* participate: that is the "includes aborted transactions" part of
+// the paper's claim), coherence between nonaborted transactions (cww), and
+// real-time order (one transaction wholly before another in the trace).
+// Acyclicity yields a witness serial order of all transactions.
+//
+// Mixed-mode caveat: plain accesses are not serialization nodes; in racy
+// mixed programs opacity of the transactional subsystem is exactly what the
+// paper's SC-LTRF theorem delivers (races on plain data are out of scope).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "model/derived.hpp"
+#include "model/trace.hpp"
+
+namespace mtx::model {
+
+struct SerializationGraph {
+  std::vector<std::size_t> txns;  // begin indices, including init's
+  BitRel edges;                   // over trace indices, begin -> begin
+  bool acyclic = false;
+  // Begin indices in a witness serial order (when acyclic).
+  std::vector<std::size_t> witness_order;
+};
+
+SerializationGraph serialization_graph(const Trace& t, const Relations& rel);
+
+// Conflict-opacity of the transactional subsystem.
+bool opaque(const Trace& t);
+
+}  // namespace mtx::model

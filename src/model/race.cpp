@@ -1,0 +1,71 @@
+#include "model/race.hpp"
+
+namespace mtx::model {
+
+LocSet all_locs(const Trace& t) {
+  return LocSet(static_cast<std::size_t>(t.num_locs()), true);
+}
+
+LocSet loc_set(std::initializer_list<Loc> locs, int num_locs) {
+  LocSet s(static_cast<std::size_t>(num_locs), false);
+  for (Loc x : locs) s[static_cast<std::size_t>(x)] = true;
+  return s;
+}
+
+bool touches_locset(const Action& a, const LocSet& locs) {
+  return a.is_memory_access() && a.loc >= 0 &&
+         static_cast<std::size_t>(a.loc) < locs.size() &&
+         locs[static_cast<std::size_t>(a.loc)];
+}
+
+bool l_conflict(const Trace& t, std::size_t i, std::size_t j, const LocSet& locs) {
+  const Action& a = t[i];
+  const Action& b = t[j];
+  if (!a.is_memory_access() || !b.is_memory_access()) return false;
+  if (a.loc != b.loc) return false;
+  if (!touches_locset(a, locs)) return false;
+  if (!a.is_write() && !b.is_write()) return false;
+  if (!t.plain(i) && !t.plain(j)) return false;  // at least one plain
+  if (t.aborted(i) || t.aborted(j)) return false;
+  return true;
+}
+
+bool is_l_race(const Trace& t, const BitRel& hb, std::size_t b, std::size_t c,
+               const LocSet& locs) {
+  if (b >= c) return false;  // need b index-> c
+  if (!l_conflict(t, b, c, locs)) return false;
+  return !hb.test(b, c);
+}
+
+std::vector<Race> find_l_races(const Trace& t, const BitRel& hb, const LocSet& locs) {
+  std::vector<Race> out;
+  for (std::size_t b = 0; b < t.size(); ++b)
+    for (std::size_t c = b + 1; c < t.size(); ++c)
+      if (is_l_race(t, hb, b, c, locs)) out.push_back({b, c});
+  return out;
+}
+
+bool has_l_race(const Trace& t, const BitRel& hb, const LocSet& locs) {
+  for (std::size_t b = 0; b < t.size(); ++b)
+    for (std::size_t c = b + 1; c < t.size(); ++c)
+      if (is_l_race(t, hb, b, c, locs)) return true;
+  return false;
+}
+
+bool has_mixed_race(const Trace& t, const BitRel& hb) {
+  const LocSet everything = all_locs(t);
+  for (std::size_t b = 0; b < t.size(); ++b) {
+    if (!t[b].is_write()) continue;
+    for (std::size_t c = b + 1; c < t.size(); ++c) {
+      if (!t[c].is_write()) continue;
+      // one transactional write, one plain write
+      const bool mixed = (t.transactional(b) && t.plain(c)) ||
+                         (t.plain(b) && t.transactional(c));
+      if (!mixed) continue;
+      if (is_l_race(t, hb, b, c, everything)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mtx::model

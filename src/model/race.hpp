@@ -1,0 +1,46 @@
+// L-races (§4): two actions are in L-conflict if they access the same
+// location in L, at least one is plain, at least one is a write, and neither
+// is aborted.  (b, c) is an L-race when b and c are in L-conflict, b
+// index-> c, but not b hb c.  Two transactional actions cannot race.
+//
+// A *mixed race* (§5) is an L-race between a transactional write and a plain
+// write for some L; mixed-race freedom is the hypothesis of Lemma 5.1.
+#pragma once
+
+#include <vector>
+
+#include "model/consistency.hpp"
+#include "model/trace.hpp"
+
+namespace mtx::model {
+
+// Location sets as bitmaps indexed by Loc.
+using LocSet = std::vector<bool>;
+
+LocSet all_locs(const Trace& t);
+LocSet loc_set(std::initializer_list<Loc> locs, int num_locs);
+
+bool touches_locset(const Action& a, const LocSet& locs);
+
+// L-conflict between trace indices i and j.
+bool l_conflict(const Trace& t, std::size_t i, std::size_t j, const LocSet& locs);
+
+struct Race {
+  std::size_t first;   // earlier in index order
+  std::size_t second;  // later in index order
+};
+
+// All L-races under the given happens-before.
+std::vector<Race> find_l_races(const Trace& t, const BitRel& hb, const LocSet& locs);
+
+bool has_l_race(const Trace& t, const BitRel& hb, const LocSet& locs);
+
+// Is (b, c) specifically an L-race (b index-> c assumed by position order)?
+bool is_l_race(const Trace& t, const BitRel& hb, std::size_t b, std::size_t c,
+               const LocSet& locs);
+
+// Mixed race: a race between a transactional write and a plain write on the
+// same location (any location).
+bool has_mixed_race(const Trace& t, const BitRel& hb);
+
+}  // namespace mtx::model

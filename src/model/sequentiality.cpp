@@ -1,0 +1,132 @@
+#include "model/sequentiality.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace mtx::model {
+
+bool is_L_sequential_action(const Trace& t, std::size_t c, const LocSet& locs) {
+  const Action& ac = t[c];
+  if (ac.is_boundary() || ac.is_qfence()) return true;
+  if (!touches_locset(ac, locs)) return true;
+
+  if (ac.is_write()) {
+    // (1) no earlier-index write to the same location with a larger ts.
+    for (std::size_t b = 0; b < c; ++b) {
+      const Action& ab = t[b];
+      if (ab.is_write() && ab.loc == ac.loc && ac.ts < ab.ts) return false;
+    }
+    return true;
+  }
+
+  // Read: (2) the fulfilling write has the largest timestamp among writes to
+  // this location that precede the read in index order.
+  for (std::size_t b = 0; b < c; ++b) {
+    const Action& ab = t[b];
+    if (ab.is_write() && ab.loc == ac.loc && ac.ts < ab.ts) return false;
+  }
+  return true;
+}
+
+bool is_L_weak_action(const Trace& t, std::size_t c, const LocSet& locs) {
+  return !is_L_sequential_action(t, c, locs);
+}
+
+bool is_L_sequential_trace(const Trace& t, const LocSet& locs) {
+  for (std::size_t i = 0; i < t.size(); ++i)
+    if (!is_L_sequential_action(t, i, locs)) return false;
+  return true;
+}
+
+bool is_contiguous(const Trace& t, std::size_t begin_idx) {
+  const Thread s = t[begin_idx].thread;
+  const int res = t.resolution_of(begin_idx);
+  for (std::size_t c = begin_idx + 1; c < t.size(); ++c) {
+    if (t[c].thread == s) continue;
+    // Other-thread action after the begin: fine if the resolution precedes
+    // it, or if thread s takes no further action after c.
+    if (res >= 0 && static_cast<std::size_t>(res) < c) continue;
+    bool s_acts_later = false;
+    for (std::size_t d = c + 1; d < t.size(); ++d)
+      if (t[d].thread == s) {
+        s_acts_later = true;
+        break;
+      }
+    if (s_acts_later) return false;
+  }
+  return true;
+}
+
+bool all_transactions_contiguous(const Trace& t) {
+  for (std::size_t b : t.begins())
+    if (!is_contiguous(t, b)) return false;
+  return true;
+}
+
+bool all_transactions_resolved(const Trace& t) {
+  for (std::size_t b : t.begins())
+    if (t.txn_state(b) == TxnState::Live) return false;
+  return true;
+}
+
+bool is_transactionally_L_sequential(const Trace& t, const LocSet& locs) {
+  return is_L_sequential_trace(t, locs) && all_transactions_contiguous(t);
+}
+
+bool is_order_preserving_permutation(const Trace& sigma, const Trace& tau) {
+  if (sigma.size() != tau.size()) return false;
+  // Same multiset of actions by name, with identical payloads.
+  std::map<int, std::size_t> by_name;
+  for (std::size_t i = 0; i < tau.size(); ++i) by_name[tau[i].name] = i;
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    auto it = by_name.find(sigma[i].name);
+    if (it == by_name.end()) return false;
+    const Action& a = sigma[i];
+    const Action& b = tau[it->second];
+    if (a.kind != b.kind || a.thread != b.thread || a.loc != b.loc ||
+        a.value != b.value || !(a.ts == b.ts) || a.peer != b.peer)
+      return false;
+  }
+  // po coincides: per-thread subsequences are identical.
+  std::map<Thread, std::vector<int>> po_sigma, po_tau;
+  for (std::size_t i = 0; i < sigma.size(); ++i)
+    po_sigma[sigma[i].thread].push_back(sigma[i].name);
+  for (std::size_t i = 0; i < tau.size(); ++i)
+    po_tau[tau[i].thread].push_back(tau[i].name);
+  return po_sigma == po_tau;
+}
+
+std::optional<Trace> contiguous_permutation(const Trace& t, const ModelConfig& cfg) {
+  const Relations rel = Relations::compute(t);
+  const BitRel hb = compute_hb(t, rel, cfg);
+  const BitRel causal = hb | rel.lwr | rel.xrw;
+  const std::vector<std::size_t> topo = causal.topological_order();
+  if (topo.empty() && t.size() > 0) return std::nullopt;
+
+  // Position of each action in the linearization.
+  std::vector<std::size_t> pos(t.size());
+  for (std::size_t p = 0; p < topo.size(); ++p) pos[topo[p]] = p;
+
+  // Class representative: the begin of the action's transaction, or itself.
+  auto rep = [&](std::size_t i) -> std::size_t {
+    const int b = t.txn_of(i);
+    return b >= 0 ? static_cast<std::size_t>(b) : i;
+  };
+
+  // Order actions by (representative's linearization position, original
+  // index).  All members of a transaction share the representative, so they
+  // end up adjacent; the original-index tiebreak preserves po inside the
+  // transaction, and cross-class order follows a causal linearization, so
+  // thread order outside transactions is preserved too (po is in hb).
+  std::vector<std::size_t> order(t.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const std::size_t ra = pos[rep(a)];
+    const std::size_t rb = pos[rep(b)];
+    if (ra != rb) return ra < rb;
+    return a < b;
+  });
+  return t.permuted(order);
+}
+
+}  // namespace mtx::model

@@ -1,0 +1,50 @@
+// L-sequentiality and contiguity (§4).
+//
+// An action c is L-sequential if it does not touch L, or is a boundary
+// action, or both:
+//   (1) there is no b index-> c with c ww b        (writes take the max ts)
+//   (2) if a wr c, there is no b index-> c with a ww b
+//                                                  (reads see the max ts)
+// An action that is not L-sequential is L-weak.
+//
+// Transaction b is contiguous if every other-thread action between its begin
+// and its resolution either follows the resolution or ends its thread's
+// participation.  A trace is transactionally L-sequential when every action
+// is L-sequential and every transaction is contiguous.
+//
+// This header also provides the order-preserving-permutation machinery of
+// Lemma A.5: every consistent trace has an order-preserving permutation with
+// contiguous transactions.
+#pragma once
+
+#include <optional>
+
+#include "model/consistency.hpp"
+#include "model/race.hpp"
+#include "model/trace.hpp"
+
+namespace mtx::model {
+
+bool is_L_sequential_action(const Trace& t, std::size_t c, const LocSet& locs);
+bool is_L_weak_action(const Trace& t, std::size_t c, const LocSet& locs);
+
+// Every action of the trace is L-sequential.
+bool is_L_sequential_trace(const Trace& t, const LocSet& locs);
+
+bool is_contiguous(const Trace& t, std::size_t begin_idx);
+bool all_transactions_contiguous(const Trace& t);
+bool all_transactions_resolved(const Trace& t);
+
+bool is_transactionally_L_sequential(const Trace& t, const LocSet& locs);
+
+// po_sigma == po_tau and same action multiset (by name): tau is an
+// order-preserving permutation of sigma.
+bool is_order_preserving_permutation(const Trace& sigma, const Trace& tau);
+
+// Lemma A.5 construction: an order-preserving permutation of `t` with
+// contiguous transactions, built from a linearization of
+// (hb U lwr U xrw)+.  Returns nullopt if that relation is cyclic (i.e. the
+// trace fails Causality).
+std::optional<Trace> contiguous_permutation(const Trace& t, const ModelConfig& cfg);
+
+}  // namespace mtx::model

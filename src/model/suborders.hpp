@@ -1,0 +1,45 @@
+// The suborder characterization of §5 and Appendix C, used to validate
+// compiler optimizations.  Over non-boundary actions (Act \ TAct):
+//
+//   a po-T  b   iff a po b, a !tx~ b, b transactional, b's txn writes
+//   a poT-  b   iff a po b, a !tx~ b, a in a resolved transaction
+//   a poTT  b   iff a poT- b and a po-T b
+//   a poRW  b   iff a po b, a a read, b a write
+//   a poCon b   iff a po b and a, b conflict (same loc, one a write)
+//
+//   swe = (cwr U cww) \ po          external transactional communication
+//   hbe = po-T ; (swe ; poTT)* ; swe ; poT-
+//
+// Lemma C.1:  hb = init U hbe U po        (implementation model)
+// Lemma C.2:  consistency has an equivalent characterization over
+//             hbe/poT-/po-T/poRW/wre/xrwe and (init U hbe U poCon).
+#pragma once
+
+#include "model/consistency.hpp"
+#include "model/trace.hpp"
+
+namespace mtx::model {
+
+struct Suborders {
+  BitRel po_T;    // ends in a transactional action of a writing txn
+  BitRel poT_;    // begins in a resolved transactional action
+  BitRel poTT;
+  BitRel poRW;
+  BitRel poCon;
+  BitRel swe;
+  BitRel hbe;
+  BitRel wre;     // lwr \ po
+  BitRel xrwe;    // xrw \ po
+
+  static Suborders compute(const Trace& t, const Relations& rel);
+};
+
+// Lemma C.1: in the implementation model (without fences),
+// hb == init U hbe U po.
+bool lemma_c1_holds(const Trace& t);
+
+// Lemma C.2's alternative consistency characterization (implementation
+// model, no anti axioms).
+bool alt_consistent(const Trace& t);
+
+}  // namespace mtx::model

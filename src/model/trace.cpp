@@ -1,0 +1,196 @@
+#include "model/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace mtx::model {
+
+Trace Trace::with_init(int num_locs) {
+  Trace t;
+  const int begin = t.append(make_begin(kInitThread));
+  for (Loc x = 0; x < num_locs; ++x)
+    t.append(make_write(kInitThread, x, 0, Rational(0)));
+  t.append(make_commit(kInitThread, t.actions_[static_cast<std::size_t>(begin)].name));
+  t.num_locs_ = num_locs;
+  return t;
+}
+
+int Trace::append(Action a) {
+  if (a.name < 0) a.name = next_name_++;
+  next_name_ = std::max(next_name_, a.name + 1);
+  if (a.is_memory_access() || a.is_qfence()) num_locs_ = std::max(num_locs_, a.loc + 1);
+  actions_.push_back(a);
+  recompute_structure();
+  return static_cast<int>(actions_.size()) - 1;
+}
+
+int Trace::index_of_name(int name) const {
+  for (std::size_t i = 0; i < actions_.size(); ++i)
+    if (actions_[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+void Trace::recompute_structure() {
+  // Membership per the paper: a belongs to transaction b when <b:B> po-> a
+  // with no resolution of b in between.  Since po is per-thread index order,
+  // walk each thread's actions keeping the open begin (if any).
+  txn_of_.assign(actions_.size(), -1);
+  std::map<Thread, int> open;  // thread -> begin index, -1 if none
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    const Action& a = actions_[i];
+    auto it = open.find(a.thread);
+    const int cur = it == open.end() ? -1 : it->second;
+    if (a.is_begin()) {
+      txn_of_[i] = static_cast<int>(i);
+      open[a.thread] = static_cast<int>(i);
+    } else if (a.is_resolution()) {
+      // Resolution closes the begin it names (well-formedness makes this the
+      // open one; tolerate malformed traces by matching on peer name).
+      int b = cur;
+      if (b < 0 || actions_[static_cast<std::size_t>(b)].name != a.peer)
+        b = index_of_name(a.peer);
+      txn_of_[i] = b;
+      if (cur >= 0 && actions_[static_cast<std::size_t>(cur)].name == a.peer)
+        open[a.thread] = -1;
+    } else {
+      txn_of_[i] = cur;  // member of the open txn, or plain
+    }
+  }
+}
+
+TxnState Trace::txn_state(std::size_t begin_idx) const {
+  assert(actions_[begin_idx].is_begin());
+  const int begin_name = actions_[begin_idx].name;
+  for (const Action& a : actions_) {
+    if (a.is_commit() && a.peer == begin_name) return TxnState::Committed;
+    if (a.is_abort() && a.peer == begin_name) return TxnState::Aborted;
+  }
+  return TxnState::Live;
+}
+
+bool Trace::aborted(std::size_t i) const {
+  const int b = txn_of_[i];
+  if (b < 0) return false;
+  return txn_state(static_cast<std::size_t>(b)) == TxnState::Aborted;
+}
+
+bool Trace::live(std::size_t i) const {
+  const int b = txn_of_[i];
+  if (b < 0) return false;
+  return txn_state(static_cast<std::size_t>(b)) == TxnState::Live;
+}
+
+bool Trace::committed_txn_action(std::size_t i) const {
+  const int b = txn_of_[i];
+  if (b < 0) return false;
+  return txn_state(static_cast<std::size_t>(b)) == TxnState::Committed;
+}
+
+std::vector<std::size_t> Trace::txn_members(std::size_t begin_idx) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < actions_.size(); ++i)
+    if (txn_of_[i] == static_cast<int>(begin_idx)) out.push_back(i);
+  return out;
+}
+
+std::vector<std::size_t> Trace::begins() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < actions_.size(); ++i)
+    if (actions_[i].is_begin()) out.push_back(i);
+  return out;
+}
+
+bool Trace::txn_touches(std::size_t begin_idx, Loc x) const {
+  for (std::size_t i : txn_members(begin_idx))
+    if (actions_[i].accesses(x)) return true;
+  return false;
+}
+
+int Trace::resolution_of(std::size_t begin_idx) const {
+  const int begin_name = actions_[begin_idx].name;
+  for (std::size_t i = 0; i < actions_.size(); ++i)
+    if (actions_[i].is_resolution() && actions_[i].peer == begin_name)
+      return static_cast<int>(i);
+  return -1;
+}
+
+Trace Trace::permuted(const std::vector<std::size_t>& order) const {
+  assert(order.size() == actions_.size());
+  Trace t;
+  t.next_name_ = next_name_;
+  t.num_locs_ = num_locs_;
+  t.actions_.reserve(actions_.size());
+  for (std::size_t pos : order) t.actions_.push_back(actions_[pos]);
+  t.recompute_structure();
+  return t;
+}
+
+Trace Trace::subsequence(const std::vector<bool>& keep) const {
+  assert(keep.size() == actions_.size());
+  Trace t;
+  t.next_name_ = next_name_;
+  t.num_locs_ = num_locs_;
+  for (std::size_t i = 0; i < actions_.size(); ++i)
+    if (keep[i]) t.actions_.push_back(actions_[i]);
+  t.recompute_structure();
+  return t;
+}
+
+Trace Trace::without_aborted() const {
+  std::vector<bool> keep(actions_.size(), true);
+  for (std::size_t i = 0; i < actions_.size(); ++i)
+    if (aborted(i)) keep[i] = false;
+  return subsequence(keep);
+}
+
+Trace Trace::without_qfences() const {
+  std::vector<bool> keep(actions_.size(), true);
+  for (std::size_t i = 0; i < actions_.size(); ++i)
+    if (actions_[i].is_qfence()) keep[i] = false;
+  return subsequence(keep);
+}
+
+Value Trace::final_value(Loc x) const {
+  Value v = 0;
+  Rational best(-1);
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    const Action& a = actions_[i];
+    if (!a.is_write() || a.loc != x) continue;
+    if (transactional(i) && !committed_txn_action(i)) continue;
+    if (a.ts > best) {
+      best = a.ts;
+      v = a.value;
+    }
+  }
+  return v;
+}
+
+Rational Trace::max_write_ts(Loc x) const {
+  Rational best(0);
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    const Action& a = actions_[i];
+    if (a.is_write() && a.loc == x && nonaborted(i) && a.ts > best) best = a.ts;
+  }
+  return best;
+}
+
+std::string Trace::str() const {
+  std::string s;
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    s += std::to_string(i) + ": " + actions_[i].str();
+    if (transactional(i)) {
+      s += "  [txn@" + std::to_string(txn_of_[i]);
+      switch (txn_state(static_cast<std::size_t>(txn_of_[i]))) {
+        case TxnState::Committed: s += " committed"; break;
+        case TxnState::Aborted: s += " aborted"; break;
+        case TxnState::Live: s += " live"; break;
+      }
+      s += "]";
+    }
+    s += "\n";
+  }
+  return s;
+}
+
+}  // namespace mtx::model

@@ -1,0 +1,115 @@
+// Traces (§2): finite sequences of actions beginning with an initializing
+// transaction that writes 0 to every location at timestamp 0.
+//
+// A Trace owns the action sequence in *index* order and maintains the
+// transaction structure derived from it: which transaction each action
+// belongs to, and each transaction's resolution state
+// (committed / aborted / live).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/action.hpp"
+
+namespace mtx::model {
+
+enum class TxnState { Committed, Aborted, Live };
+
+class Trace {
+ public:
+  Trace() = default;
+
+  // A trace whose first actions are the initializing transaction
+  // <B> <init W x0 0 @0> ... <init W x{n-1} 0 @0> <C>.
+  static Trace with_init(int num_locs);
+
+  // Appends an action; assigns a fresh name if a.name == -1.  Returns the
+  // new action's index.
+  int append(Action a);
+
+  std::size_t size() const { return actions_.size(); }
+  bool empty() const { return actions_.empty(); }
+  const Action& operator[](std::size_t i) const { return actions_[i]; }
+  const std::vector<Action>& actions() const { return actions_; }
+
+  // Number of locations covered by the initializing transaction (0 if none).
+  int num_locs() const { return num_locs_; }
+
+  // Index of the action with the given name, or -1.
+  int index_of_name(int name) const;
+
+  // ----- transaction structure -----
+
+  // Index of the begin action of the transaction `i` belongs to, or -1 when
+  // plain.  Begin/Commit/Abort actions belong to their own transaction.
+  int txn_of(std::size_t i) const { return txn_of_[i]; }
+
+  bool transactional(std::size_t i) const { return txn_of_[i] >= 0; }
+  bool plain(std::size_t i) const { return txn_of_[i] < 0; }
+
+  // tx~ : same transaction, or identical action (plain actions relate only
+  // to themselves).
+  bool same_txn(std::size_t i, std::size_t j) const {
+    if (i == j) return true;
+    return txn_of_[i] >= 0 && txn_of_[i] == txn_of_[j];
+  }
+
+  // State of the transaction whose begin is at index `begin_idx`.
+  TxnState txn_state(std::size_t begin_idx) const;
+
+  // Action-level views of resolution state (plain actions are nonaborted).
+  bool aborted(std::size_t i) const;
+  bool live(std::size_t i) const;
+  bool nonaborted(std::size_t i) const { return !aborted(i); }
+  bool committed_txn_action(std::size_t i) const;
+
+  // All member indices of the transaction begun at begin_idx (includes the
+  // begin and any resolution).
+  std::vector<std::size_t> txn_members(std::size_t begin_idx) const;
+
+  // All begin indices, in index order.
+  std::vector<std::size_t> begins() const;
+
+  // Does the transaction begun at begin_idx read or write x?
+  bool txn_touches(std::size_t begin_idx, Loc x) const;
+
+  // Index of the resolution action of the txn begun at begin_idx, or -1.
+  int resolution_of(std::size_t begin_idx) const;
+
+  // ----- whole-trace transformations -----
+
+  // New trace whose i-th action is this trace's order[i]-th action.  Names
+  // are preserved, so peer links survive.
+  Trace permuted(const std::vector<std::size_t>& order) const;
+
+  // Subsequence keeping exactly the flagged indices.
+  Trace subsequence(const std::vector<bool>& keep) const;
+
+  // Thm 4.2: the trace with all actions of aborted transactions removed.
+  Trace without_aborted() const;
+
+  // Lemma 5.1: the trace with all quiescence fences removed.
+  Trace without_qfences() const;
+
+  // Per-location final value over committed/plain writes (max timestamp).
+  // Live and aborted writes never count (aborted roll back; live are not yet
+  // visible).  Returns 0 when a location was never written (init writes 0).
+  Value final_value(Loc x) const;
+
+  // Largest write timestamp for x among nonaborted writes (0 if only init).
+  Rational max_write_ts(Loc x) const;
+
+  std::string str() const;  // one action per line, for diagnostics
+
+ private:
+  void recompute_structure();
+
+  std::vector<Action> actions_;
+  std::vector<int> txn_of_;  // parallel to actions_
+  int next_name_ = 0;
+  int num_locs_ = 0;
+};
+
+}  // namespace mtx::model

@@ -1,0 +1,32 @@
+// Well-formedness conditions WF1..WF11 of §2 and WF12 of §5 (quiescence
+// fences), checked literally against a concrete trace and reported with
+// per-rule diagnostics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/derived.hpp"
+#include "model/trace.hpp"
+
+namespace mtx::model {
+
+struct WfViolation {
+  int rule;  // 1..12
+  std::string msg;
+};
+
+struct WfReport {
+  std::vector<WfViolation> violations;
+  bool ok() const { return violations.empty(); }
+  bool violates(int rule) const;
+  std::string str() const;
+};
+
+// Full check.  Precomputed relations may be passed to avoid recomputation.
+WfReport check_wellformed(const Trace& t);
+WfReport check_wellformed(const Trace& t, const Relations& rel);
+
+bool wellformed(const Trace& t);
+
+}  // namespace mtx::model

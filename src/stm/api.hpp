@@ -1,0 +1,92 @@
+// Common STM API surface.
+//
+//   Tl2Stm / EagerStm / SglStm   backend objects (shared metadata)
+//   Stm::Tx                      a transaction handle: read/write/user_abort
+//   stm.atomically(f)            run f(tx) as an isolated transaction,
+//                                retrying on conflict; returns false when
+//                                the program aborted explicitly (the paper's
+//                                `abort` statement ends the block)
+//   stm.quiesce()                quiescence fence (§5): waits for all
+//                                in-flight transactions
+//   TVar<T>                      typed word-sized transactional variable
+//
+// Shared memory cells are std::atomic<word_t>; plain (nontransactional)
+// accesses go straight through Cell::plain_load / plain_store, exactly the
+// mixed-mode access the paper studies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include "stm/orec.hpp"
+
+namespace mtx::stm {
+
+// Thrown internally when a transaction must retry (conflict).
+struct TxConflict {};
+
+// Thrown by Tx::user_abort(): the transaction aborts and the block ends.
+struct TxUserAbort {};
+
+// A shared memory cell.  Transactional backends access it through a Tx;
+// plain code uses plain_load/plain_store (acquire/release to model the
+// ordinary accesses of the paper's traces).
+class Cell {
+ public:
+  Cell() : w_(0) {}
+  explicit Cell(word_t v) : w_(v) {}
+
+  word_t plain_load() const { return w_.load(std::memory_order_acquire); }
+  void plain_store(word_t v) { w_.store(v, std::memory_order_release); }
+
+  std::atomic<word_t>& raw() { return w_; }
+  const std::atomic<word_t>& raw() const { return w_; }
+
+ private:
+  std::atomic<word_t> w_;
+};
+
+// Exponential backoff for conflict retries.
+void backoff_pause(unsigned attempt);
+
+// Typed transactional variable over a Cell; T must fit in a word.
+template <typename T>
+class TVar {
+  static_assert(sizeof(T) <= sizeof(word_t));
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  TVar() = default;
+  explicit TVar(T v) { cell_.plain_store(encode(v)); }
+
+  template <typename Tx>
+  T get(Tx& tx) const {
+    return decode(tx.read(cell_));
+  }
+
+  template <typename Tx>
+  void set(Tx& tx, T v) {
+    tx.write(const_cast<Cell&>(cell_), encode(v));
+  }
+
+  T plain_get() const { return decode(cell_.plain_load()); }
+  void plain_set(T v) { cell_.plain_store(encode(v)); }
+
+  Cell& cell() { return cell_; }
+
+ private:
+  static word_t encode(T v) {
+    word_t w = 0;
+    __builtin_memcpy(&w, &v, sizeof(T));
+    return w;
+  }
+  static T decode(word_t w) {
+    T v;
+    __builtin_memcpy(&v, &w, sizeof(T));
+    return v;
+  }
+  Cell cell_;
+};
+
+}  // namespace mtx::stm

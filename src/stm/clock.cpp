@@ -1,0 +1,3 @@
+#include "stm/clock.hpp"
+
+namespace mtx::stm {}

@@ -1,0 +1,26 @@
+// The global version clock (TL2-style).  Commit operations advance it; read
+// validation compares orec versions against the value sampled at transaction
+// begin.  The clock also serves as the epoch source for quiescence fences.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace mtx::stm {
+
+class GlobalClock {
+ public:
+  GlobalClock() : now_(1) {}
+
+  std::uint64_t now() const { return now_.load(std::memory_order_acquire); }
+
+  // Advance and return the new time.
+  std::uint64_t advance() {
+    return now_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_;
+};
+
+}  // namespace mtx::stm

@@ -1,0 +1,88 @@
+#include "stm/eager.hpp"
+
+namespace mtx::stm {
+
+EagerStm::Tx::Tx(EagerStm& stm)
+    : stm_(stm), id_(stm.next_id_.fetch_add(1, std::memory_order_relaxed)) {
+  stm_.registry_.begin_txn();
+}
+
+bool EagerStm::Tx::owns(const std::atomic<word_t>* orec) const {
+  for (const OwnedOrec& o : owned_)
+    if (o.orec == orec) return true;
+  return false;
+}
+
+word_t EagerStm::Tx::read(const Cell& cell) {
+  std::atomic<word_t>& orec = stm_.orecs_.for_addr(&cell);
+  for (;;) {
+    const word_t v1 = orec.load(std::memory_order_acquire);
+    if (orec_locked(v1)) {
+      if (orec_owner(v1) == id_) return cell.raw().load(std::memory_order_acquire);
+      throw TxConflict{};  // requester aborts; backoff happens in the retry loop
+    }
+    const word_t val = cell.raw().load(std::memory_order_acquire);
+    const word_t v2 = orec.load(std::memory_order_acquire);
+    if (v1 != v2) continue;
+    reads_.push_back({&orec, v1});
+    return val;
+  }
+}
+
+void EagerStm::Tx::write(Cell& cell, word_t v) {
+  std::atomic<word_t>& orec = stm_.orecs_.for_addr(&cell);
+  word_t cur = orec.load(std::memory_order_acquire);
+  if (!(orec_locked(cur) && orec_owner(cur) == id_)) {
+    for (;;) {
+      if (orec_locked(cur)) throw TxConflict{};  // owned by someone else
+      if (orec.compare_exchange_weak(cur, make_locked(id_),
+                                     std::memory_order_acq_rel))
+        break;
+    }
+    owned_.push_back({&orec, cur});
+  }
+  // Log the old value once per cell, then update in place (eager).
+  bool logged = false;
+  for (const UndoEntry& u : undo_)
+    if (u.cell == &cell) logged = true;
+  if (!logged) undo_.push_back({&cell, cell.raw().load(std::memory_order_acquire)});
+  cell.raw().store(v, std::memory_order_release);
+}
+
+void EagerStm::Tx::commit() {
+  // Validate reads: versions unchanged, or the orec is ours.
+  for (const ReadEntry& r : reads_) {
+    const word_t cur = r.orec->load(std::memory_order_acquire);
+    if (cur == r.seen) continue;
+    if (orec_locked(cur) && orec_owner(cur) == id_) {
+      // We locked it after reading; the pre-lock version must match.
+      bool ok = false;
+      for (const OwnedOrec& o : owned_)
+        if (o.orec == r.orec && o.old_version == r.seen) ok = true;
+      if (ok) continue;
+    }
+    throw TxConflict{};
+  }
+
+  const word_t wv = stm_.clock_.advance();
+  for (const OwnedOrec& o : owned_)
+    o.orec->store(make_version(wv), std::memory_order_release);
+
+  finished_ = true;
+  stm_.registry_.end_txn();
+}
+
+void EagerStm::Tx::rollback() {
+  // Undo in reverse order, then release orecs at their old versions.
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it)
+    it->cell->raw().store(it->old_value, std::memory_order_release);
+  for (const OwnedOrec& o : owned_)
+    o.orec->store(o.old_version, std::memory_order_release);
+  owned_.clear();
+  undo_.clear();
+  reads_.clear();
+  finished_ = true;
+  stm_.registry_.end_txn();
+}
+
+}  // namespace mtx::stm

@@ -1,0 +1,106 @@
+// Eager-versioning (undo-log) STM with encounter-time locking — the class
+// of STMs in Example 3.4.
+//
+//   - A write acquires the orec at encounter time, logs the old value, and
+//     updates memory in place; aborts roll the log back.
+//   - A read from an orec locked by another transaction aborts (simple
+//     requester-aborts contention management + randomized backoff).
+//   - Commit validates the read set and releases orecs at a new version.
+//
+// Because speculative values live in shared memory, plain accesses can
+// observe them — exactly the speculative-lost-update hazard of Example 3.4.
+// Privatization therefore needs EagerStm::quiesce, as in §5.
+#pragma once
+
+#include <vector>
+
+#include "stm/api.hpp"
+#include "stm/clock.hpp"
+#include "stm/quiesce.hpp"
+#include "stm/stats.hpp"
+
+namespace mtx::stm {
+
+class EagerStm {
+ public:
+  EagerStm() : registry_(clock_) {}
+
+  class Tx {
+   public:
+    explicit Tx(EagerStm& stm);
+    ~Tx() {
+      if (!finished_) rollback();
+    }
+    Tx(const Tx&) = delete;
+    Tx& operator=(const Tx&) = delete;
+
+    word_t read(const Cell& cell);
+    void write(Cell& cell, word_t v);
+    [[noreturn]] void user_abort() { throw TxUserAbort{}; }
+
+    void commit();
+    void rollback();
+
+   private:
+    struct OwnedOrec {
+      std::atomic<word_t>* orec;
+      word_t old_version;  // unlocked value to restore on abort
+    };
+    struct UndoEntry {
+      Cell* cell;
+      word_t old_value;
+    };
+    struct ReadEntry {
+      std::atomic<word_t>* orec;
+      word_t seen;
+    };
+
+    bool owns(const std::atomic<word_t>* orec) const;
+
+    EagerStm& stm_;
+    word_t id_;
+    std::vector<OwnedOrec> owned_;
+    std::vector<UndoEntry> undo_;
+    std::vector<ReadEntry> reads_;
+    bool finished_ = false;
+
+    friend class EagerStm;
+  };
+
+  template <typename F>
+  bool atomically(F&& f) {
+    for (unsigned attempt = 0;; ++attempt) {
+      Tx tx(*this);
+      try {
+        f(tx);
+        tx.commit();
+        stats_.commits.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      } catch (const TxConflict&) {
+        tx.rollback();
+        stats_.conflicts.fetch_add(1, std::memory_order_relaxed);
+        backoff_pause(attempt);
+      } catch (const TxUserAbort&) {
+        tx.rollback();
+        stats_.user_aborts.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+  }
+
+  void quiesce() {
+    stats_.fences.fetch_add(1, std::memory_order_relaxed);
+    registry_.fence();
+  }
+
+  StmStats& stats() { return stats_; }
+
+ private:
+  GlobalClock clock_;
+  OrecTable orecs_;
+  QuiescenceRegistry registry_;
+  StmStats stats_;
+  std::atomic<word_t> next_id_{1};
+};
+
+}  // namespace mtx::stm

@@ -1,0 +1,70 @@
+#include "stm/norec.hpp"
+
+namespace mtx::stm {
+
+word_t NorecStm::Tx::revalidate() {
+  for (;;) {
+    const word_t s = stm_.wait_unlocked();
+    for (const ReadEntry& r : reads_)
+      if (r.cell->raw().load(std::memory_order_acquire) != r.value)
+        throw TxConflict{};
+    if (stm_.seq_.load(std::memory_order_acquire) == s) return s;
+    // A commit slipped in mid-validation; try again.
+  }
+}
+
+word_t NorecStm::Tx::read(const Cell& cell) {
+  for (auto it = writes_.rbegin(); it != writes_.rend(); ++it)
+    if (it->cell == &cell) return it->value;
+
+  word_t v = cell.raw().load(std::memory_order_acquire);
+  // If the heap moved since our snapshot, the value we just read may be
+  // inconsistent with earlier reads: revalidate by value and resample.
+  while (stm_.seq_.load(std::memory_order_acquire) != snapshot_) {
+    snapshot_ = revalidate();
+    v = cell.raw().load(std::memory_order_acquire);
+  }
+  reads_.push_back({&cell, v});
+  return v;
+}
+
+void NorecStm::Tx::write(Cell& cell, word_t v) {
+  for (auto& w : writes_) {
+    if (w.cell == &cell) {
+      w.value = v;
+      return;
+    }
+  }
+  writes_.push_back({&cell, v});
+}
+
+void NorecStm::Tx::commit() {
+  if (writes_.empty()) {
+    finished_ = true;
+    stm_.registry_.end_txn();
+    return;
+  }
+  // Acquire the sequence lock at our snapshot; on failure someone committed,
+  // so revalidate and retry from the new snapshot.
+  word_t expect = snapshot_;
+  while (!stm_.seq_.compare_exchange_weak(expect, expect + 1,
+                                          std::memory_order_acq_rel)) {
+    snapshot_ = revalidate();
+    expect = snapshot_;
+  }
+  for (const WriteEntry& w : writes_)
+    w.cell->raw().store(w.value, std::memory_order_release);
+  stm_.seq_.store(snapshot_ + 2, std::memory_order_release);
+
+  finished_ = true;
+  stm_.registry_.end_txn();
+}
+
+void NorecStm::Tx::rollback() {
+  reads_.clear();
+  writes_.clear();
+  finished_ = true;
+  stm_.registry_.end_txn();
+}
+
+}  // namespace mtx::stm

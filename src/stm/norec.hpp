@@ -1,0 +1,113 @@
+// NOrec-style STM: no ownership records at all.  A single global sequence
+// lock versions the whole heap; reads are validated *by value* against the
+// read set whenever the sequence number moves, writes are buffered and
+// published under the lock.
+//
+// This is the third major design point in the lazy/eager/global-lock space
+// the paper's §3 surveys: like TL2 it is lazy (Example 3.5's class), but its
+// commit is globally serialized, so it sits between TL2 and SGL on the
+// scaling axis -- cheap reads and zero per-location metadata against a
+// commit bottleneck.  Value-based validation also gives it TL2-equivalent
+// opacity.
+#pragma once
+
+#include <vector>
+
+#include "stm/api.hpp"
+#include "stm/clock.hpp"
+#include "stm/quiesce.hpp"
+#include "stm/stats.hpp"
+
+namespace mtx::stm {
+
+class NorecStm {
+ public:
+  NorecStm() : registry_(clock_) {}
+
+  class Tx {
+   public:
+    explicit Tx(NorecStm& stm) : stm_(stm) {
+      snapshot_ = stm_.wait_unlocked();
+      stm_.registry_.begin_txn();
+    }
+    ~Tx() {
+      if (!finished_) stm_.registry_.end_txn();
+    }
+    Tx(const Tx&) = delete;
+    Tx& operator=(const Tx&) = delete;
+
+    word_t read(const Cell& cell);
+    void write(Cell& cell, word_t v);
+    [[noreturn]] void user_abort() { throw TxUserAbort{}; }
+
+    void commit();
+    void rollback();
+
+   private:
+    struct ReadEntry {
+      const Cell* cell;
+      word_t value;
+    };
+    struct WriteEntry {
+      Cell* cell;
+      word_t value;
+    };
+
+    // Re-reads the read set and compares values; returns the sequence
+    // number the snapshot is now valid at, or throws TxConflict.
+    word_t revalidate();
+
+    NorecStm& stm_;
+    word_t snapshot_;
+    std::vector<ReadEntry> reads_;
+    std::vector<WriteEntry> writes_;
+    bool finished_ = false;
+
+    friend class NorecStm;
+  };
+
+  template <typename F>
+  bool atomically(F&& f) {
+    for (unsigned attempt = 0;; ++attempt) {
+      Tx tx(*this);
+      try {
+        f(tx);
+        tx.commit();
+        stats_.commits.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      } catch (const TxConflict&) {
+        tx.rollback();
+        stats_.conflicts.fetch_add(1, std::memory_order_relaxed);
+        backoff_pause(attempt);
+      } catch (const TxUserAbort&) {
+        tx.rollback();
+        stats_.user_aborts.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+  }
+
+  void quiesce() {
+    stats_.fences.fetch_add(1, std::memory_order_relaxed);
+    registry_.fence();
+  }
+
+  StmStats& stats() { return stats_; }
+
+ private:
+  // Spin until the sequence lock is even (no committer in the write-back
+  // phase) and return its value.
+  word_t wait_unlocked() const {
+    for (;;) {
+      const word_t s = seq_.load(std::memory_order_acquire);
+      if ((s & 1) == 0) return s;
+    }
+  }
+
+  std::atomic<word_t> seq_{0};  // even: unlocked; odd: write-back in progress
+  GlobalClock clock_;
+  QuiescenceRegistry registry_;
+  StmStats stats_;
+};
+
+}  // namespace mtx::stm

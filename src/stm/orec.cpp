@@ -1,0 +1,5 @@
+#include "stm/orec.hpp"
+
+// OrecTable is header-only; this translation unit anchors the library target
+// and provides a home for future non-inline helpers.
+namespace mtx::stm {}

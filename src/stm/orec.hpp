@@ -1,0 +1,55 @@
+// Ownership records (orecs): per-address versioned write-locks, the shared
+// metadata of both STM backends.
+//
+// Layout of an orec word:
+//   bit 0      lock bit
+//   bits 63..1 when unlocked: version (the global-clock time of the last
+//              commit that wrote under this orec)
+//              when locked:   owner transaction id
+//
+// Addresses hash onto a fixed-size table, so independent cells may share an
+// orec (false conflicts are benign: they can only cause aborts, never
+// inconsistent reads).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace mtx::stm {
+
+using word_t = std::uint64_t;
+
+inline constexpr word_t kLockBit = 1;
+
+inline bool orec_locked(word_t v) { return (v & kLockBit) != 0; }
+inline word_t orec_version(word_t v) { return v >> 1; }
+inline word_t orec_owner(word_t v) { return v >> 1; }
+inline word_t make_locked(word_t owner) { return (owner << 1) | kLockBit; }
+inline word_t make_version(word_t version) { return version << 1; }
+
+class OrecTable {
+ public:
+  explicit OrecTable(std::size_t log2_size = 16)
+      : mask_((std::size_t{1} << log2_size) - 1),
+        orecs_(std::size_t{1} << log2_size) {
+    for (auto& o : orecs_) o.store(make_version(0), std::memory_order_relaxed);
+  }
+
+  std::atomic<word_t>& for_addr(const void* p) {
+    // Mix the address; cells are word-aligned so drop the low 3 bits first.
+    auto bits = reinterpret_cast<std::uintptr_t>(p) >> 3;
+    bits ^= bits >> 17;
+    bits *= 0x9e3779b97f4a7c15ULL;
+    bits ^= bits >> 29;
+    return orecs_[bits & mask_];
+  }
+
+  std::size_t size() const { return orecs_.size(); }
+
+ private:
+  std::size_t mask_;
+  std::vector<std::atomic<word_t>> orecs_;
+};
+
+}  // namespace mtx::stm

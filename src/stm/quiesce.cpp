@@ -1,0 +1,50 @@
+#include "stm/quiesce.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace mtx::stm {
+
+namespace {
+
+// Global slot allocator with reuse: each live OS thread holds one slot index
+// for its lifetime (RAII), releasing it at thread exit so long test runs
+// that create transient threads never exhaust the table.
+std::atomic<bool> slot_taken[QuiescenceRegistry::kMaxThreads];
+
+struct SlotHolder {
+  std::size_t idx = 0;
+  SlotHolder() {
+    for (int attempt = 0;; ++attempt) {
+      for (std::size_t i = 0; i < QuiescenceRegistry::kMaxThreads; ++i) {
+        bool expected = false;
+        if (slot_taken[i].compare_exchange_strong(expected, true,
+                                                  std::memory_order_acq_rel)) {
+          idx = i;
+          return;
+        }
+      }
+      if (attempt > 1000)
+        throw std::runtime_error(
+            "QuiescenceRegistry: more than kMaxThreads concurrent threads");
+      std::this_thread::yield();
+    }
+  }
+  ~SlotHolder() { slot_taken[idx].store(false, std::memory_order_release); }
+};
+
+std::size_t my_thread_index() {
+  thread_local SlotHolder holder;
+  return holder.idx;
+}
+
+}  // namespace
+
+std::atomic<std::uint64_t>& QuiescenceRegistry::slot() {
+  // One dedicated slot per live OS thread.  Sharing a slot between two live
+  // threads would let a later begin_txn overwrite an in-flight older epoch
+  // and break the grace-period guarantee; the allocator above prevents it.
+  return slots_[my_thread_index()];
+}
+
+}  // namespace mtx::stm

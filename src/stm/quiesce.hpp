@@ -1,0 +1,59 @@
+// Quiescence fences (§5).
+//
+// The implementation model orders a fence after every transaction that
+// committed before it (HBCQ) and before every later transaction touching the
+// fenced location (HBQB).  The classic realization is an epoch grace period:
+// the fence waits until every transaction that was active when the fence
+// started has resolved.  We implement the conservative all-locations variant
+// (a fence on x waits for all in-flight transactions), which soundly
+// over-approximates per-location fences.
+//
+// Each transaction publishes its start epoch in a per-thread slot at begin
+// and clears it at resolution; fence() advances the clock and spins until no
+// slot holds an epoch older than the fence's.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "stm/clock.hpp"
+
+namespace mtx::stm {
+
+class QuiescenceRegistry {
+ public:
+  static constexpr std::size_t kMaxThreads = 128;
+
+  explicit QuiescenceRegistry(GlobalClock& clock) : clock_(clock) {
+    for (auto& s : slots_) s.store(0, std::memory_order_relaxed);
+  }
+
+  // Publish that this thread has a transaction in flight.
+  void begin_txn() {
+    slot().store(clock_.now(), std::memory_order_release);
+  }
+
+  void end_txn() { slot().store(0, std::memory_order_release); }
+
+  // Wait for every transaction active at the time of the call to resolve.
+  void fence() {
+    const std::uint64_t cutoff = clock_.advance();
+    for (auto& s : slots_) {
+      for (;;) {
+        const std::uint64_t e = s.load(std::memory_order_acquire);
+        if (e == 0 || e >= cutoff) break;
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  std::atomic<std::uint64_t>& slot();
+
+  GlobalClock& clock_;
+  std::atomic<std::uint64_t> slots_[kMaxThreads];
+  std::atomic<std::size_t> next_slot_{0};
+};
+
+}  // namespace mtx::stm

@@ -1,0 +1,3 @@
+#include "stm/sgl.hpp"
+
+namespace mtx::stm {}

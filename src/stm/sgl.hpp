@@ -1,0 +1,96 @@
+// Single-global-lock STM: every transaction takes one mutex.  This gives
+// "global lock atomicity" — the semantics Example 3.2 shows the paper's
+// model deliberately does NOT require — and serves as the performance
+// baseline every STM paper compares against.
+//
+// An undo log supports the explicit `abort` statement.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "stm/api.hpp"
+#include "stm/quiesce.hpp"
+#include "stm/stats.hpp"
+
+namespace mtx::stm {
+
+class SglStm {
+ public:
+  SglStm() : registry_(clock_) {}
+
+  class Tx {
+   public:
+    explicit Tx(SglStm& stm) : stm_(stm), lock_(stm.mu_) {
+      stm_.registry_.begin_txn();
+    }
+    ~Tx() {
+      if (!finished_) rollback();
+    }
+    Tx(const Tx&) = delete;
+    Tx& operator=(const Tx&) = delete;
+
+    word_t read(const Cell& cell) {
+      return cell.raw().load(std::memory_order_acquire);
+    }
+    void write(Cell& cell, word_t v) {
+      undo_.push_back({&cell, cell.raw().load(std::memory_order_relaxed)});
+      cell.raw().store(v, std::memory_order_release);
+    }
+    [[noreturn]] void user_abort() { throw TxUserAbort{}; }
+
+    void commit() {
+      finished_ = true;
+      stm_.registry_.end_txn();
+    }
+    void rollback() {
+      for (auto it = undo_.rbegin(); it != undo_.rend(); ++it)
+        it->cell->raw().store(it->old_value, std::memory_order_release);
+      undo_.clear();
+      finished_ = true;
+      stm_.registry_.end_txn();
+    }
+
+   private:
+    struct UndoEntry {
+      Cell* cell;
+      word_t old_value;
+    };
+    SglStm& stm_;
+    std::unique_lock<std::mutex> lock_;
+    std::vector<UndoEntry> undo_;
+    bool finished_ = false;
+  };
+
+  template <typename F>
+  bool atomically(F&& f) {
+    Tx tx(*this);
+    try {
+      f(tx);
+      tx.commit();
+      stats_.commits.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    } catch (const TxUserAbort&) {
+      tx.rollback();
+      stats_.user_aborts.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    // SGL transactions cannot conflict: no TxConflict path.
+  }
+
+  // With a global lock, taking and releasing the lock is a full fence.
+  void quiesce() {
+    stats_.fences.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> g(mu_);
+  }
+
+  StmStats& stats() { return stats_; }
+
+ private:
+  GlobalClock clock_;
+  std::mutex mu_;
+  QuiescenceRegistry registry_;
+  StmStats stats_;
+};
+
+}  // namespace mtx::stm

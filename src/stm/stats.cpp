@@ -1,0 +1,26 @@
+#include "stm/stats.hpp"
+
+namespace mtx::stm {
+
+void StmStats::reset() {
+  commits.store(0, std::memory_order_relaxed);
+  conflicts.store(0, std::memory_order_relaxed);
+  user_aborts.store(0, std::memory_order_relaxed);
+  fences.store(0, std::memory_order_relaxed);
+}
+
+std::string StmStats::str() const {
+  return "commits=" + std::to_string(commits.load()) +
+         " conflicts=" + std::to_string(conflicts.load()) +
+         " user_aborts=" + std::to_string(user_aborts.load()) +
+         " fences=" + std::to_string(fences.load());
+}
+
+double StmStats::conflict_rate() const {
+  const double c = static_cast<double>(commits.load());
+  const double a = static_cast<double>(conflicts.load());
+  const double total = c + a;
+  return total > 0 ? a / total : 0.0;
+}
+
+}  // namespace mtx::stm

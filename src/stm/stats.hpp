@@ -1,0 +1,23 @@
+// Commit/abort statistics shared by all STM backends.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace mtx::stm {
+
+struct StmStats {
+  std::atomic<std::uint64_t> commits{0};
+  std::atomic<std::uint64_t> conflicts{0};     // retried aborts
+  std::atomic<std::uint64_t> user_aborts{0};   // explicit aborts (no retry)
+  std::atomic<std::uint64_t> fences{0};        // quiescence fences
+
+  void reset();
+  std::string str() const;
+
+  // Abort ratio over all attempts, in [0,1].
+  double conflict_rate() const;
+};
+
+}  // namespace mtx::stm

@@ -1,0 +1,121 @@
+#include "stm/tl2.hpp"
+
+#include <thread>
+
+namespace mtx::stm {
+
+void backoff_pause(unsigned attempt) {
+  if (attempt < 4) return;
+  if (attempt < 10) {
+    for (unsigned i = 0; i < (1u << std::min(attempt, 16u)); ++i)
+      __builtin_ia32_pause();
+    return;
+  }
+  std::this_thread::yield();
+}
+
+word_t Tl2Stm::Tx::read(const Cell& cell) {
+  // Read-own-write.
+  for (auto it = writes_.rbegin(); it != writes_.rend(); ++it)
+    if (it->cell == &cell) return it->value;
+
+  std::atomic<word_t>& orec = stm_.orecs_.for_addr(&cell);
+  for (;;) {
+    const word_t v1 = orec.load(std::memory_order_acquire);
+    const word_t val = cell.raw().load(std::memory_order_acquire);
+    const word_t v2 = orec.load(std::memory_order_acquire);
+    if (v1 != v2) continue;  // torn: a commit raced us, resample
+    if (orec_locked(v1) || orec_version(v1) > rv_) throw TxConflict{};
+    reads_.push_back({&orec, v1});
+    return val;
+  }
+}
+
+void Tl2Stm::Tx::write(Cell& cell, word_t v) {
+  for (auto& w : writes_) {
+    if (w.cell == &cell) {
+      w.value = v;
+      return;
+    }
+  }
+  writes_.push_back({&cell, v});
+}
+
+void Tl2Stm::Tx::commit() {
+  if (writes_.empty()) {
+    // Read-only: the read set was validated incrementally against rv.
+    finished_ = true;
+    stm_.registry_.end_txn();
+    return;
+  }
+
+  // Lock the write set in a canonical order (by orec address) to avoid
+  // deadlock between concurrent committers.
+  std::vector<std::atomic<word_t>*> locks;
+  locks.reserve(writes_.size());
+  for (const WriteEntry& w : writes_) locks.push_back(&stm_.orecs_.for_addr(w.cell));
+  std::sort(locks.begin(), locks.end());
+  locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
+
+  std::vector<std::pair<std::atomic<word_t>*, word_t>> held;
+  held.reserve(locks.size());
+  auto release_held = [&]() {
+    for (auto& [orec, old] : held) orec->store(old, std::memory_order_release);
+  };
+
+  for (std::atomic<word_t>* orec : locks) {
+    word_t cur = orec->load(std::memory_order_acquire);
+    bool locked = false;
+    for (int spin = 0; spin < 64; ++spin) {
+      if (orec_locked(cur)) {
+        cur = orec->load(std::memory_order_acquire);
+        continue;
+      }
+      if (orec_version(cur) > rv_) break;  // newer than our snapshot
+      if (orec->compare_exchange_weak(cur, make_locked(1), std::memory_order_acq_rel)) {
+        locked = true;
+        break;
+      }
+    }
+    if (!locked) {
+      release_held();
+      throw TxConflict{};
+    }
+    held.emplace_back(orec, cur);
+  }
+
+  const word_t wv = stm_.clock_.advance();
+
+  // Validate the read set unless no other commit intervened.
+  if (rv_ + 1 != wv) {
+    for (const ReadEntry& r : reads_) {
+      const word_t cur = r.orec->load(std::memory_order_acquire);
+      bool owned = false;
+      for (auto& [orec, old] : held)
+        if (orec == r.orec && old == r.seen) owned = true;
+      if (!owned && cur != r.seen) {
+        release_held();
+        throw TxConflict{};
+      }
+    }
+  }
+
+  // Publish the redo log, then release the orecs at the new version.
+  for (const WriteEntry& w : writes_)
+    w.cell->raw().store(w.value, std::memory_order_release);
+  for (auto& [orec, old] : held)
+    orec->store(make_version(wv), std::memory_order_release);
+
+  finished_ = true;
+  stm_.registry_.end_txn();
+}
+
+void Tl2Stm::Tx::rollback() {
+  // Lazy versioning: nothing was published; just clear and deregister.
+  writes_.clear();
+  reads_.clear();
+  finished_ = true;
+  stm_.registry_.end_txn();
+}
+
+}  // namespace mtx::stm

@@ -1,0 +1,106 @@
+// TL2-style lazy-versioning STM (the class of STMs in Example 3.5).
+//
+//   - Writes are buffered in a redo log until commit.
+//   - Reads validate against the global version clock sampled at begin
+//     (rv): seeing an orec version newer than rv, or a locked orec, aborts —
+//     this post-validation gives opacity (no zombie ever observes an
+//     inconsistent snapshot).
+//   - Commit: lock the write-set orecs, advance the clock to wv, re-validate
+//     the read set, publish the redo log, release orecs at version wv.
+//
+// Mixed-mode behavior matches §5's implementation model: a transactional
+// commit is synchronized with transactions it has a direct dependency with,
+// but plain accesses racing with buffered writes need a quiescence fence
+// (Tl2Stm::quiesce) for privatization.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "stm/api.hpp"
+#include "stm/clock.hpp"
+#include "stm/quiesce.hpp"
+#include "stm/stats.hpp"
+
+namespace mtx::stm {
+
+class Tl2Stm {
+ public:
+  Tl2Stm() : registry_(clock_) {}
+
+  class Tx {
+   public:
+    explicit Tx(Tl2Stm& stm) : stm_(stm), rv_(stm.clock_.now()) {
+      stm_.registry_.begin_txn();
+    }
+    ~Tx() {
+      if (!finished_) stm_.registry_.end_txn();
+    }
+    Tx(const Tx&) = delete;
+    Tx& operator=(const Tx&) = delete;
+
+    word_t read(const Cell& cell);
+    void write(Cell& cell, word_t v);
+    [[noreturn]] void user_abort() { throw TxUserAbort{}; }
+
+    // Internal: called by atomically().
+    void commit();
+    void rollback();
+
+   private:
+    struct WriteEntry {
+      Cell* cell;
+      word_t value;
+    };
+    struct ReadEntry {
+      std::atomic<word_t>* orec;
+      word_t seen;
+    };
+
+    Tl2Stm& stm_;
+    word_t rv_;
+    std::vector<WriteEntry> writes_;
+    std::vector<ReadEntry> reads_;
+    bool finished_ = false;
+
+    friend class Tl2Stm;
+  };
+
+  template <typename F>
+  bool atomically(F&& f) {
+    for (unsigned attempt = 0;; ++attempt) {
+      Tx tx(*this);
+      try {
+        f(tx);
+        tx.commit();
+        stats_.commits.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      } catch (const TxConflict&) {
+        tx.rollback();
+        stats_.conflicts.fetch_add(1, std::memory_order_relaxed);
+        backoff_pause(attempt);
+      } catch (const TxUserAbort&) {
+        tx.rollback();
+        stats_.user_aborts.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+  }
+
+  // Quiescence fence: waits for every in-flight transaction (HBCQ/HBQB).
+  void quiesce() {
+    stats_.fences.fetch_add(1, std::memory_order_relaxed);
+    registry_.fence();
+  }
+
+  StmStats& stats() { return stats_; }
+  GlobalClock& clock() { return clock_; }
+
+ private:
+  GlobalClock clock_;
+  OrecTable orecs_;
+  QuiescenceRegistry registry_;
+  StmStats stats_;
+};
+
+}  // namespace mtx::stm

@@ -1,0 +1,179 @@
+#include "substrate/bitrel.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace mtx {
+
+BitRel::BitRel(std::size_t n)
+    : n_(n), words_per_row_((n + 63) / 64), bits_(n * words_per_row_, 0) {}
+
+void BitRel::set(std::size_t a, std::size_t b, bool v) {
+  assert(a < n_ && b < n_);
+  const std::uint64_t mask = std::uint64_t{1} << (b % 64);
+  if (v) {
+    bits_[word_index(a, b)] |= mask;
+  } else {
+    bits_[word_index(a, b)] &= ~mask;
+  }
+}
+
+bool BitRel::test(std::size_t a, std::size_t b) const {
+  assert(a < n_ && b < n_);
+  return (bits_[word_index(a, b)] >> (b % 64)) & 1;
+}
+
+std::size_t BitRel::count() const {
+  std::size_t c = 0;
+  for (std::uint64_t w : bits_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+BitRel& BitRel::operator|=(const BitRel& o) {
+  if (n_ != o.n_) throw std::invalid_argument("BitRel size mismatch");
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] |= o.bits_[i];
+  return *this;
+}
+
+BitRel& BitRel::operator&=(const BitRel& o) {
+  if (n_ != o.n_) throw std::invalid_argument("BitRel size mismatch");
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] &= o.bits_[i];
+  return *this;
+}
+
+BitRel& BitRel::operator-=(const BitRel& o) {
+  if (n_ != o.n_) throw std::invalid_argument("BitRel size mismatch");
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] &= ~o.bits_[i];
+  return *this;
+}
+
+BitRel BitRel::compose(const BitRel& o) const {
+  if (n_ != o.n_) throw std::invalid_argument("BitRel size mismatch");
+  BitRel r(n_);
+  for (std::size_t a = 0; a < n_; ++a) {
+    std::uint64_t* out = &r.bits_[a * words_per_row_];
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      std::uint64_t row = bits_[a * words_per_row_ + w];
+      while (row) {
+        const std::size_t b = w * 64 + static_cast<std::size_t>(std::countr_zero(row));
+        row &= row - 1;
+        const std::uint64_t* brow = &o.bits_[b * words_per_row_];
+        for (std::size_t w2 = 0; w2 < words_per_row_; ++w2) out[w2] |= brow[w2];
+      }
+    }
+  }
+  return r;
+}
+
+BitRel BitRel::transposed() const {
+  BitRel r(n_);
+  for (std::size_t a = 0; a < n_; ++a)
+    for (std::size_t b = 0; b < n_; ++b)
+      if (test(a, b)) r.set(b, a);
+  return r;
+}
+
+BitRel BitRel::transitive_closure() const {
+  BitRel r = *this;
+  // Warshall: for each pivot k, every row that reaches k absorbs k's row.
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::uint64_t* krow = &r.bits_[k * words_per_row_];
+    for (std::size_t a = 0; a < n_; ++a) {
+      if (!r.test(a, k)) continue;
+      std::uint64_t* arow = &r.bits_[a * words_per_row_];
+      for (std::size_t w = 0; w < words_per_row_; ++w) arow[w] |= krow[w];
+    }
+  }
+  return r;
+}
+
+bool BitRel::is_irreflexive() const {
+  for (std::size_t a = 0; a < n_; ++a)
+    if (test(a, a)) return false;
+  return true;
+}
+
+bool BitRel::is_acyclic() const { return transitive_closure().is_irreflexive(); }
+
+bool BitRel::subset_of(const BitRel& o) const {
+  if (n_ != o.n_) throw std::invalid_argument("BitRel size mismatch");
+  for (std::size_t i = 0; i < bits_.size(); ++i)
+    if (bits_[i] & ~o.bits_[i]) return false;
+  return true;
+}
+
+BitRel BitRel::filtered(
+    const std::function<bool(std::size_t, std::size_t)>& keep) const {
+  BitRel r(n_);
+  for_each([&](std::size_t a, std::size_t b) {
+    if (keep(a, b)) r.set(a, b);
+  });
+  return r;
+}
+
+BitRel BitRel::restricted(const std::vector<bool>& mask) const {
+  return filtered([&](std::size_t a, std::size_t b) { return mask[a] && mask[b]; });
+}
+
+void BitRel::for_each(
+    const std::function<void(std::size_t, std::size_t)>& fn) const {
+  for (std::size_t a = 0; a < n_; ++a) {
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      std::uint64_t row = bits_[a * words_per_row_ + w];
+      while (row) {
+        const std::size_t b = w * 64 + static_cast<std::size_t>(std::countr_zero(row));
+        row &= row - 1;
+        fn(a, b);
+      }
+    }
+  }
+}
+
+std::vector<std::size_t> BitRel::successors(std::size_t a) const {
+  std::vector<std::size_t> out;
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    std::uint64_t row = bits_[a * words_per_row_ + w];
+    while (row) {
+      out.push_back(w * 64 + static_cast<std::size_t>(std::countr_zero(row)));
+      row &= row - 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> BitRel::topological_order() const {
+  std::vector<std::size_t> indeg(n_, 0);
+  for_each([&](std::size_t, std::size_t b) { ++indeg[b]; });
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n_; ++i)
+    if (indeg[i] == 0) ready.push_back(i);
+  std::vector<std::size_t> order;
+  order.reserve(n_);
+  // Pop smallest-index-first so the order is deterministic.
+  while (!ready.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ready.size(); ++i)
+      if (ready[i] < ready[best]) best = i;
+    const std::size_t v = ready[best];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best));
+    order.push_back(v);
+    for (std::size_t s : successors(v))
+      if (--indeg[s] == 0) ready.push_back(s);
+  }
+  if (order.size() != n_) return {};
+  return order;
+}
+
+std::string BitRel::str() const {
+  std::string s = "{";
+  bool first = true;
+  for_each([&](std::size_t a, std::size_t b) {
+    if (!first) s += ",";
+    first = false;
+    s += "(" + std::to_string(a) + "," + std::to_string(b) + ")";
+  });
+  return s + "}";
+}
+
+}  // namespace mtx

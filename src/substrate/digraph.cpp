@@ -1,0 +1,116 @@
+#include "substrate/digraph.hpp"
+
+#include <algorithm>
+
+namespace mtx {
+
+bool Digraph::has_cycle() const { return !topo_order().has_value(); }
+
+std::optional<std::vector<std::size_t>> Digraph::topo_order() const {
+  const std::size_t n = adj_.size();
+  std::vector<std::size_t> indeg(n, 0);
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b : adj_[a]) ++indeg[b];
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i)
+    if (indeg[i] == 0) ready.push_back(i);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    auto it = std::min_element(ready.begin(), ready.end());
+    const std::size_t v = *it;
+    ready.erase(it);
+    order.push_back(v);
+    for (std::size_t s : adj_[v])
+      if (--indeg[s] == 0) ready.push_back(s);
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+namespace {
+
+struct TarjanState {
+  const std::vector<std::vector<std::size_t>>& adj;
+  std::vector<int> index, low;
+  std::vector<bool> on_stack;
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> out;
+  int counter = 0;
+
+  explicit TarjanState(const std::vector<std::vector<std::size_t>>& a)
+      : adj(a), index(a.size(), -1), low(a.size(), 0), on_stack(a.size(), false) {}
+
+  void visit(std::size_t v) {
+    // Iterative Tarjan to avoid deep recursion on long chains.
+    struct Frame {
+      std::size_t v;
+      std::size_t next_child;
+    };
+    std::vector<Frame> frames{{v, 0}};
+    index[v] = low[v] = counter++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.next_child < adj[f.v].size()) {
+        const std::size_t w = adj[f.v][f.next_child++];
+        if (index[w] == -1) {
+          index[w] = low[w] = counter++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], index[w]);
+        }
+      } else {
+        if (low[f.v] == index[f.v]) {
+          std::vector<std::size_t> comp;
+          for (;;) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp.push_back(w);
+            if (w == f.v) break;
+          }
+          out.push_back(std::move(comp));
+        }
+        const std::size_t child = f.v;
+        frames.pop_back();
+        if (!frames.empty())
+          low[frames.back().v] = std::min(low[frames.back().v], low[child]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> Digraph::sccs() const {
+  TarjanState st(adj_);
+  for (std::size_t v = 0; v < adj_.size(); ++v)
+    if (st.index[v] == -1) st.visit(v);
+  return st.out;
+}
+
+std::vector<bool> Digraph::reachable_from(std::size_t from) const {
+  std::vector<bool> seen(adj_.size(), false);
+  std::vector<std::size_t> work;
+  for (std::size_t s : adj_[from])
+    if (!seen[s]) {
+      seen[s] = true;
+      work.push_back(s);
+    }
+  while (!work.empty()) {
+    const std::size_t v = work.back();
+    work.pop_back();
+    for (std::size_t s : adj_[v])
+      if (!seen[s]) {
+        seen[s] = true;
+        work.push_back(s);
+      }
+  }
+  return seen;
+}
+
+}  // namespace mtx

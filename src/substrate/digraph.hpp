@@ -1,0 +1,35 @@
+// Sparse directed-graph utilities used by the enumerators: cycle detection,
+// topological sort, strongly connected components.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace mtx {
+
+class Digraph {
+ public:
+  explicit Digraph(std::size_t n) : adj_(n) {}
+
+  std::size_t size() const { return adj_.size(); }
+  void add_edge(std::size_t a, std::size_t b) { adj_[a].push_back(b); }
+  const std::vector<std::size_t>& successors(std::size_t a) const { return adj_[a]; }
+
+  bool has_cycle() const;
+
+  // Kahn topological order (lowest-index-first among ready nodes, so the
+  // result is deterministic); nullopt when cyclic.
+  std::optional<std::vector<std::size_t>> topo_order() const;
+
+  // Tarjan SCCs; components are emitted in reverse topological order.
+  std::vector<std::vector<std::size_t>> sccs() const;
+
+  // Nodes reachable from `from` (excluding `from` itself unless on a cycle).
+  std::vector<bool> reachable_from(std::size_t from) const;
+
+ private:
+  std::vector<std::vector<std::size_t>> adj_;
+};
+
+}  // namespace mtx

@@ -1,0 +1,46 @@
+#include "substrate/enumerate.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mtx {
+
+bool for_each_product(const std::vector<std::size_t>& radices,
+                      const std::function<bool(const std::vector<std::size_t>&)>& fn) {
+  for (std::size_t r : radices)
+    if (r == 0) return true;  // empty product: vacuously complete
+  std::vector<std::size_t> choice(radices.size(), 0);
+  for (;;) {
+    if (!fn(choice)) return false;
+    std::size_t i = 0;
+    while (i < radices.size()) {
+      if (++choice[i] < radices[i]) break;
+      choice[i] = 0;
+      ++i;
+    }
+    if (i == radices.size()) return true;
+  }
+}
+
+bool for_each_permutation(std::size_t n,
+                          const std::function<bool(const std::vector<std::size_t>&)>& fn) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    if (!fn(perm)) return false;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return true;
+}
+
+std::uint64_t product_size(const std::vector<std::size_t>& radices) {
+  std::uint64_t total = 1;
+  for (std::size_t r : radices) {
+    if (r == 0) return 0;
+    if (total > std::numeric_limits<std::uint64_t>::max() / r)
+      return std::numeric_limits<std::uint64_t>::max();
+    total *= r;
+  }
+  return total;
+}
+
+}  // namespace mtx

@@ -1,0 +1,51 @@
+// Combinatorial enumeration helpers for the litmus-execution enumerators:
+// cartesian products (odometer), permutations, and an exploration budget so
+// exhaustive checks stay bounded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+namespace mtx {
+
+// Calls fn(choice) for every tuple in the cartesian product
+// {0..radices[0]-1} x ... x {0..radices[k-1]-1}.  A radix of 0 makes the
+// product empty.  Returns false if fn ever returned false (early stop).
+bool for_each_product(const std::vector<std::size_t>& radices,
+                      const std::function<bool(const std::vector<std::size_t>&)>& fn);
+
+// Calls fn(perm) for every permutation of {0..n-1}.  Returns false on early
+// stop.
+bool for_each_permutation(std::size_t n,
+                          const std::function<bool(const std::vector<std::size_t>&)>& fn);
+
+// Total number of tuples in the product, saturating at max().
+std::uint64_t product_size(const std::vector<std::size_t>& radices);
+
+// A simple decrementing budget for bounded exhaustive exploration.  Each
+// spend() consumes one unit; exhausted() turns true once the budget is gone,
+// after which callers are expected to bail out and report truncation.
+class Budget {
+ public:
+  explicit Budget(std::uint64_t units) : left_(units) {}
+  bool spend(std::uint64_t units = 1) {
+    if (left_ < units) {
+      left_ = 0;
+      exhausted_ = true;
+      return false;
+    }
+    left_ -= units;
+    return true;
+  }
+  bool exhausted() const { return exhausted_; }
+  std::uint64_t remaining() const { return left_; }
+
+ private:
+  std::uint64_t left_;
+  bool exhausted_ = false;
+};
+
+}  // namespace mtx

@@ -1,0 +1,30 @@
+// Text-table rendering used by the litmus-verdict harness and benchmark
+// summaries so the reproduction output reads like the paper's figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mtx {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::size_t rows() const { return rows_.size(); }
+
+  // Render with aligned columns, a header underline, and "| " separators.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Convenience numeric formatting.
+std::string with_commas(std::uint64_t n);
+std::string fixed(double v, int decimals);
+
+}  // namespace mtx

@@ -1,0 +1,69 @@
+#include "substrate/rational.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+namespace mtx {
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  if (den_ == 0) throw std::invalid_argument("Rational: zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return Rational(num_ * o.num_, den_ * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  if (o.num_ == 0) throw std::invalid_argument("Rational: divide by zero");
+  return Rational(num_ * o.den_, den_ * o.num_);
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  // Cross-multiply; operands in this codebase are tiny (timestamps of litmus
+  // traces), so int64 overflow is not a practical concern, but use __int128
+  // to keep the comparison exact regardless.
+  const __int128 lhs = static_cast<__int128>(a.num_) * b.den_;
+  const __int128 rhs = static_cast<__int128>(b.num_) * a.den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+Rational Rational::midpoint(const Rational& a, const Rational& b) {
+  return (a + b) / Rational(2);
+}
+
+std::string Rational::str() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.str();
+}
+
+}  // namespace mtx

@@ -1,0 +1,50 @@
+// Exact rational arithmetic for timestamps.
+//
+// The paper models write timestamps as rationals (Q) so that a new timestamp
+// can always be inserted strictly between two existing ones (needed, e.g., by
+// Lemma A.6, which delays the timestamp of a write while keeping the rest of
+// the coherence order fixed).  This is a small value type: int64 numerator
+// and denominator kept in lowest terms with a positive denominator.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+namespace mtx {
+
+class Rational {
+ public:
+  constexpr Rational() : num_(0), den_(1) {}
+  constexpr Rational(std::int64_t n) : num_(n), den_(1) {}  // NOLINT(google-explicit-constructor)
+  Rational(std::int64_t num, std::int64_t den);
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+  Rational operator-() const { return Rational(-num_, den_); }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a, const Rational& b);
+
+  // The midpoint (a+b)/2: always strictly between distinct a and b.
+  static Rational midpoint(const Rational& a, const Rational& b);
+
+  std::string str() const;
+
+ private:
+  void normalize();
+  std::int64_t num_;
+  std::int64_t den_;  // > 0 invariant
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace mtx

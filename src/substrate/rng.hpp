@@ -1,0 +1,48 @@
+// Deterministic PRNG (splitmix64 seeding + xoshiro256**) for the randomized
+// property tests and benchmark workload generators.  Deterministic seeding
+// makes every test failure reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mtx {
+
+std::uint64_t splitmix64(std::uint64_t& state);
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  // Uniform in [0, n); n must be > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  // True with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den);
+
+  double uniform01();
+
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[below(v.size())];
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mtx

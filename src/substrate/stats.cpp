@@ -1,0 +1,72 @@
+#include "substrate/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mtx {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  if (p <= 0) return sample.front();
+  if (p >= 100) return sample.back();
+  const double rank = p / 100.0 * static_cast<double>(sample.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sample.size()) return sample.back();
+  return sample[lo] * (1.0 - frac) + sample[lo + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {}
+
+void Histogram::add(double x) {
+  const double span = hi_ - lo_;
+  double frac = span > 0 ? (x - lo_) / span : 0.0;
+  frac = std::clamp(frac, 0.0, 1.0);
+  std::size_t i = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  if (i >= counts_.size()) i = counts_.size() - 1;
+  ++counts_[i];
+  ++total_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  const double span = hi_ - lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double b0 = lo_ + span * static_cast<double>(i) / static_cast<double>(counts_.size());
+    char label[64];
+    std::snprintf(label, sizeof label, "%10.3g | ", b0);
+    out += label;
+    const std::size_t bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+                                 static_cast<double>(width));
+    out.append(bar, '#');
+    out += " " + std::to_string(counts_[i]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace mtx

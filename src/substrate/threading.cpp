@@ -1,0 +1,32 @@
+#include "substrate/threading.hpp"
+
+#include <algorithm>
+
+namespace mtx {
+
+void SpinBarrier::arrive_and_wait() {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+    waiting_.store(0, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  while (generation_.load(std::memory_order_acquire) == gen) {
+    // spin; yield occasionally to be oversubscription-friendly
+    std::this_thread::yield();
+  }
+}
+
+void run_team(std::size_t threads, const std::function<void(std::size_t)>& fn) {
+  std::vector<std::thread> team;
+  team.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) team.emplace_back(fn, t);
+  for (auto& th : team) th.join();
+}
+
+std::size_t hw_threads(std::size_t cap) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw ? hw : 1, 1, cap);
+}
+
+}  // namespace mtx

@@ -1,0 +1,35 @@
+// Thread coordination for stress tests and benchmarks: a spinning barrier
+// (so threads release together without kernel wakeup jitter) and a ThreadTeam
+// that runs one function per thread and joins.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace mtx {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties)
+      : parties_(parties), waiting_(0), generation_(0) {}
+
+  // Blocks (spinning) until all parties arrive.
+  void arrive_and_wait();
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> waiting_;
+  std::atomic<std::uint64_t> generation_;
+};
+
+// Runs fn(tid) on `threads` std::threads and joins them all.  Exceptions from
+// workers terminate (tests should not throw across threads).
+void run_team(std::size_t threads, const std::function<void(std::size_t)>& fn);
+
+// Hardware concurrency clamped to [1, cap].
+std::size_t hw_threads(std::size_t cap = 64);
+
+}  // namespace mtx

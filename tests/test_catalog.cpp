@@ -1,0 +1,188 @@
+// The reproduction table: every paper figure/example verdict, as a
+// parameterized test over (catalog entry, model config) pairs, plus the
+// race-freedom claims that are about executions rather than outcomes
+// (Example 2.1, the Example 2.3 HBwr rows).
+#include <gtest/gtest.h>
+
+#include "litmus/catalog.hpp"
+#include "model/race.hpp"
+
+namespace mtx::lit {
+namespace {
+
+using model::ModelConfig;
+
+struct Case {
+  const LitmusTest* test;
+  Expectation exp;
+};
+
+std::vector<Case> all_cases() {
+  std::vector<Case> out;
+  for (const LitmusTest& t : catalog())
+    for (const Expectation& e : t.expected) out.push_back({&t, e});
+  return out;
+}
+
+class CatalogVerdict : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CatalogVerdict, MatchesPaper) {
+  const Case& c = GetParam();
+  const VerdictRow row = run_verdict(*c.test, c.exp);
+  EXPECT_EQ(row.actual_allowed, row.expected_allowed)
+      << c.test->id << " (" << c.test->paper_ref << ") witness '"
+      << c.test->witness_desc << "' under " << c.exp.config;
+  EXPECT_GT(row.consistent_execs, 0u)
+      << c.test->id << ": enumeration found no consistent executions at all";
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string n = info.param.test->id + "_" + info.param.exp.config;
+  for (char& ch : n)
+    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, CatalogVerdict, ::testing::ValuesIn(all_cases()),
+                         case_name);
+
+// ---------------------------------------------------------------------------
+// Race-freedom claims (these are about executions, not final outcomes).
+// ---------------------------------------------------------------------------
+
+const LitmusTest& find_test(const std::string& id) {
+  for (const LitmusTest& t : catalog())
+    if (t.id == id) return t;
+  throw std::runtime_error("no catalog entry " + id);
+}
+
+// Example 2.1: under the programmer model, every consistent execution of the
+// privatization program is free of {x}-races (HBww orders the two writes).
+TEST(RaceFreedom, PrivatizationRaceFreeUnderProgrammerModel) {
+  const LitmusTest& t = find_test("E01");
+  GraphEnum e(t.program, ModelConfig::programmer());
+  const model::LocSet Lx = model::loc_set({0}, t.program.num_locs);
+  std::size_t execs = 0;
+  e.for_each([&](const Execution& ex) {
+    ++execs;
+    const auto an = model::analyze(ex.trace, ModelConfig::programmer());
+    EXPECT_FALSE(model::has_l_race(ex.trace, an.hb, Lx)) << ex.trace.str();
+  });
+  EXPECT_GT(execs, 0u);
+}
+
+// ... whereas the base model leaves a race in the execution where the
+// transaction read y=0 (this is exactly what HBww exists to remove).
+TEST(RaceFreedom, PrivatizationRacyInBaseModel) {
+  const LitmusTest& t = find_test("E01");
+  GraphEnum e(t.program, ModelConfig::base());
+  const model::LocSet Lx = model::loc_set({0}, t.program.num_locs);
+  bool some_race = false;
+  e.for_each([&](const Execution& ex) {
+    const auto an = model::analyze(ex.trace, ModelConfig::base());
+    if (model::has_l_race(ex.trace, an.hb, Lx)) some_race = true;
+  });
+  EXPECT_TRUE(some_race);
+}
+
+// Example 2.3 HBwr row: a transaction writes x, a later plain read of x
+// reads it.  Under HBwr the execution is race-free; under base it races.
+TEST(RaceFreedom, HBwrRowOrdersPlainReadAfterTxn) {
+  Program p;
+  p.num_locs = 2;  // x=0, y=1
+  p.add_thread({atomic({read(0, at(1)), write(at(0), 1)}, "a")});
+  p.add_thread({atomic({write(at(1), 1)}, "b"), read(0, at(0))});
+
+  const model::LocSet Lx = model::loc_set({0}, 2);
+  auto races_when_privatized = [&](const ModelConfig& cfg) {
+    GraphEnum e(p, cfg);
+    bool racy = false;
+    e.for_each([&](const Execution& ex) {
+      // Interesting executions: a read y=0 (serialized first) and the plain
+      // read saw a's write.
+      bool a_first = false, read_saw_1 = false;
+      for (std::size_t i = 0; i < ex.trace.size(); ++i) {
+        const auto& act = ex.trace[i];
+        if (act.is_read() && act.loc == 1 && ex.trace.transactional(i))
+          a_first = act.value == 0;
+        if (act.is_read() && act.loc == 0 && ex.trace.plain(i))
+          read_saw_1 = act.value == 1;
+      }
+      if (!(a_first && read_saw_1)) return;
+      const auto an = model::analyze(ex.trace, cfg);
+      racy |= model::has_l_race(ex.trace, an.hb, Lx);
+    });
+    return racy;
+  };
+
+  EXPECT_TRUE(races_when_privatized(ModelConfig::base()));
+  EXPECT_FALSE(races_when_privatized(ModelConfig::variant_hb_wr()));
+}
+
+// Example 2.3 HB'wr row: plain write of x published into a transaction that
+// reads it; HB'wr removes the race.
+TEST(RaceFreedom, HBwrPrimeRowOrdersPlainWriteBeforeTxnRead) {
+  Program p;
+  p.num_locs = 2;
+  p.add_thread({write(at(0), 1), atomic({read(0, at(1))}, "b")});
+  p.add_thread({atomic({read(0, at(0)), write(at(1), 1)}, "c")});
+
+  const model::LocSet Lx = model::loc_set({0}, 2);
+  auto racy_publication = [&](const ModelConfig& cfg) {
+    GraphEnum e(p, cfg);
+    bool racy = false;
+    e.for_each([&](const Execution& ex) {
+      bool b_read_0 = false, c_read_1 = false;
+      for (std::size_t i = 0; i < ex.trace.size(); ++i) {
+        const auto& act = ex.trace[i];
+        if (act.is_read() && act.loc == 1) b_read_0 = act.value == 0;
+        if (act.is_read() && act.loc == 0) c_read_1 = act.value == 1;
+      }
+      if (!(b_read_0 && c_read_1)) return;
+      const auto an = model::analyze(ex.trace, cfg);
+      racy |= model::has_l_race(ex.trace, an.hb, Lx);
+    });
+    return racy;
+  };
+
+  EXPECT_TRUE(racy_publication(ModelConfig::base()));
+  EXPECT_FALSE(racy_publication(ModelConfig::variant_hb_wr_p()));
+}
+
+// §6: the strongest variant (x86) agrees with the programmer model on every
+// programmer-model catalog verdict (x86 validates the programmer model).
+TEST(Compilation, StrongestRefinesProgrammerVerdicts) {
+  for (const LitmusTest& t : catalog()) {
+    bool has_prog = false, prog_allowed = false;
+    for (const Expectation& e : t.expected)
+      if (e.config == "programmer") {
+        has_prog = true;
+        prog_allowed = e.allowed;
+      }
+    if (!has_prog) continue;
+    const OutcomeSet strong =
+        enumerate_outcomes(t.program, ModelConfig::strongest());
+    const bool strong_allowed = strong.any(t.witness);
+    // Refinement: anything x86 exhibits, the programmer model allows.
+    if (strong_allowed) {
+      EXPECT_TRUE(prog_allowed)
+          << t.id << ": strongest allows a witness the programmer model forbids";
+    }
+  }
+}
+
+TEST(Catalog, ConfigLookupRejectsUnknown) {
+  EXPECT_THROW(config_by_name("no-such-model"), std::invalid_argument);
+  EXPECT_EQ(config_by_name("programmer").name, "programmer");
+}
+
+TEST(Catalog, EveryEntryHasExpectations) {
+  for (const LitmusTest& t : catalog()) {
+    EXPECT_FALSE(t.expected.empty()) << t.id;
+    EXPECT_FALSE(t.paper_ref.empty()) << t.id;
+  }
+  EXPECT_GE(catalog().size(), 25u);
+}
+
+}  // namespace
+}  // namespace mtx::lit

@@ -1,0 +1,204 @@
+// Transactional containers over all three backends: functional tests plus
+// multithreaded linearizability-style checks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "containers/bank.hpp"
+#include "containers/thash.hpp"
+#include "containers/tlist.hpp"
+#include "containers/tqueue.hpp"
+#include "stm/eager.hpp"
+#include "stm/norec.hpp"
+#include "stm/sgl.hpp"
+#include "stm/tl2.hpp"
+#include "substrate/rng.hpp"
+#include "substrate/threading.hpp"
+
+namespace mtx::containers {
+namespace {
+
+using stm::EagerStm;
+using stm::NorecStm;
+using stm::SglStm;
+using stm::Tl2Stm;
+
+template <typename Stm>
+class ContainerTest : public ::testing::Test {};
+
+using Backends = ::testing::Types<Tl2Stm, EagerStm, NorecStm, SglStm>;
+TYPED_TEST_SUITE(ContainerTest, Backends);
+
+TYPED_TEST(ContainerTest, ListInsertRemoveContains) {
+  TypeParam stm;
+  TList<TypeParam> list(stm);
+  EXPECT_TRUE(list.insert(5));
+  EXPECT_TRUE(list.insert(3));
+  EXPECT_TRUE(list.insert(8));
+  EXPECT_FALSE(list.insert(5));  // duplicate
+  EXPECT_TRUE(list.contains(3));
+  EXPECT_FALSE(list.contains(4));
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_TRUE(list.remove(3));
+  EXPECT_FALSE(list.remove(3));
+  EXPECT_FALSE(list.contains(3));
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TYPED_TEST(ContainerTest, ListHandlesBoundaryKeys) {
+  TypeParam stm;
+  TList<TypeParam> list(stm);
+  EXPECT_TRUE(list.insert(0));
+  EXPECT_TRUE(list.insert(-1000));
+  EXPECT_TRUE(list.insert(1000));
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_TRUE(list.contains(-1000));
+}
+
+TYPED_TEST(ContainerTest, ConcurrentListDisjointKeys) {
+  TypeParam stm;
+  TList<TypeParam> list(stm);
+  const std::size_t threads = std::min<std::size_t>(mtx::hw_threads(), 6);
+  constexpr int kPerThread = 150;
+  mtx::run_team(threads, [&](std::size_t tid) {
+    for (int i = 0; i < kPerThread; ++i)
+      EXPECT_TRUE(list.insert(static_cast<std::int64_t>(tid) * 10000 + i));
+  });
+  EXPECT_EQ(list.size(), threads * kPerThread);
+}
+
+TYPED_TEST(ContainerTest, ConcurrentListContendedKeys) {
+  TypeParam stm;
+  TList<TypeParam> list(stm);
+  std::atomic<int> inserted{0}, removed{0};
+  const std::size_t threads = std::min<std::size_t>(mtx::hw_threads(), 6);
+  mtx::run_team(threads, [&](std::size_t tid) {
+    mtx::Rng rng(tid + 99);
+    for (int i = 0; i < 400; ++i) {
+      const std::int64_t key = static_cast<std::int64_t>(rng.below(32));
+      if (rng.chance(1, 2)) {
+        if (list.insert(key)) inserted.fetch_add(1);
+      } else {
+        if (list.remove(key)) removed.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(list.size(),
+            static_cast<std::size_t>(inserted.load() - removed.load()));
+}
+
+TYPED_TEST(ContainerTest, HashPutGetErase) {
+  TypeParam stm;
+  THash<TypeParam> map(stm, 16);
+  EXPECT_TRUE(map.put(1, 10));
+  EXPECT_TRUE(map.put(2, 20));
+  EXPECT_FALSE(map.put(1, 11));  // update
+  std::int64_t v = 0;
+  EXPECT_TRUE(map.get(1, &v));
+  EXPECT_EQ(v, 11);
+  EXPECT_FALSE(map.get(3, &v));
+  EXPECT_TRUE(map.erase(1));
+  EXPECT_FALSE(map.erase(1));
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TYPED_TEST(ContainerTest, HashManyKeysAcrossBuckets) {
+  TypeParam stm;
+  THash<TypeParam> map(stm, 8);
+  for (std::int64_t k = 0; k < 200; ++k) EXPECT_TRUE(map.put(k, k * k));
+  EXPECT_EQ(map.size(), 200u);
+  for (std::int64_t k = 0; k < 200; ++k) {
+    std::int64_t v = -1;
+    ASSERT_TRUE(map.get(k, &v));
+    EXPECT_EQ(v, k * k);
+  }
+}
+
+TYPED_TEST(ContainerTest, ConcurrentHashMixed) {
+  TypeParam stm;
+  THash<TypeParam> map(stm, 32);
+  const std::size_t threads = std::min<std::size_t>(mtx::hw_threads(), 6);
+  mtx::run_team(threads, [&](std::size_t tid) {
+    mtx::Rng rng(tid * 3 + 1);
+    for (int i = 0; i < 400; ++i) {
+      const std::int64_t key = static_cast<std::int64_t>(rng.below(64));
+      switch (rng.below(3)) {
+        case 0: map.put(key, static_cast<std::int64_t>(tid)); break;
+        case 1: map.erase(key); break;
+        default: {
+          std::int64_t v;
+          map.get(key, &v);
+        }
+      }
+    }
+  });
+  // Consistency: size equals the number of distinct presently-stored keys.
+  std::size_t count = 0;
+  for (std::int64_t k = 0; k < 64; ++k) {
+    std::int64_t v;
+    if (map.get(k, &v)) ++count;
+  }
+  EXPECT_EQ(map.size(), count);
+}
+
+TYPED_TEST(ContainerTest, QueueFifoOrder) {
+  TypeParam stm;
+  TQueue<TypeParam> q(stm, 8);
+  EXPECT_EQ(q.size(), 0u);
+  for (std::int64_t i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  for (std::int64_t i = 0; i < 5; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TYPED_TEST(ContainerTest, QueueCapacityBound) {
+  TypeParam stm;
+  TQueue<TypeParam> q(stm, 3);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_FALSE(q.push(4));  // full
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_TRUE(q.push(4));  // wraps
+}
+
+TYPED_TEST(ContainerTest, QueueProducerConsumer) {
+  TypeParam stm;
+  TQueue<TypeParam> q(stm, 64);
+  constexpr std::int64_t kItems = 2000;
+  std::atomic<std::int64_t> consumed_sum{0};
+  std::atomic<std::int64_t> consumed_count{0};
+  mtx::run_team(2, [&](std::size_t tid) {
+    if (tid == 0) {
+      for (std::int64_t i = 1; i <= kItems;) {
+        if (q.push(i)) ++i;
+      }
+    } else {
+      while (consumed_count.load() < kItems) {
+        if (auto v = q.pop()) {
+          consumed_sum.fetch_add(*v);
+          consumed_count.fetch_add(1);
+        }
+      }
+    }
+  });
+  EXPECT_EQ(consumed_sum.load(), kItems * (kItems + 1) / 2);
+}
+
+TYPED_TEST(ContainerTest, BankTransfersAndAudit) {
+  TypeParam stm;
+  Bank<TypeParam> bank(stm, 8, 50);
+  bank.transfer(0, 1, 25);
+  EXPECT_EQ(bank.plain_balance(0), 25);
+  EXPECT_EQ(bank.plain_balance(1), 75);
+  EXPECT_EQ(bank.total(), bank.expected_total());
+  EXPECT_EQ(bank.audit_after_quiesce(), bank.expected_total());
+}
+
+}  // namespace
+}  // namespace mtx::containers

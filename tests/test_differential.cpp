@@ -1,0 +1,128 @@
+// Differential model testing over randomly generated programs:
+//
+//   - model-strength monotonicity: every outcome allowed by a stronger
+//     model (more HB rules / more anti axioms) is allowed by the weaker one:
+//     outcomes(strongest) ⊆ outcomes(programmer) ⊆ outcomes(base);
+//   - fence-free programs behave identically in the base and implementation
+//     models (the fence machinery is inert without fences);
+//   - executions produced by the graph enumerator replay as traces of the
+//     DFS enumerator (the two semantics agree).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "litmus/graph_enum.hpp"
+#include "litmus/random_program.hpp"
+#include "litmus/trace_enum.hpp"
+
+namespace mtx::lit {
+namespace {
+
+using model::ModelConfig;
+
+std::set<Outcome> outcomes_of(const Program& p, const ModelConfig& cfg) {
+  return enumerate_outcomes(p, cfg).outcomes();
+}
+
+bool subset(const std::set<Outcome>& a, const std::set<Outcome>& b) {
+  for (const Outcome& o : a)
+    if (!b.count(o)) return false;
+  return true;
+}
+
+class Differential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Differential, StrengthMonotonicity) {
+  Rng rng(GetParam());
+  RandomProgramParams params;
+  for (int i = 0; i < 6; ++i) {
+    const Program p = random_program(rng, params);
+    const auto base = outcomes_of(p, ModelConfig::base());
+    const auto prog = outcomes_of(p, ModelConfig::programmer());
+    const auto strong = outcomes_of(p, ModelConfig::strongest());
+    EXPECT_TRUE(subset(strong, prog));
+    EXPECT_TRUE(subset(prog, base));
+    EXPECT_FALSE(base.empty());
+  }
+}
+
+TEST_P(Differential, VariantsRefineBase) {
+  Rng rng(GetParam() * 13 + 1);
+  RandomProgramParams params;
+  for (int i = 0; i < 3; ++i) {
+    const Program p = random_program(rng, params);
+    const auto base = outcomes_of(p, ModelConfig::base());
+    for (const ModelConfig& v : ModelConfig::example_2_3_variants())
+      EXPECT_TRUE(subset(outcomes_of(p, v), base)) << v.name;
+  }
+}
+
+TEST_P(Differential, ImplementationEqualsBaseWithoutFences) {
+  Rng rng(GetParam() * 101 + 7);
+  RandomProgramParams params;
+  for (int i = 0; i < 6; ++i) {
+    const Program p = random_program(rng, params);  // generator emits no fences
+    EXPECT_EQ(outcomes_of(p, ModelConfig::base()),
+              outcomes_of(p, ModelConfig::implementation()));
+  }
+}
+
+TEST_P(Differential, GraphExecutionsReplayInTraceEnum) {
+  // Every consistent execution found by the graph enumerator corresponds to
+  // a consistent trace of the DFS semantics: extending it must at least be
+  // recognized (replay succeeds and the base trace is visited).
+  Rng rng(GetParam() * 31 + 3);
+  RandomProgramParams params;
+  params.stmts_per_thread = 2;
+  for (int i = 0; i < 3; ++i) {
+    const Program p = random_program(rng, params);
+    GraphEnum ge(p, ModelConfig::programmer());
+    TraceEnum te(p, ModelConfig::programmer());
+    std::size_t checked = 0;
+    ge.for_each([&](const Execution& ex) {
+      if (checked >= 5) return;  // keep DFS work bounded
+      ++checked;
+      bool visited = false;
+      te.explore_from(ex.trace,
+                      [&](const model::Trace&, const model::Analysis&,
+                          std::size_t appended) {
+                        if (appended == static_cast<std::size_t>(-1)) visited = true;
+                        return TraceEnum::Visit::Prune;
+                      });
+      EXPECT_TRUE(visited) << p.name << "\n" << ex.trace.str();
+    });
+  }
+}
+
+TEST(RandomPrograms, GeneratorProducesVariety) {
+  Rng rng(99);
+  RandomProgramParams params;
+  params.threads = 3;
+  bool some_atomic = false, some_plain = false, some_branch = false,
+       some_abort = false;
+  for (int i = 0; i < 30; ++i) {
+    const Program p = random_program(rng, params);
+    ASSERT_EQ(p.threads.size(), 3u);
+    for (const Block& b : p.threads)
+      for (const Stmt& s : b) {
+        if (s.kind == Stmt::Kind::Atomic) {
+          some_atomic = true;
+          for (const Stmt& inner : s.body) {
+            some_branch |= inner.kind == Stmt::Kind::If;
+            some_abort |= inner.kind == Stmt::Kind::Abort;
+          }
+        }
+        some_plain |= s.kind == Stmt::Kind::Read || s.kind == Stmt::Kind::Write;
+      }
+  }
+  EXPECT_TRUE(some_atomic);
+  EXPECT_TRUE(some_plain);
+  EXPECT_TRUE(some_branch);
+  EXPECT_TRUE(some_abort);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
+                         ::testing::Values(1, 2, 3, 5, 7, 11, 13, 17));
+
+}  // namespace
+}  // namespace mtx::lit

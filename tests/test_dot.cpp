@@ -1,0 +1,67 @@
+// DOT export smoke tests: structure of the emitted graph.
+#include <gtest/gtest.h>
+
+#include "model/dot.hpp"
+#include "trace_builders.hpp"
+
+namespace mtx::test {
+namespace {
+
+using model::analyze;
+using model::DotOptions;
+using model::ModelConfig;
+using model::to_dot;
+
+TEST(Dot, ClustersAndEdges) {
+  TB b(2);
+  b.begin(0).w(0, 0, 1, 1).commit(0);
+  b.begin(1).r(1, 0, 1, 1).abort(1);
+  b.w(2, 1, 1, 1);
+  b.w(2, 0, 2, 2);  // plain overwrite: a visible (non-init) ww edge
+  const Trace& t = b.trace();
+  const auto an = analyze(t, ModelConfig::programmer());
+  const std::string dot = to_dot(t, an);
+
+  EXPECT_NE(dot.find("digraph execution"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_txn"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed; color=red"), std::string::npos);   // aborted
+  EXPECT_NE(dot.find("style=solid; color=blue"), std::string::npos);   // committed
+  EXPECT_NE(dot.find("label=\"wr\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"ww\""), std::string::npos);
+  // init hidden by default
+  EXPECT_EQ(dot.find("init"), std::string::npos);
+}
+
+TEST(Dot, OptionsControlContent) {
+  TB b(1);
+  b.w(0, 0, 1, 1).r(1, 0, 1, 1);
+  const Trace& t = b.trace();
+  const auto an = analyze(t, ModelConfig::programmer());
+
+  DotOptions opts;
+  opts.show_wr = false;
+  opts.show_ww = false;
+  opts.show_rw = false;
+  const std::string bare = to_dot(t, an, opts);
+  EXPECT_EQ(bare.find("label=\"wr\""), std::string::npos);
+
+  opts.include_init = true;
+  const std::string with_init = to_dot(t, an, opts);
+  EXPECT_NE(with_init.find("init"), std::string::npos);
+
+  opts.show_hb = true;
+  const std::string with_hb = to_dot(t, an, opts);
+  EXPECT_NE(with_hb.find("label=\"hb\""), std::string::npos);
+}
+
+TEST(Dot, QuotesEscaped) {
+  TB b(1);
+  b.w(0, 0, 1, 1);
+  const auto an = analyze(b.trace(), ModelConfig::programmer());
+  const std::string dot = to_dot(b.trace(), an);
+  // Every emitted label is well-formed: no raw backslash-free quote inside.
+  EXPECT_NE(dot.find("label=\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mtx::test

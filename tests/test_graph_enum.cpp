@@ -1,0 +1,171 @@
+// The axiomatic execution enumerator: outcome sets of basic programs,
+// value flow through registers and array indices, abort handling, fences,
+// and enumeration statistics.
+#include <gtest/gtest.h>
+
+#include "litmus/graph_enum.hpp"
+
+namespace mtx::lit {
+namespace {
+
+using model::ModelConfig;
+
+TEST(GraphEnum, SequentialProgramSingleOutcome) {
+  Program p;
+  p.num_locs = 1;
+  p.add_thread({write(at(0), 1), write(at(0), 2), read(0, at(0))});
+  const OutcomeSet set = enumerate_outcomes(p, ModelConfig::programmer());
+  ASSERT_EQ(set.size(), 1u);
+  const Outcome& o = *set.outcomes().begin();
+  EXPECT_EQ(o.loc(0), 2);
+  EXPECT_EQ(o.reg(0, 0), 2);
+}
+
+TEST(GraphEnum, MessagePassingPlainIsRacy) {
+  // Plain MP: r(y)=1, r(x)=0 is allowed (plain wr is not in hb).
+  Program p;
+  p.num_locs = 2;
+  p.add_thread({write(at(0), 1), write(at(1), 1)});
+  p.add_thread({read(0, at(1)), read(1, at(0))});
+  const OutcomeSet set = enumerate_outcomes(p, ModelConfig::programmer());
+  EXPECT_TRUE(set.any([](const Outcome& o) {
+    return o.reg(1, 0) == 1 && o.reg(1, 1) == 0;
+  }));
+}
+
+TEST(GraphEnum, MessagePassingTransactionalIsOrdered) {
+  Program p;
+  p.num_locs = 2;
+  p.add_thread({write(at(0), 1), atomic({write(at(1), 1)})});
+  p.add_thread({atomic({read(0, at(1))}), read(1, at(0))});
+  const OutcomeSet set = enumerate_outcomes(p, ModelConfig::programmer());
+  EXPECT_FALSE(set.any([](const Outcome& o) {
+    return o.reg(1, 0) == 1 && o.reg(1, 1) == 0;
+  }));
+  EXPECT_TRUE(set.any([](const Outcome& o) {
+    return o.reg(1, 0) == 1 && o.reg(1, 1) == 1;
+  }));
+}
+
+TEST(GraphEnum, ValueFlowsThroughRegisters) {
+  Program p;
+  p.num_locs = 2;
+  p.add_thread({write(at(0), 41), read(0, at(0)), write(at(1), add(0, 1))});
+  const OutcomeSet set = enumerate_outcomes(p, ModelConfig::programmer());
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.outcomes().begin()->loc(1), 42);
+}
+
+TEST(GraphEnum, CrossThreadValueFlow) {
+  // Thread 1's written value is thread 0's read + 1; thread 0 reads either
+  // the init 0 or... nothing else: the dependency is one-way.
+  Program p;
+  p.num_locs = 2;
+  p.add_thread({read(0, at(0)), write(at(1), add(0, 5))});
+  p.add_thread({write(at(0), 10)});
+  const OutcomeSet set = enumerate_outcomes(p, ModelConfig::programmer());
+  EXPECT_TRUE(set.any([](const Outcome& o) { return o.loc(1) == 5; }));
+  EXPECT_TRUE(set.any([](const Outcome& o) { return o.loc(1) == 15; }));
+}
+
+TEST(GraphEnum, ArrayIndexingByRegister) {
+  // z[r] where r is read from x: writes land on different cells.
+  Program p;
+  p.num_locs = 3;  // x=0, z[0]=1, z[1]=2
+  p.add_thread({read(0, at(0)), write(at(1, 0), 7)});
+  p.add_thread({write(at(0), 1)});
+  const OutcomeSet set = enumerate_outcomes(p, ModelConfig::programmer());
+  EXPECT_TRUE(set.any([](const Outcome& o) { return o.loc(1) == 7 && o.loc(2) == 0; }));
+  EXPECT_TRUE(set.any([](const Outcome& o) { return o.loc(1) == 0 && o.loc(2) == 7; }));
+}
+
+TEST(GraphEnum, OutOfRangeArrayIndexInfeasible) {
+  Program p;
+  p.num_locs = 2;  // z[1] would be loc 2: out of range
+  p.add_thread({write(at(0), 5), read(0, at(0)), write(at(1, 0), 1)});
+  const OutcomeSet set = enumerate_outcomes(p, ModelConfig::programmer());
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(GraphEnum, AbortedWritesInvisible) {
+  Program p;
+  p.num_locs = 1;
+  p.add_thread({atomic({write(at(0), 1), abort_stmt()})});
+  p.add_thread({read(0, at(0))});
+  const OutcomeSet set = enumerate_outcomes(p, ModelConfig::programmer());
+  EXPECT_TRUE(set.all([](const Outcome& o) { return o.reg(1, 0) == 0; }));
+  EXPECT_TRUE(set.all([](const Outcome& o) { return o.loc(0) == 0; }));
+}
+
+TEST(GraphEnum, TxnReadsOwnWrite) {
+  Program p;
+  p.num_locs = 1;
+  p.add_thread({atomic({write(at(0), 9), read(0, at(0))})});
+  const OutcomeSet set = enumerate_outcomes(p, ModelConfig::programmer());
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.outcomes().begin()->reg(0, 0), 9);
+}
+
+TEST(GraphEnum, GuardsPruneInfeasibleBranches) {
+  Program p;
+  p.num_locs = 2;
+  p.add_thread({read(0, at(0)), if_then_else(eq(0, 0), {write(at(1), 10)},
+                                             {write(at(1), 20)})});
+  const OutcomeSet set = enumerate_outcomes(p, ModelConfig::programmer());
+  // x is always 0: only the then-branch outcome exists.
+  EXPECT_TRUE(set.all([](const Outcome& o) { return o.loc(1) == 10; }));
+}
+
+TEST(GraphEnum, StatsAreAccounted) {
+  Program p;
+  p.num_locs = 2;
+  p.add_thread({write(at(0), 1), read(0, at(1))});
+  p.add_thread({write(at(1), 1), read(0, at(0))});
+  GraphEnum e(p, ModelConfig::programmer());
+  std::size_t execs = 0;
+  e.for_each([&](const Execution&) { ++execs; });
+  EXPECT_EQ(e.stats().consistent, execs);
+  EXPECT_GT(e.stats().candidates, 0u);
+  EXPECT_FALSE(e.stats().truncated);
+}
+
+TEST(GraphEnum, BudgetTruncates) {
+  Program p;
+  p.num_locs = 2;
+  p.add_thread({write(at(0), 1), read(0, at(1))});
+  p.add_thread({write(at(1), 1), read(0, at(0))});
+  EnumOptions opts;
+  opts.budget = 2;
+  GraphEnum e(p, ModelConfig::programmer(), opts);
+  e.for_each([](const Execution&) {});
+  EXPECT_TRUE(e.stats().truncated);
+}
+
+TEST(GraphEnum, ExecutionTracesAreConsistent) {
+  Program p;
+  p.num_locs = 2;
+  p.add_thread({atomic({write(at(0), 1)}), write(at(1), 1)});
+  p.add_thread({atomic({read(0, at(0))}), read(1, at(1))});
+  GraphEnum e(p, ModelConfig::programmer());
+  std::size_t n = 0;
+  e.for_each([&](const Execution& ex) {
+    ++n;
+    EXPECT_TRUE(model::consistent(ex.trace, ModelConfig::programmer()));
+  });
+  EXPECT_GT(n, 0u);
+}
+
+TEST(GraphEnum, FenceEnumerationRespectsWF12) {
+  Program p;
+  p.num_locs = 1;
+  p.add_thread({atomic({write(at(0), 1)})});
+  p.add_thread({qfence(0), read(0, at(0))});
+  GraphEnum e(p, ModelConfig::implementation());
+  e.for_each([&](const Execution& ex) {
+    EXPECT_TRUE(model::check_wellformed(ex.trace).ok());
+  });
+  EXPECT_GT(e.stats().consistent, 0u);
+}
+
+}  // namespace
+}  // namespace mtx::lit

@@ -1,0 +1,213 @@
+// Happens-before rules (HBdefn/HBtrans/HBww + variants, HBCQ/HBQB) and the
+// consistency axioms, checked on hand-built traces from the paper's figures.
+#include <gtest/gtest.h>
+
+#include "model/consistency.hpp"
+#include "trace_builders.hpp"
+
+namespace mtx::test {
+namespace {
+
+using model::analyze;
+using model::Analysis;
+using model::ModelConfig;
+
+constexpr Loc X = 0, Y = 1;
+
+// Example 2.1 privatization execution: a reads y=0 and writes x=1; b writes
+// y=1; plain Wx2 po-after b, with Wx1 ww Wx2.
+Trace privatization_exec() {
+  TB b(2);
+  b.begin(0).r(0, Y, 0, 0).w(0, X, 1, 1).commit(0);  // a: 4..7 (Wx1 = 6)
+  b.begin(1).w(1, Y, 1, 1).commit(1).w(1, X, 2, 2);  // b: 8..10, plain Wx2: 11
+  return b.trace();
+}
+
+TEST(HB, BaseIncludesPoCwrCww) {
+  TB b(1);
+  b.begin(0).w(0, X, 1, 1).commit(0);
+  b.begin(1).r(1, X, 1, 1).commit(1);
+  const Analysis an = analyze(b.trace(), ModelConfig::base());
+  // cwr lifted across the two txns: writer (4) hb reader's begin (6).
+  EXPECT_TRUE(an.hb.test(4, 7));
+  EXPECT_TRUE(an.hb.test(4, 6));  // lifted to the begin as well
+  EXPECT_TRUE(an.hb.test(3, 4));  // po
+  EXPECT_TRUE(an.hb.test(1, 8));  // init before everything
+}
+
+TEST(HB, TransitivityThroughThreads) {
+  TB b(2);
+  b.w(0, X, 1, 1);
+  b.begin(0).w(0, Y, 1, 1).commit(0);
+  b.begin(1).r(1, Y, 1, 1).commit(1);
+  b.r(1, X, 1, 1);
+  const Analysis an = analyze(b.trace(), ModelConfig::base());
+  // Wx1 (3) hb plain read of x (last) via po;cwr;po.
+  EXPECT_TRUE(an.hb.test(3, b.trace().size() - 1));
+}
+
+TEST(HBww, AddsOrderForPrivatization) {
+  const Trace t = privatization_exec();
+  const Analysis base = analyze(t, ModelConfig::base());
+  const Analysis prog = analyze(t, ModelConfig::programmer());
+  // Without HBww there is no order from Wx1 (6) to plain Wx2 (11).
+  EXPECT_FALSE(base.hb.test(6, 11));
+  // HBww: Wx1 lww Wx2, Wx1 crw b hb Wx2  =>  Wx1 hb Wx2.
+  EXPECT_TRUE(prog.hb.test(6, 11));
+  EXPECT_TRUE(prog.consistent());
+}
+
+TEST(HBww, CascadeAcrossTwoPrivatizations) {
+  // The §2 cascading example: two privatization pairs chained by po on the
+  // plain thread; HBww order from the first must feed the second.
+  TB b(4);  // x=0, y=1, x'=2, y'=3
+  b.begin(0).r(0, 1, 0, 0).w(0, 0, 1, 1).commit(0);       // a
+  b.begin(1).w(1, 1, 1, 1).commit(1);                     // b
+  b.begin(1).r(1, 3, 0, 0).w(1, 2, 1, 1).commit(1);       // a'
+  b.begin(2).w(2, 3, 1, 1).commit(2);                     // b'
+  b.w(2, 2, 2, 2);                                        // x':=2
+  b.w(2, 0, 2, 2);                                        // x:=2
+  const Trace& t = b.trace();
+  const Analysis an = analyze(t, ModelConfig::programmer());
+  ASSERT_TRUE(an.consistent());
+  // init occupies 0..5; a = 6..9 with Wx1 at 8; a' = 13..16 with Wx'1 at 15.
+  const std::size_t wx1 = 8;
+  const std::size_t wx2 = t.size() - 1;  // plain x:=2
+  const std::size_t wxp1 = 15;
+  const std::size_t wxp2 = t.size() - 2;
+  ASSERT_TRUE(t[wx1].is_write());
+  ASSERT_TRUE(t[wxp1].is_write());
+  EXPECT_TRUE(an.hb.test(wxp1, wxp2));  // first HBww application
+  EXPECT_TRUE(an.hb.test(wx1, wx2));    // cascaded through the second
+}
+
+TEST(AntiWW, ForbidsReversedPrivatization) {
+  // Example 2.2: a reads y=0 and writes x=2 with the *later* timestamp.
+  TB b(2);
+  b.begin(0).r(0, Y, 0, 0).w(0, X, 2, 2).commit(0);
+  b.begin(1).w(1, Y, 1, 1).commit(1).w(1, X, 1, 1);
+  const Trace& t = b.trace();
+  EXPECT_TRUE(model::consistent(t, ModelConfig::base()));
+  const Analysis an = analyze(t, ModelConfig::programmer());
+  EXPECT_FALSE(an.anti_ww);
+  EXPECT_EQ(an.failure(), "AntiWW");
+  // The implementation model drops AntiWW.
+  EXPECT_TRUE(model::consistent(t, ModelConfig::implementation()));
+}
+
+TEST(Causality, ForbidsLoadBuffering) {
+  // r:=x;y:=1 || q:=y;x:=1 with both reads seeing 1.  Any sequencing puts
+  // some read before its write in index order, violating WF8 — load
+  // buffering cannot even be expressed as a trace.
+  TB lb(2);
+  lb.r(0, X, 1, 1).w(0, Y, 1, 1);
+  lb.r(1, Y, 1, 1).w(1, X, 1, 1);
+  EXPECT_FALSE(model::check_wellformed(lb.trace()).ok());
+}
+
+TEST(Coherence, RejectsWriteBehindHb) {
+  // Single thread writes x=1 @2 then x=2 @1: po (hb) disagrees with ww.
+  TB b(1);
+  b.w(0, X, 1, 2).w(0, X, 2, 1);
+  const Analysis an = analyze(b.trace(), ModelConfig::base());
+  EXPECT_FALSE(an.coherence);
+}
+
+TEST(Observation, RejectsStaleReadAfterHb) {
+  // w(x,1)@1, w(x,2)@2 same thread, then read x=1: po makes it stale.
+  TB b(1);
+  b.w(0, X, 1, 1).w(0, X, 2, 2).r(0, X, 1, 1);
+  const Analysis an = analyze(b.trace(), ModelConfig::base());
+  EXPECT_FALSE(an.observation);
+  EXPECT_EQ(an.failure(), "Observation");
+}
+
+TEST(Observation, AbortedOverwriteIsHarmless) {
+  // The §2 antidependency figure: reading 1 after an *aborted* Wx2 is fine.
+  TB b(1);
+  b.w(0, X, 1, 1);
+  b.begin(0).w(0, X, 2, 2).abort(0);
+  b.r(0, X, 1, 1);
+  const Analysis an = analyze(b.trace(), ModelConfig::base());
+  EXPECT_TRUE(an.consistent());
+}
+
+TEST(Consistency, StoreBufferingAllowed) {
+  TB b(2);
+  b.w(0, X, 1, 1).w(1, Y, 1, 1);
+  b.r(0, Y, 0, 0).r(1, X, 0, 0);
+  EXPECT_TRUE(model::consistent(b.trace(), ModelConfig::base()));
+  EXPECT_TRUE(model::consistent(b.trace(), ModelConfig::strongest()));
+}
+
+TEST(HBCQ_HBQB, FenceOrdersAroundTouchingTxns) {
+  TB b(1);
+  b.begin(0).w(0, X, 1, 1).commit(0);  // 3..5
+  b.fence(1, X);                       // 6
+  b.begin(2).r(2, X, 1, 1).commit(2);  // 7..9
+  const Analysis an = analyze(b.trace(), ModelConfig::implementation());
+  EXPECT_TRUE(an.hb.test(5, 6));  // HBCQ: commit hb fence
+  EXPECT_TRUE(an.hb.test(6, 7));  // HBQB: fence hb later begin
+  EXPECT_TRUE(an.consistent());
+}
+
+TEST(HBCQ_HBQB, FenceIgnoresUntouchedTxns) {
+  TB b(2);
+  b.begin(0).w(0, Y, 1, 1).commit(0);  // 4..6
+  b.fence(1, X);                       // 7; fence on x, txn touches only y
+  const Analysis an = analyze(b.trace(), ModelConfig::implementation());
+  EXPECT_FALSE(an.hb.test(6, 7));
+}
+
+TEST(HBCQ_HBQB, ProgrammerModelIgnoresFences) {
+  TB b(1);
+  b.begin(0).w(0, X, 1, 1).commit(0);
+  b.fence(1, X);
+  const Analysis an = analyze(b.trace(), ModelConfig::programmer());
+  EXPECT_FALSE(an.hb.test(5, 6));
+}
+
+TEST(Variants, PrimedRulesUseHbThenCrw) {
+  // HB'ww witness (Ex 2.3): plain Wx1; txn b reads y=0; txn c writes x=2,
+  // y=1, with Wx2 ww Wx1.
+  TB b(2);
+  b.w(0, X, 1, 2);                                    // plain Wx1 @2 (3)
+  b.begin(0).r(0, Y, 0, 0).commit(0);                 // b: 4..6
+  b.begin(1).w(1, X, 2, 1).w(1, Y, 1, 1).commit(1);   // c: 7..10
+  const Trace& t = b.trace();
+  EXPECT_TRUE(model::consistent(t, ModelConfig::programmer()));
+  const Analysis an = analyze(t, ModelConfig::variant_hb_ww_p());
+  EXPECT_FALSE(an.consistent());
+  EXPECT_EQ(an.failure(), "Anti'WW");
+}
+
+TEST(Variants, StrongestIncludesAllSideConditions) {
+  const ModelConfig s = ModelConfig::strongest();
+  EXPECT_TRUE(s.hb_ww && s.hb_rw && s.hb_wr);
+  EXPECT_TRUE(s.hb_ww_p && s.hb_rw_p && s.hb_wr_p);
+  EXPECT_TRUE(s.anti_ww && s.anti_rw && s.anti_ww_p && s.anti_rw_p);
+  EXPECT_EQ(ModelConfig::example_2_3_variants().size(), 6u);
+}
+
+TEST(Analysis, FailureNamesFirstBrokenAxiom) {
+  TB b(1);
+  b.w(0, X, 1, 2).w(0, X, 2, 1);
+  const Analysis an = analyze(b.trace(), ModelConfig::programmer());
+  EXPECT_FALSE(an.consistent());
+  EXPECT_EQ(an.failure(), "Coherence");
+  TB ok(1);
+  ok.w(0, X, 1, 1);
+  EXPECT_EQ(analyze(ok.trace(), ModelConfig::programmer()).failure(), "");
+}
+
+TEST(Analysis, HbMonotoneInEnabledRules) {
+  const Trace t = privatization_exec();
+  const Analysis base = analyze(t, ModelConfig::base());
+  const Analysis prog = analyze(t, ModelConfig::programmer());
+  const Analysis strong = analyze(t, ModelConfig::strongest());
+  EXPECT_TRUE(base.hb.subset_of(prog.hb));
+  EXPECT_TRUE(prog.hb.subset_of(strong.hb));
+}
+
+}  // namespace
+}  // namespace mtx::test

@@ -1,0 +1,152 @@
+// The litmus mini-language: expressions, conditions, location expressions,
+// and control-path expansion (branches, bounded loops, aborts, fences).
+#include <gtest/gtest.h>
+
+#include "litmus/program.hpp"
+
+namespace mtx::lit {
+namespace {
+
+TEST(Expr, Eval) {
+  std::vector<Value> regs = {7, 3};
+  EXPECT_EQ(constant(5).eval(regs), 5);
+  EXPECT_EQ(reg(0).eval(regs), 7);
+  EXPECT_EQ(add(1, 10).eval(regs), 13);
+}
+
+TEST(Cond, EvalConstAndReg) {
+  std::vector<Value> regs = {7, 7, 9};
+  EXPECT_TRUE(eq(0, 7).eval(regs));
+  EXPECT_FALSE(ne(0, 7).eval(regs));
+  EXPECT_TRUE(eq_reg(0, 1).eval(regs));
+  EXPECT_TRUE(ne_reg(0, 2).eval(regs));
+}
+
+TEST(LocExpr, StaticAndDynamic) {
+  std::vector<Value> regs = {2};
+  EXPECT_EQ(at(3).eval(regs), 3);
+  EXPECT_FALSE(at(3).dynamic());
+  EXPECT_EQ(at(3, 0).eval(regs), 5);
+  EXPECT_TRUE(at(3, 0).dynamic());
+}
+
+TEST(Paths, StraightLine) {
+  const Block b = {read(0, at(0)), write(at(1), 1)};
+  const auto paths = expand_paths(b);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(action_count(paths[0]), 2u);
+}
+
+TEST(Paths, IfSplitsInTwo) {
+  const Block b = {read(0, at(0)), if_then(eq(0, 0), {write(at(1), 1)})};
+  const auto paths = expand_paths(b);
+  ASSERT_EQ(paths.size(), 2u);
+  // One path has the write, one does not; both carry a guard.
+  std::size_t with_write = 0;
+  for (const auto& p : paths) {
+    bool guard = false, write_seen = false;
+    for (const auto& e : p) {
+      guard |= e.kind == PEvent::Kind::Guard;
+      write_seen |= e.kind == PEvent::Kind::Write;
+    }
+    EXPECT_TRUE(guard);
+    if (write_seen) ++with_write;
+  }
+  EXPECT_EQ(with_write, 1u);
+}
+
+TEST(Paths, IfElseBothBranches) {
+  const Block b = {read(0, at(0)),
+                   if_then_else(eq(0, 0), {write(at(1), 1)}, {write(at(1), 2)})};
+  EXPECT_EQ(expand_paths(b).size(), 2u);
+}
+
+TEST(Paths, AtomicBracketsBody) {
+  const Block b = {atomic({write(at(0), 1), read(0, at(1))})};
+  const auto paths = expand_paths(b);
+  ASSERT_EQ(paths.size(), 1u);
+  const Path& p = paths[0];
+  EXPECT_EQ(p.front().kind, PEvent::Kind::Begin);
+  EXPECT_EQ(p.back().kind, PEvent::Kind::Commit);
+  EXPECT_EQ(action_count(p), 4u);
+}
+
+TEST(Paths, AbortTerminatesAtomic) {
+  const Block b = {atomic({write(at(0), 1), abort_stmt(), write(at(0), 2)}),
+                   write(at(1), 3)};
+  const auto paths = expand_paths(b);
+  ASSERT_EQ(paths.size(), 1u);
+  const Path& p = paths[0];
+  // Begin, W, Abort -- the second write inside the atomic is dead; the
+  // write after the block survives.
+  int writes = 0;
+  bool abort_seen = false, commit_seen = false;
+  for (const auto& e : p) {
+    writes += e.kind == PEvent::Kind::Write;
+    abort_seen |= e.kind == PEvent::Kind::Abort;
+    commit_seen |= e.kind == PEvent::Kind::Commit;
+  }
+  EXPECT_EQ(writes, 2);
+  EXPECT_TRUE(abort_seen);
+  EXPECT_FALSE(commit_seen);
+}
+
+TEST(Paths, ConditionalAbortSplits) {
+  const Block b = {
+      atomic({read(0, at(0)), if_then(eq(0, 0), {write(at(0), 1), abort_stmt()})})};
+  const auto paths = expand_paths(b);
+  ASSERT_EQ(paths.size(), 2u);
+  std::size_t aborted = 0;
+  for (const auto& p : paths)
+    for (const auto& e : p) aborted += e.kind == PEvent::Kind::Abort;
+  EXPECT_EQ(aborted, 1u);
+}
+
+TEST(Paths, WhileBoundedUnrolling) {
+  const Block b = {read(0, at(0)),
+                   while_loop(ne(0, 0), {read(0, at(0))}, /*bound=*/3)};
+  const auto paths = expand_paths(b);
+  // 0, 1, 2, or 3 iterations.
+  EXPECT_EQ(paths.size(), 4u);
+}
+
+TEST(Paths, WhileZeroBound) {
+  const Block b = {while_loop(ne(0, 0), {read(0, at(0))}, 0)};
+  const auto paths = expand_paths(b);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(action_count(paths[0]), 0u);  // just the exit guard
+}
+
+TEST(Paths, AbortOutsideAtomicThrows) {
+  EXPECT_THROW(expand_paths({abort_stmt()}), std::invalid_argument);
+}
+
+TEST(Paths, FenceInsideAtomicThrows) {
+  EXPECT_THROW(expand_paths({atomic({qfence(0)})}), std::invalid_argument);
+}
+
+TEST(Paths, NestedAtomicThrows) {
+  EXPECT_THROW(expand_paths({atomic({atomic({})})}), std::invalid_argument);
+}
+
+TEST(Paths, FenceEvent) {
+  const auto paths = expand_paths({qfence(2)});
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0][0].kind, PEvent::Kind::Fence);
+  EXPECT_EQ(paths[0][0].loc.base, 2);
+}
+
+TEST(Paths, PathStrSmoke) {
+  const auto paths = expand_paths({atomic({read(0, at(0))}), write(at(1), 1)});
+  EXPECT_FALSE(path_str(paths[0]).empty());
+}
+
+TEST(Program, BuilderAccumulatesThreads) {
+  Program p;
+  p.num_locs = 2;
+  p.add_thread({write(at(0), 1)}).add_thread({read(0, at(0))});
+  EXPECT_EQ(p.threads.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mtx::lit

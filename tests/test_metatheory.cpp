@@ -1,0 +1,185 @@
+// Metatheory: Theorem 4.2 (aborted erasure), Lemma A.5 (contiguous
+// permutation), Lemma 5.1 (implementation vs programmer model), Lemma A.4
+// (weak actions race), exercised both on the litmus programs' enumerated
+// executions and on randomized consistent traces.
+#include <gtest/gtest.h>
+
+#include "litmus/catalog.hpp"
+#include "ltrf/metatheory.hpp"
+
+namespace mtx::ltrf {
+namespace {
+
+using lit::Execution;
+using lit::GraphEnum;
+using model::ModelConfig;
+using model::Trace;
+
+// ---------------------------------------------------------------------------
+// Randomized property sweeps.
+// ---------------------------------------------------------------------------
+
+class MetaRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetaRandom, Theorem42AbortedErasure) {
+  Rng rng(GetParam());
+  RandomTraceParams params;
+  params.abort_percent = 50;
+  const ModelConfig cfg = ModelConfig::programmer();
+  for (int i = 0; i < 25; ++i) {
+    const Trace t = random_consistent_trace(rng, params, cfg);
+    EXPECT_TRUE(aborted_erasure_preserves_consistency(t, cfg)) << t.str();
+  }
+}
+
+TEST_P(MetaRandom, Theorem42UnderImplementationModel) {
+  Rng rng(GetParam() * 31 + 7);
+  RandomTraceParams params;
+  params.abort_percent = 50;
+  params.fence_percent = 15;
+  const ModelConfig cfg = ModelConfig::implementation();
+  for (int i = 0; i < 25; ++i) {
+    const Trace t = random_consistent_trace(rng, params, cfg);
+    EXPECT_TRUE(aborted_erasure_preserves_consistency(t, cfg)) << t.str();
+  }
+}
+
+TEST_P(MetaRandom, LemmaA5ContiguousPermutation) {
+  Rng rng(GetParam() * 97 + 13);
+  RandomTraceParams params;
+  const ModelConfig cfg = ModelConfig::programmer();
+  for (int i = 0; i < 25; ++i) {
+    const Trace t = random_consistent_trace(rng, params, cfg);
+    if (!model::all_transactions_resolved(t)) continue;
+    EXPECT_TRUE(contiguous_permutation_ok(t, cfg)) << t.str();
+  }
+}
+
+TEST_P(MetaRandom, Lemma51MixedRaceFreeImpliesProgrammer) {
+  Rng rng(GetParam() * 131 + 3);
+  RandomTraceParams params;
+  params.fence_percent = 20;
+  const ModelConfig impl = ModelConfig::implementation();
+  for (int i = 0; i < 25; ++i) {
+    const Trace t = random_consistent_trace(rng, params, impl);
+    EXPECT_TRUE(lemma_5_1_holds(t)) << t.str();
+  }
+}
+
+TEST_P(MetaRandom, LemmaA4WeakActionsHaveRacePartners) {
+  Rng rng(GetParam() * 271 + 29);
+  RandomTraceParams params;
+  params.abort_percent = 30;
+  const ModelConfig cfg = ModelConfig::programmer();
+  for (int i = 0; i < 25; ++i) {
+    const Trace t = random_consistent_trace(rng, params, cfg);
+    const auto an = model::analyze(t, cfg);
+    if (!an.consistent()) continue;
+    const model::LocSet L = model::all_locs(t);
+    for (std::size_t c = 0; c < t.size(); ++c) {
+      const WeakRaceStatus status = weak_action_race_status(t, an.hb, c, L);
+      // The lemma's argument: a weak action with a nonaborted offender must
+      // be in a race (Coherence/Observation would otherwise fire).
+      EXPECT_NE(status, WeakRaceStatus::NoRace)
+          << "action " << c << " in\n"
+          << t.str();
+    }
+  }
+}
+
+TEST_P(MetaRandom, PermutationPreservesConsistencyBothWays) {
+  // Order-preserving permutations preserve derived relations, hence
+  // consistency (§4 validity closure).
+  Rng rng(GetParam() * 17 + 1);
+  RandomTraceParams params;
+  const ModelConfig cfg = ModelConfig::programmer();
+  for (int i = 0; i < 15; ++i) {
+    const Trace t = random_consistent_trace(rng, params, cfg);
+    if (!model::all_transactions_resolved(t)) continue;
+    auto perm = model::contiguous_permutation(t, cfg);
+    if (!perm) continue;
+    // The permuted trace must satisfy all WF rules too (WF8-11 are not
+    // automatic under reordering; the Lemma A.5 construction guarantees
+    // them).
+    EXPECT_TRUE(model::check_wellformed(*perm).ok()) << perm->str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetaRandom,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// ---------------------------------------------------------------------------
+// The same metatheorems on every execution of the paper's own programs.
+// ---------------------------------------------------------------------------
+
+TEST(MetaCatalog, Theorem42OnCatalogExecutions) {
+  const ModelConfig cfg = ModelConfig::programmer();
+  for (const lit::LitmusTest& t : lit::catalog()) {
+    GraphEnum e(t.program, cfg);
+    e.for_each([&](const Execution& ex) {
+      EXPECT_TRUE(aborted_erasure_preserves_consistency(ex.trace, cfg))
+          << t.id << "\n"
+          << ex.trace.str();
+    });
+  }
+}
+
+TEST(MetaCatalog, LemmaA5OnCatalogExecutions) {
+  const ModelConfig cfg = ModelConfig::programmer();
+  for (const lit::LitmusTest& t : lit::catalog()) {
+    GraphEnum e(t.program, cfg);
+    e.for_each([&](const Execution& ex) {
+      EXPECT_TRUE(contiguous_permutation_ok(ex.trace, cfg))
+          << t.id << "\n"
+          << ex.trace.str();
+    });
+  }
+}
+
+TEST(MetaCatalog, Lemma51OnCatalogExecutions) {
+  for (const lit::LitmusTest& t : lit::catalog()) {
+    GraphEnum e(t.program, ModelConfig::implementation());
+    e.for_each([&](const Execution& ex) {
+      EXPECT_TRUE(lemma_5_1_holds(ex.trace)) << t.id << "\n" << ex.trace.str();
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generator sanity.
+// ---------------------------------------------------------------------------
+
+TEST(RandomTraces, AlwaysConsistent) {
+  Rng rng(4242);
+  RandomTraceParams params;
+  params.fence_percent = 10;
+  const ModelConfig impl = ModelConfig::implementation();
+  for (int i = 0; i < 50; ++i) {
+    const Trace t = random_consistent_trace(rng, params, impl);
+    EXPECT_TRUE(model::consistent(t, impl));
+    EXPECT_GE(t.size(), 5u);
+  }
+}
+
+TEST(RandomTraces, ProducesVariety) {
+  Rng rng(7);
+  RandomTraceParams params;
+  params.abort_percent = 40;
+  const ModelConfig cfg = ModelConfig::programmer();
+  bool some_abort = false, some_txn = false, some_plain = false;
+  for (int i = 0; i < 40; ++i) {
+    const Trace t = random_consistent_trace(rng, params, cfg);
+    for (std::size_t j = 0; j < t.size(); ++j) {
+      if (t[j].is_abort()) some_abort = true;
+      if (t[j].is_begin() && t[j].thread != model::kInitThread) some_txn = true;
+      if (t.plain(j) && t[j].is_memory_access() && t[j].thread != model::kInitThread)
+        some_plain = true;
+    }
+  }
+  EXPECT_TRUE(some_abort);
+  EXPECT_TRUE(some_txn);
+  EXPECT_TRUE(some_plain);
+}
+
+}  // namespace
+}  // namespace mtx::ltrf

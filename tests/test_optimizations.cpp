@@ -1,0 +1,65 @@
+// §5 compiler optimizations: observational soundness of each transformation
+// under the programmer and implementation models, including the known
+// unsound converses.
+#include <gtest/gtest.h>
+
+#include "ltrf/optimizations.hpp"
+
+namespace mtx::ltrf {
+namespace {
+
+using model::ModelConfig;
+
+class OptCase : public ::testing::TestWithParam<OptimizationCase> {};
+
+TEST_P(OptCase, ProgrammerModelSoundness) {
+  const OptimizationCase& c = GetParam();
+  EXPECT_EQ(transformation_sound(c, ModelConfig::programmer()), c.sound_programmer)
+      << c.name;
+}
+
+TEST_P(OptCase, ImplementationModelSoundness) {
+  const OptimizationCase& c = GetParam();
+  EXPECT_EQ(transformation_sound(c, ModelConfig::implementation()),
+            c.sound_implementation)
+      << c.name;
+}
+
+std::string opt_name(const ::testing::TestParamInfo<OptimizationCase>& info) {
+  std::string n = info.param.name;
+  std::string out;
+  for (char ch : n)
+    out += std::isalnum(static_cast<unsigned char>(ch)) ? ch : '_';
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Standard, OptCase, ::testing::ValuesIn(standard_cases()),
+                         opt_name);
+
+TEST(Optimizations, CaseListCoversPaper) {
+  const auto cases = standard_cases();
+  EXPECT_GE(cases.size(), 8u);
+  bool fusion = false, elision = false, roach = false, reorder = false;
+  for (const auto& c : cases) {
+    fusion |= c.name.find("fusion") != std::string::npos;
+    elision |= c.name.find("elision") != std::string::npos;
+    roach |= c.name.find("roach") != std::string::npos;
+    reorder |= c.name.find("reorder") != std::string::npos;
+  }
+  EXPECT_TRUE(fusion && elision && roach && reorder);
+}
+
+TEST(Optimizations, SoundnessIsDirectional) {
+  // Sanity: for the fusion case, the fused program has strictly fewer
+  // behaviors; for fission, strictly more.
+  for (const auto& c : standard_cases()) {
+    if (c.name.rfind("fission", 0) == 0) {
+      const auto before = lit::enumerate_outcomes(c.before, ModelConfig::programmer());
+      const auto after = lit::enumerate_outcomes(c.after, ModelConfig::programmer());
+      EXPECT_GT(after.size(), before.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mtx::ltrf

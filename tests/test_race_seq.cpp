@@ -1,0 +1,234 @@
+// L-races, mixed races, L-sequentiality, contiguity, order-preserving
+// permutations (Lemma A.5 construction) and causal closure.
+#include <gtest/gtest.h>
+
+#include "model/closure.hpp"
+#include "model/race.hpp"
+#include "model/sequentiality.hpp"
+#include "trace_builders.hpp"
+
+namespace mtx::test {
+namespace {
+
+using model::all_locs;
+using model::analyze;
+using model::Analysis;
+using model::loc_set;
+using model::LocSet;
+using model::ModelConfig;
+
+constexpr Loc X = 0, Y = 1;
+
+TEST(Race, ConflictRequiresPlainSideAndWrite) {
+  TB b(1);
+  b.begin(0).w(0, X, 1, 1).commit(0);
+  b.begin(1).w(1, X, 2, 2).commit(1);
+  const Trace& t = b.trace();
+  const LocSet L = all_locs(t);
+  // Two transactional writes: never a race.
+  EXPECT_FALSE(model::l_conflict(t, 4, 7, L));
+}
+
+TEST(Race, PlainPlainReadsDoNotConflict) {
+  TB b(1);
+  b.w(0, X, 1, 1).r(1, X, 1, 1).r(2, X, 1, 1);
+  const Trace& t = b.trace();
+  EXPECT_FALSE(model::l_conflict(t, 4, 5, all_locs(t)));  // two reads
+  EXPECT_TRUE(model::l_conflict(t, 3, 4, all_locs(t)));   // write vs read
+}
+
+TEST(Race, AbortedActionsNeverConflict) {
+  TB b(1);
+  b.begin(0).w(0, X, 1, 1).abort(0);
+  b.w(1, X, 2, 2);
+  const Trace& t = b.trace();
+  EXPECT_FALSE(model::l_conflict(t, 4, 6, all_locs(t)));
+}
+
+TEST(Race, LocSetScopesTheRace) {
+  // Racy writes on y, none on x: an {x}-analysis sees no race (spatial
+  // locality, the point of LTRF).
+  TB b(2);
+  b.w(0, Y, 1, 1).w(1, Y, 2, 2);
+  const Trace& t = b.trace();
+  const Analysis an = analyze(t, ModelConfig::programmer());
+  EXPECT_TRUE(model::has_l_race(t, an.hb, all_locs(t)));
+  EXPECT_FALSE(model::has_l_race(t, an.hb, loc_set({X}, t.num_locs())));
+}
+
+TEST(Race, HbOrderRemovesRace) {
+  // Publication: plain Wx then txn-y handshake, then txn reads x: ordered.
+  TB b(2);
+  b.w(0, X, 1, 1);
+  b.begin(0).w(0, Y, 1, 1).commit(0);
+  b.begin(1).r(1, Y, 1, 1).r(1, X, 1, 1).commit(1);
+  const Trace& t = b.trace();
+  const Analysis an = analyze(t, ModelConfig::base());
+  EXPECT_FALSE(model::has_l_race(t, an.hb, loc_set({X}, t.num_locs())));
+}
+
+TEST(Race, PrivatizationRaceFreeOnlyWithHBww) {
+  // Example 2.1's execution: the two x-writes race in the base model but
+  // not under the programmer model (HBww).
+  TB b(2);
+  b.begin(0).r(0, Y, 0, 0).w(0, X, 1, 1).commit(0);
+  b.begin(1).w(1, Y, 1, 1).commit(1).w(1, X, 2, 2);
+  const Trace& t = b.trace();
+  const LocSet Lx = loc_set({X}, t.num_locs());
+  const Analysis base = analyze(t, ModelConfig::base());
+  const Analysis prog = analyze(t, ModelConfig::programmer());
+  EXPECT_TRUE(model::has_l_race(t, base.hb, Lx));
+  EXPECT_FALSE(model::has_l_race(t, prog.hb, Lx));
+}
+
+TEST(Race, MixedRaceDetectsTxnWriteVsPlainWrite) {
+  TB b(1);
+  b.begin(0).w(0, X, 1, 1).commit(0);
+  b.w(1, X, 2, 2);
+  const Trace& t = b.trace();
+  const Analysis an = analyze(t, ModelConfig::implementation());
+  EXPECT_TRUE(model::has_mixed_race(t, an.hb));
+}
+
+TEST(Race, NoMixedRaceWhenFenceOrders) {
+  TB b(1);
+  b.begin(0).w(0, X, 1, 1).commit(0);
+  b.fence(1, X);
+  b.w(1, X, 2, 2);
+  const Trace& t = b.trace();
+  const Analysis an = analyze(t, ModelConfig::implementation());
+  EXPECT_FALSE(model::has_mixed_race(t, an.hb));
+}
+
+TEST(Sequentiality, WriteWeakWhenBehindEarlierIndexLargerTs) {
+  TB b(1);
+  b.w(0, X, 1, 2).w(1, X, 2, 1);  // second write's ts is below the first's
+  const Trace& t = b.trace();
+  const LocSet L = all_locs(t);
+  EXPECT_TRUE(model::is_L_sequential_action(t, 3, L));
+  EXPECT_TRUE(model::is_L_weak_action(t, 4, L));
+}
+
+TEST(Sequentiality, ReadWeakWhenStale) {
+  TB b(1);
+  b.w(0, X, 1, 1).w(1, X, 2, 2).r(2, X, 1, 1);
+  const Trace& t = b.trace();
+  EXPECT_TRUE(model::is_L_weak_action(t, 5, all_locs(t)));
+}
+
+TEST(Sequentiality, BoundariesAlwaysSequential) {
+  TB b(1);
+  b.w(0, X, 1, 2);
+  b.begin(1).commit(1);
+  const Trace& t = b.trace();
+  const LocSet L = all_locs(t);
+  EXPECT_TRUE(model::is_L_sequential_action(t, 4, L));  // begin
+  EXPECT_TRUE(model::is_L_sequential_action(t, 5, L));  // commit
+}
+
+TEST(Sequentiality, OutOfLocSetIsSequential) {
+  TB b(2);
+  b.w(0, Y, 1, 2).w(1, Y, 2, 1);  // weak on y
+  const Trace& t = b.trace();
+  EXPECT_TRUE(model::is_L_weak_action(t, 5, all_locs(t)));
+  EXPECT_TRUE(model::is_L_sequential_action(t, 5, loc_set({X}, t.num_locs())));
+}
+
+TEST(Contiguity, InterleavedOpenTxnIsNotContiguous) {
+  TB b(1);
+  b.begin(0).w(0, X, 1, 1);
+  b.w(1, X, 2, 2);   // other thread acts inside the open txn...
+  b.commit(0);       // ...and thread 0 acts again afterwards
+  const Trace& t = b.trace();
+  EXPECT_FALSE(model::is_contiguous(t, 3));
+  EXPECT_FALSE(model::all_transactions_contiguous(t));
+}
+
+TEST(Contiguity, TrailingLiveTxnIsContiguous) {
+  TB b(1);
+  b.begin(0).w(0, X, 1, 1);
+  b.w(1, X, 2, 2);  // thread 0 never acts again: allowed
+  const Trace& t = b.trace();
+  EXPECT_TRUE(model::is_contiguous(t, 3));
+}
+
+TEST(Contiguity, ResolvedBeforeOthersActIsContiguous) {
+  TB b(1);
+  b.begin(0).w(0, X, 1, 1).commit(0);
+  b.w(1, X, 2, 2);
+  EXPECT_TRUE(model::all_transactions_contiguous(b.trace()));
+  EXPECT_TRUE(model::all_transactions_resolved(b.trace()));
+}
+
+TEST(Permutation, OrderPreservingPredicate) {
+  TB b(1);
+  b.w(0, X, 1, 1).w(1, X, 2, 2);
+  const Trace& t = b.trace();
+  std::vector<std::size_t> order = {0, 1, 2, 4, 3};
+  const Trace p = t.permuted(order);
+  EXPECT_TRUE(model::is_order_preserving_permutation(t, p));
+  // Swapping two same-thread actions breaks po.
+  TB c(1);
+  c.w(0, X, 1, 1).w(0, X, 2, 2);
+  const Trace& t2 = c.trace();
+  const Trace p2 = t2.permuted({0, 1, 2, 4, 3});
+  EXPECT_FALSE(model::is_order_preserving_permutation(t2, p2));
+}
+
+TEST(Permutation, LemmaA5MakesTransactionsContiguous) {
+  // Interleave two committed transactions at the trace level.
+  Trace u = Trace::with_init(2);
+  const int ba = u.append(model::make_begin(0));
+  const int bb = u.append(model::make_begin(1));
+  u.append(model::make_write(0, X, 1, Rational(1)));
+  u.append(model::make_write(1, Y, 1, Rational(1)));
+  u.append(model::make_commit(0, u[static_cast<std::size_t>(ba)].name));
+  u.append(model::make_commit(1, u[static_cast<std::size_t>(bb)].name));
+  ASSERT_TRUE(model::consistent(u, ModelConfig::programmer()));
+  EXPECT_FALSE(model::all_transactions_contiguous(u));
+
+  auto perm = model::contiguous_permutation(u, ModelConfig::programmer());
+  ASSERT_TRUE(perm.has_value());
+  EXPECT_TRUE(model::is_order_preserving_permutation(u, *perm));
+  EXPECT_TRUE(model::all_transactions_contiguous(*perm));
+  EXPECT_TRUE(model::consistent(*perm, ModelConfig::programmer()));
+}
+
+TEST(Closure, CausalRemovalDropsDependents) {
+  // Publication chain: Wx -> txn Wy -> txn Ry -> Rx; removing from Wx drops
+  // everything causally after it but keeps it.
+  TB b(2);
+  b.w(0, X, 1, 1);
+  b.begin(0).w(0, Y, 1, 1).commit(0);
+  b.begin(1).r(1, Y, 1, 1).commit(1);
+  const Trace& t = b.trace();
+  const std::size_t wx = 4;
+  const Trace down = model::causal_removal(t, wx, ModelConfig::programmer());
+  // Keeps init + Wx itself; drops the po/cwr-successors.
+  EXPECT_EQ(down.size(), 5u);
+  EXPECT_TRUE(down[4].is_write());
+  EXPECT_EQ(down[4].loc, X);
+}
+
+TEST(Closure, RemovalKeepsIndependentThreads) {
+  TB b(2);
+  b.w(0, X, 1, 1).w(1, Y, 1, 1);
+  const Trace& t = b.trace();
+  const Trace down = model::causal_removal(t, 4, ModelConfig::programmer());
+  EXPECT_EQ(down.size(), t.size());  // nothing depends on the x write
+}
+
+TEST(Closure, RemovalDropsAntidependentTransactions) {
+  // xrw successors are removed too ("future proofing" of stability).
+  TB b(1);
+  b.begin(0).r(0, X, 0, 0).commit(0);   // reads init x
+  b.begin(1).w(1, X, 1, 1).commit(1);   // overwrites: read xrw write
+  const Trace& t = b.trace();
+  const std::size_t read_idx = 4;
+  const Trace down = model::causal_removal(t, read_idx, ModelConfig::programmer());
+  for (std::size_t i = 0; i < down.size(); ++i)
+    EXPECT_FALSE(down[i].is_write() && down[i].loc == X && down[i].value == 1);
+}
+
+}  // namespace
+}  // namespace mtx::test

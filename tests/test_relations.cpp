@@ -1,0 +1,134 @@
+// Derived relations (§2): index/init/po/ww/wr/rw and the lifted l/x/c
+// variants, checked against hand-computed figures from the paper.
+#include <gtest/gtest.h>
+
+#include "model/derived.hpp"
+#include "trace_builders.hpp"
+
+namespace mtx::test {
+namespace {
+
+using model::Relations;
+
+TEST(Relations, BaseOrders) {
+  TB b(2);
+  b.w(0, 0, 1, 1).r(1, 0, 1, 1).w(1, 1, 1, 1);
+  const Trace& t = b.trace();
+  const Relations rel = Relations::compute(t);
+
+  // indices: 0..3 init, 4 = Wx1(t0), 5 = Rx1(t1), 6 = Wy1(t1)
+  EXPECT_TRUE(rel.index.test(4, 5));
+  EXPECT_FALSE(rel.index.test(5, 4));
+  EXPECT_TRUE(rel.po.test(5, 6));
+  EXPECT_FALSE(rel.po.test(4, 5));  // different threads
+  EXPECT_TRUE(rel.init.test(1, 4));
+  EXPECT_FALSE(rel.init.test(1, 2));  // init to init: excluded
+  EXPECT_TRUE(rel.ww.test(1, 4));     // init x before Wx1 by timestamp
+  EXPECT_TRUE(rel.wr.test(4, 5));
+}
+
+TEST(Relations, WwFollowsTimestampsNotIndex) {
+  TB b(1);
+  b.w(0, 0, 2, 2).w(1, 0, 1, 1);  // index order opposite to ts order
+  const Relations rel = Relations::compute(b.trace());
+  EXPECT_TRUE(rel.ww.test(4, 3));
+  EXPECT_FALSE(rel.ww.test(3, 4));
+}
+
+TEST(Relations, WrNeedsLocValueAndTs) {
+  TB b(2);
+  b.w(0, 0, 1, 1).r(1, 0, 1, 2);  // same value, wrong ts: no wr
+  const Relations rel = Relations::compute(b.trace());
+  EXPECT_FALSE(rel.wr.test(4, 5));
+}
+
+TEST(Relations, RwExcludesAbortedTargets) {
+  // <a:Wx1> <c:Wx2 aborted> <b:Rx1> -- the paper's antidependency figure:
+  // no rw edge to the aborted write.
+  TB b(1);
+  b.w(0, 0, 1, 1);
+  b.begin(1).w(1, 0, 2, 2).abort(1);
+  b.r(0, 0, 1, 1);
+  const Trace& t = b.trace();
+  const Relations rel = Relations::compute(t);
+  const std::size_t read_idx = t.size() - 1;
+  EXPECT_FALSE(rel.rw.test(read_idx, 5));  // 5 = aborted Wx2
+}
+
+TEST(Relations, RwPresentForCommittedTargets) {
+  TB b(1);
+  b.w(0, 0, 1, 1).w(1, 0, 2, 2).r(0, 0, 1, 1);
+  const Trace& t = b.trace();
+  const Relations rel = Relations::compute(t);
+  EXPECT_TRUE(rel.rw.test(t.size() - 1, 4));
+}
+
+// The paper's lifted-relations figure: txn b = {Wy1, Wx1}; c reads y from
+// b1; d is a plain write Wx2.
+TEST(Relations, LiftingFigure) {
+  TB bld(2);
+  constexpr Loc X = 0, Y = 1;
+  bld.begin(0).w(0, Y, 1, 1).w(0, X, 1, 1).commit(0);  // b: 4=B 5=Wy 6=Wx 7=C
+  bld.begin(1).r(1, Y, 1, 1).commit(1);                // c: 8=B 9=Ry 10=C
+  bld.w(2, X, 2, 2);                                   // d: 11
+  const Trace& t = bld.trace();
+  const Relations rel = Relations::compute(t);
+
+  // b1 wr c but not b2 wr c ...
+  EXPECT_TRUE(rel.wr.test(5, 9));
+  EXPECT_FALSE(rel.wr.test(6, 9));
+  // ... both hold lifted: b2 lwr c.
+  EXPECT_TRUE(rel.lwr.test(6, 9));
+  // b1 lww d holds (via b2 ww d), b1 ww d does not.
+  EXPECT_FALSE(rel.ww.test(5, 11));
+  EXPECT_TRUE(rel.lww.test(5, 11));
+  // The x-variants exclude the plain d.
+  EXPECT_FALSE(rel.xww.test(5, 11));
+  EXPECT_FALSE(rel.xww.test(6, 11));
+  // The c-variant of wr between committed txns holds.
+  EXPECT_TRUE(rel.cwr.test(6, 9));
+}
+
+TEST(Relations, CVariantsExcludeAborted) {
+  TB bld(1);
+  bld.begin(0).w(0, 0, 1, 1).commit(0);
+  bld.begin(1).r(1, 0, 1, 1).abort(1);
+  const Trace& t = bld.trace();
+  const Relations rel = Relations::compute(t);
+  // writer committed (idx 4), reader aborted (idx 7).
+  EXPECT_TRUE(rel.wr.test(4, 7));
+  EXPECT_TRUE(rel.xwr.test(4, 7));
+  EXPECT_FALSE(rel.cwr.test(4, 7));
+}
+
+TEST(Relations, LiftKeepsIntraTxnBasePairs) {
+  TB bld(1);
+  bld.begin(0).w(0, 0, 1, 1).r(0, 0, 1, 1).commit(0);
+  const Trace& t = bld.trace();
+  const Relations rel = Relations::compute(t);
+  EXPECT_TRUE(rel.wr.test(4, 5));
+  EXPECT_TRUE(rel.lwr.test(4, 5));  // first disjunct: base pair survives
+  // But the same-txn pair does not lift to other members: B -> R say.
+  EXPECT_FALSE(rel.lwr.test(3, 5));
+}
+
+TEST(Relations, TxEquivalenceIncludesBoundaries) {
+  TB bld(1);
+  bld.begin(0).w(0, 0, 1, 1).commit(0);
+  const Relations rel = Relations::compute(bld.trace());
+  EXPECT_TRUE(rel.tx.test(3, 5));  // begin ~ commit
+  EXPECT_TRUE(rel.tx.test(4, 3));
+  for (std::size_t i = 0; i < bld.trace().size(); ++i) EXPECT_TRUE(rel.tx.test(i, i));
+}
+
+TEST(Relations, LiftFunctionMatchesStruct) {
+  TB bld(2);
+  bld.begin(0).w(0, 0, 1, 1).commit(0).r(1, 0, 1, 1);
+  const Trace& t = bld.trace();
+  const Relations rel = Relations::compute(t);
+  EXPECT_EQ(model::lift(t, rel.wr), rel.lwr);
+  EXPECT_EQ(model::lift(t, rel.ww), rel.lww);
+}
+
+}  // namespace
+}  // namespace mtx::test

@@ -1,0 +1,180 @@
+// TL2 backend unit tests: read/write/commit semantics, read-own-write,
+// user aborts, conflict detection, opacity-style validation.
+#include <gtest/gtest.h>
+
+#include "stm/tl2.hpp"
+
+namespace mtx::stm {
+namespace {
+
+TEST(Tl2, ReadWriteCommit) {
+  Tl2Stm stm;
+  Cell x(0), y(0);
+  ASSERT_TRUE(stm.atomically([&](auto& tx) {
+    tx.write(x, 7);
+    tx.write(y, 9);
+  }));
+  EXPECT_EQ(x.plain_load(), 7u);
+  EXPECT_EQ(y.plain_load(), 9u);
+  EXPECT_EQ(stm.stats().commits.load(), 1u);
+}
+
+TEST(Tl2, ReadSeesCommittedValue) {
+  Tl2Stm stm;
+  Cell x(5);
+  word_t seen = 0;
+  ASSERT_TRUE(stm.atomically([&](auto& tx) { seen = tx.read(x); }));
+  EXPECT_EQ(seen, 5u);
+}
+
+TEST(Tl2, ReadOwnWrite) {
+  Tl2Stm stm;
+  Cell x(1);
+  word_t seen = 0;
+  ASSERT_TRUE(stm.atomically([&](auto& tx) {
+    tx.write(x, 42);
+    seen = tx.read(x);
+  }));
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(Tl2, LazyVersioningBuffersUntilCommit) {
+  Tl2Stm stm;
+  Cell x(0);
+  ASSERT_TRUE(stm.atomically([&](auto& tx) {
+    tx.write(x, 99);
+    // Lazy: shared memory unchanged while the transaction is live.
+    EXPECT_EQ(x.plain_load(), 0u);
+  }));
+  EXPECT_EQ(x.plain_load(), 99u);
+}
+
+TEST(Tl2, UserAbortDiscardsWrites) {
+  Tl2Stm stm;
+  Cell x(1);
+  const bool committed = stm.atomically([&](auto& tx) {
+    tx.write(x, 2);
+    tx.user_abort();
+  });
+  EXPECT_FALSE(committed);
+  EXPECT_EQ(x.plain_load(), 1u);
+  EXPECT_EQ(stm.stats().user_aborts.load(), 1u);
+  EXPECT_EQ(stm.stats().commits.load(), 0u);
+}
+
+TEST(Tl2, WriteThenOverwriteKeepsLast) {
+  Tl2Stm stm;
+  Cell x(0);
+  ASSERT_TRUE(stm.atomically([&](auto& tx) {
+    tx.write(x, 1);
+    tx.write(x, 2);
+    tx.write(x, 3);
+  }));
+  EXPECT_EQ(x.plain_load(), 3u);
+}
+
+TEST(Tl2, SequentialTransactionsSeeEachOther) {
+  Tl2Stm stm;
+  Cell x(0);
+  for (word_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(stm.atomically([&](auto& tx) {
+      const word_t v = tx.read(x);
+      tx.write(x, v + 1);
+    }));
+  }
+  EXPECT_EQ(x.plain_load(), 10u);
+}
+
+TEST(Tl2, ConflictIsRetriedToSuccess) {
+  // Force a conflict by bumping the clock and the orec between begin and
+  // read: simplest deterministic way is two interleaved transactions on the
+  // same cell driven manually.
+  Tl2Stm stm;
+  Cell x(0);
+  int attempts = 0;
+  ASSERT_TRUE(stm.atomically([&](auto& tx) {
+    ++attempts;
+    if (attempts == 1) {
+      // Commit a competing write mid-flight, invalidating our snapshot.
+      stm.atomically([&](auto& other) { other.write(x, 5); });
+    }
+    const word_t v = tx.read(x);
+    tx.write(x, v + 1);
+  }));
+  EXPECT_EQ(x.plain_load(), 6u);
+  EXPECT_GE(attempts, 2);
+  EXPECT_GE(stm.stats().conflicts.load(), 1u);
+}
+
+TEST(Tl2, OpacityNoStaleReadAfterCompetingCommit) {
+  // A transaction that read x before a competing commit must abort when it
+  // later reads y written by that commit (no inconsistent snapshot).
+  Tl2Stm stm;
+  Cell x(0), y(0);
+  int attempts = 0;
+  word_t rx = 0, ry = 0;
+  ASSERT_TRUE(stm.atomically([&](auto& tx) {
+    ++attempts;
+    rx = tx.read(x);
+    if (attempts == 1)
+      stm.atomically([&](auto& other) {
+        other.write(x, 1);
+        other.write(y, 1);
+      });
+    ry = tx.read(y);
+  }));
+  // The first attempt must have aborted; the retry sees both or neither.
+  EXPECT_GE(attempts, 2);
+  EXPECT_EQ(rx, ry);
+}
+
+TEST(Tl2, QuiesceReturnsWhenIdle) {
+  Tl2Stm stm;
+  stm.quiesce();  // no transactions in flight: immediate
+  EXPECT_EQ(stm.stats().fences.load(), 1u);
+}
+
+TEST(Tl2, StatsStringAndReset) {
+  Tl2Stm stm;
+  Cell x(0);
+  stm.atomically([&](auto& tx) { tx.write(x, 1); });
+  EXPECT_NE(stm.stats().str().find("commits=1"), std::string::npos);
+  stm.stats().reset();
+  EXPECT_EQ(stm.stats().commits.load(), 0u);
+}
+
+TEST(Tl2, TVarTypedAccess) {
+  Tl2Stm stm;
+  TVar<int> v(41);
+  ASSERT_TRUE(stm.atomically([&](auto& tx) { v.set(tx, v.get(tx) + 1); }));
+  EXPECT_EQ(v.plain_get(), 42);
+  TVar<double> d(1.5);
+  ASSERT_TRUE(stm.atomically([&](auto& tx) { d.set(tx, d.get(tx) * 2.0); }));
+  EXPECT_DOUBLE_EQ(d.plain_get(), 3.0);
+}
+
+TEST(OrecTable, AddressHashingIsStable) {
+  OrecTable t(8);
+  int a = 0, b = 0;
+  EXPECT_EQ(&t.for_addr(&a), &t.for_addr(&a));
+  EXPECT_EQ(t.size(), 256u);
+  (void)b;
+}
+
+TEST(OrecWord, Layout) {
+  EXPECT_TRUE(orec_locked(make_locked(3)));
+  EXPECT_EQ(orec_owner(make_locked(3)), 3u);
+  EXPECT_FALSE(orec_locked(make_version(9)));
+  EXPECT_EQ(orec_version(make_version(9)), 9u);
+}
+
+TEST(GlobalClock, Monotone) {
+  GlobalClock c;
+  const auto t0 = c.now();
+  const auto t1 = c.advance();
+  EXPECT_GT(t1, t0);
+  EXPECT_EQ(c.now(), t1);
+}
+
+}  // namespace
+}  // namespace mtx::stm

@@ -1,0 +1,125 @@
+// §5 suborders and the Appendix C lemmas: hbe decomposition (Lemma C.1) and
+// the alternative consistency characterization (Lemma C.2), checked on
+// hand-built executions and on randomized consistent traces.
+#include <gtest/gtest.h>
+
+#include "ltrf/metatheory.hpp"
+#include "model/suborders.hpp"
+#include "trace_builders.hpp"
+
+namespace mtx::test {
+namespace {
+
+using model::analyze;
+using model::ModelConfig;
+using model::Relations;
+using model::Suborders;
+
+constexpr Loc X = 0, Y = 1;
+
+Trace publication_exec() {
+  TB b(2);
+  b.w(0, X, 1, 1);                                   // 4 plain
+  b.begin(0).w(0, Y, 1, 1).commit(0);                // 5..7
+  b.begin(1).r(1, Y, 1, 1).commit(1);                // 8..10
+  b.r(1, X, 1, 1);                                   // 11 plain
+  return b.trace();
+}
+
+TEST(Suborders, PoTClassification) {
+  const Trace t = publication_exec();
+  const Relations rel = Relations::compute(t);
+  const Suborders s = Suborders::compute(t, rel);
+
+  // 4 = plain Wx, 6 = txn Wy (writing txn), 9 = txn Ry (read-only txn),
+  // 11 = plain Rx.
+  EXPECT_TRUE(s.po_T.test(4, 6));    // plain into a writing txn action
+  EXPECT_FALSE(s.po_T.test(8, 9));   // same txn: excluded
+  EXPECT_FALSE(s.po_T.test(4, 9));   // different threads: no po
+  EXPECT_TRUE(s.poT_.test(9, 11));   // resolved txn action to plain
+  EXPECT_FALSE(s.poT_.test(4, 6));   // source not transactional
+  EXPECT_FALSE(s.poRW.test(4, 6));   // write -> write
+  EXPECT_TRUE(s.poCon.test(4, 4) == false);
+}
+
+TEST(Suborders, PoRWAndPoCon) {
+  TB b(2);
+  b.r(0, X, 0, 0).w(0, Y, 1, 1).w(0, Y, 2, 2);
+  const Relations rel = Relations::compute(b.trace());
+  const Suborders s = Suborders::compute(b.trace(), rel);
+  EXPECT_TRUE(s.poRW.test(4, 5));   // read before write (different locs ok)
+  EXPECT_TRUE(s.poCon.test(5, 6));  // conflicting same-loc writes
+  EXPECT_FALSE(s.poCon.test(4, 5)); // different locations
+}
+
+TEST(Suborders, SweIsExternalOnly) {
+  const Trace t = publication_exec();
+  const Relations rel = Relations::compute(t);
+  const Suborders s = Suborders::compute(t, rel);
+  // cwr from Wy (6) to Ry (9) is cross-thread: in swe.
+  EXPECT_TRUE(s.swe.test(6, 9));
+  // Intra-thread cwr/cww pairs would be removed; here all tx pairs are
+  // cross-thread, so swe == (cwr|cww) restricted off po.
+  s.swe.for_each([&](std::size_t a, std::size_t c) { EXPECT_FALSE(rel.po.test(a, c)); });
+}
+
+TEST(Suborders, HbeCarriesCrossThreadSynchronization) {
+  const Trace t = publication_exec();
+  const Relations rel = Relations::compute(t);
+  const Suborders s = Suborders::compute(t, rel);
+  // Wx (4) hbe Rx (11): po-T ; swe ; poT-.
+  EXPECT_TRUE(s.hbe.test(4, 11));
+}
+
+TEST(LemmaC1, HoldsOnPublication) { EXPECT_TRUE(model::lemma_c1_holds(publication_exec())); }
+
+TEST(LemmaC1, HoldsWithAbortedTxns) {
+  TB b(2);
+  b.begin(0).w(0, X, 1, 1).abort(0);
+  b.begin(1).w(1, X, 2, 2).commit(1);
+  b.r(1, X, 2, 2);
+  EXPECT_TRUE(model::lemma_c1_holds(b.trace()));
+}
+
+TEST(LemmaC2, AgreesOnConsistentExec) {
+  const Trace t = publication_exec();
+  EXPECT_TRUE(model::consistent(t, ModelConfig::implementation()));
+  EXPECT_TRUE(model::alt_consistent(t));
+}
+
+TEST(LemmaC2, AgreesOnInconsistentExec) {
+  TB b(1);
+  b.w(0, X, 1, 1).w(0, X, 2, 2).r(0, X, 1, 1);  // stale own-thread read
+  EXPECT_FALSE(model::consistent(b.trace(), ModelConfig::implementation()));
+  EXPECT_FALSE(model::alt_consistent(b.trace()));
+}
+
+// Randomized agreement: Lemma C.1 and C.2 on generated consistent traces.
+class SubordersRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SubordersRandom, LemmaC1OnRandomTraces) {
+  Rng rng(GetParam());
+  ltrf::RandomTraceParams params;
+  const ModelConfig impl = ModelConfig::implementation();
+  for (int i = 0; i < 20; ++i) {
+    const Trace t = ltrf::random_consistent_trace(rng, params, impl);
+    EXPECT_TRUE(model::lemma_c1_holds(t)) << t.str();
+  }
+}
+
+TEST_P(SubordersRandom, LemmaC2OnRandomTraces) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  ltrf::RandomTraceParams params;
+  const ModelConfig impl = ModelConfig::implementation();
+  for (int i = 0; i < 20; ++i) {
+    const Trace t = ltrf::random_consistent_trace(rng, params, impl);
+    ASSERT_TRUE(model::consistent(t, impl));
+    EXPECT_TRUE(model::alt_consistent(t)) << t.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubordersRandom,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 23, 47));
+
+}  // namespace
+}  // namespace mtx::test

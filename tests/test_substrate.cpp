@@ -1,0 +1,370 @@
+// Unit tests for the support library: rationals, bit relations, digraphs,
+// enumeration, RNG, statistics, formatting, threading.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "substrate/bitrel.hpp"
+#include "substrate/digraph.hpp"
+#include "substrate/enumerate.hpp"
+#include "substrate/format.hpp"
+#include "substrate/rational.hpp"
+#include "substrate/rng.hpp"
+#include "substrate/stats.hpp"
+#include "substrate/threading.hpp"
+
+namespace mtx {
+namespace {
+
+TEST(Rational, NormalizesSignAndGcd) {
+  Rational r(6, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 2);
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+}
+
+TEST(Rational, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(7, 2), Rational(3));
+  EXPECT_LT(Rational(-1, 2), Rational(0));
+}
+
+TEST(Rational, MidpointStrictlyBetween) {
+  const Rational a(1), b(2);
+  const Rational m = Rational::midpoint(a, b);
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, b);
+  // Repeated midpoints keep fitting (density of Q).
+  Rational lo = a, hi = m;
+  for (int i = 0; i < 10; ++i) {
+    Rational mid = Rational::midpoint(lo, hi);
+    EXPECT_LT(lo, mid);
+    EXPECT_LT(mid, hi);
+    hi = mid;
+  }
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+  EXPECT_THROW(Rational(1) / Rational(0), std::invalid_argument);
+}
+
+TEST(Rational, Str) {
+  EXPECT_EQ(Rational(3).str(), "3");
+  EXPECT_EQ(Rational(3, 2).str(), "3/2");
+}
+
+TEST(BitRel, SetTestCount) {
+  BitRel r(70);  // cross word boundary
+  EXPECT_FALSE(r.test(0, 69));
+  r.set(0, 69);
+  r.set(69, 0);
+  EXPECT_TRUE(r.test(0, 69));
+  EXPECT_EQ(r.count(), 2u);
+  r.set(0, 69, false);
+  EXPECT_EQ(r.count(), 1u);
+}
+
+TEST(BitRel, UnionIntersectionDifference) {
+  BitRel a(4), b(4);
+  a.set(0, 1);
+  a.set(1, 2);
+  b.set(1, 2);
+  b.set(2, 3);
+  EXPECT_EQ((a | b).count(), 3u);
+  EXPECT_EQ((a & b).count(), 1u);
+  EXPECT_EQ((a - b).count(), 1u);
+  EXPECT_TRUE((a - b).test(0, 1));
+}
+
+TEST(BitRel, Compose) {
+  BitRel a(4), b(4);
+  a.set(0, 1);
+  b.set(1, 2);
+  b.set(1, 3);
+  const BitRel c = a.compose(b);
+  EXPECT_TRUE(c.test(0, 2));
+  EXPECT_TRUE(c.test(0, 3));
+  EXPECT_EQ(c.count(), 2u);
+}
+
+TEST(BitRel, TransitiveClosure) {
+  BitRel r(5);
+  r.set(0, 1);
+  r.set(1, 2);
+  r.set(2, 3);
+  const BitRel c = r.transitive_closure();
+  EXPECT_TRUE(c.test(0, 3));
+  EXPECT_FALSE(c.test(3, 0));
+  EXPECT_TRUE(c.is_irreflexive());
+}
+
+TEST(BitRel, AcyclicityDetectsCycle) {
+  BitRel r(3);
+  r.set(0, 1);
+  r.set(1, 2);
+  EXPECT_TRUE(r.is_acyclic());
+  r.set(2, 0);
+  EXPECT_FALSE(r.is_acyclic());
+}
+
+TEST(BitRel, SubsetAndTranspose) {
+  BitRel a(3), b(3);
+  a.set(0, 1);
+  b.set(0, 1);
+  b.set(1, 2);
+  EXPECT_TRUE(a.subset_of(b));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_TRUE(a.transposed().test(1, 0));
+}
+
+TEST(BitRel, TopologicalOrder) {
+  BitRel r(4);
+  r.set(2, 0);
+  r.set(0, 1);
+  r.set(1, 3);
+  const auto order = r.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < 4; ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[2], pos[0]);
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[1], pos[3]);
+  r.set(3, 2);  // cycle
+  EXPECT_TRUE(r.topological_order().empty());
+}
+
+TEST(BitRel, FilteredAndRestricted) {
+  BitRel r(4);
+  r.set(0, 1);
+  r.set(2, 3);
+  const BitRel f = r.filtered([](std::size_t a, std::size_t) { return a == 0; });
+  EXPECT_EQ(f.count(), 1u);
+  std::vector<bool> mask = {true, true, false, false};
+  EXPECT_EQ(r.restricted(mask).count(), 1u);
+}
+
+TEST(Digraph, TopoAndCycle) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_FALSE(g.has_cycle());
+  auto order = g.topo_order();
+  ASSERT_TRUE(order.has_value());
+  g.add_edge(2, 0);
+  EXPECT_TRUE(g.has_cycle());
+  EXPECT_FALSE(g.topo_order().has_value());
+}
+
+TEST(Digraph, Sccs) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const auto sccs = g.sccs();
+  std::size_t big = 0;
+  for (const auto& c : sccs) big = std::max(big, c.size());
+  EXPECT_EQ(big, 3u);
+  EXPECT_EQ(sccs.size(), 3u);
+}
+
+TEST(Digraph, Reachability) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto seen = g.reachable_from(0);
+  EXPECT_TRUE(seen[1]);
+  EXPECT_TRUE(seen[2]);
+  EXPECT_FALSE(seen[3]);
+  EXPECT_FALSE(seen[0]);  // not on a cycle
+}
+
+TEST(Enumerate, ProductCoversAllTuples) {
+  std::set<std::vector<std::size_t>> seen;
+  for_each_product({2, 3}, [&](const std::vector<std::size_t>& c) {
+    seen.insert(c);
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Enumerate, EmptyRadixIsEmptyProduct) {
+  int calls = 0;
+  for_each_product({2, 0}, [&](const std::vector<std::size_t>&) {
+    ++calls;
+    return true;
+  });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Enumerate, NoRadicesCallsOnce) {
+  int calls = 0;
+  for_each_product({}, [&](const std::vector<std::size_t>&) {
+    ++calls;
+    return true;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Enumerate, EarlyStop) {
+  int calls = 0;
+  const bool complete = for_each_product({10}, [&](const std::vector<std::size_t>&) {
+    return ++calls < 3;
+  });
+  EXPECT_FALSE(complete);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Enumerate, Permutations) {
+  int calls = 0;
+  for_each_permutation(4, [&](const std::vector<std::size_t>&) {
+    ++calls;
+    return true;
+  });
+  EXPECT_EQ(calls, 24);
+}
+
+TEST(Enumerate, ProductSizeSaturates) {
+  EXPECT_EQ(product_size({3, 4}), 12u);
+  EXPECT_EQ(product_size({0, 4}), 0u);
+  std::vector<std::size_t> huge(11, 1u << 20);
+  EXPECT_EQ(product_size(huge), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Enumerate, Budget) {
+  Budget b(3);
+  EXPECT_TRUE(b.spend());
+  EXPECT_TRUE(b.spend(2));
+  EXPECT_FALSE(b.spend());
+  EXPECT_TRUE(b.exhausted());
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo |= v == -2;
+    hi |= v == 2;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(5);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  auto w = v;
+  r.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Stats, WelfordMeanVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Stats, Histogram) {
+  Histogram h(0, 10, 5);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.total(), 10u);
+  for (std::size_t b = 0; b < h.buckets(); ++b) EXPECT_EQ(h.bucket_count(b), 2u);
+  h.add(-5);   // clamps low
+  h.add(100);  // clamps high
+  EXPECT_EQ(h.bucket_count(0), 3u);
+  EXPECT_EQ(h.bucket_count(4), 3u);
+}
+
+TEST(Format, TableAlignsColumns) {
+  Table t({"name", "n"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("alpha | 1"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+}
+
+TEST(Format, Fixed) { EXPECT_EQ(fixed(3.14159, 2), "3.14"); }
+
+TEST(Threading, TeamRunsAllThreads) {
+  std::atomic<int> sum{0};
+  run_team(8, [&](std::size_t tid) { sum += static_cast<int>(tid); });
+  EXPECT_EQ(sum.load(), 28);
+}
+
+TEST(Threading, BarrierReleasesTogether) {
+  constexpr std::size_t n = 4;
+  SpinBarrier barrier(n);
+  std::atomic<int> before{0}, after{0};
+  run_team(n, [&](std::size_t) {
+    before.fetch_add(1);
+    barrier.arrive_and_wait();
+    // Everyone must have arrived before anyone proceeds.
+    EXPECT_EQ(before.load(), static_cast<int>(n));
+    after.fetch_add(1);
+    barrier.arrive_and_wait();
+    EXPECT_EQ(after.load(), static_cast<int>(n));
+  });
+}
+
+TEST(Threading, HwThreadsClamped) {
+  EXPECT_GE(hw_threads(), 1u);
+  EXPECT_LE(hw_threads(4), 4u);
+}
+
+}  // namespace
+}  // namespace mtx

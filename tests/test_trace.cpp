@@ -1,0 +1,172 @@
+// Trace structure: membership (tx~), resolution states, permutation,
+// subsequence, erasures, final values.
+#include <gtest/gtest.h>
+
+#include "trace_builders.hpp"
+
+namespace mtx::test {
+namespace {
+
+using model::Kind;
+using model::TxnState;
+
+TEST(Trace, WithInitShape) {
+  const Trace t = Trace::with_init(3);
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_TRUE(t[0].is_begin());
+  EXPECT_EQ(t[0].thread, model::kInitThread);
+  for (std::size_t i = 1; i <= 3; ++i) {
+    EXPECT_TRUE(t[i].is_write());
+    EXPECT_EQ(t[i].value, 0);
+    EXPECT_EQ(t[i].ts, Rational(0));
+  }
+  EXPECT_TRUE(t[4].is_commit());
+  EXPECT_EQ(t.num_locs(), 3);
+}
+
+TEST(Trace, MembershipAndStates) {
+  TB b(1);
+  b.begin(0).w(0, 0, 1, 1).commit(0);
+  b.begin(1).r(1, 0, 1, 1).abort(1);
+  b.w(2, 0, 2, 2);  // plain
+  const Trace& t = b.trace();
+
+  // init txn: indices 0..2; thread0 txn: 3..5; thread1: 6..8; plain: 9.
+  EXPECT_TRUE(t.transactional(4));
+  EXPECT_EQ(t.txn_of(4), 3);
+  EXPECT_EQ(t.txn_of(5), 3);  // commit belongs to its txn
+  EXPECT_EQ(t.txn_state(3), TxnState::Committed);
+  EXPECT_EQ(t.txn_state(6), TxnState::Aborted);
+  EXPECT_TRUE(t.aborted(7));
+  EXPECT_TRUE(t.plain(9));
+  EXPECT_TRUE(t.nonaborted(9));
+  EXPECT_TRUE(t.same_txn(4, 5));
+  EXPECT_FALSE(t.same_txn(4, 7));
+  EXPECT_TRUE(t.same_txn(9, 9));  // plain relates to itself
+}
+
+TEST(Trace, LiveTransaction) {
+  TB b(1);
+  b.begin(0).w(0, 0, 1, 1);
+  const Trace& t = b.trace();
+  EXPECT_EQ(t.txn_state(3), TxnState::Live);
+  EXPECT_TRUE(t.live(4));
+  EXPECT_FALSE(t.aborted(4));
+}
+
+TEST(Trace, TxnMembersAndTouches) {
+  TB b(2);
+  b.begin(0).w(0, 0, 1, 1).r(0, 1, 0, 0).commit(0);
+  const Trace& t = b.trace();
+  const auto members = t.txn_members(4);
+  EXPECT_EQ(members.size(), 4u);  // B, W, R, C
+  EXPECT_TRUE(t.txn_touches(4, 0));
+  EXPECT_TRUE(t.txn_touches(4, 1));
+  EXPECT_EQ(t.resolution_of(4), 7);
+}
+
+TEST(Trace, BeginsListsAllTransactions) {
+  TB b(1);
+  b.begin(0).commit(0).begin(1).abort(1);
+  EXPECT_EQ(b.trace().begins().size(), 3u);  // init + two
+}
+
+TEST(Trace, PermutedPreservesNamesAndPeers) {
+  TB b(1);
+  b.w(0, 0, 1, 1).w(1, 0, 2, 2);
+  const Trace& t = b.trace();
+  std::vector<std::size_t> order = {0, 1, 2, 4, 3};  // swap the two writes
+  const Trace p = t.permuted(order);
+  EXPECT_EQ(p.size(), t.size());
+  EXPECT_EQ(p[3].name, t[4].name);
+  EXPECT_EQ(p[4].name, t[3].name);
+  // Structure recomputed: init commit still resolves init begin.
+  EXPECT_EQ(p.txn_state(0), TxnState::Committed);
+}
+
+TEST(Trace, SubsequenceKeepsStructure) {
+  TB b(1);
+  b.begin(0).w(0, 0, 1, 1).commit(0).w(1, 0, 2, 2);
+  const Trace& t = b.trace();
+  std::vector<bool> keep(t.size(), true);
+  keep[t.size() - 1] = false;  // drop the plain write
+  const Trace s = t.subsequence(keep);
+  EXPECT_EQ(s.size(), t.size() - 1);
+  EXPECT_EQ(s.txn_state(3), TxnState::Committed);
+}
+
+TEST(Trace, WithoutAbortedErasesWholeTxn) {
+  TB b(1);
+  b.begin(0).w(0, 0, 1, 1).abort(0).w(1, 0, 2, 2);
+  const Trace erased = b.trace().without_aborted();
+  // init (3 actions) + plain write
+  EXPECT_EQ(erased.size(), 4u);
+  for (std::size_t i = 0; i < erased.size(); ++i) EXPECT_FALSE(erased.aborted(i));
+}
+
+TEST(Trace, WithoutQFences) {
+  TB b(1);
+  b.fence(0, 0).w(0, 0, 1, 1).fence(1, 0);
+  const Trace erased = b.trace().without_qfences();
+  EXPECT_EQ(erased.size(), 4u);
+  for (std::size_t i = 0; i < erased.size(); ++i)
+    EXPECT_NE(erased[i].kind, Kind::QFence);
+}
+
+TEST(Trace, FinalValueIgnoresAbortedAndLive) {
+  TB b(1);
+  b.w(0, 0, 5, 1);                      // plain ts 1
+  b.begin(1).w(1, 0, 7, 2).abort(1);    // aborted ts 2
+  b.begin(2).w(2, 0, 9, 3);             // live ts 3
+  const Trace& t = b.trace();
+  EXPECT_EQ(t.final_value(0), 5);
+  EXPECT_EQ(t.max_write_ts(0), Rational(3));  // live counts as nonaborted
+}
+
+TEST(Trace, FinalValuePicksMaxTimestampNotIndex) {
+  TB b(1);
+  b.w(0, 0, 5, 2).w(1, 0, 9, 1);  // later index, earlier ts
+  EXPECT_EQ(b.trace().final_value(0), 5);
+}
+
+TEST(Trace, IndexOfName) {
+  TB b(1);
+  b.w(0, 0, 1, 1);
+  const Trace& t = b.trace();
+  EXPECT_EQ(t.index_of_name(t[3].name), 3);
+  EXPECT_EQ(t.index_of_name(424242), -1);
+}
+
+TEST(Action, Predicates) {
+  const auto w = model::make_write(0, 1, 2, Rational(3));
+  EXPECT_TRUE(w.is_write());
+  EXPECT_TRUE(w.is_memory_access());
+  EXPECT_FALSE(w.is_boundary());
+  EXPECT_TRUE(w.accesses(1));
+  EXPECT_FALSE(w.accesses(0));
+  const auto q = model::make_qfence(0, 1);
+  EXPECT_FALSE(q.is_memory_access());
+  EXPECT_FALSE(q.accesses(1));  // fences name but do not access x
+  const auto c = model::make_commit(0, 7);
+  EXPECT_TRUE(c.is_resolution());
+  EXPECT_TRUE(c.is_boundary());
+  EXPECT_EQ(c.peer, 7);
+}
+
+TEST(Action, StrIsInformative) {
+  const auto w = model::make_write(2, 1, 5, Rational(3, 2), 9);
+  const std::string s = w.str();
+  EXPECT_NE(s.find("W"), std::string::npos);
+  EXPECT_NE(s.find("3/2"), std::string::npos);
+  EXPECT_NE(s.find("t2"), std::string::npos);
+}
+
+TEST(Trace, StrListsTransactions) {
+  TB b(1);
+  b.begin(0).w(0, 0, 1, 1).commit(0);
+  const std::string s = b.trace().str();
+  EXPECT_NE(s.find("committed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mtx::test

@@ -1,0 +1,194 @@
+// The DFS trace enumerator: agreement with the graph enumerator on final
+// outcomes, prefix-closedness of the visited set, and the §4 stability
+// queries.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "litmus/graph_enum.hpp"
+#include "litmus/trace_enum.hpp"
+
+namespace mtx::lit {
+namespace {
+
+using model::Analysis;
+using model::ModelConfig;
+using model::Trace;
+
+Program message_passing_txn() {
+  Program p;
+  p.num_locs = 2;
+  p.add_thread({write(at(0), 1), atomic({write(at(1), 1)})});
+  p.add_thread({atomic({read(0, at(1))}), read(1, at(0))});
+  return p;
+}
+
+// Extract the final-outcome fingerprint of a complete trace (all program
+// actions present).
+std::string outcome_key(const Trace& t, int num_locs) {
+  std::string k;
+  for (int x = 0; x < num_locs; ++x) k += std::to_string(t.final_value(x)) + ",";
+  return k;
+}
+
+TEST(TraceEnum, VisitsOnlyConsistentTraces) {
+  TraceEnum e(message_passing_txn(), ModelConfig::programmer());
+  std::size_t visited = 0;
+  e.explore([&](const Trace& t, const Analysis& an, std::size_t) {
+    ++visited;
+    EXPECT_TRUE(an.consistent()) << t.str();
+    return TraceEnum::Visit::Continue;
+  });
+  EXPECT_GT(visited, 10u);
+  EXPECT_FALSE(e.truncated());
+}
+
+TEST(TraceEnum, FinalMemoryAgreesWithGraphEnum) {
+  const Program p = message_passing_txn();
+  // Graph enumerator's final-memory set.
+  std::set<std::string> graph_keys;
+  GraphEnum ge(p, ModelConfig::programmer());
+  ge.for_each([&](const Execution& ex) {
+    graph_keys.insert(outcome_key(ex.trace, p.num_locs));
+  });
+
+  // DFS complete traces: init (4) + thread0 (Wx,B,Wy,C) + thread1 (B,Ry,C,Rx)
+  // = 12 actions.
+  std::set<std::string> dfs_keys;
+  TraceEnum te(p, ModelConfig::programmer());
+  te.explore([&](const Trace& t, const Analysis&, std::size_t) {
+    if (t.size() == 12u) dfs_keys.insert(outcome_key(t, p.num_locs));
+    return TraceEnum::Visit::Continue;
+  });
+  EXPECT_EQ(graph_keys, dfs_keys);
+}
+
+TEST(TraceEnum, PrefixClosed) {
+  // Every visited trace's own prefix (one action shorter) is also visited.
+  TraceEnum e(message_passing_txn(), ModelConfig::programmer());
+  std::set<std::string> seen;
+  auto key = [](const Trace& t) {
+    std::string k;
+    for (std::size_t i = 0; i < t.size(); ++i) k += t[i].str();
+    return k;
+  };
+  std::vector<Trace> all;
+  e.explore([&](const Trace& t, const Analysis&, std::size_t) {
+    seen.insert(key(t));
+    all.push_back(t);
+    return TraceEnum::Visit::Continue;
+  });
+  for (const Trace& t : all) {
+    if (t.size() <= 6) continue;  // init only
+    std::vector<bool> keep(t.size(), true);
+    keep[t.size() - 1] = false;
+    EXPECT_TRUE(seen.count(key(t.subsequence(keep)))) << t.str();
+  }
+}
+
+TEST(TraceEnum, ExploreFromExtendsBase) {
+  const Program p = message_passing_txn();
+  TraceEnum e(p, ModelConfig::programmer());
+  // Base: init + plain Wx1.
+  Trace base = Trace::with_init(2);
+  base.append(model::make_write(0, 0, 1, Rational(1)));
+  std::size_t visits = 0;
+  e.explore_from(base, [&](const Trace& t, const Analysis&, std::size_t appended) {
+    if (appended != static_cast<std::size_t>(-1)) {
+      ++visits;
+      EXPECT_GT(t.size(), base.size());
+    }
+    return TraceEnum::Visit::Continue;
+  });
+  EXPECT_GT(visits, 0u);
+}
+
+TEST(TraceEnum, ExploreFromRejectsForeignTrace) {
+  TraceEnum e(message_passing_txn(), ModelConfig::programmer());
+  Trace bogus = Trace::with_init(2);
+  bogus.append(model::make_write(0, 0, 42, Rational(1)));  // program writes 1
+  std::size_t visits = 0;
+  e.explore_from(bogus, [&](const Trace&, const Analysis&, std::size_t) {
+    ++visits;
+    return TraceEnum::Visit::Continue;
+  });
+  EXPECT_EQ(visits, 0u);
+}
+
+TEST(TraceEnum, StabilityPublication) {
+  // After the publication handshake committed, {x} is stable: no extension
+  // races on x.
+  const Program p = message_passing_txn();
+  TraceEnum e(p, ModelConfig::programmer());
+
+  Trace sigma = Trace::with_init(2);
+  sigma.append(model::make_write(0, 0, 1, Rational(1)));
+  const int b0 = sigma.append(model::make_begin(0));
+  sigma.append(model::make_write(0, 1, 1, Rational(1)));
+  sigma.append(model::make_commit(0, sigma[static_cast<std::size_t>(b0)].name));
+  ASSERT_TRUE(model::consistent(sigma, ModelConfig::programmer()));
+
+  const model::LocSet Lx = model::loc_set({0}, 2);
+  EXPECT_TRUE(e.is_L_stable(sigma, Lx));
+  EXPECT_TRUE(e.is_transactionally_L_stable(sigma, Lx));
+}
+
+TEST(TraceEnum, InstabilityWhenPlainWriteRacesAhead) {
+  // Program: two plain writers to x.  After thread 0 wrote x, thread 1's
+  // write races with it: not stable for {x}.
+  Program p;
+  p.num_locs = 1;
+  p.add_thread({write(at(0), 1)});
+  p.add_thread({write(at(0), 2)});
+  TraceEnum e(p, ModelConfig::programmer());
+
+  Trace sigma = Trace::with_init(1);
+  sigma.append(model::make_write(0, 0, 1, Rational(1)));
+  const model::LocSet Lx = model::loc_set({0}, 1);
+  EXPECT_FALSE(e.is_L_stable(sigma, Lx));
+}
+
+TEST(TraceEnum, FutureProofingViaXrw) {
+  // Appendix A.1: sigma contains a transactional read of x; the program can
+  // still start a transaction that overwrites x (xrw from sigma into the
+  // future): L-stable but NOT transactionally L-stable.
+  Program p;
+  p.num_locs = 1;
+  p.add_thread({write(at(0), 1), atomic({write(at(0), 2)})});
+  p.add_thread({atomic({read(0, at(0))})});
+  TraceEnum e(p, ModelConfig::programmer());
+
+  // sigma: init; t0 plain Wx1; t1's txn reads x=1 and commits.
+  Trace sigma = Trace::with_init(1);
+  sigma.append(model::make_write(0, 0, 1, Rational(1)));
+  const int b1 = sigma.append(model::make_begin(1));
+  sigma.append(model::make_read(1, 0, 1, Rational(1)));
+  sigma.append(model::make_commit(1, sigma[static_cast<std::size_t>(b1)].name));
+  ASSERT_TRUE(model::consistent(sigma, ModelConfig::programmer()));
+
+  const model::LocSet Lx = model::loc_set({0}, 1);
+  EXPECT_FALSE(e.is_transactionally_L_stable(sigma, Lx));
+}
+
+TEST(TraceEnum, BudgetTruncates) {
+  TraceEnumOptions opts;
+  opts.node_budget = 5;
+  TraceEnum e(message_passing_txn(), ModelConfig::programmer(), opts);
+  e.explore([&](const Trace&, const Analysis&, std::size_t) {
+    return TraceEnum::Visit::Continue;
+  });
+  EXPECT_TRUE(e.truncated());
+}
+
+TEST(TraceEnum, AllTracesDeduplicated) {
+  Program p;
+  p.num_locs = 1;
+  p.add_thread({write(at(0), 1)});
+  TraceEnum e(p, ModelConfig::programmer());
+  const auto traces = e.all_traces();
+  // init prefix + the write = 2 distinct traces.
+  EXPECT_EQ(traces.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mtx::lit

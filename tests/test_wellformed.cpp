@@ -1,0 +1,211 @@
+// WF1..WF12, one positive/negative pair per condition.
+#include <gtest/gtest.h>
+
+#include "model/wellformed.hpp"
+#include "trace_builders.hpp"
+
+namespace mtx::test {
+namespace {
+
+using model::check_wellformed;
+using model::Trace;
+
+TEST(WF, CleanTraceIsWellFormed) {
+  TB b(2);
+  b.begin(0).w(0, 0, 1, 1).commit(0).r(1, 0, 1, 1);
+  EXPECT_TRUE(check_wellformed(b.trace()).ok());
+}
+
+TEST(WF1, MissingInitTransaction) {
+  Trace t;  // no init at all
+  t.append(model::make_write(0, 0, 1, Rational(1)));
+  EXPECT_TRUE(check_wellformed(t).violates(1));
+}
+
+TEST(WF1, InitMustCoverAllLocations) {
+  Trace t = Trace::with_init(1);
+  t.append(model::make_read(0, 1, 0, Rational(0)));  // mentions loc 1
+  EXPECT_TRUE(check_wellformed(t).violates(1));
+}
+
+TEST(WF1, InitThreadMayNotActLater) {
+  Trace t = Trace::with_init(1);
+  t.append(model::make_write(model::kInitThread, 0, 1, Rational(1)));
+  EXPECT_TRUE(check_wellformed(t).violates(1));
+}
+
+TEST(WF2, DuplicateActionNames) {
+  Trace t = Trace::with_init(1);
+  t.append(model::make_write(0, 0, 1, Rational(1), 100));
+  t.append(model::make_write(1, 0, 2, Rational(2), 100));
+  EXPECT_TRUE(check_wellformed(t).violates(2));
+}
+
+TEST(WF3, DuplicateTimestampSameLocation) {
+  TB b(1);
+  b.w(0, 0, 1, 1).w(1, 0, 2, 1);
+  EXPECT_TRUE(check_wellformed(b.trace()).violates(3));
+}
+
+TEST(WF3, SameTimestampDifferentLocationsOk) {
+  TB b(2);
+  b.w(0, 0, 1, 1).w(1, 1, 2, 1);
+  EXPECT_TRUE(check_wellformed(b.trace()).ok());
+}
+
+TEST(WF4, DoubleResolution) {
+  Trace t = Trace::with_init(1);
+  const int bidx = t.append(model::make_begin(0));
+  const int bname = t[static_cast<std::size_t>(bidx)].name;
+  t.append(model::make_commit(0, bname));
+  t.append(model::make_abort(0, bname));
+  EXPECT_TRUE(check_wellformed(t).violates(4));
+}
+
+TEST(WF4, ResolutionWithoutBegin) {
+  Trace t = Trace::with_init(1);
+  t.append(model::make_commit(0, 4242));
+  EXPECT_TRUE(check_wellformed(t).violates(4));
+}
+
+TEST(WF5, ResolutionBeforeBeginInPo) {
+  Trace t = Trace::with_init(1);
+  t.append(model::make_commit(0, 100));
+  t.append(model::make_begin(0, 100));
+  EXPECT_TRUE(check_wellformed(t).violates(5));
+}
+
+TEST(WF5, NestedBeginIsIllFormed) {
+  Trace t = Trace::with_init(1);
+  const int b1 = t.append(model::make_begin(0));
+  t.append(model::make_begin(0));
+  t.append(model::make_commit(0, t[static_cast<std::size_t>(b1)].name));
+  EXPECT_TRUE(check_wellformed(t).violates(5));
+}
+
+TEST(WF6, UnfulfilledRead) {
+  TB b(1);
+  b.r(0, 0, 7, 5);  // no write with value 7 at ts 5
+  EXPECT_TRUE(check_wellformed(b.trace()).violates(6));
+}
+
+TEST(WF7, ReadingAbortedWriteAcrossTxns) {
+  TB b(1);
+  b.begin(0).w(0, 0, 1, 1).abort(0);
+  b.r(1, 0, 1, 1);
+  EXPECT_TRUE(check_wellformed(b.trace()).violates(7));
+}
+
+TEST(WF7, ReadingOwnLiveWriteOk) {
+  TB b(1);
+  b.begin(0).w(0, 0, 1, 1).r(0, 0, 1, 1);
+  const auto report = check_wellformed(b.trace());
+  EXPECT_FALSE(report.violates(7));
+}
+
+TEST(WF8, ReadBeforeItsWriteInIndex) {
+  TB b(1);
+  b.r(0, 0, 1, 1).w(1, 0, 1, 1);
+  EXPECT_TRUE(check_wellformed(b.trace()).violates(8));
+}
+
+TEST(WF9, TransactionalWriteBehindCommittedWrite) {
+  // A committed transactional write at ts 2 appears first; a transactional
+  // write then takes ts 1 (earlier), violating WF9.
+  TB b(1);
+  b.begin(0).w(0, 0, 2, 2).commit(0);
+  b.begin(1).w(1, 0, 1, 1).commit(1);
+  EXPECT_TRUE(check_wellformed(b.trace()).violates(9));
+}
+
+TEST(WF9, EarlierPlainWriteDoesNotConstrain) {
+  // "Committed or live" are *transaction* states: an earlier plain write
+  // with a larger timestamp does not violate WF9 (the race machinery, not
+  // well-formedness, governs mixed-mode interleavings).
+  TB b(1);
+  b.w(0, 0, 2, 2);
+  b.begin(1).w(1, 0, 1, 1).commit(1);
+  EXPECT_FALSE(check_wellformed(b.trace()).violates(9));
+}
+
+TEST(WF9, PlainWriteMayTakeEarlierTimestamp) {
+  TB b(1);
+  b.begin(0).w(0, 0, 2, 2).commit(0);
+  b.w(1, 0, 1, 1);  // plain write slots beneath: allowed by WF9
+  EXPECT_FALSE(check_wellformed(b.trace()).violates(9));
+}
+
+TEST(WF9, EarlierAbortedWriteIgnored) {
+  TB b(1);
+  b.begin(0).w(0, 0, 2, 2).abort(0);
+  b.begin(1).w(1, 0, 1, 1).commit(1);
+  EXPECT_FALSE(check_wellformed(b.trace()).violates(9));
+}
+
+TEST(WF10, TransactionalReadStaleAfterOverwrite) {
+  // a:Wx1 committed; c:Wx2 committed; then txn b reads x=1 (from a).
+  TB b(1);
+  b.begin(0).w(0, 0, 1, 1).commit(0);
+  b.begin(1).w(1, 0, 2, 2).commit(1);
+  b.begin(2).r(2, 0, 1, 1).commit(2);
+  EXPECT_TRUE(check_wellformed(b.trace()).violates(10));
+}
+
+TEST(WF10, PlainReadMayBeStale) {
+  TB b(1);
+  b.begin(0).w(0, 0, 1, 1).commit(0);
+  b.begin(1).w(1, 0, 2, 2).commit(1);
+  b.r(2, 0, 1, 1);  // plain read of the old value: WF10 does not apply
+  EXPECT_FALSE(check_wellformed(b.trace()).violates(10));
+}
+
+TEST(WF10, PlainWriterExemptsTransactionalRead) {
+  // WF10 requires the *writer* to be transactional.
+  TB b(1);
+  b.w(0, 0, 1, 1);
+  b.w(0, 0, 2, 2);
+  b.begin(1).r(1, 0, 1, 1).commit(1);
+  EXPECT_FALSE(check_wellformed(b.trace()).violates(10));
+}
+
+TEST(WF11, ReadIgnoresOwnTransactionsWrite) {
+  // Within one txn: write x=2 at ts 2, then read x=1 from the older plain
+  // write -- forbidden: the read must see its own transaction's write.
+  TB b(1);
+  b.w(0, 0, 1, 1);
+  b.begin(1).w(1, 0, 2, 2).r(1, 0, 1, 1).commit(1);
+  EXPECT_TRUE(check_wellformed(b.trace()).violates(11));
+}
+
+TEST(WF12, FenceInterleavedWithTouchingTxn) {
+  TB b(1);
+  b.begin(0).w(0, 0, 1, 1);
+  b.fence(1, 0);  // txn touching x=loc0 is open
+  b.commit(0);
+  EXPECT_TRUE(check_wellformed(b.trace()).violates(12));
+}
+
+TEST(WF12, FenceAfterResolutionOk) {
+  TB b(1);
+  b.begin(0).w(0, 0, 1, 1).commit(0);
+  b.fence(1, 0);
+  EXPECT_FALSE(check_wellformed(b.trace()).violates(12));
+}
+
+TEST(WF12, FenceOnUntouchedLocationOk) {
+  TB b(2);
+  b.begin(0).w(0, 0, 1, 1);
+  b.fence(1, 1);  // txn does not touch loc 1
+  b.commit(0);
+  EXPECT_FALSE(check_wellformed(b.trace()).violates(12));
+}
+
+TEST(WF, ReportStringMentionsRule) {
+  TB b(1);
+  b.w(0, 0, 1, 1).w(1, 0, 2, 1);
+  const auto report = check_wellformed(b.trace());
+  EXPECT_NE(report.str().find("WF3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mtx::test

@@ -1,0 +1,54 @@
+// Shared helpers for building concrete traces in model-level tests.
+#pragma once
+
+#include <map>
+
+#include "model/trace.hpp"
+
+namespace mtx::test {
+
+using model::Loc;
+using model::Trace;
+using model::Value;
+
+// Fluent trace builder over Trace::with_init.
+class TB {
+ public:
+  explicit TB(int locs) : t_(Trace::with_init(locs)) {}
+
+  TB& w(int thread, Loc x, Value v, std::int64_t num, std::int64_t den = 1) {
+    t_.append(model::make_write(thread, x, v, Rational(num, den)));
+    return *this;
+  }
+  TB& r(int thread, Loc x, Value v, std::int64_t num, std::int64_t den = 1) {
+    t_.append(model::make_read(thread, x, v, Rational(num, den)));
+    return *this;
+  }
+  // Begin a transaction; remembers the begin name per thread.
+  TB& begin(int thread) {
+    const int idx = t_.append(model::make_begin(thread));
+    open_[thread] = t_[static_cast<std::size_t>(idx)].name;
+    return *this;
+  }
+  TB& commit(int thread) {
+    t_.append(model::make_commit(thread, open_.at(thread)));
+    return *this;
+  }
+  TB& abort(int thread) {
+    t_.append(model::make_abort(thread, open_.at(thread)));
+    return *this;
+  }
+  TB& fence(int thread, Loc x) {
+    t_.append(model::make_qfence(thread, x));
+    return *this;
+  }
+
+  Trace& trace() { return t_; }
+  operator Trace&() { return t_; }
+
+ private:
+  Trace t_;
+  std::map<int, int> open_;
+};
+
+}  // namespace mtx::test
