@@ -1,0 +1,76 @@
+// Campaign scaling benchmark: times the full-catalog verdict sweep in serial
+// reference mode and in parallel (with and without per-program frontier
+// splitting), checks the verdict tables agree byte-for-byte, and writes the
+// BENCH_campaign.json artifact recording the speedup.
+//
+// Usage: bench_campaign [--threads N] [--out PATH]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "campaign/report.hpp"
+#include "substrate/threading.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mtx;
+  std::size_t threads = hw_threads();
+  std::string out_path = "BENCH_campaign.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<std::size_t>(std::max(0ll, std::atoll(argv[++i])));
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+  }
+
+  campaign::CampaignOptions serial;
+  serial.threads = 1;
+  campaign::CampaignOptions parallel;
+  parallel.threads = threads;
+  campaign::CampaignOptions split = parallel;
+  split.split_programs = true;
+
+  std::printf("serial sweep...\n");
+  const campaign::CampaignResult rs = campaign::run_campaign(serial);
+  std::printf("  %.1f ms, %zu rows, %zu mismatches\n", rs.wall_ms, rs.jobs.size(),
+              rs.mismatches);
+  std::printf("parallel sweep (%zu threads)...\n", threads);
+  const campaign::CampaignResult rp = campaign::run_campaign(parallel);
+  std::printf("  %.1f ms, %zu shards\n", rp.wall_ms, rp.shard_count);
+  std::printf("parallel+split sweep (%zu threads)...\n", threads);
+  const campaign::CampaignResult rx = campaign::run_campaign(split);
+  std::printf("  %.1f ms, %zu shards\n", rx.wall_ms, rx.shard_count);
+
+  const bool identical = campaign::verdict_signature(rs) == campaign::verdict_signature(rp) &&
+                         campaign::verdict_signature(rs) == campaign::verdict_signature(rx);
+  const double speedup = rp.wall_ms > 0 ? rs.wall_ms / rp.wall_ms : 0;
+  const double speedup_split = rx.wall_ms > 0 ? rs.wall_ms / rx.wall_ms : 0;
+  std::printf("verdicts identical: %s\n", identical ? "yes" : "NO");
+  std::printf("speedup: %.2fx (flat), %.2fx (split) on %zu threads\n", speedup,
+              speedup_split, threads);
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"campaign_catalog_sweep\",\n";
+  json += "  \"threads\": " + std::to_string(threads) + ",\n";
+  json += "  \"rows\": " + std::to_string(rs.jobs.size()) + ",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"serial_ms\": %.3f,\n  \"parallel_ms\": %.3f,\n"
+                "  \"parallel_split_ms\": %.3f,\n  \"speedup\": %.3f,\n"
+                "  \"speedup_split\": %.3f,\n",
+                rs.wall_ms, rp.wall_ms, rx.wall_ms, speedup, speedup_split);
+  json += buf;
+  json += "  \"shards_flat\": " + std::to_string(rp.shard_count) + ",\n";
+  json += "  \"shards_split\": " + std::to_string(rx.shard_count) + ",\n";
+  json += "  \"verdicts_identical\": " + std::string(identical ? "true" : "false") + ",\n";
+  json += "  \"mismatches\": " + std::to_string(rs.mismatches) + "\n";
+  json += "}\n";
+  if (!campaign::write_file(out_path, json)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return identical && rs.mismatches == 0 ? 0 : 1;
+}

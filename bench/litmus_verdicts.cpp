@@ -3,11 +3,18 @@
 // configuration the paper discusses it in, plus the Example 2.3 variant
 // grid.  Output is the table EXPERIMENTS.md records as paper-vs-measured.
 //
-// Usage: litmus_verdicts [--variants]
+// Usage: litmus_verdicts [--variants] [--threads N] [--serial]
+//
+// The main table runs through the campaign engine: parallel across the
+// catalog by default (--serial for the single-threaded reference mode), with
+// identical output either way.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "campaign/campaign.hpp"
 #include "litmus/catalog.hpp"
 #include "ltrf/optimizations.hpp"
 #include "substrate/format.hpp"
@@ -19,10 +26,13 @@ using namespace mtx::lit;
 
 const char* verdict(bool allowed) { return allowed ? "Allowed" : "Forbidden"; }
 
-int run_main_table() {
+int run_main_table(std::size_t threads) {
+  campaign::CampaignOptions opts;
+  opts.threads = threads;
+  const campaign::CampaignResult r = campaign::run_campaign(opts);
   Table table({"id", "paper", "witness", "model", "paper says", "measured", "ok"});
-  std::size_t mismatches = 0;
-  for (const VerdictRow& row : run_catalog()) {
+  for (const campaign::JobResult& j : r.jobs) {
+    const VerdictRow& row = j.row;
     const LitmusTest* test = nullptr;
     for (const LitmusTest& t : catalog())
       if (t.id == row.id) test = &t;
@@ -30,11 +40,11 @@ int run_main_table() {
                    test ? test->witness_desc : "?", row.config,
                    verdict(row.expected_allowed), verdict(row.actual_allowed),
                    row.matches() ? "yes" : "MISMATCH"});
-    if (!row.matches()) ++mismatches;
   }
   std::printf("%s\n", table.render().c_str());
-  std::printf("verdict rows: %zu, mismatches: %zu\n", table.rows(), mismatches);
-  return mismatches == 0 ? 0 : 1;
+  std::printf("verdict rows: %zu, mismatches: %zu (%zu threads, %.1f ms)\n",
+              table.rows(), r.mismatches, r.threads_used, r.wall_ms);
+  return r.mismatches == 0 ? 0 : 1;
 }
 
 int run_variant_grid() {
@@ -86,10 +96,15 @@ int run_optimization_table() {
 
 int main(int argc, char** argv) {
   bool variants = false;
-  for (int i = 1; i < argc; ++i)
+  std::size_t threads = 0;  // 0 = all cores
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--variants") == 0) variants = true;
+    if (std::strcmp(argv[i], "--serial") == 0) threads = 1;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<std::size_t>(std::max(0ll, std::atoll(argv[++i])));
+  }
 
-  int rc = run_main_table();
+  int rc = run_main_table(threads);
   rc |= run_optimization_table();
   if (variants) rc |= run_variant_grid();
   return rc;

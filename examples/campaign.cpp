@@ -1,0 +1,86 @@
+// Campaign quick-start: sweep the whole reproduction catalog across model
+// configurations on all cores and write reproducible reports.
+//
+// Usage: campaign [--threads N] [--serial] [--split] [--rf-chunk N]
+//                 [--node-budget N] [--time-budget-ms N]
+//                 [--json PATH] [--csv PATH]
+//
+// --serial forces the single-threaded reference mode; --split additionally
+// shards each program's candidate space (frontier splitting).  Reports are
+// byte-identical between modes as long as no budget is hit.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "campaign/report.hpp"
+#include "substrate/format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mtx;
+  campaign::CampaignOptions opts;
+  std::string json_path, csv_path;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto count = [&](const char* flag) -> std::uint64_t {
+      const long long v = std::atoll(next(flag));
+      if (v < 0) {
+        std::fprintf(stderr, "%s must be >= 0\n", flag);
+        std::exit(2);
+      }
+      return static_cast<std::uint64_t>(v);
+    };
+    if (std::strcmp(argv[i], "--threads") == 0)
+      opts.threads = static_cast<std::size_t>(count("--threads"));
+    else if (std::strcmp(argv[i], "--serial") == 0)
+      opts.threads = 1;
+    else if (std::strcmp(argv[i], "--split") == 0)
+      opts.split_programs = true;
+    else if (std::strcmp(argv[i], "--rf-chunk") == 0)
+      opts.rf_chunk = count("--rf-chunk");
+    else if (std::strcmp(argv[i], "--node-budget") == 0)
+      opts.node_budget = count("--node-budget");
+    else if (std::strcmp(argv[i], "--time-budget-ms") == 0)
+      opts.time_budget_ms = count("--time-budget-ms");
+    else if (std::strcmp(argv[i], "--json") == 0)
+      json_path = next("--json");
+    else if (std::strcmp(argv[i], "--csv") == 0)
+      csv_path = next("--csv");
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const campaign::CampaignResult r = campaign::run_campaign(opts);
+
+  Table table({"id", "model", "paper says", "measured", "ok", "ms"});
+  for (const campaign::JobResult& j : r.jobs) {
+    char ms[32];
+    std::snprintf(ms, sizeof(ms), "%.1f", j.millis);
+    table.add_row({j.row.id, j.row.config,
+                   j.row.expected_allowed ? "Allowed" : "Forbidden",
+                   j.row.actual_allowed ? "Allowed" : "Forbidden",
+                   j.row.matches() ? "yes" : "MISMATCH", ms});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("rows: %zu  mismatches: %zu  threads: %zu  shards: %zu  wall: %.1f ms\n",
+              r.jobs.size(), r.mismatches, r.threads_used, r.shard_count, r.wall_ms);
+
+  if (!json_path.empty() && !campaign::write_file(json_path, campaign::to_json(r))) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 2;
+  }
+  if (!csv_path.empty() && !campaign::write_file(csv_path, campaign::to_csv(r))) {
+    std::fprintf(stderr, "failed to write %s\n", csv_path.c_str());
+    return 2;
+  }
+  return r.mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,141 @@
+#include "campaign/campaign.hpp"
+
+#include <chrono>
+#include <optional>
+
+#include "substrate/threading.hpp"
+
+namespace mtx::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+// One pool task: a job, optionally restricted to a GraphEnum subspace.
+struct Shard {
+  std::size_t job = 0;
+  std::optional<lit::GraphEnum::Subspace> sub;
+};
+
+struct ShardResult {
+  lit::OutcomeSet set;
+  lit::EnumStats stats;
+  double millis = 0;
+};
+
+// Default shard size: small enough that a single heavyweight program yields
+// a few dozen shards, large enough that shard setup stays noise.
+constexpr std::uint64_t kDefaultRfChunk = 2048;
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignOptions& opts) {
+  const auto t0 = Clock::now();
+
+  // The job list: catalog order, one job per (entry, expectation).
+  struct Job {
+    const lit::LitmusTest* test;
+    const lit::Expectation* exp;
+  };
+  std::vector<Job> jobs;
+  for (const lit::LitmusTest& t : lit::catalog())
+    for (const lit::Expectation& e : t.expected) jobs.push_back(Job{&t, &e});
+
+  lit::EnumOptions eopts;
+  eopts.budget = opts.node_budget;
+  eopts.time_budget_ms = opts.time_budget_ms;
+
+  // Flatten to shards up front (no nested pool waits).
+  std::vector<Shard> shards;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (opts.split_programs) {
+      const std::uint64_t chunk = opts.rf_chunk ? opts.rf_chunk : kDefaultRfChunk;
+      lit::GraphEnum splitter(jobs[j].test->program,
+                              lit::config_by_name(jobs[j].exp->config), eopts);
+      for (lit::GraphEnum::Subspace& s : splitter.subspaces(chunk))
+        shards.push_back(Shard{j, std::move(s)});
+    } else {
+      shards.push_back(Shard{j, std::nullopt});
+    }
+  }
+
+  auto run_shard = [&](std::size_t i) {
+    const Shard& s = shards[i];
+    const Job& job = jobs[s.job];
+    const auto s0 = Clock::now();
+    lit::GraphEnum e(job.test->program, lit::config_by_name(job.exp->config), eopts);
+    ShardResult r;
+    auto sink = [&](const lit::Execution& ex) {
+      lit::Outcome o;
+      o.mem.resize(static_cast<std::size_t>(job.test->program.num_locs));
+      for (model::Loc x = 0; x < job.test->program.num_locs; ++x)
+        o.mem[static_cast<std::size_t>(x)] = ex.trace.final_value(x);
+      o.regs = ex.regs;
+      r.set.insert(std::move(o));
+    };
+    if (s.sub)
+      e.for_each(*s.sub, sink);
+    else
+      e.for_each(sink);
+    r.stats = e.stats();
+    r.millis = ms_since(s0);
+    return r;
+  };
+
+  const std::size_t nthreads = opts.threads ? opts.threads : hw_threads();
+  std::vector<ShardResult> results;
+  if (nthreads <= 1) {
+    results.reserve(shards.size());
+    for (std::size_t i = 0; i < shards.size(); ++i) results.push_back(run_shard(i));
+  } else {
+    ThreadPool pool(nthreads);
+    results = parallel_map<ShardResult>(pool, shards.size(), run_shard);
+  }
+
+  // Fold shards into jobs, in catalog order.
+  CampaignResult out;
+  out.threads_used = nthreads;
+  out.shard_count = shards.size();
+  out.jobs.resize(jobs.size());
+  std::vector<lit::OutcomeSet> sets(jobs.size());
+  std::vector<lit::EnumStats> stats(jobs.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const std::size_t j = shards[i].job;
+    for (const lit::Outcome& o : results[i].set.outcomes()) sets[j].insert(o);
+    stats[j] += results[i].stats;
+    out.jobs[j].millis += results[i].millis;
+  }
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    lit::VerdictRow& row = out.jobs[j].row;
+    row.id = jobs[j].test->id;
+    row.config = jobs[j].exp->config;
+    row.expected_allowed = jobs[j].exp->allowed;
+    row.actual_allowed = sets[j].any(jobs[j].test->witness);
+    row.outcome_count = sets[j].size();
+    row.consistent_execs = stats[j].consistent;
+    out.jobs[j].truncated = stats[j].truncated;
+    out.jobs[j].timed_out = stats[j].timed_out;
+    if (!row.matches()) ++out.mismatches;
+  }
+  out.wall_ms = ms_since(t0);
+  return out;
+}
+
+std::string verdict_signature(const CampaignResult& r) {
+  std::string s;
+  for (const JobResult& j : r.jobs) {
+    s += j.row.id + "," + j.row.config + "," +
+         (j.row.expected_allowed ? "A" : "F") + "," +
+         (j.row.actual_allowed ? "A" : "F") + "," +
+         std::to_string(j.row.outcome_count) + "," +
+         std::to_string(j.row.consistent_execs) + "," +
+         (j.truncated ? "T" : "-") + "\n";
+  }
+  return s;
+}
+
+}  // namespace mtx::campaign

@@ -1,0 +1,60 @@
+// The litmus campaign engine: sweep the whole reproduction catalog across
+// model configurations on all cores, with reproducible output.
+//
+// A campaign is a flat list of jobs — one per (catalog entry, model config)
+// pair the paper pins a verdict for.  Each job's candidate space can further
+// be split into GraphEnum subspaces (control-path combo x reads-from slice),
+// and every (job, subspace) shard runs as one work-stealing pool task.
+// Shard outcome sets merge through std::set union and rows are emitted in
+// catalog order, so the verdict table is a pure function of the catalog and
+// options — byte-identical between serial and parallel runs (the
+// test_campaign determinism suite pins this down).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "litmus/catalog.hpp"
+
+namespace mtx::campaign {
+
+struct CampaignOptions {
+  // Worker threads; 0 = hardware concurrency, 1 = serial reference mode.
+  std::size_t threads = 0;
+  // When true, each program's candidate space is additionally split into
+  // subspaces of at most `rf_chunk` reads-from tuples (0 picks a default),
+  // so a single heavyweight program parallelizes too.
+  bool split_programs = false;
+  std::uint64_t rf_chunk = 0;
+  // Per-job enumeration budgets (per shard when splitting; see ISSUE on
+  // truncation: a budget hit in parallel mode can differ from serial, so the
+  // row records it and determinism is only claimed for untruncated rows).
+  std::uint64_t node_budget = 4'000'000;
+  std::uint64_t time_budget_ms = 0;  // 0 = unbounded
+};
+
+// One (catalog entry, expectation) verdict plus its execution record.
+struct JobResult {
+  lit::VerdictRow row;
+  bool truncated = false;
+  bool timed_out = false;
+  double millis = 0;  // wall time of this job (sum of its shards' times)
+};
+
+struct CampaignResult {
+  std::vector<JobResult> jobs;  // catalog order, schedule-independent
+  std::size_t mismatches = 0;   // rows where measured != paper
+  std::size_t threads_used = 1;
+  std::size_t shard_count = 0;  // pool tasks executed
+  double wall_ms = 0;
+};
+
+// Runs every catalog entry under every expected config.
+CampaignResult run_campaign(const CampaignOptions& opts = {});
+
+// Canonical signature of the verdict content (everything except timings):
+// two campaigns agree iff their signatures are byte-identical.
+std::string verdict_signature(const CampaignResult& r);
+
+}  // namespace mtx::campaign

@@ -1,0 +1,83 @@
+#include "campaign/report.hpp"
+
+#include <cstdio>
+
+namespace mtx::campaign {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string fmt_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_json(const CampaignResult& r, const std::string& run_label) {
+  std::string s = "{\n";
+  if (!run_label.empty())
+    s += "  \"label\": \"" + json_escape(run_label) + "\",\n";
+  s += "  \"threads\": " + std::to_string(r.threads_used) + ",\n";
+  s += "  \"shards\": " + std::to_string(r.shard_count) + ",\n";
+  s += "  \"wall_ms\": " + fmt_ms(r.wall_ms) + ",\n";
+  s += "  \"mismatches\": " + std::to_string(r.mismatches) + ",\n";
+  s += "  \"rows\": [\n";
+  for (std::size_t i = 0; i < r.jobs.size(); ++i) {
+    const JobResult& j = r.jobs[i];
+    s += "    {\"id\": \"" + json_escape(j.row.id) + "\", \"config\": \"" +
+         json_escape(j.row.config) + "\", \"expected\": \"" +
+         (j.row.expected_allowed ? "allowed" : "forbidden") +
+         "\", \"measured\": \"" +
+         (j.row.actual_allowed ? "allowed" : "forbidden") +
+         "\", \"matches\": " + (j.row.matches() ? "true" : "false") +
+         ", \"outcomes\": " + std::to_string(j.row.outcome_count) +
+         ", \"consistent_execs\": " + std::to_string(j.row.consistent_execs) +
+         ", \"truncated\": " + (j.truncated ? "true" : "false") +
+         ", \"timed_out\": " + (j.timed_out ? "true" : "false") +
+         ", \"ms\": " + fmt_ms(j.millis) + "}";
+    s += (i + 1 < r.jobs.size()) ? ",\n" : "\n";
+  }
+  s += "  ]\n}\n";
+  return s;
+}
+
+std::string to_csv(const CampaignResult& r) {
+  std::string s = "id,config,expected,measured,matches,outcomes,consistent_execs,truncated\n";
+  for (const JobResult& j : r.jobs) {
+    s += j.row.id + "," + j.row.config + "," +
+         (j.row.expected_allowed ? "allowed" : "forbidden") + "," +
+         (j.row.actual_allowed ? "allowed" : "forbidden") + "," +
+         (j.row.matches() ? "yes" : "no") + "," +
+         std::to_string(j.row.outcome_count) + "," +
+         std::to_string(j.row.consistent_execs) + "," +
+         (j.truncated ? "yes" : "no") + "\n";
+  }
+  return s;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::size_t n = std::fwrite(contents.data(), 1, contents.size(), f);
+  const bool ok = n == contents.size() && std::fclose(f) == 0;
+  if (n != contents.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace mtx::campaign

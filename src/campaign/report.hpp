@@ -1,0 +1,23 @@
+// Campaign reporters: render a CampaignResult as JSON (the
+// BENCH_campaign.json artifact format) or CSV, and write it to disk.
+// Row order is catalog order, so reports from equivalent runs diff clean.
+#pragma once
+
+#include <string>
+
+#include "campaign/campaign.hpp"
+
+namespace mtx::campaign {
+
+// Full artifact: run metadata (threads, shards, wall time, mismatches) plus
+// one object per verdict row, timings included.
+std::string to_json(const CampaignResult& r, const std::string& run_label = "");
+
+// Verdict table only (no timings), one line per row — the deterministic
+// surface the byte-identical tests compare.
+std::string to_csv(const CampaignResult& r);
+
+// Returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& contents);
+
+}  // namespace mtx::campaign

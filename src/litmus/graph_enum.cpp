@@ -1,6 +1,7 @@
 #include "litmus/graph_enum.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 
 #include "substrate/digraph.hpp"
@@ -362,12 +363,77 @@ Trace build_trace(const Candidate& c, const std::vector<int>& order) {
   return t;
 }
 
+// rf candidates per read: any write that is statically compatible.
+std::vector<std::vector<int>> rf_candidate_ids(const Candidate& base) {
+  std::vector<std::vector<int>> rf_candidates;
+  for (int rid : base.reads) {
+    const Event& r = base.events[static_cast<std::size_t>(rid)];
+    std::vector<int> cands;
+    for (int wid : base.writes) {
+      const Event& w = base.events[static_cast<std::size_t>(wid)];
+      // Static location filter (dynamic locations checked in replay).
+      if (!w.locx.dynamic() && !r.locx.dynamic() && w.thread != kInitThread &&
+          w.locx.base != r.locx.base)
+        continue;
+      // WF7 visibility: an aborted writer is readable only within its own
+      // transaction.  (All paths end resolved, so there is no live case.)
+      if (w.txn_begin >= 0 && w.txn_aborted && w.txn_begin != r.txn_begin) continue;
+      cands.push_back(wid);
+    }
+    rf_candidates.push_back(std::move(cands));
+  }
+  return rf_candidates;
+}
+
 }  // namespace
 
 GraphEnum::GraphEnum(Program p, model::ModelConfig cfg, EnumOptions opts)
     : prog_(std::move(p)), cfg_(std::move(cfg)), opts_(opts) {}
 
 void GraphEnum::for_each(const std::function<void(const Execution&)>& fn) {
+  enumerate(nullptr, fn);
+}
+
+void GraphEnum::for_each(const Subspace& sub,
+                         const std::function<void(const Execution&)>& fn) {
+  enumerate(&sub, fn);
+}
+
+std::vector<GraphEnum::Subspace> GraphEnum::subspaces(std::uint64_t max_rf_chunk) const {
+  if (max_rf_chunk == 0) max_rf_chunk = 1;
+  std::vector<std::vector<Path>> paths;
+  paths.reserve(prog_.threads.size());
+  for (const Block& b : prog_.threads) paths.push_back(expand_paths(b));
+  std::vector<std::size_t> combo_radices;
+  for (const auto& ps : paths) combo_radices.push_back(ps.size());
+
+  // Shards past the node budget would only enumerate candidates the budget
+  // rejects, so cap the shard count per combo and let an oversized final
+  // shard absorb the (truncated-anyway) remainder.  This keeps subspaces()
+  // itself O(budget/chunk) even when the rf product saturates uint64.
+  const std::uint64_t max_shards =
+      std::max<std::uint64_t>(1, (opts_.budget + max_rf_chunk - 1) / max_rf_chunk);
+
+  std::vector<Subspace> out;
+  for_each_product(combo_radices, [&](const std::vector<std::size_t>& combo) {
+    const Candidate base = build_candidate(prog_, paths, combo);
+    std::vector<std::size_t> rf_radices;
+    for (const auto& cands : rf_candidate_ids(base)) rf_radices.push_back(cands.size());
+    const std::uint64_t total = product_size(rf_radices);
+    std::uint64_t begin = 0;
+    for (std::uint64_t s = 0; begin < total; ++s) {
+      const std::uint64_t end =
+          s + 1 >= max_shards ? total : std::min(total, begin + max_rf_chunk);
+      out.push_back(Subspace{combo, begin, end});
+      begin = end;
+    }
+    return true;
+  });
+  return out;
+}
+
+void GraphEnum::enumerate(const Subspace* restrict_to,
+                          const std::function<void(const Execution&)>& fn) {
   std::vector<std::vector<Path>> paths;
   paths.reserve(prog_.threads.size());
   for (const Block& b : prog_.threads) paths.push_back(expand_paths(b));
@@ -376,34 +442,29 @@ void GraphEnum::for_each(const std::function<void(const Execution&)>& fn) {
   for (const auto& ps : paths) combo_radices.push_back(ps.size());
 
   Budget budget(opts_.budget);
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t time_checks = 0;
+  // Deadline poll, amortized: only every 1024th call looks at the clock.
+  auto out_of_time = [&]() -> bool {
+    if (opts_.time_budget_ms == 0) return false;
+    if ((time_checks++ & 1023) != 0) return false;
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    return static_cast<std::uint64_t>(elapsed.count()) >= opts_.time_budget_ms;
+  };
+  bool aborted = false;
 
-  for_each_product(combo_radices, [&](const std::vector<std::size_t>& combo) {
+  auto run_combo = [&](const std::vector<std::size_t>& combo,
+                       std::uint64_t rf_begin, std::uint64_t rf_end) {
     Candidate base = build_candidate(prog_, paths, combo);
     const GuardIndex gi(base);
 
-    // rf candidates per read: any write that is statically compatible.
-    std::vector<std::vector<int>> rf_candidates;
-    for (int rid : base.reads) {
-      const Event& r = base.events[static_cast<std::size_t>(rid)];
-      std::vector<int> cands;
-      for (int wid : base.writes) {
-        const Event& w = base.events[static_cast<std::size_t>(wid)];
-        // Static location filter (dynamic locations checked in replay).
-        if (!w.locx.dynamic() && !r.locx.dynamic() && w.thread != kInitThread &&
-            w.locx.base != r.locx.base)
-          continue;
-        // WF7 visibility: an aborted writer is readable only within its own
-        // transaction.  (All paths end resolved, so there is no live case.)
-        if (w.txn_begin >= 0 && w.txn_aborted && w.txn_begin != r.txn_begin) continue;
-        cands.push_back(wid);
-      }
-      rf_candidates.push_back(std::move(cands));
-    }
-
+    const std::vector<std::vector<int>> rf_candidates = rf_candidate_ids(base);
     std::vector<std::size_t> rf_radices;
     for (const auto& cands : rf_candidates) rf_radices.push_back(cands.size());
 
-    for_each_product(rf_radices, [&](const std::vector<std::size_t>& rf_choice) {
+    for_each_product_slice(rf_radices, rf_begin, rf_end,
+                           [&](const std::vector<std::size_t>& rf_choice) {
       Candidate cand = base;
       std::vector<int> rf(rf_choice.size());
       for (std::size_t i = 0; i < rf_choice.size(); ++i)
@@ -411,6 +472,13 @@ void GraphEnum::for_each(const std::function<void(const Execution&)>& fn) {
 
       if (!budget.spend()) {
         stats_.truncated = true;
+        aborted = true;
+        return false;
+      }
+      if (out_of_time()) {
+        stats_.truncated = true;
+        stats_.timed_out = true;
+        aborted = true;
         return false;
       }
       ++stats_.candidates;
@@ -466,6 +534,13 @@ void GraphEnum::for_each(const std::function<void(const Execution&)>& fn) {
       for_each_product(radices, [&](const std::vector<std::size_t>& choice) {
         if (!budget.spend()) {
           stats_.truncated = true;
+          aborted = true;
+          return false;
+        }
+        if (out_of_time()) {
+          stats_.truncated = true;
+          stats_.timed_out = true;
+          aborted = true;
           return false;
         }
         ++stats_.candidates;
@@ -499,9 +574,17 @@ void GraphEnum::for_each(const std::function<void(const Execution&)>& fn) {
         fn(Execution{std::move(t), *regs});
         return true;
       });
-      return !budget.exhausted();
+      return !aborted;
     });
-    return !budget.exhausted();
+  };
+
+  if (restrict_to != nullptr) {
+    run_combo(restrict_to->combo, restrict_to->rf_begin, restrict_to->rf_end);
+    return;
+  }
+  for_each_product(combo_radices, [&](const std::vector<std::size_t>& combo) {
+    run_combo(combo, 0, UINT64_MAX);
+    return !aborted;
   });
 }
 

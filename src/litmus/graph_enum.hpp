@@ -25,6 +25,10 @@ namespace mtx::lit {
 struct EnumOptions {
   // Upper bound on candidate executions examined (pre-consistency).
   std::uint64_t budget = 4'000'000;
+  // Wall-clock bound per enumeration call; 0 means unbounded.  Checked
+  // periodically, so overrun is at most one check interval.  A timed-out
+  // enumeration reports truncated=true and timed_out=true in its stats.
+  std::uint64_t time_budget_ms = 0;
 };
 
 struct Execution {
@@ -39,14 +43,45 @@ struct EnumStats {
   std::uint64_t inconsistent = 0;    // failed WF or an axiom
   std::uint64_t consistent = 0;
   bool truncated = false;
+  bool timed_out = false;
+
+  // Merge counters from a sibling shard of the same enumeration space.
+  EnumStats& operator+=(const EnumStats& o) {
+    candidates += o.candidates;
+    infeasible += o.infeasible;
+    unlinearizable += o.unlinearizable;
+    inconsistent += o.inconsistent;
+    consistent += o.consistent;
+    truncated = truncated || o.truncated;
+    timed_out = timed_out || o.timed_out;
+    return *this;
+  }
 };
 
 class GraphEnum {
  public:
   GraphEnum(Program p, model::ModelConfig cfg, EnumOptions opts = {});
 
+  // An independently enumerable slice of the candidate space: one control
+  // path combination, restricted to reads-from tuples [rf_begin, rf_end) in
+  // odometer order.  Disjoint subspaces cover disjoint candidates, so a
+  // partition of the rf range enumerates the combo's space exactly once —
+  // the frontier split the parallel campaign fans out over.
+  struct Subspace {
+    std::vector<std::size_t> combo;
+    std::uint64_t rf_begin = 0;
+    std::uint64_t rf_end = UINT64_MAX;
+  };
+
   // Calls fn for every consistent execution found.
   void for_each(const std::function<void(const Execution&)>& fn);
+
+  // Calls fn for every consistent execution inside one subspace.
+  void for_each(const Subspace& sub, const std::function<void(const Execution&)>& fn);
+
+  // Partitions the whole candidate space into subspaces of at most
+  // `max_rf_chunk` reads-from tuples each (at least one per path combo).
+  std::vector<Subspace> subspaces(std::uint64_t max_rf_chunk) const;
 
   // Deduplicated final-state outcomes of all consistent executions.
   OutcomeSet outcomes();
@@ -54,6 +89,9 @@ class GraphEnum {
   const EnumStats& stats() const { return stats_; }
 
  private:
+  void enumerate(const Subspace* restrict_to,
+                 const std::function<void(const Execution&)>& fn);
+
   Program prog_;
   model::ModelConfig cfg_;
   EnumOptions opts_;

@@ -19,7 +19,13 @@ struct Outcome {
   std::vector<Value> mem;                // [loc]
   std::vector<std::vector<Value>> regs;  // [thread][reg]
 
-  friend auto operator<=>(const Outcome&, const Outcome&) = default;
+  friend bool operator==(const Outcome& a, const Outcome& b) {
+    return a.mem == b.mem && a.regs == b.regs;
+  }
+  friend bool operator<(const Outcome& a, const Outcome& b) {
+    if (a.mem != b.mem) return a.mem < b.mem;
+    return a.regs < b.regs;
+  }
 
   Value reg(std::size_t thread, std::size_t r) const { return regs[thread][r]; }
   Value loc(std::size_t x) const { return mem[x]; }

@@ -60,6 +60,10 @@ bool TraceEnum::try_child(Trace trace, std::vector<ThreadState> st,
     case Visit::Continue:
       break;
   }
+  if (frontier_out_ != nullptr && trace.size() >= cutoff_size_) {
+    frontier_out_->push_back(Frontier{std::move(trace), std::move(st)});
+    return true;
+  }
   dfs(trace, st, v, stop);
   return true;
 }
@@ -177,6 +181,27 @@ void TraceEnum::explore(const Visitor& v) {
     dfs(trace, st, v, stop);
     return !stop;
   });
+}
+
+std::vector<TraceEnum::Frontier> TraceEnum::split_frontier(std::size_t depth,
+                                                           const Visitor& prefix) {
+  std::vector<Frontier> out;
+  frontier_out_ = &out;
+  cutoff_size_ = static_cast<std::size_t>(prog_.num_locs) + 2 +
+                 std::max<std::size_t>(depth, 1);
+  explore(prefix);  // try_child diverts nodes at the cutoff into `out`
+  frontier_out_ = nullptr;
+  return out;
+}
+
+void TraceEnum::explore_subtree(const Frontier& f, const Visitor& v) {
+  nodes_left_ = opts_.node_budget;
+  truncated_ = false;
+  frontier_out_ = nullptr;
+  bool stop = false;
+  Trace trace = f.trace;
+  std::vector<ThreadState> st = f.states;
+  dfs(trace, st, v, stop);
 }
 
 bool TraceEnum::replay(const Trace& base, std::vector<ThreadState>& st) const {

@@ -46,8 +46,40 @@ class TraceEnum {
 
   TraceEnum(Program p, model::ModelConfig cfg, TraceEnumOptions opts = {});
 
+  // Per-thread execution cursor (public so frontier nodes can be handed to
+  // another TraceEnum instance for parallel subtree exploration).
+  struct ThreadState {
+    std::size_t path = 0;  // chosen control path
+    std::size_t pos = 0;   // next event within the path
+    std::vector<Value> regs = std::vector<Value>(kMaxRegs, 0);
+    int open_begin_name = -1;  // name of the open transaction's begin
+  };
+
+  // A node of the DFS whose subtree has not been explored: enough state to
+  // resume exploration without replaying the prefix.
+  struct Frontier {
+    model::Trace trace;
+    std::vector<ThreadState> states;
+  };
+
   // Explore all consistent traces from the initial state.
   void explore(const Visitor& v);
+
+  // Splits the DFS at depth `depth` (actions appended beyond the per-combo
+  // root): every consistent node strictly shallower than the cut — and every
+  // frontier node itself — is reported to `prefix`, and the nodes exactly at
+  // the cut come back as independently explorable subtrees.  Together,
+  // prefix visits + explore_subtree over every returned frontier node visit
+  // exactly the traces explore() visits (modulo node-budget truncation,
+  // which is per-call here).  Prune/Stop from `prefix` behave as in
+  // explore().
+  std::vector<Frontier> split_frontier(std::size_t depth, const Visitor& prefix);
+
+  // Explores the strict extensions of a frontier node (the node itself was
+  // already visited by split_frontier's prefix visitor).  Resets this
+  // enumerator's node budget; instances are cheap, so parallel callers give
+  // each worker its own TraceEnum.
+  void explore_subtree(const Frontier& f, const Visitor& v);
 
   // Explore all consistent extensions of `base` (which must be a trace of
   // this program; otherwise nothing is visited).
@@ -69,13 +101,6 @@ class TraceEnum {
   bool truncated() const { return truncated_; }
 
  private:
-  struct ThreadState {
-    std::size_t path = 0;  // chosen control path
-    std::size_t pos = 0;   // next event within the path
-    std::vector<Value> regs = std::vector<Value>(kMaxRegs, 0);
-    int open_begin_name = -1;  // name of the open transaction's begin
-  };
-
   void dfs(model::Trace& trace, std::vector<ThreadState>& st, const Visitor& v,
            bool& stop);
   bool try_child(model::Trace trace, std::vector<ThreadState> st,
@@ -91,6 +116,10 @@ class TraceEnum {
   std::vector<std::vector<Path>> paths_;
   std::uint64_t nodes_left_ = 0;
   bool truncated_ = false;
+  // Frontier-split mode: when set, nodes reaching `cutoff_size_` are handed
+  // to this sink instead of being recursed into.
+  std::vector<Frontier>* frontier_out_ = nullptr;
+  std::size_t cutoff_size_ = 0;
 };
 
 }  // namespace mtx::lit

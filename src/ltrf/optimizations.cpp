@@ -9,7 +9,7 @@ bool transformation_sound(const OptimizationCase& c, const model::ModelConfig& c
   const OutcomeSet before = enumerate_outcomes(c.before, cfg, opts);
   const OutcomeSet after = enumerate_outcomes(c.after, cfg, opts);
   for (const Outcome& o : after.outcomes())
-    if (!before.outcomes().contains(o)) return false;
+    if (before.outcomes().count(o) == 0) return false;
   return true;
 }
 

@@ -1,12 +1,33 @@
 #include "ltrf/semantics.hpp"
 
-#include <set>
+#include <algorithm>
+#include <utility>
 
 namespace mtx::ltrf {
 
+namespace {
+
+using Keyed = std::pair<std::string, model::Trace>;
+
+// Canonical ordering shared by the serial and parallel paths: sort by key.
+// The key determines the trace, so the order is total and the sorted vector
+// is a pure function of the trace *set* — independent of discovery order.
+// Keys were already computed for dedup insertion; reuse them here.
+std::vector<model::Trace> sort_canonical(std::vector<Keyed>&& keyed) {
+  std::sort(keyed.begin(), keyed.end(),
+            [](const Keyed& a, const Keyed& b) { return a.first < b.first; });
+  std::vector<model::Trace> traces;
+  traces.reserve(keyed.size());
+  for (Keyed& kt : keyed) traces.push_back(std::move(kt.second));
+  return traces;
+}
+
+}  // namespace
+
 Semantics::Semantics(lit::Program p, model::ModelConfig cfg,
                      lit::TraceEnumOptions opts)
-    : prog_(std::move(p)), cfg_(std::move(cfg)), enum_(prog_, cfg_, opts) {}
+    : prog_(std::move(p)), cfg_(std::move(cfg)), opts_(opts),
+      enum_(prog_, cfg_, opts) {}
 
 std::string Semantics::key(const model::Trace& t) {
   std::string k;
@@ -21,13 +42,64 @@ std::string Semantics::key(const model::Trace& t) {
 
 const std::vector<model::Trace>& Semantics::traces() {
   if (enumerated_) return traces_;
-  std::set<std::string> seen;
+  ShardedKeySet seen(1);  // same dedup structure as the parallel path
+  std::vector<Keyed> keyed;
   enum_.explore([&](const model::Trace& t, const model::Analysis&, std::size_t) {
-    if (seen.insert(key(t)).second) traces_.push_back(t);
+    std::string k = key(t);
+    if (seen.insert(k)) keyed.emplace_back(std::move(k), t);
     return lit::TraceEnum::Visit::Continue;
   });
+  traces_ = sort_canonical(std::move(keyed));
+  truncated_ = enum_.truncated();
   enumerated_ = true;
   return traces_;
+}
+
+std::vector<model::Trace> Semantics::traces_parallel(ThreadPool& pool,
+                                                     ParallelEnumOptions popts) {
+  ShardedKeySet seen(popts.dedup_shards);
+  std::vector<Keyed> out;
+
+  // Phase 1 (serial, cheap): walk the shallow prefix, collecting the cut.
+  lit::TraceEnum splitter(prog_, cfg_, opts_);
+  const std::vector<lit::TraceEnum::Frontier> frontier = splitter.split_frontier(
+      popts.split_depth,
+      [&](const model::Trace& t, const model::Analysis&, std::size_t) {
+        std::string k = key(t);
+        if (seen.insert(k)) out.emplace_back(std::move(k), t);
+        return lit::TraceEnum::Visit::Continue;
+      });
+
+  // Phase 2: one pool task per subtree.  Each task uses its own TraceEnum
+  // (the DFS state is per-instance) and collects the traces it won the
+  // dedup race for; slot-indexed collection keeps the gather deterministic,
+  // and the final canonical sort erases any schedule dependence left in the
+  // concatenation order.
+  struct SubtreeResult {
+    std::vector<Keyed> found;
+    bool truncated = false;
+  };
+  std::vector<SubtreeResult> results = parallel_map<SubtreeResult>(
+      pool, frontier.size(), [&](std::size_t i) {
+        lit::TraceEnum worker(prog_, cfg_, opts_);
+        SubtreeResult r;
+        worker.explore_subtree(
+            frontier[i],
+            [&](const model::Trace& t, const model::Analysis&, std::size_t) {
+              std::string k = key(t);
+              if (seen.insert(k)) r.found.emplace_back(std::move(k), t);
+              return lit::TraceEnum::Visit::Continue;
+            });
+        r.truncated = worker.truncated();
+        return r;
+      });
+  truncated_ = splitter.truncated();
+  for (SubtreeResult& r : results) {
+    truncated_ = truncated_ || r.truncated;
+    for (Keyed& kt : r.found) out.push_back(std::move(kt));
+  }
+
+  return sort_canonical(std::move(out));
 }
 
 }  // namespace mtx::ltrf

@@ -2,14 +2,29 @@
 // consistent traces of a litmus program under a model, with the stability
 // and sequentiality queries the LTRF definitions need.  Thin coordination
 // layer over lit::TraceEnum.
+//
+// Trace sets are deduplicated through a sharded canonical-key set and
+// returned in canonical-key order, so the serial and parallel enumerations
+// produce byte-identical results.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "litmus/trace_enum.hpp"
+#include "substrate/sharded_set.hpp"
+#include "substrate/threading.hpp"
 
 namespace mtx::ltrf {
+
+// Tuning for the parallel trace enumeration.
+struct ParallelEnumOptions {
+  // DFS depth (actions beyond the root) at which the frontier is split into
+  // independently explorable subtrees.
+  std::size_t split_depth = 3;
+  // Shard count of the canonical-key dedup set.
+  std::size_t dedup_shards = 16;
+};
 
 class Semantics {
  public:
@@ -20,8 +35,23 @@ class Semantics {
   const model::ModelConfig& config() const { return cfg_; }
   lit::TraceEnum& enumerator() { return enum_; }
 
-  // All consistent traces (deduplicated by canonical key).
+  // All consistent traces, deduplicated by canonical key and sorted in
+  // canonical-key order.
   const std::vector<model::Trace>& traces();
+
+  // Same trace set, enumerated in parallel: the DFS frontier is split at
+  // shallow depth and each subtree explored as a pool task, with a sharded
+  // dedup set shared across workers.  Workers inherit this Semantics'
+  // TraceEnumOptions (the node budget applies per subtree, so a budgeted
+  // parallel run can cover more than a budgeted serial one — truncated()
+  // reports whether any part of the walk was cut).  Byte-identical to
+  // traces() as long as no budget is hit.
+  std::vector<model::Trace> traces_parallel(ThreadPool& pool,
+                                            ParallelEnumOptions popts = {});
+
+  // True when the most recent traces()/traces_parallel() call hit a node
+  // budget anywhere and the returned set may be incomplete.
+  bool truncated() const { return truncated_; }
 
   // Canonical string key for a trace (action payloads in index order);
   // traces equal under this key are the same trace.
@@ -37,8 +67,10 @@ class Semantics {
  private:
   lit::Program prog_;
   model::ModelConfig cfg_;
+  lit::TraceEnumOptions opts_;
   lit::TraceEnum enum_;
   bool enumerated_ = false;
+  bool truncated_ = false;
   std::vector<model::Trace> traces_;
 };
 

@@ -19,7 +19,10 @@ struct ActId {
   std::size_t po_pos;
   model::Kind kind;
   model::Loc loc;
-  friend auto operator<=>(const ActId&, const ActId&) = default;
+  friend bool operator==(const ActId& a, const ActId& b) {
+    return a.thread == b.thread && a.po_pos == b.po_pos && a.kind == b.kind &&
+           a.loc == b.loc;
+  }
 };
 
 ActId act_id(const Trace& t, std::size_t i) {

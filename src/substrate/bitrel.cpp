@@ -1,10 +1,17 @@
 #include "substrate/bitrel.hpp"
 
-#include <bit>
 #include <cassert>
 #include <stdexcept>
 
 namespace mtx {
+
+namespace {
+
+// C++17 stand-ins for std::popcount / std::countr_zero (<bit> is C++20).
+inline int popcount64(std::uint64_t w) { return __builtin_popcountll(w); }
+inline int ctz64(std::uint64_t w) { return __builtin_ctzll(w); }
+
+}  // namespace
 
 BitRel::BitRel(std::size_t n)
     : n_(n), words_per_row_((n + 63) / 64), bits_(n * words_per_row_, 0) {}
@@ -26,7 +33,7 @@ bool BitRel::test(std::size_t a, std::size_t b) const {
 
 std::size_t BitRel::count() const {
   std::size_t c = 0;
-  for (std::uint64_t w : bits_) c += static_cast<std::size_t>(std::popcount(w));
+  for (std::uint64_t w : bits_) c += static_cast<std::size_t>(popcount64(w));
   return c;
 }
 
@@ -56,7 +63,7 @@ BitRel BitRel::compose(const BitRel& o) const {
     for (std::size_t w = 0; w < words_per_row_; ++w) {
       std::uint64_t row = bits_[a * words_per_row_ + w];
       while (row) {
-        const std::size_t b = w * 64 + static_cast<std::size_t>(std::countr_zero(row));
+        const std::size_t b = w * 64 + static_cast<std::size_t>(ctz64(row));
         row &= row - 1;
         const std::uint64_t* brow = &o.bits_[b * words_per_row_];
         for (std::size_t w2 = 0; w2 < words_per_row_; ++w2) out[w2] |= brow[w2];
@@ -122,7 +129,7 @@ void BitRel::for_each(
     for (std::size_t w = 0; w < words_per_row_; ++w) {
       std::uint64_t row = bits_[a * words_per_row_ + w];
       while (row) {
-        const std::size_t b = w * 64 + static_cast<std::size_t>(std::countr_zero(row));
+        const std::size_t b = w * 64 + static_cast<std::size_t>(ctz64(row));
         row &= row - 1;
         fn(a, b);
       }
@@ -135,7 +142,7 @@ std::vector<std::size_t> BitRel::successors(std::size_t a) const {
   for (std::size_t w = 0; w < words_per_row_; ++w) {
     std::uint64_t row = bits_[a * words_per_row_ + w];
     while (row) {
-      out.push_back(w * 64 + static_cast<std::size_t>(std::countr_zero(row)));
+      out.push_back(w * 64 + static_cast<std::size_t>(ctz64(row)));
       row &= row - 1;
     }
   }

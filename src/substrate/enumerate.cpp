@@ -32,6 +32,31 @@ bool for_each_permutation(std::size_t n,
   return true;
 }
 
+bool for_each_product_slice(const std::vector<std::size_t>& radices,
+                            std::uint64_t begin, std::uint64_t end,
+                            const std::function<bool(const std::vector<std::size_t>&)>& fn) {
+  const std::uint64_t total = product_size(radices);
+  if (begin >= total || begin >= end) return true;
+  end = std::min(end, total);
+  // Decode `begin` into mixed-radix digits (digit 0 least significant).
+  std::vector<std::size_t> choice(radices.size(), 0);
+  std::uint64_t rem = begin;
+  for (std::size_t i = 0; i < radices.size(); ++i) {
+    choice[i] = static_cast<std::size_t>(rem % radices[i]);
+    rem /= radices[i];
+  }
+  for (std::uint64_t k = begin; k < end; ++k) {
+    if (!fn(choice)) return false;
+    std::size_t i = 0;
+    while (i < radices.size()) {
+      if (++choice[i] < radices[i]) break;
+      choice[i] = 0;
+      ++i;
+    }
+  }
+  return true;
+}
+
 std::uint64_t product_size(const std::vector<std::size_t>& radices) {
   std::uint64_t total = 1;
   for (std::size_t r : radices) {

@@ -25,6 +25,16 @@ bool for_each_permutation(std::size_t n,
 // Total number of tuples in the product, saturating at max().
 std::uint64_t product_size(const std::vector<std::size_t>& radices);
 
+// Calls fn(choice) for tuples number `begin` (inclusive) to `end` (exclusive)
+// of the product, in the same order as for_each_product (index 0 varies
+// fastest).  Tuple numbering is the mixed-radix value of the choice vector,
+// so a partition of [0, product_size) into slices visits every tuple exactly
+// once — the frontier split the parallel enumerators rely on.  Returns false
+// on early stop.
+bool for_each_product_slice(const std::vector<std::size_t>& radices,
+                            std::uint64_t begin, std::uint64_t end,
+                            const std::function<bool(const std::vector<std::size_t>&)>& fn);
+
 // A simple decrementing budget for bounded exhaustive exploration.  Each
 // spend() consumes one unit; exhausted() turns true once the budget is gone,
 // after which callers are expected to bail out and report truncation.

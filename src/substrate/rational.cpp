@@ -42,15 +42,15 @@ Rational Rational::operator/(const Rational& o) const {
   return Rational(num_ * o.den_, den_ * o.num_);
 }
 
-std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+int compare(const Rational& a, const Rational& b) {
   // Cross-multiply; operands in this codebase are tiny (timestamps of litmus
   // traces), so int64 overflow is not a practical concern, but use __int128
   // to keep the comparison exact regardless.
   const __int128 lhs = static_cast<__int128>(a.num_) * b.den_;
   const __int128 rhs = static_cast<__int128>(b.num_) * a.den_;
-  if (lhs < rhs) return std::strong_ordering::less;
-  if (lhs > rhs) return std::strong_ordering::greater;
-  return std::strong_ordering::equal;
+  if (lhs < rhs) return -1;
+  if (lhs > rhs) return 1;
+  return 0;
 }
 
 Rational Rational::midpoint(const Rational& a, const Rational& b) {

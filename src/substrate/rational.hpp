@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <compare>
 #include <iosfwd>
 #include <string>
 
@@ -32,7 +31,14 @@ class Rational {
   friend bool operator==(const Rational& a, const Rational& b) {
     return a.num_ == b.num_ && a.den_ == b.den_;
   }
-  friend std::strong_ordering operator<=>(const Rational& a, const Rational& b);
+  // Exact three-way comparison: negative / zero / positive like strcmp.
+  // (Written out as relational operators to stay within C++17.)
+  friend int compare(const Rational& a, const Rational& b);
+  friend bool operator!=(const Rational& a, const Rational& b) { return !(a == b); }
+  friend bool operator<(const Rational& a, const Rational& b) { return compare(a, b) < 0; }
+  friend bool operator>(const Rational& a, const Rational& b) { return compare(a, b) > 0; }
+  friend bool operator<=(const Rational& a, const Rational& b) { return compare(a, b) <= 0; }
+  friend bool operator>=(const Rational& a, const Rational& b) { return compare(a, b) >= 0; }
 
   // The midpoint (a+b)/2: always strictly between distinct a and b.
   static Rational midpoint(const Rational& a, const Rational& b);

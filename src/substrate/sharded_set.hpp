@@ -1,0 +1,56 @@
+// Sharded string-key dedup set for parallel enumeration.
+//
+// Canonical trace keys arrive from many worker threads at once; a single
+// mutex-guarded std::set would serialize them.  Keys hash to one of S
+// independently locked shards, so concurrent inserts only contend when they
+// land in the same shard.  Membership is a pure function of the key set, so
+// the deduplicated result is schedule-independent — the property the
+// campaign determinism tests pin down.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace mtx {
+
+class ShardedKeySet {
+ public:
+  explicit ShardedKeySet(std::size_t shards = 16) {
+    if (shards == 0) shards = 1;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i)
+      shards_.push_back(std::make_unique<Shard>());
+  }
+
+  // True iff the key was newly inserted (first caller wins).
+  bool insert(const std::string& key) {
+    Shard& s = *shards_[std::hash<std::string>{}(key) % shards_.size()];
+    std::lock_guard<std::mutex> lk(s.m);
+    return s.keys.insert(key).second;
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lk(s->m);
+      n += s->keys.size();
+    }
+    return n;
+  }
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex m;
+    std::unordered_set<std::string> keys;
+  };
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mtx

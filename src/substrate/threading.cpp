@@ -1,6 +1,7 @@
 #include "substrate/threading.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace mtx {
 
@@ -27,6 +28,98 @@ void run_team(std::size_t threads, const std::function<void(std::size_t)>& fn) {
 std::size_t hw_threads(std::size_t cap) {
   const unsigned hw = std::thread::hardware_concurrency();
   return std::clamp<std::size_t>(hw ? hw : 1, 1, cap);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = threads ? threads : hw_threads();
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    // Store + notify under the wake mutex, like submit(): a notify landing
+    // between a worker's predicate check and its sleep would be lost and
+    // shutdown would stall on the wait_for backstop.
+    std::lock_guard<std::mutex> lk(wake_m_);
+    stop_.store(true, std::memory_order_release);
+    wake_cv_.notify_all();
+  }
+  for (auto& th : workers_) th.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  const std::size_t home =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lk(queues_[home]->m);
+    queues_[home]->q.push_back(std::move(task));
+    // Count while still holding the queue lock: a worker that pops this task
+    // first would otherwise decrement queued_ through zero.
+    queued_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  // Notify under the wake mutex so the increment cannot slip between a
+  // starved worker's predicate check and its sleep (lost wakeup).
+  std::lock_guard<std::mutex> lk(wake_m_);
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
+  // Own queue: LIFO.
+  {
+    Queue& mine = *queues_[self];
+    std::lock_guard<std::mutex> lk(mine.m);
+    if (!mine.q.empty()) {
+      out = std::move(mine.q.back());
+      mine.q.pop_back();
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  // Steal sweep: FIFO from each victim, starting after self.
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    Queue& victim = *queues_[(self + k) % queues_.size()];
+    std::lock_guard<std::mutex> lk(victim.m);
+    if (!victim.q.empty()) {
+      out = std::move(victim.q.front());
+      victim.q.pop_front();
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(self, task)) {
+      task();
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lk(idle_m_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(wake_m_);
+    if (stop_.load(std::memory_order_acquire)) return;
+    // Bounded wait as a belt-and-braces backstop; the queued_ predicate plus
+    // submit's locked notify make lost wakeups impossible in the first place.
+    wake_cv_.wait_for(lk, std::chrono::milliseconds(50), [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(idle_m_);
+  idle_cv_.wait(lk, [this] { return pending_.load(std::memory_order_acquire) == 0; });
 }
 
 }  // namespace mtx

@@ -1,12 +1,20 @@
-// Thread coordination for stress tests and benchmarks: a spinning barrier
-// (so threads release together without kernel wakeup jitter) and a ThreadTeam
-// that runs one function per thread and joins.
+// Thread coordination: a spinning barrier (so stress-test threads release
+// together without kernel wakeup jitter), a ThreadTeam that runs one function
+// per thread and joins, and a work-stealing ThreadPool with deterministic
+// result collection (parallel_map) for the litmus campaign engine.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace mtx {
@@ -31,5 +39,83 @@ void run_team(std::size_t threads, const std::function<void(std::size_t)>& fn);
 
 // Hardware concurrency clamped to [1, cap].
 std::size_t hw_threads(std::size_t cap = 64);
+
+// Work-stealing thread pool.
+//
+// Each worker owns a deque: it pushes/pops its own work LIFO (depth-first,
+// cache-friendly) and steals FIFO from victims (breadth-first, so stolen
+// units are the big shallow subtrees).  Deques are mutex-guarded — the work
+// units here (exploring an enumeration subtree, checking one litmus verdict)
+// are milliseconds to seconds, so queue overhead is noise and the simple
+// scheme stays ThreadSanitizer-clean.
+//
+// Scheduling is nondeterministic; determinism is recovered at collection
+// time: parallel_map writes result i of task i into slot i, so the output
+// vector is a pure function of the inputs regardless of interleaving.
+class ThreadPool {
+ public:
+  // 0 → hw_threads().  The pool always has at least one worker.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a task.  Tasks must not throw (use parallel_map for exception
+  // capture).  May be called from worker threads (nested submission).
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished running.
+  void wait_idle();
+
+ private:
+  struct Queue {
+    std::mutex m;
+    std::deque<std::function<void()>> q;
+  };
+
+  bool try_pop(std::size_t self, std::function<void()>& out);
+  void worker_loop(std::size_t self);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<std::size_t> pending_{0};  // submitted, not yet finished
+  std::atomic<std::size_t> queued_{0};   // sitting in a deque, not yet popped
+  std::atomic<bool> stop_{false};
+  std::mutex wake_m_;
+  std::condition_variable wake_cv_;   // workers wait here when starved
+  std::mutex idle_m_;
+  std::condition_variable idle_cv_;   // wait_idle waits here
+};
+
+// Runs fn(0..n-1) on the pool and returns {fn(0), ..., fn(n-1)} in index
+// order — the deterministic collection primitive.  The first exception any
+// task throws is rethrown on the caller after all tasks finish.  Must not be
+// called from inside a pool task (wait_idle would deadlock on nesting).
+template <typename R>
+std::vector<R> parallel_map(ThreadPool& pool, std::size_t n,
+                            const std::function<R(std::size_t)>& fn) {
+  static_assert(!std::is_same<R, bool>::value,
+                "std::vector<bool> bit-packs: concurrent slot writes would "
+                "race on shared bytes; collect char/int instead");
+  std::vector<R> results(n);
+  std::vector<std::exception_ptr> errors(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([&results, &errors, &fn, i] {
+      try {
+        results[i] = fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  pool.wait_idle();
+  for (std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+  return results;
+}
 
 }  // namespace mtx

@@ -1,0 +1,237 @@
+// Campaign engine determinism: parallel catalog sweeps must produce
+// byte-identical verdicts to the serial reference path, including under
+// per-program frontier splitting and dedup sharding; plus unit coverage for
+// the work-stealing pool, the odometer slicing, and the GraphEnum subspace
+// partition those guarantees rest on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+#include "campaign/campaign.hpp"
+#include "campaign/report.hpp"
+#include "litmus/catalog.hpp"
+#include "ltrf/semantics.hpp"
+#include "substrate/enumerate.hpp"
+#include "substrate/sharded_set.hpp"
+#include "substrate/threading.hpp"
+
+namespace mtx {
+namespace {
+
+using campaign::CampaignOptions;
+using campaign::CampaignResult;
+
+// --- ThreadPool --------------------------------------------------------------
+
+TEST(ThreadPool, ParallelMapIsIndexOrdered) {
+  ThreadPool pool(4);
+  const std::vector<int> r = parallel_map<int>(pool, 100, [](std::size_t i) {
+    return static_cast<int>(i * i);
+  });
+  ASSERT_EQ(r.size(), 100u);
+  for (std::size_t i = 0; i < r.size(); ++i)
+    EXPECT_EQ(r[i], static_cast<int>(i * i));
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 64; ++i)
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(count.load(), 50 * 64);
+}
+
+TEST(ThreadPool, WorkStealingDrainsUnbalancedLoad) {
+  // One long task per queue-slot cluster; the rest tiny.  All must finish.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&done, i] {
+      if (i % 50 == 0) {
+        volatile std::uint64_t x = 0;
+        for (int k = 0; k < 2'000'000; ++k) x += static_cast<std::uint64_t>(k);
+      }
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPool, ParallelMapRethrowsTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_map<int>(pool, 8,
+                                 [](std::size_t i) -> int {
+                                   if (i == 5) throw std::runtime_error("boom");
+                                   return 0;
+                                 }),
+               std::runtime_error);
+}
+
+// --- Odometer slicing --------------------------------------------------------
+
+TEST(ProductSlice, PartitionCoversProductExactlyOnce) {
+  const std::vector<std::size_t> radices = {3, 4, 2, 5};
+  std::vector<std::vector<std::size_t>> full;
+  for_each_product(radices, [&](const std::vector<std::size_t>& c) {
+    full.push_back(c);
+    return true;
+  });
+  const std::uint64_t total = product_size(radices);
+  ASSERT_EQ(full.size(), total);
+  for (std::uint64_t chunk : {1ull, 7ull, 40ull, 1000ull}) {
+    std::vector<std::vector<std::size_t>> sliced;
+    for (std::uint64_t b = 0; b < total; b += chunk)
+      for_each_product_slice(radices, b, b + chunk,
+                             [&](const std::vector<std::size_t>& c) {
+                               sliced.push_back(c);
+                               return true;
+                             });
+    EXPECT_EQ(sliced, full) << "chunk=" << chunk;
+  }
+}
+
+TEST(ProductSlice, EmptyRadixListYieldsOneTuple) {
+  std::size_t calls = 0;
+  for_each_product_slice({}, 0, UINT64_MAX, [&](const std::vector<std::size_t>& c) {
+    EXPECT_TRUE(c.empty());
+    ++calls;
+    return true;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+// --- Sharded dedup -----------------------------------------------------------
+
+TEST(ShardedKeySet, ConcurrentInsertsDedupExactly) {
+  ShardedKeySet set(8);
+  std::atomic<int> wins{0};
+  run_team(8, [&](std::size_t) {
+    for (int k = 0; k < 500; ++k)
+      if (set.insert("key-" + std::to_string(k))) wins.fetch_add(1);
+  });
+  EXPECT_EQ(wins.load(), 500);
+  EXPECT_EQ(set.size(), 500u);
+}
+
+// --- GraphEnum subspace partition -------------------------------------------
+
+TEST(GraphEnumSubspaces, PartitionReproducesOutcomesAndCounts) {
+  // A couple of catalog programs with non-trivial candidate spaces.
+  for (const char* id : {"E01", "E23"}) {
+    const lit::LitmusTest* test = nullptr;
+    for (const lit::LitmusTest& t : lit::catalog())
+      if (t.id == id) test = &t;
+    ASSERT_NE(test, nullptr) << id;
+    const model::ModelConfig cfg = lit::config_by_name(test->expected[0].config);
+
+    lit::GraphEnum whole(test->program, cfg);
+    const lit::OutcomeSet full = whole.outcomes();
+    ASSERT_FALSE(whole.stats().truncated);
+
+    for (std::uint64_t chunk : {1ull, 3ull, 64ull}) {
+      lit::OutcomeSet merged;
+      lit::EnumStats stats;
+      lit::GraphEnum splitter(test->program, cfg);
+      for (const auto& sub : splitter.subspaces(chunk)) {
+        lit::GraphEnum shard(test->program, cfg);
+        shard.for_each(sub, [&](const lit::Execution& ex) {
+          lit::Outcome o;
+          o.mem.resize(static_cast<std::size_t>(test->program.num_locs));
+          for (model::Loc x = 0; x < test->program.num_locs; ++x)
+            o.mem[static_cast<std::size_t>(x)] = ex.trace.final_value(x);
+          o.regs = ex.regs;
+          merged.insert(std::move(o));
+        });
+        stats += shard.stats();
+      }
+      EXPECT_EQ(merged.str(), full.str()) << id << " chunk=" << chunk;
+      EXPECT_EQ(stats.consistent, whole.stats().consistent) << id << " chunk=" << chunk;
+      EXPECT_EQ(stats.candidates, whole.stats().candidates) << id << " chunk=" << chunk;
+    }
+  }
+}
+
+// --- Semantics: parallel trace enumeration ----------------------------------
+
+TEST(SemanticsParallel, FrontierSplitMatchesSerialByteForByte) {
+  ThreadPool pool(4);
+  std::size_t checked = 0;
+  for (const lit::LitmusTest& t : lit::catalog()) {
+    if (checked >= 3) break;  // a few representative programs keep this fast
+    if (t.program.threads.size() > 2) continue;
+    ++checked;
+    const model::ModelConfig cfg = lit::config_by_name(t.expected[0].config);
+    ltrf::Semantics sem(t.program, cfg);
+    const std::vector<model::Trace>& serial = sem.traces();
+    for (std::size_t depth : {1u, 2u, 4u, 64u}) {
+      for (std::size_t shards : {1u, 16u}) {
+        ltrf::ParallelEnumOptions popts;
+        popts.split_depth = depth;
+        popts.dedup_shards = shards;
+        ltrf::Semantics sem2(t.program, cfg);
+        const std::vector<model::Trace> par = sem2.traces_parallel(pool, popts);
+        ASSERT_EQ(par.size(), serial.size())
+            << t.id << " depth=" << depth << " shards=" << shards;
+        for (std::size_t i = 0; i < par.size(); ++i)
+          EXPECT_EQ(ltrf::Semantics::key(par[i]), ltrf::Semantics::key(serial[i]))
+              << t.id << " depth=" << depth << " i=" << i;
+      }
+    }
+  }
+  EXPECT_GE(checked, 1u);
+}
+
+// --- Full campaign determinism ----------------------------------------------
+
+TEST(Campaign, ParallelSweepIsByteIdenticalToSerial) {
+  CampaignOptions serial;
+  serial.threads = 1;
+  const CampaignResult rs = campaign::run_campaign(serial);
+  EXPECT_EQ(rs.mismatches, 0u);
+
+  CampaignOptions parallel;
+  parallel.threads = 4;
+  const CampaignResult rp = campaign::run_campaign(parallel);
+  EXPECT_EQ(campaign::verdict_signature(rs), campaign::verdict_signature(rp));
+  EXPECT_EQ(campaign::to_csv(rs), campaign::to_csv(rp));
+}
+
+TEST(Campaign, SplitProgramsSweepIsByteIdenticalToSerial) {
+  CampaignOptions serial;
+  serial.threads = 1;
+  const CampaignResult rs = campaign::run_campaign(serial);
+
+  CampaignOptions split;
+  split.threads = 4;
+  split.split_programs = true;
+  split.rf_chunk = 16;  // small chunks force real sharding
+  const CampaignResult rx = campaign::run_campaign(split);
+  EXPECT_GT(rx.shard_count, rs.jobs.size());
+  EXPECT_EQ(campaign::verdict_signature(rs), campaign::verdict_signature(rx));
+  EXPECT_EQ(campaign::to_csv(rs), campaign::to_csv(rx));
+}
+
+TEST(Campaign, ReportsCarryRowsAndMetadata) {
+  CampaignOptions opts;
+  opts.threads = 2;
+  const CampaignResult r = campaign::run_campaign(opts);
+  const std::string json = campaign::to_json(r, "unit");
+  EXPECT_NE(json.find("\"label\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"E01\""), std::string::npos);
+  const std::string csv = campaign::to_csv(r);
+  // Header plus one line per row.
+  std::size_t lines = 0;
+  for (char c : csv)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, r.jobs.size() + 1);
+}
+
+}  // namespace
+}  // namespace mtx
