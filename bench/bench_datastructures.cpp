@@ -1,32 +1,32 @@
-// E35: transactional data structures -- sorted list set, striped hash map
-// and the bank workload -- across the three backends.
+// E35: transactional data structures — sorted list set, striped hash map
+// and the bank workload — across every registered backend, driven through
+// the StmBackend registry (benchmarks are registered in a loop; adding a
+// backend to the registry adds it to every family here automatically).
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
 
 #include "containers/bank.hpp"
 #include "containers/thash.hpp"
 #include "containers/tlist.hpp"
-#include "stm/eager.hpp"
-#include "stm/sgl.hpp"
-#include "stm/tl2.hpp"
+#include "stm/backend.hpp"
 #include "substrate/rng.hpp"
 
 namespace {
 
 using namespace mtx::containers;
-using mtx::stm::EagerStm;
-using mtx::stm::SglStm;
-using mtx::stm::Tl2Stm;
+using mtx::stm::StmBackend;
 
 constexpr std::int64_t kKeyRange = 128;
 
-template <typename Stm>
-void BM_ListMixed(benchmark::State& state) {
-  static Stm stm;
-  static TList<Stm>* list = [] {
-    auto* l = new TList<Stm>(stm);
-    for (std::int64_t k = 0; k < kKeyRange; k += 2) l->insert(k);
-    return l;
-  }();
+// Keeps every backend/container alive for the whole benchmark run.
+std::vector<std::unique_ptr<StmBackend>> g_stms;
+std::vector<std::unique_ptr<TList<StmBackend>>> g_lists;
+std::vector<std::unique_ptr<THash<StmBackend>>> g_maps;
+std::vector<std::unique_ptr<Bank<StmBackend>>> g_banks;
+
+void list_mixed(TList<StmBackend>* list, benchmark::State& state) {
   mtx::Rng rng(static_cast<std::uint64_t>(state.thread_index()) * 7 + 3);
   for (auto _ : state) {
     const std::int64_t key = static_cast<std::int64_t>(rng.below(kKeyRange));
@@ -38,18 +38,8 @@ void BM_ListMixed(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK_TEMPLATE(BM_ListMixed, Tl2Stm)->ThreadRange(1, 8)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_ListMixed, EagerStm)->ThreadRange(1, 8)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_ListMixed, SglStm)->ThreadRange(1, 8)->UseRealTime();
 
-template <typename Stm>
-void BM_HashMixed(benchmark::State& state) {
-  static Stm stm;
-  static THash<Stm>* map = [] {
-    auto* m = new THash<Stm>(stm, 64);
-    for (std::int64_t k = 0; k < kKeyRange; k += 2) m->put(k, k);
-    return m;
-  }();
+void hash_mixed(THash<StmBackend>* map, benchmark::State& state) {
   mtx::Rng rng(static_cast<std::uint64_t>(state.thread_index()) * 13 + 5);
   for (auto _ : state) {
     const std::int64_t key = static_cast<std::int64_t>(rng.below(kKeyRange));
@@ -64,27 +54,54 @@ void BM_HashMixed(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK_TEMPLATE(BM_HashMixed, Tl2Stm)->ThreadRange(1, 8)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_HashMixed, EagerStm)->ThreadRange(1, 8)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_HashMixed, SglStm)->ThreadRange(1, 8)->UseRealTime();
 
-template <typename Stm>
-void BM_BankTransfers(benchmark::State& state) {
-  static Stm stm;
-  static Bank<Stm> bank(stm, 256, 1000);
+void bank_transfers(Bank<StmBackend>* bank, benchmark::State& state) {
   mtx::Rng rng(static_cast<std::uint64_t>(state.thread_index()) * 31 + 7);
   for (auto _ : state) {
-    const auto from = static_cast<std::size_t>(rng.below(bank.size()));
-    const auto to = (from + 1 + static_cast<std::size_t>(rng.below(bank.size() - 1))) %
-                    bank.size();
-    bank.transfer(from, to, 1);
+    const auto from = static_cast<std::size_t>(rng.below(bank->size()));
+    const auto to =
+        (from + 1 + static_cast<std::size_t>(rng.below(bank->size() - 1))) %
+        bank->size();
+    bank->transfer(from, to, 1);
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK_TEMPLATE(BM_BankTransfers, Tl2Stm)->ThreadRange(1, 8)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_BankTransfers, EagerStm)->ThreadRange(1, 8)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_BankTransfers, SglStm)->ThreadRange(1, 8)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (const std::string& name : mtx::stm::backend_names()) {
+    g_stms.push_back(mtx::stm::make_backend(name));
+    StmBackend* stm = g_stms.back().get();
+
+    g_lists.push_back(std::make_unique<TList<StmBackend>>(*stm));
+    TList<StmBackend>* list = g_lists.back().get();
+    for (std::int64_t k = 0; k < kKeyRange; k += 2) list->insert(k);
+    benchmark::RegisterBenchmark(
+        ("ListMixed/" + name).c_str(),
+        [list](benchmark::State& st) { list_mixed(list, st); })
+        ->ThreadRange(1, 8)
+        ->UseRealTime();
+
+    g_maps.push_back(std::make_unique<THash<StmBackend>>(*stm, 64));
+    THash<StmBackend>* map = g_maps.back().get();
+    for (std::int64_t k = 0; k < kKeyRange; k += 2) map->put(k, k);
+    benchmark::RegisterBenchmark(
+        ("HashMixed/" + name).c_str(),
+        [map](benchmark::State& st) { hash_mixed(map, st); })
+        ->ThreadRange(1, 8)
+        ->UseRealTime();
+
+    g_banks.push_back(std::make_unique<Bank<StmBackend>>(*stm, 256, 1000));
+    Bank<StmBackend>* bank = g_banks.back().get();
+    benchmark::RegisterBenchmark(
+        ("BankTransfers/" + name).c_str(),
+        [bank](benchmark::State& st) { bank_transfers(bank, st); })
+        ->ThreadRange(1, 8)
+        ->UseRealTime();
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

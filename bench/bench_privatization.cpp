@@ -4,98 +4,110 @@
 // cell with plain accesses.  In the implementation model this requires a
 // quiescence fence; the benchmark measures the cost of the fence as a
 // function of mutator count, and the fenceless variant's *violation rate*
-// under the eager backend (where in-place speculative writes make the race
-// observable) -- the empirical counterpart of E01's "Allowed" verdict in the
-// implementation model.
+// (observable on the eager backend, where in-place speculative writes make
+// the race concrete) — the empirical counterpart of E01's "Allowed" verdict
+// in the implementation model.
+//
+// Benchmarks are registered per backend through the StmBackend registry.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
-#include "stm/eager.hpp"
+#include "stm/backend.hpp"
 #include "stm/tl2.hpp"
 
 namespace {
 
 using namespace mtx::stm;
 
-template <typename Stm, bool Fenced>
-void BM_Privatize(benchmark::State& state) {
-  static Stm stm;
-  static Cell flag(0);
-  static Cell data(0);
-  static std::atomic<bool> stop{false};
-  static std::vector<std::thread> mutators;
-  static std::atomic<std::uint64_t> violations{0};
+// State for one registered privatization benchmark (backend x fenced).
+struct PrivBench {
+  std::unique_ptr<StmBackend> stm;
+  bool fenced = false;
+  Cell flag{0};
+  Cell data{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> mutators;
+  std::atomic<std::uint64_t> violations{0};
 
-  if (state.thread_index() == 0) {
+  void run(benchmark::State& state) {
     stop = false;
     violations = 0;
     const int nmut = static_cast<int>(state.range(0));
     for (int i = 0; i < nmut; ++i) {
-      mutators.emplace_back([] {
+      mutators.emplace_back([this] {
         while (!stop.load(std::memory_order_acquire)) {
-          stm.atomically([&](auto& tx) {
+          stm->atomically([&](auto& tx) {
             if (tx.read(flag) == 0) tx.write(data, tx.read(data) + 1);
           });
         }
       });
     }
-  }
 
-  for (auto _ : state) {
-    stm.atomically([&](auto& tx) { tx.write(flag, 1); });
-    if (Fenced) stm.quiesce();
-    const word_t v = data.plain_load();
-    data.plain_store(v + 1);
-    if (data.plain_load() != v + 1) violations.fetch_add(1);
-    stm.atomically([&](auto& tx) { tx.write(flag, 0); });
-  }
+    for (auto _ : state) {
+      stm->atomically([&](auto& tx) { tx.write(flag, 1); });
+      if (fenced) stm->quiesce();
+      const word_t v = data.plain_load();
+      data.plain_store(v + 1);
+      if (data.plain_load() != v + 1) violations.fetch_add(1);
+      stm->atomically([&](auto& tx) { tx.write(flag, 0); });
+    }
 
-  if (state.thread_index() == 0) {
     stop = true;
     for (auto& m : mutators) m.join();
     mutators.clear();
     state.SetLabel("violations=" + std::to_string(violations.load()));
+    state.SetItemsProcessed(state.iterations());
   }
-  state.SetItemsProcessed(state.iterations());
-}
+};
 
-BENCHMARK_TEMPLATE(BM_Privatize, Tl2Stm, true)->Arg(1)->Arg(4)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_Privatize, Tl2Stm, false)->Arg(1)->Arg(4)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_Privatize, EagerStm, true)->Arg(1)->Arg(4)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_Privatize, EagerStm, false)->Arg(1)->Arg(4)->UseRealTime();
+std::vector<std::unique_ptr<PrivBench>> g_benches;
 
-// Raw quiescence-fence latency vs number of concurrently active (short)
-// transactions.
-void BM_QuiesceLatency(benchmark::State& state) {
-  static Tl2Stm stm;
-  static Cell cells[8];
-  static std::atomic<bool> stop{false};
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const std::string& name : mtx::stm::backend_names()) {
+    for (const bool fenced : {true, false}) {
+      g_benches.push_back(std::make_unique<PrivBench>());
+      PrivBench* b = g_benches.back().get();
+      b->stm = mtx::stm::make_backend(name);
+      b->fenced = fenced;
+      benchmark::RegisterBenchmark(
+          ("Privatize/" + name + (fenced ? "/fenced" : "/unfenced")).c_str(),
+          [b](benchmark::State& st) { b->run(st); })
+          ->Arg(1)
+          ->Arg(4)
+          ->UseRealTime();
+    }
+  }
+
+  // Raw quiescence-fence latency vs number of concurrently active (short)
+  // transactions (TL2's epoch registry; representative of the orec family).
+  static Tl2Stm qstm;
+  static Cell qcells[8];
+  static std::atomic<bool> qstop{false};
   static std::vector<std::thread> churn;
-
-  if (state.thread_index() == 0) {
-    stop = false;
+  benchmark::RegisterBenchmark("QuiesceLatency", [](benchmark::State& state) {
+    qstop = false;
     for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
       churn.emplace_back([i] {
-        while (!stop.load(std::memory_order_acquire)) {
-          stm.atomically([&](auto& tx) {
-            tx.write(cells[i % 8], tx.read(cells[i % 8]) + 1);
+        while (!qstop.load(std::memory_order_acquire)) {
+          qstm.atomically([&](auto& tx) {
+            tx.write(qcells[i % 8], tx.read(qcells[i % 8]) + 1);
           });
         }
       });
     }
-  }
-  for (auto _ : state) stm.quiesce();
-  if (state.thread_index() == 0) {
-    stop = true;
+    for (auto _ : state) qstm.quiesce();
+    qstop = true;
     for (auto& t : churn) t.join();
     churn.clear();
-  }
+  })->Arg(0)->Arg(2)->Arg(6)->UseRealTime();
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
 }
-BENCHMARK(BM_QuiesceLatency)->Arg(0)->Arg(2)->Arg(6)->UseRealTime();
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -4,38 +4,40 @@
 // published flag provides the order (HBdefn's cwr edge; §5's "direct
 // dependency").  The benchmark measures publish/consume throughput and
 // counts payload violations (always zero) with and without a redundant
-// fence, showing the fence buys nothing here -- the asymmetry with
+// fence, showing the fence buys nothing here — the asymmetry with
 // privatization is the §5 story.
+//
+// Benchmarks are registered per backend through the StmBackend registry.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
+#include <vector>
 
-#include "stm/eager.hpp"
-#include "stm/tl2.hpp"
+#include "stm/backend.hpp"
 
 namespace {
 
 using namespace mtx::stm;
 
-template <typename Stm, bool RedundantFence>
-void BM_Publish(benchmark::State& state) {
-  static Stm stm;
-  static Cell flag(0);
-  static Cell payload(0);
-  static std::atomic<bool> stop{false};
-  static std::atomic<std::uint64_t> violations{0};
-  static std::thread consumer;
-  static std::atomic<word_t> generation{0};
+struct PubBench {
+  std::unique_ptr<StmBackend> stm;
+  bool redundant_fence = false;
+  Cell flag{0};
+  Cell payload{0};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<word_t> generation{0};
 
-  if (state.thread_index() == 0) {
+  void run(benchmark::State& state) {
     stop = false;
     violations = 0;
-    consumer = std::thread([] {
+    std::thread consumer([this] {
       word_t last_seen = 0;
       while (!stop.load(std::memory_order_acquire)) {
         word_t f = 0;
-        stm.atomically([&](auto& tx) { f = tx.read(flag); });
+        stm->atomically([&](auto& tx) { f = tx.read(flag); });
         if (f > last_seen) {
           // Transactionally observed publication f: the plain payload must
           // already carry generation f.
@@ -44,28 +46,39 @@ void BM_Publish(benchmark::State& state) {
         }
       }
     });
-  }
 
-  for (auto _ : state) {
-    const word_t g = generation.fetch_add(1) + 1;
-    payload.plain_store(g);  // plain initialization
-    if (RedundantFence) stm.quiesce();
-    stm.atomically([&](auto& tx) { tx.write(flag, g); });  // publish
-  }
+    for (auto _ : state) {
+      const word_t g = generation.fetch_add(1) + 1;
+      payload.plain_store(g);  // plain initialization
+      if (redundant_fence) stm->quiesce();
+      stm->atomically([&](auto& tx) { tx.write(flag, g); });  // publish
+    }
 
-  if (state.thread_index() == 0) {
     stop = true;
     consumer.join();
     state.SetLabel("violations=" + std::to_string(violations.load()));
+    state.SetItemsProcessed(state.iterations());
   }
-  state.SetItemsProcessed(state.iterations());
-}
+};
 
-BENCHMARK_TEMPLATE(BM_Publish, Tl2Stm, false)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_Publish, Tl2Stm, true)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_Publish, EagerStm, false)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_Publish, EagerStm, true)->UseRealTime();
+std::vector<std::unique_ptr<PubBench>> g_benches;
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (const std::string& name : mtx::stm::backend_names()) {
+    for (const bool fence : {false, true}) {
+      g_benches.push_back(std::make_unique<PubBench>());
+      PubBench* b = g_benches.back().get();
+      b->stm = mtx::stm::make_backend(name);
+      b->redundant_fence = fence;
+      benchmark::RegisterBenchmark(
+          ("Publish/" + name + (fence ? "/redundant_fence" : "/bare")).c_str(),
+          [b](benchmark::State& st) { b->run(st); })
+          ->UseRealTime();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

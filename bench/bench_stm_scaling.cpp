@@ -1,72 +1,151 @@
-// E35: STM backend scaling -- TL2 (lazy) vs eager (undo-log) vs SGL
-// (global lock) on counter workloads at 1..N threads, in low- and
-// high-contention regimes.  The expected shape: SGL flat or degrading with
-// threads; TL2/eager scale on disjoint data and degrade under contention,
-// with eager paying rollback costs on conflicts.
-#include <benchmark/benchmark.h>
-
+// E35: STM backend scaling — every registered backend (via the StmBackend
+// registry, no per-backend templates) on counter workloads at 1..N threads
+// in disjoint and contended regimes plus a read-mostly mix.  Expected
+// shape: SGL flat or degrading with threads; TL2/eager/NOrec scale on
+// disjoint data and degrade under contention, with eager paying rollback
+// costs and NOrec paying its commit bottleneck.
+//
+// Writes the BENCH_stm.json artifact (same schema style as
+// BENCH_campaign.json) so CI tracks the runtime half's perf trajectory.
+//
+// Usage: bench_stm_scaling [--threads-max N] [--ops N] [--out PATH]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
-#include "stm/eager.hpp"
-#include "stm/norec.hpp"
-#include "stm/sgl.hpp"
-#include "stm/tl2.hpp"
+#include "campaign/report.hpp"
+#include "stm/backend.hpp"
+#include "substrate/format.hpp"
 #include "substrate/rng.hpp"
+#include "substrate/threading.hpp"
 
 namespace {
 
-using namespace mtx::stm;
+using namespace mtx;
+using stm::Cell;
+using stm::StmBackend;
+using stm::word_t;
 
-// Shared counters; each benchmark thread hammers one slot (disjoint) or slot
-// zero (contended).
-template <typename Stm, bool Contended>
-void BM_Counter(benchmark::State& state) {
-  static Stm stm;
-  static std::vector<Cell> cells(64);
-  if (state.thread_index() == 0)
-    for (auto& c : cells) c.plain_store(0);
+struct Row {
+  std::string backend, workload;
+  std::size_t threads = 0;
+  std::uint64_t ops = 0;
+  double ms = 0;
+  double ops_per_sec = 0;
+  double conflict_rate = 0;
+};
 
-  const std::size_t slot =
-      Contended ? 0 : static_cast<std::size_t>(state.thread_index()) % cells.size();
-  for (auto _ : state) {
-    stm.atomically([&](auto& tx) { tx.write(cells[slot], tx.read(cells[slot]) + 1); });
-  }
-  state.SetItemsProcessed(state.iterations());
-  if (state.thread_index() == 0)
-    state.SetLabel("conflict_rate=" +
-                   std::to_string(stm.stats().conflict_rate()).substr(0, 5));
+double run_timed(StmBackend& stm, std::size_t threads, std::uint64_t ops,
+                 const std::function<void(StmBackend&, std::size_t, std::uint64_t)>& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  run_team(threads, [&](std::size_t tid) { body(stm, tid, ops); });
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
-BENCHMARK_TEMPLATE(BM_Counter, Tl2Stm, false)->ThreadRange(1, 8)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_Counter, EagerStm, false)->ThreadRange(1, 8)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_Counter, NorecStm, false)->ThreadRange(1, 8)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_Counter, SglStm, false)->ThreadRange(1, 8)->UseRealTime();
+Row bench_workload(const std::string& backend, const std::string& workload,
+                   std::size_t threads, std::uint64_t ops_per_thread) {
+  auto stm = stm::make_backend(backend);
+  static constexpr std::size_t kCells = 1024;
+  std::vector<Cell> cells(kCells);
 
-BENCHMARK_TEMPLATE(BM_Counter, Tl2Stm, true)->ThreadRange(1, 8)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_Counter, EagerStm, true)->ThreadRange(1, 8)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_Counter, SglStm, true)->ThreadRange(1, 8)->UseRealTime();
-
-// Read-mostly transactions over a 1K-cell array: 8 reads + 1 write.
-template <typename Stm>
-void BM_ReadMostly(benchmark::State& state) {
-  static Stm stm;
-  static std::vector<Cell> cells(1024);
-  mtx::Rng rng(static_cast<std::uint64_t>(state.thread_index()) + 17);
-  for (auto _ : state) {
-    stm.atomically([&](auto& tx) {
-      word_t sum = 0;
-      for (int i = 0; i < 8; ++i)
-        sum += tx.read(cells[rng.below(cells.size())]);
-      tx.write(cells[rng.below(cells.size())], sum);
-    });
+  std::function<void(StmBackend&, std::size_t, std::uint64_t)> body;
+  if (workload == "counter_disjoint") {
+    body = [&](StmBackend& s, std::size_t tid, std::uint64_t ops) {
+      Cell& c = cells[tid % kCells];
+      for (std::uint64_t i = 0; i < ops; ++i)
+        s.atomically([&](auto& tx) { tx.write(c, tx.read(c) + 1); });
+    };
+  } else if (workload == "counter_contended") {
+    body = [&](StmBackend& s, std::size_t, std::uint64_t ops) {
+      for (std::uint64_t i = 0; i < ops; ++i)
+        s.atomically([&](auto& tx) { tx.write(cells[0], tx.read(cells[0]) + 1); });
+    };
+  } else {  // read_mostly: 8 reads + 1 write over the array
+    body = [&](StmBackend& s, std::size_t tid, std::uint64_t ops) {
+      Rng rng(tid + 17);
+      for (std::uint64_t i = 0; i < ops; ++i)
+        s.atomically([&](auto& tx) {
+          word_t sum = 0;
+          for (int r = 0; r < 8; ++r)
+            sum += tx.read(cells[rng.below(kCells)]);
+          tx.write(cells[rng.below(kCells)], sum);
+        });
+    };
   }
-  state.SetItemsProcessed(state.iterations());
+
+  Row row;
+  row.backend = backend;
+  row.workload = workload;
+  row.threads = threads;
+  row.ops = ops_per_thread * threads;
+  row.ms = run_timed(*stm, threads, ops_per_thread, body);
+  row.ops_per_sec = row.ms > 0 ? static_cast<double>(row.ops) / (row.ms / 1e3) : 0;
+  row.conflict_rate = stm->stats().conflict_rate();
+  return row;
 }
-BENCHMARK_TEMPLATE(BM_ReadMostly, Tl2Stm)->ThreadRange(1, 8)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_ReadMostly, EagerStm)->ThreadRange(1, 8)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_ReadMostly, NorecStm)->ThreadRange(1, 8)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_ReadMostly, SglStm)->ThreadRange(1, 8)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::size_t threads_max = std::min<std::size_t>(hw_threads(), 8);
+  std::uint64_t ops = 10000;
+  std::string out_path = "BENCH_stm.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads-max") == 0 && i + 1 < argc)
+      threads_max = static_cast<std::size_t>(std::max(1ll, std::atoll(argv[++i])));
+    else if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc)
+      ops = static_cast<std::uint64_t>(std::max(1ll, std::atoll(argv[++i])));
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const std::vector<std::string> workloads = {"counter_disjoint",
+                                              "counter_contended", "read_mostly"};
+  std::vector<Row> rows;
+  Table table({"backend", "workload", "threads", "ops/s", "conflict_rate"});
+  for (const std::string& backend : stm::backend_names()) {
+    for (const std::string& workload : workloads) {
+      for (std::size_t t = 1; t <= threads_max; t *= 2) {
+        Row r = bench_workload(backend, workload, t, ops);
+        table.add_row({r.backend, r.workload, std::to_string(r.threads),
+                       fixed(r.ops_per_sec, 0), fixed(r.conflict_rate, 3)});
+        rows.push_back(std::move(r));
+      }
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"stm_scaling\",\n";
+  json += "  \"hw_threads\": " + std::to_string(hw_threads()) + ",\n";
+  json += "  \"threads_max\": " + std::to_string(threads_max) + ",\n";
+  json += "  \"ops_per_thread\": " + std::to_string(ops) + ",\n";
+  json += "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json += "    {\"backend\": \"" + r.backend + "\", \"workload\": \"" +
+            r.workload + "\", \"threads\": " + std::to_string(r.threads) +
+            ", \"ops\": " + std::to_string(r.ops) +
+            ", \"ms\": " + fixed(r.ms, 3) +
+            ", \"ops_per_sec\": " + fixed(r.ops_per_sec, 1) +
+            ", \"conflict_rate\": " + fixed(r.conflict_rate, 4) + "}";
+    json += (i + 1 < rows.size()) ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  if (!mtx::campaign::write_file(out_path, json)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,14 +1,13 @@
-// The bank workload across all three backends: concurrent transfers with a
-// conserved total, a transactional audit, and a privatization-style plain
-// audit behind a quiescence fence.  Prints throughput and abort rates so the
-// backend trade-offs (lazy vs eager vs global lock) are visible.
+// The bank workload across every registered backend: concurrent transfers
+// with a conserved total, a transactional audit, and a privatization-style
+// plain audit behind a quiescence fence.  Prints throughput and abort rates
+// so the backend trade-offs (lazy vs eager vs NOrec vs global lock) are
+// visible.  One loop over the StmBackend registry drives all of them.
 #include <chrono>
 #include <cstdio>
 
 #include "containers/bank.hpp"
-#include "stm/eager.hpp"
-#include "stm/sgl.hpp"
-#include "stm/tl2.hpp"
+#include "stm/backend.hpp"
 #include "substrate/rng.hpp"
 #include "substrate/threading.hpp"
 
@@ -16,10 +15,8 @@ namespace {
 
 using namespace mtx;
 
-template <typename Stm>
-void run_backend(const char* name) {
-  Stm stm;
-  containers::Bank<Stm> bank(stm, 128, 1000);
+void run_backend(stm::StmBackend& stm) {
+  containers::Bank<stm::StmBackend> bank(stm, 128, 1000);
   const std::size_t threads = std::min<std::size_t>(hw_threads(), 8);
   constexpr int kTransfers = 20000;
 
@@ -44,7 +41,7 @@ void run_backend(const char* name) {
   std::printf(
       "%-8s %8.0f transfers/s | txn total %lld, plain audit %lld (expected "
       "%lld) | %s\n",
-      name, ops / elapsed, static_cast<long long>(total),
+      stm.name().c_str(), ops / elapsed, static_cast<long long>(total),
       static_cast<long long>(audited),
       static_cast<long long>(bank.expected_total()), stm.stats().str().c_str());
 }
@@ -53,9 +50,10 @@ void run_backend(const char* name) {
 
 int main() {
   std::printf("bank: %zu threads x 20000 transfers over 128 accounts\n",
-              std::min<std::size_t>(hw_threads(), 8));
-  run_backend<stm::Tl2Stm>("tl2");
-  run_backend<stm::EagerStm>("eager");
-  run_backend<stm::SglStm>("sgl");
+              std::min<std::size_t>(mtx::hw_threads(), 8));
+  for (const std::string& name : mtx::stm::backend_names()) {
+    auto stm = mtx::stm::make_backend(name);
+    run_backend(*stm);
+  }
   return 0;
 }

@@ -3,11 +3,17 @@
 //
 // Usage: campaign [--threads N] [--serial] [--split] [--rf-chunk N]
 //                 [--node-budget N] [--time-budget-ms N]
-//                 [--json PATH] [--csv PATH]
+//                 [--record] [--record-only] [--record-ops N]
+//                 [--record-seed N] [--json PATH] [--csv PATH]
 //
 // --serial forces the single-threaded reference mode; --split additionally
 // shards each program's candidate space (frontier splitting).  Reports are
 // byte-identical between modes as long as no budget is hit.
+//
+// --record adds the recorded-execution conformance grid: every container
+// workload runs on every registered STM backend at several thread counts,
+// the recorded execution is assembled into a model trace and judged by the
+// race/opacity checkers; --record-only skips the litmus catalog.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,6 +55,15 @@ int main(int argc, char** argv) {
       opts.node_budget = count("--node-budget");
     else if (std::strcmp(argv[i], "--time-budget-ms") == 0)
       opts.time_budget_ms = count("--time-budget-ms");
+    else if (std::strcmp(argv[i], "--record") == 0)
+      opts.record_jobs = true;
+    else if (std::strcmp(argv[i], "--record-only") == 0) {
+      opts.record_jobs = true;
+      opts.litmus_jobs = false;
+    } else if (std::strcmp(argv[i], "--record-ops") == 0)
+      opts.record_ops = static_cast<int>(count("--record-ops"));
+    else if (std::strcmp(argv[i], "--record-seed") == 0)
+      opts.record_seed = count("--record-seed");
     else if (std::strcmp(argv[i], "--json") == 0)
       json_path = next("--json");
     else if (std::strcmp(argv[i], "--csv") == 0)
@@ -70,9 +85,28 @@ int main(int argc, char** argv) {
                    j.row.actual_allowed ? "Allowed" : "Forbidden",
                    j.row.matches() ? "yes" : "MISMATCH", ms});
   }
-  std::printf("%s\n", table.render().c_str());
-  std::printf("rows: %zu  mismatches: %zu  threads: %zu  shards: %zu  wall: %.1f ms\n",
-              r.jobs.size(), r.mismatches, r.threads_used, r.shard_count, r.wall_ms);
+  if (!r.jobs.empty()) std::printf("%s\n", table.render().c_str());
+
+  if (!r.recorded.empty()) {
+    Table rec({"workload", "backend", "threads", "verdict", "races", "opaque",
+               "txns", "ms"});
+    for (const campaign::RecordRow& row : r.recorded) {
+      char ms[32];
+      std::snprintf(ms, sizeof(ms), "%.1f", row.millis);
+      // Opacity shown at the backend's declared level (committed-only for
+      // the eager zombie-prone class).
+      const bool opq = row.zombie_free ? row.opaque : row.opaque_committed;
+      rec.add_row({row.workload, row.backend, std::to_string(row.threads),
+                   row.ok() ? "conformant" : "VIOLATION",
+                   std::to_string(row.l_races), opq ? "yes" : "NO",
+                   std::to_string(row.committed + row.aborted), ms});
+    }
+    std::printf("%s\n", rec.render().c_str());
+  }
+
+  std::printf("rows: %zu  recorded: %zu  mismatches: %zu  threads: %zu  shards: %zu  wall: %.1f ms\n",
+              r.jobs.size(), r.recorded.size(), r.mismatches, r.threads_used,
+              r.shard_count, r.wall_ms);
 
   if (!json_path.empty() && !campaign::write_file(json_path, campaign::to_json(r))) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());

@@ -3,6 +3,9 @@
 #include <chrono>
 #include <optional>
 
+#include "record/conformance.hpp"
+#include "record/workloads.hpp"
+#include "stm/backend.hpp"
 #include "substrate/threading.hpp"
 
 namespace mtx::campaign {
@@ -31,6 +34,43 @@ struct ShardResult {
 // a few dozen shards, large enough that shard setup stays noise.
 constexpr std::uint64_t kDefaultRfChunk = 2048;
 
+// One recorded-execution conformance job: run the workload on a fresh
+// backend instance, assemble, judge.
+RecordRow run_record_job(const std::string& workload,
+                         const std::string& backend, std::size_t threads,
+                         const CampaignOptions& opts) {
+  const auto t0 = Clock::now();
+  RecordRow row;
+  row.workload = workload;
+  row.backend = backend;
+  row.threads = threads;
+
+  auto stm = stm::make_backend(backend);
+  record::WorkloadOptions wopts;
+  wopts.threads = threads;
+  wopts.seed = opts.record_seed;
+  wopts.ops_per_thread = opts.record_ops;
+  const record::RecordedRun run =
+      record::run_recorded_workload(workload, *stm, wopts);
+  const record::ConformanceReport rep =
+      record::check_conformance(run.rec.trace);
+
+  row.wellformed = rep.wf.ok();
+  row.l_races = rep.l_races;
+  row.mixed_race = rep.mixed_race;
+  row.opaque = rep.opaque;
+  row.opaque_committed = rep.opaque_committed;
+  row.zombie_free = stm->zombie_free();
+  row.consistent = rep.consistent;
+  row.invariant_ok = run.invariant_ok;
+  row.actions = rep.actions;
+  row.committed = rep.committed;
+  row.aborted = rep.aborted;
+  row.plain_order = run.rec.meta.plain_order;
+  row.millis = ms_since(t0);
+  return row;
+}
+
 }  // namespace
 
 CampaignResult run_campaign(const CampaignOptions& opts) {
@@ -42,8 +82,9 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     const lit::Expectation* exp;
   };
   std::vector<Job> jobs;
-  for (const lit::LitmusTest& t : lit::catalog())
-    for (const lit::Expectation& e : t.expected) jobs.push_back(Job{&t, &e});
+  if (opts.litmus_jobs)
+    for (const lit::LitmusTest& t : lit::catalog())
+      for (const lit::Expectation& e : t.expected) jobs.push_back(Job{&t, &e});
 
   lit::EnumOptions eopts;
   eopts.budget = opts.node_budget;
@@ -87,13 +128,37 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
   };
 
   const std::size_t nthreads = opts.threads ? opts.threads : hw_threads();
+
+  // Recorded-execution conformance jobs: workload x backend x thread-count,
+  // in deterministic grid order.
+  struct RecordJob {
+    std::string workload, backend;
+    std::size_t threads;
+  };
+  std::vector<RecordJob> record_jobs;
+  if (opts.record_jobs) {
+    for (const std::string& w : record::workload_names())
+      for (const std::string& b : stm::backend_names())
+        for (std::size_t t : opts.record_threads)
+          record_jobs.push_back({w, b, t});
+  }
+  auto run_record = [&](std::size_t i) {
+    const RecordJob& j = record_jobs[i];
+    return run_record_job(j.workload, j.backend, j.threads, opts);
+  };
+
   std::vector<ShardResult> results;
+  std::vector<RecordRow> record_rows;
   if (nthreads <= 1) {
     results.reserve(shards.size());
     for (std::size_t i = 0; i < shards.size(); ++i) results.push_back(run_shard(i));
+    record_rows.reserve(record_jobs.size());
+    for (std::size_t i = 0; i < record_jobs.size(); ++i)
+      record_rows.push_back(run_record(i));
   } else {
     ThreadPool pool(nthreads);
     results = parallel_map<ShardResult>(pool, shards.size(), run_shard);
+    record_rows = parallel_map<RecordRow>(pool, record_jobs.size(), run_record);
   }
 
   // Fold shards into jobs, in catalog order.
@@ -121,6 +186,9 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     out.jobs[j].timed_out = stats[j].timed_out;
     if (!row.matches()) ++out.mismatches;
   }
+  out.recorded = std::move(record_rows);
+  for (const RecordRow& rr : out.recorded)
+    if (!rr.ok()) ++out.mismatches;
   out.wall_ms = ms_since(t0);
   return out;
 }
@@ -134,6 +202,14 @@ std::string verdict_signature(const CampaignResult& r) {
          std::to_string(j.row.outcome_count) + "," +
          std::to_string(j.row.consistent_execs) + "," +
          (j.truncated ? "T" : "-") + "\n";
+  }
+  // Recorded rows: only fields that are schedule-independent (committed
+  // txn counts are fixed by workload x seed x threads; action/abort counts
+  // vary with conflict retries).
+  for (const RecordRow& rr : r.recorded) {
+    s += "rec:" + rr.workload + ":" + rr.backend + ":t" +
+         std::to_string(rr.threads) + "," + (rr.ok() ? "C" : "V") + "," +
+         std::to_string(rr.l_races) + "," + std::to_string(rr.committed) + "\n";
   }
   return s;
 }

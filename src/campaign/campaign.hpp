@@ -22,16 +22,30 @@ namespace mtx::campaign {
 struct CampaignOptions {
   // Worker threads; 0 = hardware concurrency, 1 = serial reference mode.
   std::size_t threads = 0;
+  // Run the litmus verdict catalog (off = recorded-execution jobs only).
+  bool litmus_jobs = true;
   // When true, each program's candidate space is additionally split into
   // subspaces of at most `rf_chunk` reads-from tuples (0 picks a default),
   // so a single heavyweight program parallelizes too.
   bool split_programs = false;
   std::uint64_t rf_chunk = 0;
-  // Per-job enumeration budgets (per shard when splitting; see ISSUE on
-  // truncation: a budget hit in parallel mode can differ from serial, so the
-  // row records it and determinism is only claimed for untruncated rows).
+  // Per-job enumeration budgets (per shard when splitting).  Budget hits
+  // are recorded per row; see README "Determinism and truncation" for why
+  // byte-identical serial/parallel reports are only claimed for
+  // untruncated rows.
   std::uint64_t node_budget = 4'000'000;
   std::uint64_t time_budget_ms = 0;  // 0 = unbounded
+
+  // ----- recorded-execution conformance jobs -----
+  // When enabled, the campaign also runs every recorded workload on every
+  // registered STM backend at each listed thread count, assembles the
+  // recorded execution into a model::Trace, and judges it with the model
+  // layer (well-formedness, L-races, mixed races, opacity).  Rows appear
+  // next to the litmus verdict rows in the reports.
+  bool record_jobs = false;
+  std::vector<std::size_t> record_threads = {1, 4};
+  int record_ops = 8;             // operations per worker thread
+  std::uint64_t record_seed = 42;
 };
 
 // One (catalog entry, expectation) verdict plus its execution record.
@@ -42,19 +56,54 @@ struct JobResult {
   double millis = 0;  // wall time of this job (sum of its shards' times)
 };
 
+// One recorded-execution conformance verdict: a (workload, backend,
+// thread-count) STM run judged by the model layer.
+struct RecordRow {
+  std::string workload;
+  std::string backend;
+  std::size_t threads = 0;
+
+  bool wellformed = false;
+  std::size_t l_races = 0;
+  bool mixed_race = false;
+  bool opaque = false;            // all txns, aborted readers included
+  bool opaque_committed = false;  // committed subsystem only
+  bool zombie_free = false;       // does this backend promise full opacity?
+  bool consistent = false;    // §2 axioms (informational)
+  bool invariant_ok = false;  // the workload's own correctness check
+  std::size_t actions = 0;
+  std::size_t committed = 0;  // deterministic given (workload, seed, threads)
+  std::size_t aborted = 0;    // scheduling-dependent (conflict retries)
+  std::string plain_order;
+
+  // Conformant: the model passes the recorded execution.  Opacity is held
+  // to each backend's declared guarantee: zombie-free backends must be
+  // opaque including aborted readers; the eager (Example 3.4) class is
+  // judged on the committed subsystem.
+  bool ok() const {
+    return wellformed && l_races == 0 && !mixed_race &&
+           (zombie_free ? opaque : opaque_committed) && invariant_ok;
+  }
+  double millis = 0;
+};
+
 struct CampaignResult {
-  std::vector<JobResult> jobs;  // catalog order, schedule-independent
-  std::size_t mismatches = 0;   // rows where measured != paper
+  std::vector<JobResult> jobs;    // catalog order, schedule-independent
+  std::vector<RecordRow> recorded;  // backend x workload x threads order
+  std::size_t mismatches = 0;     // rows where measured != paper,
+                                  // plus non-conformant recorded rows
   std::size_t threads_used = 1;
-  std::size_t shard_count = 0;  // pool tasks executed
+  std::size_t shard_count = 0;    // pool tasks executed
   double wall_ms = 0;
 };
 
-// Runs every catalog entry under every expected config.
+// Runs every catalog entry under every expected config, plus (when
+// opts.record_jobs) the recorded-execution conformance grid.
 CampaignResult run_campaign(const CampaignOptions& opts = {});
 
-// Canonical signature of the verdict content (everything except timings):
-// two campaigns agree iff their signatures are byte-identical.
+// Canonical signature of the verdict content (everything except timings and
+// scheduling-dependent counters): two campaigns agree iff their signatures
+// are byte-identical.
 std::string verdict_signature(const CampaignResult& r);
 
 }  // namespace mtx::campaign

@@ -53,6 +53,29 @@ std::string to_json(const CampaignResult& r, const std::string& run_label) {
          ", \"ms\": " + fmt_ms(j.millis) + "}";
     s += (i + 1 < r.jobs.size()) ? ",\n" : "\n";
   }
+  s += "  ],\n";
+  s += "  \"recorded\": [\n";
+  for (std::size_t i = 0; i < r.recorded.size(); ++i) {
+    const RecordRow& rr = r.recorded[i];
+    s += "    {\"workload\": \"" + json_escape(rr.workload) +
+         "\", \"backend\": \"" + json_escape(rr.backend) +
+         "\", \"threads\": " + std::to_string(rr.threads) +
+         ", \"conformant\": " + (rr.ok() ? "true" : "false") +
+         ", \"wellformed\": " + (rr.wellformed ? "true" : "false") +
+         ", \"l_races\": " + std::to_string(rr.l_races) +
+         ", \"mixed_race\": " + (rr.mixed_race ? "true" : "false") +
+         ", \"opaque\": " + (rr.opaque ? "true" : "false") +
+         ", \"opaque_committed\": " + (rr.opaque_committed ? "true" : "false") +
+         ", \"zombie_free\": " + (rr.zombie_free ? "true" : "false") +
+         ", \"consistent\": " + (rr.consistent ? "true" : "false") +
+         ", \"invariant_ok\": " + (rr.invariant_ok ? "true" : "false") +
+         ", \"actions\": " + std::to_string(rr.actions) +
+         ", \"committed\": " + std::to_string(rr.committed) +
+         ", \"aborted\": " + std::to_string(rr.aborted) +
+         ", \"plain_order\": \"" + json_escape(rr.plain_order) +
+         "\", \"ms\": " + fmt_ms(rr.millis) + "}";
+    s += (i + 1 < r.recorded.size()) ? ",\n" : "\n";
+  }
   s += "  ]\n}\n";
   return s;
 }
@@ -67,6 +90,16 @@ std::string to_csv(const CampaignResult& r) {
          std::to_string(j.row.outcome_count) + "," +
          std::to_string(j.row.consistent_execs) + "," +
          (j.truncated ? "yes" : "no") + "\n";
+  }
+  // Recorded-execution rows share the column shape: outcomes carries the
+  // L-race count, consistent_execs the committed-transaction count (both
+  // schedule-independent for conformant runs).
+  for (const RecordRow& rr : r.recorded) {
+    s += "rec:" + rr.workload + ":" + rr.backend + ":t" +
+         std::to_string(rr.threads) + ",record,conformant," +
+         (rr.ok() ? "conformant" : "violation") + "," +
+         (rr.ok() ? "yes" : "no") + "," + std::to_string(rr.l_races) + "," +
+         std::to_string(rr.committed) + ",no\n";
   }
   return s;
 }

@@ -1,6 +1,8 @@
 // Campaign reporters: render a CampaignResult as JSON (the
 // BENCH_campaign.json artifact format) or CSV, and write it to disk.
-// Row order is catalog order, so reports from equivalent runs diff clean.
+// Litmus rows come out in catalog order and recorded-execution conformance
+// rows in workload x backend x thread-count grid order, so reports from
+// equivalent runs diff clean.
 #pragma once
 
 #include <string>

@@ -1,5 +1,6 @@
 #include "containers/bank.hpp"
 
+#include "stm/backend.hpp"
 #include "stm/eager.hpp"
 #include "stm/norec.hpp"
 #include "stm/sgl.hpp"
@@ -10,4 +11,6 @@ template class Bank<stm::Tl2Stm>;
 template class Bank<stm::EagerStm>;
 template class Bank<stm::NorecStm>;
 template class Bank<stm::SglStm>;
+// The type-erased registry path (harnesses, benches, recorded workloads).
+template class Bank<stm::StmBackend>;
 }  // namespace mtx::containers

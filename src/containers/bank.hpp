@@ -63,6 +63,10 @@ class Bank {
     return static_cast<std::int64_t>(accounts_[i].plain_load());
   }
 
+  // Raw cell access for workload generators that drive their own
+  // transactions over the account array.
+  stm::Cell& account(std::size_t i) { return accounts_[i]; }
+
  private:
   Stm& stm_;
   std::vector<stm::Cell> accounts_;

@@ -1,5 +1,6 @@
 #include "containers/thash.hpp"
 
+#include "stm/backend.hpp"
 #include "stm/eager.hpp"
 #include "stm/norec.hpp"
 #include "stm/sgl.hpp"
@@ -10,4 +11,6 @@ template class THash<stm::Tl2Stm>;
 template class THash<stm::EagerStm>;
 template class THash<stm::NorecStm>;
 template class THash<stm::SglStm>;
+// The type-erased registry path (harnesses, benches, recorded workloads).
+template class THash<stm::StmBackend>;
 }  // namespace mtx::containers

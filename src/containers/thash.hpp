@@ -107,8 +107,11 @@ class THash {
 
  private:
   struct Node {
-    Node(std::int64_t k, std::int64_t v)
-        : key(k), value(static_cast<stm::word_t>(v)) {}
+    // The value cell is initialized through plain_store so recording
+    // sessions observe the write (see TList::Node).
+    Node(std::int64_t k, std::int64_t v) : key(k) {
+      value.plain_store(static_cast<stm::word_t>(v));
+    }
     const std::int64_t key;
     stm::Cell value;
     stm::Cell next;

@@ -1,5 +1,6 @@
 #include "containers/tlist.hpp"
 
+#include "stm/backend.hpp"
 #include "stm/eager.hpp"
 #include "stm/norec.hpp"
 #include "stm/sgl.hpp"
@@ -12,4 +13,6 @@ template class TList<stm::Tl2Stm>;
 template class TList<stm::EagerStm>;
 template class TList<stm::NorecStm>;
 template class TList<stm::SglStm>;
+// The type-erased registry path (harnesses, benches, recorded workloads).
+template class TList<stm::StmBackend>;
 }  // namespace mtx::containers

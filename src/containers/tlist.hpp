@@ -90,7 +90,10 @@ class TList {
 
  private:
   struct Node {
-    explicit Node(std::int64_t k) : key(static_cast<word_t>(k)) {}
+    // The key is written through plain_store (not Cell's raw constructor)
+    // so a recording session sees the initializing write and later key
+    // reads have a fulfilling write in the assembled trace.
+    explicit Node(std::int64_t k) { key.plain_store(static_cast<word_t>(k)); }
     Cell key;
     Cell next;
   };

@@ -1,5 +1,6 @@
 #include "containers/tqueue.hpp"
 
+#include "stm/backend.hpp"
 #include "stm/eager.hpp"
 #include "stm/norec.hpp"
 #include "stm/sgl.hpp"
@@ -10,4 +11,6 @@ template class TQueue<stm::Tl2Stm>;
 template class TQueue<stm::EagerStm>;
 template class TQueue<stm::NorecStm>;
 template class TQueue<stm::SglStm>;
+// The type-erased registry path (harnesses, benches, recorded workloads).
+template class TQueue<stm::StmBackend>;
 }  // namespace mtx::containers

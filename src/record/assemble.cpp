@@ -1,0 +1,162 @@
+#include "record/assemble.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace mtx::record {
+
+namespace {
+
+struct Merged {
+  Event ev;
+  int thread;
+};
+
+// Sink each fence past the resolutions of all transactions open at its
+// position (see header).  Fences are pulled out first and their insertion
+// points computed against the *fence-free* event list, whose indices are
+// stable: each fence's target only ever increases and is bounded by the
+// list length, so the fixpoint terminates, and fences cannot perturb each
+// other's spans (two concurrent fences inside one transaction both sink
+// just past its resolution, keeping their relative order).
+void sink_fences(std::vector<Merged>& evs) {
+  std::vector<Merged> fences, rest;
+  std::vector<std::size_t> targets;  // insertion index of each fence in `rest`
+  for (const Merged& m : evs) {
+    if (m.ev.kind == Ev::Fence) {
+      fences.push_back(m);
+      targets.push_back(rest.size());
+    } else {
+      rest.push_back(m);
+    }
+  }
+  if (fences.empty()) return;
+
+  // Transaction spans (begin index, resolution index) over `rest`.
+  struct Span {
+    std::size_t begin, end;
+  };
+  std::vector<Span> spans;
+  std::map<int, std::size_t> open;  // thread -> begin index
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    const Ev k = rest[i].ev.kind;
+    if (k == Ev::Begin) {
+      open[rest[i].thread] = i;
+    } else if (k == Ev::Commit || k == Ev::Abort) {
+      auto it = open.find(rest[i].thread);
+      if (it != open.end()) {
+        spans.push_back({it->second, i});
+        open.erase(it);
+      }
+    }
+  }
+
+  // A fence inserted at index t has rest[0..t-1] before it; a span is open
+  // across it iff begin < t <= end.  Sinking to end+1 may enter new spans,
+  // so iterate to the (monotone, bounded) fixpoint.
+  for (std::size_t& t : targets) {
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (const Span& s : spans)
+        if (s.begin < t && s.end >= t) {
+          t = s.end + 1;
+          moved = true;
+        }
+    }
+  }
+
+  // Rebuild: walk `rest`, interleaving fences at their targets.  Sinking
+  // can carry an early fence past a later one's target, so order fences by
+  // (target, original seq) — stable for equal targets.
+  std::vector<std::size_t> order(fences.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return targets[a] != targets[b] ? targets[a] < targets[b] : a < b;
+  });
+  std::vector<Merged> out;
+  out.reserve(evs.size());
+  std::size_t f = 0;
+  for (std::size_t i = 0; i <= rest.size(); ++i) {
+    while (f < order.size() && targets[order[f]] == i)
+      out.push_back(fences[order[f++]]);
+    if (i < rest.size()) out.push_back(rest[i]);
+  }
+  evs = std::move(out);
+}
+
+}  // namespace
+
+RecordedTrace assemble(const RecordSession& s) {
+  RecordedTrace out;
+  auto& meta = out.meta;
+
+  std::vector<Merged> evs;
+  std::set<int> threads;
+  for (const auto& rec : s.recorders()) {
+    threads.insert(rec->thread_id());
+    meta.buffered_reads += rec->buffered_reads();
+    for (const Event& e : rec->events()) evs.push_back({e, rec->thread_id()});
+  }
+  std::sort(evs.begin(), evs.end(),
+            [](const Merged& a, const Merged& b) { return a.ev.seq < b.ev.seq; });
+
+  sink_fences(evs);
+
+  meta.events = evs.size();
+  meta.threads = static_cast<int>(threads.size());
+  meta.num_locs = s.num_locs();
+  meta.plain_order = stm::plain_order_name(stm::plain_order());
+
+  out.trace = model::Trace::with_init(meta.num_locs);
+  std::map<int, int> open_begin;  // thread -> begin action name
+  for (const Merged& m : evs) {
+    const Event& e = m.ev;
+    switch (e.kind) {
+      case Ev::Begin: {
+        const int idx = out.trace.append(model::make_begin(m.thread));
+        open_begin[m.thread] = out.trace[static_cast<std::size_t>(idx)].name;
+        ++meta.txns;
+        break;
+      }
+      case Ev::Commit:
+      case Ev::Abort: {
+        auto it = open_begin.find(m.thread);
+        if (it == open_begin.end()) break;  // unmatched marker: drop
+        if (e.kind == Ev::Commit) {
+          out.trace.append(model::make_commit(m.thread, it->second));
+          ++meta.committed;
+        } else {
+          out.trace.append(model::make_abort(m.thread, it->second));
+          ++meta.aborted;
+        }
+        open_begin.erase(it);
+        break;
+      }
+      case Ev::Read:
+      case Ev::PlainRead:
+        out.trace.append(model::make_read(
+            m.thread, e.loc, static_cast<model::Value>(e.value),
+            Rational(static_cast<std::int64_t>(e.version))));
+        ++(e.kind == Ev::Read ? meta.reads : meta.plain_reads);
+        break;
+      case Ev::Write:
+      case Ev::PlainWrite:
+        out.trace.append(model::make_write(
+            m.thread, e.loc, static_cast<model::Value>(e.value),
+            Rational(static_cast<std::int64_t>(e.version))));
+        ++(e.kind == Ev::Write ? meta.writes : meta.plain_writes);
+        break;
+      case Ev::Fence:
+        // The runtime fence covers every location (conservative §5 variant).
+        for (int x = 0; x < meta.num_locs; ++x)
+          out.trace.append(model::make_qfence(m.thread, x));
+        ++meta.fences;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mtx::record

@@ -1,0 +1,53 @@
+// Deterministic assembly of a RecordSession's per-thread logs into a
+// model::Trace (§2 syntax): the init transaction writing 0 to every touched
+// location at timestamp 0, then every recorded event in global sequence
+// order.  Write timestamps are the recorder's per-location versions
+// (rational q = version), reads carry their fulfilling write's version, so
+// the model's wr/ww relations reconstruct the execution exactly.
+//
+// Quiescence fences need one adjustment.  The model's <Qx> action is
+// atomic, but the runtime fence spans time: transactions that began after
+// the fence's epoch cutoff may still be in flight when the fence returns
+// (and takes its sequence ticket), which would violate WF12.  Assembly
+// therefore *sinks* each fence just past the resolution of every
+// transaction open at its ticket — sound for fence-protected protocols
+// (such transactions resolved while the fence was returning, i.e. before
+// any post-fence access of the fencing thread), and then expands it to one
+// <Qx> per location, matching the conservative all-locations fence the
+// runtime implements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/trace.hpp"
+#include "record/recorder.hpp"
+
+namespace mtx::record {
+
+struct RecordedTrace {
+  model::Trace trace;
+
+  // Assembly metadata (not part of the model trace).
+  struct Meta {
+    std::size_t events = 0;          // merged events (pre fence-expansion)
+    std::size_t txns = 0;            // begins (excluding init)
+    std::size_t committed = 0;
+    std::size_t aborted = 0;
+    std::size_t reads = 0;           // transactional reads recorded
+    std::size_t writes = 0;          // transactional writes recorded
+    std::size_t plain_reads = 0;
+    std::size_t plain_writes = 0;
+    std::size_t fences = 0;
+    std::size_t buffered_reads = 0;  // redo-log hits (not in the trace)
+    int num_locs = 0;
+    int threads = 0;                 // distinct recorded thread ids
+    std::string plain_order;         // Cell plain-access mode in effect
+  } meta;
+};
+
+// Merge all logs of `s`.  Call only after every recording thread has been
+// joined and every ScopedRecorder destroyed.
+RecordedTrace assemble(const RecordSession& s);
+
+}  // namespace mtx::record

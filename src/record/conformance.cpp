@@ -1,0 +1,51 @@
+#include "record/conformance.hpp"
+
+#include "model/opacity.hpp"
+#include "model/race.hpp"
+
+namespace mtx::record {
+
+ConformanceReport check_conformance(const model::Trace& t,
+                                    const model::ModelConfig& cfg) {
+  ConformanceReport out;
+  out.config = cfg.name;
+  out.actions = t.size();
+  for (std::size_t b : t.begins()) {
+    ++out.txns;
+    switch (t.txn_state(b)) {
+      case model::TxnState::Committed: ++out.committed; break;
+      case model::TxnState::Aborted: ++out.aborted; break;
+      case model::TxnState::Live: break;
+    }
+  }
+
+  const model::Analysis a = model::analyze(t, cfg);
+  out.wf = a.wf;
+  out.consistent = a.consistent();
+  out.l_races = model::find_l_races(t, a.hb, model::all_locs(t)).size();
+  out.mixed_race = model::has_mixed_race(t, a.hb);
+  out.opaque = model::opaque(t);
+  // Opacity of the committed subsystem (the Thm 4.2 projection): the
+  // guarantee backends with zombie reads (Example 3.4) still provide.
+  out.opaque_committed = out.opaque || model::opaque(t.without_aborted());
+  return out;
+}
+
+std::string ConformanceReport::str() const {
+  std::string s;
+  s += "actions=" + std::to_string(actions) +
+       " txns=" + std::to_string(txns) +
+       " committed=" + std::to_string(committed) +
+       " aborted=" + std::to_string(aborted) +
+       " config=" + config + "\n";
+  s += std::string("wellformed=") + (wf.ok() ? "yes" : "NO") +
+       " l_races=" + std::to_string(l_races) +
+       " mixed_race=" + (mixed_race ? "YES" : "no") +
+       " opaque=" + (opaque ? "yes" : "NO") +
+       " opaque_committed=" + (opaque_committed ? "yes" : "NO") +
+       " consistent=" + (consistent ? "yes" : "no") + "\n";
+  if (!wf.ok()) s += wf.str();
+  return s;
+}
+
+}  // namespace mtx::record

@@ -1,0 +1,46 @@
+// Conformance checking of recorded executions: run the model layer's
+// well-formedness, race, and opacity passes over a trace assembled from a
+// real STM run.  This is the paper's judgment applied to the repo's own
+// runtime — every stress workload becomes an oracle.
+//
+// A conforming execution is well-formed (WF1..WF12), L-race-free for
+// L = all locations (protocol-correct workloads have no plain/transactional
+// conflicts outside happens-before), mixed-race-free (Lemma 5.1's
+// hypothesis: no transactional-write/plain-write race), and opaque.  The
+// full §2 consistency axioms are also evaluated and reported.
+#pragma once
+
+#include <string>
+
+#include "model/consistency.hpp"
+#include "model/model_config.hpp"
+#include "model/trace.hpp"
+#include "model/wellformed.hpp"
+
+namespace mtx::record {
+
+struct ConformanceReport {
+  model::WfReport wf;
+  std::size_t l_races = 0;     // races over L = all locations
+  bool mixed_race = false;     // transactional-write vs plain-write race
+  bool opaque = false;         // all transactions, aborted readers included
+  bool opaque_committed = false;  // committed subsystem only (Thm 4.2 trace)
+  bool consistent = false;     // §2 axioms under the chosen config
+  std::string config;
+
+  std::size_t actions = 0;
+  std::size_t txns = 0;        // including init
+  std::size_t committed = 0;   // including init
+  std::size_t aborted = 0;
+
+  bool ok() const { return wf.ok() && l_races == 0 && !mixed_race && opaque; }
+  std::string str() const;
+};
+
+// Checks `t` under `cfg`; the implementation model (§5, quiescence fences
+// enabled) is the natural choice for runtime recordings.
+ConformanceReport check_conformance(
+    const model::Trace& t,
+    const model::ModelConfig& cfg = model::ModelConfig::implementation());
+
+}  // namespace mtx::record

@@ -1,0 +1,115 @@
+#include "record/recorder.hpp"
+
+#include <cassert>
+
+namespace mtx::record {
+
+// ----- RecordSession ---------------------------------------------------
+
+ThreadRecorder* RecordSession::attach(int thread_id) {
+  std::lock_guard<std::mutex> g(recorders_mu_);
+  recorders_.push_back(std::make_unique<ThreadRecorder>(*this, thread_id));
+  return recorders_.back().get();
+}
+
+int RecordSession::num_locs() const {
+  std::shared_lock<std::shared_mutex> g(loc_mu_);
+  return static_cast<int>(loc_of_.size());
+}
+
+RecordSession::LocShadow& RecordSession::shadow_of(const stm::Cell& c) {
+  {
+    std::shared_lock<std::shared_mutex> g(loc_mu_);
+    auto it = loc_of_.find(&c);
+    if (it != loc_of_.end()) return shadows_[static_cast<std::size_t>(it->second)];
+  }
+  std::unique_lock<std::shared_mutex> g(loc_mu_);
+  auto it = loc_of_.find(&c);
+  if (it != loc_of_.end()) return shadows_[static_cast<std::size_t>(it->second)];
+  const auto id = static_cast<std::int32_t>(shadows_.size());
+  shadows_.emplace_back();
+  shadows_.back().loc = id;
+  loc_of_.emplace(&c, id);
+  return shadows_.back();
+}
+
+// ----- ThreadRecorder --------------------------------------------------
+
+void ThreadRecorder::push_marker(Ev kind) {
+  Event e;
+  e.seq = session_.next_seq();
+  e.kind = kind;
+  log_.push_back(e);
+}
+
+void ThreadRecorder::on_begin() { push_marker(Ev::Begin); }
+void ThreadRecorder::on_commit() { push_marker(Ev::Commit); }
+void ThreadRecorder::on_abort() { push_marker(Ev::Abort); }
+void ThreadRecorder::on_fence() { push_marker(Ev::Fence); }
+
+stm::word_t ThreadRecorder::tx_read(const stm::Cell& c) {
+  auto& sh = session_.shadow_of(c);
+  RecordSession::lock(sh);
+  const stm::word_t v = c.raw().load(std::memory_order_acquire);
+  const Event e{session_.next_seq(), Ev::Read, sh.loc, v, sh.version};
+  RecordSession::unlock(sh);
+  log_.push_back(e);
+  return v;
+}
+
+void ThreadRecorder::retract_read() {
+  assert(!log_.empty() &&
+         (log_.back().kind == Ev::Read || log_.back().kind == Ev::PlainRead));
+  log_.pop_back();
+}
+
+void ThreadRecorder::tx_publish(stm::Cell& c, stm::word_t v) {
+  auto& sh = session_.shadow_of(c);
+  RecordSession::lock(sh);
+  const std::uint64_t ver = ++sh.next;
+  sh.version = ver;
+  c.raw().store(v, std::memory_order_release);
+  const Event e{session_.next_seq(), Ev::Write, sh.loc, v, ver};
+  RecordSession::unlock(sh);
+  log_.push_back(e);
+}
+
+std::uint64_t ThreadRecorder::loc_version(const stm::Cell& c) {
+  auto& sh = session_.shadow_of(c);
+  RecordSession::lock(sh);
+  const std::uint64_t ver = sh.version;
+  RecordSession::unlock(sh);
+  return ver;
+}
+
+void ThreadRecorder::tx_unpublish(stm::Cell& c, stm::word_t v,
+                                  std::uint64_t version) {
+  auto& sh = session_.shadow_of(c);
+  RecordSession::lock(sh);
+  c.raw().store(v, std::memory_order_release);
+  sh.version = version;
+  RecordSession::unlock(sh);
+}
+
+stm::word_t ThreadRecorder::plain_load(const stm::Cell& c) {
+  auto& sh = session_.shadow_of(c);
+  RecordSession::lock(sh);
+  const stm::word_t v = c.raw().load(stm::plain_load_order());
+  const Event e{session_.next_seq(), Ev::PlainRead, sh.loc, v, sh.version};
+  RecordSession::unlock(sh);
+  log_.push_back(e);
+  return v;
+}
+
+void ThreadRecorder::plain_store(stm::Cell& c, stm::word_t v) {
+  auto& sh = session_.shadow_of(c);
+  RecordSession::lock(sh);
+  const std::uint64_t ver = ++sh.next;
+  sh.version = ver;
+  c.raw().store(v, stm::plain_store_order());
+  const Event e{session_.next_seq(), Ev::PlainWrite, sh.loc, v, ver};
+  RecordSession::unlock(sh);
+  log_.push_back(e);
+}
+
+}  // namespace mtx::record

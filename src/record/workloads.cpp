@@ -1,0 +1,297 @@
+#include "record/workloads.hpp"
+
+#include <atomic>
+#include <optional>
+#include <stdexcept>
+
+#include "containers/bank.hpp"
+#include "containers/thash.hpp"
+#include "containers/tlist.hpp"
+#include "containers/tqueue.hpp"
+#include "substrate/rng.hpp"
+#include "substrate/threading.hpp"
+
+namespace mtx::record {
+
+namespace {
+
+using stm::StmBackend;
+using stm::word_t;
+
+// Bank transfers with occasional explicit aborts (so recorded traces carry
+// Abort actions and rolled-back writes) and periodic transactional audits.
+RecordedRun bank_workload(StmBackend& stm, const WorkloadOptions& o) {
+  RecordSession session;
+  constexpr std::size_t kAccounts = 8;
+  constexpr std::int64_t kInitial = 100;
+  std::optional<containers::Bank<StmBackend>> bank;
+  {
+    ScopedRecorder main_rec(session, 0);
+    main_rec.rec().synthetic_begin();
+    bank.emplace(stm, kAccounts, kInitial);
+    main_rec.rec().synthetic_commit();
+  }
+
+  std::atomic<bool> audits_ok{true};
+  run_team(o.threads, [&](std::size_t tid) {
+    ScopedRecorder rec(session, static_cast<int>(tid) + 1);
+    Rng rng(o.seed * 1000 + tid);
+    for (int i = 0; i < o.ops_per_thread; ++i) {
+      const auto from = static_cast<std::size_t>(rng.below(kAccounts));
+      const auto to =
+          (from + 1 + static_cast<std::size_t>(rng.below(kAccounts - 1))) %
+          kAccounts;
+      const auto amt = rng.range(1, 9);
+      if (rng.chance(1, 4)) {
+        // Doomed transfer: writes real garbage, then aborts explicitly.
+        stm.atomically([&](auto& tx) {
+          const auto f = static_cast<std::int64_t>(tx.read(bank->account(from)));
+          tx.write(bank->account(from), static_cast<word_t>(f - 1000));
+          tx.user_abort();
+        });
+      } else {
+        bank->transfer(from, to, amt);
+      }
+      if (i % 4 == 3 && bank->total() != bank->expected_total())
+        audits_ok = false;
+    }
+  });
+
+  RecordedRun run;
+  {
+    ScopedRecorder main_rec(session, 0);
+    run.invariant_ok =
+        audits_ok.load() && bank->total() == bank->expected_total();
+  }
+  run.rec = assemble(session);
+  run.workload = "bank";
+  return run;
+}
+
+// The §5 privatization protocol: a privatizer transactionally closes the
+// accounts, fences, audits (and rewrites) them with *plain* accesses, then
+// reopens; mutators transfer only while the flag is open, re-checked inside
+// each transaction.  The recorded trace exercises QFence actions, HBCQ/HBQB
+// ordering, and mixed plain/transactional accesses that must NOT race.
+RecordedRun bank_priv_workload(StmBackend& stm, const WorkloadOptions& o) {
+  RecordSession session;
+  constexpr std::size_t kAccounts = 4;
+  constexpr std::int64_t kInitial = 100;
+  const auto expected =
+      static_cast<std::int64_t>(kAccounts) * kInitial;
+  std::optional<std::vector<stm::Cell>> cells;
+  stm::Cell flag;  // 0 = open, 1 = privatized; starts 0 (no store needed)
+  {
+    ScopedRecorder main_rec(session, 0);
+    main_rec.rec().synthetic_begin();
+    cells.emplace(kAccounts);
+    for (auto& c : *cells) c.plain_store(static_cast<word_t>(kInitial));
+    main_rec.rec().synthetic_commit();
+  }
+  auto& accounts = *cells;
+
+  std::atomic<bool> audits_ok{true};
+  run_team(o.threads, [&](std::size_t tid) {
+    ScopedRecorder rec(session, static_cast<int>(tid) + 1);
+    Rng rng(o.seed * 7777 + tid);
+    const bool privatizer = tid + 1 == o.threads;  // last worker
+    if (privatizer) {
+      for (int round = 0; round < 2; ++round) {
+        stm.atomically([&](auto& tx) { tx.write(flag, 1); });
+        stm.quiesce();
+        // Plain phase: we own the accounts now.
+        std::int64_t sum = 0;
+        for (auto& c : accounts)
+          sum += static_cast<std::int64_t>(c.plain_load());
+        if (sum != expected) audits_ok = false;
+        // A genuine plain *write* into the privatized region.
+        accounts[0].plain_store(accounts[0].plain_load());
+        stm.atomically([&](auto& tx) { tx.write(flag, 0); });
+      }
+      return;
+    }
+    for (int i = 0; i < o.ops_per_thread; ++i) {
+      const auto from = static_cast<std::size_t>(rng.below(kAccounts));
+      const auto to =
+          (from + 1 + static_cast<std::size_t>(rng.below(kAccounts - 1))) %
+          kAccounts;
+      const auto amt = static_cast<word_t>(rng.range(1, 9));
+      stm.atomically([&](auto& tx) {
+        if (tx.read(flag) != 0) return;  // closed: retry later as a no-op
+        const word_t f = tx.read(accounts[from]);
+        const word_t t = tx.read(accounts[to]);
+        tx.write(accounts[from], f - amt);
+        tx.write(accounts[to], t + amt);
+      });
+    }
+  });
+
+  RecordedRun run;
+  {
+    ScopedRecorder main_rec(session, 0);
+    std::int64_t sum = 0;
+    stm.atomically([&](auto& tx) {
+      sum = 0;
+      // Reading the flag first gives this audit a transactional dependency
+      // on the privatizer's reopen, which (with the privatizer's program
+      // order) happens-before-orders its plain audit writes before these
+      // reads — the model has no thread-join edge to rely on.
+      (void)tx.read(flag);
+      for (auto& c : accounts) sum += static_cast<std::int64_t>(tx.read(c));
+    });
+    run.invariant_ok = audits_ok.load() && sum == expected;
+  }
+  run.rec = assemble(session);
+  run.workload = "bank_priv";
+  return run;
+}
+
+RecordedRun tlist_workload(StmBackend& stm, const WorkloadOptions& o) {
+  RecordSession session;
+  constexpr std::int64_t kKeys = 12;
+  std::optional<containers::TList<StmBackend>> list;
+  {
+    ScopedRecorder main_rec(session, 0);
+    main_rec.rec().synthetic_begin();
+    list.emplace(stm);
+    main_rec.rec().synthetic_commit();
+  }
+
+  run_team(o.threads, [&](std::size_t tid) {
+    ScopedRecorder rec(session, static_cast<int>(tid) + 1);
+    Rng rng(o.seed * 31 + tid);
+    for (int i = 0; i < o.ops_per_thread; ++i) {
+      const auto key = static_cast<std::int64_t>(rng.below(kKeys));
+      switch (rng.below(3)) {
+        case 0: list->insert(key); break;
+        case 1: list->remove(key); break;
+        default: list->contains(key);
+      }
+    }
+  });
+
+  RecordedRun run;
+  {
+    ScopedRecorder main_rec(session, 0);
+    std::size_t present = 0;
+    for (std::int64_t k = 0; k < kKeys; ++k)
+      if (list->contains(k)) ++present;
+    run.invariant_ok = present == list->size();
+  }
+  run.rec = assemble(session);
+  run.workload = "tlist";
+  return run;
+}
+
+RecordedRun thash_workload(StmBackend& stm, const WorkloadOptions& o) {
+  RecordSession session;
+  constexpr std::int64_t kKeys = 12;
+  std::optional<containers::THash<StmBackend>> map;
+  {
+    ScopedRecorder main_rec(session, 0);
+    main_rec.rec().synthetic_begin();
+    map.emplace(stm, 4);
+    main_rec.rec().synthetic_commit();
+  }
+
+  run_team(o.threads, [&](std::size_t tid) {
+    ScopedRecorder rec(session, static_cast<int>(tid) + 1);
+    Rng rng(o.seed * 97 + tid);
+    for (int i = 0; i < o.ops_per_thread; ++i) {
+      const auto key = static_cast<std::int64_t>(rng.below(kKeys));
+      switch (rng.below(3)) {
+        case 0: map->put(key, static_cast<std::int64_t>(tid * 100 + i)); break;
+        case 1: map->erase(key); break;
+        default: {
+          std::int64_t v;
+          map->get(key, &v);
+        }
+      }
+    }
+  });
+
+  RecordedRun run;
+  {
+    ScopedRecorder main_rec(session, 0);
+    std::size_t present = 0;
+    for (std::int64_t k = 0; k < kKeys; ++k) {
+      std::int64_t v;
+      if (map->get(k, &v)) ++present;
+    }
+    run.invariant_ok = present == map->size();
+  }
+  run.rec = assemble(session);
+  run.workload = "thash";
+  return run;
+}
+
+RecordedRun tqueue_workload(StmBackend& stm, const WorkloadOptions& o) {
+  RecordSession session;
+  containers::TQueue<StmBackend> q(stm, 4);  // ctor performs no stores
+
+  std::atomic<std::int64_t> pushed{0}, popped{0};
+  run_team(o.threads, [&](std::size_t tid) {
+    ScopedRecorder rec(session, static_cast<int>(tid) + 1);
+    Rng rng(o.seed * 13 + tid);
+    for (int i = 0; i < o.ops_per_thread; ++i) {
+      if ((tid + static_cast<std::size_t>(i)) % 2 == 0) {
+        if (q.push(static_cast<std::int64_t>(rng.below(1000))))
+          pushed.fetch_add(1);
+      } else {
+        if (q.pop()) popped.fetch_add(1);
+      }
+    }
+  });
+
+  RecordedRun run;
+  {
+    ScopedRecorder main_rec(session, 0);
+    // Fixed number of drain transactions (not "until empty") so the
+    // committed-txn count of the recording is schedule-independent.
+    std::int64_t drained = 0;
+    for (std::size_t i = 0; i <= q.capacity(); ++i)
+      if (q.pop()) ++drained;
+    run.invariant_ok = pushed.load() - popped.load() == drained;
+  }
+  run.rec = assemble(session);
+  run.workload = "tqueue";
+  return run;
+}
+
+// Single source of truth: workload_names() is derived from this table, so
+// the name list and the dispatch cannot drift apart.
+struct WorkloadEntry {
+  const char* name;
+  RecordedRun (*fn)(StmBackend&, const WorkloadOptions&);
+};
+constexpr WorkloadEntry kWorkloads[] = {
+    {"bank", bank_workload},       {"bank_priv", bank_priv_workload},
+    {"tlist", tlist_workload},     {"thash", thash_workload},
+    {"tqueue", tqueue_workload},
+};
+
+}  // namespace
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const WorkloadEntry& e : kWorkloads) v.emplace_back(e.name);
+    return v;
+  }();
+  return names;
+}
+
+RecordedRun run_recorded_workload(const std::string& workload,
+                                  stm::StmBackend& stm,
+                                  const WorkloadOptions& opts) {
+  for (const WorkloadEntry& e : kWorkloads) {
+    if (workload == e.name) {
+      RecordedRun run = e.fn(stm, opts);
+      run.backend = stm.name();
+      return run;
+    }
+  }
+  throw std::invalid_argument("unknown recorded workload: " + workload);
+}
+
+}  // namespace mtx::record

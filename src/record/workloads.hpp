@@ -1,0 +1,47 @@
+// Recordable workload generators: the transactional containers driven as
+// seeded multi-threaded stress runs under a RecordSession, producing
+// model::Traces for conformance checking.  Every workload runs on any
+// registered backend through the StmBackend interface — workload × backend
+// × thread-count is the campaign's recorded-execution job grid.
+//
+// Conventions making the recordings model-clean:
+//   - Construction-time plain stores happen inside a synthetic committed
+//     transaction on the main thread, standing in for the thread-creation
+//     ordering the model cannot see (workers are only spawned afterwards).
+//   - Worker thread ids are 1..threads (0 is the main/setup thread).
+//   - All cross-thread data flows through transactions, except the
+//     privatization workload's audited plain phase, which is protected by
+//     the §5 flag + quiescence-fence protocol.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "record/assemble.hpp"
+#include "stm/backend.hpp"
+
+namespace mtx::record {
+
+struct WorkloadOptions {
+  std::size_t threads = 2;   // worker threads (>= 1)
+  std::uint64_t seed = 1;
+  int ops_per_thread = 8;
+};
+
+struct RecordedRun {
+  RecordedTrace rec;
+  bool invariant_ok = false;  // the workload's own correctness check
+  std::string workload;
+  std::string backend;
+};
+
+// {"bank", "bank_priv", "tlist", "thash", "tqueue"}.
+const std::vector<std::string>& workload_names();
+
+// Runs the named workload on `stm` under a fresh RecordSession and returns
+// the assembled trace.  Throws std::invalid_argument for unknown names.
+RecordedRun run_recorded_workload(const std::string& workload,
+                                  stm::StmBackend& stm,
+                                  const WorkloadOptions& opts = {});
+
+}  // namespace mtx::record

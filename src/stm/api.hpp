@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "stm/observer.hpp"
 #include "stm/orec.hpp"
 
 namespace mtx::stm {
@@ -30,15 +31,32 @@ struct TxConflict {};
 struct TxUserAbort {};
 
 // A shared memory cell.  Transactional backends access it through a Tx;
-// plain code uses plain_load/plain_store (acquire/release to model the
-// ordinary accesses of the paper's traces).
+// plain code uses plain_load/plain_store — the paper's ordinary
+// (nontransactional) accesses.
+//
+// Memory order of plain accesses is a documented process-wide choice
+// (see PlainOrder in stm/observer.hpp): the default acq_rel mapping is
+// deliberately kept — it is what every existing test and benchmark ran
+// under — even though it is stronger than the paper's plain accesses;
+// set_plain_order(PlainOrder::relaxed) selects the faithful mapping.  When
+// a TxObserver is installed (recording mode), plain accesses are routed
+// through it so recorded traces include them, tagged with the mode.
 class Cell {
  public:
   Cell() : w_(0) {}
   explicit Cell(word_t v) : w_(v) {}
 
-  word_t plain_load() const { return w_.load(std::memory_order_acquire); }
-  void plain_store(word_t v) { w_.store(v, std::memory_order_release); }
+  word_t plain_load() const {
+    if (TxObserver* o = tx_observer()) return o->plain_load(*this);
+    return w_.load(plain_load_order());
+  }
+  void plain_store(word_t v) {
+    if (TxObserver* o = tx_observer()) {
+      o->plain_store(*this, v);
+      return;
+    }
+    w_.store(v, plain_store_order());
+  }
 
   std::atomic<word_t>& raw() { return w_; }
   const std::atomic<word_t>& raw() const { return w_; }

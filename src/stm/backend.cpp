@@ -1,0 +1,28 @@
+#include "stm/backend.hpp"
+
+#include "stm/eager.hpp"
+#include "stm/norec.hpp"
+#include "stm/sgl.hpp"
+#include "stm/tl2.hpp"
+
+namespace mtx::stm {
+
+const std::vector<std::string>& backend_names() {
+  static const std::vector<std::string> names = {"tl2", "eager", "norec", "sgl"};
+  return names;
+}
+
+std::unique_ptr<StmBackend> make_backend(const std::string& name) {
+  if (name == "tl2")
+    return std::make_unique<BackendAdapter<Tl2Stm>>(name, /*zombie_free=*/true);
+  if (name == "eager")  // encounter-time locking: doomed txns can see
+                        // inconsistent snapshots (Example 3.4)
+    return std::make_unique<BackendAdapter<EagerStm>>(name, /*zombie_free=*/false);
+  if (name == "norec")
+    return std::make_unique<BackendAdapter<NorecStm>>(name, /*zombie_free=*/true);
+  if (name == "sgl")
+    return std::make_unique<BackendAdapter<SglStm>>(name, /*zombie_free=*/true);
+  return nullptr;
+}
+
+}  // namespace mtx::stm

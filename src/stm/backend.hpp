@@ -1,0 +1,126 @@
+// The unified STM backend interface and name-keyed registry.
+//
+// The four runtimes (Tl2Stm, EagerStm, NorecStm, SglStm) share a duck-typed
+// surface — atomically(f), quiesce(), stats() — but were only reachable
+// through per-backend template instantiations, so every harness, bench and
+// test grew four copies of the same driver.  StmBackend erases the type:
+//
+//   for (const std::string& name : backend_names()) {
+//     auto stm = make_backend(name);
+//     stm->atomically([&](auto& tx) { tx.write(x, tx.read(x) + 1); });
+//     stm->quiesce();
+//   }
+//
+// The virtual-dispatch cost is one indirect call per transactional
+// read/write — uniform across backends, so relative comparisons (the whole
+// point of iterating backends) are unaffected.  Code that needs the native
+// zero-overhead path still instantiates the concrete types directly; the
+// containers remain templates and work with both (Bank<Tl2Stm> and
+// Bank<StmBackend> alike).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stm/api.hpp"
+#include "stm/stats.hpp"
+
+namespace mtx::stm {
+
+// Type-erased transaction handle: what an atomically() block sees.
+class TxHandle {
+ public:
+  virtual word_t read(const Cell& cell) = 0;
+  virtual void write(Cell& cell, word_t v) = 0;
+  [[noreturn]] void user_abort() { throw TxUserAbort{}; }
+
+ protected:
+  ~TxHandle() = default;
+};
+
+// Type-erased STM backend.  Satisfies the same duck-typed concept the
+// concrete backends do, so `template <class Stm>` code accepts it.
+class StmBackend {
+ public:
+  virtual ~StmBackend() = default;
+  StmBackend() = default;
+  StmBackend(const StmBackend&) = delete;
+  StmBackend& operator=(const StmBackend&) = delete;
+
+  virtual const std::string& name() const = 0;
+  virtual void quiesce() = 0;
+  virtual StmStats& stats() = 0;
+
+  // Does this backend keep even *live* transactions on consistent
+  // snapshots (no zombies)?  TL2 (clock validation), NOrec (value
+  // revalidation) and SGL (mutual exclusion) do; eager encounter-time
+  // locking validates reads only individually, so a doomed transaction can
+  // observe an inconsistent snapshot before commit-time validation aborts
+  // it — the Example 3.4 class.  Zombie readers participate in the model's
+  // opacity graph (aborted transactions included), so recorded executions
+  // of non-zombie-free backends are only held to committed-subsystem
+  // opacity by the conformance checkers.
+  virtual bool zombie_free() const = 0;
+
+  // Runs f(tx) as an isolated transaction, retrying on conflict; returns
+  // false when the block ended via user_abort.
+  template <typename F>
+  bool atomically(F&& f) {
+    return atomically_erased([&](TxHandle& tx) { f(tx); });
+  }
+
+ protected:
+  virtual bool atomically_erased(const std::function<void(TxHandle&)>& f) = 0;
+};
+
+// Wraps a concrete backend behind the StmBackend interface.
+template <class Stm>
+class BackendAdapter final : public StmBackend {
+ public:
+  // zombie_free is a semantic claim about Stm, stated explicitly at
+  // registration (no default — a new backend's author must decide which
+  // opacity level the conformance checkers hold it to).
+  BackendAdapter(std::string name, bool zombie_free)
+      : name_(std::move(name)), zombie_free_(zombie_free) {}
+
+  const std::string& name() const override { return name_; }
+  void quiesce() override { stm_.quiesce(); }
+  StmStats& stats() override { return stm_.stats(); }
+  bool zombie_free() const override { return zombie_free_; }
+
+  // Escape hatch to the concrete backend (native-path benchmarking).
+  Stm& native() { return stm_; }
+
+ protected:
+  bool atomically_erased(const std::function<void(TxHandle&)>& f) override {
+    return stm_.atomically([&](typename Stm::Tx& tx) {
+      Handle h(tx);
+      f(h);
+    });
+  }
+
+ private:
+  struct Handle final : TxHandle {
+    explicit Handle(typename Stm::Tx& t) : tx(t) {}
+    word_t read(const Cell& c) override { return tx.read(c); }
+    void write(Cell& c, word_t v) override { tx.write(c, v); }
+    typename Stm::Tx& tx;
+  };
+
+  std::string name_;
+  bool zombie_free_;
+  Stm stm_;
+};
+
+// ----- registry --------------------------------------------------------
+
+// Registered backend names, in canonical report order:
+// {"tl2", "eager", "norec", "sgl"}.
+const std::vector<std::string>& backend_names();
+
+// Fresh instance of the named backend; nullptr for unknown names.
+std::unique_ptr<StmBackend> make_backend(const std::string& name);
+
+}  // namespace mtx::stm

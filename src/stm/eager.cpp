@@ -5,6 +5,7 @@ namespace mtx::stm {
 EagerStm::Tx::Tx(EagerStm& stm)
     : stm_(stm), id_(stm.next_id_.fetch_add(1, std::memory_order_relaxed)) {
   stm_.registry_.begin_txn();
+  if (TxObserver* obs = tx_observer()) obs->on_begin();
 }
 
 bool EagerStm::Tx::owns(const std::atomic<word_t>* orec) const {
@@ -14,22 +15,30 @@ bool EagerStm::Tx::owns(const std::atomic<word_t>* orec) const {
 }
 
 word_t EagerStm::Tx::read(const Cell& cell) {
+  TxObserver* obs = tx_observer();
   std::atomic<word_t>& orec = stm_.orecs_.for_addr(&cell);
   for (;;) {
     const word_t v1 = orec.load(std::memory_order_acquire);
     if (orec_locked(v1)) {
-      if (orec_owner(v1) == id_) return cell.raw().load(std::memory_order_acquire);
+      if (orec_owner(v1) == id_)
+        return obs ? obs->tx_read(cell)
+                   : cell.raw().load(std::memory_order_acquire);
       throw TxConflict{};  // requester aborts; backoff happens in the retry loop
     }
-    const word_t val = cell.raw().load(std::memory_order_acquire);
+    const word_t val = obs ? obs->tx_read(cell)
+                           : cell.raw().load(std::memory_order_acquire);
     const word_t v2 = orec.load(std::memory_order_acquire);
-    if (v1 != v2) continue;
+    if (v1 != v2) {
+      if (obs) obs->retract_read();
+      continue;
+    }
     reads_.push_back({&orec, v1});
     return val;
   }
 }
 
 void EagerStm::Tx::write(Cell& cell, word_t v) {
+  TxObserver* obs = tx_observer();
   std::atomic<word_t>& orec = stm_.orecs_.for_addr(&cell);
   word_t cur = orec.load(std::memory_order_acquire);
   if (!(orec_locked(cur) && orec_owner(cur) == id_)) {
@@ -45,8 +54,13 @@ void EagerStm::Tx::write(Cell& cell, word_t v) {
   bool logged = false;
   for (const UndoEntry& u : undo_)
     if (u.cell == &cell) logged = true;
-  if (!logged) undo_.push_back({&cell, cell.raw().load(std::memory_order_acquire)});
-  cell.raw().store(v, std::memory_order_release);
+  if (!logged)
+    undo_.push_back({&cell, cell.raw().load(std::memory_order_acquire),
+                     obs ? obs->loc_version(cell) : 0});
+  if (obs)
+    obs->tx_publish(cell, v);
+  else
+    cell.raw().store(v, std::memory_order_release);
 }
 
 void EagerStm::Tx::commit() {
@@ -68,19 +82,26 @@ void EagerStm::Tx::commit() {
   for (const OwnedOrec& o : owned_)
     o.orec->store(make_version(wv), std::memory_order_release);
 
+  if (TxObserver* obs = tx_observer()) obs->on_commit();
   finished_ = true;
   stm_.registry_.end_txn();
 }
 
 void EagerStm::Tx::rollback() {
+  TxObserver* obs = tx_observer();
   // Undo in reverse order, then release orecs at their old versions.
-  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it)
-    it->cell->raw().store(it->old_value, std::memory_order_release);
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    if (obs)
+      obs->tx_unpublish(*it->cell, it->old_value, it->rec_version);
+    else
+      it->cell->raw().store(it->old_value, std::memory_order_release);
+  }
   for (const OwnedOrec& o : owned_)
     o.orec->store(o.old_version, std::memory_order_release);
   owned_.clear();
   undo_.clear();
   reads_.clear();
+  if (obs) obs->on_abort();
   finished_ = true;
   stm_.registry_.end_txn();
 }

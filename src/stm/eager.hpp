@@ -49,6 +49,10 @@ class EagerStm {
     struct UndoEntry {
       Cell* cell;
       word_t old_value;
+      // Recording mode: the location's write version before this txn's
+      // first in-place store, restored on rollback (aborted writes are
+      // invisible in the model, so the undo store is not itself an event).
+      std::uint64_t rec_version;
     };
     struct ReadEntry {
       std::atomic<word_t>* orec;
@@ -91,6 +95,7 @@ class EagerStm {
   void quiesce() {
     stats_.fences.fetch_add(1, std::memory_order_relaxed);
     registry_.fence();
+    if (TxObserver* obs = tx_observer()) obs->on_fence();
   }
 
   StmStats& stats() { return stats_; }

@@ -14,15 +14,22 @@ word_t NorecStm::Tx::revalidate() {
 }
 
 word_t NorecStm::Tx::read(const Cell& cell) {
+  TxObserver* obs = tx_observer();
   for (auto it = writes_.rbegin(); it != writes_.rend(); ++it)
-    if (it->cell == &cell) return it->value;
+    if (it->cell == &cell) {
+      if (obs) obs->on_buffered_read();
+      return it->value;
+    }
 
-  word_t v = cell.raw().load(std::memory_order_acquire);
+  word_t v = obs ? obs->tx_read(cell)
+                 : cell.raw().load(std::memory_order_acquire);
   // If the heap moved since our snapshot, the value we just read may be
   // inconsistent with earlier reads: revalidate by value and resample.
   while (stm_.seq_.load(std::memory_order_acquire) != snapshot_) {
+    if (obs) obs->retract_read();
     snapshot_ = revalidate();
-    v = cell.raw().load(std::memory_order_acquire);
+    v = obs ? obs->tx_read(cell)
+            : cell.raw().load(std::memory_order_acquire);
   }
   reads_.push_back({&cell, v});
   return v;
@@ -39,7 +46,9 @@ void NorecStm::Tx::write(Cell& cell, word_t v) {
 }
 
 void NorecStm::Tx::commit() {
+  TxObserver* obs = tx_observer();
   if (writes_.empty()) {
+    if (obs) obs->on_commit();
     finished_ = true;
     stm_.registry_.end_txn();
     return;
@@ -52,15 +61,21 @@ void NorecStm::Tx::commit() {
     snapshot_ = revalidate();
     expect = snapshot_;
   }
-  for (const WriteEntry& w : writes_)
-    w.cell->raw().store(w.value, std::memory_order_release);
+  for (const WriteEntry& w : writes_) {
+    if (obs)
+      obs->tx_publish(*w.cell, w.value);
+    else
+      w.cell->raw().store(w.value, std::memory_order_release);
+  }
   stm_.seq_.store(snapshot_ + 2, std::memory_order_release);
 
+  if (obs) obs->on_commit();
   finished_ = true;
   stm_.registry_.end_txn();
 }
 
 void NorecStm::Tx::rollback() {
+  if (TxObserver* obs = tx_observer()) obs->on_abort();
   reads_.clear();
   writes_.clear();
   finished_ = true;

@@ -29,6 +29,7 @@ class NorecStm {
     explicit Tx(NorecStm& stm) : stm_(stm) {
       snapshot_ = stm_.wait_unlocked();
       stm_.registry_.begin_txn();
+      if (TxObserver* obs = tx_observer()) obs->on_begin();
     }
     ~Tx() {
       if (!finished_) stm_.registry_.end_txn();
@@ -90,6 +91,7 @@ class NorecStm {
   void quiesce() {
     stats_.fences.fetch_add(1, std::memory_order_relaxed);
     registry_.fence();
+    if (TxObserver* obs = tx_observer()) obs->on_fence();
   }
 
   StmStats& stats() { return stats_; }

@@ -1,0 +1,14 @@
+#include "stm/observer.hpp"
+
+namespace mtx::stm {
+
+const char* plain_order_name(PlainOrder m) {
+  switch (m) {
+    case PlainOrder::relaxed: return "relaxed";
+    case PlainOrder::acq_rel: return "acq_rel";
+    case PlainOrder::seq_cst: return "seq_cst";
+  }
+  return "?";
+}
+
+}  // namespace mtx::stm

@@ -1,0 +1,133 @@
+// The runtime recording seam.
+//
+// A TxObserver installed in a thread-local slot sees every event the paper's
+// trace model cares about: transaction begins/commits/aborts, the *actual*
+// memory accesses (transactional reads, commit-time publishes, eager
+// in-place writes and their undo stores, plain loads/stores), and quiescence
+// fences.  The observer performs the memory access itself, so the recording
+// layer can make (access, event) atomic per location — the property that
+// lets src/record/ reconstruct exact reads-from and coherence orders.
+//
+// With no observer installed (the default), every hook collapses to a
+// thread-local pointer load and a predictable branch; the fast paths are
+// otherwise unchanged.
+//
+// This header also owns the plain-access memory-order policy.  The paper's
+// "plain" accesses are ordinary unordered loads/stores; the repo's historical
+// default is acquire/release, which is silently *stronger* than the model
+// requires (it can hide reorderings a weaker mapping would allow).  The
+// policy is now an explicit, documented process-wide choice:
+//
+//   PlainOrder::relaxed   the faithful mapping of the paper's plain accesses
+//   PlainOrder::acq_rel   the historical default (loads acquire, stores
+//                         release) — kept as default so existing behavior
+//                         and benchmarks are unchanged
+//   PlainOrder::seq_cst   the conservative fully-fenced mapping (§6's ARM
+//                         stand-in in bench_fences)
+//
+// The recorder notes the mode in effect in the trace metadata, so a recorded
+// execution documents which mapping it ran under.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "stm/orec.hpp"
+
+namespace mtx::stm {
+
+class Cell;
+
+class TxObserver {
+ public:
+  virtual ~TxObserver() = default;
+
+  // Transaction lifecycle on the current thread.
+  virtual void on_begin() = 0;
+  virtual void on_commit() = 0;
+  virtual void on_abort() = 0;
+
+  // Quiescence fence completed on the current thread.
+  virtual void on_fence() = 0;
+
+  // Transactional read: perform the load and log a Read event.  Backends
+  // whose read protocol can resample (TL2/eager orec sandwich, NOrec value
+  // validation) retract the event before retrying.
+  virtual word_t tx_read(const Cell& c) = 0;
+  virtual void retract_read() = 0;
+
+  // A transactional read served from the transaction's own redo log — no
+  // memory access happens, so no event is logged, only counted.
+  virtual void on_buffered_read() = 0;
+
+  // Transactional write reaching shared memory (commit-time publish for lazy
+  // backends, encounter-time store for eager ones): perform the store and
+  // log a Write event.
+  virtual void tx_publish(Cell& c, word_t v) = 0;
+
+  // Current write version of the cell's location (0 = initial).  Eager
+  // backends sample this when they log an undo entry.
+  virtual std::uint64_t loc_version(const Cell& c) = 0;
+
+  // Undo store of an eager/undo-log rollback: perform the store and restore
+  // the location's version to `version` (sampled by loc_version when the
+  // undo entry was logged) WITHOUT logging an event — in the model, aborted
+  // writes are invisible and rolling them back is not itself a write.
+  virtual void tx_unpublish(Cell& c, word_t v, std::uint64_t version) = 0;
+
+  // Plain (nontransactional API) accesses; these go through Cell::plain_*.
+  virtual word_t plain_load(const Cell& c) = 0;
+  virtual void plain_store(Cell& c, word_t v) = 0;
+};
+
+// Thread-local observer slot.  Null (the default) means "not recording".
+inline thread_local TxObserver* tl_tx_observer = nullptr;
+
+inline TxObserver* tx_observer() { return tl_tx_observer; }
+inline void set_tx_observer(TxObserver* o) { tl_tx_observer = o; }
+
+// ----- plain-access memory-order policy --------------------------------
+
+enum class PlainOrder : std::uint8_t { relaxed, acq_rel, seq_cst };
+
+namespace detail {
+// Process-wide policy; relaxed accesses suffice for the policy variable
+// itself (switching it mid-run is a test-harness affair).  Inline so the
+// hot plain_load/plain_store paths fold to one relaxed load + switch with
+// no out-of-line call.
+inline std::atomic<std::uint8_t> g_plain_order{
+    static_cast<std::uint8_t>(PlainOrder::acq_rel)};
+}  // namespace detail
+
+inline PlainOrder plain_order() {
+  return static_cast<PlainOrder>(
+      detail::g_plain_order.load(std::memory_order_relaxed));
+}
+
+inline void set_plain_order(PlainOrder m) {
+  detail::g_plain_order.store(static_cast<std::uint8_t>(m),
+                              std::memory_order_relaxed);
+}
+
+const char* plain_order_name(PlainOrder m);
+
+// The std::memory_order a plain load/store uses under the current policy.
+inline std::memory_order plain_load_order() {
+  switch (plain_order()) {
+    case PlainOrder::relaxed: return std::memory_order_relaxed;
+    case PlainOrder::seq_cst: return std::memory_order_seq_cst;
+    case PlainOrder::acq_rel: break;
+  }
+  return std::memory_order_acquire;
+}
+
+inline std::memory_order plain_store_order() {
+  switch (plain_order()) {
+    case PlainOrder::relaxed: return std::memory_order_relaxed;
+    case PlainOrder::seq_cst: return std::memory_order_seq_cst;
+    case PlainOrder::acq_rel: break;
+  }
+  return std::memory_order_release;
+}
+
+}  // namespace mtx::stm

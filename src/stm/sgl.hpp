@@ -23,6 +23,7 @@ class SglStm {
    public:
     explicit Tx(SglStm& stm) : stm_(stm), lock_(stm.mu_) {
       stm_.registry_.begin_txn();
+      if (TxObserver* obs = tx_observer()) obs->on_begin();
     }
     ~Tx() {
       if (!finished_) rollback();
@@ -31,22 +32,35 @@ class SglStm {
     Tx& operator=(const Tx&) = delete;
 
     word_t read(const Cell& cell) {
+      if (TxObserver* obs = tx_observer()) return obs->tx_read(cell);
       return cell.raw().load(std::memory_order_acquire);
     }
     void write(Cell& cell, word_t v) {
-      undo_.push_back({&cell, cell.raw().load(std::memory_order_relaxed)});
-      cell.raw().store(v, std::memory_order_release);
+      TxObserver* obs = tx_observer();
+      undo_.push_back({&cell, cell.raw().load(std::memory_order_relaxed),
+                       obs ? obs->loc_version(cell) : 0});
+      if (obs)
+        obs->tx_publish(cell, v);
+      else
+        cell.raw().store(v, std::memory_order_release);
     }
     [[noreturn]] void user_abort() { throw TxUserAbort{}; }
 
     void commit() {
+      if (TxObserver* obs = tx_observer()) obs->on_commit();
       finished_ = true;
       stm_.registry_.end_txn();
     }
     void rollback() {
-      for (auto it = undo_.rbegin(); it != undo_.rend(); ++it)
-        it->cell->raw().store(it->old_value, std::memory_order_release);
+      TxObserver* obs = tx_observer();
+      for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+        if (obs)
+          obs->tx_unpublish(*it->cell, it->old_value, it->rec_version);
+        else
+          it->cell->raw().store(it->old_value, std::memory_order_release);
+      }
       undo_.clear();
+      if (obs) obs->on_abort();
       finished_ = true;
       stm_.registry_.end_txn();
     }
@@ -55,6 +69,7 @@ class SglStm {
     struct UndoEntry {
       Cell* cell;
       word_t old_value;
+      std::uint64_t rec_version;  // see EagerStm::Tx::UndoEntry
     };
     SglStm& stm_;
     std::unique_lock<std::mutex> lock_;
@@ -81,7 +96,8 @@ class SglStm {
   // With a global lock, taking and releasing the lock is a full fence.
   void quiesce() {
     stats_.fences.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> g(mu_);
+    { std::lock_guard<std::mutex> g(mu_); }
+    if (TxObserver* obs = tx_observer()) obs->on_fence();
   }
 
   StmStats& stats() { return stats_; }

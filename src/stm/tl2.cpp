@@ -15,17 +15,28 @@ void backoff_pause(unsigned attempt) {
 }
 
 word_t Tl2Stm::Tx::read(const Cell& cell) {
+  TxObserver* obs = tx_observer();
   // Read-own-write.
   for (auto it = writes_.rbegin(); it != writes_.rend(); ++it)
-    if (it->cell == &cell) return it->value;
+    if (it->cell == &cell) {
+      if (obs) obs->on_buffered_read();
+      return it->value;
+    }
 
   std::atomic<word_t>& orec = stm_.orecs_.for_addr(&cell);
   for (;;) {
     const word_t v1 = orec.load(std::memory_order_acquire);
-    const word_t val = cell.raw().load(std::memory_order_acquire);
+    const word_t val = obs ? obs->tx_read(cell)
+                           : cell.raw().load(std::memory_order_acquire);
     const word_t v2 = orec.load(std::memory_order_acquire);
-    if (v1 != v2) continue;  // torn: a commit raced us, resample
-    if (orec_locked(v1) || orec_version(v1) > rv_) throw TxConflict{};
+    if (v1 != v2) {  // torn: a commit raced us, resample
+      if (obs) obs->retract_read();
+      continue;
+    }
+    if (orec_locked(v1) || orec_version(v1) > rv_) {
+      if (obs) obs->retract_read();
+      throw TxConflict{};
+    }
     reads_.push_back({&orec, v1});
     return val;
   }
@@ -42,8 +53,10 @@ void Tl2Stm::Tx::write(Cell& cell, word_t v) {
 }
 
 void Tl2Stm::Tx::commit() {
+  TxObserver* obs = tx_observer();
   if (writes_.empty()) {
     // Read-only: the read set was validated incrementally against rv.
+    if (obs) obs->on_commit();
     finished_ = true;
     stm_.registry_.end_txn();
     return;
@@ -101,17 +114,23 @@ void Tl2Stm::Tx::commit() {
   }
 
   // Publish the redo log, then release the orecs at the new version.
-  for (const WriteEntry& w : writes_)
-    w.cell->raw().store(w.value, std::memory_order_release);
+  for (const WriteEntry& w : writes_) {
+    if (obs)
+      obs->tx_publish(*w.cell, w.value);
+    else
+      w.cell->raw().store(w.value, std::memory_order_release);
+  }
   for (auto& [orec, old] : held)
     orec->store(make_version(wv), std::memory_order_release);
 
+  if (obs) obs->on_commit();
   finished_ = true;
   stm_.registry_.end_txn();
 }
 
 void Tl2Stm::Tx::rollback() {
   // Lazy versioning: nothing was published; just clear and deregister.
+  if (TxObserver* obs = tx_observer()) obs->on_abort();
   writes_.clear();
   reads_.clear();
   finished_ = true;

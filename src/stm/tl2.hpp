@@ -32,6 +32,7 @@ class Tl2Stm {
    public:
     explicit Tx(Tl2Stm& stm) : stm_(stm), rv_(stm.clock_.now()) {
       stm_.registry_.begin_txn();
+      if (TxObserver* obs = tx_observer()) obs->on_begin();
     }
     ~Tx() {
       if (!finished_) stm_.registry_.end_txn();
@@ -91,6 +92,7 @@ class Tl2Stm {
   void quiesce() {
     stats_.fences.fetch_add(1, std::memory_order_relaxed);
     registry_.fence();
+    if (TxObserver* obs = tx_observer()) obs->on_fence();
   }
 
   StmStats& stats() { return stats_; }

@@ -1,0 +1,181 @@
+// The unified StmBackend interface and registry, plus API-surface edge
+// cases: TVar encode/decode round-trips (signed, bool, enum payloads),
+// StmStats reset/conflict_rate corner cases, and the documented
+// plain-access memory-order policy.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "containers/bank.hpp"
+#include "stm/backend.hpp"
+
+namespace mtx::stm {
+namespace {
+
+TEST(BackendRegistry, NamesAndConstruction) {
+  const auto& names = backend_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "tl2");
+  EXPECT_EQ(names[1], "eager");
+  EXPECT_EQ(names[2], "norec");
+  EXPECT_EQ(names[3], "sgl");
+  for (const auto& n : names) {
+    auto stm = make_backend(n);
+    ASSERT_NE(stm, nullptr);
+    EXPECT_EQ(stm->name(), n);
+  }
+  EXPECT_EQ(make_backend("no-such-stm"), nullptr);
+}
+
+TEST(BackendRegistry, ErasedReadWriteCommit) {
+  for (const auto& n : backend_names()) {
+    SCOPED_TRACE(n);
+    auto stm = make_backend(n);
+    Cell x(0), y(0);
+    ASSERT_TRUE(stm->atomically([&](auto& tx) {
+      tx.write(x, 7);
+      tx.write(y, tx.read(x) == 7 ? 9u : 1u);  // read-own-write through TxHandle
+    }));
+    EXPECT_EQ(x.plain_load(), 7u);
+    EXPECT_EQ(y.plain_load(), 9u);
+    EXPECT_EQ(stm->stats().commits.load(), 1u);
+  }
+}
+
+TEST(BackendRegistry, UserAbortThroughHandle) {
+  for (const auto& n : backend_names()) {
+    SCOPED_TRACE(n);
+    auto stm = make_backend(n);
+    Cell x(1);
+    const bool committed = stm->atomically([&](auto& tx) {
+      tx.write(x, 2);
+      tx.user_abort();
+    });
+    EXPECT_FALSE(committed);
+    EXPECT_EQ(x.plain_load(), 1u);
+    EXPECT_EQ(stm->stats().user_aborts.load(), 1u);
+  }
+}
+
+TEST(BackendRegistry, QuiesceCountsFence) {
+  for (const auto& n : backend_names()) {
+    SCOPED_TRACE(n);
+    auto stm = make_backend(n);
+    stm->quiesce();
+    EXPECT_EQ(stm->stats().fences.load(), 1u);
+  }
+}
+
+TEST(BackendRegistry, ContainersWorkTypeErased) {
+  for (const auto& n : backend_names()) {
+    SCOPED_TRACE(n);
+    auto stm = make_backend(n);
+    containers::Bank<StmBackend> bank(*stm, 4, 25);
+    bank.transfer(0, 1, 10);
+    EXPECT_EQ(bank.plain_balance(0), 15);
+    EXPECT_EQ(bank.plain_balance(1), 35);
+    EXPECT_EQ(bank.total(), bank.expected_total());
+    EXPECT_EQ(bank.audit_after_quiesce(), bank.expected_total());
+  }
+}
+
+// ----- TVar round-trips (word encode/decode) ---------------------------
+
+enum class Color : std::int8_t { Red = -1, Green = 0, Blue = 7 };
+
+TEST(TVar, SignedRoundTrip) {
+  auto stm = make_backend("tl2");
+  TVar<int> v(-123);
+  EXPECT_EQ(v.plain_get(), -123);
+  ASSERT_TRUE(stm->atomically([&](auto& tx) { v.set(tx, v.get(tx) - 1); }));
+  EXPECT_EQ(v.plain_get(), -124);
+
+  TVar<std::int64_t> big(std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(big.plain_get(), std::numeric_limits<std::int64_t>::min());
+  big.plain_set(-1);
+  EXPECT_EQ(big.plain_get(), -1);
+}
+
+TEST(TVar, BoolRoundTrip) {
+  auto stm = make_backend("eager");
+  TVar<bool> flag(false);
+  EXPECT_FALSE(flag.plain_get());
+  ASSERT_TRUE(stm->atomically([&](auto& tx) { flag.set(tx, !flag.get(tx)); }));
+  EXPECT_TRUE(flag.plain_get());
+  flag.plain_set(false);
+  EXPECT_FALSE(flag.plain_get());
+}
+
+TEST(TVar, EnumRoundTrip) {
+  auto stm = make_backend("sgl");
+  TVar<Color> c(Color::Red);
+  EXPECT_EQ(c.plain_get(), Color::Red);
+  ASSERT_TRUE(stm->atomically([&](auto& tx) {
+    EXPECT_EQ(c.get(tx), Color::Red);
+    c.set(tx, Color::Blue);
+  }));
+  EXPECT_EQ(c.plain_get(), Color::Blue);
+  c.plain_set(Color::Green);
+  EXPECT_EQ(c.plain_get(), Color::Green);
+}
+
+// ----- StmStats edge cases ---------------------------------------------
+
+TEST(StmStats, ConflictRateZeroAttempts) {
+  StmStats s;
+  EXPECT_DOUBLE_EQ(s.conflict_rate(), 0.0);  // no attempts: defined as 0
+}
+
+TEST(StmStats, ConflictRateOnlyCommits) {
+  StmStats s;
+  s.commits.store(10);
+  EXPECT_DOUBLE_EQ(s.conflict_rate(), 0.0);
+}
+
+TEST(StmStats, ConflictRateOnlyConflicts) {
+  StmStats s;
+  s.conflicts.store(5);
+  EXPECT_DOUBLE_EQ(s.conflict_rate(), 1.0);
+}
+
+TEST(StmStats, ResetClearsEverything) {
+  StmStats s;
+  s.commits.store(1);
+  s.conflicts.store(2);
+  s.user_aborts.store(3);
+  s.fences.store(4);
+  s.reset();
+  EXPECT_EQ(s.commits.load(), 0u);
+  EXPECT_EQ(s.conflicts.load(), 0u);
+  EXPECT_EQ(s.user_aborts.load(), 0u);
+  EXPECT_EQ(s.fences.load(), 0u);
+  EXPECT_DOUBLE_EQ(s.conflict_rate(), 0.0);
+}
+
+// ----- plain-access memory-order policy --------------------------------
+
+TEST(PlainOrder, DefaultIsAcqRelAndSwitchable) {
+  EXPECT_EQ(plain_order(), PlainOrder::acq_rel);
+  EXPECT_STREQ(plain_order_name(PlainOrder::relaxed), "relaxed");
+  EXPECT_STREQ(plain_order_name(PlainOrder::acq_rel), "acq_rel");
+  EXPECT_STREQ(plain_order_name(PlainOrder::seq_cst), "seq_cst");
+
+  set_plain_order(PlainOrder::relaxed);
+  EXPECT_EQ(plain_load_order(), std::memory_order_relaxed);
+  EXPECT_EQ(plain_store_order(), std::memory_order_relaxed);
+  Cell x;
+  x.plain_store(41);
+  EXPECT_EQ(x.plain_load(), 41u);
+
+  set_plain_order(PlainOrder::seq_cst);
+  EXPECT_EQ(plain_load_order(), std::memory_order_seq_cst);
+  x.plain_store(42);
+  EXPECT_EQ(x.plain_load(), 42u);
+
+  set_plain_order(PlainOrder::acq_rel);  // restore the documented default
+  EXPECT_EQ(plain_load_order(), std::memory_order_acquire);
+  EXPECT_EQ(plain_store_order(), std::memory_order_release);
+}
+
+}  // namespace
+}  // namespace mtx::stm

@@ -1,38 +1,35 @@
-// Transactional containers over all three backends: functional tests plus
-// multithreaded linearizability-style checks.
+// Transactional containers: functional tests plus multithreaded
+// linearizability-style checks, run over every registered backend through
+// the StmBackend registry (one parameterized suite covers all runtimes).
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <set>
+#include <memory>
 
 #include "containers/bank.hpp"
 #include "containers/thash.hpp"
 #include "containers/tlist.hpp"
 #include "containers/tqueue.hpp"
-#include "stm/eager.hpp"
-#include "stm/norec.hpp"
-#include "stm/sgl.hpp"
-#include "stm/tl2.hpp"
+#include "stm/backend.hpp"
 #include "substrate/rng.hpp"
 #include "substrate/threading.hpp"
 
 namespace mtx::containers {
 namespace {
 
-using stm::EagerStm;
-using stm::NorecStm;
-using stm::SglStm;
-using stm::Tl2Stm;
+using stm::StmBackend;
 
-template <typename Stm>
-class ContainerTest : public ::testing::Test {};
+class ContainerTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<StmBackend> stm_ = stm::make_backend(GetParam());
+};
 
-using Backends = ::testing::Types<Tl2Stm, EagerStm, NorecStm, SglStm>;
-TYPED_TEST_SUITE(ContainerTest, Backends);
+INSTANTIATE_TEST_SUITE_P(AllBackends, ContainerTest,
+                         ::testing::ValuesIn(stm::backend_names()),
+                         [](const auto& info) { return info.param; });
 
-TYPED_TEST(ContainerTest, ListInsertRemoveContains) {
-  TypeParam stm;
-  TList<TypeParam> list(stm);
+TEST_P(ContainerTest, ListInsertRemoveContains) {
+  TList<StmBackend> list(*stm_);
   EXPECT_TRUE(list.insert(5));
   EXPECT_TRUE(list.insert(3));
   EXPECT_TRUE(list.insert(8));
@@ -46,9 +43,8 @@ TYPED_TEST(ContainerTest, ListInsertRemoveContains) {
   EXPECT_EQ(list.size(), 2u);
 }
 
-TYPED_TEST(ContainerTest, ListHandlesBoundaryKeys) {
-  TypeParam stm;
-  TList<TypeParam> list(stm);
+TEST_P(ContainerTest, ListHandlesBoundaryKeys) {
+  TList<StmBackend> list(*stm_);
   EXPECT_TRUE(list.insert(0));
   EXPECT_TRUE(list.insert(-1000));
   EXPECT_TRUE(list.insert(1000));
@@ -56,9 +52,8 @@ TYPED_TEST(ContainerTest, ListHandlesBoundaryKeys) {
   EXPECT_TRUE(list.contains(-1000));
 }
 
-TYPED_TEST(ContainerTest, ConcurrentListDisjointKeys) {
-  TypeParam stm;
-  TList<TypeParam> list(stm);
+TEST_P(ContainerTest, ConcurrentListDisjointKeys) {
+  TList<StmBackend> list(*stm_);
   const std::size_t threads = std::min<std::size_t>(mtx::hw_threads(), 6);
   constexpr int kPerThread = 150;
   mtx::run_team(threads, [&](std::size_t tid) {
@@ -68,9 +63,8 @@ TYPED_TEST(ContainerTest, ConcurrentListDisjointKeys) {
   EXPECT_EQ(list.size(), threads * kPerThread);
 }
 
-TYPED_TEST(ContainerTest, ConcurrentListContendedKeys) {
-  TypeParam stm;
-  TList<TypeParam> list(stm);
+TEST_P(ContainerTest, ConcurrentListContendedKeys) {
+  TList<StmBackend> list(*stm_);
   std::atomic<int> inserted{0}, removed{0};
   const std::size_t threads = std::min<std::size_t>(mtx::hw_threads(), 6);
   mtx::run_team(threads, [&](std::size_t tid) {
@@ -88,9 +82,8 @@ TYPED_TEST(ContainerTest, ConcurrentListContendedKeys) {
             static_cast<std::size_t>(inserted.load() - removed.load()));
 }
 
-TYPED_TEST(ContainerTest, HashPutGetErase) {
-  TypeParam stm;
-  THash<TypeParam> map(stm, 16);
+TEST_P(ContainerTest, HashPutGetErase) {
+  THash<StmBackend> map(*stm_, 16);
   EXPECT_TRUE(map.put(1, 10));
   EXPECT_TRUE(map.put(2, 20));
   EXPECT_FALSE(map.put(1, 11));  // update
@@ -103,9 +96,8 @@ TYPED_TEST(ContainerTest, HashPutGetErase) {
   EXPECT_EQ(map.size(), 1u);
 }
 
-TYPED_TEST(ContainerTest, HashManyKeysAcrossBuckets) {
-  TypeParam stm;
-  THash<TypeParam> map(stm, 8);
+TEST_P(ContainerTest, HashManyKeysAcrossBuckets) {
+  THash<StmBackend> map(*stm_, 8);
   for (std::int64_t k = 0; k < 200; ++k) EXPECT_TRUE(map.put(k, k * k));
   EXPECT_EQ(map.size(), 200u);
   for (std::int64_t k = 0; k < 200; ++k) {
@@ -115,9 +107,8 @@ TYPED_TEST(ContainerTest, HashManyKeysAcrossBuckets) {
   }
 }
 
-TYPED_TEST(ContainerTest, ConcurrentHashMixed) {
-  TypeParam stm;
-  THash<TypeParam> map(stm, 32);
+TEST_P(ContainerTest, ConcurrentHashMixed) {
+  THash<StmBackend> map(*stm_, 32);
   const std::size_t threads = std::min<std::size_t>(mtx::hw_threads(), 6);
   mtx::run_team(threads, [&](std::size_t tid) {
     mtx::Rng rng(tid * 3 + 1);
@@ -142,9 +133,8 @@ TYPED_TEST(ContainerTest, ConcurrentHashMixed) {
   EXPECT_EQ(map.size(), count);
 }
 
-TYPED_TEST(ContainerTest, QueueFifoOrder) {
-  TypeParam stm;
-  TQueue<TypeParam> q(stm, 8);
+TEST_P(ContainerTest, QueueFifoOrder) {
+  TQueue<StmBackend> q(*stm_, 8);
   EXPECT_EQ(q.size(), 0u);
   for (std::int64_t i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
   for (std::int64_t i = 0; i < 5; ++i) {
@@ -155,9 +145,8 @@ TYPED_TEST(ContainerTest, QueueFifoOrder) {
   EXPECT_FALSE(q.pop().has_value());
 }
 
-TYPED_TEST(ContainerTest, QueueCapacityBound) {
-  TypeParam stm;
-  TQueue<TypeParam> q(stm, 3);
+TEST_P(ContainerTest, QueueCapacityBound) {
+  TQueue<StmBackend> q(*stm_, 3);
   EXPECT_TRUE(q.push(1));
   EXPECT_TRUE(q.push(2));
   EXPECT_TRUE(q.push(3));
@@ -167,9 +156,8 @@ TYPED_TEST(ContainerTest, QueueCapacityBound) {
   EXPECT_TRUE(q.push(4));  // wraps
 }
 
-TYPED_TEST(ContainerTest, QueueProducerConsumer) {
-  TypeParam stm;
-  TQueue<TypeParam> q(stm, 64);
+TEST_P(ContainerTest, QueueProducerConsumer) {
+  TQueue<StmBackend> q(*stm_, 64);
   constexpr std::int64_t kItems = 2000;
   std::atomic<std::int64_t> consumed_sum{0};
   std::atomic<std::int64_t> consumed_count{0};
@@ -190,9 +178,8 @@ TYPED_TEST(ContainerTest, QueueProducerConsumer) {
   EXPECT_EQ(consumed_sum.load(), kItems * (kItems + 1) / 2);
 }
 
-TYPED_TEST(ContainerTest, BankTransfersAndAudit) {
-  TypeParam stm;
-  Bank<TypeParam> bank(stm, 8, 50);
+TEST_P(ContainerTest, BankTransfersAndAudit) {
+  Bank<StmBackend> bank(*stm_, 8, 50);
   bank.transfer(0, 1, 25);
   EXPECT_EQ(bank.plain_balance(0), 25);
   EXPECT_EQ(bank.plain_balance(1), 75);

@@ -1,0 +1,268 @@
+// The runtime trace recorder and conformance pipeline: event capture from
+// real STM runs, deterministic assembly into model::Traces, model-layer
+// judgment (well-formedness, races, opacity), seeded single-thread replay
+// determinism, and the campaign's recorded-execution job grid.
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.hpp"
+#include "campaign/report.hpp"
+#include "model/race.hpp"
+#include "model/wellformed.hpp"
+#include "record/assemble.hpp"
+#include "record/conformance.hpp"
+#include "record/recorder.hpp"
+#include "record/workloads.hpp"
+#include "stm/backend.hpp"
+
+namespace mtx::record {
+namespace {
+
+using stm::make_backend;
+using stm::backend_names;
+
+TEST(Record, AssemblesManualPlainEvents) {
+  RecordSession s;
+  stm::Cell x, y;
+  {
+    ScopedRecorder r(s, 0);
+    r.rec().synthetic_begin();
+    x.plain_store(7);
+    y.plain_store(9);
+    r.rec().synthetic_commit();
+    EXPECT_EQ(x.plain_load(), 7u);
+  }
+  const RecordedTrace rt = assemble(s);
+  // init txn (B, Wx0, Wy0, C) + setup txn (B, Wx7, Wy9, C) + plain read.
+  ASSERT_EQ(rt.trace.size(), 9u);
+  EXPECT_TRUE(model::wellformed(rt.trace));
+  EXPECT_EQ(rt.meta.num_locs, 2);
+  EXPECT_EQ(rt.meta.plain_writes, 2u);
+  EXPECT_EQ(rt.meta.plain_reads, 1u);
+  EXPECT_EQ(rt.meta.committed, 1u);  // the synthetic setup txn
+  EXPECT_EQ(rt.meta.plain_order, "acq_rel");
+  // The read is fulfilled by the store: same loc, value 7, version 1.
+  const model::Action& rd = rt.trace[8];
+  EXPECT_TRUE(rd.is_read());
+  EXPECT_EQ(rd.value, 7);
+  EXPECT_EQ(rd.ts, Rational(1));
+}
+
+TEST(Record, ErasedBackendTransactionsAssemble) {
+  for (const std::string& name : backend_names()) {
+    SCOPED_TRACE(name);
+    auto stm = make_backend(name);
+    RecordSession s;
+    stm::Cell x;
+    {
+      ScopedRecorder r(s, 0);
+      stm->atomically([&](auto& tx) { tx.write(x, 5); });
+      stm->atomically([&](auto& tx) { tx.write(x, tx.read(x) + 1); });
+    }
+    const RecordedTrace rt = assemble(s);
+    // init (B, Wx0, C) + (B, Wx5, C) + (B, Rx5, Wx6, C) = 10 actions.
+    ASSERT_EQ(rt.trace.size(), 10u);
+    const ConformanceReport rep = check_conformance(rt.trace);
+    EXPECT_TRUE(rep.wf.ok()) << rep.wf.str();
+    EXPECT_EQ(rep.l_races, 0u);
+    EXPECT_FALSE(rep.mixed_race);
+    EXPECT_TRUE(rep.opaque);
+    EXPECT_TRUE(rep.consistent);
+    EXPECT_EQ(x.plain_load(), 6u);
+  }
+}
+
+TEST(Record, UserAbortProducesAbortAction) {
+  for (const std::string& name : backend_names()) {
+    SCOPED_TRACE(name);
+    auto stm = make_backend(name);
+    RecordSession s;
+    stm::Cell x;
+    {
+      ScopedRecorder r(s, 0);
+      stm->atomically([&](auto& tx) { tx.write(x, 3); });
+      const bool committed = stm->atomically([&](auto& tx) {
+        tx.write(x, 999);
+        tx.user_abort();
+      });
+      EXPECT_FALSE(committed);
+    }
+    EXPECT_EQ(x.plain_load(), 3u);
+    const RecordedTrace rt = assemble(s);
+    EXPECT_EQ(rt.meta.aborted, 1u);
+    const ConformanceReport rep = check_conformance(rt.trace);
+    // Eager/SGL traces contain the rolled-back in-place write inside the
+    // aborted txn; lazy backends never published it.  Either way the model
+    // must accept the trace: aborted writes are invisible.
+    EXPECT_TRUE(rep.wf.ok()) << rep.wf.str();
+    EXPECT_TRUE(rep.opaque);
+    EXPECT_EQ(rep.l_races, 0u);
+  }
+}
+
+TEST(Record, UnobservedInitializationIsCaughtAsUnfulfilledRead) {
+  // A cell that acquires a nonzero value outside recording breaks WF6 when
+  // read — the seam exists precisely so workloads route initialization
+  // through recorded writes (synthetic setup txns).
+  RecordSession s;
+  stm::Cell z(42);  // raw-initialized: no recorded write
+  {
+    ScopedRecorder r(s, 0);
+    EXPECT_EQ(z.plain_load(), 42u);
+  }
+  const RecordedTrace rt = assemble(s);
+  const model::WfReport wf = model::check_wellformed(rt.trace);
+  EXPECT_FALSE(wf.ok());
+  EXPECT_TRUE(wf.violates(6));
+}
+
+TEST(Record, MixedRaceIsDetected) {
+  // Two threads, no transactional bridge: a plain write racing a
+  // transactional write on the same location must be flagged — this is the
+  // oracle's negative control.
+  auto stm = make_backend("tl2");
+  RecordSession s;
+  stm::Cell x;
+  {
+    ScopedRecorder r(s, 1);
+    x.plain_store(1);
+  }
+  {
+    ScopedRecorder r(s, 2);
+    stm->atomically([&](auto& tx) { tx.write(x, 2); });
+  }
+  const RecordedTrace rt = assemble(s);
+  const ConformanceReport rep = check_conformance(rt.trace);
+  EXPECT_TRUE(rep.wf.ok()) << rep.wf.str();
+  EXPECT_TRUE(rep.mixed_race);
+  EXPECT_GT(rep.l_races, 0u);
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(Record, ConcurrentFencesInsideOneTxnSinkPastIt) {
+  // Two fences ticketed while one transaction is open (two threads
+  // quiescing concurrently against a straggler txn): assembly must
+  // terminate and sink BOTH fences just past the resolution, preserving
+  // their relative order — the stale-index fixpoint of an earlier draft
+  // looped forever on exactly this shape.
+  RecordSession s;
+  stm::Cell x;
+  ThreadRecorder* t1 = s.attach(1);
+  ThreadRecorder* t2 = s.attach(2);
+  ThreadRecorder* t3 = s.attach(3);
+  t1->on_begin();
+  t2->on_fence();
+  t3->on_fence();
+  t1->tx_publish(x, 1);
+  t1->on_commit();
+  const RecordedTrace rt = assemble(s);
+  // init (B, Wx0, C) + txn (B, Wx1, C) + the two sunk fences.
+  ASSERT_EQ(rt.trace.size(), 8u);
+  EXPECT_TRUE(rt.trace[5].is_commit());
+  EXPECT_TRUE(rt.trace[6].is_qfence());
+  EXPECT_TRUE(rt.trace[7].is_qfence());
+  EXPECT_EQ(rt.trace[6].thread, 2);
+  EXPECT_EQ(rt.trace[7].thread, 3);
+  EXPECT_TRUE(model::wellformed(rt.trace));
+}
+
+TEST(Record, SeededSingleThreadReplayIsByteIdentical) {
+  for (const std::string& name : backend_names()) {
+    SCOPED_TRACE(name);
+    WorkloadOptions o;
+    o.threads = 1;
+    o.seed = 7;
+    o.ops_per_thread = 10;
+    auto stm1 = make_backend(name);
+    auto stm2 = make_backend(name);
+    const RecordedRun a = run_recorded_workload("bank", *stm1, o);
+    const RecordedRun b = run_recorded_workload("bank", *stm2, o);
+    EXPECT_TRUE(a.invariant_ok);
+    EXPECT_EQ(a.rec.trace.str(), b.rec.trace.str());
+    EXPECT_EQ(a.rec.meta.events, b.rec.meta.events);
+    EXPECT_EQ(a.rec.meta.committed, b.rec.meta.committed);
+  }
+}
+
+TEST(Record, ConformanceGridAllBackendsAllWorkloads) {
+  WorkloadOptions o;
+  o.threads = 2;
+  o.seed = 11;
+  o.ops_per_thread = 6;
+  for (const std::string& w : workload_names()) {
+    for (const std::string& b : backend_names()) {
+      SCOPED_TRACE(w + "/" + b);
+      auto stm = make_backend(b);
+      const RecordedRun run = run_recorded_workload(w, *stm, o);
+      EXPECT_TRUE(run.invariant_ok);
+      const ConformanceReport rep = check_conformance(run.rec.trace);
+      EXPECT_TRUE(rep.wf.ok()) << rep.wf.str() << run.rec.trace.str();
+      EXPECT_EQ(rep.l_races, 0u) << run.rec.trace.str();
+      EXPECT_FALSE(rep.mixed_race);
+      // Zombie-free backends are opaque including aborted readers; eager
+      // (Example 3.4) may record doomed inconsistent snapshots and is only
+      // held to committed-subsystem opacity.
+      EXPECT_TRUE(rep.opaque_committed);
+      if (stm->zombie_free()) {
+        EXPECT_TRUE(rep.opaque);
+      }
+    }
+  }
+}
+
+TEST(Record, PrivatizationWorkloadRecordsFences) {
+  auto stm = make_backend("tl2");
+  WorkloadOptions o;
+  o.threads = 3;
+  o.seed = 5;
+  o.ops_per_thread = 6;
+  const RecordedRun run = run_recorded_workload("bank_priv", *stm, o);
+  EXPECT_TRUE(run.invariant_ok);
+  EXPECT_GE(run.rec.meta.fences, 2u);
+  bool has_qfence = false;
+  for (std::size_t i = 0; i < run.rec.trace.size(); ++i)
+    if (run.rec.trace[i].is_qfence()) has_qfence = true;
+  EXPECT_TRUE(has_qfence);
+  const ConformanceReport rep = check_conformance(run.rec.trace);
+  EXPECT_TRUE(rep.wf.ok()) << rep.wf.str();
+  EXPECT_FALSE(rep.wf.violates(12));
+  EXPECT_EQ(rep.l_races, 0u) << run.rec.trace.str();
+  EXPECT_FALSE(rep.mixed_race);
+}
+
+TEST(Record, CampaignRecordedJobGrid) {
+  campaign::CampaignOptions opts;
+  opts.litmus_jobs = false;
+  opts.record_jobs = true;
+  opts.record_threads = {1, 2};
+  opts.record_ops = 4;
+  opts.threads = 1;
+  const campaign::CampaignResult serial = campaign::run_campaign(opts);
+  ASSERT_EQ(serial.recorded.size(),
+            workload_names().size() * backend_names().size() * 2);
+  EXPECT_EQ(serial.mismatches, 0u);
+  for (const campaign::RecordRow& row : serial.recorded) {
+    SCOPED_TRACE(row.workload + "/" + row.backend);
+    EXPECT_TRUE(row.ok());
+    EXPECT_TRUE(row.wellformed);
+    EXPECT_TRUE(row.opaque_committed);
+  }
+
+  // Scheduling-independent surface: a parallel campaign produces the same
+  // signature (committed counts are fixed by workload x seed x threads).
+  campaign::CampaignOptions par = opts;
+  par.threads = 4;
+  const campaign::CampaignResult parallel = campaign::run_campaign(par);
+  EXPECT_EQ(campaign::verdict_signature(serial),
+            campaign::verdict_signature(parallel));
+
+  // Reports carry the rows.
+  const std::string json = campaign::to_json(serial, "test");
+  EXPECT_NE(json.find("\"recorded\""), std::string::npos);
+  EXPECT_NE(json.find("\"workload\": \"bank\""), std::string::npos);
+  const std::string csv = campaign::to_csv(serial);
+  EXPECT_NE(csv.find("rec:bank:tl2:t1,record,conformant,conformant,yes"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mtx::record

@@ -1,14 +1,14 @@
-// Multithreaded integration tests: atomicity invariants under contention for
-// all backends, opacity under fire, and the §5 privatization /
-// publication protocols with quiescence fences.
+// Multithreaded integration tests: atomicity invariants under contention,
+// opacity under fire, and the §5 privatization / publication protocols with
+// quiescence fences — run against every registered backend through the
+// unified StmBackend registry (one parameterized suite, no per-backend
+// template copies).
 #include <gtest/gtest.h>
 
 #include <atomic>
 
 #include "containers/bank.hpp"
-#include "stm/eager.hpp"
-#include "stm/norec.hpp"
-#include "stm/sgl.hpp"
+#include "stm/backend.hpp"
 #include "stm/tl2.hpp"
 #include "substrate/rng.hpp"
 #include "substrate/threading.hpp"
@@ -18,9 +18,17 @@ namespace {
 
 std::size_t stress_threads() { return std::min<std::size_t>(hw_threads(), 8); }
 
-template <typename Stm>
-void counter_stress() {
-  Stm stm;
+class BackendStress : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<StmBackend> stm_ = make_backend(GetParam());
+};
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendStress,
+                         ::testing::ValuesIn(backend_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST_P(BackendStress, Counter) {
+  StmBackend& stm = *stm_;
   Cell x(0);
   const std::size_t threads = stress_threads();
   constexpr int kIters = 3000;
@@ -32,15 +40,9 @@ void counter_stress() {
   EXPECT_EQ(stm.stats().commits.load(), threads * kIters);
 }
 
-TEST(Stress, CounterTl2) { counter_stress<Tl2Stm>(); }
-TEST(Stress, CounterEager) { counter_stress<EagerStm>(); }
-TEST(Stress, CounterNorec) { counter_stress<NorecStm>(); }
-TEST(Stress, CounterSgl) { counter_stress<SglStm>(); }
-
-template <typename Stm>
-void bank_conservation() {
-  Stm stm;
-  containers::Bank<Stm> bank(stm, 64, 1000);
+TEST_P(BackendStress, BankConservation) {
+  StmBackend& stm = *stm_;
+  containers::Bank<StmBackend> bank(stm, 64, 1000);
   const std::size_t threads = stress_threads();
   run_team(threads, [&](std::size_t tid) {
     Rng rng(tid + 1);
@@ -56,16 +58,10 @@ void bank_conservation() {
   EXPECT_EQ(bank.total(), bank.expected_total());
 }
 
-TEST(Stress, BankConservationTl2) { bank_conservation<Tl2Stm>(); }
-TEST(Stress, BankConservationEager) { bank_conservation<EagerStm>(); }
-TEST(Stress, BankConservationNorec) { bank_conservation<NorecStm>(); }
-TEST(Stress, BankConservationSgl) { bank_conservation<SglStm>(); }
-
 // Opacity under fire: two cells always updated together; every transactional
 // snapshot must see them equal.
-template <typename Stm>
-void snapshot_consistency() {
-  Stm stm;
+TEST_P(BackendStress, SnapshotConsistency) {
+  StmBackend& stm = *stm_;
   Cell a(0), b(0);
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> bad{0};
@@ -92,18 +88,12 @@ void snapshot_consistency() {
   EXPECT_EQ(bad.load(), 0u);
 }
 
-TEST(Stress, SnapshotTl2) { snapshot_consistency<Tl2Stm>(); }
-TEST(Stress, SnapshotEager) { snapshot_consistency<EagerStm>(); }
-TEST(Stress, SnapshotNorec) { snapshot_consistency<NorecStm>(); }
-TEST(Stress, SnapshotSgl) { snapshot_consistency<SglStm>(); }
-
 // The §1/§5 privatization protocol on the runtime: a thread marks a cell
 // private inside a transaction, fences, then works on it with plain
 // accesses; mutator threads only touch the cell inside transactions that
 // re-check the flag.  The plain phase must never observe interference.
-template <typename Stm>
-void privatization_protocol() {
-  Stm stm;
+TEST_P(BackendStress, PrivatizationProtocol) {
+  StmBackend& stm = *stm_;
   Cell flag(0);  // 0 = shared, 1 = privatized
   Cell data(0);
   std::atomic<bool> stop{false};
@@ -135,17 +125,11 @@ void privatization_protocol() {
   EXPECT_EQ(violations.load(), 0u);
 }
 
-TEST(Stress, PrivatizationTl2) { privatization_protocol<Tl2Stm>(); }
-TEST(Stress, PrivatizationEager) { privatization_protocol<EagerStm>(); }
-TEST(Stress, PrivatizationNorec) { privatization_protocol<NorecStm>(); }
-TEST(Stress, PrivatizationSgl) { privatization_protocol<SglStm>(); }
-
 // Publication: initialize data plainly, publish via a transactional flag;
 // readers that transactionally observe the flag must see the payload (no
 // fence required -- the direct dependency provides order, per §5/§6).
-template <typename Stm>
-void publication_protocol() {
-  Stm stm;
+TEST_P(BackendStress, PublicationProtocol) {
+  StmBackend& stm = *stm_;
   for (int round = 0; round < 300; ++round) {
     Cell flag(0), payload(0);
     std::atomic<std::uint64_t> violations{0};
@@ -163,13 +147,39 @@ void publication_protocol() {
   }
 }
 
-TEST(Stress, PublicationTl2) { publication_protocol<Tl2Stm>(); }
-TEST(Stress, PublicationEager) { publication_protocol<EagerStm>(); }
-TEST(Stress, PublicationNorec) { publication_protocol<NorecStm>(); }
-TEST(Stress, PublicationSgl) { publication_protocol<SglStm>(); }
+// Mixed user aborts under contention: transactions write real garbage into
+// the cells and then abort half the time; the conserved sum must survive
+// (this exercises the undo-log backends hard).
+TEST_P(BackendStress, AbortStorm) {
+  StmBackend& stm = *stm_;
+  constexpr std::size_t kCells = 16;
+  std::vector<Cell> cells(kCells);
+  for (auto& c : cells) c.plain_store(100);
+  run_team(stress_threads(), [&](std::size_t tid) {
+    Rng rng(tid * 77 + 5);
+    for (int i = 0; i < 1500; ++i) {
+      const auto from = static_cast<std::size_t>(rng.below(kCells));
+      // Pick a distinct target (from == to would double-write one cell and
+      // break conservation by construction).
+      const auto to = (from + 1 + static_cast<std::size_t>(rng.below(kCells - 1))) % kCells;
+      const bool doomed = rng.chance(1, 2);
+      stm.atomically([&](auto& tx) {
+        const word_t f = tx.read(cells[from]);
+        const word_t t = tx.read(cells[to]);
+        tx.write(cells[from], f - 7);
+        tx.write(cells[to], t + 7);
+        if (doomed) tx.user_abort();  // everything above must vanish
+      });
+    }
+  });
+  word_t sum = 0;
+  for (auto& c : cells) sum += c.plain_load();
+  EXPECT_EQ(sum, kCells * 100);
+}
 
 // Quiescence fence actually waits: a long-running transaction must resolve
-// before a concurrent fence returns.
+// before a concurrent fence returns.  (Backend-specific: drives Tl2Stm::Tx
+// directly to hold a transaction open.)
 TEST(Quiesce, FenceWaitsForInFlightTxn) {
   Tl2Stm stm;
   Cell x(0);
@@ -199,41 +209,6 @@ TEST(Quiesce, FenceWaitsForInFlightTxn) {
   });
   EXPECT_TRUE(fence_done.load());
 }
-
-// Mixed user aborts under contention: transactions write real garbage into
-// the cells and then abort half the time; the conserved sum must survive
-// (this exercises eager's undo log hard).
-template <typename Stm>
-void abort_storm() {
-  Stm stm;
-  constexpr std::size_t kCells = 16;
-  std::vector<Cell> cells(kCells);
-  for (auto& c : cells) c.plain_store(100);
-  run_team(stress_threads(), [&](std::size_t tid) {
-    Rng rng(tid * 77 + 5);
-    for (int i = 0; i < 1500; ++i) {
-      const auto from = static_cast<std::size_t>(rng.below(kCells));
-      // Pick a distinct target (from == to would double-write one cell and
-      // break conservation by construction).
-      const auto to = (from + 1 + static_cast<std::size_t>(rng.below(kCells - 1))) % kCells;
-      const bool doomed = rng.chance(1, 2);
-      stm.atomically([&](auto& tx) {
-        const word_t f = tx.read(cells[from]);
-        const word_t t = tx.read(cells[to]);
-        tx.write(cells[from], f - 7);
-        tx.write(cells[to], t + 7);
-        if (doomed) tx.user_abort();  // everything above must vanish
-      });
-    }
-  });
-  word_t sum = 0;
-  for (auto& c : cells) sum += c.plain_load();
-  EXPECT_EQ(sum, kCells * 100);
-}
-
-TEST(Stress, AbortStormTl2) { abort_storm<Tl2Stm>(); }
-TEST(Stress, AbortStormEager) { abort_storm<EagerStm>(); }
-TEST(Stress, AbortStormNorec) { abort_storm<NorecStm>(); }
 
 }  // namespace
 }  // namespace mtx::stm
