@@ -1,11 +1,34 @@
-// E36: cost of the axiomatic machinery itself -- consistency analysis vs
-// event count, happens-before fixpoint, and whole-program enumeration of the
-// key litmus shapes.
-#include <benchmark/benchmark.h>
+// E36: cost of the axiomatic machinery itself — shared-engine consistency
+// analysis vs event count (chain traces up to 512 transactions), the
+// semi-naive happens-before closure, well-formedness, and the fence-bounded
+// windowed conformance oracle on a long recorded workload.
+//
+// Standalone driver (no Google Benchmark): every case runs a fixed number
+// of repetitions, reports min/mean wall time, and the whole table lands in
+// the BENCH_checker.json artifact so CI tracks the checking pipeline's perf
+// trajectory alongside BENCH_stm.json / BENCH_campaign.json.
+//
+// Usage: bench_checker [--reps N] [--out PATH] [--max-ms-256 MS]
+//
+// --max-ms-256 is the CI perf-smoke tripwire: exit nonzero if the 256-txn
+// analyze case's *minimum* wall time exceeds the ceiling (a generous bound
+// against regression, not a microbenchmark).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
 
-#include "litmus/catalog.hpp"
-#include "litmus/graph_enum.hpp"
+#include "campaign/report.hpp"
+#include "model/analysis.hpp"
 #include "model/consistency.hpp"
+#include "record/conformance.hpp"
+#include "record/workloads.hpp"
+#include "stm/backend.hpp"
+#include "substrate/format.hpp"
 
 namespace {
 
@@ -27,49 +50,145 @@ Trace chain_trace(int txns) {
   return t;
 }
 
-void BM_Analyze(benchmark::State& state) {
-  const Trace t = chain_trace(static_cast<int>(state.range(0)));
-  const ModelConfig cfg = ModelConfig::programmer();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(analyze(t, cfg).consistent());
-  }
-  state.SetLabel(std::to_string(t.size()) + " events");
-}
-BENCHMARK(BM_Analyze)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+struct Row {
+  std::string name;
+  std::string label;
+  int reps = 0;
+  double min_ms = 0;
+  double mean_ms = 0;
+};
 
-void BM_HappensBeforeFixpoint(benchmark::State& state) {
-  const Trace t = chain_trace(static_cast<int>(state.range(0)));
-  const Relations rel = Relations::compute(t);
-  const ModelConfig cfg = ModelConfig::strongest();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(compute_hb(t, rel, cfg).count());
+Row time_case(const std::string& name, const std::string& label, int reps,
+              const std::function<void()>& body) {
+  Row r;
+  r.name = name;
+  r.label = label;
+  r.reps = reps;
+  double total = 0;
+  double best = -1;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    total += ms;
+    if (best < 0 || ms < best) best = ms;
   }
+  r.min_ms = best;
+  r.mean_ms = total / reps;
+  return r;
 }
-BENCHMARK(BM_HappensBeforeFixpoint)->Arg(4)->Arg(8)->Arg(16);
 
-void BM_WellFormedness(benchmark::State& state) {
-  const Trace t = chain_trace(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(check_wellformed(t).ok());
-  }
-}
-BENCHMARK(BM_WellFormedness)->Arg(8)->Arg(24);
-
-void BM_EnumerateCatalogEntry(benchmark::State& state) {
-  const auto& tests = lit::catalog();
-  const auto& test = tests[static_cast<std::size_t>(state.range(0))];
-  const ModelConfig cfg = ModelConfig::programmer();
-  std::uint64_t execs = 0;
-  for (auto _ : state) {
-    lit::GraphEnum e(test.program, cfg);
-    const auto outcomes = e.outcomes();
-    benchmark::DoNotOptimize(outcomes.size());
-    execs = e.stats().consistent;
-  }
-  state.SetLabel(test.id + " (" + std::to_string(execs) + " consistent execs)");
-}
-BENCHMARK(BM_EnumerateCatalogEntry)->Arg(0)->Arg(2)->Arg(8);
+volatile bool g_sink = false;
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  int reps = 3;
+  std::string out_path = "BENCH_checker.json";
+  double max_ms_256 = 0;  // 0 = no ceiling
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
+      reps = std::max(1, static_cast<int>(std::atoll(argv[++i])));
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+    else if (std::strcmp(argv[i], "--max-ms-256") == 0 && i + 1 < argc)
+      max_ms_256 = std::atof(argv[++i]);
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::vector<Row> rows;
+  const ModelConfig programmer = ModelConfig::programmer();
+  const ModelConfig strongest = ModelConfig::strongest();
+
+  // Consistency analysis: one AnalysisContext per run; relations + hb are
+  // each computed once (the pre-engine checker paid them 5-7x).
+  double ms_256 = -1;
+  for (const int txns : {4, 16, 64, 256, 512}) {
+    const Trace t = chain_trace(txns);
+    Row r = time_case("analyze", std::to_string(txns) + "txn", reps, [&] {
+      g_sink = analyze(t, programmer).consistent();
+    });
+    r.label += " (" + std::to_string(t.size()) + " events)";
+    if (txns == 256) ms_256 = r.min_ms;
+    rows.push_back(r);
+  }
+
+  // The happens-before fixpoint alone, under the rule-heavy config.
+  for (const int txns : {16, 64, 256}) {
+    const Trace t = chain_trace(txns);
+    const Relations rel = Relations::compute(t);
+    rows.push_back(time_case("hb_fixpoint", std::to_string(txns) + "txn", reps,
+                             [&] { g_sink = compute_hb(t, rel, strongest).count() > 0; }));
+  }
+
+  // Well-formedness over precomputed relations.
+  for (const int txns : {64, 512}) {
+    const Trace t = chain_trace(txns);
+    const Relations rel = Relations::compute(t);
+    rows.push_back(time_case("wellformed", std::to_string(txns) + "txn", reps,
+                             [&] { g_sink = check_wellformed(t, rel).ok(); }));
+  }
+
+  // The conformance oracle end to end: a long fence-rich recorded workload
+  // judged by the windowed engine (cut at quiescence boundaries, windows
+  // checked independently) — the 10^4-event regime the monolithic O(n^2)
+  // relation build cannot reach.
+  {
+    auto stm = stm::make_backend("tl2");
+    record::WorkloadOptions wo;
+    wo.threads = 3;
+    wo.seed = 21;
+    wo.ops_per_thread = 600;
+    const record::RecordedRun run =
+        record::run_recorded_workload("bank_priv", *stm, wo);
+    record::WindowedOptions wnd;
+    record::ConformanceReport rep;
+    Row r = time_case(
+        "conformance_windowed",
+        std::to_string(run.rec.trace.size()) + " events", reps, [&] {
+          rep = record::check_conformance_windowed(
+              run.rec.trace, ModelConfig::implementation(), wnd);
+          g_sink = rep.ok();
+        });
+    r.label += ", " + std::to_string(rep.windows) + " windows";
+    rows.push_back(r);
+  }
+
+  Table table({"case", "label", "reps", "min ms", "mean ms"});
+  for (const Row& r : rows)
+    table.add_row({r.name, r.label, std::to_string(r.reps), fixed(r.min_ms, 3),
+                   fixed(r.mean_ms, 3)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"checker\",\n";
+  json += "  \"reps\": " + std::to_string(reps) + ",\n";
+  json += "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json += "    {\"case\": \"" + r.name + "\", \"label\": \"" + r.label +
+            "\", \"min_ms\": " + fixed(r.min_ms, 3) +
+            ", \"mean_ms\": " + fixed(r.mean_ms, 3) + "}";
+    json += (i + 1 < rows.size()) ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  if (!mtx::campaign::write_file(out_path, json)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (max_ms_256 > 0 && ms_256 > max_ms_256) {
+    std::fprintf(stderr,
+                 "PERF SMOKE FAILURE: 256-txn analyze took %.1f ms "
+                 "(ceiling %.1f ms)\n",
+                 ms_256, max_ms_256);
+    return 1;
+  }
+  return 0;
+}

@@ -8,7 +8,13 @@
 // Writes the BENCH_stm.json artifact (same schema style as
 // BENCH_campaign.json) so CI tracks the runtime half's perf trajectory.
 //
-// Usage: bench_stm_scaling [--threads-max N] [--ops N] [--out PATH]
+// A second section exercises the conformance *oracle* at scale: every
+// backend runs a long fence-rich recorded workload (bank_priv, ~10^4
+// events) and the fence-bounded windowed checker judges it — the regime
+// the monolithic whole-trace checker cannot reach.
+//
+// Usage: bench_stm_scaling [--threads-max N] [--ops N] [--oracle-ops N]
+//                          [--out PATH]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -18,6 +24,8 @@
 #include <vector>
 
 #include "campaign/report.hpp"
+#include "record/conformance.hpp"
+#include "record/workloads.hpp"
 #include "stm/backend.hpp"
 #include "substrate/format.hpp"
 #include "substrate/rng.hpp"
@@ -38,6 +46,47 @@ struct Row {
   double ops_per_sec = 0;
   double conflict_rate = 0;
 };
+
+// One conformance-oracle measurement: record a long run, judge it windowed.
+struct OracleRow {
+  std::string backend;
+  std::size_t events = 0;
+  std::size_t actions = 0;
+  std::size_t windows = 0;
+  std::size_t cuts = 0;
+  bool conformant = false;
+  double record_ms = 0;
+  double check_ms = 0;
+};
+
+OracleRow bench_oracle(const std::string& backend, int ops) {
+  using Clock = std::chrono::steady_clock;
+  OracleRow row;
+  row.backend = backend;
+  auto stm = stm::make_backend(backend);
+  record::WorkloadOptions wo;
+  wo.threads = 3;
+  wo.seed = 21;
+  wo.ops_per_thread = ops;
+  const auto t0 = Clock::now();
+  const record::RecordedRun run =
+      record::run_recorded_workload("bank_priv", *stm, wo);
+  const auto t1 = Clock::now();
+  record::ConformanceReport rep = record::check_conformance_windowed(run.rec.trace);
+  const auto t2 = Clock::now();
+  row.events = run.rec.meta.events;
+  row.actions = run.rec.trace.size();
+  row.windows = rep.windows;
+  row.cuts = rep.window_cuts;
+  // Opacity at the backend's declared level, as the campaign judges it:
+  // zombie-prone backends (eager) are held to committed-subsystem opacity.
+  const bool opq = stm->zombie_free() ? rep.opaque : rep.opaque_committed;
+  row.conformant = rep.wf.ok() && rep.l_races == 0 && !rep.mixed_race &&
+                   opq && run.invariant_ok;
+  row.record_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  row.check_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+  return row;
+}
 
 double run_timed(StmBackend& stm, std::size_t threads, std::uint64_t ops,
                  const std::function<void(StmBackend&, std::size_t, std::uint64_t)>& body) {
@@ -95,12 +144,15 @@ Row bench_workload(const std::string& backend, const std::string& workload,
 int main(int argc, char** argv) {
   std::size_t threads_max = std::min<std::size_t>(hw_threads(), 8);
   std::uint64_t ops = 10000;
+  int oracle_ops = 600;  // ~10^4 recorded events per backend at 3 threads
   std::string out_path = "BENCH_stm.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads-max") == 0 && i + 1 < argc)
       threads_max = static_cast<std::size_t>(std::max(1ll, std::atoll(argv[++i])));
     else if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc)
       ops = static_cast<std::uint64_t>(std::max(1ll, std::atoll(argv[++i])));
+    else if (std::strcmp(argv[i], "--oracle-ops") == 0 && i + 1 < argc)
+      oracle_ops = static_cast<int>(std::max(1ll, std::atoll(argv[++i])));
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
     else {
@@ -125,6 +177,20 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", table.render().c_str());
 
+  std::vector<OracleRow> oracle;
+  Table otable({"backend", "events", "actions", "windows", "verdict",
+                "record ms", "check ms"});
+  for (const std::string& backend : stm::backend_names()) {
+    OracleRow r = bench_oracle(backend, oracle_ops);
+    otable.add_row({r.backend, std::to_string(r.events),
+                    std::to_string(r.actions), std::to_string(r.windows),
+                    r.conformant ? "conformant" : "VIOLATION",
+                    fixed(r.record_ms, 1), fixed(r.check_ms, 1)});
+    oracle.push_back(std::move(r));
+  }
+  std::printf("conformance oracle (bank_priv, windowed checker):\n%s\n",
+              otable.render().c_str());
+
   std::string json = "{\n";
   json += "  \"bench\": \"stm_scaling\",\n";
   json += "  \"hw_threads\": " + std::to_string(hw_threads()) + ",\n";
@@ -140,6 +206,21 @@ int main(int argc, char** argv) {
             ", \"ops_per_sec\": " + fixed(r.ops_per_sec, 1) +
             ", \"conflict_rate\": " + fixed(r.conflict_rate, 4) + "}";
     json += (i + 1 < rows.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"oracle_ops_per_thread\": " + std::to_string(oracle_ops) + ",\n";
+  json += "  \"oracle\": [\n";
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    const OracleRow& r = oracle[i];
+    json += "    {\"backend\": \"" + r.backend +
+            "\", \"events\": " + std::to_string(r.events) +
+            ", \"actions\": " + std::to_string(r.actions) +
+            ", \"windows\": " + std::to_string(r.windows) +
+            ", \"cuts\": " + std::to_string(r.cuts) +
+            ", \"conformant\": " + (r.conformant ? "true" : "false") +
+            ", \"record_ms\": " + fixed(r.record_ms, 3) +
+            ", \"check_ms\": " + fixed(r.check_ms, 3) + "}";
+    json += (i + 1 < oracle.size()) ? ",\n" : "\n";
   }
   json += "  ]\n}\n";
   if (!mtx::campaign::write_file(out_path, json)) {

@@ -4,7 +4,8 @@
 // Usage: campaign [--threads N] [--serial] [--split] [--rf-chunk N]
 //                 [--node-budget N] [--time-budget-ms N]
 //                 [--record] [--record-only] [--record-ops N]
-//                 [--record-seed N] [--json PATH] [--csv PATH]
+//                 [--record-seed N] [--record-monolithic]
+//                 [--record-window-min N] [--json PATH] [--csv PATH]
 //
 // --serial forces the single-threaded reference mode; --split additionally
 // shards each program's candidate space (frontier splitting).  Reports are
@@ -13,7 +14,9 @@
 // --record adds the recorded-execution conformance grid: every container
 // workload runs on every registered STM backend at several thread counts,
 // the recorded execution is assembled into a model trace and judged by the
-// race/opacity checkers; --record-only skips the litmus catalog.
+// race/opacity checkers; --record-only skips the litmus catalog.  Judgments
+// use the fence-bounded windowed engine by default; --record-monolithic
+// forces the single-context reference checker.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -64,6 +67,10 @@ int main(int argc, char** argv) {
       opts.record_ops = static_cast<int>(count("--record-ops"));
     else if (std::strcmp(argv[i], "--record-seed") == 0)
       opts.record_seed = count("--record-seed");
+    else if (std::strcmp(argv[i], "--record-monolithic") == 0)
+      opts.record_windowed = false;
+    else if (std::strcmp(argv[i], "--record-window-min") == 0)
+      opts.record_window_min = static_cast<std::size_t>(count("--record-window-min"));
     else if (std::strcmp(argv[i], "--json") == 0)
       json_path = next("--json");
     else if (std::strcmp(argv[i], "--csv") == 0)

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <optional>
 
+#include "model/model_config.hpp"
 #include "record/conformance.hpp"
 #include "record/workloads.hpp"
 #include "stm/backend.hpp"
@@ -52,8 +53,13 @@ RecordRow run_record_job(const std::string& workload,
   wopts.ops_per_thread = opts.record_ops;
   const record::RecordedRun run =
       record::run_recorded_workload(workload, *stm, wopts);
+  record::WindowedOptions wnd;
+  wnd.min_window_events = opts.record_window_min;
   const record::ConformanceReport rep =
-      record::check_conformance(run.rec.trace);
+      opts.record_windowed
+          ? record::check_conformance_windowed(
+                run.rec.trace, model::ModelConfig::implementation(), wnd)
+          : record::check_conformance(run.rec.trace);
 
   row.wellformed = rep.wf.ok();
   row.l_races = rep.l_races;
@@ -66,6 +72,7 @@ RecordRow run_record_job(const std::string& workload,
   row.actions = rep.actions;
   row.committed = rep.committed;
   row.aborted = rep.aborted;
+  row.windows = rep.windows;
   row.plain_order = run.rec.meta.plain_order;
   row.millis = ms_since(t0);
   return row;

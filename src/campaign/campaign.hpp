@@ -46,6 +46,11 @@ struct CampaignOptions {
   std::vector<std::size_t> record_threads = {1, 4};
   int record_ops = 8;             // operations per worker thread
   std::uint64_t record_seed = 42;
+  // Judge recordings with the fence-bounded windowed checker (verdicts are
+  // identical to the monolithic checker on valid cuts; the windowed engine
+  // just scales to far longer recordings).  Off = monolithic reference mode.
+  bool record_windowed = true;
+  std::size_t record_window_min = 64;  // minimum source events per window
 };
 
 // One (catalog entry, expectation) verdict plus its execution record.
@@ -74,6 +79,7 @@ struct RecordRow {
   std::size_t actions = 0;
   std::size_t committed = 0;  // deterministic given (workload, seed, threads)
   std::size_t aborted = 0;    // scheduling-dependent (conflict retries)
+  std::size_t windows = 1;    // fence-bounded windows judged (1 = monolithic)
   std::string plain_order;
 
   // Conformant: the model passes the recorded execution.  Opacity is held

@@ -72,6 +72,7 @@ std::string to_json(const CampaignResult& r, const std::string& run_label) {
          ", \"actions\": " + std::to_string(rr.actions) +
          ", \"committed\": " + std::to_string(rr.committed) +
          ", \"aborted\": " + std::to_string(rr.aborted) +
+         ", \"windows\": " + std::to_string(rr.windows) +
          ", \"plain_order\": \"" + json_escape(rr.plain_order) +
          "\", \"ms\": " + fmt_ms(rr.millis) + "}";
     s += (i + 1 < r.recorded.size()) ? ",\n" : "\n";

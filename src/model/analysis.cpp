@@ -1,0 +1,35 @@
+#include "model/analysis.hpp"
+
+namespace mtx::model {
+
+namespace {
+// Thread-local so parallel window checks never race on the tallies; the
+// pinning tests run their analyses on one thread and read a stable count.
+thread_local AnalysisCounters g_counters;
+}  // namespace
+
+const Relations& AnalysisContext::relations() {
+  if (!rel_) rel_ = Relations::compute(t_);
+  return *rel_;
+}
+
+const BitRel& AnalysisContext::hb() {
+  if (!hb_) hb_ = compute_hb(t_, relations(), cfg_);
+  return *hb_;
+}
+
+const WfReport& AnalysisContext::wf_report() {
+  if (!wf_) wf_ = check_wellformed(t_, relations());
+  return *wf_;
+}
+
+AnalysisCounters analysis_counters() { return g_counters; }
+
+void reset_analysis_counters() { g_counters = AnalysisCounters{}; }
+
+namespace detail {
+void count_relations_compute() { ++g_counters.relations_computes; }
+void count_hb_compute() { ++g_counters.hb_computes; }
+}  // namespace detail
+
+}  // namespace mtx::model

@@ -2,30 +2,49 @@
 
 namespace mtx::model {
 
+std::vector<bool> causal_removal_mask(AnalysisContext& ctx,
+                                      const std::vector<std::size_t>& members) {
+  const Trace& t = ctx.trace();
+  const Relations& rel = ctx.relations();
+  const BitRel causal = ctx.hb() | rel.lwr | rel.xrw;
+
+  // Per-pivot single-source reachability instead of a whole-relation
+  // closure: members are few, the causal relation is sparse.
+  std::vector<std::vector<std::size_t>> reach;
+  reach.reserve(members.size());
+  for (std::size_t a : members) reach.push_back(causal.reachable_from(a));
+
+  std::vector<bool> keep(t.size(), true);
+  for (const auto& r : reach)
+    for (std::size_t b : r) keep[b] = false;
+  // The pivot actions themselves stay (a in sigma # a) unless another
+  // member causally reaches them -- and that is already what the loop
+  // encodes: a pivot is only flagged false when it lies in some member's
+  // reach set, i.e. when it is removed by another member (or by its own
+  // cycle).
+  return keep;
+}
+
 std::vector<bool> causal_removal_mask(const Trace& t,
                                       const std::vector<std::size_t>& members,
                                       const ModelConfig& cfg) {
-  const Relations rel = Relations::compute(t);
-  const BitRel hb = compute_hb(t, rel, cfg);
-  const BitRel causal = (hb | rel.lwr | rel.xrw).transitive_closure();
-  std::vector<bool> keep(t.size(), true);
-  for (std::size_t a : members)
-    for (std::size_t b = 0; b < t.size(); ++b)
-      if (causal.test(a, b)) keep[b] = false;
-  // The pivot actions themselves stay (a in sigma # a), unless another
-  // member causally follows them -- which the loop above already encodes.
-  for (std::size_t a : members) {
-    bool removed_by_other = false;
-    for (std::size_t m : members)
-      if (causal.test(m, a)) removed_by_other = true;
-    if (!removed_by_other) keep[a] = true;
-  }
-  return keep;
+  AnalysisContext ctx(t, cfg);
+  return causal_removal_mask(ctx, members);
+}
+
+Trace causal_removal_set(AnalysisContext& ctx,
+                         const std::vector<std::size_t>& members) {
+  return ctx.trace().subsequence(causal_removal_mask(ctx, members));
 }
 
 Trace causal_removal_set(const Trace& t, const std::vector<std::size_t>& members,
                          const ModelConfig& cfg) {
-  return t.subsequence(causal_removal_mask(t, members, cfg));
+  AnalysisContext ctx(t, cfg);
+  return causal_removal_set(ctx, members);
+}
+
+Trace causal_removal(AnalysisContext& ctx, std::size_t a) {
+  return causal_removal_set(ctx, {a});
 }
 
 Trace causal_removal(const Trace& t, std::size_t a, const ModelConfig& cfg) {

@@ -15,13 +15,18 @@
 namespace mtx::model {
 
 Trace causal_removal(const Trace& t, std::size_t a, const ModelConfig& cfg);
+Trace causal_removal(AnalysisContext& ctx, std::size_t a);
 
 Trace causal_removal_set(const Trace& t, const std::vector<std::size_t>& members,
                          const ModelConfig& cfg);
+Trace causal_removal_set(AnalysisContext& ctx,
+                         const std::vector<std::size_t>& members);
 
 // Indices kept by causal_removal (for callers that need the mask).
 std::vector<bool> causal_removal_mask(const Trace& t,
                                       const std::vector<std::size_t>& members,
                                       const ModelConfig& cfg);
+std::vector<bool> causal_removal_mask(AnalysisContext& ctx,
+                                      const std::vector<std::size_t>& members);
 
 }  // namespace mtx::model

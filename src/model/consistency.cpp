@@ -14,11 +14,12 @@ std::string Analysis::failure() const {
   return "";
 }
 
-Analysis analyze(const Trace& t, const ModelConfig& cfg) {
+Analysis analyze(AnalysisContext& ctx) {
+  const ModelConfig& cfg = ctx.config();
   Analysis a;
-  a.rel = Relations::compute(t);
-  a.wf = check_wellformed(t, a.rel);
-  a.hb = compute_hb(t, a.rel, cfg);
+  a.rel = ctx.relations();
+  a.wf = ctx.wf_report();
+  a.hb = ctx.hb();
 
   a.causality = (a.hb | a.rel.lwr | a.rel.xrw).is_acyclic();
   a.coherence = a.hb.compose(a.rel.lww).is_irreflexive();
@@ -35,12 +36,21 @@ Analysis analyze(const Trace& t, const ModelConfig& cfg) {
   return a;
 }
 
+Analysis analyze(const Trace& t, const ModelConfig& cfg) {
+  AnalysisContext ctx(t, cfg);
+  return analyze(ctx);
+}
+
+bool consistent(AnalysisContext& ctx) { return analyze(ctx).consistent(); }
+
 bool consistent(const Trace& t, const ModelConfig& cfg) {
   return analyze(t, cfg).consistent();
 }
 
-bool axioms_hold(const Trace& t, const Relations& rel, const ModelConfig& cfg) {
-  const BitRel hb = compute_hb(t, rel, cfg);
+namespace {
+
+bool axioms_hold_on(const Relations& rel, const BitRel& hb,
+                    const ModelConfig& cfg) {
   if (!(hb | rel.lwr | rel.xrw).is_acyclic()) return false;
   if (!hb.compose(rel.lww).is_irreflexive()) return false;
   if (!hb.compose(rel.lrw).is_irreflexive()) return false;
@@ -53,6 +63,17 @@ bool axioms_hold(const Trace& t, const Relations& rel, const ModelConfig& cfg) {
   if (cfg.anti_rw_p && !hb.compose(rel.crw).compose(rel.lrw).is_irreflexive())
     return false;
   return true;
+}
+
+}  // namespace
+
+bool axioms_hold(AnalysisContext& ctx) {
+  return axioms_hold_on(ctx.relations(), ctx.hb(), ctx.config());
+}
+
+bool axioms_hold(const Trace& t, const Relations& rel, const ModelConfig& cfg) {
+  const BitRel hb = compute_hb(t, rel, cfg);
+  return axioms_hold_on(rel, hb, cfg);
 }
 
 }  // namespace mtx::model

@@ -13,6 +13,7 @@
 
 #include <string>
 
+#include "model/analysis.hpp"
 #include "model/derived.hpp"
 #include "model/happens_before.hpp"
 #include "model/model_config.hpp"
@@ -47,13 +48,18 @@ struct Analysis {
   std::string failure() const;
 };
 
+// Shared-engine form: relations/hb/wellformedness come from the context,
+// computed at most once no matter how many checkers share it.
+Analysis analyze(AnalysisContext& ctx);
 Analysis analyze(const Trace& t, const ModelConfig& cfg);
 
 // Shorthand: well-formed and all enabled axioms hold.
+bool consistent(AnalysisContext& ctx);
 bool consistent(const Trace& t, const ModelConfig& cfg);
 
 // Axioms only (caller asserts well-formedness separately); useful when the
 // same trace is checked under many configs.
+bool axioms_hold(AnalysisContext& ctx);
 bool axioms_hold(const Trace& t, const Relations& rel, const ModelConfig& cfg);
 
 }  // namespace mtx::model

@@ -1,5 +1,7 @@
 #include "model/derived.hpp"
 
+#include "model/analysis.hpp"
+
 namespace mtx::model {
 
 BitRel lift(const Trace& t, const BitRel& r) {
@@ -18,6 +20,7 @@ BitRel lift(const Trace& t, const BitRel& r) {
 }
 
 Relations Relations::compute(const Trace& t) {
+  detail::count_relations_compute();
   const std::size_t n = t.size();
   Relations rel;
   rel.index = BitRel(n);

@@ -1,8 +1,34 @@
 #include "model/happens_before.hpp"
 
+#include <utility>
+#include <vector>
+
+#include "model/analysis.hpp"
+
 namespace mtx::model {
 
+namespace {
+
+// Inserts edge (a, c) into the transitively-closed `hb`, restoring closure
+// by repropagating only the new reachability: every predecessor of a (and a
+// itself) absorbs {c} plus c's successor row.  This is the semi-naive step
+// -- derived edges that were already present cost nothing, and a fixpoint
+// round that adds k edges costs O(k * n^2/64) instead of a whole-relation
+// Warshall pass per round.
+void insert_closed(BitRel& hb, std::size_t a, std::size_t c) {
+  if (hb.test(a, c)) return;
+  const std::size_t n = hb.size();
+  for (std::size_t p = 0; p < n; ++p) {
+    if (p != a && !hb.test(p, a)) continue;
+    hb.set(p, c);
+    hb.or_row(p, hb, c);
+  }
+}
+
+}  // namespace
+
 BitRel compute_hb(const Trace& t, const Relations& rel, const ModelConfig& cfg) {
+  detail::count_hb_compute();
   const std::size_t n = t.size();
 
   BitRel hb = rel.init | rel.po | rel.cwr | rel.cww;
@@ -22,32 +48,34 @@ BitRel compute_hb(const Trace& t, const Relations& rel, const ModelConfig& cfg) 
     }
   }
 
+  // One whole-relation closure seeds the fixpoint; afterwards hb stays
+  // closed and each side-condition round only repropagates its fresh edges.
+  hb = hb.transitive_closure();
+  if (!cfg.any_hb_rule()) return hb;
+
   auto plain = [&](std::size_t i) { return t.plain(i); };
 
   for (;;) {
-    hb = hb.transitive_closure();
-    BitRel before = hb;
+    // M1(a,c): exists b with a crw b hb c.   M2(a,c): exists b, a hb b crw c.
+    const BitRel m1 = rel.crw.compose(hb);
+    const BitRel m2 = hb.compose(rel.crw);
+    std::vector<std::pair<std::size_t, std::size_t>> fresh;
+    auto gather = [&](const BitRel& lifted, const BitRel& m, bool plain_target) {
+      lifted.for_each([&](std::size_t a, std::size_t c) {
+        if (!m.test(a, c)) return;
+        if (plain_target ? !plain(c) : !plain(a)) return;
+        if (!hb.test(a, c)) fresh.emplace_back(a, c);
+      });
+    };
+    if (cfg.hb_ww) gather(rel.lww, m1, /*plain_target=*/true);
+    if (cfg.hb_rw) gather(rel.lrw, m1, /*plain_target=*/true);
+    if (cfg.hb_wr) gather(rel.lwr, m1, /*plain_target=*/true);
+    if (cfg.hb_ww_p) gather(rel.lww, m2, /*plain_target=*/false);
+    if (cfg.hb_rw_p) gather(rel.lrw, m2, /*plain_target=*/false);
+    if (cfg.hb_wr_p) gather(rel.lwr, m2, /*plain_target=*/false);
 
-    if (cfg.any_hb_rule()) {
-      // M1(a,c): exists b with a crw b hb c.   M2(a,c): exists b, a hb b crw c.
-      const BitRel m1 = rel.crw.compose(hb);
-      const BitRel m2 = hb.compose(rel.crw);
-      auto apply = [&](const BitRel& lifted, const BitRel& m, bool plain_target) {
-        lifted.for_each([&](std::size_t a, std::size_t c) {
-          if (!m.test(a, c)) return;
-          if (plain_target ? !plain(c) : !plain(a)) return;
-          hb.set(a, c);
-        });
-      };
-      if (cfg.hb_ww) apply(rel.lww, m1, /*plain_target=*/true);
-      if (cfg.hb_rw) apply(rel.lrw, m1, /*plain_target=*/true);
-      if (cfg.hb_wr) apply(rel.lwr, m1, /*plain_target=*/true);
-      if (cfg.hb_ww_p) apply(rel.lww, m2, /*plain_target=*/false);
-      if (cfg.hb_rw_p) apply(rel.lrw, m2, /*plain_target=*/false);
-      if (cfg.hb_wr_p) apply(rel.lwr, m2, /*plain_target=*/false);
-    }
-
-    if (hb == before) return hb;
+    if (fresh.empty()) return hb;
+    for (const auto& [a, c] : fresh) insert_closed(hb, a, c);
   }
 }
 

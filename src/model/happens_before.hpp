@@ -11,8 +11,12 @@
 //   HBCQ  <a:Cb> hb <c:Qx>  if a index-> c and txn b touches x
 //   HBQB  <c:Qx> hb <b:B>   if c index-> b and txn b touches x
 //
-// Computed as a monotone fixpoint: close transitively, apply the enabled
-// side conditions, repeat until stable.
+// Computed as a monotone fixpoint, semi-naively: one whole-relation closure
+// seeds hb, then each round gathers the side-condition edges not yet
+// present and inserts them with an incremental closure step that
+// repropagates only the newly-derived reachability (see insert_closed in
+// the .cpp).  The result is the same least fixpoint as the naive
+// close/apply/repeat loop, without re-running Warshall per round.
 #pragma once
 
 #include "model/derived.hpp"

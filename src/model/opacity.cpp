@@ -41,9 +41,15 @@ SerializationGraph serialization_graph(const Trace& t, const Relations& rel) {
   return g;
 }
 
+SerializationGraph serialization_graph(AnalysisContext& ctx) {
+  return serialization_graph(ctx.trace(), ctx.relations());
+}
+
+bool opaque(AnalysisContext& ctx) { return serialization_graph(ctx).acyclic; }
+
 bool opaque(const Trace& t) {
-  const Relations rel = Relations::compute(t);
-  return serialization_graph(t, rel).acyclic;
+  AnalysisContext ctx(t);
+  return opaque(ctx);
 }
 
 }  // namespace mtx::model

@@ -19,6 +19,7 @@
 #include <optional>
 #include <vector>
 
+#include "model/analysis.hpp"
 #include "model/derived.hpp"
 #include "model/trace.hpp"
 
@@ -33,8 +34,10 @@ struct SerializationGraph {
 };
 
 SerializationGraph serialization_graph(const Trace& t, const Relations& rel);
+SerializationGraph serialization_graph(AnalysisContext& ctx);
 
 // Conflict-opacity of the transactional subsystem.
 bool opaque(const Trace& t);
+bool opaque(AnalysisContext& ctx);
 
 }  // namespace mtx::model

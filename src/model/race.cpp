@@ -52,6 +52,18 @@ bool has_l_race(const Trace& t, const BitRel& hb, const LocSet& locs) {
   return false;
 }
 
+std::vector<Race> find_l_races(AnalysisContext& ctx, const LocSet& locs) {
+  return find_l_races(ctx.trace(), ctx.hb(), locs);
+}
+
+bool has_l_race(AnalysisContext& ctx, const LocSet& locs) {
+  return has_l_race(ctx.trace(), ctx.hb(), locs);
+}
+
+bool has_mixed_race(AnalysisContext& ctx) {
+  return has_mixed_race(ctx.trace(), ctx.hb());
+}
+
 bool has_mixed_race(const Trace& t, const BitRel& hb) {
   const LocSet everything = all_locs(t);
   for (std::size_t b = 0; b < t.size(); ++b) {

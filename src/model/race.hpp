@@ -32,8 +32,10 @@ struct Race {
 
 // All L-races under the given happens-before.
 std::vector<Race> find_l_races(const Trace& t, const BitRel& hb, const LocSet& locs);
+std::vector<Race> find_l_races(AnalysisContext& ctx, const LocSet& locs);
 
 bool has_l_race(const Trace& t, const BitRel& hb, const LocSet& locs);
+bool has_l_race(AnalysisContext& ctx, const LocSet& locs);
 
 // Is (b, c) specifically an L-race (b index-> c assumed by position order)?
 bool is_l_race(const Trace& t, const BitRel& hb, std::size_t b, std::size_t c,
@@ -42,5 +44,6 @@ bool is_l_race(const Trace& t, const BitRel& hb, std::size_t b, std::size_t c,
 // Mixed race: a race between a transactional write and a plain write on the
 // same location (any location).
 bool has_mixed_race(const Trace& t, const BitRel& hb);
+bool has_mixed_race(AnalysisContext& ctx);
 
 }  // namespace mtx::model

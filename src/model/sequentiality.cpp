@@ -97,9 +97,14 @@ bool is_order_preserving_permutation(const Trace& sigma, const Trace& tau) {
 }
 
 std::optional<Trace> contiguous_permutation(const Trace& t, const ModelConfig& cfg) {
-  const Relations rel = Relations::compute(t);
-  const BitRel hb = compute_hb(t, rel, cfg);
-  const BitRel causal = hb | rel.lwr | rel.xrw;
+  AnalysisContext ctx(t, cfg);
+  return contiguous_permutation(ctx);
+}
+
+std::optional<Trace> contiguous_permutation(AnalysisContext& ctx) {
+  const Trace& t = ctx.trace();
+  const Relations& rel = ctx.relations();
+  const BitRel causal = ctx.hb() | rel.lwr | rel.xrw;
   const std::vector<std::size_t> topo = causal.topological_order();
   if (topo.empty() && t.size() > 0) return std::nullopt;
 

@@ -46,5 +46,6 @@ bool is_order_preserving_permutation(const Trace& sigma, const Trace& tau);
 // (hb U lwr U xrw)+.  Returns nullopt if that relation is cyclic (i.e. the
 // trace fails Causality).
 std::optional<Trace> contiguous_permutation(const Trace& t, const ModelConfig& cfg);
+std::optional<Trace> contiguous_permutation(AnalysisContext& ctx);
 
 }  // namespace mtx::model

@@ -63,10 +63,19 @@ Suborders Suborders::compute(const Trace& t, const Relations& rel) {
   return s;
 }
 
+Suborders Suborders::compute(AnalysisContext& ctx) {
+  return compute(ctx.trace(), ctx.relations());
+}
+
 bool lemma_c1_holds(const Trace& t) {
-  const Relations rel = Relations::compute(t);
-  const ModelConfig impl = ModelConfig::implementation();
-  const BitRel hb = compute_hb(t, rel, impl);
+  AnalysisContext ctx(t, ModelConfig::implementation());
+  return lemma_c1_holds(ctx);
+}
+
+bool lemma_c1_holds(AnalysisContext& ctx) {
+  const Trace& t = ctx.trace();
+  const Relations& rel = ctx.relations();
+  const BitRel& hb = ctx.hb();
   const Suborders s = Suborders::compute(t, rel);
 
   // Soundness: the decomposition never exceeds hb.
@@ -87,7 +96,13 @@ bool lemma_c1_holds(const Trace& t) {
 }
 
 bool alt_consistent(const Trace& t) {
-  const Relations rel = Relations::compute(t);
+  AnalysisContext ctx(t, ModelConfig::implementation());
+  return alt_consistent(ctx);
+}
+
+bool alt_consistent(AnalysisContext& ctx) {
+  const Trace& t = ctx.trace();
+  const Relations& rel = ctx.relations();
   const Suborders s = Suborders::compute(t, rel);
 
   const BitRel big = s.hbe | s.poT_ | s.po_T | s.poRW | s.wre | s.xrwe;

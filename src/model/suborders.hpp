@@ -32,14 +32,18 @@ struct Suborders {
   BitRel xrwe;    // xrw \ po
 
   static Suborders compute(const Trace& t, const Relations& rel);
+  static Suborders compute(AnalysisContext& ctx);
 };
 
 // Lemma C.1: in the implementation model (without fences),
-// hb == init U hbe U po.
+// hb == init U hbe U po.  The context overload expects a context built with
+// ModelConfig::implementation(); the trace overload builds one.
 bool lemma_c1_holds(const Trace& t);
+bool lemma_c1_holds(AnalysisContext& ctx);
 
 // Lemma C.2's alternative consistency characterization (implementation
 // model, no anti axioms).
 bool alt_consistent(const Trace& t);
+bool alt_consistent(AnalysisContext& ctx);
 
 }  // namespace mtx::model

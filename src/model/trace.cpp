@@ -21,70 +21,77 @@ int Trace::append(Action a) {
   next_name_ = std::max(next_name_, a.name + 1);
   if (a.is_memory_access() || a.is_qfence()) num_locs_ = std::max(num_locs_, a.loc + 1);
   actions_.push_back(a);
-  recompute_structure();
+  index_appended(actions_.size() - 1);
   return static_cast<int>(actions_.size()) - 1;
 }
 
-int Trace::index_of_name(int name) const {
-  for (std::size_t i = 0; i < actions_.size(); ++i)
-    if (actions_[i].name == name) return static_cast<int>(i);
-  return -1;
+// Incorporates action i (the most recently pushed) into the structure
+// caches.  Membership per the paper: a belongs to transaction b when
+// <b:B> po-> a with no resolution of b in between; since po is per-thread
+// index order, the open begin per thread is all the state required.
+void Trace::index_appended(std::size_t i) {
+  const Action& a = actions_[i];
+  txn_of_.push_back(-1);
+  state_of_.push_back(TxnState::Live);
+  resolution_.push_back(-1);
+  name_to_index_.emplace(a.name, static_cast<int>(i));  // first index wins
+
+  // A malformed trace may resolve a name that only arrives later; adopt the
+  // waiting resolutions now (first resolution in index order wins, matching
+  // what a whole-trace scan would report).
+  auto resolve = [&](std::size_t begin_idx, std::size_t res_idx) {
+    txn_of_[res_idx] = static_cast<int>(begin_idx);
+    if (actions_[begin_idx].is_begin() && state_of_[begin_idx] == TxnState::Live) {
+      state_of_[begin_idx] = actions_[res_idx].is_commit() ? TxnState::Committed
+                                                           : TxnState::Aborted;
+      resolution_[begin_idx] = static_cast<int>(res_idx);
+    }
+  };
+  if (auto w = pending_peer_.find(a.name); w != pending_peer_.end()) {
+    for (std::size_t r : w->second) resolve(i, r);
+    pending_peer_.erase(w);
+  }
+
+  auto it = open_.find(a.thread);
+  const int cur = it == open_.end() ? -1 : it->second;
+  if (a.is_begin()) {
+    txn_of_[i] = static_cast<int>(i);
+    open_[a.thread] = static_cast<int>(i);
+  } else if (a.is_resolution()) {
+    // Resolution closes the begin it names (well-formedness makes this the
+    // open one; tolerate malformed traces by matching on peer name).
+    int b = cur;
+    if (b < 0 || actions_[static_cast<std::size_t>(b)].name != a.peer)
+      b = index_of_name(a.peer);
+    if (cur >= 0 && actions_[static_cast<std::size_t>(cur)].name == a.peer)
+      open_[a.thread] = -1;
+    if (b >= 0) {
+      resolve(static_cast<std::size_t>(b), i);
+    } else {
+      txn_of_[i] = -1;
+      pending_peer_[a.peer].push_back(i);
+    }
+  } else {
+    txn_of_[i] = cur;  // member of the open txn, or plain
+  }
 }
 
 void Trace::recompute_structure() {
-  // Membership per the paper: a belongs to transaction b when <b:B> po-> a
-  // with no resolution of b in between.  Since po is per-thread index order,
-  // walk each thread's actions keeping the open begin (if any).
-  txn_of_.assign(actions_.size(), -1);
-  std::map<Thread, int> open;  // thread -> begin index, -1 if none
-  for (std::size_t i = 0; i < actions_.size(); ++i) {
-    const Action& a = actions_[i];
-    auto it = open.find(a.thread);
-    const int cur = it == open.end() ? -1 : it->second;
-    if (a.is_begin()) {
-      txn_of_[i] = static_cast<int>(i);
-      open[a.thread] = static_cast<int>(i);
-    } else if (a.is_resolution()) {
-      // Resolution closes the begin it names (well-formedness makes this the
-      // open one; tolerate malformed traces by matching on peer name).
-      int b = cur;
-      if (b < 0 || actions_[static_cast<std::size_t>(b)].name != a.peer)
-        b = index_of_name(a.peer);
-      txn_of_[i] = b;
-      if (cur >= 0 && actions_[static_cast<std::size_t>(cur)].name == a.peer)
-        open[a.thread] = -1;
-    } else {
-      txn_of_[i] = cur;  // member of the open txn, or plain
-    }
-  }
+  txn_of_.clear();
+  state_of_.clear();
+  resolution_.clear();
+  name_to_index_.clear();
+  open_.clear();
+  pending_peer_.clear();
+  txn_of_.reserve(actions_.size());
+  state_of_.reserve(actions_.size());
+  resolution_.reserve(actions_.size());
+  for (std::size_t i = 0; i < actions_.size(); ++i) index_appended(i);
 }
 
 TxnState Trace::txn_state(std::size_t begin_idx) const {
   assert(actions_[begin_idx].is_begin());
-  const int begin_name = actions_[begin_idx].name;
-  for (const Action& a : actions_) {
-    if (a.is_commit() && a.peer == begin_name) return TxnState::Committed;
-    if (a.is_abort() && a.peer == begin_name) return TxnState::Aborted;
-  }
-  return TxnState::Live;
-}
-
-bool Trace::aborted(std::size_t i) const {
-  const int b = txn_of_[i];
-  if (b < 0) return false;
-  return txn_state(static_cast<std::size_t>(b)) == TxnState::Aborted;
-}
-
-bool Trace::live(std::size_t i) const {
-  const int b = txn_of_[i];
-  if (b < 0) return false;
-  return txn_state(static_cast<std::size_t>(b)) == TxnState::Live;
-}
-
-bool Trace::committed_txn_action(std::size_t i) const {
-  const int b = txn_of_[i];
-  if (b < 0) return false;
-  return txn_state(static_cast<std::size_t>(b)) == TxnState::Committed;
+  return state_of_[begin_idx];
 }
 
 std::vector<std::size_t> Trace::txn_members(std::size_t begin_idx) const {
@@ -105,14 +112,6 @@ bool Trace::txn_touches(std::size_t begin_idx, Loc x) const {
   for (std::size_t i : txn_members(begin_idx))
     if (actions_[i].accesses(x)) return true;
   return false;
-}
-
-int Trace::resolution_of(std::size_t begin_idx) const {
-  const int begin_name = actions_[begin_idx].name;
-  for (std::size_t i = 0; i < actions_.size(); ++i)
-    if (actions_[i].is_resolution() && actions_[i].peer == begin_name)
-      return static_cast<int>(i);
-  return -1;
 }
 
 Trace Trace::permuted(const std::vector<std::size_t>& order) const {

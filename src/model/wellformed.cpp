@@ -3,6 +3,8 @@
 #include <map>
 #include <set>
 
+#include "model/analysis.hpp"
+
 namespace mtx::model {
 
 bool WfReport::violates(int rule) const {
@@ -229,6 +231,8 @@ WfReport check_wellformed(const Trace& t, const Relations& rel) {
   check_wf12(t, out);
   return out;
 }
+
+WfReport check_wellformed(AnalysisContext& ctx) { return ctx.wf_report(); }
 
 bool wellformed(const Trace& t) { return check_wellformed(t).ok(); }
 

@@ -23,9 +23,13 @@ struct WfReport {
   std::string str() const;
 };
 
-// Full check.  Precomputed relations may be passed to avoid recomputation.
+class AnalysisContext;
+
+// Full check.  Precomputed relations may be passed to avoid recomputation;
+// the context overload reads (and memoizes into) the shared engine.
 WfReport check_wellformed(const Trace& t);
 WfReport check_wellformed(const Trace& t, const Relations& rel);
+WfReport check_wellformed(AnalysisContext& ctx);
 
 bool wellformed(const Trace& t);
 

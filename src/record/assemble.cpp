@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <unordered_map>
 
 namespace mtx::record {
 
@@ -157,6 +158,231 @@ RecordedTrace assemble(const RecordSession& s) {
     }
   }
   return out;
+}
+
+// ----- fence-bounded windowing ----------------------------------------
+
+namespace {
+
+using model::Action;
+using model::Loc;
+using model::Thread;
+using model::Trace;
+
+struct FenceGroup {
+  std::size_t start, end;  // inclusive run of consecutive qfences, one thread
+  Thread thread;
+  bool full = false;  // covers every location of the trace
+};
+
+std::vector<FenceGroup> find_fence_groups(const Trace& t) {
+  const int nlocs = t.num_locs();
+  std::vector<FenceGroup> groups;
+  std::size_t i = 0;
+  while (i < t.size()) {
+    if (!t[i].is_qfence()) {
+      ++i;
+      continue;
+    }
+    FenceGroup g{i, i, t[i].thread, false};
+    std::vector<bool> covered(static_cast<std::size_t>(nlocs), false);
+    while (g.end < t.size() && t[g.end].is_qfence() && t[g.end].thread == g.thread) {
+      if (t[g.end].loc >= 0) covered[static_cast<std::size_t>(t[g.end].loc)] = true;
+      ++g.end;
+    }
+    --g.end;
+    g.full = std::find(covered.begin(), covered.end(), false) == covered.end();
+    groups.push_back(g);
+    i = g.end + 1;
+  }
+  return groups;
+}
+
+// Copies t[i] into `w`, renaming it (window names are fresh) and remapping
+// resolution peers through `names` (old begin name -> new begin name).
+void copy_action(Trace& w, const Trace& t, std::size_t i,
+                 std::unordered_map<int, int>& names) {
+  Action a = t[i];
+  const int old_name = a.name;
+  a.name = -1;
+  if (a.is_resolution()) {
+    auto it = names.find(a.peer);
+    if (it != names.end()) a.peer = it->second;
+  }
+  const int idx = w.append(a);
+  if (t[i].is_begin()) names[old_name] = w[static_cast<std::size_t>(idx)].name;
+}
+
+}  // namespace
+
+WindowPlan cut_windows(const Trace& t, std::size_t min_window_events) {
+  WindowPlan plan;
+  const std::size_t n = t.size();
+  const int nlocs = t.num_locs();
+
+  // The source's initializing transaction is replaced by each window's own.
+  std::size_t body_begin = 0;
+  if (n > 0 && t[0].is_begin() && t[0].thread == model::kInitThread) {
+    const int r = t.resolution_of(0);
+    body_begin = r >= 0 ? static_cast<std::size_t>(r) + 1 : 0;
+  }
+
+  // open_at[p]: transactions open across position p (begin < p <= resolution;
+  // live transactions stay open forever).  Validity (a) needs open_at == 0.
+  std::vector<int> open_delta(n + 2, 0);
+  for (std::size_t b : t.begins()) {
+    const int r = t.resolution_of(b);
+    open_delta[b + 1] += 1;
+    if (r >= 0) open_delta[static_cast<std::size_t>(r) + 1] -= 1;
+  }
+  std::vector<int> open_at(n + 1, 0);
+  int running = 0;
+  for (std::size_t p = 0; p <= n; ++p) {
+    running += open_delta[p];
+    open_at[p] = running;
+  }
+
+  // Per-transaction touched-location sets (keyed by begin index).
+  std::unordered_map<int, std::vector<bool>> touches;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!t[i].is_memory_access() || t.plain(i) || t[i].loc < 0) continue;
+    auto& set = touches[t.txn_of(i)];
+    if (set.empty()) set.assign(static_cast<std::size_t>(nlocs), false);
+    set[static_cast<std::size_t>(t[i].loc)] = true;
+  }
+  auto txn_touches = [&](int begin_idx, Loc x) {
+    auto it = touches.find(begin_idx);
+    return it != touches.end() && it->second[static_cast<std::size_t>(x)];
+  };
+
+  // Dense thread ids.
+  std::unordered_map<Thread, std::size_t> tid_of;
+  Thread max_thread = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    tid_of.emplace(t[i].thread, tid_of.size());
+    max_thread = std::max(max_thread, t[i].thread);
+  }
+  const std::size_t nthreads = tid_of.size();
+  const Thread carry_thread = max_thread + 1;
+
+  // Publication (validity b): for each plain access i on x by thread s, the
+  // smallest j > i, same thread, that commits a transaction touching x.
+  // Backward sweep over per-(thread, loc) "next commit touching" state.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> pub_commit(n, kNone);
+  {
+    std::vector<std::vector<std::size_t>> next_commit(
+        nthreads, std::vector<std::size_t>(static_cast<std::size_t>(nlocs), kNone));
+    for (std::size_t i = n; i-- > 0;) {
+      const Action& a = t[i];
+      const std::size_t s = tid_of[a.thread];
+      if (a.is_memory_access() && t.plain(i) && a.loc >= 0)
+        pub_commit[i] = next_commit[s][static_cast<std::size_t>(a.loc)];
+      if (a.is_commit()) {
+        const int b = t.txn_of(i);
+        for (Loc x = 0; x < nlocs; ++x)
+          if (txn_touches(b, x)) next_commit[s][static_cast<std::size_t>(x)] = i;
+      }
+    }
+  }
+  // Privatization (validity c): the largest j < i, same thread, that begins
+  // a transaction touching x.  Forward sweep.
+  std::vector<std::size_t> priv_begin(n, kNone);
+  {
+    std::vector<std::vector<std::size_t>> prev_begin(
+        nthreads, std::vector<std::size_t>(static_cast<std::size_t>(nlocs), kNone));
+    for (std::size_t i = 0; i < n; ++i) {
+      const Action& a = t[i];
+      const std::size_t s = tid_of[a.thread];
+      if (a.is_begin()) {
+        for (Loc x = 0; x < nlocs; ++x)
+          if (txn_touches(static_cast<int>(i), x))
+            prev_begin[s][static_cast<std::size_t>(x)] = i;
+      }
+      if (a.is_memory_access() && t.plain(i) && a.loc >= 0)
+        priv_begin[i] = prev_begin[s][static_cast<std::size_t>(a.loc)];
+    }
+  }
+
+  // Plain accesses in index order (validity scans walk only these).
+  std::vector<std::size_t> plain_accesses;
+  for (std::size_t i = 0; i < n; ++i)
+    if (t[i].is_memory_access() && t.plain(i)) plain_accesses.push_back(i);
+
+  auto cut_valid = [&](const FenceGroup& g) {
+    if (!g.full) return false;
+    if (open_at[g.start] != 0) return false;
+    for (std::size_t i : plain_accesses) {
+      if (i < g.start) {
+        // Published before the group, or po into the group's own fence.
+        if (t[i].thread == g.thread) continue;
+        if (pub_commit[i] == kNone || pub_commit[i] >= g.start) return false;
+      } else if (i > g.end) {
+        // Privatized after the group, or po out of the group's own fence.
+        if (t[i].thread == g.thread) continue;
+        if (priv_begin[i] == kNone || priv_begin[i] <= g.end) return false;
+      }
+    }
+    return true;
+  };
+
+  // Pick cuts greedily in index order, honoring the minimum window size.
+  std::vector<FenceGroup> cuts;
+  std::size_t window_start = body_begin;
+  for (const FenceGroup& g : find_fence_groups(t)) {
+    if (g.start < body_begin) continue;
+    if (!g.full) continue;
+    ++plan.cut_candidates;
+    if (g.end + 1 - window_start < min_window_events) continue;
+    if (!cut_valid(g)) continue;
+    cuts.push_back(g);
+    window_start = g.end + 1;
+  }
+  plan.cuts = cuts.size();
+
+  // Materialize windows.  Window k spans (previous cut's start .. this
+  // cut's end]; sharing the cut group gives adjacent windows their overlap.
+  std::vector<std::pair<Rational, model::Value>> carry(
+      static_cast<std::size_t>(nlocs), {Rational(0), 0});
+  std::size_t carry_scanned = body_begin;  // carry reflects t[0, carry_scanned)
+
+  for (std::size_t k = 0; k <= cuts.size(); ++k) {
+    TraceWindow win;
+    win.first = k == 0 ? body_begin : cuts[k - 1].start;
+    win.last = k < cuts.size() ? cuts[k].end : (n == 0 ? 0 : n - 1);
+    win.trace = Trace::with_init(nlocs);
+
+    if (k > 0) {
+      // Advance carry over the slice consumed by earlier windows: every
+      // nonaborted write before the opening group is the visible state.
+      while (carry_scanned < cuts[k - 1].start) {
+        const std::size_t i = carry_scanned++;
+        if (t[i].is_write() && !t.aborted(i))
+          carry[static_cast<std::size_t>(t[i].loc)] = {t[i].ts, t[i].value};
+      }
+      std::vector<Loc> carried;
+      for (Loc x = 0; x < nlocs; ++x)
+        if (carry[static_cast<std::size_t>(x)].first > Rational(0))
+          carried.push_back(x);
+      if (!carried.empty()) {
+        const int b = win.trace.append(model::make_begin(carry_thread));
+        const int bname = win.trace[static_cast<std::size_t>(b)].name;
+        for (Loc x : carried) {
+          const auto& [ts, v] = carry[static_cast<std::size_t>(x)];
+          win.trace.append(model::make_write(carry_thread, x, v, ts));
+        }
+        win.trace.append(model::make_commit(carry_thread, bname));
+        win.carried = carried.size();
+      }
+    }
+
+    std::unordered_map<int, int> names;
+    if (n > 0)
+      for (std::size_t i = win.first; i <= win.last; ++i)
+        copy_action(win.trace, t, i, names);
+    plan.windows.push_back(std::move(win));
+  }
+  return plan;
 }
 
 }  // namespace mtx::record

@@ -50,4 +50,52 @@ struct RecordedTrace {
 // joined and every ScopedRecorder destroyed.
 RecordedTrace assemble(const RecordSession& s);
 
+// ----- fence-bounded windowing (§5: races are bounded in space and time) --
+//
+// A full-quiescence fence group (one runtime fence, expanded to one <Qx>
+// per location) is a *cut candidate*: HBCQ orders every committed
+// pre-group transaction touching x before <Qx>, and HBQB orders <Qx>
+// before every post-group transaction touching x.  A candidate becomes a
+// *valid cut* when the fence provably bounds every conflict across it:
+//
+//   (a) no transaction spans the group (begins before it resolve before it);
+//   (b) every pre-group plain access to x is published -- followed in its
+//       thread by a commit of a transaction touching x before the group --
+//       or belongs to the fencing thread itself (po into the fence);
+//   (c) every post-group plain access to x is privatized -- preceded in its
+//       thread (after the group) by a begin of a transaction touching x --
+//       or belongs to the fencing thread (po out of the fence).
+//
+// Under (a)-(c) every conflicting pair straddling the cut is happens-before
+// ordered through <Qx>, so no L-race, mixed race, or serialization edge
+// cycle can cross it: windows may be judged independently.  A racy access
+// that would straddle a cut (e.g. an unpublished plain write) *invalidates*
+// the cut, growing the window until the race is internal -- which is how
+// seeded races are still caught.
+//
+// Each window trace is rebuilt as: fresh init transaction, a synthetic
+// committed *carry* transaction writing each location's last visible
+// (value, timestamp) at the cut (so reads-from and coherence reconstruct
+// exactly), the opening fence group (shared with the previous window --
+// the "overlap" -- so HBCQ/HBQB edges anchor the carry state), then the
+// slice up to and including the closing group.
+struct TraceWindow {
+  model::Trace trace;
+  std::size_t first = 0;    // source-trace slice [first, last], inclusive
+  std::size_t last = 0;
+  std::size_t carried = 0;  // carry writes prepended
+};
+
+struct WindowPlan {
+  std::vector<TraceWindow> windows;
+  std::size_t cut_candidates = 0;  // full-quiescence groups seen
+  std::size_t cuts = 0;            // valid cuts taken
+};
+
+// Cuts `t` at every valid full-quiescence boundary; a valid cut is skipped
+// while the window it would close holds fewer than `min_window_events`
+// source actions.  A trace with no valid cuts yields one window whose trace
+// is `t` itself.
+WindowPlan cut_windows(const model::Trace& t, std::size_t min_window_events = 0);
+
 }  // namespace mtx::record

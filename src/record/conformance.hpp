@@ -8,6 +8,13 @@
 // conflicts outside happens-before), mixed-race-free (Lemma 5.1's
 // hypothesis: no transactional-write/plain-write race), and opaque.  The
 // full §2 consistency axioms are also evaluated and reported.
+//
+// All passes share one AnalysisContext: the derived relations and the
+// happens-before closure are computed exactly once per check.  For long
+// recordings, check_conformance_windowed cuts the trace at valid
+// full-quiescence boundaries (record/assemble.hpp) and judges each window
+// independently — optionally in parallel — merging the verdicts; the
+// fence bound guarantees no race or dependency cycle crosses a valid cut.
 #pragma once
 
 #include <string>
@@ -33,7 +40,14 @@ struct ConformanceReport {
   std::size_t committed = 0;   // including init
   std::size_t aborted = 0;
 
+  // Windowed-mode provenance (1 / 0 for a monolithic check).
+  std::size_t windows = 1;
+  std::size_t window_cuts = 0;
+
   bool ok() const { return wf.ok() && l_races == 0 && !mixed_race && opaque; }
+  // The judgment alone — independent of how it was computed, so windowed
+  // and monolithic runs over the same trace compare byte-identical.
+  std::string verdict() const;
   std::string str() const;
 };
 
@@ -42,5 +56,23 @@ struct ConformanceReport {
 ConformanceReport check_conformance(
     const model::Trace& t,
     const model::ModelConfig& cfg = model::ModelConfig::implementation());
+
+struct WindowedOptions {
+  // Skip a valid cut while its window would hold fewer source events.
+  std::size_t min_window_events = 64;
+  // Worker threads for per-window checks: 1 = serial (the default — campaign
+  // jobs are already parallel), 0 = hardware concurrency.
+  std::size_t threads = 1;
+};
+
+// Fence-bounded windowed conformance: cut at valid full-quiescence
+// boundaries and judge windows independently.  Verdicts merge as: WF
+// violations concatenate, race counts add, mixed_race ORs, opacity and
+// consistency AND.  Traces without valid cuts fall back to the monolithic
+// check.  Requires cfg.qfences (the cut argument relies on HBCQ/HBQB).
+ConformanceReport check_conformance_windowed(
+    const model::Trace& t,
+    const model::ModelConfig& cfg = model::ModelConfig::implementation(),
+    const WindowedOptions& opts = {});
 
 }  // namespace mtx::record

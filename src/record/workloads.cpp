@@ -1,8 +1,10 @@
 #include "record/workloads.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 
 #include "containers/bank.hpp"
 #include "containers/thash.hpp"
@@ -94,23 +96,7 @@ RecordedRun bank_priv_workload(StmBackend& stm, const WorkloadOptions& o) {
   run_team(o.threads, [&](std::size_t tid) {
     ScopedRecorder rec(session, static_cast<int>(tid) + 1);
     Rng rng(o.seed * 7777 + tid);
-    const bool privatizer = tid + 1 == o.threads;  // last worker
-    if (privatizer) {
-      for (int round = 0; round < 2; ++round) {
-        stm.atomically([&](auto& tx) { tx.write(flag, 1); });
-        stm.quiesce();
-        // Plain phase: we own the accounts now.
-        std::int64_t sum = 0;
-        for (auto& c : accounts)
-          sum += static_cast<std::int64_t>(c.plain_load());
-        if (sum != expected) audits_ok = false;
-        // A genuine plain *write* into the privatized region.
-        accounts[0].plain_store(accounts[0].plain_load());
-        stm.atomically([&](auto& tx) { tx.write(flag, 0); });
-      }
-      return;
-    }
-    for (int i = 0; i < o.ops_per_thread; ++i) {
+    auto transfer = [&] {
       const auto from = static_cast<std::size_t>(rng.below(kAccounts));
       const auto to =
           (from + 1 + static_cast<std::size_t>(rng.below(kAccounts - 1))) %
@@ -123,7 +109,37 @@ RecordedRun bank_priv_workload(StmBackend& stm, const WorkloadOptions& o) {
         tx.write(accounts[from], f - amt);
         tx.write(accounts[to], t + amt);
       });
+      // Recording is an oracle mode: yielding keeps the threads interleaved
+      // even on few-core hosts, so fences land *between* mutator ops and the
+      // recorded trace exercises genuine concurrency phases.
+      std::this_thread::yield();
+    };
+    const bool privatizer = tid + 1 == o.threads;  // last worker
+    if (privatizer) {
+      // Rounds scale with the op budget so long recordings carry many
+      // quiescence fences (each round is a window-cut candidate for the
+      // fence-bounded checker); small runs keep the historical 2 rounds.
+      // Transfers between rounds pace the privatizer against the mutators,
+      // spreading fences across the whole recording instead of bunching
+      // them wherever the scheduler parks this thread.
+      const int rounds = std::max(2, o.ops_per_thread / 4);
+      const int spacing = std::max(0, (o.ops_per_thread - rounds) / rounds);
+      for (int round = 0; round < rounds; ++round) {
+        stm.atomically([&](auto& tx) { tx.write(flag, 1); });
+        stm.quiesce();
+        // Plain phase: we own the accounts now.
+        std::int64_t sum = 0;
+        for (auto& c : accounts)
+          sum += static_cast<std::int64_t>(c.plain_load());
+        if (sum != expected) audits_ok = false;
+        // A genuine plain *write* into the privatized region.
+        accounts[0].plain_store(accounts[0].plain_load());
+        stm.atomically([&](auto& tx) { tx.write(flag, 0); });
+        for (int k = 0; k < spacing; ++k) transfer();
+      }
+      return;
     }
+    for (int i = 0; i < o.ops_per_thread; ++i) transfer();
   });
 
   RecordedRun run;

@@ -81,6 +81,50 @@ BitRel BitRel::transposed() const {
   return r;
 }
 
+bool BitRel::or_row(std::size_t into, const BitRel& src, std::size_t from) {
+  if (n_ != src.n_) throw std::invalid_argument("BitRel size mismatch");
+  std::uint64_t* dst = &bits_[into * words_per_row_];
+  const std::uint64_t* s = &src.bits_[from * src.words_per_row_];
+  std::uint64_t changed = 0;
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    changed |= s[w] & ~dst[w];
+    dst[w] |= s[w];
+  }
+  return changed != 0;
+}
+
+std::vector<std::size_t> BitRel::reachable_from(std::size_t a) const {
+  // Accumulate the reachable set as a row bitmask; the frontier holds nodes
+  // whose successor rows have not been absorbed yet.
+  std::vector<std::uint64_t> seen(words_per_row_, 0);
+  std::vector<std::size_t> frontier = successors(a);
+  for (std::size_t b : frontier) seen[b / 64] |= std::uint64_t{1} << (b % 64);
+  while (!frontier.empty()) {
+    std::vector<std::size_t> next;
+    for (std::size_t b : frontier) {
+      const std::uint64_t* row = &bits_[b * words_per_row_];
+      for (std::size_t w = 0; w < words_per_row_; ++w) {
+        std::uint64_t fresh = row[w] & ~seen[w];
+        seen[w] |= row[w];
+        while (fresh) {
+          next.push_back(w * 64 + static_cast<std::size_t>(ctz64(fresh)));
+          fresh &= fresh - 1;
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::vector<std::size_t> out;  // ascending by construction
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    std::uint64_t word = seen[w];
+    while (word) {
+      out.push_back(w * 64 + static_cast<std::size_t>(ctz64(word)));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
 BitRel BitRel::transitive_closure() const {
   BitRel r = *this;
   // Warshall: for each pivot k, every row that reaches k absorbs k's row.
@@ -101,7 +145,25 @@ bool BitRel::is_irreflexive() const {
   return true;
 }
 
-bool BitRel::is_acyclic() const { return transitive_closure().is_irreflexive(); }
+bool BitRel::is_acyclic() const {
+  // Kahn: repeatedly strip zero-indegree nodes; a cycle survives iff some
+  // node is never stripped.  Self-loops never reach indegree zero, so they
+  // are caught too (matching closure().is_irreflexive()).
+  std::vector<std::size_t> indeg(n_, 0);
+  for_each([&](std::size_t, std::size_t b) { ++indeg[b]; });
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n_; ++i)
+    if (indeg[i] == 0) ready.push_back(i);
+  std::size_t stripped = 0;
+  while (!ready.empty()) {
+    const std::size_t v = ready.back();
+    ready.pop_back();
+    ++stripped;
+    for (std::size_t s : successors(v))
+      if (--indeg[s] == 0) ready.push_back(s);
+  }
+  return stripped == n_;
+}
 
 bool BitRel::subset_of(const BitRel& o) const {
   if (n_ != o.n_) throw std::invalid_argument("BitRel size mismatch");

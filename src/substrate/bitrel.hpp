@@ -46,11 +46,23 @@ class BitRel {
 
   BitRel transposed() const;
 
+  // ORs row `from` of `src` into row `into` of this relation (row = successor
+  // set).  Returns true iff any new bit appeared.  `src` may alias *this.
+  // This is the word-parallel primitive the semi-naive happens-before
+  // closure repropagates newly-derived edges with.
+  bool or_row(std::size_t into, const BitRel& src, std::size_t from);
+
+  // Single-source reachability: all b with a ->+ b (a itself only if it lies
+  // on a cycle), in ascending order.  BFS over bit rows: O(reachable * n/64)
+  // instead of the whole-relation closure.
+  std::vector<std::size_t> reachable_from(std::size_t a) const;
+
   // Reflexive-free transitive closure (Warshall over bit rows).
   BitRel transitive_closure() const;
 
   bool is_irreflexive() const;
-  // Acyclic iff the transitive closure is irreflexive.
+  // Acyclic iff no directed cycle: Kahn's algorithm over the edge list,
+  // O(V + E) -- no closure materialized.
   bool is_acyclic() const;
 
   // True if every pair of this is also a pair of o.

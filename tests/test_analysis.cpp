@@ -1,0 +1,194 @@
+// The shared analysis engine: AnalysisContext memoization (relations and
+// happens-before are computed exactly once per context no matter how many
+// checkers share it), agreement between the context-taking overloads and
+// the historical whole-trace entry points, and the fence-bounded window
+// cutter's structural behavior on hand-built traces.
+#include <gtest/gtest.h>
+
+#include "model/analysis.hpp"
+#include "model/closure.hpp"
+#include "model/consistency.hpp"
+#include "model/opacity.hpp"
+#include "model/race.hpp"
+#include "model/sequentiality.hpp"
+#include "model/suborders.hpp"
+#include "record/assemble.hpp"
+#include "record/conformance.hpp"
+#include "trace_builders.hpp"
+
+namespace mtx::model {
+namespace {
+
+using test::TB;
+
+// A small mixed trace: two committed transactions passing a token plus a
+// published plain write.
+Trace sample_trace() {
+  TB b(2);
+  b.begin(0).w(0, 0, 1, 1).commit(0);
+  b.begin(1).r(1, 0, 1, 1).w(1, 0, 2, 2).commit(1);
+  b.w(0, 1, 7, 1);
+  return b.trace();
+}
+
+TEST(AnalysisContext, RelationsAndHbComputedExactlyOnce) {
+  const Trace t = sample_trace();
+  AnalysisContext ctx(t, ModelConfig::programmer());
+
+  reset_analysis_counters();
+  const Analysis a = analyze(ctx);
+  EXPECT_TRUE(a.consistent());
+  AnalysisCounters c = analysis_counters();
+  EXPECT_EQ(c.relations_computes, 1u);
+  EXPECT_EQ(c.hb_computes, 1u);
+
+  // Every additional checker on the same context reuses the cached
+  // artifacts: the counters must not move.
+  (void)check_wellformed(ctx);
+  (void)find_l_races(ctx, all_locs(t));
+  (void)has_mixed_race(ctx);
+  (void)opaque(ctx);
+  (void)axioms_hold(ctx);
+  (void)contiguous_permutation(ctx);
+  (void)causal_removal(ctx, 2);
+  (void)Suborders::compute(ctx);
+  c = analysis_counters();
+  EXPECT_EQ(c.relations_computes, 1u);
+  EXPECT_EQ(c.hb_computes, 1u);
+}
+
+TEST(AnalysisContext, SubordersSharesOneRelationBuild) {
+  // The historical suborders entry points each rebuilt relations for the
+  // same trace; through a shared context the pair costs one build.
+  const Trace t = sample_trace();
+  AnalysisContext ctx(t, ModelConfig::implementation());
+  reset_analysis_counters();
+  const bool c1 = lemma_c1_holds(ctx);
+  const bool c2 = alt_consistent(ctx);
+  EXPECT_EQ(analysis_counters().relations_computes, 1u);
+  EXPECT_EQ(analysis_counters().hb_computes, 1u);
+  EXPECT_EQ(c1, lemma_c1_holds(t));
+  EXPECT_EQ(c2, alt_consistent(t));
+}
+
+TEST(AnalysisContext, OverloadsAgreeWithTraceEntryPoints) {
+  const Trace t = sample_trace();
+  for (const ModelConfig& cfg :
+       {ModelConfig::programmer(), ModelConfig::implementation(),
+        ModelConfig::strongest(), ModelConfig::base()}) {
+    AnalysisContext ctx(t, cfg);
+    const Analysis via_ctx = analyze(ctx);
+    const Analysis via_trace = analyze(t, cfg);
+    EXPECT_EQ(via_ctx.consistent(), via_trace.consistent()) << cfg.name;
+    EXPECT_EQ(via_ctx.hb, via_trace.hb) << cfg.name;
+    EXPECT_EQ(find_l_races(ctx, all_locs(t)).size(),
+              find_l_races(t, via_trace.hb, all_locs(t)).size());
+    EXPECT_EQ(opaque(ctx), opaque(t));
+    EXPECT_EQ(axioms_hold(ctx), axioms_hold(t, via_trace.rel, cfg));
+  }
+}
+
+TEST(AnalysisContext, SemiNaiveHbMatchesKnownRaceVerdicts) {
+  // The programmer model's HBww side condition orders the transactional
+  // writer before the later plain read through the crw bridge; the base
+  // model does not.  Both verdicts exercise the fixpoint's derived edges.
+  TB b(2);
+  b.begin(0).w(0, 0, 1, 1).commit(0);
+  b.begin(1).r(1, 0, 1, 1).w(1, 1, 5, 1).commit(1);
+  b.r(1, 0, 1, 1);  // plain read of x after the reading txn
+  b.w(0, 0, 9, 2);  // plain write racing (or not) with the txn write
+  const Trace& t = b.trace();
+
+  AnalysisContext base(t, ModelConfig::base());
+  AnalysisContext prog(t, ModelConfig::programmer());
+  // Derived-edge sanity: the programmer hb is a (possibly strict) superset.
+  EXPECT_TRUE(base.hb().subset_of(prog.hb()));
+}
+
+}  // namespace
+}  // namespace mtx::model
+
+namespace mtx::record {
+namespace {
+
+using test::TB;
+using model::Trace;
+
+TEST(CutWindows, NoFencesMeansOneWindow) {
+  TB b(1);
+  b.begin(0).w(0, 0, 1, 1).commit(0);
+  const WindowPlan plan = cut_windows(b.trace());
+  EXPECT_EQ(plan.windows.size(), 1u);
+  EXPECT_EQ(plan.cuts, 0u);
+  EXPECT_EQ(plan.cut_candidates, 0u);
+}
+
+TEST(CutWindows, ValidFullQuiescenceCutSplits) {
+  // Thread 2 commits a txn touching x before the fence; thread 3 fences all
+  // locations; thread 2 transacts on x afterwards.  No plain accesses, no
+  // spanning txns: the cut is valid.
+  TB b(2);
+  b.begin(2).w(2, 0, 1, 1).w(2, 1, 1, 1).commit(2);
+  b.fence(3, 0).fence(3, 1);
+  b.begin(2).r(2, 0, 1, 1).w(2, 0, 2, 2).commit(2);
+  const WindowPlan plan = cut_windows(b.trace());
+  ASSERT_EQ(plan.windows.size(), 2u);
+  EXPECT_EQ(plan.cuts, 1u);
+  // Window 1 carries the pre-cut state of both locations...
+  EXPECT_EQ(plan.windows[1].carried, 2u);
+  // ...and its trace replays the read against the carry write cleanly.
+  const ConformanceReport rep = check_conformance(plan.windows[1].trace);
+  EXPECT_TRUE(rep.wf.ok()) << rep.wf.str() << plan.windows[1].trace.str();
+  EXPECT_EQ(rep.l_races, 0u);
+}
+
+TEST(CutWindows, PartialFenceIsNoCutCandidate) {
+  // A fence covering only one of two locations cannot bound races on the
+  // other: it must not become a cut.
+  TB b(2);
+  b.begin(2).w(2, 0, 1, 1).w(2, 1, 1, 1).commit(2);
+  b.fence(3, 0);  // location 1 not quiesced
+  b.begin(2).w(2, 1, 2, 2).commit(2);
+  const WindowPlan plan = cut_windows(b.trace());
+  EXPECT_EQ(plan.windows.size(), 1u);
+}
+
+TEST(CutWindows, UnpublishedPlainWriteInvalidatesCut) {
+  // An unpublished plain write before the fence could race with anything
+  // after it; the cut must be refused so the pair stays in one window.
+  TB b(1);
+  b.begin(2).w(2, 0, 1, 1).commit(2);
+  b.w(1, 0, 5, 2);  // plain write by thread 1, never published
+  b.fence(3, 0);
+  b.begin(2).w(2, 0, 7, 3).commit(2);
+  const WindowPlan plan = cut_windows(b.trace());
+  EXPECT_EQ(plan.cut_candidates, 1u);
+  EXPECT_EQ(plan.cuts, 0u);
+  EXPECT_EQ(plan.windows.size(), 1u);
+}
+
+TEST(CutWindows, SpanningTransactionInvalidatesCut) {
+  // A transaction open across the fence (runtime assembly sinks fences past
+  // these, but seeded traces may not) makes the boundary meaningless.
+  TB b(1);
+  b.begin(2).w(2, 0, 1, 1);
+  b.fence(3, 0);
+  b.commit(2);  // resolution after the fence: the txn spans the cut
+  const WindowPlan plan = cut_windows(b.trace());
+  EXPECT_EQ(plan.cut_candidates, 1u);
+  EXPECT_EQ(plan.windows.size(), 1u);
+}
+
+TEST(CutWindows, MinWindowEventsMergesSmallWindows) {
+  TB b(1);
+  b.begin(2).w(2, 0, 1, 1).commit(2);
+  b.fence(2, 0);
+  b.begin(2).w(2, 0, 2, 2).commit(2);
+  b.fence(2, 0);
+  b.begin(2).w(2, 0, 3, 3).commit(2);
+  EXPECT_EQ(cut_windows(b.trace(), 0).windows.size(), 3u);
+  EXPECT_EQ(cut_windows(b.trace(), 1000).windows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mtx::record

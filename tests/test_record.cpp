@@ -229,6 +229,151 @@ TEST(Record, PrivatizationWorkloadRecordsFences) {
   EXPECT_FALSE(rep.mixed_race);
 }
 
+TEST(Record, WindowedVerdictsMatchMonolithicAcrossGrid) {
+  // The fence-bounded windowed checker must agree byte-for-byte with the
+  // monolithic checker on the whole backend x workload x threads grid.
+  // min_window_events is forced low so fence-rich workloads really split.
+  WindowedOptions wnd;
+  wnd.min_window_events = 16;
+  WorkloadOptions o;
+  o.seed = 11;
+  o.ops_per_thread = 8;
+  bool saw_multi_window = false;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    o.threads = threads;
+    for (const std::string& w : workload_names()) {
+      for (const std::string& b : backend_names()) {
+        SCOPED_TRACE(w + "/" + b + "/t" + std::to_string(threads));
+        auto stm = make_backend(b);
+        const RecordedRun run = run_recorded_workload(w, *stm, o);
+        const ConformanceReport mono = check_conformance(run.rec.trace);
+        const ConformanceReport windowed =
+            check_conformance_windowed(run.rec.trace,
+                                       model::ModelConfig::implementation(), wnd);
+        EXPECT_EQ(windowed.verdict(), mono.verdict()) << run.rec.trace.str();
+        EXPECT_EQ(windowed.actions, mono.actions);
+        EXPECT_EQ(windowed.committed, mono.committed);
+        EXPECT_EQ(windowed.aborted, mono.aborted);
+        if (windowed.windows > 1) saw_multi_window = true;
+      }
+    }
+  }
+  // The grid must actually exercise windowing (bank_priv carries fences).
+  EXPECT_TRUE(saw_multi_window);
+}
+
+TEST(Record, WindowedParallelMatchesSerial) {
+  auto stm = make_backend("tl2");
+  WorkloadOptions o;
+  o.threads = 3;
+  o.seed = 9;
+  o.ops_per_thread = 40;
+  const RecordedRun run = run_recorded_workload("bank_priv", *stm, o);
+  WindowedOptions serial;
+  serial.min_window_events = 16;
+  serial.threads = 1;
+  WindowedOptions parallel = serial;
+  parallel.threads = 4;
+  const ConformanceReport a = check_conformance_windowed(
+      run.rec.trace, model::ModelConfig::implementation(), serial);
+  const ConformanceReport b = check_conformance_windowed(
+      run.rec.trace, model::ModelConfig::implementation(), parallel);
+  EXPECT_GT(a.windows, 1u);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Record, MixedRaceStraddlingWindowCutIsStillCaught) {
+  // Negative control for the window engine: an unpublished plain write
+  // races a transactional write on the far side of a quiescence fence.
+  // The racy access invalidates the cut (its publication chain through the
+  // fence is missing), the window grows across the fence, and the race is
+  // reported exactly as the monolithic checker reports it.
+  model::Trace t = model::Trace::with_init(2);
+  // A committed txn so the fence has honest pre-cut work to order.
+  const int b1 = t.append(model::make_begin(2));
+  t.append(model::make_write(2, 0, 1, Rational(1)));
+  t.append(model::make_write(2, 1, 1, Rational(1)));
+  t.append(model::make_commit(2, t[static_cast<std::size_t>(b1)].name));
+  // Thread 1 reads the txn's value transactionally (ordering it after the
+  // writer), then writes plainly and NEVER publishes: the later racing
+  // access is the only unordered conflicting pair.
+  const int r1 = t.append(model::make_begin(1));
+  t.append(model::make_read(1, 0, 1, Rational(1)));
+  t.append(model::make_commit(1, t[static_cast<std::size_t>(r1)].name));
+  t.append(model::make_write(1, 0, 5, Rational(2)));
+  // A full-quiescence group by thread 3.
+  t.append(model::make_qfence(3, 0));
+  t.append(model::make_qfence(3, 1));
+  // The transactional write it races with, beginning after the fence.
+  const int b2 = t.append(model::make_begin(2));
+  t.append(model::make_write(2, 0, 7, Rational(3)));
+  t.append(model::make_commit(2, t[static_cast<std::size_t>(b2)].name));
+
+  const ConformanceReport mono = check_conformance(t);
+  ASSERT_TRUE(mono.mixed_race);  // the seeded race is real
+  ASSERT_EQ(mono.l_races, 1u);   // ...and it is exactly the straddling pair
+
+  WindowedOptions wnd;
+  wnd.min_window_events = 0;
+  const ConformanceReport windowed = check_conformance_windowed(
+      t, model::ModelConfig::implementation(), wnd);
+  EXPECT_TRUE(windowed.mixed_race);
+  EXPECT_EQ(windowed.verdict(), mono.verdict());
+  // The cut was refused, not silently taken: the race never straddled
+  // independently-checked windows.
+  EXPECT_EQ(windowed.windows, 1u);
+
+  // Control of the control: the same shape with the plain write properly
+  // bracketed (privatized by a transactional read of the writer's value,
+  // published by a commit touching the location before the fence) makes the
+  // cut valid -- two windows, no race, verdicts still identical.
+  model::Trace u = model::Trace::with_init(2);
+  const int c1 = u.append(model::make_begin(2));
+  u.append(model::make_write(2, 0, 1, Rational(1)));
+  u.append(model::make_write(2, 1, 1, Rational(1)));
+  u.append(model::make_commit(2, u[static_cast<std::size_t>(c1)].name));
+  const int c2 = u.append(model::make_begin(1));  // privatizing read
+  u.append(model::make_read(1, 0, 1, Rational(1)));
+  u.append(model::make_commit(1, u[static_cast<std::size_t>(c2)].name));
+  u.append(model::make_write(1, 0, 5, Rational(2)));
+  const int c3 = u.append(model::make_begin(1));  // publication txn
+  u.append(model::make_read(1, 0, 5, Rational(2)));
+  u.append(model::make_commit(1, u[static_cast<std::size_t>(c3)].name));
+  u.append(model::make_qfence(3, 0));
+  u.append(model::make_qfence(3, 1));
+  const int c4 = u.append(model::make_begin(2));
+  u.append(model::make_read(2, 0, 5, Rational(2)));
+  u.append(model::make_write(2, 0, 7, Rational(3)));
+  u.append(model::make_commit(2, u[static_cast<std::size_t>(c4)].name));
+  const ConformanceReport mu = check_conformance(u);
+  EXPECT_EQ(mu.l_races, 0u) << u.str();
+  const ConformanceReport wu = check_conformance_windowed(
+      u, model::ModelConfig::implementation(), wnd);
+  EXPECT_EQ(wu.windows, 2u);
+  EXPECT_EQ(wu.verdict(), mu.verdict());
+}
+
+TEST(Record, LongRecordingWindowedConformance) {
+  // The scaling regime: a fence-rich recording far beyond what the
+  // monolithic O(n^2)-relations checker should be asked to judge.  Kept to
+  // a few thousand events so debug/sanitizer CI jobs stay fast; the
+  // 10^4-event runs live in bench_checker / bench_stm_scaling.
+  auto stm = make_backend("tl2");
+  WorkloadOptions o;
+  o.threads = 3;
+  o.seed = 21;
+  o.ops_per_thread = 120;
+  const RecordedRun run = run_recorded_workload("bank_priv", *stm, o);
+  EXPECT_TRUE(run.invariant_ok);
+  EXPECT_GT(run.rec.trace.size(), 2000u);
+  const ConformanceReport rep = check_conformance_windowed(run.rec.trace);
+  EXPECT_GT(rep.windows, 4u) << "fences did not spread across the recording";
+  EXPECT_TRUE(rep.wf.ok()) << rep.wf.str();
+  EXPECT_EQ(rep.l_races, 0u);
+  EXPECT_FALSE(rep.mixed_race);
+  EXPECT_TRUE(rep.opaque_committed);
+}
+
 TEST(Record, CampaignRecordedJobGrid) {
   campaign::CampaignOptions opts;
   opts.litmus_jobs = false;

@@ -117,6 +117,42 @@ TEST(BitRel, AcyclicityDetectsCycle) {
   EXPECT_FALSE(r.is_acyclic());
 }
 
+TEST(BitRel, AcyclicityDetectsSelfLoop) {
+  BitRel r(2);
+  r.set(1, 1);
+  EXPECT_FALSE(r.is_acyclic());
+}
+
+TEST(BitRel, OrRowReportsChange) {
+  BitRel a(70), b(70);
+  b.set(1, 0);
+  b.set(1, 69);
+  EXPECT_TRUE(a.or_row(0, b, 1));
+  EXPECT_TRUE(a.test(0, 0));
+  EXPECT_TRUE(a.test(0, 69));
+  EXPECT_FALSE(a.or_row(0, b, 1));  // idempotent
+  // Self-aliased OR (row into itself) is a no-op.
+  EXPECT_FALSE(b.or_row(1, b, 1));
+}
+
+TEST(BitRel, ReachableFromMatchesClosureRow) {
+  BitRel r(6);
+  r.set(0, 1);
+  r.set(1, 2);
+  r.set(2, 0);  // cycle through 0
+  r.set(2, 4);
+  r.set(5, 4);
+  const BitRel c = r.transitive_closure();
+  const auto reach = r.reachable_from(0);
+  std::set<std::size_t> got(reach.begin(), reach.end());
+  std::set<std::size_t> want;
+  for (std::size_t b = 0; b < 6; ++b)
+    if (c.test(0, b)) want.insert(b);
+  EXPECT_EQ(got, want);
+  EXPECT_TRUE(got.count(0));  // on a cycle, a reaches itself
+  EXPECT_TRUE(r.reachable_from(3).empty());
+}
+
 TEST(BitRel, SubsetAndTranspose) {
   BitRel a(3), b(3);
   a.set(0, 1);
