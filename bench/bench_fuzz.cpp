@@ -1,0 +1,129 @@
+// Fuzz pipeline throughput: how much differential coverage a nightly minute
+// buys.  Measures the three phases separately — program generation, model
+// outcome enumeration, and recorded execution + conformance judgment across
+// the backend registry — plus a shrinker demo on an injected fence-skip
+// fault, and lands everything in the BENCH_fuzz.json artifact the nightly
+// fuzz lane uploads next to its counterexamples.
+//
+// Standalone driver (no Google Benchmark).
+//
+// Usage: bench_fuzz [--programs N] [--seed S] [--sched K] [--out PATH]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/report.hpp"
+#include "fuzz/fuzz.hpp"
+#include "stm/backend.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mtx;
+  int programs = 20;
+  std::uint64_t seed = 1;
+  fuzz::FuzzOptions fopts;
+  std::string out_path = "BENCH_fuzz.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--programs") == 0 && i + 1 < argc)
+      programs = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--sched") == 0 && i + 1 < argc)
+      fopts.sched_rounds = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const lit::RandomProgramParams params = campaign::default_fuzz_params();
+
+  const auto g0 = Clock::now();
+  const std::vector<lit::Program> progs =
+      fuzz::fuzz_programs(seed, programs, params);
+  const double gen_ms = ms_since(g0);
+
+  const auto e0 = Clock::now();
+  std::vector<fuzz::FuzzProgram> prepared;
+  prepared.reserve(progs.size());
+  for (std::size_t i = 0; i < progs.size(); ++i)
+    prepared.push_back(fuzz::prepare_fuzz_program(
+        progs[i], seed, static_cast<int>(i), fopts.enum_budget));
+  const double enum_ms = ms_since(e0);
+
+  const auto r0 = Clock::now();
+  std::size_t rows = 0, violations = 0, races = 0, runs = 0;
+  for (const fuzz::FuzzProgram& fp : prepared) {
+    for (const std::string& b : stm::backend_names()) {
+      const fuzz::FuzzRow row = fuzz::run_fuzz_job(fp, b, fopts);
+      ++rows;
+      runs += row.runs;
+      races += row.l_races;
+      if (!row.ok()) ++violations;
+    }
+  }
+  const double run_ms = ms_since(r0);
+
+  // Shrinker demo: inject the fence-skip fault into the first generated
+  // program carrying a fence and time the minimization.
+  double shrink_ms = 0;
+  std::size_t shrink_attempts = 0, shrunk_stmts = 0;
+  {
+    fuzz::FuzzOptions faulty = fopts;
+    faulty.fault_skip_fence = true;
+    for (const fuzz::FuzzProgram& fp : prepared) {
+      const auto s0 = Clock::now();
+      const fuzz::FuzzRow row = fuzz::run_fuzz_job(fp, "sgl", faulty);
+      if (!row.ok()) {
+        shrink_ms = ms_since(s0);
+        shrink_attempts = row.shrink_attempts;
+        shrunk_stmts = row.shrunk_stmts;
+        break;
+      }
+    }
+  }
+
+  std::printf(
+      "fuzz bench: %d programs  gen %.1f ms  enum %.1f ms  run %.1f ms "
+      "(%zu rows, %zu runs, %zu races, %zu violations)  shrink demo %.1f ms "
+      "(%zu attempts -> %zu stmts)\n",
+      programs, gen_ms, enum_ms, run_ms, rows, runs, races, violations,
+      shrink_ms, shrink_attempts, shrunk_stmts);
+
+  std::string json = "{\n";
+  json += "  \"programs\": " + std::to_string(programs) + ",\n";
+  json += "  \"seed\": " + std::to_string(seed) + ",\n";
+  json += "  \"sched_rounds\": " + std::to_string(fopts.sched_rounds) + ",\n";
+  json += "  \"rows\": " + std::to_string(rows) + ",\n";
+  json += "  \"runs\": " + std::to_string(runs) + ",\n";
+  json += "  \"l_races\": " + std::to_string(races) + ",\n";
+  json += "  \"violations\": " + std::to_string(violations) + ",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"gen_ms\": %.3f,\n  \"enum_ms\": %.3f,\n  \"run_ms\": "
+                "%.3f,\n  \"shrink_demo_ms\": %.3f,\n",
+                gen_ms, enum_ms, run_ms, shrink_ms);
+  json += buf;
+  json += "  \"shrink_demo_attempts\": " + std::to_string(shrink_attempts) +
+          ",\n  \"shrink_demo_stmts\": " + std::to_string(shrunk_stmts) + "\n}\n";
+  if (!campaign::write_file(out_path, json)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 2;
+  }
+  return violations == 0 ? 0 : 1;
+}

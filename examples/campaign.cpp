@@ -5,7 +5,11 @@
 //                 [--node-budget N] [--time-budget-ms N]
 //                 [--record] [--record-only] [--record-ops N]
 //                 [--record-seed N] [--record-monolithic]
-//                 [--record-window-min N] [--json PATH] [--csv PATH]
+//                 [--record-window-min N]
+//                 [--fuzz N] [--fuzz-only] [--fuzz-seed S] [--fuzz-sched K]
+//                 [--fuzz-no-shrink] [--fuzz-repro-dir DIR]
+//                 [--fuzz-time-budget-ms N] [--fuzz-threads N]
+//                 [--fuzz-stmts N] [--json PATH] [--csv PATH]
 //
 // --serial forces the single-threaded reference mode; --split additionally
 // shards each program's candidate space (frontier splitting).  Reports are
@@ -17,6 +21,14 @@
 // race/opacity checkers; --record-only skips the litmus catalog.  Judgments
 // use the fence-bounded windowed engine by default; --record-monolithic
 // forces the single-context reference checker.
+//
+// --fuzz N adds the differential fuzz grid: N random litmus programs (seeded
+// by --fuzz-seed, byte-reproducible) run on every registered backend under
+// --fuzz-sched schedule-perturbation seeds each; recorded executions are
+// judged against the model and violations are auto-shrunk to minimal
+// reproducers (written to --fuzz-repro-dir when given).  --fuzz-only skips
+// the litmus catalog; the exit code covers fuzz violations like any other
+// mismatch.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -71,6 +83,24 @@ int main(int argc, char** argv) {
       opts.record_windowed = false;
     else if (std::strcmp(argv[i], "--record-window-min") == 0)
       opts.record_window_min = static_cast<std::size_t>(count("--record-window-min"));
+    else if (std::strcmp(argv[i], "--fuzz") == 0)
+      opts.fuzz_count = static_cast<int>(count("--fuzz"));
+    else if (std::strcmp(argv[i], "--fuzz-only") == 0)
+      opts.litmus_jobs = false;
+    else if (std::strcmp(argv[i], "--fuzz-seed") == 0)
+      opts.fuzz_seed = count("--fuzz-seed");
+    else if (std::strcmp(argv[i], "--fuzz-sched") == 0)
+      opts.fuzz_sched_rounds = static_cast<int>(count("--fuzz-sched"));
+    else if (std::strcmp(argv[i], "--fuzz-no-shrink") == 0)
+      opts.fuzz_shrink = false;
+    else if (std::strcmp(argv[i], "--fuzz-repro-dir") == 0)
+      opts.fuzz_repro_dir = next("--fuzz-repro-dir");
+    else if (std::strcmp(argv[i], "--fuzz-time-budget-ms") == 0)
+      opts.fuzz_time_budget_ms = count("--fuzz-time-budget-ms");
+    else if (std::strcmp(argv[i], "--fuzz-threads") == 0)
+      opts.fuzz_params.threads = static_cast<int>(count("--fuzz-threads"));
+    else if (std::strcmp(argv[i], "--fuzz-stmts") == 0)
+      opts.fuzz_params.stmts_per_thread = static_cast<int>(count("--fuzz-stmts"));
     else if (std::strcmp(argv[i], "--json") == 0)
       json_path = next("--json");
     else if (std::strcmp(argv[i], "--csv") == 0)
@@ -111,9 +141,29 @@ int main(int argc, char** argv) {
     std::printf("%s\n", rec.render().c_str());
   }
 
-  std::printf("rows: %zu  recorded: %zu  mismatches: %zu  threads: %zu  shards: %zu  wall: %.1f ms\n",
-              r.jobs.size(), r.recorded.size(), r.mismatches, r.threads_used,
-              r.shard_count, r.wall_ms);
+  if (!r.fuzzed.empty()) {
+    Table fz({"program", "backend", "verdict", "model outcomes", "races",
+              "runs", "ms"});
+    for (const fuzz::FuzzRow& row : r.fuzzed) {
+      char ms[32];
+      std::snprintf(ms, sizeof(ms), "%.1f", row.millis);
+      fz.add_row({row.id, row.backend,
+                  row.skipped ? "skipped"
+                              : row.ok() ? "conformant"
+                                         : "DIVERGENT(" + row.failure + ")",
+                  std::to_string(row.model_outcomes),
+                  std::to_string(row.l_races), std::to_string(row.runs), ms});
+    }
+    std::printf("%s\n", fz.render().c_str());
+    for (const fuzz::FuzzRow& row : r.fuzzed)
+      if (!row.repro.empty())
+        std::printf("shrunk reproducer (%s on %s):\n%s\n", row.id.c_str(),
+                    row.backend.c_str(), row.repro.c_str());
+  }
+
+  std::printf("rows: %zu  recorded: %zu  fuzzed: %zu  mismatches: %zu  threads: %zu  shards: %zu  wall: %.1f ms\n",
+              r.jobs.size(), r.recorded.size(), r.fuzzed.size(), r.mismatches,
+              r.threads_used, r.shard_count, r.wall_ms);
 
   if (!json_path.empty() && !campaign::write_file(json_path, campaign::to_json(r))) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());

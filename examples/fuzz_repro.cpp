@@ -1,0 +1,100 @@
+// Reproduce one fuzz campaign job locally: regenerate program #INDEX from
+// the generator seed, print its litmus source, and re-run it on one (or
+// every) backend under the same schedule-perturbation seeds the campaign
+// used — the workflow for triaging a nightly counterexample (the artifact's
+// header line names the id "fz<seed>-<index>", the backend, and the
+// failing schedule seed).
+//
+// Usage: fuzz_repro --seed S --index I [--backend NAME] [--sched K]
+//                   [--sched-seed X] [--threads N] [--stmts N] [--shrink]
+//
+// --sched-seed re-runs exactly one recorded execution under schedule seed X
+// (as printed in a counterexample header) instead of the campaign's K
+// derived rounds.  Generator shape flags must match the campaign's
+// (defaults match the campaign defaults).  Exits 1 when any run diverges.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "fuzz/fuzz.hpp"
+#include "stm/backend.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mtx;
+  std::uint64_t seed = 1;
+  int index = 0;
+  std::string backend;
+  fuzz::FuzzOptions fopts;
+  fopts.shrink = false;
+  std::uint64_t sched_seed = 0;
+  bool have_sched_seed = false;
+  lit::RandomProgramParams params = campaign::default_fuzz_params();
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--seed") == 0)
+      seed = std::strtoull(next("--seed"), nullptr, 10);
+    else if (std::strcmp(argv[i], "--index") == 0)
+      index = std::atoi(next("--index"));
+    else if (std::strcmp(argv[i], "--backend") == 0)
+      backend = next("--backend");
+    else if (std::strcmp(argv[i], "--sched") == 0)
+      fopts.sched_rounds = std::atoi(next("--sched"));
+    else if (std::strcmp(argv[i], "--sched-seed") == 0) {
+      sched_seed = std::strtoull(next("--sched-seed"), nullptr, 10);
+      have_sched_seed = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0)
+      params.threads = std::atoi(next("--threads"));
+    else if (std::strcmp(argv[i], "--stmts") == 0)
+      params.stmts_per_thread = std::atoi(next("--stmts"));
+    else if (std::strcmp(argv[i], "--shrink") == 0)
+      fopts.shrink = true;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (index < 0) {
+    std::fprintf(stderr, "--index must be >= 0\n");
+    return 2;
+  }
+  if (!backend.empty() && !stm::make_backend(backend)) {
+    std::fprintf(stderr, "unknown backend: %s\n", backend.c_str());
+    return 2;
+  }
+
+  const auto progs = fuzz::fuzz_programs(seed, index + 1, params);
+  const fuzz::FuzzProgram fp =
+      fuzz::prepare_fuzz_program(progs.back(), seed, index, fopts.enum_budget);
+  std::printf("%s", lit::to_source(fp.program).c_str());
+  std::printf("# model outcomes: %zu%s\n\n", fp.model.size(),
+              fp.model_truncated ? " (truncated)" : "");
+
+  int bad = 0;
+  for (const std::string& b : stm::backend_names()) {
+    if (!backend.empty() && b != backend) continue;
+    fuzz::FuzzOptions o = fopts;
+    if (have_sched_seed) {
+      o.use_exact_sched = true;
+      o.exact_sched_seed = sched_seed;
+    }
+    const fuzz::FuzzRow row = fuzz::run_fuzz_job(fp, b, o);
+    const std::string verdict =
+        row.ok() ? "conformant" : "DIVERGENT: " + row.failure;
+    std::printf("%-6s %s  (wf=%d member=%d path=%d opacity=%d races=%zu)\n",
+                b.c_str(), verdict.c_str(), row.wellformed, row.outcome_member,
+                row.path_ok, row.opacity_ok, row.l_races);
+    if (!row.ok()) {
+      ++bad;
+      if (!row.repro.empty()) std::printf("%s\n", row.repro.c_str());
+    }
+  }
+  return bad ? 1 : 0;
+}

@@ -1,8 +1,10 @@
 #include "campaign/campaign.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <optional>
 
+#include "campaign/report.hpp"
 #include "model/model_config.hpp"
 #include "record/conformance.hpp"
 #include "record/workloads.hpp"
@@ -154,18 +156,78 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     return run_record_job(j.workload, j.backend, j.threads, opts);
   };
 
+  // Differential fuzz jobs: generate the program batch up front (one RNG
+  // stream, byte-deterministic), then prepare (model enumeration) and run
+  // (program × backend) as pool tasks.
+  std::vector<lit::Program> fuzz_progs;
+  if (opts.fuzz_count > 0)
+    fuzz_progs = fuzz::fuzz_programs(opts.fuzz_seed, opts.fuzz_count,
+                                     opts.fuzz_params);
+  fuzz::FuzzOptions fopts;
+  fopts.sched_rounds = opts.fuzz_sched_rounds;
+  fopts.shrink = opts.fuzz_shrink;
+  std::vector<fuzz::FuzzProgram> fuzz_prepared;
+  auto prepare_fuzz = [&](std::size_t i) {
+    return fuzz::prepare_fuzz_program(fuzz_progs[i], opts.fuzz_seed,
+                                      static_cast<int>(i), fopts.enum_budget);
+  };
+  struct FuzzJob {
+    std::size_t prog;
+    std::string backend;
+  };
+  std::vector<FuzzJob> fuzz_grid;
+  for (std::size_t i = 0; i < fuzz_progs.size(); ++i)
+    for (const std::string& b : stm::backend_names())
+      fuzz_grid.push_back({i, b});
+  // The budget covers the fuzz phase only (prepare + run), so the litmus
+  // and record phases never eat into it; the anchor is set right before
+  // the fuzz work starts in either execution branch.
+  std::optional<Clock::time_point> fuzz_deadline;
+  auto arm_fuzz_deadline = [&] {
+    if (opts.fuzz_time_budget_ms)
+      fuzz_deadline =
+          Clock::now() + std::chrono::milliseconds(opts.fuzz_time_budget_ms);
+  };
+  auto run_fuzz = [&](std::size_t k) {
+    const FuzzJob& j = fuzz_grid[k];
+    const fuzz::FuzzProgram& fp = fuzz_prepared[j.prog];
+    if (fuzz_deadline && Clock::now() > *fuzz_deadline) {
+      fuzz::FuzzRow row;
+      row.id = fp.id;
+      row.backend = j.backend;
+      row.threads = fp.program.threads.size();
+      row.stmts = lit::top_level_stmts(fp.program);
+      row.model_outcomes = fp.model.size();
+      row.skipped = true;
+      return row;
+    }
+    return fuzz::run_fuzz_job(fp, j.backend, fopts);
+  };
+
   std::vector<ShardResult> results;
   std::vector<RecordRow> record_rows;
+  std::vector<fuzz::FuzzRow> fuzz_rows;
   if (nthreads <= 1) {
     results.reserve(shards.size());
     for (std::size_t i = 0; i < shards.size(); ++i) results.push_back(run_shard(i));
     record_rows.reserve(record_jobs.size());
     for (std::size_t i = 0; i < record_jobs.size(); ++i)
       record_rows.push_back(run_record(i));
+    arm_fuzz_deadline();
+    fuzz_prepared.reserve(fuzz_progs.size());
+    for (std::size_t i = 0; i < fuzz_progs.size(); ++i)
+      fuzz_prepared.push_back(prepare_fuzz(i));
+    fuzz_rows.reserve(fuzz_grid.size());
+    for (std::size_t k = 0; k < fuzz_grid.size(); ++k)
+      fuzz_rows.push_back(run_fuzz(k));
   } else {
     ThreadPool pool(nthreads);
     results = parallel_map<ShardResult>(pool, shards.size(), run_shard);
     record_rows = parallel_map<RecordRow>(pool, record_jobs.size(), run_record);
+    arm_fuzz_deadline();
+    fuzz_prepared =
+        parallel_map<fuzz::FuzzProgram>(pool, fuzz_progs.size(), prepare_fuzz);
+    fuzz_rows = parallel_map<fuzz::FuzzRow>(pool, fuzz_grid.size(), run_fuzz);
   }
 
   // Fold shards into jobs, in catalog order.
@@ -196,6 +258,19 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
   out.recorded = std::move(record_rows);
   for (const RecordRow& rr : out.recorded)
     if (!rr.ok()) ++out.mismatches;
+  out.fuzzed = std::move(fuzz_rows);
+  for (const fuzz::FuzzRow& fr : out.fuzzed) {
+    if (!fr.ok()) ++out.mismatches;
+    if (!fr.repro.empty() && !opts.fuzz_repro_dir.empty()) {
+      const std::string path =
+          opts.fuzz_repro_dir + "/" + fr.id + "_" + fr.backend + ".litmus";
+      if (!write_file(path, fr.repro))
+        std::fprintf(stderr,
+                     "failed to write fuzz reproducer %s (is the directory "
+                     "present and writable?)\n",
+                     path.c_str());
+    }
+  }
   out.wall_ms = ms_since(t0);
   return out;
 }
@@ -217,6 +292,14 @@ std::string verdict_signature(const CampaignResult& r) {
     s += "rec:" + rr.workload + ":" + rr.backend + ":t" +
          std::to_string(rr.threads) + "," + (rr.ok() ? "C" : "V") + "," +
          std::to_string(rr.l_races) + "," + std::to_string(rr.committed) + "\n";
+  }
+  // Fuzz rows: verdict and model outcome count are schedule-independent for
+  // conformant runs (race counts are not — they vary with interleaving).
+  for (const fuzz::FuzzRow& fr : r.fuzzed) {
+    s += "fuzz:" + fr.id + ":" + fr.backend + "," +
+         (fr.skipped ? "S" : fr.ok() ? "C" : "V") + "," +
+         std::to_string(fr.model_outcomes) + "," + std::to_string(fr.runs) +
+         "\n";
   }
   return s;
 }

@@ -15,9 +15,18 @@
 #include <string>
 #include <vector>
 
+#include "fuzz/fuzz.hpp"
 #include "litmus/catalog.hpp"
 
 namespace mtx::campaign {
+
+// Fuzz generator defaults: small mixed programs with fences on, so the
+// implementation model's HBCQ/HBQB machinery is exercised end to end.
+inline lit::RandomProgramParams default_fuzz_params() {
+  lit::RandomProgramParams p;
+  p.fence_percent = 20;
+  return p;
+}
 
 struct CampaignOptions {
   // Worker threads; 0 = hardware concurrency, 1 = serial reference mode.
@@ -51,6 +60,22 @@ struct CampaignOptions {
   // just scales to far longer recordings).  Off = monolithic reference mode.
   bool record_windowed = true;
   std::size_t record_window_min = 64;  // minimum source events per window
+
+  // ----- differential fuzz jobs -----
+  // When > 0, generates `fuzz_count` random litmus programs from fuzz_seed,
+  // runs each on every registered backend under fuzz_sched_rounds schedule
+  // seeds, and judges the recorded executions against the model (see
+  // fuzz/fuzz.hpp for the conformance criteria).  Rows appear beside the
+  // litmus and recorded rows; non-conformant rows count as mismatches.
+  int fuzz_count = 0;
+  std::uint64_t fuzz_seed = 1;
+  int fuzz_sched_rounds = 2;
+  bool fuzz_shrink = true;
+  std::string fuzz_repro_dir;  // write shrunk reproducers here ("" = don't)
+  // Wall-clock budget for the fuzz grid; jobs past the deadline report as
+  // skipped rather than silently vanishing.  0 = unbounded.
+  std::uint64_t fuzz_time_budget_ms = 0;
+  lit::RandomProgramParams fuzz_params = default_fuzz_params();
 };
 
 // One (catalog entry, expectation) verdict plus its execution record.
@@ -96,8 +121,9 @@ struct RecordRow {
 struct CampaignResult {
   std::vector<JobResult> jobs;    // catalog order, schedule-independent
   std::vector<RecordRow> recorded;  // backend x workload x threads order
-  std::size_t mismatches = 0;     // rows where measured != paper,
-                                  // plus non-conformant recorded rows
+  std::vector<fuzz::FuzzRow> fuzzed;  // program x backend grid order
+  std::size_t mismatches = 0;     // rows where measured != paper, plus
+                                  // non-conformant recorded and fuzz rows
   std::size_t threads_used = 1;
   std::size_t shard_count = 0;    // pool tasks executed
   double wall_ms = 0;

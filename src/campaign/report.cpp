@@ -1,6 +1,7 @@
 #include "campaign/report.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace mtx::campaign {
 
@@ -54,6 +55,36 @@ std::string to_json(const CampaignResult& r, const std::string& run_label) {
     s += (i + 1 < r.jobs.size()) ? ",\n" : "\n";
   }
   s += "  ],\n";
+  s += "  \"fuzz\": [\n";
+  for (std::size_t i = 0; i < r.fuzzed.size(); ++i) {
+    const fuzz::FuzzRow& fr = r.fuzzed[i];
+    s += "    {\"id\": \"" + json_escape(fr.id) + "\", \"backend\": \"" +
+         json_escape(fr.backend) +
+         "\", \"threads\": " + std::to_string(fr.threads) +
+         ", \"stmts\": " + std::to_string(fr.stmts) +
+         ", \"conformant\": " + (fr.ok() ? "true" : "false") +
+         ", \"skipped\": " + (fr.skipped ? "true" : "false") +
+         ", \"wellformed\": " + (fr.wellformed ? "true" : "false") +
+         ", \"outcome_member\": " + (fr.outcome_member ? "true" : "false") +
+         ", \"path_ok\": " + (fr.path_ok ? "true" : "false") +
+         ", \"opacity_ok\": " + (fr.opacity_ok ? "true" : "false") +
+         ", \"opacity_checked\": " + (fr.opacity_checked ? "true" : "false") +
+         ", \"zombie_regs\": " + (fr.zombie_regs ? "true" : "false") +
+         ", \"mixed_interference\": " + (fr.mixed_interference ? "true" : "false") +
+         ", \"model_outcomes\": " + std::to_string(fr.model_outcomes) +
+         ", \"model_truncated\": " + (fr.model_truncated ? "true" : "false") +
+         ", \"l_races\": " + std::to_string(fr.l_races) +
+         ", \"mixed_race\": " + (fr.mixed_race ? "true" : "false") +
+         ", \"runs\": " + std::to_string(fr.runs) +
+         ", \"failure\": \"" + json_escape(fr.failure) +
+         "\", \"fail_sched\": " + std::to_string(fr.fail_sched) +
+         ", \"shrunk_threads\": " + std::to_string(fr.shrunk_threads) +
+         ", \"shrunk_stmts\": " + std::to_string(fr.shrunk_stmts) +
+         ", \"repro\": \"" + json_escape(fr.repro) +
+         "\", \"ms\": " + fmt_ms(fr.millis) + "}";
+    s += (i + 1 < r.fuzzed.size()) ? ",\n" : "\n";
+  }
+  s += "  ],\n";
   s += "  \"recorded\": [\n";
   for (std::size_t i = 0; i < r.recorded.size(); ++i) {
     const RecordRow& rr = r.recorded[i];
@@ -102,10 +133,42 @@ std::string to_csv(const CampaignResult& r) {
          (rr.ok() ? "yes" : "no") + "," + std::to_string(rr.l_races) + "," +
          std::to_string(rr.committed) + ",no\n";
   }
+  // Fuzz rows, same column shape: outcomes carries the model outcome count
+  // and consistent_execs the schedule rounds run — all fields here are
+  // schedule-independent for conformant rows, so same-seed runs diff clean.
+  for (const fuzz::FuzzRow& fr : r.fuzzed) {
+    s += "fuzz:" + fr.id + ":" + fr.backend + ",fuzz,conformant," +
+         (fr.skipped ? "skipped" : fr.ok() ? "conformant" : "divergent") +
+         "," + (fr.ok() ? "yes" : "no") + "," +
+         std::to_string(fr.model_outcomes) + "," + std::to_string(fr.runs) +
+         "," + (fr.model_truncated || fr.skipped ? "yes" : "no") + "\n";
+  }
   return s;
 }
 
+bool is_git_tracked(const std::string& path) {
+  // Shelling out keeps this dependency-free; paths that can't be safely
+  // single-quoted are treated as untracked rather than rejected.
+  if (path.empty() || path.find('\'') != std::string::npos) return false;
+  const auto slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : slash == 0 ? "/" : path.substr(0, slash);
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  if (base.empty()) return false;
+  const std::string cmd = "git -C '" + dir + "' ls-files --error-unmatch -- '" +
+                          base + "' >/dev/null 2>&1";
+  return std::system(cmd.c_str()) == 0;
+}
+
 bool write_file(const std::string& path, const std::string& contents) {
+  if (is_git_tracked(path)) {
+    std::fprintf(stderr,
+                 "refusing to overwrite git-tracked path %s: bench/campaign "
+                 "artifacts are generated, never committed\n",
+                 path.c_str());
+    return false;
+  }
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) return false;
   const std::size_t n = std::fwrite(contents.data(), 1, contents.size(), f);

@@ -19,7 +19,13 @@ std::string to_json(const CampaignResult& r, const std::string& run_label = "");
 // surface the byte-identical tests compare.
 std::string to_csv(const CampaignResult& r);
 
-// Returns false on I/O failure.
+// True when `path` is a file tracked by an enclosing git repository (best
+// effort: false when git, the repo, or the file is absent).
+bool is_git_tracked(const std::string& path);
+
+// Returns false on I/O failure — or, for every bench/campaign artifact
+// writer, when `path` is git-tracked: generated artifacts (BENCH_*.json,
+// campaign CSVs, fuzz reproducers) must never clobber committed files.
 bool write_file(const std::string& path, const std::string& contents);
 
 }  // namespace mtx::campaign

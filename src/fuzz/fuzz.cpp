@@ -1,0 +1,268 @@
+#include "fuzz/fuzz.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "litmus/graph_enum.hpp"
+#include "model/model_config.hpp"
+#include "record/conformance.hpp"
+#include "stm/backend.hpp"
+
+namespace mtx::fuzz {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// One recorded execution judged against a precomputed model outcome set.
+struct RunVerdict {
+  bool wellformed = false;
+  bool outcome_member = false;
+  bool path_ok = false;
+  bool opacity_ok = true;
+  bool opacity_checked = false;
+  bool zombie_regs = false;
+  bool mixed_interference = false;
+  std::size_t l_races = 0;
+  bool mixed_race = false;
+  std::string path_error;
+
+  bool ok() const {
+    return wellformed && outcome_member && path_ok && opacity_ok;
+  }
+  const char* failure() const {
+    if (!wellformed) return "wellformed";
+    if (!path_ok) return "path";
+    if (!outcome_member) return "outcome";
+    if (!opacity_ok) return "opacity";
+    return "";
+  }
+};
+
+RunVerdict judge_run(const lit::Program& p, const lit::OutcomeSet& model,
+                     bool model_truncated, const std::string& backend,
+                     std::uint64_t sched_seed, const FuzzOptions& opts) {
+  auto stm = stm::make_backend(backend);
+  InterpretOptions iopts;
+  iopts.sched_seed = sched_seed;
+  iopts.yield_percent = opts.yield_percent;
+  iopts.fault_skip_fence = opts.fault_skip_fence;
+  const InterpretResult run = interpret(p, *stm, iopts);
+
+  const record::ConformanceReport rep =
+      record::check_conformance(run.rec.trace);
+
+  RunVerdict v;
+  v.wellformed = rep.wf.ok();
+  v.path_ok = run.path_ok;
+  v.path_error = run.path_error;
+  v.l_races = rep.l_races;
+  v.mixed_race = rep.mixed_race;
+
+  // Mixed interference: a plain access conflicting, outside happens-before,
+  // with a transaction's accesses.  The paper's refinement and isolation
+  // guarantees are all conditional on its absence (Lemma 5.1's hypothesis
+  // and §3's anomaly catalog): under it, in-place backends can lose a plain
+  // write to an undo rollback, leak a speculative value to a plain read
+  // (Ex 3.4 lost update / dirty read), or break a transaction's read-own-
+  // write atomicity — behaviors the model never produces.  Detected as any
+  // recorded race with a transactional side (tx_races, computed by the
+  // conformance pass on its shared analysis context), plus the aborted-write
+  // case the race definition cannot see (aborted actions never race): an
+  // aborted in-place write sharing a location with a plain access.
+  const model::Trace& tr = run.rec.trace;
+  bool interference = rep.tx_races > 0;
+  if (!interference) {
+    std::vector<bool> spec;
+    for (std::size_t i = 0; i < tr.size(); ++i) {
+      if (tr[i].is_write() && tr.aborted(i) && tr[i].loc >= 0) {
+        if (spec.size() <= static_cast<std::size_t>(tr[i].loc))
+          spec.resize(static_cast<std::size_t>(tr[i].loc) + 1, false);
+        spec[static_cast<std::size_t>(tr[i].loc)] = true;
+      }
+    }
+    for (std::size_t i = 0; i < tr.size() && !interference; ++i)
+      interference = tr.plain(i) && tr[i].is_memory_access() &&
+                     tr[i].loc >= 0 &&
+                     static_cast<std::size_t>(tr[i].loc) < spec.size() &&
+                     spec[static_cast<std::size_t>(tr[i].loc)];
+  }
+  v.mixed_interference = interference;
+
+  // A mixed-interference dirty read faithfully records as a read from an
+  // aborted write, which WF7 (correctly) rejects; that specific rule is
+  // waived under interference.  Any other well-formedness violation is a
+  // recorder invariant broken and always fails the row.
+  if (!v.wellformed && interference) {
+    bool only_wf7 = true;
+    for (const model::WfViolation& viol : rep.wf.violations)
+      only_wf7 = only_wf7 && viol.rule == 7;
+    v.wellformed = only_wf7;
+  }
+
+  // Outcome refinement.  A truncated model enumeration may be missing the
+  // observed outcome, so membership is only judged on complete sets; under
+  // mixed interference membership is waived — flagged, not judged.
+  if (model_truncated || interference) {
+    v.outcome_member = true;
+  } else if (model.outcomes().count(run.outcome)) {
+    v.outcome_member = true;
+  } else if (!stm->zombie_free()) {
+    // The eager class can retain registers from an explicitly aborted
+    // attempt that read an inconsistent snapshot (Example 3.4 zombies) —
+    // outside its declared guarantee.  Memory (committed state) must still
+    // refine the model; a mem-only match is waived, not a violation.
+    for (const lit::Outcome& o : model.outcomes()) {
+      if (o.mem == run.outcome.mem) {
+        v.outcome_member = true;
+        v.zombie_regs = true;
+        break;
+      }
+    }
+  }
+
+  // The paper's opacity guarantees are hypotheses-conditional: only judge
+  // opacity when this recorded trace is race- and interference-free.
+  if (rep.l_races == 0 && !rep.mixed_race && !interference) {
+    v.opacity_checked = true;
+    v.opacity_ok = stm->zombie_free() ? rep.opaque : rep.opaque_committed;
+  }
+  return v;
+}
+
+// The whole-job oracle the shrinker re-runs: does (q, backend) still fail
+// on any of the schedule rounds?
+bool job_fails(const lit::Program& q, const std::string& backend,
+               std::uint64_t sched_base, const FuzzOptions& opts) {
+  try {
+    lit::EnumOptions eopts;
+    eopts.budget = opts.enum_budget;
+    lit::GraphEnum e(q, model::ModelConfig::implementation(), eopts);
+    const lit::OutcomeSet model = e.outcomes();
+    const bool truncated = e.stats().truncated;
+    for (int k = 0; k < opts.sched_rounds; ++k) {
+      if (!judge_run(q, model, truncated, backend, sched_base + k, opts).ok())
+        return true;
+    }
+  } catch (const std::exception&) {
+    // A candidate the interpreter/enumerator rejects is not a reproducer.
+    return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<lit::Program> fuzz_programs(std::uint64_t seed, int count,
+                                        const lit::RandomProgramParams& params) {
+  Rng rng(seed);
+  std::vector<lit::Program> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    lit::Program p = lit::random_program(rng, params);
+    p.name = "fz" + std::to_string(seed) + "-" + std::to_string(i);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+FuzzProgram prepare_fuzz_program(lit::Program p, std::uint64_t seed, int index,
+                                 std::uint64_t enum_budget) {
+  FuzzProgram fp;
+  fp.id = "fz" + std::to_string(seed) + "-" + std::to_string(index);
+  fp.sched_base = seed * 0x9e3779b97f4a7c15ull +
+                  static_cast<std::uint64_t>(index) * 7919ull;
+  lit::EnumOptions eopts;
+  eopts.budget = enum_budget;
+  lit::GraphEnum e(p, model::ModelConfig::implementation(), eopts);
+  fp.model = e.outcomes();
+  fp.model_truncated = e.stats().truncated;
+  fp.program = std::move(p);
+  return fp;
+}
+
+FuzzRow run_fuzz_job(const FuzzProgram& fp, const std::string& backend,
+                     const FuzzOptions& opts) {
+  const auto t0 = Clock::now();
+  FuzzRow row;
+  row.id = fp.id;
+  row.backend = backend;
+  row.threads = fp.program.threads.size();
+  row.stmts = lit::top_level_stmts(fp.program);
+  row.model_outcomes = fp.model.size();
+  row.model_truncated = fp.model_truncated;
+  row.wellformed = true;
+  row.outcome_member = true;
+  row.path_ok = true;
+
+  const std::uint64_t sched_base = opts.use_exact_sched
+                                       ? opts.exact_sched_seed
+                                       : fp.sched_base + fnv1a(backend);
+  const int rounds = opts.use_exact_sched ? 1 : opts.sched_rounds;
+  RunVerdict first_fail;
+  for (int k = 0; k < rounds; ++k) {
+    const RunVerdict v = judge_run(fp.program, fp.model, fp.model_truncated,
+                                   backend, sched_base + k, opts);
+    ++row.runs;
+    row.wellformed = row.wellformed && v.wellformed;
+    row.outcome_member = row.outcome_member && v.outcome_member;
+    row.path_ok = row.path_ok && v.path_ok;
+    row.zombie_regs = row.zombie_regs || v.zombie_regs;
+    row.mixed_interference = row.mixed_interference || v.mixed_interference;
+    if (v.opacity_checked) {
+      row.opacity_checked = true;
+      row.opacity_ok = row.opacity_ok && v.opacity_ok;
+    }
+    row.l_races = std::max(row.l_races, v.l_races);
+    row.mixed_race = row.mixed_race || v.mixed_race;
+    if (!v.ok() && row.failure.empty()) {
+      row.failure = v.failure();
+      row.fail_sched = sched_base + k;
+      first_fail = v;
+    }
+  }
+
+  if (!row.ok() && opts.shrink) {
+    ShrinkOptions sopts;
+    sopts.max_attempts = opts.shrink_max_attempts;
+    FuzzOptions oopts = opts;  // the oracle replays this job's exact rounds
+    oopts.sched_rounds = rounds;
+    const ShrinkResult sr = shrink(
+        fp.program,
+        [&](const lit::Program& q) {
+          return job_fails(q, backend, sched_base, oopts);
+        },
+        sopts);
+    row.shrunk_threads = sr.program.threads.size();
+    row.shrunk_stmts = lit::top_level_stmts(sr.program);
+    row.shrink_attempts = sr.attempts;
+    row.repro = "# mtx fuzz counterexample\n# id " + row.id + " backend " +
+                backend + " sched-seed " + std::to_string(row.fail_sched) +
+                " failure " + row.failure + "\n# shrunk from " +
+                std::to_string(row.threads) + " threads / " +
+                std::to_string(row.stmts) + " top-level stmts in " +
+                std::to_string(sr.attempts) + " oracle runs\n" +
+                (first_fail.path_error.empty()
+                     ? std::string()
+                     : "# " + first_fail.path_error + "\n") +
+                lit::to_source(sr.program);
+  }
+
+  row.millis = ms_since(t0);
+  return row;
+}
+
+}  // namespace mtx::fuzz

@@ -1,0 +1,129 @@
+// Differential fuzz jobs: random litmus programs executed on real STM
+// backends and judged against the model.
+//
+// One fuzz job = (generated program, backend).  The program's model-allowed
+// outcome set is enumerated once (implementation model: the runtime has
+// quiescence fences); the program then runs `sched_rounds` times on the
+// backend under distinct schedule-perturbation seeds, each run recorded and
+// judged.  A run conforms when
+//
+//   1. the recorded trace is well-formed (WF1..WF12);
+//   2. its final state (memory + registers) is a model-allowed outcome —
+//      the runtime, which is strictly stronger than the paper's weak model,
+//      must refine it;
+//   3. each thread's recorded log structurally matches a control path of
+//      its source block (catches dropped fences/accesses deterministically);
+//   4. when the recorded trace is race-free, the backend's declared opacity
+//      level holds (the paper's bounded-races theorems promise nothing for
+//      racy traces, and random programs race on purpose — races are
+//      reported, not judged).
+//
+// Refinement (1 + 2) is judged modulo *mixed interference* — a plain access
+// racing with a transaction's accesses, or touching an aborted in-place
+// write's location.  That is precisely the hypothesis the paper's
+// guarantees carry (Lemma 5.1, the §3 anomaly catalog): under it, real
+// backends legitimately produce lost updates, dirty reads and broken
+// read-own-write atomicity the model never shows.  Affected rows waive WF7
+// dirty-read violations and outcome membership but are flagged
+// (mixed_interference), never silently dropped; a second flagged waiver
+// covers register state from explicitly aborted zombie snapshots on
+// non-zombie-free backends (memory must still match).
+//
+// On any violation the shrinker greedily minimizes the program, re-running
+// this oracle at each step, and the row carries a self-contained litmus
+// reproducer plus the seed that found it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/interpreter.hpp"
+#include "fuzz/shrink.hpp"
+#include "litmus/outcome.hpp"
+#include "litmus/random_program.hpp"
+
+namespace mtx::fuzz {
+
+struct FuzzOptions {
+  int sched_rounds = 2;            // perturbation seeds per (program, backend)
+  unsigned yield_percent = 30;
+  std::uint64_t enum_budget = 2'000'000;  // model enumeration node budget
+  bool shrink = true;
+  std::size_t shrink_max_attempts = 300;
+  // Fault injection (tests / shrinker demos): interpreter drops fences.
+  bool fault_skip_fence = false;
+  // Exact replay: run a single round at precisely this schedule seed (the
+  // fail_sched a counterexample header prints), bypassing the derived
+  // sched_base + backend-salt + round scheme.
+  bool use_exact_sched = false;
+  std::uint64_t exact_sched_seed = 0;
+};
+
+// A generated program with its model-side work precomputed, shared across
+// the backend × schedule grid.
+struct FuzzProgram {
+  lit::Program program;
+  std::string id;                // "fz<seed>-<index>"
+  std::uint64_t sched_base = 0;  // schedule seeds are sched_base + round
+  lit::OutcomeSet model;         // implementation-model outcomes
+  bool model_truncated = false;  // enumeration hit the node budget
+};
+
+struct FuzzRow {
+  std::string id;
+  std::string backend;
+  std::size_t threads = 0;  // program shape, for reports
+  std::size_t stmts = 0;    // top-level statements
+
+  bool wellformed = false;
+  bool outcome_member = false;
+  bool path_ok = false;
+  bool opacity_ok = true;        // only meaningful when opacity_checked
+  bool opacity_checked = false;  // some round was race-free
+  bool zombie_regs = false;      // eager-class divergence waived (mem matched)
+  // Refinement judged only modulo mixed interference: a plain access
+  // racing with (or touching the aborted speculative state of) a
+  // transaction voids the model's guarantees (Lemma 5.1's hypothesis, the
+  // Ex 3.4 anomaly class), so WF7 dirty reads and outcome membership are
+  // waived — and flagged here — when it occurs.
+  bool mixed_interference = false;
+  std::size_t model_outcomes = 0;
+  bool model_truncated = false;
+  std::size_t l_races = 0;  // max over rounds — informational
+  bool mixed_race = false;  // informational
+  std::size_t runs = 0;
+  bool skipped = false;  // fuzz time budget hit before this job ran
+
+  // Violation payload: a self-contained reproducer (empty when conformant).
+  std::string repro;
+  std::string failure;  // "path" / "outcome" / "wellformed" / "opacity"
+  std::uint64_t fail_sched = 0;
+  std::size_t shrunk_threads = 0;
+  std::size_t shrunk_stmts = 0;
+  std::size_t shrink_attempts = 0;
+
+  double millis = 0;
+
+  bool ok() const {
+    return skipped ||
+           (wellformed && outcome_member && path_ok && opacity_ok);
+  }
+};
+
+// Deterministic program batch: `count` programs drawn from one RNG stream
+// seeded with `seed` (byte-identical across runs — the determinism pin).
+std::vector<lit::Program> fuzz_programs(std::uint64_t seed, int count,
+                                        const lit::RandomProgramParams& params);
+
+// Enumerates the model outcome set; `index` names the program and salts the
+// schedule-seed base.
+FuzzProgram prepare_fuzz_program(lit::Program p, std::uint64_t seed, int index,
+                                 std::uint64_t enum_budget);
+
+// Runs the (program, backend) job: sched_rounds recorded executions, the
+// conformance judgment, and (on violation) the shrinker.
+FuzzRow run_fuzz_job(const FuzzProgram& fp, const std::string& backend,
+                     const FuzzOptions& opts = {});
+
+}  // namespace mtx::fuzz

@@ -1,0 +1,545 @@
+#include "fuzz/interpreter.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "litmus/program.hpp"
+#include "substrate/threading.hpp"
+
+namespace mtx::fuzz {
+
+namespace {
+
+using lit::Block;
+using lit::Stmt;
+using model::Loc;
+using model::Value;
+
+// ----- schedule perturbation -------------------------------------------
+
+enum : std::uint8_t { kRunOn = 0, kYield = 1, kSpin = 2 };
+
+std::uint8_t draw_decision(Rng& rng, unsigned yield_percent) {
+  if (!yield_percent) return kRunOn;
+  if (!rng.chance(yield_percent, 100)) return kRunOn;
+  // A quarter of the perturbations are short spins (backoff-shaped delays
+  // that keep the thread runnable); the rest are scheduler yields.
+  return rng.chance(1, 4) ? kSpin : kYield;
+}
+
+void apply_decision(std::uint8_t d) {
+  if (d == kYield) {
+    std::this_thread::yield();
+  } else if (d == kSpin) {
+    for (int i = 0; i < 64; ++i) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#else
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+    }
+  }
+}
+
+}  // namespace
+
+void SchedulePerturber::perturb() {
+  const std::uint8_t d = draw_decision(rng_, yield_percent_);
+  decisions_.push_back(d);
+  apply_decision(d);
+}
+
+std::vector<std::uint8_t> SchedulePerturber::decision_preview(
+    std::uint64_t seed, std::size_t n, unsigned yield_percent) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(draw_decision(rng, yield_percent));
+  return out;
+}
+
+void SchedulePerturber::on_begin() {
+  perturb();
+  inner_->on_begin();
+}
+void SchedulePerturber::on_commit() {
+  perturb();
+  inner_->on_commit();
+}
+void SchedulePerturber::on_abort() { inner_->on_abort(); }
+void SchedulePerturber::on_fence() { inner_->on_fence(); }
+stm::word_t SchedulePerturber::tx_read(const stm::Cell& c) {
+  perturb();
+  return inner_->tx_read(c);
+}
+void SchedulePerturber::retract_read() { inner_->retract_read(); }
+void SchedulePerturber::on_buffered_read() { inner_->on_buffered_read(); }
+void SchedulePerturber::tx_publish(stm::Cell& c, stm::word_t v) {
+  perturb();
+  inner_->tx_publish(c, v);
+}
+std::uint64_t SchedulePerturber::loc_version(const stm::Cell& c) {
+  return inner_->loc_version(c);
+}
+void SchedulePerturber::tx_unpublish(stm::Cell& c, stm::word_t v,
+                                     std::uint64_t version) {
+  inner_->tx_unpublish(c, v, version);
+}
+stm::word_t SchedulePerturber::plain_load(const stm::Cell& c) {
+  perturb();
+  return inner_->plain_load(c);
+}
+void SchedulePerturber::plain_store(stm::Cell& c, stm::word_t v) {
+  perturb();
+  inner_->plain_store(c, v);
+}
+
+// ----- static validation ------------------------------------------------
+
+namespace {
+
+void validate_block(const Block& b, int num_locs, bool in_atomic) {
+  for (const Stmt& s : b) {
+    if ((s.kind == Stmt::Kind::Read || s.kind == Stmt::Kind::Write ||
+         s.kind == Stmt::Kind::Fence)) {
+      // Dynamic locations would evaluate at run time, where an out-of-range
+      // index inside a transaction would unwind through backend code that
+      // only expects TxConflict/TxUserAbort; reject them up front (neither
+      // the random generator nor the shrinker produces them).
+      if (s.loc.dynamic())
+        throw std::invalid_argument(
+            "fuzz interpreter: dynamic (register-indexed) locations are not "
+            "supported");
+      if (s.loc.base < 0 || s.loc.base >= num_locs)
+        throw std::invalid_argument("fuzz interpreter: location out of range");
+    }
+    if (s.kind == Stmt::Kind::Read && (s.reg < 0 || s.reg >= lit::kMaxRegs))
+      throw std::invalid_argument("fuzz interpreter: register out of range");
+    switch (s.kind) {
+      case Stmt::Kind::Abort:
+        if (!in_atomic) throw std::invalid_argument("abort outside atomic");
+        break;
+      case Stmt::Kind::Fence:
+        if (in_atomic) throw std::invalid_argument("qfence inside atomic");
+        break;
+      case Stmt::Kind::Atomic:
+        if (in_atomic) throw std::invalid_argument("nested atomic");
+        validate_block(s.body, num_locs, /*in_atomic=*/true);
+        break;
+      case Stmt::Kind::If:
+        validate_block(s.body, num_locs, in_atomic);
+        validate_block(s.else_body, num_locs, in_atomic);
+        break;
+      case Stmt::Kind::While:
+        validate_block(s.body, num_locs, in_atomic);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+// ----- execution --------------------------------------------------------
+
+struct ThreadRun {
+  std::vector<Value> regs = std::vector<Value>(lit::kMaxRegs, 0);
+  bool while_overrun = false;
+};
+
+struct Exec {
+  const lit::Program& prog;
+  std::vector<stm::Cell>& cells;
+  stm::StmBackend& stm;
+  const InterpretOptions& opts;
+
+  // tx == nullptr outside transactions.
+  void block(const Block& b, std::vector<Value>& regs, ThreadRun& tr,
+             stm::TxHandle* tx) {
+    for (const Stmt& s : b) stmt(s, regs, tr, tx);
+  }
+
+  void stmt(const Stmt& s, std::vector<Value>& regs, ThreadRun& tr,
+            stm::TxHandle* tx) {
+    switch (s.kind) {
+      case Stmt::Kind::Read: {
+        stm::Cell& c = cells[static_cast<std::size_t>(s.loc.base)];
+        const stm::word_t w = tx ? tx->read(c) : c.plain_load();
+        regs[static_cast<std::size_t>(s.reg)] = static_cast<Value>(w);
+        break;
+      }
+      case Stmt::Kind::Write: {
+        stm::Cell& c = cells[static_cast<std::size_t>(s.loc.base)];
+        const auto w = static_cast<stm::word_t>(s.value.eval(regs));
+        if (tx)
+          tx->write(c, w);
+        else
+          c.plain_store(w);
+        break;
+      }
+      case Stmt::Kind::Atomic: {
+        // Conflict-retried attempts must leave no register trace (they do
+        // not exist in the model), so each attempt runs on a scratch copy,
+        // installed only once the backend returns.  The final attempt's
+        // copy survives whether it committed or user-aborted: the model's
+        // explicitly-aborted paths do bind registers from their reads.
+        std::vector<Value> attempt;
+        stm.atomically([&](stm::TxHandle& t) {
+          attempt = regs;
+          block(s.body, attempt, tr, &t);
+        });
+        regs = std::move(attempt);
+        break;
+      }
+      case Stmt::Kind::If:
+        block(s.cond.eval(regs) ? s.body : s.else_body, regs, tr, tx);
+        break;
+      case Stmt::Kind::While: {
+        int iter = 0;
+        while (iter < s.bound && s.cond.eval(regs)) {
+          block(s.body, regs, tr, tx);
+          ++iter;
+        }
+        // The model's bounded unrolling requires the loop to exit within
+        // `bound` iterations (every expanded path ends with the negative
+        // guard); an execution that is still looping has no model
+        // counterpart and must be flagged, not silently truncated.
+        if (iter == s.bound && s.cond.eval(regs)) tr.while_overrun = true;
+        break;
+      }
+      case Stmt::Kind::Abort:
+        static_cast<stm::TxHandle*>(tx)->user_abort();  // [[noreturn]] throw
+        break;
+      case Stmt::Kind::Fence:
+        if (!opts.fault_skip_fence) stm.quiesce();
+        break;
+    }
+  }
+};
+
+// ----- structural program-trace conformance -----------------------------
+//
+// A thread's recorded event log must match some control path of its source
+// block, modulo runtime artifacts the model does not see:
+//   - conflict-retried attempts (Begin..Abort spans) may be skipped;
+//   - transactional reads served from the redo log are not recorded, so a
+//     segment's recorded read set is a SUBSET of the path's;
+//   - lazy backends publish each written location once at commit and eager
+//     backends store per write, so a committed segment's DISTINCT written
+//     locations must EQUAL the path's, while an explicitly aborted
+//     segment's (eager in-place stores, later undone invisibly) need only
+//     be a subset.
+// Matching is structural (kinds + locations); values flow through registers
+// and are judged by the model-outcome membership check instead.
+
+struct Tok {
+  enum class Kind { Plain, Atomic, Fence };
+  Kind kind = Kind::Plain;
+  bool is_read = false;  // Plain
+  int loc = -1;          // Plain: program location (-1 = wildcard)
+  bool committed = false;            // Atomic
+  std::vector<int> reads, writes;    // Atomic: sorted distinct program locs
+  bool has_dynamic = false;          // Atomic/Plain from a dynamic LocExpr
+};
+
+void insert_sorted(std::vector<int>& v, int x) {
+  auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) v.insert(it, x);
+}
+
+bool subset_of(const std::vector<int>& a, const std::vector<int>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+// Recorded events of one thread → tokens.  Returns false (with *err set) on
+// a log the seam should never produce.
+bool log_tokens(const std::vector<record::Event>& evs,
+                const std::vector<int>& sess2prog, std::vector<Tok>& out,
+                std::string* err) {
+  bool in_atomic = false;
+  Tok at;
+  auto prog_loc = [&](std::int32_t sess) {
+    return sess >= 0 && static_cast<std::size_t>(sess) < sess2prog.size()
+               ? sess2prog[static_cast<std::size_t>(sess)]
+               : -1;
+  };
+  for (const record::Event& e : evs) {
+    switch (e.kind) {
+      case record::Ev::Begin:
+        if (in_atomic) {
+          *err = "nested Begin in thread log";
+          return false;
+        }
+        at = Tok{};
+        at.kind = Tok::Kind::Atomic;
+        in_atomic = true;
+        break;
+      case record::Ev::Commit:
+      case record::Ev::Abort:
+        if (!in_atomic) {
+          *err = "resolution without Begin in thread log";
+          return false;
+        }
+        at.committed = e.kind == record::Ev::Commit;
+        out.push_back(at);
+        in_atomic = false;
+        break;
+      case record::Ev::Read:
+        if (!in_atomic) {
+          *err = "transactional read outside a transaction";
+          return false;
+        }
+        insert_sorted(at.reads, prog_loc(e.loc));
+        break;
+      case record::Ev::Write:
+        if (!in_atomic) {
+          *err = "transactional write outside a transaction";
+          return false;
+        }
+        insert_sorted(at.writes, prog_loc(e.loc));
+        break;
+      case record::Ev::PlainRead:
+      case record::Ev::PlainWrite: {
+        if (in_atomic) {
+          *err = "plain access inside a transaction";
+          return false;
+        }
+        Tok t;
+        t.kind = Tok::Kind::Plain;
+        t.is_read = e.kind == record::Ev::PlainRead;
+        t.loc = prog_loc(e.loc);
+        out.push_back(t);
+        break;
+      }
+      case record::Ev::Fence:
+        if (in_atomic) {
+          *err = "fence inside a transaction";
+          return false;
+        }
+        out.push_back([] {
+          Tok t;
+          t.kind = Tok::Kind::Fence;
+          return t;
+        }());
+        break;
+    }
+  }
+  if (in_atomic) {
+    *err = "unresolved transaction at end of thread log";
+    return false;
+  }
+  return true;
+}
+
+// One expanded control path → tokens (guards carry no structure).
+std::vector<Tok> path_tokens(const lit::Path& path) {
+  std::vector<Tok> out;
+  bool in_atomic = false;
+  Tok at;
+  auto add_loc = [](Tok& t, std::vector<int>& set, const lit::LocExpr& l) {
+    if (l.dynamic())
+      t.has_dynamic = true;
+    else
+      insert_sorted(set, l.base);
+  };
+  for (const lit::PEvent& e : path) {
+    switch (e.kind) {
+      case lit::PEvent::Kind::Begin:
+        at = Tok{};
+        at.kind = Tok::Kind::Atomic;
+        in_atomic = true;
+        break;
+      case lit::PEvent::Kind::Commit:
+      case lit::PEvent::Kind::Abort:
+        at.committed = e.kind == lit::PEvent::Kind::Commit;
+        out.push_back(at);
+        in_atomic = false;
+        break;
+      case lit::PEvent::Kind::Read:
+        if (in_atomic) {
+          add_loc(at, at.reads, e.loc);
+        } else {
+          Tok t;
+          t.kind = Tok::Kind::Plain;
+          t.is_read = true;
+          t.loc = e.loc.dynamic() ? -1 : e.loc.base;
+          out.push_back(t);
+        }
+        break;
+      case lit::PEvent::Kind::Write:
+        if (in_atomic) {
+          add_loc(at, at.writes, e.loc);
+        } else {
+          Tok t;
+          t.kind = Tok::Kind::Plain;
+          t.is_read = false;
+          t.loc = e.loc.dynamic() ? -1 : e.loc.base;
+          out.push_back(t);
+        }
+        break;
+      case lit::PEvent::Kind::Fence: {
+        Tok t;
+        t.kind = Tok::Kind::Fence;
+        out.push_back(t);
+        break;
+      }
+      case lit::PEvent::Kind::Guard:
+        break;
+    }
+  }
+  return out;
+}
+
+bool tok_match(const Tok& l, const Tok& p) {
+  if (l.kind != p.kind) return false;
+  switch (p.kind) {
+    case Tok::Kind::Fence:
+      return true;
+    case Tok::Kind::Plain:
+      return l.is_read == p.is_read && (p.loc < 0 || p.loc == l.loc);
+    case Tok::Kind::Atomic:
+      if (l.committed != p.committed) return false;
+      if (p.has_dynamic) return true;  // content judged by outcome membership
+      if (!subset_of(l.reads, p.reads)) return false;
+      return l.committed ? l.writes == p.writes : subset_of(l.writes, p.writes);
+  }
+  return false;
+}
+
+// Backtracking matcher with failure memoization: aborted log segments may
+// either be conflict retries (skipped) or the path's own explicit aborts.
+bool match_from(const std::vector<Tok>& log, std::size_t i,
+                const std::vector<Tok>& path, std::size_t j,
+                std::vector<std::vector<char>>& failed) {
+  if (i == log.size()) return j == path.size();
+  if (failed[i][j]) return false;
+  bool ok = false;
+  if (log[i].kind == Tok::Kind::Atomic && !log[i].committed)
+    ok = match_from(log, i + 1, path, j, failed);  // conflict retry
+  if (!ok && j < path.size() && tok_match(log[i], path[j]))
+    ok = match_from(log, i + 1, path, j + 1, failed);
+  if (!ok) failed[i][j] = 1;
+  return ok;
+}
+
+std::string tok_str(const std::vector<Tok>& toks) {
+  std::string s;
+  for (const Tok& t : toks) {
+    switch (t.kind) {
+      case Tok::Kind::Fence:
+        s += "Q ";
+        break;
+      case Tok::Kind::Plain:
+        s += (t.is_read ? "r[x" : "w[x") + std::to_string(t.loc) + "] ";
+        break;
+      case Tok::Kind::Atomic: {
+        s += t.committed ? "tx{" : "txA{";
+        for (int x : t.reads) s += "R" + std::to_string(x);
+        for (int x : t.writes) s += "W" + std::to_string(x);
+        s += "} ";
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+InterpretResult interpret(const lit::Program& p, stm::StmBackend& stm,
+                          const InterpretOptions& opts) {
+  if (p.threads.empty())
+    throw std::invalid_argument("fuzz interpreter: program has no threads");
+  for (const Block& b : p.threads) validate_block(b, p.num_locs, false);
+  // Expanded control paths double as the malformedness check and the
+  // structural conformance reference.
+  std::vector<std::vector<lit::Path>> paths;
+  paths.reserve(p.threads.size());
+  for (const Block& b : p.threads) paths.push_back(lit::expand_paths(b));
+
+  record::RecordSession session;
+  std::vector<stm::Cell> cells(static_cast<std::size_t>(p.num_locs));
+  const std::size_t nthreads = p.threads.size();
+
+  // Recorders and perturbers are created up front (attach is thread-safe
+  // and logs are single-writer), so decision streams outlive the workers.
+  std::vector<record::ThreadRecorder*> recs;
+  std::vector<std::unique_ptr<SchedulePerturber>> perts;
+  std::vector<ThreadRun> runs(nthreads);
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    recs.push_back(session.attach(static_cast<int>(t)));
+    perts.push_back(std::make_unique<SchedulePerturber>(
+        recs.back(), opts.sched_seed + 0x9e3779b97f4a7c15ull * (t + 1),
+        opts.yield_percent));
+  }
+
+  Exec exec{p, cells, stm, opts};
+  auto worker = [&](std::size_t t) {
+    stm::TxObserver* prev = stm::tx_observer();
+    stm::set_tx_observer(perts[t].get());
+    exec.block(p.threads[t], runs[t].regs, runs[t], nullptr);
+    stm::set_tx_observer(prev);
+  };
+  if (opts.serial) {
+    for (std::size_t t = 0; t < nthreads; ++t) worker(t);
+  } else {
+    run_team(nthreads, worker);
+  }
+
+  InterpretResult res;
+  res.outcome.mem.resize(static_cast<std::size_t>(p.num_locs));
+  for (std::size_t x = 0; x < res.outcome.mem.size(); ++x)
+    res.outcome.mem[x] =
+        static_cast<Value>(cells[x].raw().load(std::memory_order_relaxed));
+  res.outcome.regs.reserve(nthreads);
+  for (const ThreadRun& tr : runs) res.outcome.regs.push_back(tr.regs);
+  for (const auto& pert : perts)
+    res.sched_decisions.insert(res.sched_decisions.end(),
+                               pert->decisions().begin(),
+                               pert->decisions().end());
+
+  // Program-loc ↔ recorded-loc translation for the structural check.
+  std::vector<int> sess2prog(static_cast<std::size_t>(session.num_locs()), -1);
+  for (std::size_t x = 0; x < cells.size(); ++x) {
+    const int id = session.loc_id(cells[x]);
+    if (id >= 0) sess2prog[static_cast<std::size_t>(id)] = static_cast<int>(x);
+  }
+
+  for (std::size_t t = 0; t < nthreads && res.path_ok; ++t) {
+    if (runs[t].while_overrun) {
+      res.path_ok = false;
+      res.path_error = "thread " + std::to_string(t) +
+                       ": while loop overran its model bound";
+      break;
+    }
+    std::vector<Tok> log;
+    std::string err;
+    if (!log_tokens(recs[t]->events(), sess2prog, log, &err)) {
+      res.path_ok = false;
+      res.path_error = "thread " + std::to_string(t) + ": " + err;
+      break;
+    }
+    bool matched = false;
+    for (const lit::Path& path : paths[t]) {
+      std::vector<Tok> ptoks = path_tokens(path);
+      std::vector<std::vector<char>> failed(
+          log.size() + 1, std::vector<char>(ptoks.size() + 1, 0));
+      if (match_from(log, 0, ptoks, 0, failed)) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      res.path_ok = false;
+      res.path_error = "thread " + std::to_string(t) +
+                       ": recorded log matches no control path: " + tok_str(log);
+    }
+  }
+
+  res.rec = record::assemble(session);
+  return res;
+}
+
+}  // namespace mtx::fuzz

@@ -1,0 +1,113 @@
+// The litmus-to-runtime bridge: executes a lit::Program on real threads
+// against any registered StmBackend, recording the execution through a
+// RecordSession so the model layer can judge it.
+//
+//   plain Read/Write   →  Cell::plain_load / plain_store
+//   atomic { .. }      →  stm.atomically(f) with tx.read / tx.write;
+//                         abort → tx.user_abort() (the block ends, control
+//                         continues after the atomic, as in the paper)
+//   qfence(x)          →  stm.quiesce() (the conservative all-locations
+//                         fence, which soundly over-approximates <Qx>)
+//   if / while         →  evaluated on the thread's concrete registers;
+//                         while iterates at most `bound` times, mirroring
+//                         the model's bounded unrolling
+//
+// Register semantics match the enumerators': each thread owns kMaxRegs
+// registers starting at 0; a conflict-retried transaction attempt leaves no
+// register trace (the attempt runs on a scratch copy, installed only when
+// the backend returns), while an explicitly aborted attempt's reads do bind
+// registers, exactly as the model's aborted-reader paths do.
+//
+// A seeded SchedulePerturber wraps each thread's recorder and injects
+// yields / short spins at observer hook points (transaction begins, reads,
+// publishes, plain accesses), so one program explores different real
+// interleavings per schedule seed — deterministically seeded, so a failing
+// (program, schedule-seed) pair is re-runnable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "litmus/ast.hpp"
+#include "litmus/outcome.hpp"
+#include "record/assemble.hpp"
+#include "stm/backend.hpp"
+#include "substrate/rng.hpp"
+
+namespace mtx::fuzz {
+
+// Seeded schedule diversifier: delegates every TxObserver hook to the inner
+// recorder, flipping a coin first at the perturbable points and yielding (or
+// briefly spinning) on heads.  The decision stream is a pure function of the
+// seed — the determinism pin the fuzz tests rely on.
+class SchedulePerturber final : public stm::TxObserver {
+ public:
+  SchedulePerturber(stm::TxObserver* inner, std::uint64_t seed,
+                    unsigned yield_percent)
+      : inner_(inner), rng_(seed), yield_percent_(yield_percent) {}
+
+  const std::vector<std::uint8_t>& decisions() const { return decisions_; }
+
+  // The decision stream a perturber with this seed would produce for `n`
+  // perturbable hook points (0 = run on, 1 = yield, 2 = spin).
+  static std::vector<std::uint8_t> decision_preview(std::uint64_t seed,
+                                                    std::size_t n,
+                                                    unsigned yield_percent);
+
+  void on_begin() override;
+  void on_commit() override;
+  void on_abort() override;
+  void on_fence() override;
+  stm::word_t tx_read(const stm::Cell& c) override;
+  void retract_read() override;
+  void on_buffered_read() override;
+  void tx_publish(stm::Cell& c, stm::word_t v) override;
+  std::uint64_t loc_version(const stm::Cell& c) override;
+  void tx_unpublish(stm::Cell& c, stm::word_t v, std::uint64_t version) override;
+  stm::word_t plain_load(const stm::Cell& c) override;
+  void plain_store(stm::Cell& c, stm::word_t v) override;
+
+ private:
+  void perturb();
+
+  stm::TxObserver* inner_;
+  Rng rng_;
+  unsigned yield_percent_;
+  std::vector<std::uint8_t> decisions_;
+};
+
+struct InterpretOptions {
+  std::uint64_t sched_seed = 1;
+  unsigned yield_percent = 30;   // 0 disables perturbation
+  // Run the program's threads one after another on the calling thread (the
+  // deterministic sequential interleaving) instead of concurrently.
+  bool serial = false;
+  // Fault injection for the shrinker/oracle tests: silently drop qfence
+  // statements on the floor (no quiesce(), no recorded Fence event) — the
+  // canonical seeded bug the campaign must catch and shrink.
+  bool fault_skip_fence = false;
+};
+
+struct InterpretResult {
+  lit::Outcome outcome;          // final memory + registers, model shapes
+  record::RecordedTrace rec;     // the assembled recorded execution
+  // Structural program-trace conformance: every thread's recorded event log
+  // (conflict-retried attempts collapsed) matches a control path of its
+  // source block.  Catches dropped/extra accesses, wrong cells, and skipped
+  // fences deterministically, independent of scheduling.
+  bool path_ok = true;
+  std::string path_error;        // diagnostic when !path_ok
+  // Concatenated perturber decision streams, in thread order (meaningful as
+  // a determinism pin only for serial runs).
+  std::vector<std::uint8_t> sched_decisions;
+};
+
+// Executes `p` against `stm` under a fresh RecordSession.  Throws
+// std::invalid_argument on malformed programs (the expand_paths rules) and
+// std::out_of_range when a dynamic location evaluates outside
+// [0, p.num_locs).
+InterpretResult interpret(const lit::Program& p, stm::StmBackend& stm,
+                          const InterpretOptions& opts = {});
+
+}  // namespace mtx::fuzz

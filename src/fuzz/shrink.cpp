@@ -1,0 +1,152 @@
+#include "fuzz/shrink.hpp"
+
+#include <vector>
+
+namespace mtx::fuzz {
+
+namespace {
+
+using lit::Block;
+using lit::Program;
+using lit::Stmt;
+
+std::size_t stmt_count(const Block& b) {
+  std::size_t n = 0;
+  for (const Stmt& s : b)
+    n += 1 + stmt_count(s.body) + stmt_count(s.else_body);
+  return n;
+}
+
+// Every accepted reduction strictly decreases this, so shrinking terminates.
+std::size_t size_of(const Program& p) {
+  std::size_t n = static_cast<std::size_t>(p.num_locs) + p.threads.size();
+  for (const Block& b : p.threads) n += stmt_count(b);
+  return n;
+}
+
+// Aborts that are NOT wrapped in a (nested) atomic — the ones that would be
+// illegal if this block were spliced into non-transactional context.
+bool has_unwrapped_abort(const Block& b) {
+  for (const Stmt& s : b) {
+    if (s.kind == Stmt::Kind::Abort) return true;
+    if (s.kind == Stmt::Kind::Atomic) continue;
+    if (has_unwrapped_abort(s.body) || has_unwrapped_abort(s.else_body))
+      return true;
+  }
+  return false;
+}
+
+void remap_locs(Block& b, int from, int to) {
+  for (Stmt& s : b) {
+    if (s.loc.base == from) s.loc.base = to;
+    remap_locs(s.body, from, to);
+    remap_locs(s.else_body, from, to);
+  }
+}
+
+// In-block reductions: drop a statement, flatten an if/while to its body,
+// unwrap an abort-free atomic.  `in_atomic` tracks legality for splices.
+void block_candidates(const Program& base, const Block& blk, bool in_atomic,
+                      const std::function<Block*(Program&)>& locate,
+                      std::vector<Program>& out) {
+  for (std::size_t i = 0; i < blk.size(); ++i) {
+    const Stmt& s = blk[i];
+    {  // drop statement i
+      Program c = base;
+      Block* b = locate(c);
+      b->erase(b->begin() + static_cast<std::ptrdiff_t>(i));
+      out.push_back(std::move(c));
+    }
+    auto splice = [&](const Block& repl) {
+      // Replacing the compound with its body must stay legal: no abort may
+      // surface outside an atomic.
+      if (!in_atomic && has_unwrapped_abort(repl)) return;
+      Program c = base;
+      Block* b = locate(c);
+      Block body = repl;  // copy before erase invalidates s
+      b->erase(b->begin() + static_cast<std::ptrdiff_t>(i));
+      b->insert(b->begin() + static_cast<std::ptrdiff_t>(i), body.begin(),
+                body.end());
+      out.push_back(std::move(c));
+    };
+    switch (s.kind) {
+      case Stmt::Kind::If:
+        splice(s.body);
+        if (!s.else_body.empty()) splice(s.else_body);
+        break;
+      case Stmt::Kind::While:
+        splice(s.body);
+        break;
+      case Stmt::Kind::Atomic: {
+        splice(s.body);  // unwrap to plain code (skipped if it has aborts)
+        // Recurse into the atomic body.
+        const std::size_t idx = i;
+        block_candidates(
+            base, s.body, /*in_atomic=*/true,
+            [locate, idx](Program& c) -> Block* {
+              return &(*locate(c))[idx].body;
+            },
+            out);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+std::vector<Program> candidates(const Program& p) {
+  std::vector<Program> out;
+  // 1. Drop a whole thread.
+  if (p.threads.size() > 1) {
+    for (std::size_t t = 0; t < p.threads.size(); ++t) {
+      Program c = p;
+      c.threads.erase(c.threads.begin() + static_cast<std::ptrdiff_t>(t));
+      out.push_back(std::move(c));
+    }
+  }
+  // 2./3. Drop or simplify statements, outermost first.
+  for (std::size_t t = 0; t < p.threads.size(); ++t) {
+    block_candidates(
+        p, p.threads[t], /*in_atomic=*/false,
+        [t](Program& c) -> Block* { return &c.threads[t]; }, out);
+  }
+  // 4. Merge the highest location into each lower one.
+  if (p.num_locs > 1) {
+    const int from = p.num_locs - 1;
+    for (int to = 0; to < from; ++to) {
+      Program c = p;
+      for (Block& b : c.threads) remap_locs(b, from, to);
+      c.num_locs = from;
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const lit::Program& p,
+                    const std::function<bool(const lit::Program&)>& still_fails,
+                    const ShrinkOptions& opts) {
+  ShrinkResult res;
+  res.program = p;
+  bool improved = true;
+  while (improved && res.attempts < opts.max_attempts) {
+    improved = false;
+    for (Program& c : candidates(res.program)) {
+      if (res.attempts >= opts.max_attempts) break;
+      if (size_of(c) >= size_of(res.program)) continue;
+      ++res.attempts;
+      if (still_fails(c)) {
+        res.program = std::move(c);
+        ++res.steps;
+        improved = true;
+        break;  // restart the pass ladder on the smaller program
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace mtx::fuzz

@@ -1,0 +1,40 @@
+// Greedy counterexample minimization: given a failing litmus program and an
+// oracle that re-runs the failure check, repeatedly try smaller candidate
+// programs, keeping each reduction that still fails, until a fixpoint (or
+// the attempt budget runs out).
+//
+// Reduction passes, in order (the ISSUE's ladder):
+//   1. drop a whole thread;
+//   2. drop a top-level statement;
+//   3. shrink compound statements: drop an atomic-body statement, flatten
+//      an if/while to its (non-aborting) body, unwrap a single-statement
+//      fence-free/abort-free atomic to plain code;
+//   4. merge locations (rewrite the highest location onto a lower one).
+// Every candidate is kept structurally legal (abort only inside atomic,
+// qfence only outside) so the oracle never sees a malformed program.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "litmus/ast.hpp"
+
+namespace mtx::fuzz {
+
+struct ShrinkOptions {
+  std::size_t max_attempts = 400;  // oracle invocations
+};
+
+struct ShrinkResult {
+  lit::Program program;     // the minimized program (still failing)
+  std::size_t steps = 0;    // accepted reductions
+  std::size_t attempts = 0; // oracle invocations spent
+};
+
+// `still_fails(q)` returns true when the bug reproduces on q.  `p` itself
+// must be failing; the result is the smallest program reached greedily.
+ShrinkResult shrink(const lit::Program& p,
+                    const std::function<bool(const lit::Program&)>& still_fails,
+                    const ShrinkOptions& opts = {});
+
+}  // namespace mtx::fuzz

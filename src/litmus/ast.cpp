@@ -153,4 +153,87 @@ Stmt qfence(Loc x) {
   return s;
 }
 
+namespace {
+
+std::string loc_src(const LocExpr& l) {
+  std::string s = "x" + std::to_string(l.base);
+  if (l.dynamic()) s += "[r" + std::to_string(l.reg) + "]";
+  return s;
+}
+
+std::string expr_src(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::Const: return std::to_string(e.k);
+    case Expr::Kind::Reg: return "r" + std::to_string(e.reg);
+    case Expr::Kind::AddConst:
+      return "r" + std::to_string(e.reg) + "+" + std::to_string(e.k);
+  }
+  return "?";
+}
+
+std::string cond_src(const Cond& c) {
+  std::string rhs = c.reg2 >= 0 ? "r" + std::to_string(c.reg2) : std::to_string(c.k);
+  return "r" + std::to_string(c.reg) +
+         (c.kind == Cond::Kind::Eq ? " == " : " != ") + rhs;
+}
+
+void block_src(const Block& b, int indent, std::string& out) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  for (const Stmt& s : b) {
+    switch (s.kind) {
+      case Stmt::Kind::Read:
+        out += pad + "r" + std::to_string(s.reg) + " := [" + loc_src(s.loc) + "]\n";
+        break;
+      case Stmt::Kind::Write:
+        out += pad + "[" + loc_src(s.loc) + "] := " + expr_src(s.value) + "\n";
+        break;
+      case Stmt::Kind::Atomic:
+        out += pad + "atomic {\n";
+        block_src(s.body, indent + 1, out);
+        out += pad + "}\n";
+        break;
+      case Stmt::Kind::If:
+        out += pad + "if (" + cond_src(s.cond) + ") {\n";
+        block_src(s.body, indent + 1, out);
+        if (!s.else_body.empty()) {
+          out += pad + "} else {\n";
+          block_src(s.else_body, indent + 1, out);
+        }
+        out += pad + "}\n";
+        break;
+      case Stmt::Kind::While:
+        out += pad + "while (" + cond_src(s.cond) + ") bound " +
+               std::to_string(s.bound) + " {\n";
+        block_src(s.body, indent + 1, out);
+        out += pad + "}\n";
+        break;
+      case Stmt::Kind::Abort:
+        out += pad + "abort\n";
+        break;
+      case Stmt::Kind::Fence:
+        out += pad + "qfence " + loc_src(s.loc) + "\n";
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_source(const Program& p) {
+  std::string out = "program " + (p.name.empty() ? std::string("anon") : p.name) +
+                    "\nlocs " + std::to_string(p.num_locs) + "\n";
+  for (std::size_t t = 0; t < p.threads.size(); ++t) {
+    out += "thread " + std::to_string(t) + " {\n";
+    block_src(p.threads[t], 1, out);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::size_t top_level_stmts(const Program& p) {
+  std::size_t n = 0;
+  for (const Block& b : p.threads) n += b.size();
+  return n;
+}
+
 }  // namespace mtx::lit

@@ -103,4 +103,13 @@ struct Program {
   }
 };
 
+// Renders a program as self-contained litmus source (the reproducer format
+// the fuzz shrinker emits).  Purely textual — byte-identical programs print
+// byte-identically, which is what the fuzz determinism pins compare.
+std::string to_source(const Program& p);
+
+// Total top-level statements across all threads (the size metric the fuzz
+// shrinker minimizes).
+std::size_t top_level_stmts(const Program& p);
+
 }  // namespace mtx::lit

@@ -23,7 +23,10 @@ Program random_program(Rng& rng, const RandomProgramParams& p) {
     Block thread_block;
     int next_reg = 0;
     for (int s = 0; s < p.stmts_per_thread; ++s) {
-      if (rng.chance(p.atomic_percent, 100)) {
+      if (p.fence_percent && rng.chance(p.fence_percent, 100)) {
+        thread_block.push_back(
+            qfence(static_cast<Loc>(rng.below(static_cast<std::uint64_t>(p.locs)))));
+      } else if (rng.chance(p.atomic_percent, 100)) {
         Block body;
         const int body_len = 1 + static_cast<int>(rng.below(
                                      static_cast<std::uint64_t>(p.max_atomic_body)));

@@ -16,6 +16,12 @@ struct RandomProgramParams {
   unsigned abort_percent = 15;   // an atomic block ends with abort
   unsigned branch_percent = 20;  // a body statement is an if on a prior read
   int max_atomic_body = 3;
+  // A top-level statement is a quiescence fence.  Defaults to 0 — and the
+  // fence draw is skipped entirely at 0 — so the RNG stream (and therefore
+  // every program the existing seeded differential tests generate) is
+  // unchanged; the runtime fuzz campaign turns fences on to exercise the
+  // implementation model's HBCQ/HBQB machinery end to end.
+  unsigned fence_percent = 0;
 };
 
 Program random_program(Rng& rng, const RandomProgramParams& params);

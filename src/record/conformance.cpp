@@ -28,7 +28,11 @@ void judge(const model::Trace& t, const model::ModelConfig& cfg,
   model::AnalysisContext ctx(t, cfg);
   out.wf = ctx.wf_report();
   out.consistent = ctx.wellformed() && model::axioms_hold(ctx);
-  out.l_races = model::find_l_races(ctx, model::all_locs(t)).size();
+  const std::vector<model::Race> races =
+      model::find_l_races(ctx, model::all_locs(t));
+  out.l_races = races.size();
+  for (const model::Race& r : races)
+    if (t.transactional(r.first) || t.transactional(r.second)) ++out.tx_races;
   out.mixed_race = model::has_mixed_race(ctx);
   out.opaque = model::opaque(ctx);
   // Opacity of the committed subsystem (the Thm 4.2 projection): the
@@ -92,6 +96,7 @@ ConformanceReport check_conformance_windowed(const model::Trace& t,
       out.wf.violations.push_back(
           {v.rule, "[window " + std::to_string(i) + "] " + v.msg});
     out.l_races += s.l_races;
+    out.tx_races += s.tx_races;
     out.mixed_race = out.mixed_race || s.mixed_race;
     out.opaque = out.opaque && s.opaque;
     out.opaque_committed = out.opaque_committed && s.opaque_committed;

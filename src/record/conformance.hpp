@@ -29,6 +29,7 @@ namespace mtx::record {
 struct ConformanceReport {
   model::WfReport wf;
   std::size_t l_races = 0;     // races over L = all locations
+  std::size_t tx_races = 0;    // of those, races with a transactional side
   bool mixed_race = false;     // transactional-write vs plain-write race
   bool opaque = false;         // all transactions, aborted readers included
   bool opaque_committed = false;  // committed subsystem only (Thm 4.2 trace)

@@ -17,6 +17,12 @@ int RecordSession::num_locs() const {
   return static_cast<int>(loc_of_.size());
 }
 
+int RecordSession::loc_id(const stm::Cell& c) const {
+  std::shared_lock<std::shared_mutex> g(loc_mu_);
+  auto it = loc_of_.find(&c);
+  return it == loc_of_.end() ? -1 : static_cast<int>(it->second);
+}
+
 RecordSession::LocShadow& RecordSession::shadow_of(const stm::Cell& c) {
   {
     std::shared_lock<std::shared_mutex> g(loc_mu_);

@@ -116,6 +116,12 @@ class RecordSession {
   // Number of distinct locations touched so far.
   int num_locs() const;
 
+  // Location id assigned to `c` (first-touch order), or -1 when the cell was
+  // never touched by a recorded access.  Lets a harness that owns the cells
+  // (the fuzz interpreter) translate between its own location numbering and
+  // the recorded trace's.
+  int loc_id(const stm::Cell& c) const;
+
   // All recorders, in attach order.  Only safe to read once every
   // recording thread has finished (logs are single-writer).
   const std::vector<std::unique_ptr<ThreadRecorder>>& recorders() const {

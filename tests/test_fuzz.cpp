@@ -1,0 +1,306 @@
+// The differential fuzz pipeline:
+//
+//   - determinism pins: same fuzz seed ⇒ byte-identical programs, schedule
+//     decision streams, serial executions, and campaign CSV rows;
+//   - interpreter ground truth: serial SGL execution of catalog litmus
+//     programs reproduces outcomes the model enumerators (GraphEnum and
+//     ltrf::Semantics) allow;
+//   - a healthy program × backend grid is fully conformant;
+//   - an injected bug (interpreter silently skips quiescence fences) is
+//     caught deterministically and auto-shrunk to a tiny reproducer;
+//   - the greedy shrinker minimizes against a syntactic oracle;
+//   - artifact writers refuse to clobber git-tracked paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "campaign/report.hpp"
+#include "fuzz/fuzz.hpp"
+#include "fuzz/interpreter.hpp"
+#include "fuzz/shrink.hpp"
+#include "litmus/catalog.hpp"
+#include "ltrf/semantics.hpp"
+#include "stm/backend.hpp"
+
+namespace mtx {
+namespace {
+
+lit::RandomProgramParams fuzz_params() {
+  lit::RandomProgramParams p;
+  p.fence_percent = 25;
+  return p;
+}
+
+// ----- determinism pins -------------------------------------------------
+
+TEST(FuzzDeterminism, SameSeedSamePrograms) {
+  const auto a = fuzz::fuzz_programs(42, 6, fuzz_params());
+  const auto b = fuzz::fuzz_programs(42, 6, fuzz_params());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(lit::to_source(a[i]), lit::to_source(b[i]));
+  const auto c = fuzz::fuzz_programs(43, 6, fuzz_params());
+  EXPECT_NE(lit::to_source(a[0]), lit::to_source(c[0]));
+}
+
+TEST(FuzzDeterminism, PerturberDecisionStreamIsSeedPure) {
+  const auto a = fuzz::SchedulePerturber::decision_preview(5, 300, 30);
+  const auto b = fuzz::SchedulePerturber::decision_preview(5, 300, 30);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, fuzz::SchedulePerturber::decision_preview(6, 300, 30));
+  // yield_percent 0 disables perturbation entirely.
+  for (std::uint8_t d : fuzz::SchedulePerturber::decision_preview(5, 100, 0))
+    EXPECT_EQ(d, 0);
+}
+
+TEST(FuzzDeterminism, SerialInterpretIsReproducible) {
+  const auto progs = fuzz::fuzz_programs(3, 1, fuzz_params());
+  fuzz::InterpretOptions opts;
+  opts.serial = true;
+  opts.sched_seed = 17;
+  auto stm1 = stm::make_backend("sgl");
+  const auto r1 = fuzz::interpret(progs[0], *stm1, opts);
+  auto stm2 = stm::make_backend("sgl");
+  const auto r2 = fuzz::interpret(progs[0], *stm2, opts);
+  EXPECT_EQ(r1.outcome, r2.outcome);
+  EXPECT_EQ(r1.sched_decisions, r2.sched_decisions);
+  EXPECT_TRUE(r1.path_ok) << r1.path_error;
+}
+
+TEST(FuzzDeterminism, CampaignFuzzCsvStable) {
+  campaign::CampaignOptions opts;
+  opts.litmus_jobs = false;
+  opts.fuzz_count = 3;
+  opts.fuzz_seed = 7;
+  opts.fuzz_sched_rounds = 2;
+  opts.threads = 1;
+  const std::string a = campaign::to_csv(campaign::run_campaign(opts));
+  const std::string b = campaign::to_csv(campaign::run_campaign(opts));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("fuzz:fz7-0:tl2"), std::string::npos);
+}
+
+// ----- interpreter ground truth -----------------------------------------
+
+bool uses_dynamic_or_while(const lit::Block& b) {
+  for (const lit::Stmt& s : b) {
+    if (s.kind == lit::Stmt::Kind::While) return true;
+    if ((s.kind == lit::Stmt::Kind::Read || s.kind == lit::Stmt::Kind::Write ||
+         s.kind == lit::Stmt::Kind::Fence) &&
+        s.loc.dynamic())
+      return true;
+    if (uses_dynamic_or_while(s.body) || uses_dynamic_or_while(s.else_body))
+      return true;
+  }
+  return false;
+}
+
+TEST(FuzzInterpreter, SerialSglReproducesModelOutcomesOnCatalog) {
+  // Serial execution is one specific interleaving; its outcome must be in
+  // the model's allowed set, and its final memory must appear among the
+  // final states of ltrf::Semantics' consistent traces.
+  const auto cfg = model::ModelConfig::implementation();
+  std::size_t checked = 0;
+  for (const lit::LitmusTest& t : lit::catalog()) {
+    if (checked >= 5) break;
+    if (t.program.threads.size() > 3) continue;
+    bool skip = false;
+    for (const lit::Block& b : t.program.threads)
+      skip = skip || uses_dynamic_or_while(b);
+    if (skip) continue;
+
+    auto stm = stm::make_backend("sgl");
+    fuzz::InterpretOptions iopts;
+    iopts.serial = true;
+    const fuzz::InterpretResult run = fuzz::interpret(t.program, *stm, iopts);
+    EXPECT_TRUE(run.path_ok) << t.id << ": " << run.path_error;
+
+    lit::GraphEnum e(t.program, cfg);
+    const lit::OutcomeSet allowed = e.outcomes();
+    ASSERT_FALSE(e.stats().truncated) << t.id;
+    EXPECT_TRUE(allowed.outcomes().count(run.outcome))
+        << t.id << ": serial SGL outcome " << run.outcome.str()
+        << " not model-allowed";
+
+    ltrf::Semantics sem(t.program, cfg);
+    bool mem_found = false;
+    for (const model::Trace& tr : sem.traces()) {
+      bool all = true;
+      for (model::Loc x = 0; x < t.program.num_locs && all; ++x)
+        all = tr.final_value(x) ==
+              run.outcome.mem[static_cast<std::size_t>(x)];
+      if (all) {
+        mem_found = true;
+        break;
+      }
+    }
+    ASSERT_FALSE(sem.truncated()) << t.id;
+    EXPECT_TRUE(mem_found)
+        << t.id << ": final memory not among Semantics traces";
+    ++checked;
+  }
+  EXPECT_GE(checked, 3u);
+}
+
+// ----- healthy grid ------------------------------------------------------
+
+TEST(FuzzConformance, HealthyGridIsConformant) {
+  const auto progs = fuzz::fuzz_programs(5, 5, fuzz_params());
+  fuzz::FuzzOptions fopts;
+  fopts.sched_rounds = 2;
+  for (std::size_t i = 0; i < progs.size(); ++i) {
+    const fuzz::FuzzProgram fp = fuzz::prepare_fuzz_program(
+        progs[i], 5, static_cast<int>(i), fopts.enum_budget);
+    for (const std::string& b : stm::backend_names()) {
+      const fuzz::FuzzRow row = fuzz::run_fuzz_job(fp, b, fopts);
+      EXPECT_TRUE(row.ok())
+          << fp.id << " on " << b << " failed (" << row.failure << ")\n"
+          << row.repro << "\n"
+          << lit::to_source(fp.program);
+      EXPECT_EQ(row.runs, 2u);
+    }
+  }
+}
+
+// ----- injected bug: skipped quiescence fence ---------------------------
+
+TEST(FuzzInjectedBug, SkippedFenceIsCaughtAndShrunk) {
+  // Mixed privatization-shaped program: every control path of thread 0
+  // carries the fence, so an interpreter that drops fences can never match
+  // a path — the bug is caught structurally on every schedule.
+  lit::Program p;
+  p.name = "fence_bug";
+  p.num_locs = 2;
+  p.add_thread({lit::atomic({lit::write(lit::at(0), 1)}), lit::qfence(0),
+                lit::read(0, lit::at(1)), lit::write(lit::at(1), 2)});
+  p.add_thread({lit::atomic({lit::read(0, lit::at(0)),
+                             lit::write(lit::at(1), 1)}),
+                lit::read(1, lit::at(0))});
+  p.add_thread({lit::atomic({lit::write(lit::at(0), 2)})});
+
+  fuzz::FuzzOptions fopts;
+  fopts.fault_skip_fence = true;
+  fopts.sched_rounds = 2;
+  const fuzz::FuzzProgram fp =
+      fuzz::prepare_fuzz_program(p, 99, 0, fopts.enum_budget);
+  const fuzz::FuzzRow row = fuzz::run_fuzz_job(fp, "tl2", fopts);
+
+  ASSERT_FALSE(row.ok());
+  EXPECT_EQ(row.failure, "path");
+  EXPECT_FALSE(row.repro.empty());
+  // The acceptance bar: a reproducer of at most 3 threads / 8 statements.
+  EXPECT_LE(row.shrunk_threads, 3u);
+  EXPECT_LE(row.shrunk_stmts, 8u);
+  EXPECT_NE(row.repro.find("qfence"), std::string::npos) << row.repro;
+  // Greedy minimization on this bug reaches the 1-thread, 1-fence core.
+  EXPECT_EQ(row.shrunk_threads, 1u);
+  EXPECT_EQ(row.shrunk_stmts, 1u);
+}
+
+TEST(FuzzInjectedBug, HealthyRunOfSameProgramConforms) {
+  lit::Program p;
+  p.name = "fence_ok";
+  p.num_locs = 2;
+  p.add_thread({lit::atomic({lit::write(lit::at(0), 1)}), lit::qfence(0),
+                lit::read(0, lit::at(1))});
+  p.add_thread({lit::atomic({lit::read(0, lit::at(0)),
+                             lit::write(lit::at(1), 1)})});
+  fuzz::FuzzOptions fopts;
+  const fuzz::FuzzProgram fp =
+      fuzz::prepare_fuzz_program(p, 99, 1, fopts.enum_budget);
+  for (const std::string& b : stm::backend_names()) {
+    const fuzz::FuzzRow row = fuzz::run_fuzz_job(fp, b, fopts);
+    EXPECT_TRUE(row.ok()) << b << ": " << row.failure << "\n" << row.repro;
+  }
+}
+
+// ----- shrinker ----------------------------------------------------------
+
+bool block_has_atomic_write(const lit::Block& b) {
+  for (const lit::Stmt& s : b)
+    if (s.kind == lit::Stmt::Kind::Atomic)
+      for (const lit::Stmt& inner : s.body)
+        if (inner.kind == lit::Stmt::Kind::Write) return true;
+  return false;
+}
+
+TEST(FuzzShrink, GreedyMinimizesToOracleWitness) {
+  Rng rng(12);
+  lit::RandomProgramParams params;
+  params.threads = 3;
+  params.stmts_per_thread = 4;
+  params.atomic_percent = 70;
+  lit::Program p = lit::random_program(rng, params);
+  auto oracle = [](const lit::Program& q) {
+    for (const lit::Block& b : q.threads)
+      if (block_has_atomic_write(b)) return true;
+    return false;
+  };
+  ASSERT_TRUE(oracle(p));
+  const fuzz::ShrinkResult sr = fuzz::shrink(p, oracle);
+  EXPECT_TRUE(oracle(sr.program));
+  EXPECT_EQ(sr.program.threads.size(), 1u);
+  EXPECT_EQ(lit::top_level_stmts(sr.program), 1u);
+  ASSERT_EQ(sr.program.threads[0][0].kind, lit::Stmt::Kind::Atomic);
+  EXPECT_EQ(sr.program.threads[0][0].body.size(), 1u);
+  EXPECT_GT(sr.steps, 0u);
+}
+
+TEST(FuzzShrink, KeepsMalformednessOut) {
+  // A program whose only failing core contains an abort: every shrink
+  // candidate must stay structurally legal (abort never escapes atomic).
+  lit::Program p;
+  p.num_locs = 1;
+  p.add_thread({lit::write(lit::at(0), 3),
+                lit::atomic({lit::write(lit::at(0), 1), lit::abort_stmt()}),
+                lit::read(0, lit::at(0))});
+  auto contains_abort = [](const lit::Program& q) {
+    for (const lit::Block& b : q.threads)
+      for (const lit::Stmt& s : b)
+        if (s.kind == lit::Stmt::Kind::Atomic)
+          for (const lit::Stmt& inner : s.body)
+            if (inner.kind == lit::Stmt::Kind::Abort) return true;
+    return false;
+  };
+  const fuzz::ShrinkResult sr = fuzz::shrink(p, contains_abort);
+  EXPECT_TRUE(contains_abort(sr.program));
+  EXPECT_EQ(lit::top_level_stmts(sr.program), 1u);
+  // And the shrunk program still interprets cleanly.
+  auto stm = stm::make_backend("sgl");
+  fuzz::InterpretOptions iopts;
+  iopts.serial = true;
+  EXPECT_NO_THROW(fuzz::interpret(sr.program, *stm, iopts));
+}
+
+// ----- artifact guard ----------------------------------------------------
+
+TEST(ArtifactGuard, RefusesTrackedPaths) {
+  // tests/ lives one level below the repo root; README.md is tracked.
+  const std::string here = __FILE__;
+  const auto slash = here.find_last_of('/');
+  ASSERT_NE(slash, std::string::npos);
+  const std::string root = here.substr(0, here.find_last_of('/', slash - 1));
+  const std::string readme = root + "/README.md";
+  if (!campaign::is_git_tracked(readme))
+    GTEST_SKIP() << "not running inside the git checkout";
+  EXPECT_FALSE(campaign::write_file(readme, "clobbered\n"));
+  // The refusal happens before any write: the file is intact.
+  std::FILE* f = std::fopen(readme.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[16] = {0};
+  ASSERT_GT(std::fread(buf, 1, sizeof(buf) - 1, f), 0u);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf).rfind("clobbered", 0), std::string::npos);
+}
+
+TEST(ArtifactGuard, UntrackedPathsStillWrite) {
+  const std::string path = "test_fuzz_artifact_guard.tmp";
+  EXPECT_FALSE(campaign::is_git_tracked(path));
+  EXPECT_TRUE(campaign::write_file(path, "ok\n"));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mtx
