@@ -1,0 +1,177 @@
+// KV workload engine bench: every registered backend x every standard mix
+// (YCSB A/B/C, priv_heavy, pub_heavy) x 1..N threads, reporting throughput
+// and p50/p95/p99 latency from the log-scale LatencyHist — the BENCH_kv.json
+// perf trajectory for the serving layer.
+//
+// A second, smaller section runs the sampled-conformance oracle: priv_heavy
+// with recording on across all backends, reporting captured sessions,
+// fence-bounded windows and the model's verdict.  Any non-conformant window
+// (or failed store audit anywhere) fails the bench — CI runs this as a
+// correctness smoke alongside the perf artifact.
+//
+// Usage: bench_kv [--ops N] [--threads-max N] [--keys N] [--oracle-ops N]
+//                 [--out PATH]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaign/report.hpp"
+#include "kv/workload.hpp"
+#include "stm/backend.hpp"
+#include "substrate/format.hpp"
+#include "substrate/threading.hpp"
+
+namespace {
+
+using namespace mtx;
+
+struct OracleRow {
+  std::string backend;
+  std::size_t sessions = 0, windows = 0, nonconformant = 0, actions = 0;
+  bool invariant_ok = false;
+  double ms = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t ops = 20000;
+  std::size_t threads_max = std::min<std::size_t>(hw_threads(), 4);
+  std::size_t keys = 2048;
+  std::uint64_t oracle_ops = 48;
+  std::string out_path = "BENCH_kv.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc)
+      ops = static_cast<std::uint64_t>(std::max(1ll, std::atoll(argv[++i])));
+    else if (std::strcmp(argv[i], "--threads-max") == 0 && i + 1 < argc)
+      threads_max = static_cast<std::size_t>(std::max(1ll, std::atoll(argv[++i])));
+    else if (std::strcmp(argv[i], "--keys") == 0 && i + 1 < argc)
+      keys = static_cast<std::size_t>(std::max(1ll, std::atoll(argv[++i])));
+    else if (std::strcmp(argv[i], "--oracle-ops") == 0 && i + 1 < argc)
+      oracle_ops = static_cast<std::uint64_t>(std::max(1ll, std::atoll(argv[++i])));
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  bool all_ok = true;
+
+  // Perf grid: sampling off, realistic key space.
+  std::vector<kv::KvResult> rows;
+  Table table({"backend", "mix", "threads", "ops/s", "p50us", "p95us", "p99us"});
+  for (const std::string& backend : stm::backend_names()) {
+    for (const kv::Mix& mix : kv::standard_mixes()) {
+      for (std::size_t t = 1; t <= threads_max; t *= 2) {
+        auto stm = stm::make_backend(backend);
+        kv::KvWorkloadOptions o;
+        o.threads = t;
+        o.seed = 31;
+        o.ops_per_thread = ops / t;  // fixed total work per row
+        o.preload_keys = keys;
+        o.shards = 8;
+        o.snap_keys = 32;
+        kv::KvResult r = kv::run_kv_workload(*stm, mix, o);
+        all_ok = all_ok && r.invariant_ok;
+        table.add_row({r.backend, r.mix, std::to_string(r.threads),
+                       fixed(r.ops_per_sec, 0),
+                       fixed(static_cast<double>(r.p50_ns) / 1e3, 2),
+                       fixed(static_cast<double>(r.p95_ns) / 1e3, 2),
+                       fixed(static_cast<double>(r.p99_ns) / 1e3, 2)});
+        rows.push_back(std::move(r));
+      }
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Conformance oracle: priv_heavy with sampled recording, small geometry
+  // (each recorded fence expands to one QFence per touched location).
+  std::vector<OracleRow> oracle;
+  Table otable({"backend", "sessions", "windows", "actions", "verdict", "ms"});
+  for (const std::string& backend : stm::backend_names()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto stm = stm::make_backend(backend);
+    kv::KvWorkloadOptions o;
+    o.threads = 3;
+    o.seed = 47;
+    o.ops_per_thread = oracle_ops;
+    o.preload_keys = 24;
+    o.shards = 2;
+    o.snap_keys = 4;
+    o.sample_every = 2;
+    o.round_ops = 16;
+    const kv::KvResult r =
+        kv::run_kv_workload(*stm, *kv::mix_by_name("priv_heavy"), o);
+    OracleRow row;
+    row.backend = backend;
+    row.sessions = r.conf.sessions;
+    row.windows = r.conf.windows;
+    row.nonconformant = r.conf.nonconformant;
+    row.actions = r.conf.recorded_actions;
+    row.invariant_ok = r.invariant_ok;
+    row.ms = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count();
+    all_ok = all_ok && r.invariant_ok && row.nonconformant == 0;
+    otable.add_row({row.backend, std::to_string(row.sessions),
+                    std::to_string(row.windows), std::to_string(row.actions),
+                    row.nonconformant == 0 && row.invariant_ok ? "conformant"
+                                                               : "VIOLATION",
+                    fixed(row.ms, 1)});
+    oracle.push_back(std::move(row));
+  }
+  std::printf("sampled conformance oracle (priv_heavy, windowed checker):\n%s\n",
+              otable.render().c_str());
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"kv\",\n";
+  json += "  \"hw_threads\": " + std::to_string(hw_threads()) + ",\n";
+  json += "  \"total_ops\": " + std::to_string(ops) + ",\n";
+  json += "  \"keys\": " + std::to_string(keys) + ",\n";
+  json += "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const kv::KvResult& r = rows[i];
+    json += "    {\"backend\": \"" + r.backend + "\", \"mix\": \"" + r.mix +
+            "\", \"threads\": " + std::to_string(r.threads) +
+            ", \"ops\": " + std::to_string(r.ops) +
+            ", \"ms\": " + fixed(r.wall_ms, 3) +
+            ", \"ops_per_sec\": " + fixed(r.ops_per_sec, 1) +
+            ", \"p50_ns\": " + std::to_string(r.p50_ns) +
+            ", \"p95_ns\": " + std::to_string(r.p95_ns) +
+            ", \"p99_ns\": " + std::to_string(r.p99_ns) +
+            ", \"scans_completed\": " + std::to_string(r.scans_completed) +
+            ", \"priv_waits\": " + std::to_string(r.priv_waits) + "}";
+    json += (i + 1 < rows.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"oracle_ops_per_thread\": " + std::to_string(oracle_ops) + ",\n";
+  json += "  \"oracle\": [\n";
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    const OracleRow& r = oracle[i];
+    json += "    {\"backend\": \"" + r.backend +
+            "\", \"sessions\": " + std::to_string(r.sessions) +
+            ", \"windows\": " + std::to_string(r.windows) +
+            ", \"nonconformant\": " + std::to_string(r.nonconformant) +
+            ", \"actions\": " + std::to_string(r.actions) +
+            ", \"invariant_ok\": " + (r.invariant_ok ? "true" : "false") +
+            ", \"ms\": " + fixed(r.ms, 3) + "}";
+    json += (i + 1 < oracle.size()) ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  if (!mtx::campaign::write_file(out_path, json)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!all_ok) {
+    std::fprintf(stderr, "bench_kv: conformance violation or failed audit\n");
+    return 1;
+  }
+  return 0;
+}

@@ -6,6 +6,8 @@
 //                 [--record] [--record-only] [--record-ops N]
 //                 [--record-seed N] [--record-monolithic]
 //                 [--record-window-min N]
+//                 [--kv] [--kv-only] [--kv-ops N] [--kv-seed N] [--kv-keys N]
+//                 [--kv-shards N] [--kv-no-sample]
 //                 [--fuzz N] [--fuzz-only] [--fuzz-seed S] [--fuzz-sched K]
 //                 [--fuzz-no-shrink] [--fuzz-repro-dir DIR]
 //                 [--fuzz-time-budget-ms N] [--fuzz-threads N]
@@ -21,6 +23,14 @@
 // race/opacity checkers; --record-only skips the litmus catalog.  Judgments
 // use the fence-bounded windowed engine by default; --record-monolithic
 // forces the single-context reference checker.
+//
+// --kv adds the KV workload conformance grid: every standard mix (YCSB
+// A/B/C, priv_heavy, pub_heavy) of the sharded transactional KV engine runs
+// on every registered backend at several thread counts with sampled runtime
+// conformance on — recorded rounds are judged by the model layer, and a
+// non-conformant window or failed store audit counts as a mismatch.
+// --kv-only skips the litmus catalog; --kv-no-sample turns the sampling off
+// (perf-only rows).
 //
 // --fuzz N adds the differential fuzz grid: N random litmus programs (seeded
 // by --fuzz-seed, byte-reproducible) run on every registered backend under
@@ -83,6 +93,21 @@ int main(int argc, char** argv) {
       opts.record_windowed = false;
     else if (std::strcmp(argv[i], "--record-window-min") == 0)
       opts.record_window_min = static_cast<std::size_t>(count("--record-window-min"));
+    else if (std::strcmp(argv[i], "--kv") == 0)
+      opts.kv_jobs = true;
+    else if (std::strcmp(argv[i], "--kv-only") == 0) {
+      opts.kv_jobs = true;
+      opts.litmus_jobs = false;
+    } else if (std::strcmp(argv[i], "--kv-ops") == 0)
+      opts.kv_ops = count("--kv-ops");
+    else if (std::strcmp(argv[i], "--kv-seed") == 0)
+      opts.kv_seed = count("--kv-seed");
+    else if (std::strcmp(argv[i], "--kv-keys") == 0)
+      opts.kv_keys = static_cast<std::size_t>(count("--kv-keys"));
+    else if (std::strcmp(argv[i], "--kv-shards") == 0)
+      opts.kv_shards = static_cast<std::size_t>(count("--kv-shards"));
+    else if (std::strcmp(argv[i], "--kv-no-sample") == 0)
+      opts.kv_sample_every = 0;
     else if (std::strcmp(argv[i], "--fuzz") == 0)
       opts.fuzz_count = static_cast<int>(count("--fuzz"));
     else if (std::strcmp(argv[i], "--fuzz-only") == 0)
@@ -141,6 +166,22 @@ int main(int argc, char** argv) {
     std::printf("%s\n", rec.render().c_str());
   }
 
+  if (!r.kv.empty()) {
+    Table kvt({"mix", "backend", "threads", "verdict", "ops/s", "p50us",
+               "p99us", "windows", "ms"});
+    for (const campaign::KvRow& row : r.kv) {
+      char ms[32];
+      std::snprintf(ms, sizeof(ms), "%.1f", row.millis);
+      kvt.add_row({row.mix, row.backend, std::to_string(row.threads),
+                   row.ok() ? "conformant" : "VIOLATION",
+                   fixed(row.ops_per_sec, 0),
+                   fixed(static_cast<double>(row.p50_ns) / 1e3, 1),
+                   fixed(static_cast<double>(row.p99_ns) / 1e3, 1),
+                   std::to_string(row.windows), ms});
+    }
+    std::printf("%s\n", kvt.render().c_str());
+  }
+
   if (!r.fuzzed.empty()) {
     Table fz({"program", "backend", "verdict", "model outcomes", "races",
               "runs", "ms"});
@@ -161,9 +202,9 @@ int main(int argc, char** argv) {
                     row.backend.c_str(), row.repro.c_str());
   }
 
-  std::printf("rows: %zu  recorded: %zu  fuzzed: %zu  mismatches: %zu  threads: %zu  shards: %zu  wall: %.1f ms\n",
-              r.jobs.size(), r.recorded.size(), r.fuzzed.size(), r.mismatches,
-              r.threads_used, r.shard_count, r.wall_ms);
+  std::printf("rows: %zu  recorded: %zu  kv: %zu  fuzzed: %zu  mismatches: %zu  threads: %zu  shards: %zu  wall: %.1f ms\n",
+              r.jobs.size(), r.recorded.size(), r.kv.size(), r.fuzzed.size(),
+              r.mismatches, r.threads_used, r.shard_count, r.wall_ms);
 
   if (!json_path.empty() && !campaign::write_file(json_path, campaign::to_json(r))) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());

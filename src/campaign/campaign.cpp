@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "campaign/report.hpp"
+#include "kv/workload.hpp"
 #include "model/model_config.hpp"
 #include "record/conformance.hpp"
 #include "record/workloads.hpp"
@@ -156,6 +157,57 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     return run_record_job(j.workload, j.backend, j.threads, opts);
   };
 
+  // KV workload conformance jobs: mix x backend x thread-count, in
+  // deterministic grid order.  Each job spawns its own worker team, so the
+  // pool task is just a container for one run.
+  struct KvJob {
+    std::string mix, backend;
+    std::size_t threads;
+  };
+  std::vector<KvJob> kv_grid;
+  if (opts.kv_jobs) {
+    for (const kv::Mix& m : kv::standard_mixes())
+      for (const std::string& b : stm::backend_names())
+        for (std::size_t t : opts.kv_threads) kv_grid.push_back({m.name, b, t});
+  }
+  auto run_kv = [&](std::size_t i) {
+    const KvJob& j = kv_grid[i];
+    const auto k0 = Clock::now();
+    auto stm = stm::make_backend(j.backend);
+    kv::KvWorkloadOptions wopts;
+    wopts.threads = j.threads;
+    wopts.seed = opts.kv_seed;
+    wopts.ops_per_thread = opts.kv_ops;
+    wopts.preload_keys = opts.kv_keys;
+    wopts.shards = opts.kv_shards;
+    wopts.snap_keys = 4;
+    wopts.sample_every = opts.kv_sample_every;
+    wopts.round_ops = 16;
+    const kv::KvResult r =
+        kv::run_kv_workload(*stm, *kv::mix_by_name(j.mix), wopts);
+    KvRow row;
+    row.mix = r.mix;
+    row.backend = r.backend;
+    row.threads = r.threads;
+    row.ops = r.ops;
+    row.reads = r.reads;
+    row.updates = r.updates;
+    row.inserts = r.inserts;
+    row.scans = r.scans;
+    row.rmws = r.rmws;
+    row.snap_reads = r.snap_reads;
+    row.invariant_ok = r.invariant_ok;
+    row.sessions = r.conf.sessions;
+    row.windows = r.conf.windows;
+    row.nonconformant = r.conf.nonconformant;
+    row.ops_per_sec = r.ops_per_sec;
+    row.p50_ns = r.p50_ns;
+    row.p95_ns = r.p95_ns;
+    row.p99_ns = r.p99_ns;
+    row.millis = ms_since(k0);
+    return row;
+  };
+
   // Differential fuzz jobs: generate the program batch up front (one RNG
   // stream, byte-deterministic), then prepare (model enumeration) and run
   // (program × backend) as pool tasks.
@@ -206,6 +258,7 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
 
   std::vector<ShardResult> results;
   std::vector<RecordRow> record_rows;
+  std::vector<KvRow> kv_rows;
   std::vector<fuzz::FuzzRow> fuzz_rows;
   if (nthreads <= 1) {
     results.reserve(shards.size());
@@ -213,6 +266,8 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     record_rows.reserve(record_jobs.size());
     for (std::size_t i = 0; i < record_jobs.size(); ++i)
       record_rows.push_back(run_record(i));
+    kv_rows.reserve(kv_grid.size());
+    for (std::size_t i = 0; i < kv_grid.size(); ++i) kv_rows.push_back(run_kv(i));
     arm_fuzz_deadline();
     fuzz_prepared.reserve(fuzz_progs.size());
     for (std::size_t i = 0; i < fuzz_progs.size(); ++i)
@@ -224,6 +279,7 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     ThreadPool pool(nthreads);
     results = parallel_map<ShardResult>(pool, shards.size(), run_shard);
     record_rows = parallel_map<RecordRow>(pool, record_jobs.size(), run_record);
+    kv_rows = parallel_map<KvRow>(pool, kv_grid.size(), run_kv);
     arm_fuzz_deadline();
     fuzz_prepared =
         parallel_map<fuzz::FuzzProgram>(pool, fuzz_progs.size(), prepare_fuzz);
@@ -258,6 +314,9 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
   out.recorded = std::move(record_rows);
   for (const RecordRow& rr : out.recorded)
     if (!rr.ok()) ++out.mismatches;
+  out.kv = std::move(kv_rows);
+  for (const KvRow& kr : out.kv)
+    if (!kr.ok()) ++out.mismatches;
   out.fuzzed = std::move(fuzz_rows);
   for (const fuzz::FuzzRow& fr : out.fuzzed) {
     if (!fr.ok()) ++out.mismatches;
@@ -292,6 +351,16 @@ std::string verdict_signature(const CampaignResult& r) {
     s += "rec:" + rr.workload + ":" + rr.backend + ":t" +
          std::to_string(rr.threads) + "," + (rr.ok() ? "C" : "V") + "," +
          std::to_string(rr.l_races) + "," + std::to_string(rr.committed) + "\n";
+  }
+  // KV rows: the planned op-class counts are a pure function of
+  // (mix, seed, threads, ops) and the verdict must be conformant on every
+  // schedule; session/window counts and throughput are omitted.
+  for (const KvRow& kr : r.kv) {
+    s += "kv:" + kr.mix + ":" + kr.backend + ":t" + std::to_string(kr.threads) +
+         "," + (kr.ok() ? "C" : "V") + "," + std::to_string(kr.ops) + "," +
+         std::to_string(kr.reads) + "/" + std::to_string(kr.updates) + "/" +
+         std::to_string(kr.inserts) + "/" + std::to_string(kr.scans) + "/" +
+         std::to_string(kr.rmws) + "/" + std::to_string(kr.snap_reads) + "\n";
   }
   // Fuzz rows: verdict and model outcome count are schedule-independent for
   // conformant runs (race counts are not — they vary with interleaving).

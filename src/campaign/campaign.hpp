@@ -61,6 +61,23 @@ struct CampaignOptions {
   bool record_windowed = true;
   std::size_t record_window_min = 64;  // minimum source events per window
 
+  // ----- KV workload conformance jobs -----
+  // When enabled, the campaign runs every standard KV mix (YCSB A/B/C plus
+  // priv_heavy and pub_heavy) on every registered backend at each listed
+  // thread count, with sampled runtime conformance on: a fraction of each
+  // run's rounds is recorded and judged by the model layer.  Rows appear
+  // beside the litmus/record/fuzz rows; a row with a non-conformant window
+  // or a failed store audit counts as a mismatch.
+  bool kv_jobs = false;
+  std::vector<std::size_t> kv_threads = {1, 3};
+  std::uint64_t kv_ops = 64;       // operations per worker thread
+  std::uint64_t kv_seed = 11;
+  std::size_t kv_keys = 32;        // preloaded key-space (kept small: every
+                                   // recorded fence expands to one QFence
+                                   // per touched location)
+  std::size_t kv_shards = 2;
+  std::size_t kv_sample_every = 4;  // 0 = sampling off (perf-only rows)
+
   // ----- differential fuzz jobs -----
   // When > 0, generates `fuzz_count` random litmus programs from fuzz_seed,
   // runs each on every registered backend under fuzz_sched_rounds schedule
@@ -118,9 +135,38 @@ struct RecordRow {
   double millis = 0;
 };
 
+// One KV workload conformance verdict: a (mix, backend, thread-count) run
+// of the sharded KV engine with sampled recording, judged by the model.
+struct KvRow {
+  std::string mix;
+  std::string backend;
+  std::size_t threads = 0;
+
+  // Schedule-independent (pure function of mix x seed x threads x ops; the
+  // CSV and signature surfaces expose only these).
+  std::uint64_t ops = 0;
+  std::uint64_t reads = 0, updates = 0, inserts = 0, scans = 0, rmws = 0,
+                snap_reads = 0;
+  bool invariant_ok = false;
+
+  // Sampled-conformance verdict (sessions/windows vary with scheduling;
+  // nonconformant must be 0 on every schedule).
+  std::size_t sessions = 0;
+  std::size_t windows = 0;
+  std::size_t nonconformant = 0;
+
+  // Informational measurements.
+  double ops_per_sec = 0;
+  std::uint64_t p50_ns = 0, p95_ns = 0, p99_ns = 0;
+  double millis = 0;
+
+  bool ok() const { return nonconformant == 0 && invariant_ok; }
+};
+
 struct CampaignResult {
   std::vector<JobResult> jobs;    // catalog order, schedule-independent
   std::vector<RecordRow> recorded;  // backend x workload x threads order
+  std::vector<KvRow> kv;            // mix x backend x threads grid order
   std::vector<fuzz::FuzzRow> fuzzed;  // program x backend grid order
   std::size_t mismatches = 0;     // rows where measured != paper, plus
                                   // non-conformant recorded and fuzz rows

@@ -85,6 +85,32 @@ std::string to_json(const CampaignResult& r, const std::string& run_label) {
     s += (i + 1 < r.fuzzed.size()) ? ",\n" : "\n";
   }
   s += "  ],\n";
+  s += "  \"kv\": [\n";
+  for (std::size_t i = 0; i < r.kv.size(); ++i) {
+    const KvRow& kr = r.kv[i];
+    s += "    {\"mix\": \"" + json_escape(kr.mix) + "\", \"backend\": \"" +
+         json_escape(kr.backend) +
+         "\", \"threads\": " + std::to_string(kr.threads) +
+         ", \"conformant\": " + (kr.ok() ? "true" : "false") +
+         ", \"ops\": " + std::to_string(kr.ops) +
+         ", \"reads\": " + std::to_string(kr.reads) +
+         ", \"updates\": " + std::to_string(kr.updates) +
+         ", \"inserts\": " + std::to_string(kr.inserts) +
+         ", \"scans\": " + std::to_string(kr.scans) +
+         ", \"rmws\": " + std::to_string(kr.rmws) +
+         ", \"snap_reads\": " + std::to_string(kr.snap_reads) +
+         ", \"invariant_ok\": " + (kr.invariant_ok ? "true" : "false") +
+         ", \"sessions\": " + std::to_string(kr.sessions) +
+         ", \"windows\": " + std::to_string(kr.windows) +
+         ", \"nonconformant\": " + std::to_string(kr.nonconformant) +
+         ", \"ops_per_sec\": " + fmt_ms(kr.ops_per_sec) +
+         ", \"p50_ns\": " + std::to_string(kr.p50_ns) +
+         ", \"p95_ns\": " + std::to_string(kr.p95_ns) +
+         ", \"p99_ns\": " + std::to_string(kr.p99_ns) +
+         ", \"ms\": " + fmt_ms(kr.millis) + "}";
+    s += (i + 1 < r.kv.size()) ? ",\n" : "\n";
+  }
+  s += "  ],\n";
   s += "  \"recorded\": [\n";
   for (std::size_t i = 0; i < r.recorded.size(); ++i) {
     const RecordRow& rr = r.recorded[i];
@@ -132,6 +158,15 @@ std::string to_csv(const CampaignResult& r) {
          (rr.ok() ? "conformant" : "violation") + "," +
          (rr.ok() ? "yes" : "no") + "," + std::to_string(rr.l_races) + "," +
          std::to_string(rr.committed) + ",no\n";
+  }
+  // KV rows, same column shape: outcomes carries the non-conformant count
+  // (0 on every conformant schedule) and consistent_execs the planned op
+  // total — both schedule-independent, so serial/parallel runs diff clean.
+  for (const KvRow& kr : r.kv) {
+    s += "kv:" + kr.mix + ":" + kr.backend + ":t" + std::to_string(kr.threads) +
+         ",kv,conformant," + (kr.ok() ? "conformant" : "violation") + "," +
+         (kr.ok() ? "yes" : "no") + "," + std::to_string(kr.nonconformant) +
+         "," + std::to_string(kr.ops) + ",no\n";
   }
   // Fuzz rows, same column shape: outcomes carries the model outcome count
   // and consistent_execs the schedule rounds run — all fields here are

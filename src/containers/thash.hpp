@@ -1,6 +1,17 @@
 // Striped transactional hash map: fixed bucket array of sorted chains.
 // Operations on different buckets conflict only through the STM's orec
 // hashing, so the map scales where the single list cannot.
+//
+// Sizing: the bucket array is fixed at construction (`bucket_count`); there
+// is no rehashing, so chains grow linearly once the load factor passes ~2.
+// Callers that know their key volume up front should size with
+// `recommended_buckets(expected_keys)` instead of taking the seed default —
+// the KV shards (src/kv/kvstore.hpp) do exactly that.
+//
+// Every operation also exists in a txn-parameterized `*_in(tx, ...)` form so
+// callers can compose a map operation with their own transactional state
+// (e.g. a privatization flag read) inside ONE atomic block — the wrapper
+// forms simply run the `_in` body under a fresh transaction.
 #pragma once
 
 #include <cstdint>
@@ -15,8 +26,10 @@ namespace mtx::containers {
 template <class Stm>
 class THash {
  public:
-  THash(Stm& stm, std::size_t buckets = 64)
-      : stm_(stm), heads_(buckets ? buckets : 1) {}
+  static constexpr std::size_t kDefaultBuckets = 64;
+
+  THash(Stm& stm, std::size_t bucket_count = kDefaultBuckets)
+      : stm_(stm), heads_(bucket_count ? bucket_count : 1) {}
 
   ~THash() {
     std::lock_guard<std::mutex> g(nodes_mu_);
@@ -26,67 +39,90 @@ class THash {
   THash(const THash&) = delete;
   THash& operator=(const THash&) = delete;
 
+  std::size_t bucket_count() const { return heads_.size(); }
+
+  // Power-of-two bucket count targeting a load factor of ~2 at
+  // `expected_keys`, clamped to [kDefaultBuckets/4, 2^20]: small tables keep
+  // a floor so orec striping still spreads, huge hints stay bounded.
+  static std::size_t recommended_buckets(std::size_t expected_keys) {
+    const std::size_t target = expected_keys / 2;
+    std::size_t b = kDefaultBuckets / 4;
+    while (b < target && b < (std::size_t{1} << 20)) b <<= 1;
+    return b;
+  }
+
+  // ----- txn-parameterized operations ------------------------------------
+
   // Inserts or updates; returns true when the key was new.
-  bool put(std::int64_t key, std::int64_t value) {
-    bool fresh = false;
-    stm_.atomically([&](auto& tx) {
-      fresh = false;
-      stm::Cell& head = heads_[bucket(key)];
-      Node* prev = nullptr;
-      Node* cur = decode(tx.read(head));
-      while (cur && cur->key < key) {
-        prev = cur;
-        cur = decode(tx.read(cur->next));
-      }
-      if (cur && cur->key == key) {
-        tx.write(cur->value, static_cast<stm::word_t>(value));
-        return;
-      }
-      Node* fresh_node = new_node(key, value);
-      fresh_node->next.plain_store(encode(cur));
-      if (prev)
-        tx.write(prev->next, encode(fresh_node));
-      else
-        tx.write(head, encode(fresh_node));
-      fresh = true;
-    });
-    return fresh;
+  template <class Tx>
+  bool put_in(Tx& tx, std::int64_t key, std::int64_t value) {
+    stm::Cell& head = heads_[bucket(key)];
+    Node* prev = nullptr;
+    Node* cur = decode(tx.read(head));
+    while (cur && cur->key < key) {
+      prev = cur;
+      cur = decode(tx.read(cur->next));
+    }
+    if (cur && cur->key == key) {
+      tx.write(cur->value, static_cast<stm::word_t>(value));
+      return false;
+    }
+    Node* fresh_node = new_node(key, value);
+    fresh_node->next.plain_store(encode(cur));
+    if (prev)
+      tx.write(prev->next, encode(fresh_node));
+    else
+      tx.write(head, encode(fresh_node));
+    return true;
   }
 
   // Returns true and sets *out when present.
+  template <class Tx>
+  bool get_in(Tx& tx, std::int64_t key, std::int64_t* out) {
+    Node* cur = decode(tx.read(heads_[bucket(key)]));
+    while (cur && cur->key < key) cur = decode(tx.read(cur->next));
+    if (cur && cur->key == key) {
+      if (out) *out = static_cast<std::int64_t>(tx.read(cur->value));
+      return true;
+    }
+    return false;
+  }
+
+  template <class Tx>
+  bool erase_in(Tx& tx, std::int64_t key) {
+    stm::Cell& head = heads_[bucket(key)];
+    Node* prev = nullptr;
+    Node* cur = decode(tx.read(head));
+    while (cur && cur->key < key) {
+      prev = cur;
+      cur = decode(tx.read(cur->next));
+    }
+    if (!cur || cur->key != key) return false;
+    const stm::word_t nxt = tx.read(cur->next);
+    if (prev)
+      tx.write(prev->next, nxt);
+    else
+      tx.write(head, nxt);
+    return true;
+  }
+
+  // ----- single-transaction wrappers -------------------------------------
+
+  bool put(std::int64_t key, std::int64_t value) {
+    bool fresh = false;
+    stm_.atomically([&](auto& tx) { fresh = put_in(tx, key, value); });
+    return fresh;
+  }
+
   bool get(std::int64_t key, std::int64_t* out) {
     bool found = false;
-    stm_.atomically([&](auto& tx) {
-      found = false;
-      Node* cur = decode(tx.read(heads_[bucket(key)]));
-      while (cur && cur->key < key) cur = decode(tx.read(cur->next));
-      if (cur && cur->key == key) {
-        if (out) *out = static_cast<std::int64_t>(tx.read(cur->value));
-        found = true;
-      }
-    });
+    stm_.atomically([&](auto& tx) { found = get_in(tx, key, out); });
     return found;
   }
 
   bool erase(std::int64_t key) {
     bool removed = false;
-    stm_.atomically([&](auto& tx) {
-      removed = false;
-      stm::Cell& head = heads_[bucket(key)];
-      Node* prev = nullptr;
-      Node* cur = decode(tx.read(head));
-      while (cur && cur->key < key) {
-        prev = cur;
-        cur = decode(tx.read(cur->next));
-      }
-      if (!cur || cur->key != key) return;
-      const stm::word_t nxt = tx.read(cur->next);
-      if (prev)
-        tx.write(prev->next, nxt);
-      else
-        tx.write(head, nxt);
-      removed = true;
-    });
+    stm_.atomically([&](auto& tx) { removed = erase_in(tx, key); });
     return removed;
   }
 
@@ -103,6 +139,42 @@ class THash {
       }
     });
     return n;
+  }
+
+  // ----- plain (nontransactional) access ---------------------------------
+  //
+  // Both traversals use Cell::plain_load/plain_store only, so they are the
+  // paper's ordinary accesses: legal ONLY while the caller owns the table —
+  // after a privatizing flag write plus quiescence fence (the KV
+  // privatize-scan), or while every other thread is provably quiescent (the
+  // sampled-conformance state replay).  Under a recording session every
+  // access is captured, so protocol mistakes surface as model races.
+
+  // fn(key, value) for every live entry, bucket-major, keys ascending within
+  // a bucket.
+  template <class Fn>
+  void for_each_plain(Fn&& fn) {
+    for (stm::Cell& head : heads_) {
+      Node* cur = decode(head.plain_load());
+      while (cur) {
+        fn(cur->key, static_cast<std::int64_t>(cur->value.plain_load()));
+        cur = decode(cur->next.plain_load());
+      }
+    }
+  }
+
+  // fn(cell) for every Cell the table has ever allocated: bucket heads plus
+  // the value/next cells of every node, INCLUDING unlinked (erased) ones —
+  // a doomed zombie reader can still dereference an unlinked node, so a
+  // state replay that skipped them would leave dangling reads-from.
+  template <class Fn>
+  void for_each_cell(Fn&& fn) {
+    for (stm::Cell& head : heads_) fn(head);
+    std::lock_guard<std::mutex> g(nodes_mu_);
+    for (Node* n : nodes_) {
+      fn(n->value);
+      fn(n->next);
+    }
   }
 
  private:

@@ -1,0 +1,196 @@
+#include "kv/kvstore.hpp"
+
+#include <thread>
+
+namespace mtx::kv {
+
+using stm::word_t;
+
+KvStore::KvStore(stm::StmBackend& stm) : KvStore(stm, Options()) {}
+
+KvStore::KvStore(stm::StmBackend& stm, const Options& opt) : stm_(stm) {
+  const std::size_t nshards = opt.shards ? opt.shards : 1;
+  const std::size_t buckets = containers::THash<stm::StmBackend>::recommended_buckets(
+      opt.expected_keys / nshards + 1);
+  shards_.reserve(nshards);
+  for (std::size_t i = 0; i < nshards; ++i)
+    shards_.push_back(std::make_unique<Shard>(stm_, buckets, opt.snap_slots));
+}
+
+std::size_t KvStore::shard_of(std::int64_t key) const {
+  // Different multiplier than THash's bucket hash so shard routing and
+  // bucket striping stay uncorrelated.
+  const auto h = static_cast<std::uint64_t>(key) * 0xd1b54a32d192ed03ULL;
+  return static_cast<std::size_t>(h >> 33) % shards_.size();
+}
+
+std::size_t KvStore::bucket_count(std::size_t shard) const {
+  return shards_[shard]->table.bucket_count();
+}
+
+ShardStats KvStore::stats(std::size_t shard) const {
+  const Shard::Counters& c = shards_[shard]->counters;
+  ShardStats s;
+  s.gets = c.gets.load(std::memory_order_relaxed);
+  s.puts = c.puts.load(std::memory_order_relaxed);
+  s.erases = c.erases.load(std::memory_order_relaxed);
+  s.rmws = c.rmws.load(std::memory_order_relaxed);
+  s.scans = c.scans.load(std::memory_order_relaxed);
+  s.scan_busy = c.scan_busy.load(std::memory_order_relaxed);
+  s.snap_reads = c.snap_reads.load(std::memory_order_relaxed);
+  s.priv_waits = c.priv_waits.load(std::memory_order_relaxed);
+  return s;
+}
+
+void KvStore::priv_wait_pause() { std::this_thread::yield(); }
+
+bool KvStore::put(std::int64_t key, std::int64_t value) {
+  Shard& s = *shards_[shard_of(key)];
+  bool fresh = false;
+  mutate(s, [&](stm::TxHandle& tx) { fresh = s.table.put_in(tx, key, value); });
+  s.counters.puts.fetch_add(1, std::memory_order_relaxed);
+  return fresh;
+}
+
+bool KvStore::get(std::int64_t key, std::int64_t* out) {
+  Shard& s = *shards_[shard_of(key)];
+  // Read-only: no flag check — gets conflict with nothing the scanner's
+  // plain phase does, so readers flow through privatized shards.
+  const bool found = s.table.get(key, out);
+  s.counters.gets.fetch_add(1, std::memory_order_relaxed);
+  return found;
+}
+
+bool KvStore::erase(std::int64_t key) {
+  Shard& s = *shards_[shard_of(key)];
+  bool removed = false;
+  mutate(s, [&](stm::TxHandle& tx) { removed = s.table.erase_in(tx, key); });
+  s.counters.erases.fetch_add(1, std::memory_order_relaxed);
+  return removed;
+}
+
+bool KvStore::rmw(std::int64_t key,
+                  const std::function<std::int64_t(std::int64_t)>& f,
+                  std::int64_t* out) {
+  Shard& s = *shards_[shard_of(key)];
+  bool found = false;
+  mutate(s, [&](stm::TxHandle& tx) {
+    std::int64_t old = 0;
+    found = s.table.get_in(tx, key, &old);
+    if (!found) return;
+    const std::int64_t neu = f(old);
+    s.table.put_in(tx, key, neu);
+    if (out) *out = neu;
+  });
+  s.counters.rmws.fetch_add(1, std::memory_order_relaxed);
+  return found;
+}
+
+std::size_t KvStore::size() {
+  std::size_t n = 0;
+  for (auto& s : shards_) n += s->table.size();
+  return n;
+}
+
+ScanResult KvStore::privatize_scan(
+    std::size_t shard, const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  Shard& s = *shards_[shard];
+  ScanResult r;
+  // CAS open→closed.  Reading the flag (not blind-writing it) is what links
+  // this scan into the previous owner's reopen commit via cwr.
+  stm_.atomically([&](stm::TxHandle& tx) {
+    r.privatized = tx.read(s.priv_flag) == 0;
+    if (r.privatized) tx.write(s.priv_flag, 1);
+  });
+  if (!r.privatized) {
+    s.counters.scan_busy.fetch_add(1, std::memory_order_relaxed);
+    return r;
+  }
+  // Grace period: every transaction that read the flag open has now
+  // resolved; any still-running writer will fail its flag validation.
+  stm_.quiesce();
+  // Plain phase: we own the shard's writers.
+  s.table.for_each_plain([&](std::int64_t k, std::int64_t v) {
+    ++r.keys;
+    r.value_sum += v;
+    if (fn) fn(k, v);
+  });
+  // A genuine plain write into the privatized region (the scan's product).
+  s.scan_result.plain_store(static_cast<word_t>(r.value_sum));
+  // Publication back: the reopen commit is the hb anchor every later
+  // flag-checking mutator orders itself after.
+  stm_.atomically([&](stm::TxHandle& tx) { tx.write(s.priv_flag, 0); });
+  s.counters.scans.fetch_add(1, std::memory_order_relaxed);
+  return r;
+}
+
+bool KvStore::publish_snapshot(const std::vector<std::int64_t>& keys) {
+  bool expected = false;
+  if (!snap_published_.compare_exchange_strong(expected, true)) return false;
+  std::vector<std::size_t> used(shards_.size(), 0);
+  for (std::int64_t key : keys) {
+    Shard& s = *shards_[shard_of(key)];
+    const std::size_t slot = used[shard_of(key)];
+    if (slot >= s.snap.size()) continue;  // shard's snapshot is full
+    std::int64_t value = 0;
+    if (!get(key, &value)) continue;
+    // Plain writes into not-yet-published (thus unshared) slots...
+    s.snap[slot].key.plain_store(static_cast<word_t>(key + 1));
+    s.snap[slot].value.plain_store(static_cast<word_t>(value));
+    ++used[shard_of(key)];
+  }
+  // ...published by one transactional flag write: the slots are immutable
+  // from this commit on, and every reader orders its plain loads after it
+  // through snapshot_attach's transactional read.
+  stm_.atomically([&](stm::TxHandle& tx) { tx.write(snap_ready_, 1); });
+  return true;
+}
+
+bool KvStore::snapshot_attach() {
+  word_t ready = 0;
+  stm_.atomically([&](stm::TxHandle& tx) { ready = tx.read(snap_ready_); });
+  return ready != 0;
+}
+
+bool KvStore::snapshot_read(std::int64_t key, std::int64_t* out) {
+  Shard& s = *shards_[shard_of(key)];
+  for (SnapSlot& slot : s.snap) {
+    const word_t k = slot.key.plain_load();
+    if (k == 0) break;  // slots fill front-to-back
+    if (k == static_cast<word_t>(key + 1)) {
+      if (out) *out = static_cast<std::int64_t>(slot.value.plain_load());
+      s.counters.snap_reads.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  s.counters.snap_reads.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void KvStore::replay_state_plain() {
+  const auto replay = [](stm::Cell& c) {
+    c.plain_store(c.raw().load(std::memory_order_relaxed));
+  };
+  for (auto& s : shards_) {
+    s->table.for_each_cell(replay);
+    replay(s->priv_flag);
+    replay(s->scan_result);
+    for (SnapSlot& slot : s->snap) {
+      replay(slot.key);
+      replay(slot.value);
+    }
+  }
+  replay(snap_ready_);
+}
+
+std::size_t KvStore::cell_count() const {
+  std::size_t n = 1;  // snap_ready_
+  for (auto& s : shards_) {
+    std::size_t nodes = 0;
+    s->table.for_each_cell([&](stm::Cell&) { ++nodes; });
+    n += nodes + 2 + 2 * s->snap.size();
+  }
+  return n;
+}
+
+}  // namespace mtx::kv

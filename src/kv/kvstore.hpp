@@ -1,0 +1,190 @@
+// Sharded transactional key-value store over the StmBackend registry, with
+// the paper's two bounded mixed-access protocols as first-class fast paths.
+//
+// Layout: N shards, each an independent THash table plus a privatization
+// flag, a scan-result cell, and a small immutable snapshot array.  Keys
+// route to shards by multiplicative hashing; all shards share ONE backend
+// instance, so stm.quiesce() is the conservative all-locations fence the
+// repo's QuiescenceRegistry implements — privatization bounds mixed races
+// in SPACE (only the privatized shard's cells are plain-accessed) while the
+// fence bounds them in TIME, which is exactly the paper's pitch.
+//
+// Mixed-access protocols (and their fence obligations):
+//
+//   privatize-scan (§5 privatization):  a scanner transactionally CASes the
+//   shard's flag open→closed (the flag READ matters: it is the hb link from
+//   the previous owner's reopen commit), then quiesces — every transaction
+//   that might still write the shard either committed before the fence or
+//   will re-validate its flag read and abort.  The scanner now owns the
+//   shard: it walks the table with plain loads and plain-writes the scan
+//   result, then publishes the shard back by transactionally reopening the
+//   flag.  Mutators re-check the flag inside every writing transaction (and
+//   wait out closed shards), so their later writes are ordered after the
+//   reopen commit by the cwr edge of that flag read.  Read-only gets skip
+//   the flag entirely: they race with nothing the scanner does (plain reads
+//   vs transactional reads conflict on no cell), so readers keep flowing
+//   through a privatized shard — privatization here is a *writer* pause.
+//
+//   snapshot-read (publication):  publish_snapshot() plain-writes a chosen
+//   key set's current values into per-shard snapshot slots, then publishes
+//   them with a single transactional snap_ready write.  The slots are
+//   immutable from that commit on (publish is once-only), so any thread
+//   that has observed snap_ready — snapshot_attach() runs one transactional
+//   read, the publication pattern's handoff — may read slots with pure
+//   plain loads forever after: the paper's "plain reads of published
+//   immutable values", no fence or flag on the per-read path at all.
+//
+// Both protocols are auditable at runtime: under a RecordSession every
+// plain access above is captured, and the sampled-conformance driver
+// (src/kv/workload.hpp) feeds the captured windows to the model layer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "containers/thash.hpp"
+#include "stm/backend.hpp"
+
+namespace mtx::kv {
+
+// Copyable snapshot of one shard's operation counters.
+struct ShardStats {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t rmws = 0;
+  std::uint64_t scans = 0;       // privatize-scans completed on this shard
+  std::uint64_t scan_busy = 0;   // privatize attempts that found it closed
+  std::uint64_t snap_reads = 0;
+  std::uint64_t priv_waits = 0;  // mutator retries against a closed flag
+};
+
+struct ScanResult {
+  bool privatized = false;  // false: another scanner already owned the shard
+  std::size_t keys = 0;
+  std::int64_t value_sum = 0;
+};
+
+class KvStore {
+ public:
+  struct Options {
+    std::size_t shards = 8;
+    // Sizing hint: per-shard bucket counts come from
+    // THash::recommended_buckets(expected_keys / shards).
+    std::size_t expected_keys = 1024;
+    std::size_t snap_slots = 8;  // immutable snapshot capacity per shard
+  };
+
+  explicit KvStore(stm::StmBackend& stm);  // default Options
+  KvStore(stm::StmBackend& stm, const Options& opt);
+
+  std::size_t shards() const { return shards_.size(); }
+  std::size_t shard_of(std::int64_t key) const;
+  std::size_t bucket_count(std::size_t shard) const;
+  ShardStats stats(std::size_t shard) const;
+
+  // ----- transactional operations (writers wait out privatized shards) ----
+
+  bool put(std::int64_t key, std::int64_t value);  // true = fresh insert
+  bool get(std::int64_t key, std::int64_t* out);
+  bool erase(std::int64_t key);
+  // Read-modify-write in one transaction: *out gets f(old) when present.
+  bool rmw(std::int64_t key, const std::function<std::int64_t(std::int64_t)>& f,
+           std::int64_t* out = nullptr);
+  std::size_t size();  // transactional count, one transaction per shard
+
+  // ----- mixed-access fast paths ------------------------------------------
+
+  // Privatize shard `shard`, plain-scan it (fn(key, value) per live entry,
+  // when fn is given), plain-write the value sum into the shard's scan
+  // cell, publish the shard back.  Returns privatized=false without
+  // scanning when another scanner holds the shard.
+  ScanResult privatize_scan(std::size_t shard,
+                            const std::function<void(std::int64_t, std::int64_t)>& fn = nullptr);
+
+  // Freeze the CURRENT values of `keys` (at most snap_slots per shard) into
+  // the immutable snapshot and publish it.  Once-only; returns false (and
+  // publishes nothing) on a second call.  Caller must be in a quiet phase
+  // (no concurrent mutators of the snapshotted keys).
+  bool publish_snapshot(const std::vector<std::int64_t>& keys);
+
+  // The publication handoff: one transactional read of snap_ready.  Run it
+  // once per reading thread before its first snapshot_read; every later
+  // snapshot access in that thread is ordered after the publication by
+  // po from this transaction.  Returns false while nothing is published.
+  bool snapshot_attach();
+
+  // Pure plain-load read of a frozen value.  Requires a prior successful
+  // snapshot_attach() in this thread; false when the key was not frozen.
+  bool snapshot_read(std::int64_t key, std::int64_t* out);
+
+  // ----- sampled-conformance support --------------------------------------
+
+  // Re-establish every cell's current value with a recorded plain store
+  // (value re-written in place).  Caller contract: every other thread is
+  // paused with no transaction in flight, and the call runs inside a
+  // synthetic committed transaction of an installed recorder — it becomes
+  // the recording window's state-carry transaction, so mid-execution
+  // windows are well-formed (reads-from resolves against the carry instead
+  // of dangling on the all-zero init).  Covers unlinked nodes too: zombie
+  // readers can still reach them.
+  void replay_state_plain();
+
+  // Total cells replay_state_plain touches (trace-size planning for tests).
+  std::size_t cell_count() const;
+
+ private:
+  struct SnapSlot {
+    stm::Cell key;  // key + 1; 0 = empty slot
+    stm::Cell value;
+  };
+
+  struct Shard {
+    Shard(stm::StmBackend& stm, std::size_t buckets, std::size_t snap_slots)
+        : table(stm, buckets), snap(snap_slots) {}
+    containers::THash<stm::StmBackend> table;
+    stm::Cell priv_flag;    // 0 = open, 1 = privatized
+    stm::Cell scan_result;  // plain-written by the owning scanner
+    std::vector<SnapSlot> snap;
+
+    struct Counters {
+      std::atomic<std::uint64_t> gets{0}, puts{0}, erases{0}, rmws{0},
+          scans{0}, scan_busy{0}, snap_reads{0}, priv_waits{0};
+    } counters;
+  };
+
+  // Runs fn inside one transaction once the shard's flag reads open; the
+  // flag read is part of the transaction (the §5 mutator obligation).
+  // Template (not std::function): this is the per-op hot path, and a
+  // capturing std::function would heap-allocate on every mutation.
+  template <class Fn>
+  void mutate(Shard& s, Fn&& fn) {
+    for (;;) {
+      bool closed = false;
+      stm_.atomically([&](stm::TxHandle& tx) {
+        closed = tx.read(s.priv_flag) != 0;
+        if (closed) return;
+        fn(tx);
+      });
+      if (!closed) return;
+      // The shard is privatized: its owner is mid-plain-scan.  Spin
+      // politely; the flag read above re-validates on every retry, so the
+      // first transaction to see the reopen commit proceeds (and is
+      // hb-ordered after the scanner's plain accesses through that read).
+      s.counters.priv_waits.fetch_add(1, std::memory_order_relaxed);
+      priv_wait_pause();
+    }
+  }
+
+  static void priv_wait_pause();
+
+  stm::StmBackend& stm_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  stm::Cell snap_ready_;  // 0 until publish_snapshot commits
+  std::atomic<bool> snap_published_{false};
+};
+
+}  // namespace mtx::kv

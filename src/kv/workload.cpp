@@ -1,0 +1,304 @@
+#include "kv/workload.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+#include "record/assemble.hpp"
+#include "record/conformance.hpp"
+#include "record/recorder.hpp"
+#include "substrate/rng.hpp"
+#include "substrate/threading.hpp"
+
+namespace mtx::kv {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Values carry their key in the high digits: value = key * kStride +
+// payload with payload < kStride.  Every write path preserves the form, so
+// scans, gets and snapshot reads can audit any value they see against the
+// key it was filed under — a linearizable-ish correctness check that is
+// schedule-independent.
+constexpr std::int64_t kStride = 1'000'000;
+
+std::int64_t value_of(std::int64_t key, std::int64_t payload) {
+  return key * kStride + payload % kStride;
+}
+
+bool form_ok(std::int64_t key, std::int64_t v) { return v / kStride == key; }
+
+enum class Op { read, update, insert, scan, rmw, snap };
+
+// Per-thread tallies of the deterministic op plan.
+struct Tally {
+  std::uint64_t reads = 0, updates = 0, inserts = 0, scans = 0, rmws = 0,
+                snaps = 0;
+};
+
+}  // namespace
+
+const std::vector<Mix>& standard_mixes() {
+  static const std::vector<Mix> mixes = [] {
+    std::vector<Mix> v;
+    // YCSB A/B/C on Zipfian(0.99) keys.
+    v.push_back({"a", 50, 50, 0, 0, 0, 0, KeyDist::zipfian, 0.99});
+    v.push_back({"b", 95, 5, 0, 0, 0, 0, KeyDist::zipfian, 0.99});
+    v.push_back({"c", 100, 0, 0, 0, 0, 0, KeyDist::zipfian, 0.99});
+    // Mixed-access scenarios: the §5 protocols under load.
+    v.push_back({"priv_heavy", 40, 25, 10, 20, 5, 0, KeyDist::uniform, 0.99});
+    v.push_back({"pub_heavy", 20, 10, 5, 0, 10, 55, KeyDist::zipfian, 0.99});
+    return v;
+  }();
+  return mixes;
+}
+
+const Mix* mix_by_name(const std::string& name) {
+  for (const Mix& m : standard_mixes())
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+KvResult run_kv_workload(stm::StmBackend& stm, const Mix& mix,
+                         const KvWorkloadOptions& opts) {
+  if (mix.total_pct() != 100)
+    throw std::invalid_argument("kv mix '" + mix.name +
+                                "' percentages sum to " +
+                                std::to_string(mix.total_pct()) + ", not 100");
+  const std::size_t threads = std::max<std::size_t>(1, opts.threads);
+  const std::size_t preload = std::max<std::size_t>(1, opts.preload_keys);
+  const std::size_t snap_count =
+      std::max<std::size_t>(1, std::min(opts.snap_keys, preload));
+  const bool sampling = opts.sample_every > 0 && opts.round_ops > 0;
+
+  KvResult res;
+  res.mix = mix.name;
+  res.backend = stm.name();
+  res.threads = threads;
+  res.ops = static_cast<std::uint64_t>(threads) * opts.ops_per_thread;
+
+  KvStore::Options sopt;
+  sopt.shards = opts.shards;
+  sopt.expected_keys = preload * 2;
+  sopt.snap_slots = snap_count;  // per shard: generous, so no key is dropped
+  KvStore store(stm, sopt);
+
+  // Load phase (unrecorded, single-threaded): preload + publish the frozen
+  // snapshot of the hottest ranks.  Everything after this point may run
+  // under a recording window, whose carry transaction re-establishes this
+  // state (KvStore::replay_state_plain).
+  for (std::size_t k = 0; k < preload; ++k)
+    store.put(static_cast<std::int64_t>(k), value_of(static_cast<std::int64_t>(k), 0));
+  std::vector<std::int64_t> snap_keys(snap_count);
+  for (std::size_t k = 0; k < snap_count; ++k)
+    snap_keys[k] = static_cast<std::int64_t>(k);
+  store.publish_snapshot(snap_keys);
+
+  const std::optional<Zipfian> zipf =
+      mix.dist == KeyDist::zipfian
+          ? std::optional<Zipfian>(Zipfian(preload, mix.theta))
+          : std::nullopt;
+
+  const std::size_t rounds =
+      sampling ? (opts.ops_per_thread + opts.round_ops - 1) / opts.round_ops : 1;
+  const auto round_recorded = [&](std::size_t r) {
+    return sampling && r % opts.sample_every == 0;
+  };
+
+  SpinBarrier barrier(threads + 1);  // workers + coordinator (sampling only)
+  std::unique_ptr<record::RecordSession> session;  // written between barriers
+  std::vector<std::unique_ptr<record::RecordSession>> sessions;
+
+  std::atomic<bool> values_wellformed{true};
+  std::mutex merge_mu;
+  Tally total;
+  LatencyHist hist;
+
+  auto worker = [&](std::size_t tid) {
+    Rng rng(opts.seed * 0x9e3779b9ULL + tid * 131 + 1);
+    Tally local;
+    LatencyHist lhist;
+    // Publication handoff: one transactional read of snap_ready orders all
+    // of this thread's later plain snapshot loads after the publish commit.
+    store.snapshot_attach();
+
+    auto run_ops = [&](std::uint64_t first, std::uint64_t n) {
+      for (std::uint64_t i = first; i < first + n; ++i) {
+        const auto t0 = Clock::now();
+        const std::uint64_t dice = rng.below(100);
+        const auto draw_key = [&]() -> std::int64_t {
+          return static_cast<std::int64_t>(zipf ? zipf->next(rng)
+                                                : rng.below(preload));
+        };
+        std::uint64_t edge = static_cast<std::uint64_t>(mix.read_pct);
+        if (dice < edge) {
+          const std::int64_t key = draw_key();
+          std::int64_t v = 0;
+          if (!store.get(key, &v) || !form_ok(key, v))
+            values_wellformed = false;
+          ++local.reads;
+        } else if (dice < (edge += static_cast<std::uint64_t>(mix.update_pct))) {
+          const std::int64_t key = draw_key();
+          store.put(key, value_of(key, static_cast<std::int64_t>(
+                                           tid * 7919 + i)));
+          ++local.updates;
+        } else if (dice < (edge += static_cast<std::uint64_t>(mix.insert_pct))) {
+          // Unique fresh key per (thread, op index): deterministic, and the
+          // final size() audit becomes exact.
+          const auto key = static_cast<std::int64_t>(
+              preload + tid * opts.ops_per_thread + i);
+          store.put(key, value_of(key, static_cast<std::int64_t>(i)));
+          ++local.inserts;
+        } else if (dice < (edge += static_cast<std::uint64_t>(mix.scan_pct))) {
+          const std::size_t shard = rng.below(store.shards());
+          store.privatize_scan(shard, [&](std::int64_t k, std::int64_t v) {
+            if (!form_ok(k, v)) values_wellformed = false;
+          });
+          ++local.scans;
+        } else if (dice < (edge += static_cast<std::uint64_t>(mix.rmw_pct))) {
+          const std::int64_t key = draw_key();
+          store.rmw(key, [key](std::int64_t old) {
+            return value_of(key, old % kStride + 1);
+          });
+          ++local.rmws;
+        } else {
+          const auto key = static_cast<std::int64_t>(rng.below(snap_count));
+          std::int64_t v = 0;
+          if (store.snapshot_read(key, &v) && !form_ok(key, v))
+            values_wellformed = false;
+          ++local.snaps;
+        }
+        lhist.add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 t0)
+                .count()));
+      }
+    };
+
+    if (!sampling) {
+      run_ops(0, opts.ops_per_thread);
+    } else {
+      std::uint64_t done = 0;
+      for (std::size_t r = 0; r < rounds; ++r) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(opts.round_ops, opts.ops_per_thread - done);
+        barrier.arrive_and_wait();  // A: round start, nothing in flight
+        if (round_recorded(r)) {
+          barrier.arrive_and_wait();  // B: coordinator replayed state
+          record::ScopedRecorder rec(*session, static_cast<int>(tid) + 1);
+          // Re-run the publication handoff inside the window: hb reaches a
+          // PLAIN read only through a transactional read in its own thread
+          // (cwr then po), so each window needs its own snap_ready read to
+          // order this thread's plain snapshot loads after the carry
+          // transaction — exactly the paper's publication obligation.
+          store.snapshot_attach();
+          run_ops(done, n);
+        } else {
+          run_ops(done, n);
+        }
+        barrier.arrive_and_wait();  // C: round end, recorders detached
+        done += n;
+      }
+    }
+
+    std::lock_guard<std::mutex> g(merge_mu);
+    total.reads += local.reads;
+    total.updates += local.updates;
+    total.inserts += local.inserts;
+    total.scans += local.scans;
+    total.rmws += local.rmws;
+    total.snaps += local.snaps;
+    hist.merge(lhist);
+  };
+
+  auto coordinator = [&] {
+    for (std::size_t r = 0; r < rounds; ++r) {
+      barrier.arrive_and_wait();  // A
+      if (round_recorded(r)) {
+        session = std::make_unique<record::RecordSession>();
+        {
+          // The window's state-carry transaction: every current value
+          // re-established as one synthetic committed transaction, so the
+          // window's reads resolve against it instead of the all-zero init.
+          record::ScopedRecorder rec(*session, 0);
+          rec.rec().synthetic_begin();
+          store.replay_state_plain();
+          rec.rec().synthetic_commit();
+        }
+        barrier.arrive_and_wait();  // B
+      }
+      barrier.arrive_and_wait();  // C
+      if (round_recorded(r)) sessions.push_back(std::move(session));
+    }
+  };
+
+  const auto t0 = Clock::now();
+  run_team(threads + (sampling ? 1 : 0), [&](std::size_t tid) {
+    if (sampling && tid == threads)
+      coordinator();
+    else
+      worker(tid);
+  });
+  res.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  res.reads = total.reads;
+  res.updates = total.updates;
+  res.inserts = total.inserts;
+  res.scans = total.scans;
+  res.rmws = total.rmws;
+  res.snap_reads = total.snaps;
+  res.hist = hist;
+  res.p50_ns = hist.p50();
+  res.p95_ns = hist.p95();
+  res.p99_ns = hist.p99();
+  res.ops_per_sec =
+      res.wall_ms > 0 ? static_cast<double>(res.ops) / (res.wall_ms / 1e3) : 0;
+  for (std::size_t s = 0; s < store.shards(); ++s) {
+    const ShardStats st = store.stats(s);
+    res.scans_completed += st.scans;
+    res.priv_waits += st.priv_waits;
+  }
+
+  // Post-run transactional audit: every preloaded key present with a
+  // well-formed value, the store grew by exactly the insert count, and the
+  // frozen snapshot still serves the load-phase values.
+  bool audit = values_wellformed.load();
+  for (std::size_t k = 0; k < preload && audit; ++k) {
+    std::int64_t v = 0;
+    const auto key = static_cast<std::int64_t>(k);
+    if (!store.get(key, &v) || !form_ok(key, v)) audit = false;
+  }
+  if (store.size() != preload + total.inserts) audit = false;
+  store.snapshot_attach();
+  for (std::size_t k = 0; k < snap_count && audit; ++k) {
+    std::int64_t v = 0;
+    const auto key = static_cast<std::int64_t>(k);
+    if (!store.snapshot_read(key, &v) || v != value_of(key, 0)) audit = false;
+  }
+  res.invariant_ok = audit;
+
+  // Judge the captured windows: model-layer conformance, opacity held to
+  // the backend's declared guarantee (committed-subsystem for zombie-prone
+  // backends, the Example 3.4 class).
+  record::WindowedOptions wopts;
+  wopts.min_window_events = opts.window_min_events;
+  for (const auto& sess : sessions) {
+    const record::RecordedTrace rec = record::assemble(*sess);
+    res.conf.recorded_actions += rec.trace.size();
+    const record::ConformanceReport rep = record::check_conformance_windowed(
+        rec.trace, model::ModelConfig::implementation(), wopts);
+    ++res.conf.sessions;
+    res.conf.windows += rep.windows;
+    const bool opq = stm.zombie_free() ? rep.opaque : rep.opaque_committed;
+    if (!(rep.wf.ok() && rep.l_races == 0 && !rep.mixed_race && opq))
+      ++res.conf.nonconformant;
+  }
+  return res;
+}
+
+}  // namespace mtx::kv

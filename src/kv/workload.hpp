@@ -1,0 +1,117 @@
+// YCSB-style workload driver for the sharded KV store: mix descriptions
+// (operation percentages + key distribution), a multi-threaded driver
+// producing throughput and log-scale latency quantiles, and an opt-in
+// sampled-conformance mode that records a fraction of the execution and
+// has the model layer judge it — the serving layer audited online.
+//
+// Determinism contract: each worker draws its operation kinds, keys and
+// payloads from its own Rng seeded by (seed, tid), so the PLANNED op
+// stream — and therefore the per-class op counts reported in KvResult —
+// is a pure function of (mix, seed, threads, ops_per_thread), independent
+// of backend, scheduling, and sampling.  With threads == 1 the entire
+// execution (final store contents included) is deterministic; the campaign
+// CSV rows expose only these schedule-independent fields so same-seed runs
+// diff clean (pinned by tests/test_kv.cpp).
+//
+// Sampled conformance: partial recording of a subset of threads cannot
+// work — reads-from against unrecorded writes would dangle — so sampling
+// is TEMPORAL: execution is split into rounds of `round_ops` per thread,
+// every `sample_every`-th round runs with ALL threads recording into a
+// fresh RecordSession, and each recorded window opens with a synthetic
+// committed state-carry transaction (KvStore::replay_state_plain) so the
+// mid-execution trace is well-formed.  Captured windows are judged with
+// check_conformance_windowed after the run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kv/kvstore.hpp"
+#include "substrate/stats.hpp"
+
+namespace mtx::kv {
+
+enum class KeyDist { uniform, zipfian };
+
+// Operation percentages (must sum to 100) plus the key distribution.
+//   read      transactional get of a preloaded key
+//   update    transactional put of a preloaded key (fresh value payload)
+//   insert    transactional put of a brand-new key
+//   scan      privatize-scan of a random shard (plain-access read path)
+//   rmw       transactional read-modify-write (payload bump) of a key
+//   snap      snapshot-read (plain-access read of a frozen published value)
+struct Mix {
+  std::string name;
+  int read_pct = 0;
+  int update_pct = 0;
+  int insert_pct = 0;
+  int scan_pct = 0;
+  int rmw_pct = 0;
+  int snap_pct = 0;
+  KeyDist dist = KeyDist::zipfian;
+  double theta = 0.99;
+
+  int total_pct() const {
+    return read_pct + update_pct + insert_pct + scan_pct + rmw_pct + snap_pct;
+  }
+};
+
+// {a, b, c, priv_heavy, pub_heavy}: YCSB A (50/50 read/update), B (95/5),
+// C (read-only) on Zipfian keys, plus the two mixed-access scenarios —
+// priv_heavy leans on privatize-scan, pub_heavy on snapshot-read.
+const std::vector<Mix>& standard_mixes();
+const Mix* mix_by_name(const std::string& name);
+
+struct KvWorkloadOptions {
+  std::size_t threads = 2;
+  std::uint64_t seed = 1;
+  std::uint64_t ops_per_thread = 1000;
+  std::size_t preload_keys = 128;  // keys 0..preload-1 inserted before the run
+  std::size_t shards = 4;
+  std::size_t snap_keys = 16;      // hottest ranks, frozen by publish_snapshot
+
+  // Sampled conformance: every sample_every-th round of round_ops per
+  // thread is recorded and judged.  0 disables sampling (no rounds, no
+  // barriers — the pure performance path).
+  std::size_t sample_every = 0;
+  std::size_t round_ops = 32;
+  std::size_t window_min_events = 64;  // forwarded to the windowed checker
+};
+
+struct KvConformance {
+  std::size_t sessions = 0;       // recorded rounds captured
+  std::size_t windows = 0;        // fence-bounded windows judged, total
+  std::size_t nonconformant = 0;  // sessions whose merged verdict fails
+  std::size_t recorded_actions = 0;
+  bool all_ok() const { return nonconformant == 0; }
+};
+
+struct KvResult {
+  std::string mix;
+  std::string backend;
+  std::size_t threads = 0;
+
+  // Schedule-independent (pure function of mix/seed/threads/ops).
+  std::uint64_t ops = 0;
+  std::uint64_t reads = 0, updates = 0, inserts = 0, scans = 0, rmws = 0,
+                snap_reads = 0;
+
+  // Schedule-dependent measurements.
+  double wall_ms = 0;
+  double ops_per_sec = 0;
+  std::uint64_t p50_ns = 0, p95_ns = 0, p99_ns = 0;
+  LatencyHist hist;
+  std::uint64_t scans_completed = 0;  // privatizations won (vs busy-skipped)
+  std::uint64_t priv_waits = 0;       // mutator retries against closed shards
+
+  bool invariant_ok = false;  // post-run transactional audit
+  KvConformance conf;
+};
+
+// Runs `mix` against a fresh KvStore on `stm`.  Throws std::invalid_argument
+// when the mix percentages don't sum to 100.
+KvResult run_kv_workload(stm::StmBackend& stm, const Mix& mix,
+                         const KvWorkloadOptions& opts = {});
+
+}  // namespace mtx::kv

@@ -1,5 +1,8 @@
 #include "substrate/rng.hpp"
 
+#include <cmath>
+#include <stdexcept>
+
 namespace mtx {
 
 std::uint64_t splitmix64(std::uint64_t& state) {
@@ -53,6 +56,30 @@ bool Rng::chance(std::uint64_t num, std::uint64_t den) {
 
 double Rng::uniform01() {
   return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+Zipfian::Zipfian(std::uint64_t n, double theta)
+    : n_(n ? n : 1), theta_(theta) {
+  if (theta_ < 0.0 || theta_ >= 1.0) throw std::invalid_argument("Zipfian: theta must be in [0, 1)");
+  zetan_ = 0.0;
+  for (std::uint64_t i = 1; i <= n_; ++i)
+    zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+  const double zeta2 = n_ >= 2 ? 1.0 + std::pow(0.5, theta_) : zetan_;
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = std::pow(0.5, theta_);
+}
+
+std::uint64_t Zipfian::next(Rng& rng) const {
+  const double u = rng.uniform01();
+  if (n_ == 1) return 0;
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + half_pow_theta_) return 1;
+  const auto r = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return r >= n_ ? n_ - 1 : r;
 }
 
 }  // namespace mtx

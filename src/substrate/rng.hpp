@@ -45,4 +45,35 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+// Zipfian(θ) key-rank distribution over [0, n) — the YCSB hot-key model
+// (Gray et al.'s rejection-free inversion).  Rank 0 is the hottest key and
+// frequencies fall off as 1/(rank+1)^θ; θ→0 degenerates to uniform and the
+// YCSB default is θ = 0.99.  Construction is O(n) (the zeta(n, θ) prefix
+// sum); draws are O(1) and consume exactly one Rng value, so the stream of
+// ranks is a pure function of the seed — two generators fed same-seeded
+// Rngs produce identical sequences (pinned by tests/test_substrate.cpp).
+// The generator itself is immutable after construction: one instance can be
+// shared by any number of threads, each drawing through its own Rng.
+class Zipfian {
+ public:
+  // Requires n >= 1 and θ in [0, 1).
+  explicit Zipfian(std::uint64_t n, double theta = 0.99);
+
+  // Rank in [0, n); 0 is the most frequent.
+  std::uint64_t next(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+  // zeta(n, θ): exposed so tests can compute the exact pmf.
+  double zetan() const { return zetan_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double half_pow_theta_;
+};
+
 }  // namespace mtx

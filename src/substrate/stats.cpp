@@ -37,6 +37,71 @@ double percentile(std::vector<double> sample, double p) {
   return sample[lo] * (1.0 - frac) + sample[lo + 1] * frac;
 }
 
+std::size_t LatencyHist::bucket_of(std::uint64_t v) {
+  if (v < kSub) return static_cast<std::size_t>(v);
+  const unsigned bw = 64u - static_cast<unsigned>(__builtin_clzll(v));
+  const unsigned shift = bw - 1 - static_cast<unsigned>(kSubBits);
+  const std::size_t sub = static_cast<std::size_t>((v >> shift) & (kSub - 1));
+  return (static_cast<std::size_t>(bw) - kSubBits) * kSub + sub;
+}
+
+std::uint64_t LatencyHist::bucket_lower(std::size_t i) {
+  if (i < kSub) return i;
+  const std::size_t g = i / kSub;       // == bit width minus kSubBits
+  const std::size_t sub = i % kSub;
+  return (kSub + sub) << (g - 1);
+}
+
+std::uint64_t LatencyHist::bucket_upper(std::size_t i) {
+  if (i < kSub) return i;
+  const std::size_t g = i / kSub;
+  return bucket_lower(i) + ((std::uint64_t{1} << (g - 1)) - 1);
+}
+
+void LatencyHist::add(std::uint64_t v) {
+  if (total_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++counts_[bucket_of(v)];
+  ++total_;
+  sum_ += static_cast<double>(v);
+}
+
+void LatencyHist::merge(const LatencyHist& other) {
+  if (other.total_ == 0) return;
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+std::uint64_t LatencyHist::quantile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the value whose cumulative count first exceeds the rank.
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum > rank) {
+      const std::uint64_t lo = bucket_lower(i);
+      const std::uint64_t hi = bucket_upper(i);
+      return lo + (hi - lo) / 2;
+    }
+  }
+  return max_;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_(lo), hi_(hi), counts_(buckets, 0) {}
 

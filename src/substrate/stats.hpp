@@ -30,6 +30,53 @@ class OnlineStats {
 // Percentile of a sample by linear interpolation; p in [0,100].
 double percentile(std::vector<double> sample, double p);
 
+// Fixed-bucket log-scale latency histogram over the full uint64 range
+// (nanoseconds by convention).  Values below 2^kSubBits land in exact
+// unit-width buckets; above that, each power-of-two octave is split into
+// 2^kSubBits geometric sub-buckets, so the quantile error is bounded by
+// half a sub-bucket width — a relative error of at most 1/2^(kSubBits+1)
+// (~3.1%), independent of magnitude.  The bucket array is a plain vector
+// of counters, so histograms from different threads merge by addition and
+// quantile queries are a single cumulative walk; this is the workload
+// driver's per-thread latency sink (see src/kv/workload.hpp).
+class LatencyHist {
+ public:
+  static constexpr std::size_t kSubBits = 4;                 // 16 sub-buckets
+  static constexpr std::size_t kSub = std::size_t{1} << kSubBits;
+  static constexpr std::size_t kBuckets = (64 - kSubBits) * kSub + kSub;
+
+  LatencyHist() : counts_(kBuckets, 0) {}
+
+  void add(std::uint64_t v);
+  void merge(const LatencyHist& other);
+
+  std::uint64_t count() const { return total_; }
+  std::uint64_t min() const { return total_ ? min_ : 0; }
+  std::uint64_t max() const { return total_ ? max_ : 0; }
+  double mean() const {
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+
+  // Value at quantile q in [0, 1] (nearest-rank over the bucket counts,
+  // reported as the bucket midpoint).  0 when empty.
+  std::uint64_t quantile(double q) const;
+  std::uint64_t p50() const { return quantile(0.50); }
+  std::uint64_t p95() const { return quantile(0.95); }
+  std::uint64_t p99() const { return quantile(0.99); }
+
+  // Bucket geometry (exposed for the oracle tests).
+  static std::size_t bucket_of(std::uint64_t v);
+  static std::uint64_t bucket_lower(std::size_t i);
+  static std::uint64_t bucket_upper(std::size_t i);  // inclusive
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
 // Fixed-width histogram over [lo, hi); values outside are clamped into the
 // first/last bucket.
 class Histogram {
