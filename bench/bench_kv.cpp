@@ -9,8 +9,18 @@
 // (or failed store audit anywhere) fails the bench — CI runs this as a
 // correctness smoke alongside the perf artifact.
 //
+// A third section measures privatization scaling: priv_heavy (sampling off)
+// on the domain-aware backends at shard counts 1 and N with per-shard
+// quiescence domains, plus shards=N with whole-store fences as the control.
+// With scoped fences a scan quiesces only its own shard, so multi-shard
+// throughput should not collapse to the single-domain baseline.
+// --assert-priv-scaling turns that into a hard check (exit 1 when
+// multi-shard scoped < --priv-min-ratio x single-shard); CI runs it on a
+// multi-core runner.
+//
 // Usage: bench_kv [--ops N] [--threads-max N] [--keys N] [--oracle-ops N]
-//                 [--out PATH]
+//                 [--scaling-shards N] [--assert-priv-scaling]
+//                 [--priv-min-ratio R] [--out PATH]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -36,6 +46,14 @@ struct OracleRow {
   double ms = 0;
 };
 
+struct ScalingRow {
+  std::string backend;
+  std::size_t shards = 0;
+  bool scoped = false;
+  double ops_per_sec = 0;
+  std::uint64_t priv_waits = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -43,6 +61,9 @@ int main(int argc, char** argv) {
   std::size_t threads_max = std::min<std::size_t>(hw_threads(), 4);
   std::size_t keys = 2048;
   std::uint64_t oracle_ops = 48;
+  std::size_t scaling_shards = 4;
+  bool assert_priv_scaling = false;
+  double priv_min_ratio = 0.9;
   std::string out_path = "BENCH_kv.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc)
@@ -53,6 +74,12 @@ int main(int argc, char** argv) {
       keys = static_cast<std::size_t>(std::max(1ll, std::atoll(argv[++i])));
     else if (std::strcmp(argv[i], "--oracle-ops") == 0 && i + 1 < argc)
       oracle_ops = static_cast<std::uint64_t>(std::max(1ll, std::atoll(argv[++i])));
+    else if (std::strcmp(argv[i], "--scaling-shards") == 0 && i + 1 < argc)
+      scaling_shards = static_cast<std::size_t>(std::max(2ll, std::atoll(argv[++i])));
+    else if (std::strcmp(argv[i], "--assert-priv-scaling") == 0)
+      assert_priv_scaling = true;
+    else if (std::strcmp(argv[i], "--priv-min-ratio") == 0 && i + 1 < argc)
+      priv_min_ratio = std::atof(argv[++i]);
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
     else {
@@ -90,8 +117,10 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", table.render().c_str());
 
-  // Conformance oracle: priv_heavy with sampled recording, small geometry
-  // (each recorded fence expands to one QFence per touched location).
+  // Conformance oracle: priv_heavy with sampled recording, small geometry —
+  // each recorded window's carry transaction re-writes every store cell, so
+  // window count x cell count is the cost driver (fence expansion itself is
+  // domain-scoped now and no longer scales with the whole key space).
   std::vector<OracleRow> oracle;
   Table otable({"backend", "sessions", "windows", "actions", "verdict", "ms"});
   for (const std::string& backend : stm::backend_names()) {
@@ -129,6 +158,65 @@ int main(int argc, char** argv) {
   std::printf("sampled conformance oracle (priv_heavy, windowed checker):\n%s\n",
               otable.render().c_str());
 
+  // Privatization scaling: the tentpole claim of per-shard quiescence
+  // domains.  Backends with real scoped wait paths (tl2, norec) run
+  // priv_heavy at shards=1 (every scan fences everything — the pre-domain
+  // worst case by construction), shards=N scoped (a scan fences only its
+  // shard), and shards=N with whole-store fences (the control separating
+  // domain locality from plain sharding).
+  std::vector<ScalingRow> scaling;
+  bool scaling_ok = true;
+  Table stable({"backend", "shards", "fences", "ops/s", "priv_waits"});
+  const std::size_t sthreads = std::min<std::size_t>(hw_threads(), 4);
+  struct ScalingCfg {
+    std::size_t shards;
+    bool scoped;
+  };
+  for (const std::string& backend : {std::string("tl2"), std::string("norec")}) {
+    double single = 0, multi = 0;
+    for (const ScalingCfg& cfg : {ScalingCfg{1, true},
+                                  ScalingCfg{scaling_shards, true},
+                                  ScalingCfg{scaling_shards, false}}) {
+      auto stm = stm::make_backend(backend);
+      kv::KvWorkloadOptions o;
+      o.threads = sthreads;
+      o.seed = 53;
+      o.ops_per_thread = ops / sthreads;
+      o.preload_keys = keys;
+      o.shards = cfg.shards;
+      o.snap_keys = 32;
+      o.scoped_fences = cfg.scoped;
+      kv::KvResult r =
+          kv::run_kv_workload(*stm, *kv::mix_by_name("priv_heavy"), o);
+      all_ok = all_ok && r.invariant_ok;
+      ScalingRow row;
+      row.backend = backend;
+      row.shards = cfg.shards;
+      row.scoped = cfg.scoped;
+      row.ops_per_sec = r.ops_per_sec;
+      row.priv_waits = r.priv_waits;
+      if (cfg.scoped && cfg.shards == 1) single = r.ops_per_sec;
+      if (cfg.scoped && cfg.shards == scaling_shards) multi = r.ops_per_sec;
+      stable.add_row({backend, std::to_string(cfg.shards),
+                      cfg.scoped ? "scoped" : "global",
+                      fixed(row.ops_per_sec, 0), std::to_string(row.priv_waits)});
+      scaling.push_back(std::move(row));
+    }
+    // Multi-shard with scoped fences must at least hold the single-domain
+    // line (on multi-core runners it should beat it; the ratio floor keeps
+    // the check robust to noisy CI machines).
+    if (assert_priv_scaling && multi < priv_min_ratio * single) {
+      std::fprintf(stderr,
+                   "priv scaling REGRESSION: %s shards=%zu scoped %.0f ops/s < "
+                   "%.2f x shards=1 %.0f ops/s\n",
+                   backend.c_str(), scaling_shards, multi, priv_min_ratio,
+                   single);
+      scaling_ok = false;
+    }
+  }
+  std::printf("privatization scaling (priv_heavy, %zu threads):\n%s\n",
+              sthreads, stable.render().c_str());
+
   std::string json = "{\n";
   json += "  \"bench\": \"kv\",\n";
   json += "  \"hw_threads\": " + std::to_string(hw_threads()) + ",\n";
@@ -163,6 +251,17 @@ int main(int argc, char** argv) {
             ", \"ms\": " + fixed(r.ms, 3) + "}";
     json += (i + 1 < oracle.size()) ? ",\n" : "\n";
   }
+  json += "  ],\n";
+  json += "  \"priv_scaling\": [\n";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const ScalingRow& r = scaling[i];
+    json += "    {\"backend\": \"" + r.backend +
+            "\", \"shards\": " + std::to_string(r.shards) +
+            ", \"scoped_fences\": " + (r.scoped ? "true" : "false") +
+            ", \"ops_per_sec\": " + fixed(r.ops_per_sec, 1) +
+            ", \"priv_waits\": " + std::to_string(r.priv_waits) + "}";
+    json += (i + 1 < scaling.size()) ? ",\n" : "\n";
+  }
   json += "  ]\n}\n";
   if (!mtx::campaign::write_file(out_path, json)) {
     std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
@@ -173,5 +272,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_kv: conformance violation or failed audit\n");
     return 1;
   }
+  if (!scaling_ok) return 1;
   return 0;
 }

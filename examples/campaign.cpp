@@ -7,7 +7,7 @@
 //                 [--record-seed N] [--record-monolithic]
 //                 [--record-window-min N]
 //                 [--kv] [--kv-only] [--kv-ops N] [--kv-seed N] [--kv-keys N]
-//                 [--kv-shards N] [--kv-no-sample]
+//                 [--kv-shards N] [--kv-no-sample] [--kv-global-fence]
 //                 [--fuzz N] [--fuzz-only] [--fuzz-seed S] [--fuzz-sched K]
 //                 [--fuzz-no-shrink] [--fuzz-repro-dir DIR]
 //                 [--fuzz-time-budget-ms N] [--fuzz-threads N]
@@ -30,7 +30,8 @@
 // conformance on — recorded rounds are judged by the model layer, and a
 // non-conformant window or failed store audit counts as a mismatch.
 // --kv-only skips the litmus catalog; --kv-no-sample turns the sampling off
-// (perf-only rows).
+// (perf-only rows); --kv-global-fence disables per-shard quiescence domains
+// (whole-store fences — the A/B baseline, same verdict signature).
 //
 // --fuzz N adds the differential fuzz grid: N random litmus programs (seeded
 // by --fuzz-seed, byte-reproducible) run on every registered backend under
@@ -108,6 +109,8 @@ int main(int argc, char** argv) {
       opts.kv_shards = static_cast<std::size_t>(count("--kv-shards"));
     else if (std::strcmp(argv[i], "--kv-no-sample") == 0)
       opts.kv_sample_every = 0;
+    else if (std::strcmp(argv[i], "--kv-global-fence") == 0)
+      opts.kv_scoped_fences = false;
     else if (std::strcmp(argv[i], "--fuzz") == 0)
       opts.fuzz_count = static_cast<int>(count("--fuzz"));
     else if (std::strcmp(argv[i], "--fuzz-only") == 0)

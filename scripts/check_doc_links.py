@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown docs.
+
+Scans README.md and docs/*.md for markdown links/images whose target is a
+relative path, resolves each against the containing file's directory, and
+exits nonzero listing every target that does not exist.  External links
+(http/https/mailto) and pure in-page anchors (#...) are not checked —
+this is a *repo-consistency* gate, not a network crawler: its job is to
+catch a doc rename or move that leaves a stale cross-reference behind.
+
+Usage: python3 scripts/check_doc_links.py [repo-root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target), ![alt](target), and [text](target "title").  The target
+# group stops at whitespace or ')' so titles are ignored; <...>-wrapped
+# targets are unwrapped below.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*(<[^>]*>|[^)\s]+)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files(root: Path):
+    files = []
+    readme = root / "README.md"
+    if readme.is_file():
+        files.append(readme)
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return files
+
+
+def strip_code(text: str) -> str:
+    """Blank out fenced and inline code spans: links in code are examples,
+    not navigation, and `foo(bar)` would otherwise false-positive."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def check_file(path: Path, root: Path):
+    dead = []
+    for lineno, line in enumerate(strip_code(path.read_text()).splitlines(), 1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1).strip().strip("<>")
+            if not target or target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            target = target.split("#", 1)[0]  # drop fragment
+            if not target:
+                continue
+            resolved = (path.parent / target).resolve()
+            try:
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                dead.append((lineno, target, "escapes the repository"))
+                continue
+            if not resolved.exists():
+                dead.append((lineno, target, "does not exist"))
+    return dead
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    files = doc_files(root)
+    if not files:
+        print(f"check_doc_links: no markdown files found under {root}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for path in files:
+        for lineno, target, why in check_file(path, root):
+            print(f"{path.relative_to(root)}:{lineno}: dead link '{target}' ({why})")
+            failures += 1
+    if failures:
+        print(f"check_doc_links: {failures} dead link(s) across {len(files)} file(s)")
+        return 1
+    print(f"check_doc_links: OK ({len(files)} file(s) clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

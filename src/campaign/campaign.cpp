@@ -183,6 +183,7 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     wopts.snap_keys = 4;
     wopts.sample_every = opts.kv_sample_every;
     wopts.round_ops = 16;
+    wopts.scoped_fences = opts.kv_scoped_fences;
     const kv::KvResult r =
         kv::run_kv_workload(*stm, *kv::mix_by_name(j.mix), wopts);
     KvRow row;

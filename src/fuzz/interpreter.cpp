@@ -71,6 +71,11 @@ void SchedulePerturber::on_commit() {
 }
 void SchedulePerturber::on_abort() { inner_->on_abort(); }
 void SchedulePerturber::on_fence() { inner_->on_fence(); }
+// Forward the scope, never collapse to on_fence(): that would widen the
+// recorded cover to all locations and over-claim what the runtime waited for.
+void SchedulePerturber::on_fence_scoped(const stm::QuiesceDomain& d) {
+  inner_->on_fence_scoped(d);
+}
 stm::word_t SchedulePerturber::tx_read(const stm::Cell& c) {
   perturb();
   return inner_->tx_read(c);

@@ -59,6 +59,7 @@ class SchedulePerturber final : public stm::TxObserver {
   void on_commit() override;
   void on_abort() override;
   void on_fence() override;
+  void on_fence_scoped(const stm::QuiesceDomain& d) override;
   stm::word_t tx_read(const stm::Cell& c) override;
   void retract_read() override;
   void on_buffered_read() override;

@@ -8,13 +8,30 @@ using stm::word_t;
 
 KvStore::KvStore(stm::StmBackend& stm) : KvStore(stm, Options()) {}
 
-KvStore::KvStore(stm::StmBackend& stm, const Options& opt) : stm_(stm) {
+KvStore::KvStore(stm::StmBackend& stm, const Options& opt)
+    : stm_(stm), scoped_fences_(opt.scoped_fences) {
   const std::size_t nshards = opt.shards ? opt.shards : 1;
   const std::size_t buckets = containers::THash<stm::StmBackend>::recommended_buckets(
       opt.expected_keys / nshards + 1);
   shards_.reserve(nshards);
-  for (std::size_t i = 0; i < nshards; ++i)
+  for (std::size_t i = 0; i < nshards; ++i) {
     shards_.push_back(std::make_unique<Shard>(stm_, buckets, opt.snap_slots));
+    if (!scoped_fences_) continue;
+    Shard* sh = shards_.back().get();
+    // Backends without a scoped wait path return 0 here; the fence then
+    // waits whole-store but is still *recorded* as covering only this
+    // shard's cells — a sound under-claim that keeps recorded traces small.
+    sh->domain.id = stm_.create_domain();
+    sh->domain.cells = [sh](const stm::QuiesceDomain::CellVisitor& visit) {
+      sh->table.for_each_cell([&](stm::Cell& c) { visit(c); });
+      visit(sh->priv_flag);
+      visit(sh->scan_result);
+      for (SnapSlot& slot : sh->snap) {
+        visit(slot.key);
+        visit(slot.value);
+      }
+    };
+  }
 }
 
 std::size_t KvStore::shard_of(std::int64_t key) const {
@@ -56,6 +73,7 @@ bool KvStore::get(std::int64_t key, std::int64_t* out) {
   Shard& s = *shards_[shard_of(key)];
   // Read-only: no flag check — gets conflict with nothing the scanner's
   // plain phase does, so readers flow through privatized shards.
+  stm::DomainScope scope(s.domain.id);
   const bool found = s.table.get(key, out);
   s.counters.gets.fetch_add(1, std::memory_order_relaxed);
   return found;
@@ -88,7 +106,10 @@ bool KvStore::rmw(std::int64_t key,
 
 std::size_t KvStore::size() {
   std::size_t n = 0;
-  for (auto& s : shards_) n += s->table.size();
+  for (auto& s : shards_) {
+    stm::DomainScope scope(s->domain.id);
+    n += s->table.size();
+  }
   return n;
 }
 
@@ -96,6 +117,7 @@ ScanResult KvStore::privatize_scan(
     std::size_t shard, const std::function<void(std::int64_t, std::int64_t)>& fn) {
   Shard& s = *shards_[shard];
   ScanResult r;
+  stm::DomainScope scope(s.domain.id);
   // CAS open→closed.  Reading the flag (not blind-writing it) is what links
   // this scan into the previous owner's reopen commit via cwr.
   stm_.atomically([&](stm::TxHandle& tx) {
@@ -108,7 +130,12 @@ ScanResult KvStore::privatize_scan(
   }
   // Grace period: every transaction that read the flag open has now
   // resolved; any still-running writer will fail its flag validation.
-  stm_.quiesce();
+  // Scoped: only this shard's domain (and whole-store transactions) gate
+  // the wait, so other shards' writers keep committing.
+  if (scoped_fences_)
+    stm_.quiesce(s.domain);
+  else
+    stm_.quiesce();
   // Plain phase: we own the shard's writers.
   s.table.for_each_plain([&](std::int64_t k, std::int64_t v) {
     ++r.keys;

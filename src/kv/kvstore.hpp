@@ -4,10 +4,15 @@
 // Layout: N shards, each an independent THash table plus a privatization
 // flag, a scan-result cell, and a small immutable snapshot array.  Keys
 // route to shards by multiplicative hashing; all shards share ONE backend
-// instance, so stm.quiesce() is the conservative all-locations fence the
-// repo's QuiescenceRegistry implements — privatization bounds mixed races
-// in SPACE (only the privatized shard's cells are plain-accessed) while the
-// fence bounds them in TIME, which is exactly the paper's pitch.
+// instance, but each shard owns a quiescence *domain* (stm::QuiesceDomain):
+// every shard operation runs its transactions under the shard's domain
+// annotation, so a privatize-scan fences only its own shard — writers on
+// other shards are not waited for.  Privatization bounds mixed races in
+// SPACE (only the privatized shard's cells are plain-accessed) while the
+// now shard-scoped fence bounds them in TIME, which is exactly the paper's
+// pitch, sharpened by locality.  Options::scoped_fences = false restores
+// the conservative whole-store fence (the pre-domain baseline, kept for
+// A/B verdict pins and benchmarks).
 //
 // Mixed-access protocols (and their fence obligations):
 //
@@ -76,6 +81,9 @@ class KvStore {
     // THash::recommended_buckets(expected_keys / shards).
     std::size_t expected_keys = 1024;
     std::size_t snap_slots = 8;  // immutable snapshot capacity per shard
+    // Give each shard its own quiescence domain so privatize-scan fences
+    // only that shard (false = whole-store fences, the pre-domain behavior).
+    bool scoped_fences = true;
   };
 
   explicit KvStore(stm::StmBackend& stm);  // default Options
@@ -149,6 +157,11 @@ class KvStore {
     stm::Cell priv_flag;    // 0 = open, 1 = privatized
     stm::Cell scan_result;  // plain-written by the owning scanner
     std::vector<SnapSlot> snap;
+    // The shard's quiescence domain: id 0 + null cells when scoped fences
+    // are off (or the backend has no scoped wait path AND recording scope
+    // is unwanted); otherwise id from create_domain() and an enumerator
+    // over exactly this shard's cells.
+    stm::QuiesceDomain domain;
 
     struct Counters {
       std::atomic<std::uint64_t> gets{0}, puts{0}, erases{0}, rmws{0},
@@ -162,6 +175,9 @@ class KvStore {
   // capturing std::function would heap-allocate on every mutation.
   template <class Fn>
   void mutate(Shard& s, Fn&& fn) {
+    // Annotate the transaction with the shard's domain: it touches only this
+    // shard's cells, so scoped fences on other shards need not wait for it.
+    stm::DomainScope scope(s.domain.id);
     for (;;) {
       bool closed = false;
       stm_.atomically([&](stm::TxHandle& tx) {
@@ -183,7 +199,10 @@ class KvStore {
 
   stm::StmBackend& stm_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  stm::Cell snap_ready_;  // 0 until publish_snapshot commits
+  bool scoped_fences_ = true;
+  stm::Cell snap_ready_;  // 0 until publish_snapshot commits; deliberately
+                          // outside every shard domain (snapshot txns are
+                          // whole-store)
   std::atomic<bool> snap_published_{false};
 };
 

@@ -85,6 +85,7 @@ KvResult run_kv_workload(stm::StmBackend& stm, const Mix& mix,
   sopt.shards = opts.shards;
   sopt.expected_keys = preload * 2;
   sopt.snap_slots = snap_count;  // per shard: generous, so no key is dropped
+  sopt.scoped_fences = opts.scoped_fences;
   KvStore store(stm, sopt);
 
   // Load phase (unrecorded, single-threaded): preload + publish the frozen

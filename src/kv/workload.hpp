@@ -70,6 +70,10 @@ struct KvWorkloadOptions {
   std::size_t preload_keys = 128;  // keys 0..preload-1 inserted before the run
   std::size_t shards = 4;
   std::size_t snap_keys = 16;      // hottest ranks, frozen by publish_snapshot
+  // Per-shard quiescence domains (KvStore::Options::scoped_fences).  False
+  // restores whole-store fences — the A/B baseline for the determinism pin
+  // that scoped and unscoped runs give identical verdicts.
+  bool scoped_fences = true;
 
   // Sampled conformance: every sample_every-th round of round_ops per
   // thread is recorded and judged.  0 disables sampling (no rounds, no

@@ -150,9 +150,17 @@ RecordedTrace assemble(const RecordSession& s) {
         ++(e.kind == Ev::Write ? meta.writes : meta.plain_writes);
         break;
       case Ev::Fence:
-        // The runtime fence covers every location (conservative §5 variant).
-        for (int x = 0; x < meta.num_locs; ++x)
-          out.trace.append(model::make_qfence(m.thread, x));
+        if (e.cover >= 0) {
+          // Domain-scoped fence: the runtime only waited for transactions
+          // that can touch the recorded cover set, so the model gets one
+          // <Qx> per covered location and nothing more.
+          for (std::int32_t x : s.fence_cover(e.cover))
+            out.trace.append(model::make_qfence(m.thread, x));
+        } else {
+          // Whole-store fence (conservative §5 variant): one <Qx> each.
+          for (int x = 0; x < meta.num_locs; ++x)
+            out.trace.append(model::make_qfence(m.thread, x));
+        }
         ++meta.fences;
         break;
     }
@@ -172,7 +180,8 @@ using model::Trace;
 struct FenceGroup {
   std::size_t start, end;  // inclusive run of consecutive qfences, one thread
   Thread thread;
-  bool full = false;  // covers every location of the trace
+  bool full = false;          // covers every location of the trace
+  std::vector<bool> covered;  // per-location <Qx> membership
 };
 
 std::vector<FenceGroup> find_fence_groups(const Trace& t) {
@@ -184,14 +193,14 @@ std::vector<FenceGroup> find_fence_groups(const Trace& t) {
       ++i;
       continue;
     }
-    FenceGroup g{i, i, t[i].thread, false};
-    std::vector<bool> covered(static_cast<std::size_t>(nlocs), false);
+    FenceGroup g{i, i, t[i].thread, false, {}};
+    g.covered.assign(static_cast<std::size_t>(nlocs), false);
     while (g.end < t.size() && t[g.end].is_qfence() && t[g.end].thread == g.thread) {
-      if (t[g.end].loc >= 0) covered[static_cast<std::size_t>(t[g.end].loc)] = true;
+      if (t[g.end].loc >= 0) g.covered[static_cast<std::size_t>(t[g.end].loc)] = true;
       ++g.end;
     }
     --g.end;
-    g.full = std::find(covered.begin(), covered.end(), false) == covered.end();
+    g.full = std::find(g.covered.begin(), g.covered.end(), false) == g.covered.end();
     groups.push_back(g);
     i = g.end + 1;
   }
@@ -309,10 +318,31 @@ WindowPlan cut_windows(const Trace& t, std::size_t min_window_events) {
   for (std::size_t i = 0; i < n; ++i)
     if (t[i].is_memory_access() && t.plain(i)) plain_accesses.push_back(i);
 
+  // First/last body access per location (transactional or plain, committed
+  // or aborted).  A scoped fence group has no <Qy> for its uncovered
+  // locations, so nothing orders accesses to y across the group: such a
+  // group can only cut the trace if each uncovered location's accesses lie
+  // entirely on one side (d).  This also covers locations that come into
+  // existence after the fence (e.g. hash nodes a post-fence insert
+  // allocates): all their accesses are post-group.
+  constexpr std::size_t kNone2 = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> first_acc(static_cast<std::size_t>(nlocs), kNone2);
+  std::vector<std::size_t> last_acc(static_cast<std::size_t>(nlocs), kNone2);
+  for (std::size_t i = body_begin; i < n; ++i) {
+    if (!t[i].is_memory_access() || t[i].loc < 0) continue;
+    const auto y = static_cast<std::size_t>(t[i].loc);
+    if (first_acc[y] == kNone2) first_acc[y] = i;
+    last_acc[y] = i;
+  }
+
   auto cut_valid = [&](const FenceGroup& g) {
-    if (!g.full) return false;
     if (open_at[g.start] != 0) return false;
+    // (b)/(c) for covered locations: the group's <Qx> orders published
+    // pre-group and privatized post-group plain accesses through the fence,
+    // and the fencing thread's own accesses by po through <Qx>.
     for (std::size_t i : plain_accesses) {
+      if (t[i].loc < 0 || !g.covered[static_cast<std::size_t>(t[i].loc)])
+        continue;  // uncovered: rule (d) below decides
       if (i < g.start) {
         // Published before the group, or po into the group's own fence.
         if (t[i].thread == g.thread) continue;
@@ -323,6 +353,15 @@ WindowPlan cut_windows(const Trace& t, std::size_t min_window_events) {
         if (priv_begin[i] == kNone || priv_begin[i] <= g.end) return false;
       }
     }
+    // (d) for uncovered locations: no access on both sides — without a
+    // <Qy> there is no edge to order a cross-cut pair on y, and no
+    // exemption applies (not even the fencing thread's own po: its partner
+    // on the other side may be any thread).
+    for (std::size_t y = 0; y < static_cast<std::size_t>(nlocs); ++y) {
+      if (g.covered[y]) continue;
+      if (first_acc[y] == kNone2) continue;
+      if (first_acc[y] < g.start && last_acc[y] > g.end) return false;
+    }
     return true;
   };
 
@@ -331,7 +370,6 @@ WindowPlan cut_windows(const Trace& t, std::size_t min_window_events) {
   std::size_t window_start = body_begin;
   for (const FenceGroup& g : find_fence_groups(t)) {
     if (g.start < body_begin) continue;
-    if (!g.full) continue;
     ++plan.cut_candidates;
     if (g.end + 1 - window_start < min_window_events) continue;
     if (!cut_valid(g)) continue;

@@ -13,8 +13,11 @@
 // transaction open at its ticket — sound for fence-protected protocols
 // (such transactions resolved while the fence was returning, i.e. before
 // any post-fence access of the fencing thread), and then expands it to one
-// <Qx> per location, matching the conservative all-locations fence the
-// runtime implements.
+// <Qx> per *covered* location: a domain-scoped fence (Event::cover >= 0)
+// yields QFences for exactly the cells its QuiesceDomain enumerated, an
+// unscoped fence one per location in the store.  Scoped expansion is what
+// keeps scan-heavy recorded traces from paying one QFence per location in
+// the whole store per fence.
 #pragma once
 
 #include <cstdint>
@@ -52,26 +55,31 @@ RecordedTrace assemble(const RecordSession& s);
 
 // ----- fence-bounded windowing (§5: races are bounded in space and time) --
 //
-// A full-quiescence fence group (one runtime fence, expanded to one <Qx>
-// per location) is a *cut candidate*: HBCQ orders every committed
-// pre-group transaction touching x before <Qx>, and HBQB orders <Qx>
-// before every post-group transaction touching x.  A candidate becomes a
-// *valid cut* when the fence provably bounds every conflict across it:
+// A quiescence fence group (one runtime fence, expanded to a <Qx> per
+// covered location) is a *cut candidate*: HBCQ orders every committed
+// pre-group transaction touching a covered x before <Qx>, and HBQB orders
+// <Qx> before every post-group transaction touching x.  A candidate becomes
+// a *valid cut* when the fence provably bounds every conflict across it:
 //
 //   (a) no transaction spans the group (begins before it resolve before it);
-//   (b) every pre-group plain access to x is published -- followed in its
-//       thread by a commit of a transaction touching x before the group --
-//       or belongs to the fencing thread itself (po into the fence);
-//   (c) every post-group plain access to x is privatized -- preceded in its
-//       thread (after the group) by a begin of a transaction touching x --
-//       or belongs to the fencing thread (po out of the fence).
+//   (b) every pre-group plain access to a covered x is published -- followed
+//       in its thread by a commit of a transaction touching x before the
+//       group -- or belongs to the fencing thread itself (po into the fence);
+//   (c) every post-group plain access to a covered x is privatized --
+//       preceded in its thread (after the group) by a begin of a transaction
+//       touching x -- or belongs to the fencing thread (po out of the fence);
+//   (d) every location the group does NOT cover is accessed on one side of
+//       the group only (no exemptions: with no <Qy> in the group, nothing
+//       orders a cross-cut pair on y, whoever runs it).
 //
-// Under (a)-(c) every conflicting pair straddling the cut is happens-before
-// ordered through <Qx>, so no L-race, mixed race, or serialization edge
+// Under (a)-(d) every conflicting pair straddling the cut is happens-before
+// ordered through some <Qx>, so no L-race, mixed race, or serialization edge
 // cycle can cross it: windows may be judged independently.  A racy access
-// that would straddle a cut (e.g. an unpublished plain write) *invalidates*
-// the cut, growing the window until the race is internal -- which is how
-// seeded races are still caught.
+// that would straddle a cut (e.g. an unpublished plain write, or any
+// double-sided traffic on an uncovered location) *invalidates* the cut,
+// growing the window until the race is internal -- which is how seeded
+// races are still caught, and why a shard-scoped KV fence only cuts windows
+// whose surrounding traffic stays confined to that shard.
 //
 // Each window trace is rebuilt as: fresh init transaction, a synthetic
 // committed *carry* transaction writing each location's last visible
@@ -88,11 +96,11 @@ struct TraceWindow {
 
 struct WindowPlan {
   std::vector<TraceWindow> windows;
-  std::size_t cut_candidates = 0;  // full-quiescence groups seen
+  std::size_t cut_candidates = 0;  // fence groups seen (any coverage)
   std::size_t cuts = 0;            // valid cuts taken
 };
 
-// Cuts `t` at every valid full-quiescence boundary; a valid cut is skipped
+// Cuts `t` at every valid quiescence boundary; a valid cut is skipped
 // while the window it would close holds fewer than `min_window_events`
 // source actions.  A trace with no valid cuts yields one window whose trace
 // is `t` itself.

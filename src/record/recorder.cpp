@@ -1,6 +1,9 @@
 #include "record/recorder.hpp"
 
+#include <algorithm>
 #include <cassert>
+
+#include "stm/quiesce.hpp"
 
 namespace mtx::record {
 
@@ -21,6 +24,18 @@ int RecordSession::loc_id(const stm::Cell& c) const {
   std::shared_lock<std::shared_mutex> g(loc_mu_);
   auto it = loc_of_.find(&c);
   return it == loc_of_.end() ? -1 : static_cast<int>(it->second);
+}
+
+std::int32_t RecordSession::add_fence_cover(std::vector<std::int32_t> cover) {
+  std::lock_guard<std::mutex> g(covers_mu_);
+  fence_covers_.push_back(std::move(cover));
+  return static_cast<std::int32_t>(fence_covers_.size()) - 1;
+}
+
+const std::vector<std::int32_t>& RecordSession::fence_cover(
+    std::int32_t idx) const {
+  std::lock_guard<std::mutex> g(covers_mu_);
+  return fence_covers_[static_cast<std::size_t>(idx)];
 }
 
 RecordSession::LocShadow& RecordSession::shadow_of(const stm::Cell& c) {
@@ -52,6 +67,26 @@ void ThreadRecorder::on_begin() { push_marker(Ev::Begin); }
 void ThreadRecorder::on_commit() { push_marker(Ev::Commit); }
 void ThreadRecorder::on_abort() { push_marker(Ev::Abort); }
 void ThreadRecorder::on_fence() { push_marker(Ev::Fence); }
+
+void ThreadRecorder::on_fence_scoped(const stm::QuiesceDomain& d) {
+  // Resolve the domain's cells to location ids *eagerly* (shadow_of assigns
+  // an id on first touch), so a cell the domain owns but no access has named
+  // yet is still covered.  A scoped fence with no enumerator covers nothing
+  // — the model simply gets no QFence edges from it, which under-claims what
+  // the runtime guaranteed and is therefore sound.
+  std::vector<std::int32_t> cover;
+  if (d.cells)
+    d.cells([&](const stm::Cell& c) {
+      cover.push_back(session_.shadow_of(c).loc);
+    });
+  std::sort(cover.begin(), cover.end());
+  cover.erase(std::unique(cover.begin(), cover.end()), cover.end());
+  Event e;
+  e.seq = session_.next_seq();
+  e.kind = Ev::Fence;
+  e.cover = session_.add_fence_cover(std::move(cover));
+  log_.push_back(e);
+}
 
 stm::word_t ThreadRecorder::tx_read(const stm::Cell& c) {
   auto& sh = session_.shadow_of(c);

@@ -46,7 +46,7 @@ enum class Ev : std::uint8_t {
   Write,       // transactional write reaching memory
   PlainRead,   // Cell::plain_load
   PlainWrite,  // Cell::plain_store
-  Fence,       // quiescence fence (all locations)
+  Fence,       // quiescence fence (all locations or a recorded cover set)
 };
 
 struct Event {
@@ -55,6 +55,10 @@ struct Event {
   std::int32_t loc = -1;        // accesses only
   stm::word_t value = 0;        // accesses only
   std::uint64_t version = 0;    // write: version created; read: version seen
+  // Fence events only: -1 = whole store (expand to a QFence per location);
+  // >= 0 = index into the session's fence-cover table, and the fence claims
+  // ordering for exactly those locations.
+  std::int32_t cover = -1;
 };
 
 class RecordSession;
@@ -71,6 +75,7 @@ class ThreadRecorder final : public stm::TxObserver {
   void on_commit() override;
   void on_abort() override;
   void on_fence() override;
+  void on_fence_scoped(const stm::QuiesceDomain& d) override;
   stm::word_t tx_read(const stm::Cell& c) override;
   void retract_read() override;
   void on_buffered_read() override { ++buffered_reads_; }
@@ -128,6 +133,10 @@ class RecordSession {
     return recorders_;
   }
 
+  // The location set a scoped fence covered (sorted, unique); index comes
+  // from Event::cover.
+  const std::vector<std::int32_t>& fence_cover(std::int32_t idx) const;
+
  private:
   friend class ThreadRecorder;
 
@@ -156,8 +165,13 @@ class RecordSession {
   std::unordered_map<const stm::Cell*, std::int32_t> loc_of_;
   std::deque<LocShadow> shadows_;  // stable references
 
+  std::int32_t add_fence_cover(std::vector<std::int32_t> cover);
+
   std::mutex recorders_mu_;
   std::vector<std::unique_ptr<ThreadRecorder>> recorders_;
+
+  mutable std::mutex covers_mu_;
+  std::deque<std::vector<std::int32_t>> fence_covers_;  // stable references
 };
 
 // RAII installer: attaches a recorder for this thread and plants it in the

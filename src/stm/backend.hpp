@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "stm/api.hpp"
+#include "stm/quiesce.hpp"
 #include "stm/stats.hpp"
 
 namespace mtx::stm {
@@ -51,6 +52,17 @@ class StmBackend {
 
   virtual const std::string& name() const = 0;
   virtual void quiesce() = 0;
+
+  // Domain-scoped quiescence (§5 fence restricted to one location set).
+  // Backends without a scoped wait path (eager, sgl) fall back to the
+  // whole-store grace period but still record the caller's scope.
+  virtual void quiesce(const QuiesceDomain& d) = 0;
+
+  // Allocate a quiescence domain for this backend; 0 means the backend has
+  // no scoped wait path and the caller shares the whole-store domain.
+  // Transactions annotate themselves with a domain via stm::DomainScope.
+  virtual int create_domain() = 0;
+
   virtual StmStats& stats() = 0;
 
   // Does this backend keep even *live* transactions on consistent
@@ -87,6 +99,8 @@ class BackendAdapter final : public StmBackend {
 
   const std::string& name() const override { return name_; }
   void quiesce() override { stm_.quiesce(); }
+  void quiesce(const QuiesceDomain& d) override { stm_.quiesce(d); }
+  int create_domain() override { return stm_.create_domain(); }
   StmStats& stats() override { return stm_.stats(); }
   bool zombie_free() const override { return zombie_free_; }
 

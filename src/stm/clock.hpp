@@ -1,10 +1,22 @@
-// The global version clock (TL2-style).  Commit operations advance it; read
+// Version clocks (TL2-style).  Commit operations advance a clock; read
 // validation compares orec versions against the value sampled at transaction
-// begin.  The clock also serves as the epoch source for quiescence fences.
+// begin.
+//
+// GlobalClock is the classic single counter.  DomainClocks shards it per
+// quiescence domain so committers in different domains stop contending on
+// one cache line, while keeping every published version *globally*
+// comparable: an advance of domain d's clock goes to one past the maximum of
+// ALL clocks ("advance-to-max", i.e. Lamport-clock style).  That invariant is
+// what lets a shared orec table keep working unchanged — any commit that
+// happens after a reader sampled its rv publishes a version strictly greater
+// than that rv, whichever domains the two are in, so hash collisions between
+// domains stay benign (false aborts only, never a missed conflict).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+
+#include "stm/quiesce.hpp"
 
 namespace mtx::stm {
 
@@ -21,6 +33,50 @@ class GlobalClock {
 
  private:
   std::atomic<std::uint64_t> now_;
+};
+
+// One clock per quiescence domain (index 0 = whole store).  `ndomains` in
+// the calls below bounds the scan: pass QuiescenceRegistry::ndomains() so
+// only clocks of domains actually in use are visited.
+class DomainClocks {
+ public:
+  DomainClocks() {
+    for (auto& c : clocks_) c.store(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t now(int domain) const {
+    return clocks_[domain].load(std::memory_order_acquire);
+  }
+
+  // The max over all active clocks: a globally valid read version.  Missing
+  // a domain created concurrently with this scan is benign — the result is
+  // merely smaller, which can only cause false aborts.
+  std::uint64_t max_now(int ndomains) const {
+    std::uint64_t m = 0;
+    for (int i = 0; i < ndomains; ++i) {
+      const std::uint64_t v = clocks_[i].load(std::memory_order_acquire);
+      if (v > m) m = v;
+    }
+    return m;
+  }
+
+  // Commit time for a domain-d writer: one past the maximum of all clocks,
+  // stored into d's clock.  Every commit therefore publishes a version
+  // strictly greater than anything any reader anywhere could have sampled
+  // before it — the global-comparability invariant above.
+  std::uint64_t advance(int domain, int ndomains) {
+    for (;;) {
+      const std::uint64_t m = max_now(ndomains);
+      std::uint64_t cur = clocks_[domain].load(std::memory_order_acquire);
+      const std::uint64_t target = (m > cur ? m : cur) + 1;
+      if (clocks_[domain].compare_exchange_weak(cur, target,
+                                                std::memory_order_acq_rel))
+        return target;
+    }
+  }
+
+ private:
+  std::atomic<std::uint64_t> clocks_[kMaxQuiesceDomains];
 };
 
 }  // namespace mtx::stm

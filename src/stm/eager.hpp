@@ -23,7 +23,7 @@ namespace mtx::stm {
 
 class EagerStm {
  public:
-  EagerStm() : registry_(clock_) {}
+  EagerStm() = default;
 
   class Tx {
    public:
@@ -97,6 +97,19 @@ class EagerStm {
     registry_.fence();
     if (TxObserver* obs = tx_observer()) obs->on_fence();
   }
+
+  // Scoped quiescence: eager has no per-domain wait path, so it falls back
+  // to the (trivially correct) whole-store grace period — but still reports
+  // the caller's scope to the observer, so recorded traces only claim QFence
+  // ordering for the cells the caller fenced.
+  void quiesce(const QuiesceDomain& d) {
+    stats_.fences.fetch_add(1, std::memory_order_relaxed);
+    registry_.fence();
+    if (TxObserver* obs = tx_observer()) obs->on_fence_scoped(d);
+  }
+
+  // No scoped wait path: every caller shares the whole-store domain.
+  int create_domain() { return 0; }
 
   StmStats& stats() { return stats_; }
 

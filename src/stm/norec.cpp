@@ -2,13 +2,37 @@
 
 namespace mtx::stm {
 
-word_t NorecStm::Tx::revalidate() {
+bool NorecStm::Tx::seq_moved() const {
+  if (domain_ != 0)
+    return stm_.seqs_[domain_].load(std::memory_order_acquire) != snapshot_;
+  for (int i = 0; i < nd_; ++i)
+    if (stm_.seqs_[i].load(std::memory_order_acquire) !=
+        snaps_[static_cast<std::size_t>(i)])
+      return true;
+  return false;
+}
+
+void NorecStm::Tx::check_read_values() const {
+  for (const ReadEntry& r : reads_)
+    if (r.cell->raw().load(std::memory_order_acquire) != r.value)
+      throw TxConflict{};
+}
+
+void NorecStm::Tx::revalidate() {
   for (;;) {
-    const word_t s = stm_.wait_unlocked();
-    for (const ReadEntry& r : reads_)
-      if (r.cell->raw().load(std::memory_order_acquire) != r.value)
-        throw TxConflict{};
-    if (stm_.seq_.load(std::memory_order_acquire) == s) return s;
+    if (domain_ != 0) {
+      const word_t s = stm_.wait_unlocked(domain_);
+      check_read_values();
+      if (stm_.seqs_[domain_].load(std::memory_order_acquire) == s) {
+        snapshot_ = s;
+        return;
+      }
+    } else {
+      for (int i = 0; i < nd_; ++i)
+        snaps_[static_cast<std::size_t>(i)] = stm_.wait_unlocked(i);
+      check_read_values();
+      if (!seq_moved()) return;
+    }
     // A commit slipped in mid-validation; try again.
   }
 }
@@ -23,11 +47,12 @@ word_t NorecStm::Tx::read(const Cell& cell) {
 
   word_t v = obs ? obs->tx_read(cell)
                  : cell.raw().load(std::memory_order_acquire);
-  // If the heap moved since our snapshot, the value we just read may be
-  // inconsistent with earlier reads: revalidate by value and resample.
-  while (stm_.seq_.load(std::memory_order_acquire) != snapshot_) {
+  // If the watched part of the heap moved since our snapshot, the value we
+  // just read may be inconsistent with earlier reads: revalidate by value
+  // and resample.
+  while (seq_moved()) {
     if (obs) obs->retract_read();
-    snapshot_ = revalidate();
+    revalidate();
     v = obs ? obs->tx_read(cell)
             : cell.raw().load(std::memory_order_acquire);
   }
@@ -45,20 +70,14 @@ void NorecStm::Tx::write(Cell& cell, word_t v) {
   writes_.push_back({&cell, v});
 }
 
-void NorecStm::Tx::commit() {
-  TxObserver* obs = tx_observer();
-  if (writes_.empty()) {
-    if (obs) obs->on_commit();
-    finished_ = true;
-    stm_.registry_.end_txn();
-    return;
-  }
-  // Acquire the sequence lock at our snapshot; on failure someone committed,
-  // so revalidate and retry from the new snapshot.
+void NorecStm::Tx::commit_scoped(TxObserver* obs) {
+  // Acquire our domain's sequence lock at our snapshot; on failure someone
+  // committed into the domain (a domain peer or a whole-store committer —
+  // both bump this lock), so revalidate and retry from the new snapshot.
   word_t expect = snapshot_;
-  while (!stm_.seq_.compare_exchange_weak(expect, expect + 1,
-                                          std::memory_order_acq_rel)) {
-    snapshot_ = revalidate();
+  while (!stm_.seqs_[domain_].compare_exchange_weak(
+      expect, expect + 1, std::memory_order_acq_rel)) {
+    revalidate();
     expect = snapshot_;
   }
   for (const WriteEntry& w : writes_) {
@@ -67,8 +86,71 @@ void NorecStm::Tx::commit() {
     else
       w.cell->raw().store(w.value, std::memory_order_release);
   }
-  stm_.seq_.store(snapshot_ + 2, std::memory_order_release);
+  stm_.seqs_[domain_].store(snapshot_ + 2, std::memory_order_release);
+}
 
+void NorecStm::Tx::commit_global(TxObserver* obs) {
+  // Lock the whole store: domain 0 first (CAS from our snapshot, the classic
+  // NOrec acquire), then every active domain lock in index order.  Domain
+  // committers only ever hold their own lock and never block while holding
+  // it, so the ordered sweep cannot deadlock.
+  word_t expect = snaps_[0];
+  while (!stm_.seqs_[0].compare_exchange_weak(expect, expect + 1,
+                                              std::memory_order_acq_rel)) {
+    revalidate();
+    expect = snaps_[0];
+  }
+  std::vector<word_t> held(static_cast<std::size_t>(nd_), 0);
+  held[0] = snaps_[0];
+  bool domain_moved = false;
+  for (int i = 1; i < nd_; ++i) {
+    for (;;) {
+      word_t cur = stm_.seqs_[i].load(std::memory_order_acquire);
+      if ((cur & 1) != 0) continue;  // a domain committer is writing back
+      if (stm_.seqs_[i].compare_exchange_weak(cur, cur + 1,
+                                              std::memory_order_acq_rel)) {
+        held[static_cast<std::size_t>(i)] = cur;
+        if (cur != snaps_[static_cast<std::size_t>(i)]) domain_moved = true;
+        break;
+      }
+    }
+  }
+  // Holding domain 0 since our snapshot rules out other whole-store commits,
+  // but a *domain* commit may have slipped in between our snapshot of its
+  // lock and acquiring it; if any did, revalidate by value under the locks.
+  if (domain_moved) {
+    try {
+      check_read_values();
+    } catch (...) {
+      // Nothing was written: restore every lock to its pre-acquire value so
+      // readers see no spurious movement.
+      for (int i = nd_ - 1; i >= 0; --i)
+        stm_.seqs_[i].store(held[static_cast<std::size_t>(i)],
+                            std::memory_order_release);
+      throw;
+    }
+  }
+  for (const WriteEntry& w : writes_) {
+    if (obs)
+      obs->tx_publish(*w.cell, w.value);
+    else
+      w.cell->raw().store(w.value, std::memory_order_release);
+  }
+  // Bump every held lock: domain readers watch only their own lock and must
+  // observe that the store moved under them.
+  for (int i = nd_ - 1; i >= 0; --i)
+    stm_.seqs_[i].store(held[static_cast<std::size_t>(i)] + 2,
+                        std::memory_order_release);
+}
+
+void NorecStm::Tx::commit() {
+  TxObserver* obs = tx_observer();
+  if (!writes_.empty()) {
+    if (domain_ != 0)
+      commit_scoped(obs);
+    else
+      commit_global(obs);
+  }
   if (obs) obs->on_commit();
   finished_ = true;
   stm_.registry_.end_txn();

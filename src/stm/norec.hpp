@@ -1,20 +1,27 @@
-// NOrec-style STM: no ownership records at all.  A single global sequence
-// lock versions the whole heap; reads are validated *by value* against the
-// read set whenever the sequence number moves, writes are buffered and
-// published under the lock.
+// NOrec-style STM: no ownership records at all.  A sequence lock versions
+// the heap; reads are validated *by value* against the read set whenever the
+// sequence number moves, writes are buffered and published under the lock.
 //
 // This is the third major design point in the lazy/eager/global-lock space
 // the paper's §3 surveys: like TL2 it is lazy (Example 3.5's class), but its
-// commit is globally serialized, so it sits between TL2 and SGL on the
-// scaling axis -- cheap reads and zero per-location metadata against a
-// commit bottleneck.  Value-based validation also gives it TL2-equivalent
-// opacity.
+// commit is serialized, so it sits between TL2 and SGL on the scaling axis
+// -- cheap reads and zero per-location metadata against a commit bottleneck.
+// Value-based validation also gives it TL2-equivalent opacity.
+//
+// The sequence lock is sharded per quiescence domain: a transaction
+// annotated with domain d watches (and its commit acquires) only d's
+// sequence lock, so committers in disjoint domains stop serializing against
+// each other.  Whole-store (domain 0) transactions watch every active
+// sequence lock; a whole-store commit acquires them all in index order
+// (deadlock-free — domain committers hold only their own lock and never
+// block while holding it), value-revalidates if any domain lock moved since
+// its snapshot, writes back, and bumps every held lock so that domain
+// readers — who watch only their own lock — still observe the commit.
 #pragma once
 
 #include <vector>
 
 #include "stm/api.hpp"
-#include "stm/clock.hpp"
 #include "stm/quiesce.hpp"
 #include "stm/stats.hpp"
 
@@ -22,12 +29,20 @@ namespace mtx::stm {
 
 class NorecStm {
  public:
-  NorecStm() : registry_(clock_) {}
+  NorecStm() = default;
 
   class Tx {
    public:
-    explicit Tx(NorecStm& stm) : stm_(stm) {
-      snapshot_ = stm_.wait_unlocked();
+    explicit Tx(NorecStm& stm)
+        : stm_(stm), domain_(QuiescenceRegistry::clamp_domain(tl_txn_domain)) {
+      if (domain_ == 0) {
+        nd_ = stm_.registry_.ndomains();
+        snaps_.resize(static_cast<std::size_t>(nd_));
+        for (int i = 0; i < nd_; ++i)
+          snaps_[static_cast<std::size_t>(i)] = stm_.wait_unlocked(i);
+      } else {
+        snapshot_ = stm_.wait_unlocked(domain_);
+      }
       stm_.registry_.begin_txn();
       if (TxObserver* obs = tx_observer()) obs->on_begin();
     }
@@ -54,12 +69,24 @@ class NorecStm {
       word_t value;
     };
 
-    // Re-reads the read set and compares values; returns the sequence
-    // number the snapshot is now valid at, or throws TxConflict.
-    word_t revalidate();
+    // Has any sequence lock this transaction watches moved off its snapshot?
+    bool seq_moved() const;
+
+    // Re-reads the read set and compares values; refreshes the snapshot(s)
+    // the transaction is now valid at, or throws TxConflict.
+    void revalidate();
+
+    // Throws TxConflict unless every read still has its recorded value.
+    void check_read_values() const;
+
+    void commit_scoped(TxObserver* obs);
+    void commit_global(TxObserver* obs);
 
     NorecStm& stm_;
-    word_t snapshot_;
+    int domain_;
+    int nd_ = 1;
+    word_t snapshot_ = 0;         // domain_ > 0: snapshot of seqs_[domain_]
+    std::vector<word_t> snaps_;   // domain_ == 0: snapshot of seqs_[0..nd_)
     std::vector<ReadEntry> reads_;
     std::vector<WriteEntry> writes_;
     bool finished_ = false;
@@ -94,20 +121,29 @@ class NorecStm {
     if (TxObserver* obs = tx_observer()) obs->on_fence();
   }
 
+  void quiesce(const QuiesceDomain& d) {
+    stats_.fences.fetch_add(1, std::memory_order_relaxed);
+    registry_.fence(d.id);
+    if (TxObserver* obs = tx_observer()) obs->on_fence_scoped(d);
+  }
+
+  int create_domain() { return registry_.create_domain(); }
+
   StmStats& stats() { return stats_; }
+  QuiescenceRegistry& registry() { return registry_; }
 
  private:
-  // Spin until the sequence lock is even (no committer in the write-back
-  // phase) and return its value.
-  word_t wait_unlocked() const {
+  // Spin until domain's sequence lock is even (no committer in the
+  // write-back phase) and return its value.
+  word_t wait_unlocked(int domain) const {
     for (;;) {
-      const word_t s = seq_.load(std::memory_order_acquire);
+      const word_t s = seqs_[domain].load(std::memory_order_acquire);
       if ((s & 1) == 0) return s;
     }
   }
 
-  std::atomic<word_t> seq_{0};  // even: unlocked; odd: write-back in progress
-  GlobalClock clock_;
+  // even: unlocked; odd: write-back in progress
+  std::atomic<word_t> seqs_[kMaxQuiesceDomains] = {};
   QuiescenceRegistry registry_;
   StmStats stats_;
 };

@@ -37,6 +37,7 @@
 namespace mtx::stm {
 
 class Cell;
+struct QuiesceDomain;
 
 class TxObserver {
  public:
@@ -47,8 +48,16 @@ class TxObserver {
   virtual void on_commit() = 0;
   virtual void on_abort() = 0;
 
-  // Quiescence fence completed on the current thread.
+  // Whole-store quiescence fence completed on the current thread.
   virtual void on_fence() = 0;
+
+  // Domain-scoped quiescence fence completed on the current thread.  The
+  // runtime only waited for transactions that can touch d's locations, so
+  // the recorder must claim QFence ordering for *at most* d's cells (falling
+  // back to on_fence() here would over-claim and is deliberately not the
+  // default — every observer decides explicitly).  Wrapping observers must
+  // forward this hook, not collapse it to on_fence().
+  virtual void on_fence_scoped(const QuiesceDomain& d) = 0;
 
   // Transactional read: perform the load and log a Read event.  Backends
   // whose read protocol can resample (TL2/eager orec sandwich, NOrec value

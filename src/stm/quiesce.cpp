@@ -47,4 +47,59 @@ std::atomic<std::uint64_t>& QuiescenceRegistry::slot() {
   return slots_[my_thread_index()];
 }
 
+std::uint64_t QuiescenceRegistry::advance_epoch(int d) {
+  std::uint64_t arrival = epochs_[d].load(std::memory_order_acquire);
+  const std::uint64_t cutoff = arrival + 1;
+  // One winner per epoch: a failed CAS means a concurrent fence that arrived
+  // in the same epoch already advanced it to (at least) our cutoff, and we
+  // share its grace period.  A fence arriving *after* the advance reads the
+  // new epoch and computes a strictly later cutoff of its own — it must,
+  // because a transaction may have begun (at the new epoch) before that
+  // fence's caller flipped its privatization flag.
+  if (epochs_[d].compare_exchange_strong(arrival, cutoff,
+                                         std::memory_order_acq_rel))
+    epoch_advances_.fetch_add(1, std::memory_order_relaxed);
+  return cutoff;
+}
+
+void QuiescenceRegistry::fence(int domain) {
+  fence_calls_.fetch_add(1, std::memory_order_relaxed);
+  const int d = clamp_domain(domain);
+
+  if (d == 0) {
+    // Whole-store fence: advance every active domain's epoch and wait for
+    // every in-flight transaction, whatever its annotation.
+    const int nd = ndomains();
+    std::uint64_t cutoff[kMaxQuiesceDomains];
+    for (int i = 0; i < nd; ++i) cutoff[i] = advance_epoch(i);
+    for (auto& s : slots_) {
+      for (;;) {
+        const std::uint64_t v = s.load(std::memory_order_acquire);
+        if (v == 0) break;
+        const int sd = slot_domain(v);
+        if (sd >= nd || slot_epoch(v) >= cutoff[sd]) break;
+        std::this_thread::yield();
+      }
+    }
+    return;
+  }
+
+  // Scoped fence: only transactions annotated with this domain — or with the
+  // whole store (domain 0) — can have touched this domain's locations, so
+  // only those gate the grace period.  Transactions on other domains run on.
+  const std::uint64_t cut_d = advance_epoch(d);
+  const std::uint64_t cut_g = advance_epoch(0);
+  for (auto& s : slots_) {
+    for (;;) {
+      const std::uint64_t v = s.load(std::memory_order_acquire);
+      if (v == 0) break;
+      const int sd = slot_domain(v);
+      const bool blocks = (sd == d && slot_epoch(v) < cut_d) ||
+                          (sd == 0 && slot_epoch(v) < cut_g);
+      if (!blocks) break;
+      std::this_thread::yield();
+    }
+  }
+}
+
 }  // namespace mtx::stm

@@ -1,59 +1,175 @@
-// Quiescence fences (§5).
+// Quiescence fences (§5), scoped to location-set domains.
 //
 // The implementation model orders a fence after every transaction that
 // committed before it (HBCQ) and before every later transaction touching the
 // fenced location (HBQB).  The classic realization is an epoch grace period:
 // the fence waits until every transaction that was active when the fence
-// started has resolved.  We implement the conservative all-locations variant
-// (a fence on x waits for all in-flight transactions), which soundly
-// over-approximates per-location fences.
+// started has resolved.
 //
-// Each transaction publishes its start epoch in a per-thread slot at begin
-// and clears it at resolution; fence() advances the clock and spins until no
-// slot holds an epoch older than the fence's.
+// PR 6 de-globalizes the grace period.  The store is partitioned into
+// *quiescence domains* (domain 0 is the whole store); a transaction annotates
+// itself with the single domain whose locations it accesses (via DomainScope;
+// unannotated transactions are domain 0 and may touch anything), and a fence
+// on domain d waits only for
+//
+//   - in-flight transactions annotated d, and
+//   - in-flight domain-0 (whole-store) transactions,
+//
+// because only those can have touched d's locations.  Transactions annotated
+// with some other domain e != d are ignored — that is the scaling win: a
+// privatize-scan of one KV shard no longer stalls writers on every other
+// shard.
+//
+// Protocol.  Each domain has an epoch counter (starting at 1).  begin_txn
+// publishes (epoch_of(my domain), my domain) in a per-thread slot; end_txn
+// clears it.  fence(d) advances d's epoch and domain 0's epoch by ONE from
+// the value it observed on arrival and waits until no slot holds an older
+// epoch of d or of domain 0.  Any transaction that could have read the
+// caller's pre-fence state (e.g. an open privatization flag) must have
+// published an epoch older than the fence's cutoff, so it is waited out;
+// a transaction that begins after the advance re-reads shared state and
+// sees the caller's writes.
+//
+// Coalescing.  The advance is a compare-exchange from the *arrival* epoch:
+// when several fences on the same domain arrive within one epoch, exactly one
+// CAS wins and they all share the same cutoff (arrival + 1) — one epoch
+// advance, one shared grace period.  A fence that arrives after the advance
+// observes the newer epoch and computes its own, later cutoff; coalescing
+// onto the older in-flight grace period would be unsound (a transaction that
+// began before that fence's arrival could be missed).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <thread>
 
-#include "stm/clock.hpp"
-
 namespace mtx::stm {
+
+class Cell;
+
+// Domains an STM instance can discriminate between.  Domain ids returned by
+// create_domain() cycle within [1, kMaxQuiesceDomains); when more domains are
+// requested than exist, two shards sharing an id merely wait for each other —
+// conservative, never unsound.
+inline constexpr int kMaxQuiesceDomains = 64;
+
+// The domain the current thread's *next* transactions belong to.  0 = whole
+// store.  The annotation is a promise: a transaction begun under domain d > 0
+// accesses only locations owned by d.  Breaking the promise breaks the fence
+// guarantee for d (see the under-scoped-fence negative control in
+// tests/test_record.cpp).
+inline thread_local int tl_txn_domain = 0;
+
+// RAII domain annotation for a lexical region of transactions.
+class DomainScope {
+ public:
+  explicit DomainScope(int domain) : prev_(tl_txn_domain) {
+    tl_txn_domain = domain;
+  }
+  ~DomainScope() { tl_txn_domain = prev_; }
+  DomainScope(const DomainScope&) = delete;
+  DomainScope& operator=(const DomainScope&) = delete;
+
+ private:
+  int prev_;
+};
+
+// A quiescence domain handle: the id the runtime waits on, plus an optional
+// enumerator of the cells the domain owns.  The enumerator exists for the
+// *recording* layer — a recorded scoped fence claims QFence ordering only for
+// the enumerated cells, so the model never credits the fence with more than
+// the caller scoped it to.  A null enumerator with id 0 means "whole store"
+// (recorded as an all-locations fence); a null enumerator with id != 0 is
+// recorded as covering nothing (sound: the model just gets no edges from it).
+struct QuiesceDomain {
+  using CellVisitor = std::function<void(const Cell&)>;
+  using CellEnumerator = std::function<void(const CellVisitor&)>;
+
+  int id = 0;
+  CellEnumerator cells;  // may be null
+};
 
 class QuiescenceRegistry {
  public:
   static constexpr std::size_t kMaxThreads = 128;
 
-  explicit QuiescenceRegistry(GlobalClock& clock) : clock_(clock) {
+  QuiescenceRegistry() {
     for (auto& s : slots_) s.store(0, std::memory_order_relaxed);
+    for (auto& e : epochs_) e.store(1, std::memory_order_relaxed);
   }
 
-  // Publish that this thread has a transaction in flight.
+  // Allocate a domain id.  Ids cycle within [1, kMaxQuiesceDomains) once the
+  // table is full (sharing is conservative, not unsound).
+  int create_domain() {
+    const int n = domain_seq_.fetch_add(1, std::memory_order_relaxed);
+    return 1 + (n % (kMaxQuiesceDomains - 1));
+  }
+
+  // Number of domain slots in use (including domain 0); the upper bound for
+  // cross-domain scans in the backends.
+  int ndomains() const {
+    const int n = domain_seq_.load(std::memory_order_acquire);
+    return n >= kMaxQuiesceDomains - 1 ? kMaxQuiesceDomains : n + 1;
+  }
+
+  // Publish that this thread has a transaction in flight, annotated with the
+  // current thread's domain.
   void begin_txn() {
-    slot().store(clock_.now(), std::memory_order_release);
+    const int d = clamp_domain(tl_txn_domain);
+    const std::uint64_t e = epochs_[d].load(std::memory_order_acquire);
+    slot().store(pack(e, d), std::memory_order_release);
   }
 
   void end_txn() { slot().store(0, std::memory_order_release); }
 
-  // Wait for every transaction active at the time of the call to resolve.
-  void fence() {
-    const std::uint64_t cutoff = clock_.advance();
-    for (auto& s : slots_) {
-      for (;;) {
-        const std::uint64_t e = s.load(std::memory_order_acquire);
-        if (e == 0 || e >= cutoff) break;
-        std::this_thread::yield();
-      }
-    }
+  // Grace period for domain d: wait for every in-flight transaction
+  // annotated d — plus every whole-store (domain 0) transaction — that was
+  // active at the time of the call.  fence(0) waits for everything.
+  void fence(int domain);
+
+  // Whole-store fence (the conservative §5 variant).
+  void fence() { fence(0); }
+
+  // Observability for the coalescing contract: how many fence() calls ran vs
+  // how many epoch advances they performed (fences arriving within one epoch
+  // share one advance, so advances <= 2 * fences and can be far fewer).
+  std::uint64_t fence_calls() const {
+    return fence_calls_.load(std::memory_order_acquire);
+  }
+  std::uint64_t epoch_advances() const {
+    return epoch_advances_.load(std::memory_order_acquire);
+  }
+
+  static int clamp_domain(int d) {
+    return (d > 0 && d < kMaxQuiesceDomains) ? d : 0;
   }
 
  private:
+  // Slot word: epoch in the high bits, domain in the low 6.  0 = idle.
+  static constexpr std::uint64_t kDomainBits = 6;
+  static_assert((1 << kDomainBits) >= kMaxQuiesceDomains);
+
+  static std::uint64_t pack(std::uint64_t epoch, int domain) {
+    return (epoch << kDomainBits) | static_cast<std::uint64_t>(domain);
+  }
+  static std::uint64_t slot_epoch(std::uint64_t s) { return s >> kDomainBits; }
+  static int slot_domain(std::uint64_t s) {
+    return static_cast<int>(s & ((std::uint64_t{1} << kDomainBits) - 1));
+  }
+
+  // Advance domain d's epoch one past its arrival value and return the
+  // cutoff; concurrent fences arriving in the same epoch coalesce (one CAS
+  // winner, shared cutoff).
+  std::uint64_t advance_epoch(int d);
+
   std::atomic<std::uint64_t>& slot();
 
-  GlobalClock& clock_;
   std::atomic<std::uint64_t> slots_[kMaxThreads];
-  std::atomic<std::size_t> next_slot_{0};
+  std::atomic<std::uint64_t> epochs_[kMaxQuiesceDomains];
+  std::atomic<int> domain_seq_{0};
+  std::atomic<std::uint64_t> fence_calls_{0};
+  std::atomic<std::uint64_t> epoch_advances_{0};
 };
 
 }  // namespace mtx::stm

@@ -17,7 +17,7 @@ namespace mtx::stm {
 
 class SglStm {
  public:
-  SglStm() : registry_(clock_) {}
+  SglStm() = default;
 
   class Tx {
    public:
@@ -100,10 +100,21 @@ class SglStm {
     if (TxObserver* obs = tx_observer()) obs->on_fence();
   }
 
+  // Scoped quiescence: the global lock is already a whole-store fence, so
+  // the wait is unscoped; the observer still sees the caller's scope so
+  // recorded traces only claim ordering for the fenced cells.
+  void quiesce(const QuiesceDomain& d) {
+    stats_.fences.fetch_add(1, std::memory_order_relaxed);
+    { std::lock_guard<std::mutex> g(mu_); }
+    if (TxObserver* obs = tx_observer()) obs->on_fence_scoped(d);
+  }
+
+  // No scoped wait path: every caller shares the whole-store domain.
+  int create_domain() { return 0; }
+
   StmStats& stats() { return stats_; }
 
  private:
-  GlobalClock clock_;
   std::mutex mu_;
   QuiescenceRegistry registry_;
   StmStats stats_;

@@ -97,10 +97,14 @@ void Tl2Stm::Tx::commit() {
     held.emplace_back(orec, cur);
   }
 
-  const word_t wv = stm_.clock_.advance();
+  const int nd = stm_.registry_.ndomains();
+  const word_t wv = stm_.clocks_.advance(domain_, nd);
 
-  // Validate the read set unless no other commit intervened.
-  if (rv_ + 1 != wv) {
+  // Validate the read set unless no other commit intervened.  With a single
+  // clock, wv == rv+1 proves exactly that; with sharded clocks two
+  // committers in different domains can both draw rv+1 (versions are unique
+  // only per domain), so the shortcut is sound only when no domains exist.
+  if (nd > 1 || rv_ + 1 != wv) {
     for (const ReadEntry& r : reads_) {
       const word_t cur = r.orec->load(std::memory_order_acquire);
       bool owned = false;

@@ -1,17 +1,28 @@
 // TL2-style lazy-versioning STM (the class of STMs in Example 3.5).
 //
 //   - Writes are buffered in a redo log until commit.
-//   - Reads validate against the global version clock sampled at begin
-//     (rv): seeing an orec version newer than rv, or a locked orec, aborts —
-//     this post-validation gives opacity (no zombie ever observes an
-//     inconsistent snapshot).
+//   - Reads validate against the version clock sampled at begin (rv): seeing
+//     an orec version newer than rv, or a locked orec, aborts — this
+//     post-validation gives opacity (no zombie ever observes an inconsistent
+//     snapshot).
 //   - Commit: lock the write-set orecs, advance the clock to wv, re-validate
 //     the read set, publish the redo log, release orecs at version wv.
+//
+// The version clock is sharded per quiescence domain (DomainClocks): a
+// transaction annotated with domain d commits by advancing d's clock to one
+// past the max of all clocks, so committers in disjoint domains stop
+// contending on one counter while every published version stays globally
+// comparable (see clock.hpp).  A domain-d transaction samples rv from its
+// own domain's clock on the first attempt — cheap, and sufficient when the
+// last writer of its cells was a domain-d committer — and escalates to the
+// max over all clocks on retry, which restores progress when a whole-store
+// (domain 0) transaction wrote the cells and only bumped its own clock.
 //
 // Mixed-mode behavior matches §5's implementation model: a transactional
 // commit is synchronized with transactions it has a direct dependency with,
 // but plain accesses racing with buffered writes need a quiescence fence
-// (Tl2Stm::quiesce) for privatization.
+// (Tl2Stm::quiesce) for privatization.  quiesce(domain) waits only for
+// transactions annotated with that domain (plus whole-store ones).
 #pragma once
 
 #include <algorithm>
@@ -26,11 +37,17 @@ namespace mtx::stm {
 
 class Tl2Stm {
  public:
-  Tl2Stm() : registry_(clock_) {}
+  Tl2Stm() = default;
 
   class Tx {
    public:
-    explicit Tx(Tl2Stm& stm) : stm_(stm), rv_(stm.clock_.now()) {
+    explicit Tx(Tl2Stm& stm, unsigned attempt = 0)
+        : stm_(stm), domain_(QuiescenceRegistry::clamp_domain(tl_txn_domain)) {
+      const int nd = stm_.registry_.ndomains();
+      // Domain-annotated first attempts read only their own clock; retries
+      // and whole-store transactions pay the max scan (see header comment).
+      rv_ = (domain_ == 0 || attempt > 0) ? stm_.clocks_.max_now(nd)
+                                          : stm_.clocks_.now(domain_);
       stm_.registry_.begin_txn();
       if (TxObserver* obs = tx_observer()) obs->on_begin();
     }
@@ -59,6 +76,7 @@ class Tl2Stm {
     };
 
     Tl2Stm& stm_;
+    int domain_;
     word_t rv_;
     std::vector<WriteEntry> writes_;
     std::vector<ReadEntry> reads_;
@@ -70,7 +88,7 @@ class Tl2Stm {
   template <typename F>
   bool atomically(F&& f) {
     for (unsigned attempt = 0;; ++attempt) {
-      Tx tx(*this);
+      Tx tx(*this, attempt);
       try {
         f(tx);
         tx.commit();
@@ -88,18 +106,29 @@ class Tl2Stm {
     }
   }
 
-  // Quiescence fence: waits for every in-flight transaction (HBCQ/HBQB).
+  // Whole-store quiescence fence: waits for every in-flight transaction
+  // (HBCQ/HBQB over all locations).
   void quiesce() {
     stats_.fences.fetch_add(1, std::memory_order_relaxed);
     registry_.fence();
     if (TxObserver* obs = tx_observer()) obs->on_fence();
   }
 
+  // Scoped quiescence fence: waits only for transactions annotated with
+  // d's domain (plus whole-store ones); recorded as covering d's cells.
+  void quiesce(const QuiesceDomain& d) {
+    stats_.fences.fetch_add(1, std::memory_order_relaxed);
+    registry_.fence(d.id);
+    if (TxObserver* obs = tx_observer()) obs->on_fence_scoped(d);
+  }
+
+  int create_domain() { return registry_.create_domain(); }
+
   StmStats& stats() { return stats_; }
-  GlobalClock& clock() { return clock_; }
+  QuiescenceRegistry& registry() { return registry_; }
 
  private:
-  GlobalClock clock_;
+  DomainClocks clocks_;
   OrecTable orecs_;
   QuiescenceRegistry registry_;
   StmStats stats_;

@@ -142,15 +142,38 @@ TEST(CutWindows, ValidFullQuiescenceCutSplits) {
   EXPECT_EQ(rep.l_races, 0u);
 }
 
-TEST(CutWindows, PartialFenceIsNoCutCandidate) {
-  // A fence covering only one of two locations cannot bound races on the
-  // other: it must not become a cut.
+TEST(CutWindows, PartialFenceWithCrossCutUncoveredTrafficIsNoCut) {
+  // A fence covering only location 0 is a cut CANDIDATE (domain-scoped
+  // fences are first-class since PR 6), but location 1 — uncovered — is
+  // written on both sides of the group, so nothing orders that pair across
+  // the cut: rule (d) refuses it and the window grows over the conflict.
   TB b(2);
   b.begin(2).w(2, 0, 1, 1).w(2, 1, 1, 1).commit(2);
   b.fence(3, 0);  // location 1 not quiesced
   b.begin(2).w(2, 1, 2, 2).commit(2);
   const WindowPlan plan = cut_windows(b.trace());
   EXPECT_EQ(plan.windows.size(), 1u);
+  EXPECT_EQ(plan.cut_candidates, 1u);
+  EXPECT_EQ(plan.cuts, 0u);
+}
+
+TEST(CutWindows, PartialFenceCutsWhenUncoveredTrafficIsOneSided) {
+  // Same partial fence, but location 1's only access is pre-group: every
+  // cross-cut conflict is on the covered location, so the cut is valid.
+  TB b(2);
+  b.begin(2).w(2, 0, 1, 1).w(2, 1, 1, 1).commit(2);
+  b.fence(3, 0);
+  b.begin(2).r(2, 0, 1, 1).w(2, 0, 2, 2).commit(2);
+  const WindowPlan plan = cut_windows(b.trace());
+  ASSERT_EQ(plan.windows.size(), 2u);
+  EXPECT_EQ(plan.cut_candidates, 1u);
+  EXPECT_EQ(plan.cuts, 1u);
+  // The carry still re-establishes BOTH locations (window independence
+  // needs the full store image, covered or not).
+  EXPECT_EQ(plan.windows[1].carried, 2u);
+  const ConformanceReport rep = check_conformance(plan.windows[1].trace);
+  EXPECT_TRUE(rep.wf.ok()) << rep.wf.str() << plan.windows[1].trace.str();
+  EXPECT_EQ(rep.l_races, 0u);
 }
 
 TEST(CutWindows, UnpublishedPlainWriteInvalidatesCut) {

@@ -165,6 +165,133 @@ TEST(Record, ConcurrentFencesInsideOneTxnSinkPastIt) {
   EXPECT_TRUE(model::wellformed(rt.trace));
 }
 
+TEST(Record, ScopedFenceExpandsToCoveredLocationsOnly) {
+  // A domain-scoped fence assembles into one <Qx> per location its domain
+  // enumerates — not one per location in the store (the PR 5 perf note).
+  auto stm = make_backend("tl2");
+  RecordSession s;
+  stm::Cell x, y;
+  stm::QuiesceDomain dom;
+  dom.id = stm->create_domain();
+  dom.cells = [&](const stm::QuiesceDomain::CellVisitor& v) { v(x); };
+  {
+    ScopedRecorder r(s, 1);
+    stm->atomically([&](auto& tx) {
+      tx.write(x, 1);
+      tx.write(y, 2);
+    });
+    stm->quiesce(dom);
+  }
+  const RecordedTrace rt = assemble(s);
+  EXPECT_EQ(rt.meta.fences, 1u);
+  std::size_t qfences = 0;
+  for (std::size_t i = 0; i < rt.trace.size(); ++i)
+    if (rt.trace[i].is_qfence()) {
+      ++qfences;
+      EXPECT_EQ(rt.trace[i].loc, s.loc_id(x));  // never y
+    }
+  EXPECT_EQ(qfences, 1u);  // an unscoped fence would expand to 2 here
+  EXPECT_TRUE(model::wellformed(rt.trace));
+}
+
+TEST(Record, UnderScopedFenceIsCaughtAsMixedRaceAndInvalidCut) {
+  // Negative control for the domain-annotation contract: a fence whose
+  // domain does NOT cover a location the protocol actually relies on gives
+  // the model no <Qc> to order through — the privatized-phase plain write
+  // races the transactional write, and the fence group is rejected as a cut
+  // (c is uncovered with traffic on both sides, rule (d)).
+  auto stm = make_backend("tl2");
+  RecordSession s;
+  stm::Cell a, c;
+  stm::QuiesceDomain dom;
+  dom.id = stm->create_domain();
+  dom.cells = [&](const stm::QuiesceDomain::CellVisitor& v) { v(a); };  // no c
+  {
+    ScopedRecorder r(s, 1);
+    stm->atomically([&](auto& tx) { tx.write(c, 7); });
+  }
+  {
+    ScopedRecorder r(s, 2);
+    stm->quiesce(dom);
+    c.plain_store(8);  // privatized-phase write the fence missed
+  }
+  const RecordedTrace rt = assemble(s);
+  const ConformanceReport rep = check_conformance(rt.trace);
+  EXPECT_TRUE(rep.wf.ok()) << rep.wf.str();
+  EXPECT_GT(rep.l_races, 0u);
+  EXPECT_TRUE(rep.mixed_race) << "under-scoped fence must not order c";
+  EXPECT_FALSE(rep.ok());
+  const WindowPlan plan = cut_windows(rt.trace);
+  EXPECT_EQ(plan.cut_candidates, 1u);
+  EXPECT_EQ(plan.cuts, 0u) << "cross-cut traffic on uncovered c";
+  ASSERT_EQ(plan.windows.size(), 1u);
+}
+
+TEST(Record, CorrectlyScopedFenceOrdersPrivatizationAndCuts) {
+  // The same protocol with the domain covering c: the expanded <Qc> orders
+  // the committed write before the fencing thread's plain read (HBCQ, then
+  // po out of the fence), so there is no race and the group is a valid cut.
+  auto stm = make_backend("tl2");
+  RecordSession s;
+  stm::Cell a, c;
+  stm::QuiesceDomain dom;
+  dom.id = stm->create_domain();
+  dom.cells = [&](const stm::QuiesceDomain::CellVisitor& v) {
+    v(a);
+    v(c);
+  };
+  {
+    ScopedRecorder r(s, 1);
+    stm->atomically([&](auto& tx) { tx.write(c, 7); });
+  }
+  {
+    ScopedRecorder r(s, 2);
+    stm->quiesce(dom);
+    c.plain_store(8);  // same write, now ordered: commit -> <Qc> -> po
+  }
+  const RecordedTrace rt = assemble(s);
+  const ConformanceReport rep = check_conformance(rt.trace);
+  EXPECT_TRUE(rep.wf.ok()) << rep.wf.str();
+  EXPECT_FALSE(rep.mixed_race);
+  EXPECT_EQ(rep.l_races, 0u);
+  EXPECT_TRUE(rep.ok());
+  const WindowPlan plan = cut_windows(rt.trace);
+  EXPECT_EQ(plan.cut_candidates, 1u);
+  EXPECT_EQ(plan.cuts, 1u);
+  EXPECT_EQ(plan.windows.size(), 2u);
+}
+
+TEST(Record, PartialCoverageCutValidWhenUncoveredTrafficIsOneSided) {
+  // Rule (d) is one-sided: an uncovered location with all its accesses on
+  // one side of the group does not invalidate the cut — which is exactly
+  // why a shard-scoped KV fence still cuts windows confined to its shard.
+  auto stm = make_backend("tl2");
+  RecordSession s;
+  stm::Cell a, b;
+  stm::QuiesceDomain dom;
+  dom.id = stm->create_domain();
+  dom.cells = [&](const stm::QuiesceDomain::CellVisitor& v) { v(a); };  // no b
+  {
+    ScopedRecorder r(s, 1);
+    stm->atomically([&](auto& tx) {
+      tx.write(a, 1);
+      tx.write(b, 2);  // b's ONLY access: pre-group
+    });
+  }
+  {
+    ScopedRecorder r(s, 2);
+    stm->quiesce(dom);
+    EXPECT_EQ(a.plain_load(), 1u);
+  }
+  const RecordedTrace rt = assemble(s);
+  const ConformanceReport rep = check_conformance(rt.trace);
+  EXPECT_TRUE(rep.ok()) << rep.wf.str();
+  const WindowPlan plan = cut_windows(rt.trace);
+  EXPECT_EQ(plan.cut_candidates, 1u);
+  EXPECT_EQ(plan.cuts, 1u);
+  EXPECT_EQ(plan.windows.size(), 2u);
+}
+
 TEST(Record, SeededSingleThreadReplayIsByteIdentical) {
   for (const std::string& name : backend_names()) {
     SCOPED_TRACE(name);
