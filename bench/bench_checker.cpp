@@ -157,6 +157,37 @@ int main(int argc, char** argv) {
         });
     r.label += ", " + std::to_string(rep.windows) + " windows";
     rows.push_back(r);
+
+    // Incremental vs fresh contexts over the SAME window set: the chain
+    // engine (word-parallel builders + forward hb closure, context carried
+    // window to window — the streaming checker's inner loop) against one
+    // reference AnalysisContext per window.  Verdicts are pinned identical
+    // by tests; this row tracks what the incremental path buys.
+    const record::WindowPlan plan = record::cut_windows(run.rec.trace, 64);
+    const ModelConfig impl = ModelConfig::implementation();
+    Row inc = time_case("window_chain_incremental",
+                        std::to_string(plan.windows.size()) + " windows", reps,
+                        [&] {
+                          model::ChainedAnalysis chain(impl);
+                          bool ok = true;
+                          for (const record::TraceWindow& w : plan.windows)
+                            ok = ok &&
+                                 record::check_conformance(chain.advance(w.trace)).ok();
+                          g_sink = ok;
+                        });
+    rows.push_back(inc);
+    Row fresh = time_case("window_chain_fresh",
+                          std::to_string(plan.windows.size()) + " windows", reps,
+                          [&] {
+                            bool ok = true;
+                            for (const record::TraceWindow& w : plan.windows)
+                              ok = ok && record::check_conformance(w.trace, impl).ok();
+                            g_sink = ok;
+                          });
+    rows.push_back(fresh);
+    std::printf("window chain: incremental %.3f ms vs fresh %.3f ms (%.2fx)\n",
+                inc.min_ms, fresh.min_ms,
+                inc.min_ms > 0 ? fresh.min_ms / inc.min_ms : 0);
   }
 
   Table table({"case", "label", "reps", "min ms", "mean ms"});

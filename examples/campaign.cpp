@@ -8,6 +8,7 @@
 //                 [--record-window-min N]
 //                 [--kv] [--kv-only] [--kv-ops N] [--kv-seed N] [--kv-keys N]
 //                 [--kv-shards N] [--kv-no-sample] [--kv-global-fence]
+//                 [--kv-stream]
 //                 [--fuzz N] [--fuzz-only] [--fuzz-seed S] [--fuzz-sched K]
 //                 [--fuzz-no-shrink] [--fuzz-repro-dir DIR]
 //                 [--fuzz-time-budget-ms N] [--fuzz-threads N]
@@ -32,6 +33,9 @@
 // --kv-only skips the litmus catalog; --kv-no-sample turns the sampling off
 // (perf-only rows); --kv-global-fence disables per-shard quiescence domains
 // (whole-store fences — the A/B baseline, same verdict signature).
+// --kv-stream replaces sampling with the always-on streaming pipeline:
+// every round is captured through lock-free per-thread rings and judged
+// concurrently with the run; a ring overflow poisons the row.
 //
 // --fuzz N adds the differential fuzz grid: N random litmus programs (seeded
 // by --fuzz-seed, byte-reproducible) run on every registered backend under
@@ -111,6 +115,10 @@ int main(int argc, char** argv) {
       opts.kv_sample_every = 0;
     else if (std::strcmp(argv[i], "--kv-global-fence") == 0)
       opts.kv_scoped_fences = false;
+    else if (std::strcmp(argv[i], "--kv-stream") == 0)
+      opts.kv_stream = true;
+    else if (std::strcmp(argv[i], "--kv-stream-sample") == 0)
+      opts.kv_stream_sample = static_cast<std::size_t>(count("--kv-stream-sample"));
     else if (std::strcmp(argv[i], "--fuzz") == 0)
       opts.fuzz_count = static_cast<int>(count("--fuzz"));
     else if (std::strcmp(argv[i], "--fuzz-only") == 0)

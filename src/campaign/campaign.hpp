@@ -82,6 +82,13 @@ struct CampaignOptions {
   // fences — the A/B baseline: both settings must produce identical
   // verdict signatures (pinned by tests/test_kv.cpp).
   bool kv_scoped_fences = true;
+  // Streaming conformance: sampled rounds captured through lock-free rings
+  // and judged concurrently with the run (replaces sampling when set).
+  bool kv_stream = false;
+  // Streaming sampling level: 1 = always-on (every round streamed); N > 1
+  // streams every Nth round, each sampled segment re-anchored by its own
+  // recorded state replay.
+  std::size_t kv_stream_sample = 1;
 
   // ----- differential fuzz jobs -----
   // When > 0, generates `fuzz_count` random litmus programs from fuzz_seed,
@@ -154,18 +161,24 @@ struct KvRow {
                 snap_reads = 0;
   bool invariant_ok = false;
 
-  // Sampled-conformance verdict (sessions/windows vary with scheduling;
-  // nonconformant must be 0 on every schedule).
+  // Conformance verdict — sampled or streamed (sessions/windows vary with
+  // scheduling; nonconformant must be 0 on every schedule).
   std::size_t sessions = 0;
   std::size_t windows = 0;
   std::size_t nonconformant = 0;
+  bool streamed = false;           // judged by the streaming pipeline
+  bool overflow = false;           // streaming ring drop (poisons the row)
 
   // Informational measurements.
   double ops_per_sec = 0;
   std::uint64_t p50_ns = 0, p95_ns = 0, p99_ns = 0;
+  std::uint64_t fence_calls = 0;     // backend quiescence registry counters
+  std::uint64_t epoch_advances = 0;
+  std::uint64_t ring_dropped = 0;    // streaming capture health
+  std::size_t max_backlog = 0;
   double millis = 0;
 
-  bool ok() const { return nonconformant == 0 && invariant_ok; }
+  bool ok() const { return nonconformant == 0 && invariant_ok && !overflow; }
 };
 
 struct CampaignResult {

@@ -103,6 +103,12 @@ std::string to_json(const CampaignResult& r, const std::string& run_label) {
          ", \"sessions\": " + std::to_string(kr.sessions) +
          ", \"windows\": " + std::to_string(kr.windows) +
          ", \"nonconformant\": " + std::to_string(kr.nonconformant) +
+         ", \"streamed\": " + (kr.streamed ? "true" : "false") +
+         ", \"overflow\": " + (kr.overflow ? "true" : "false") +
+         ", \"ring_dropped\": " + std::to_string(kr.ring_dropped) +
+         ", \"max_backlog\": " + std::to_string(kr.max_backlog) +
+         ", \"fence_calls\": " + std::to_string(kr.fence_calls) +
+         ", \"epoch_advances\": " + std::to_string(kr.epoch_advances) +
          ", \"ops_per_sec\": " + fmt_ms(kr.ops_per_sec) +
          ", \"p50_ns\": " + std::to_string(kr.p50_ns) +
          ", \"p95_ns\": " + std::to_string(kr.p95_ns) +

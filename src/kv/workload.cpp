@@ -10,6 +10,7 @@
 #include "record/assemble.hpp"
 #include "record/conformance.hpp"
 #include "record/recorder.hpp"
+#include "record/stream.hpp"
 #include "substrate/rng.hpp"
 #include "substrate/threading.hpp"
 
@@ -73,7 +74,12 @@ KvResult run_kv_workload(stm::StmBackend& stm, const Mix& mix,
   const std::size_t preload = std::max<std::size_t>(1, opts.preload_keys);
   const std::size_t snap_count =
       std::max<std::size_t>(1, std::min(opts.snap_keys, preload));
-  const bool sampling = opts.sample_every > 0 && opts.round_ops > 0;
+  const bool streaming = opts.stream && opts.round_ops > 0;
+  const std::size_t stream_every =
+      std::max<std::size_t>(1, opts.stream_sample_every);
+  const bool sampling =
+      !streaming && opts.sample_every > 0 && opts.round_ops > 0;
+  const bool rounds_mode = sampling || streaming;
 
   KvResult res;
   res.mix = mix.name;
@@ -105,14 +111,44 @@ KvResult run_kv_workload(stm::StmBackend& stm, const Mix& mix,
           : std::nullopt;
 
   const std::size_t rounds =
-      sampling ? (opts.ops_per_thread + opts.round_ops - 1) / opts.round_ops : 1;
+      rounds_mode ? (opts.ops_per_thread + opts.round_ops - 1) / opts.round_ops
+                  : 1;
   const auto round_recorded = [&](std::size_t r) {
     return sampling && r % opts.sample_every == 0;
   };
+  const auto stream_round = [&](std::size_t r) {
+    return streaming && r % stream_every == 0;
+  };
 
-  SpinBarrier barrier(threads + 1);  // workers + coordinator (sampling only)
+  SpinBarrier barrier(threads + 1);  // workers + coordinator (rounds modes)
   std::unique_ptr<record::RecordSession> session;  // written between barriers
   std::vector<std::unique_ptr<record::RecordSession>> sessions;
+
+  // Streaming: one continuous session for the whole run, one ring per
+  // producer (slot 0 = the coordinator's replay transaction), the cutter
+  // and checker threads live for the duration of the workload.
+  std::unique_ptr<record::RecordSession> stream_session;
+  std::unique_ptr<record::StreamConformance> stream_conf;
+  if (streaming) {
+    stream_session = std::make_unique<record::RecordSession>();
+    std::vector<int> producer_threads(threads + 1);
+    for (std::size_t t = 0; t <= threads; ++t)
+      producer_threads[t] = static_cast<int>(t);
+    record::StreamOptions sropts;
+    sropts.ring_capacity = opts.stream_ring_capacity;
+    sropts.min_window_events = opts.window_min_events;
+    sropts.checkers = opts.stream_checkers;
+    // Hold segments to the backend's declared guarantee: full opacity for
+    // zombie-free backends, the committed-subsystem projection otherwise
+    // (mirrors the sampled-mode judging below).
+    sropts.require_full_opacity = stm.zombie_free();
+    sropts.compare_posthoc = opts.stream_compare_posthoc;
+    // At sparser sampling levels the cutter misses the unsampled rounds'
+    // writes, so its tracked state is stale: carries off, replays anchor.
+    sropts.synthesize_carry = stream_every == 1;
+    stream_conf = std::make_unique<record::StreamConformance>(
+        *stream_session, std::move(producer_threads), sropts);
+  }
 
   std::atomic<bool> values_wellformed{true};
   std::mutex merge_mu;
@@ -180,8 +216,60 @@ KvResult run_kv_workload(stm::StmBackend& stm, const Mix& mix,
       }
     };
 
-    if (!sampling) {
+    if (!rounds_mode) {
       run_ops(0, opts.ops_per_thread);
+    } else if (streaming) {
+      // Always-on level: one recorder for the whole run, streaming through
+      // this thread's ring.  Nothing is recorded before round 0's replay
+      // (barrier B), so every recorded read resolves inside the stream.
+      // Sparser levels attach a fresh recorder per sampled round instead —
+      // unsampled rounds run with no observer installed at all.
+      std::unique_ptr<record::ScopedRecorder> rec;
+      if (stream_every == 1) {
+        rec = std::make_unique<record::ScopedRecorder>(
+            *stream_session, static_cast<int>(tid) + 1);
+        rec->rec().stream_to(&stream_conf->ring(tid + 1));
+      }
+      std::uint64_t done = 0;
+      std::uint64_t epoch = 0;
+      for (std::size_t r = 0; r < rounds; ++r) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(opts.round_ops, opts.ops_per_thread - done);
+        if (stream_round(r)) {
+          barrier.arrive_and_wait();  // A: round start, nothing in flight
+          barrier.arrive_and_wait();  // B: the round's replay is recorded
+          std::unique_ptr<record::ScopedRecorder> per_round;
+          record::ThreadRecorder* tr;
+          if (rec) {
+            tr = &rec->rec();
+          } else {
+            per_round = std::make_unique<record::ScopedRecorder>(
+                *stream_session, static_cast<int>(tid) + 1);
+            per_round->rec().stream_to(&stream_conf->ring(tid + 1));
+            tr = &per_round->rec();
+          }
+          // Per-segment publication handoff: hb reaches a PLAIN read only
+          // through a transactional read in its own thread (cwr then po), so
+          // each segment needs its own snap_ready read to order this
+          // thread's plain snapshot loads after the carry transaction.
+          store.snapshot_attach();
+          run_ops(done, n);
+          // Segment boundary: this thread's sampled-round events all precede
+          // the mark; the cutter seals the epoch once every ring marked it.
+          // mark_epoch flushes first, so a per-round recorder may detach
+          // right after.
+          tr->mark_epoch(epoch++);
+          barrier.arrive_and_wait();  // C: round end, all txns resolved
+        } else {
+          // Unsampled round: nothing recorded, no segment sealed — and no
+          // barriers either.  Only sampled-round boundaries must be
+          // quiescent, so consecutive unsampled rounds run as one
+          // unrecorded, unsynchronized stretch at full speed.
+          run_ops(done, n);
+        }
+        done += n;
+      }
+      if (rec) rec->rec().flush();
     } else {
       std::uint64_t done = 0;
       for (std::size_t r = 0; r < rounds; ++r) {
@@ -237,10 +325,36 @@ KvResult run_kv_workload(stm::StmBackend& stm, const Mix& mix,
     }
   };
 
+  // Streaming coordinator.  At the always-on level it replays the preload
+  // state ONCE, as the stream's first recorded transaction (round 0,
+  // between A and B) — it both anchors segment 0's reads and teaches the
+  // cutter the full store state, from which every later segment's carry is
+  // synthesized.  At sparser levels carries are off, so it re-replays the
+  // current state before EVERY sampled round.  Marks its (otherwise idle)
+  // ring each sampled round so sealing never waits on slot 0.
+  auto stream_coordinator = [&] {
+    record::ScopedRecorder rec(*stream_session, 0);
+    rec.rec().stream_to(&stream_conf->ring(0));
+    std::uint64_t epoch = 0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      if (!stream_round(r)) continue;  // workers run these barrier-free
+      barrier.arrive_and_wait();  // A
+      if (r == 0 || stream_every > 1) {
+        rec.rec().synthetic_begin();
+        store.replay_state_plain();
+        rec.rec().synthetic_commit();
+      }
+      barrier.arrive_and_wait();  // B
+      rec.rec().mark_epoch(epoch++);
+      barrier.arrive_and_wait();  // C
+    }
+    rec.rec().flush();
+  };
+
   const auto t0 = Clock::now();
-  run_team(threads + (sampling ? 1 : 0), [&](std::size_t tid) {
-    if (sampling && tid == threads)
-      coordinator();
+  run_team(threads + (rounds_mode ? 1 : 0), [&](std::size_t tid) {
+    if (rounds_mode && tid == threads)
+      streaming ? stream_coordinator() : coordinator();
     else
       worker(tid);
   });
@@ -299,6 +413,26 @@ KvResult run_kv_workload(stm::StmBackend& stm, const Mix& mix,
     if (!(rep.wf.ok() && rep.l_races == 0 && !rep.mixed_race && opq))
       ++res.conf.nonconformant;
   }
+
+  // Streaming verdicts: most segments were judged while the workload ran;
+  // finish() drains the tail and merges.  (Outside wall_ms, like the
+  // sampled judging above, so throughput compares capture overhead only.)
+  if (streaming) {
+    const record::StreamReport srep = stream_conf->finish();
+    res.conf.streamed = true;
+    res.conf.sessions = srep.segments;
+    res.conf.windows = srep.windows;
+    res.conf.nonconformant = srep.nonconformant;
+    res.conf.recorded_actions = srep.checked_events;
+    res.conf.ring_dropped = srep.ring_dropped;
+    res.conf.overflow = srep.overflow;
+    res.conf.max_backlog = srep.max_backlog;
+    res.conf.posthoc_checked = srep.posthoc_checked;
+    res.conf.posthoc_match = srep.posthoc_match;
+  }
+
+  res.fence_calls = stm.registry().fence_calls();
+  res.epoch_advances = stm.registry().epoch_advances();
   return res;
 }
 

@@ -21,6 +21,16 @@
 // committed state-carry transaction (KvStore::replay_state_plain) so the
 // mid-execution trace is well-formed.  Captured windows are judged with
 // check_conformance_windowed after the run.
+//
+// Streaming conformance (`stream = true`): every sampled round is recorded,
+// but instead of post-hoc assembly each thread pushes its events through a
+// lock-free ring into the record::StreamConformance cutter, which seals a
+// segment per round (the barrier is the quiescent epoch boundary) and
+// judges it on checker threads WHILE the workload keeps running.  At the
+// always-on sampling level (stream_sample_every == 1) the preload state is
+// replayed once, as the first recorded transaction, and every later segment
+// opens with the cutter's own synthesized sparse carry; at sparser levels
+// each sampled segment is re-anchored by its own recorded state replay.
 #pragma once
 
 #include <cstdint>
@@ -81,14 +91,37 @@ struct KvWorkloadOptions {
   std::size_t sample_every = 0;
   std::size_t round_ops = 32;
   std::size_t window_min_events = 64;  // forwarded to the windowed checker
+
+  // Streaming conformance: record every round into per-thread rings and
+  // judge segments concurrently with execution.  Takes precedence over
+  // sample_every (the two modes are mutually exclusive).
+  bool stream = false;
+  std::size_t stream_ring_capacity = 1u << 14;  // slots per thread ring
+  std::size_t stream_checkers = 2;              // checker pool threads
+  bool stream_compare_posthoc = false;  // also judge post-hoc and compare
+  // Streaming sampling level: stream (record, seal, judge) only every Nth
+  // round; unsampled rounds run unrecorded and barrier-free at full speed.
+  // 1 = always-on.
+  // With N > 1 the cutter has not seen the intervening writes, so carry
+  // synthesis is off and the coordinator instead re-anchors EVERY sampled
+  // segment with a fresh recorded state replay.
+  std::size_t stream_sample_every = 1;
 };
 
 struct KvConformance {
-  std::size_t sessions = 0;       // recorded rounds captured
+  std::size_t sessions = 0;       // recorded rounds captured (or segments)
   std::size_t windows = 0;        // fence-bounded windows judged, total
   std::size_t nonconformant = 0;  // sessions whose merged verdict fails
   std::size_t recorded_actions = 0;
-  bool all_ok() const { return nonconformant == 0; }
+  bool streamed = false;          // judged by the streaming pipeline
+  // Streaming capture health (zero in sampled mode).
+  std::uint64_t ring_dropped = 0;
+  bool overflow = false;
+  std::size_t max_backlog = 0;
+  // Streaming oracle (stream_compare_posthoc only).
+  bool posthoc_checked = false;
+  bool posthoc_match = false;
+  bool all_ok() const { return nonconformant == 0 && !overflow; }
 };
 
 struct KvResult {
@@ -111,6 +144,10 @@ struct KvResult {
 
   bool invariant_ok = false;  // post-run transactional audit
   KvConformance conf;
+
+  // Runtime counters (backend quiescence registry + streaming capture).
+  std::uint64_t fence_calls = 0;     // QuiescenceRegistry::fence_calls
+  std::uint64_t epoch_advances = 0;  // QuiescenceRegistry::epoch_advances
 };
 
 // Runs `mix` against a fresh KvStore on `stm`.  Throws std::invalid_argument

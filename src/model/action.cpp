@@ -29,7 +29,7 @@ std::string Action::str() const {
       s += "(" + std::to_string(peer) + ")";
       break;
     case Kind::QFence:
-      s += "x" + std::to_string(loc);
+      s += loc == kAllLocs ? "*" : "x" + std::to_string(loc);
       break;
     case Kind::Begin:
       break;
@@ -93,5 +93,7 @@ Action make_qfence(Thread s, Loc x, int name) {
   a.name = name;
   return a;
 }
+
+Action make_qfence_all(Thread s, int name) { return make_qfence(s, kAllLocs, name); }
 
 }  // namespace mtx::model

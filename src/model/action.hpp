@@ -27,6 +27,14 @@ using Value = std::int64_t;
 // The reserved initialization thread id.
 inline constexpr Thread kInitThread = -1;
 
+// Sentinel location for a *summary* quiescence fence <Q*>: one action that
+// stands for the whole family { <Qx> | x a location of the trace }.  A
+// whole-store runtime fence used to expand to one <Qx> per location, making
+// every recorded fence O(|store|) actions; a summary fence is O(1) and
+// induces exactly the per-location HBCQ/HBQB edges (and the WF12 check) the
+// expansion would.  Only QFence actions may carry this location.
+inline constexpr Loc kAllLocs = -2;
+
 const char* kind_name(Kind k);
 
 struct Action {
@@ -45,6 +53,12 @@ struct Action {
   bool is_abort() const { return kind == Kind::Abort; }
   bool is_resolution() const { return is_commit() || is_abort(); }
   bool is_qfence() const { return kind == Kind::QFence; }
+  // A whole-store fence <Q*> (see kAllLocs).
+  bool is_summary_qfence() const { return is_qfence() && loc == kAllLocs; }
+  // Does this fence claim quiescence for x?  (<Qx> itself, or <Q*>.)
+  bool qfence_covers(Loc x) const {
+    return is_qfence() && (loc == x || loc == kAllLocs);
+  }
   bool is_memory_access() const { return is_write() || is_read(); }
   // TAct of §5: the transactional boundary actions.
   bool is_boundary() const { return is_begin() || is_resolution(); }
@@ -62,5 +76,7 @@ Action make_begin(Thread s, int name = -1);
 Action make_commit(Thread s, int begin_name, int name = -1);
 Action make_abort(Thread s, int begin_name, int name = -1);
 Action make_qfence(Thread s, Loc x, int name = -1);
+// The summary whole-store fence <Q*>.
+Action make_qfence_all(Thread s, int name = -1);
 
 }  // namespace mtx::model

@@ -9,18 +9,29 @@ thread_local AnalysisCounters g_counters;
 }  // namespace
 
 const Relations& AnalysisContext::relations() {
-  if (!rel_) rel_ = Relations::compute(t_);
+  if (!rel_) rel_ = fast_ ? Relations::compute_fast(t_) : Relations::compute(t_);
   return *rel_;
 }
 
 const BitRel& AnalysisContext::hb() {
-  if (!hb_) hb_ = compute_hb(t_, relations(), cfg_);
+  if (!hb_) {
+    hb_ = fast_ ? compute_hb_fast(t_, relations(), cfg_)
+                : compute_hb(t_, relations(), cfg_);
+  }
   return *hb_;
 }
 
 const WfReport& AnalysisContext::wf_report() {
   if (!wf_) wf_ = check_wellformed(t_, relations());
   return *wf_;
+}
+
+AnalysisContext& ChainedAnalysis::advance(const Trace& w) {
+  ctx_.emplace(w, cfg_);
+  ctx_->fast_ = true;
+  ++windows_;
+  events_ += w.size();
+  return *ctx_;
 }
 
 AnalysisCounters analysis_counters() { return g_counters; }

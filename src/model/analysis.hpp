@@ -44,11 +44,53 @@ class AnalysisContext {
   bool wellformed() { return wf_report().ok(); }
 
  private:
+  friend class ChainedAnalysis;
+
   const Trace& t_;
   ModelConfig cfg_;
+  // Chained contexts dispatch to the word-parallel builders
+  // (Relations::compute_fast / compute_hb_fast); standalone contexts keep
+  // the reference path, so litmus-scale checking never depends on the fast
+  // builders' equivalence and the two paths can be pinned against each
+  // other end to end.
+  bool fast_ = false;
   std::optional<Relations> rel_;
   std::optional<BitRel> hb_;
   std::optional<WfReport> wf_;
+};
+
+// Window-chain analysis engine for the streaming checker.
+//
+// A fence-bounded window chain analyzes the same *shape* of trace over and
+// over: fresh init block, sparse carry transaction, opening fence group,
+// then a recorded slice whose seed hb edges all point forward in index
+// order.  A ChainedAnalysis carries the cross-window state from window N
+// into window N+1 -- the model config and the running chain tallies -- and
+// builds each window's context through the word-parallel relation builders
+// and the forward (topological) hb closure that the chain's shape
+// guarantees is applicable.  Verdicts are bit-identical to a fresh
+// AnalysisContext on the same window (pinned by tests); advance() costs the
+// fast build instead of the reference build.
+//
+// The returned context borrows chain-owned storage: it stays valid until
+// the next advance() and must not outlive the chain or the window trace.
+class ChainedAnalysis {
+ public:
+  explicit ChainedAnalysis(ModelConfig cfg = ModelConfig::implementation())
+      : cfg_(std::move(cfg)) {}
+
+  // Analyze the next window of the chain.
+  AnalysisContext& advance(const Trace& w);
+
+  const ModelConfig& config() const { return cfg_; }
+  std::size_t windows() const { return windows_; }
+  std::size_t events() const { return events_; }
+
+ private:
+  ModelConfig cfg_;
+  std::optional<AnalysisContext> ctx_;
+  std::size_t windows_ = 0;
+  std::size_t events_ = 0;  // cumulative actions analyzed across the chain
 };
 
 // Computation counters, incremented by Relations::compute and compute_hb.

@@ -1,5 +1,10 @@
 #include "model/derived.hpp"
 
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
 #include "model/analysis.hpp"
 
 namespace mtx::model {
@@ -70,6 +75,281 @@ Relations Relations::compute(const Trace& t) {
   rel.cww = rel.xww.filtered(nonaborted_pair);
   rel.cwr = rel.xwr.filtered(nonaborted_pair);
   rel.crw = rel.xrw.filtered(nonaborted_pair);
+  return rel;
+}
+
+// ----- word-parallel builder ------------------------------------------------
+
+namespace {
+
+// A free-standing row of n column bits, used for the per-category masks the
+// fast builder combines into relation rows.
+using Mask = std::vector<std::uint64_t>;
+
+inline void mask_set(Mask& m, std::size_t b) {
+  m[b / 64] |= std::uint64_t{1} << (b % 64);
+}
+
+inline void row_or_mask(BitRel& r, std::size_t a, const Mask& m) {
+  std::uint64_t* row = r.row(a);
+  for (std::size_t w = 0; w < m.size(); ++w) row[w] |= m[w];
+}
+
+inline void row_and_mask(BitRel& r, std::size_t a, const Mask& m) {
+  std::uint64_t* row = r.row(a);
+  for (std::size_t w = 0; w < m.size(); ++w) row[w] &= m[w];
+}
+
+inline void row_clear(BitRel& r, std::size_t a) {
+  std::uint64_t* row = r.row(a);
+  for (std::size_t w = 0; w < r.row_words(); ++w) row[w] = 0;
+}
+
+template <typename Fn>
+inline void mask_for_each(const Mask& m, Fn fn) {
+  for (std::size_t w = 0; w < m.size(); ++w) {
+    std::uint64_t word = m[w];
+    while (word) {
+      fn(w * 64 + static_cast<std::size_t>(__builtin_ctzll(word)));
+      word &= word - 1;
+    }
+  }
+}
+
+// Per-transaction member masks, indexed through txslot (begin index ->
+// compact slot).  Plain actions have no slot.
+struct TxnMasks {
+  std::vector<int> txslot;     // size n; -1 for plain
+  std::vector<Mask> members;   // per slot
+};
+
+TxnMasks txn_masks(const Trace& t, std::size_t words) {
+  const std::size_t n = t.size();
+  TxnMasks tm;
+  tm.txslot.assign(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int b = t.txn_of(i);
+    if (b < 0) continue;
+    int& slot = tm.txslot[static_cast<std::size_t>(b)];
+    if (slot < 0) {
+      slot = static_cast<int>(tm.members.size());
+      tm.members.emplace_back(words, 0);
+    }
+    tm.txslot[i] = slot;
+    mask_set(tm.members[static_cast<std::size_t>(slot)], i);
+  }
+  return tm;
+}
+
+// Block-structured lift: all members of a transaction share one (E;R;E) row
+// -- the union of the members' R rows, expanded by the transactions of its
+// targets -- so the lift costs one union + one expansion per *transaction*
+// instead of two n^3/64 compositions.  Same-txn pairs (identity for plain
+// actions) are masked out, matching lift()'s filtered(!same_txn), then R
+// itself is OR-ed back in.
+BitRel lift_fast(const Trace& t, const BitRel& r, const TxnMasks& tm) {
+  const std::size_t n = t.size();
+  const std::size_t words = r.row_words();
+  BitRel out = r;
+  Mask uni(words, 0), expanded(words, 0);
+  std::vector<std::size_t> stamp(tm.members.size(), 0);
+  std::size_t cur = 0;
+
+  auto expand = [&]() {
+    // expanded = uni plus, for every target inside a transaction, that
+    // transaction's full member set.
+    expanded = uni;
+    ++cur;
+    mask_for_each(uni, [&](std::size_t c) {
+      const int slot = tm.txslot[c];
+      if (slot < 0) return;
+      if (stamp[static_cast<std::size_t>(slot)] == cur) return;
+      stamp[static_cast<std::size_t>(slot)] = cur;
+      const Mask& m = tm.members[static_cast<std::size_t>(slot)];
+      for (std::size_t w = 0; w < words; ++w) expanded[w] |= m[w];
+    });
+  };
+
+  // Transaction groups.
+  for (std::size_t slot = 0; slot < tm.members.size(); ++slot) {
+    const Mask& m = tm.members[slot];
+    std::fill(uni.begin(), uni.end(), 0);
+    bool any = false;
+    mask_for_each(m, [&](std::size_t i) {
+      const std::uint64_t* row = r.row(i);
+      for (std::size_t w = 0; w < words; ++w) {
+        uni[w] |= row[w];
+        any = any || row[w];
+      }
+    });
+    if (!any) continue;
+    expand();
+    mask_for_each(m, [&](std::size_t i) {
+      std::uint64_t* row = out.row(i);
+      for (std::size_t w = 0; w < words; ++w) row[w] |= expanded[w] & ~m[w];
+    });
+  }
+  // Plain actions: E relates them only to themselves, so the block is the
+  // singleton {a} and the exclusion just drops the identity pair.
+  for (std::size_t a = 0; a < n; ++a) {
+    if (t.txn_of(a) >= 0) continue;
+    const std::uint64_t* row = r.row(a);
+    bool any = false;
+    for (std::size_t w = 0; w < words; ++w) {
+      uni[w] = row[w];
+      any = any || row[w];
+    }
+    if (!any) continue;
+    expand();
+    std::uint64_t* orow = out.row(a);
+    for (std::size_t w = 0; w < words; ++w) orow[w] |= expanded[w];
+    out.set(a, a, r.test(a, a));  // keep only R's own diagonal, if any
+  }
+  return out;
+}
+
+}  // namespace
+
+Relations Relations::compute_fast(const Trace& t) {
+  detail::count_relations_compute();
+  const std::size_t n = t.size();
+  Relations rel;
+  rel.index = BitRel(n);
+  rel.init = BitRel(n);
+  rel.po = BitRel(n);
+  rel.ww = BitRel(n);
+  rel.wr = BitRel(n);
+  rel.rw = BitRel(n);
+  rel.tx = BitRel(n);
+  if (n == 0) {
+    rel.lww = rel.lwr = rel.lrw = BitRel(n);
+    rel.xww = rel.xwr = rel.xrw = BitRel(n);
+    rel.cww = rel.cwr = rel.crw = BitRel(n);
+    return rel;
+  }
+  const std::size_t words = rel.index.row_words();
+
+  // Column masks by action category.
+  Mask noninit(words, 0), transactional(words, 0), nonaborted(words, 0);
+  std::vector<std::size_t> inits;
+  std::unordered_map<Thread, std::vector<std::size_t>> by_thread;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Action& a = t[i];
+    if (a.thread == kInitThread) {
+      inits.push_back(i);
+    } else {
+      mask_set(noninit, i);
+    }
+    if (t.transactional(i)) mask_set(transactional, i);
+    if (t.nonaborted(i)) mask_set(nonaborted, i);
+    by_thread[a.thread].push_back(i);
+  }
+
+  // index: everything later; init: every non-init action, either direction.
+  for (std::size_t i = 0; i + 1 < n; ++i) rel.index.set_range(i, i + 1, n);
+  for (std::size_t i : inits) row_or_mask(rel.init, i, noninit);
+
+  // po: later actions of the same thread — suffix masks per thread.
+  Mask suffix(words, 0);
+  for (auto& [thr, idxs] : by_thread) {
+    (void)thr;
+    std::fill(suffix.begin(), suffix.end(), 0);
+    for (auto it = idxs.rbegin(); it != idxs.rend(); ++it) {
+      row_or_mask(rel.po, *it, suffix);
+      mask_set(suffix, *it);
+    }
+  }
+
+  // tx~: each member's row is its transaction's member mask (which contains
+  // the member itself); plain actions relate only to themselves.
+  const TxnMasks tm = txn_masks(t, words);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int slot = tm.txslot[i];
+    if (slot >= 0) {
+      row_or_mask(rel.tx, i, tm.members[static_cast<std::size_t>(slot)]);
+    } else {
+      rel.tx.set(i, i);
+    }
+  }
+
+  // ww: per location, writes ordered by strictly increasing timestamp —
+  // walk the sorted list backwards keeping a "strictly later ts" mask
+  // (equal timestamps, which WF3 forbids but malformed traces may contain,
+  // are unrelated in either direction, exactly as in the reference).
+  // wr: fulfilling write(s) looked up by (timestamp, value) per location.
+  std::map<Loc, std::vector<std::pair<Rational, std::size_t>>> writes_by_loc;
+  for (std::size_t i = 0; i < n; ++i)
+    if (t[i].is_write()) writes_by_loc[t[i].loc].emplace_back(t[i].ts, i);
+  std::map<std::pair<Loc, std::pair<Rational, Value>>, std::vector<std::size_t>>
+      write_lookup;
+  Mask later(words, 0), pending(words, 0);
+  for (auto& [loc, ws] : writes_by_loc) {
+    std::stable_sort(ws.begin(), ws.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::fill(later.begin(), later.end(), 0);
+    std::fill(pending.begin(), pending.end(), 0);
+    for (std::size_t k = ws.size(); k-- > 0;) {
+      if (k + 1 < ws.size() && !(ws[k].first == ws[k + 1].first)) {
+        for (std::size_t w = 0; w < words; ++w) {
+          later[w] |= pending[w];
+          pending[w] = 0;
+        }
+      }
+      row_or_mask(rel.ww, ws[k].second, later);
+      mask_set(pending, ws[k].second);
+    }
+    for (const auto& [ts, i] : ws)
+      write_lookup[{loc, {ts, t[i].value}}].push_back(i);
+  }
+  // Fulfilling writes per read, kept for the rw build below.
+  std::vector<std::vector<std::size_t>> fulfills(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Action& b = t[j];
+    if (!b.is_read()) continue;
+    auto it = write_lookup.find({b.loc, {b.ts, b.value}});
+    if (it == write_lookup.end()) continue;
+    fulfills[j] = it->second;
+    for (std::size_t i : it->second) rel.wr.set(i, j);
+  }
+
+  // rw: b rw c iff some fulfilling write a of b has a ww c — the read's row
+  // is the union of its writers' ww rows, then targets restricted to plain
+  // or nonaborted (plain actions are nonaborted, so one mask suffices).
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i : fulfills[j]) rel.rw.or_row(j, rel.ww, i);
+    if (!fulfills[j].empty()) row_and_mask(rel.rw, j, nonaborted);
+  }
+
+  rel.lww = lift_fast(t, rel.ww, tm);
+  rel.lwr = lift_fast(t, rel.wr, tm);
+  rel.lrw = lift_fast(t, rel.rw, tm);
+
+  // x: both endpoints transactional — clear plain rows, mask plain columns.
+  // c: additionally both nonaborted.
+  auto restrict_rows = [&](const BitRel& src, const Mask& colmask,
+                           auto keep_row) {
+    BitRel out = src;
+    for (std::size_t a = 0; a < n; ++a) {
+      if (!keep_row(a)) {
+        row_clear(out, a);
+      } else {
+        row_and_mask(out, a, colmask);
+      }
+    }
+    return out;
+  };
+  rel.xww = restrict_rows(rel.lww, transactional,
+                          [&](std::size_t a) { return t.transactional(a); });
+  rel.xwr = restrict_rows(rel.lwr, transactional,
+                          [&](std::size_t a) { return t.transactional(a); });
+  rel.xrw = restrict_rows(rel.lrw, transactional,
+                          [&](std::size_t a) { return t.transactional(a); });
+  rel.cww = restrict_rows(rel.xww, nonaborted,
+                          [&](std::size_t a) { return t.nonaborted(a); });
+  rel.cwr = restrict_rows(rel.xwr, nonaborted,
+                          [&](std::size_t a) { return t.nonaborted(a); });
+  rel.crw = restrict_rows(rel.xrw, nonaborted,
+                          [&](std::size_t a) { return t.nonaborted(a); });
   return rel;
 }
 

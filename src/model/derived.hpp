@@ -28,7 +28,17 @@ struct Relations {
   BitRel xww, xwr, xrw;  // lifted, restricted to transactional
   BitRel cww, cwr, crw;  // lifted, restricted to committed-or-live txns
 
+  // Reference builder: the O(n^2) pairwise loops straight off the paper's
+  // definitions plus generic compose/filter steps.  Obviously correct;
+  // quadratic-with-large-constant.  Litmus-scale entry points use it.
   static Relations compute(const Trace& t);
+
+  // Word-parallel builder: same relations, built from per-thread /
+  // per-location / per-transaction bit masks with O(n^2/64) row operations
+  // instead of per-pair tests, and a block-structured lift instead of two
+  // n^3/64 compositions.  Exact-equivalent to compute() on every trace
+  // (pinned by tests); the streaming checker's per-window contexts use it.
+  static Relations compute_fast(const Trace& t);
 };
 
 // Lift base relation R over the tx~ equivalence of `t` (the "l" prefix).

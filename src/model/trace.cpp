@@ -108,9 +108,32 @@ std::vector<std::size_t> Trace::begins() const {
   return out;
 }
 
+TxnLocCover::TxnLocCover(const Trace& t)
+    : words_((static_cast<std::size_t>(t.num_locs()) + 63) / 64),
+      bits_(t.size() * words_, 0),
+      any_(t.size(), false) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const int b = t.txn_of(i);
+    if (b < 0) continue;
+    const Action& a = t[i];
+    if (!a.is_memory_access()) continue;
+    const std::size_t bb = static_cast<std::size_t>(b);
+    any_[bb] = true;
+    if (a.loc < 0) continue;
+    const std::size_t lx = static_cast<std::size_t>(a.loc);
+    if (lx < 64 * words_) bits_[bb * words_ + lx / 64] |= 1ull << (lx % 64);
+  }
+}
+
 bool Trace::txn_touches(std::size_t begin_idx, Loc x) const {
   for (std::size_t i : txn_members(begin_idx))
     if (actions_[i].accesses(x)) return true;
+  return false;
+}
+
+bool Trace::txn_accesses_any(std::size_t begin_idx) const {
+  for (std::size_t i : txn_members(begin_idx))
+    if (actions_[i].is_memory_access()) return true;
   return false;
 }
 

@@ -12,6 +12,7 @@
 // linear time and the relation builders never pay a per-query trace scan.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -94,6 +95,11 @@ class Trace {
   // Does the transaction begun at begin_idx read or write x?
   bool txn_touches(std::size_t begin_idx, Loc x) const;
 
+  // Does it read or write any location at all?  (What a summary fence <Q*>
+  // asks: with every location covered, "touches a covered location" reduces
+  // to "touches anything".)
+  bool txn_accesses_any(std::size_t begin_idx) const;
+
   // Index of the resolution action of the txn begun at begin_idx, or -1.
   // O(1).
   int resolution_of(std::size_t begin_idx) const { return resolution_[begin_idx]; }
@@ -141,6 +147,32 @@ class Trace {
   // Resolutions whose peer name has not been appended yet (malformed traces
   // may name a begin that only appears later); resolved on arrival.
   std::unordered_map<int, std::vector<std::size_t>> pending_peer_;
+};
+
+// One-pass snapshot of every transaction's location footprint, answering
+// "does the txn begun at b touch x?" in O(1).  The fence machinery (WF12,
+// the HBCQ/HBQB happens-before seed) asks that once per fence x txn pair;
+// going through txn_touches costs a whole-trace scan per query, which turns
+// scoped-fence-heavy recorded traces — one <Qx> per covered location per
+// privatize-scan — cubic in the trace length.
+class TxnLocCover {
+ public:
+  explicit TxnLocCover(const Trace& t);
+
+  // Does the transaction begun at begin_idx read or write x?  Pass kAllLocs
+  // for the summary-fence question ("touches anything at all").
+  bool touches(std::size_t begin_idx, Loc x) const {
+    if (x == kAllLocs) return any_[begin_idx];
+    const std::size_t lx = static_cast<std::size_t>(x);
+    if (lx >= 64 * words_) return false;
+    return (bits_[begin_idx * words_ + lx / 64] >> (lx % 64)) & 1u;
+  }
+  bool accesses_any(std::size_t begin_idx) const { return any_[begin_idx]; }
+
+ private:
+  std::size_t words_;               // loc-bitset words per row
+  std::vector<std::uint64_t> bits_;  // row per action index; begin rows used
+  std::vector<bool> any_;
 };
 
 }  // namespace mtx::model

@@ -196,12 +196,20 @@ void check_wf11(const Trace& t, const Relations& rel, WfReport& out) {
 void check_wf12(const Trace& t, WfReport& out) {
   // A quiescence fence <Qx> may not be interleaved with a transaction that
   // touches x: if <b:B> index-> <Qx> then <Cb> index-> <Qx>, <Ab> index-> <Qx>,
-  // or b neither reads nor writes x.
-  for (std::size_t q = 0; q < t.size(); ++q) {
-    if (!t[q].is_qfence()) continue;
+  // or b neither reads nor writes x.  A summary fence <Q*> covers every
+  // location, so any access at all counts as touching.
+  // Recorded scoped fences expand to one <Qx> per covered location, so this
+  // check runs per fence x transaction pair; the one-pass TxnLocCover keeps
+  // each touch query O(1) instead of a whole-trace scan.
+  std::vector<std::size_t> fences;
+  for (std::size_t q = 0; q < t.size(); ++q)
+    if (t[q].is_qfence()) fences.push_back(q);
+  if (fences.empty()) return;
+  const TxnLocCover cover(t);
+  for (std::size_t q : fences) {
     for (std::size_t b = 0; b < q; ++b) {
       if (!t[b].is_begin()) continue;
-      if (!t.txn_touches(b, t[q].loc)) continue;
+      if (!cover.touches(b, t[q].loc)) continue;
       const int r = t.resolution_of(b);
       if (r < 0 || static_cast<std::size_t>(r) > q)
         out.violations.push_back(

@@ -7,13 +7,6 @@
 
 namespace mtx::record {
 
-namespace {
-
-struct Merged {
-  Event ev;
-  int thread;
-};
-
 // Sink each fence past the resolutions of all transactions open at its
 // position (see header).  Fences are pulled out first and their insertion
 // points computed against the *fence-free* event list, whose indices are
@@ -21,10 +14,10 @@ struct Merged {
 // list length, so the fixpoint terminates, and fences cannot perturb each
 // other's spans (two concurrent fences inside one transaction both sink
 // just past its resolution, keeping their relative order).
-void sink_fences(std::vector<Merged>& evs) {
-  std::vector<Merged> fences, rest;
+void sink_fences(std::vector<MergedEvent>& evs) {
+  std::vector<MergedEvent> fences, rest;
   std::vector<std::size_t> targets;  // insertion index of each fence in `rest`
-  for (const Merged& m : evs) {
+  for (const MergedEvent& m : evs) {
     if (m.ev.kind == Ev::Fence) {
       fences.push_back(m);
       targets.push_back(rest.size());
@@ -76,7 +69,7 @@ void sink_fences(std::vector<Merged>& evs) {
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     return targets[a] != targets[b] ? targets[a] < targets[b] : a < b;
   });
-  std::vector<Merged> out;
+  std::vector<MergedEvent> out;
   out.reserve(evs.size());
   std::size_t f = 0;
   for (std::size_t i = 0; i <= rest.size(); ++i) {
@@ -87,21 +80,80 @@ void sink_fences(std::vector<Merged>& evs) {
   evs = std::move(out);
 }
 
-}  // namespace
+void append_events(model::Trace& t, const std::vector<MergedEvent>& evs,
+                   const RecordSession& s, RecordedTrace::Meta* meta) {
+  RecordedTrace::Meta scratch;
+  RecordedTrace::Meta& m_ = meta ? *meta : scratch;
+  std::map<int, int> open_begin;  // thread -> begin action name
+  for (const MergedEvent& m : evs) {
+    const Event& e = m.ev;
+    switch (e.kind) {
+      case Ev::Begin: {
+        const int idx = t.append(model::make_begin(m.thread));
+        open_begin[m.thread] = t[static_cast<std::size_t>(idx)].name;
+        ++m_.txns;
+        break;
+      }
+      case Ev::Commit:
+      case Ev::Abort: {
+        auto it = open_begin.find(m.thread);
+        if (it == open_begin.end()) break;  // unmatched marker: drop
+        if (e.kind == Ev::Commit) {
+          t.append(model::make_commit(m.thread, it->second));
+          ++m_.committed;
+        } else {
+          t.append(model::make_abort(m.thread, it->second));
+          ++m_.aborted;
+        }
+        open_begin.erase(it);
+        break;
+      }
+      case Ev::Read:
+      case Ev::PlainRead:
+        t.append(model::make_read(
+            m.thread, e.loc, static_cast<model::Value>(e.value),
+            Rational(static_cast<std::int64_t>(e.version))));
+        ++(e.kind == Ev::Read ? m_.reads : m_.plain_reads);
+        break;
+      case Ev::Write:
+      case Ev::PlainWrite:
+        t.append(model::make_write(
+            m.thread, e.loc, static_cast<model::Value>(e.value),
+            Rational(static_cast<std::int64_t>(e.version))));
+        ++(e.kind == Ev::Write ? m_.writes : m_.plain_writes);
+        break;
+      case Ev::Fence:
+        if (e.cover >= 0) {
+          // Domain-scoped fence: the runtime only waited for transactions
+          // that can touch the recorded cover set, so the model gets one
+          // <Qx> per covered location and nothing more.
+          for (std::int32_t x : s.fence_cover(e.cover))
+            t.append(model::make_qfence(m.thread, x));
+        } else {
+          // Whole-store fence (conservative §5 variant): one summary <Q*>
+          // standing for a <Qx> on every location of the trace.
+          t.append(model::make_qfence_all(m.thread));
+        }
+        ++m_.fences;
+        break;
+    }
+  }
+}
 
 RecordedTrace assemble(const RecordSession& s) {
   RecordedTrace out;
   auto& meta = out.meta;
 
-  std::vector<Merged> evs;
+  std::vector<MergedEvent> evs;
   std::set<int> threads;
   for (const auto& rec : s.recorders()) {
     threads.insert(rec->thread_id());
     meta.buffered_reads += rec->buffered_reads();
     for (const Event& e : rec->events()) evs.push_back({e, rec->thread_id()});
   }
-  std::sort(evs.begin(), evs.end(),
-            [](const Merged& a, const Merged& b) { return a.ev.seq < b.ev.seq; });
+  std::sort(evs.begin(), evs.end(), [](const MergedEvent& a, const MergedEvent& b) {
+    return a.ev.seq < b.ev.seq;
+  });
 
   sink_fences(evs);
 
@@ -111,60 +163,7 @@ RecordedTrace assemble(const RecordSession& s) {
   meta.plain_order = stm::plain_order_name(stm::plain_order());
 
   out.trace = model::Trace::with_init(meta.num_locs);
-  std::map<int, int> open_begin;  // thread -> begin action name
-  for (const Merged& m : evs) {
-    const Event& e = m.ev;
-    switch (e.kind) {
-      case Ev::Begin: {
-        const int idx = out.trace.append(model::make_begin(m.thread));
-        open_begin[m.thread] = out.trace[static_cast<std::size_t>(idx)].name;
-        ++meta.txns;
-        break;
-      }
-      case Ev::Commit:
-      case Ev::Abort: {
-        auto it = open_begin.find(m.thread);
-        if (it == open_begin.end()) break;  // unmatched marker: drop
-        if (e.kind == Ev::Commit) {
-          out.trace.append(model::make_commit(m.thread, it->second));
-          ++meta.committed;
-        } else {
-          out.trace.append(model::make_abort(m.thread, it->second));
-          ++meta.aborted;
-        }
-        open_begin.erase(it);
-        break;
-      }
-      case Ev::Read:
-      case Ev::PlainRead:
-        out.trace.append(model::make_read(
-            m.thread, e.loc, static_cast<model::Value>(e.value),
-            Rational(static_cast<std::int64_t>(e.version))));
-        ++(e.kind == Ev::Read ? meta.reads : meta.plain_reads);
-        break;
-      case Ev::Write:
-      case Ev::PlainWrite:
-        out.trace.append(model::make_write(
-            m.thread, e.loc, static_cast<model::Value>(e.value),
-            Rational(static_cast<std::int64_t>(e.version))));
-        ++(e.kind == Ev::Write ? meta.writes : meta.plain_writes);
-        break;
-      case Ev::Fence:
-        if (e.cover >= 0) {
-          // Domain-scoped fence: the runtime only waited for transactions
-          // that can touch the recorded cover set, so the model gets one
-          // <Qx> per covered location and nothing more.
-          for (std::int32_t x : s.fence_cover(e.cover))
-            out.trace.append(model::make_qfence(m.thread, x));
-        } else {
-          // Whole-store fence (conservative §5 variant): one <Qx> each.
-          for (int x = 0; x < meta.num_locs; ++x)
-            out.trace.append(model::make_qfence(m.thread, x));
-        }
-        ++meta.fences;
-        break;
-    }
-  }
+  append_events(out.trace, evs, s, &meta);
   return out;
 }
 
@@ -197,6 +196,8 @@ std::vector<FenceGroup> find_fence_groups(const Trace& t) {
     g.covered.assign(static_cast<std::size_t>(nlocs), false);
     while (g.end < t.size() && t[g.end].is_qfence() && t[g.end].thread == g.thread) {
       if (t[g.end].loc >= 0) g.covered[static_cast<std::size_t>(t[g.end].loc)] = true;
+      if (t[g.end].loc == model::kAllLocs)
+        g.covered.assign(static_cast<std::size_t>(nlocs), true);
       ++g.end;
     }
     --g.end;
@@ -398,9 +399,19 @@ WindowPlan cut_windows(const Trace& t, std::size_t min_window_events) {
         if (t[i].is_write() && !t.aborted(i))
           carry[static_cast<std::size_t>(t[i].loc)] = {t[i].ts, t[i].value};
       }
+      // Sparse carry: only locations this window actually accesses need
+      // their pre-cut state re-established.  An unaccessed location's carry
+      // write would fulfil no read, join no race pair (races are
+      // same-location), and add only an init->carry coherence edge — inert
+      // for every verdict — while inflating each window by O(|store|).
+      std::vector<bool> accessed(static_cast<std::size_t>(nlocs), false);
+      for (std::size_t i = win.first; i <= win.last && i < n; ++i)
+        if (t[i].is_memory_access() && t[i].loc >= 0)
+          accessed[static_cast<std::size_t>(t[i].loc)] = true;
       std::vector<Loc> carried;
       for (Loc x = 0; x < nlocs; ++x)
-        if (carry[static_cast<std::size_t>(x)].first > Rational(0))
+        if (accessed[static_cast<std::size_t>(x)] &&
+            carry[static_cast<std::size_t>(x)].first > Rational(0))
           carried.push_back(x);
       if (!carried.empty()) {
         const int b = win.trace.append(model::make_begin(carry_thread));

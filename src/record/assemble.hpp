@@ -15,9 +15,9 @@
 // any post-fence access of the fencing thread), and then expands it to one
 // <Qx> per *covered* location: a domain-scoped fence (Event::cover >= 0)
 // yields QFences for exactly the cells its QuiesceDomain enumerated, an
-// unscoped fence one per location in the store.  Scoped expansion is what
-// keeps scan-heavy recorded traces from paying one QFence per location in
-// the whole store per fence.
+// unscoped fence a single *summary* fence <Q*> (model::kAllLocs) standing
+// for the whole family.  Both keep recorded traces from paying one QFence
+// per location in the whole store per fence.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +53,27 @@ struct RecordedTrace {
 // joined and every ScopedRecorder destroyed.
 RecordedTrace assemble(const RecordSession& s);
 
+// ----- assembly building blocks (shared with the streaming cutter) -------
+
+// One recorded event tagged with its thread; the unit both assemble() and
+// the streaming segment assembler merge and convert.
+struct MergedEvent {
+  Event ev;
+  int thread = 0;
+};
+
+// Sink each fence past the resolutions of all transactions open at its
+// position (the WF12 adjustment described above).  `evs` must be in seq
+// order; it is rewritten in place.
+void sink_fences(std::vector<MergedEvent>& evs);
+
+// Append `evs` (seq-sorted, fences already sunk) to `t`, converting each
+// event to its model action: versions become write timestamps, fence covers
+// expand through `s`'s cover table (unscoped fences become one summary
+// <Q*>).  Tallies into `meta` when non-null.
+void append_events(model::Trace& t, const std::vector<MergedEvent>& evs,
+                   const RecordSession& s, RecordedTrace::Meta* meta);
+
 // ----- fence-bounded windowing (§5: races are bounded in space and time) --
 //
 // A quiescence fence group (one runtime fence, expanded to a <Qx> per
@@ -82,11 +103,13 @@ RecordedTrace assemble(const RecordSession& s);
 // whose surrounding traffic stays confined to that shard.
 //
 // Each window trace is rebuilt as: fresh init transaction, a synthetic
-// committed *carry* transaction writing each location's last visible
-// (value, timestamp) at the cut (so reads-from and coherence reconstruct
-// exactly), the opening fence group (shared with the previous window --
-// the "overlap" -- so HBCQ/HBQB edges anchor the carry state), then the
-// slice up to and including the closing group.
+// committed *carry* transaction writing the last visible (value, timestamp)
+// at the cut for each location the window actually accesses (sparse: an
+// unaccessed location's carry write fulfils no read and joins no race, so
+// it is omitted rather than paying O(|store|) per window), the opening
+// fence group (shared with the previous window -- the "overlap" -- so
+// HBCQ/HBQB edges anchor the carry state), then the slice up to and
+// including the closing group.
 struct TraceWindow {
   model::Trace trace;
   std::size_t first = 0;    // source-trace slice [first, last], inclusive

@@ -23,9 +23,8 @@ void count_transactions(const model::Trace& t, ConformanceReport& out) {
 
 // The judgment passes, sharing one analysis context (relations and hb are
 // each computed exactly once per checked trace).
-void judge(const model::Trace& t, const model::ModelConfig& cfg,
-           ConformanceReport& out) {
-  model::AnalysisContext ctx(t, cfg);
+void judge(model::AnalysisContext& ctx, ConformanceReport& out) {
+  const model::Trace& t = ctx.trace();
   out.wf = ctx.wf_report();
   out.consistent = ctx.wellformed() && model::axioms_hold(ctx);
   const std::vector<model::Race> races =
@@ -44,10 +43,15 @@ void judge(const model::Trace& t, const model::ModelConfig& cfg,
 
 ConformanceReport check_conformance(const model::Trace& t,
                                     const model::ModelConfig& cfg) {
+  model::AnalysisContext ctx(t, cfg);
+  return check_conformance(ctx);
+}
+
+ConformanceReport check_conformance(model::AnalysisContext& ctx) {
   ConformanceReport out;
-  out.config = cfg.name;
-  count_transactions(t, out);
-  judge(t, cfg, out);
+  out.config = ctx.config().name;
+  count_transactions(ctx.trace(), out);
+  judge(ctx, out);
   return out;
 }
 
@@ -74,17 +78,22 @@ ConformanceReport check_conformance_windowed(const model::Trace& t,
   out.windows = plan.windows.size();
   out.window_cuts = plan.cuts;
 
-  auto check_one = [&](std::size_t i) {
-    return check_conformance(plan.windows[i].trace, cfg);
-  };
+  // Windows go through chained analysis (the word-parallel builders and the
+  // forward closure): one chain serially, or one single-window chain per
+  // task in parallel mode (the chain object is not thread-safe).
   std::vector<ConformanceReport> subs;
   if (opts.threads == 1) {
+    model::ChainedAnalysis chain(cfg);
     subs.reserve(plan.windows.size());
-    for (std::size_t i = 0; i < plan.windows.size(); ++i)
-      subs.push_back(check_one(i));
+    for (const TraceWindow& w : plan.windows)
+      subs.push_back(check_conformance(chain.advance(w.trace)));
   } else {
     ThreadPool pool(opts.threads);
-    subs = parallel_map<ConformanceReport>(pool, plan.windows.size(), check_one);
+    subs = parallel_map<ConformanceReport>(
+        pool, plan.windows.size(), [&](std::size_t i) {
+          model::ChainedAnalysis chain(cfg);
+          return check_conformance(chain.advance(plan.windows[i].trace));
+        });
   }
 
   out.opaque = true;

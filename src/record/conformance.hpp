@@ -19,6 +19,7 @@
 
 #include <string>
 
+#include "model/analysis.hpp"
 #include "model/consistency.hpp"
 #include "model/model_config.hpp"
 #include "model/trace.hpp"
@@ -57,6 +58,13 @@ struct ConformanceReport {
 ConformanceReport check_conformance(
     const model::Trace& t,
     const model::ModelConfig& cfg = model::ModelConfig::implementation());
+
+// Judges through an existing analysis context instead of building a fresh
+// one — the entry point for chained window analysis (model::ChainedAnalysis
+// hands out one context per window; the streaming checker and the windowed
+// checker below both route through it).  Verdict-identical to
+// check_conformance(ctx.trace(), ctx.config()).
+ConformanceReport check_conformance(model::AnalysisContext& ctx);
 
 struct WindowedOptions {
   // Skip a valid cut while its window would hold fewer source events.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "record/ring.hpp"
 #include "stm/quiesce.hpp"
 
 namespace mtx::record {
@@ -56,11 +57,40 @@ RecordSession::LocShadow& RecordSession::shadow_of(const stm::Cell& c) {
 
 // ----- ThreadRecorder --------------------------------------------------
 
+void ThreadRecorder::emit(const Event& e) {
+  if (!ring_) {
+    log_.push_back(e);
+    return;
+  }
+  // Streaming: stage the event one deep so retract_read can still take the
+  // last read back before the consumer sees it; push the previous stage.
+  if (pending_valid_) ring_->push(pending_);
+  pending_ = e;
+  pending_valid_ = true;
+}
+
+void ThreadRecorder::stream_to(EventRing* ring) {
+  flush();
+  ring_ = ring;
+}
+
+void ThreadRecorder::flush() {
+  if (ring_ && pending_valid_) {
+    ring_->push(pending_);
+    pending_valid_ = false;
+  }
+}
+
+void ThreadRecorder::mark_epoch(std::uint64_t epoch) {
+  flush();
+  if (ring_) ring_->push_mark(epoch);
+}
+
 void ThreadRecorder::push_marker(Ev kind) {
   Event e;
   e.seq = session_.next_seq();
   e.kind = kind;
-  log_.push_back(e);
+  emit(e);
 }
 
 void ThreadRecorder::on_begin() { push_marker(Ev::Begin); }
@@ -85,7 +115,7 @@ void ThreadRecorder::on_fence_scoped(const stm::QuiesceDomain& d) {
   e.seq = session_.next_seq();
   e.kind = Ev::Fence;
   e.cover = session_.add_fence_cover(std::move(cover));
-  log_.push_back(e);
+  emit(e);
 }
 
 stm::word_t ThreadRecorder::tx_read(const stm::Cell& c) {
@@ -94,11 +124,17 @@ stm::word_t ThreadRecorder::tx_read(const stm::Cell& c) {
   const stm::word_t v = c.raw().load(std::memory_order_acquire);
   const Event e{session_.next_seq(), Ev::Read, sh.loc, v, sh.version};
   RecordSession::unlock(sh);
-  log_.push_back(e);
+  emit(e);
   return v;
 }
 
 void ThreadRecorder::retract_read() {
+  if (ring_) {
+    assert(pending_valid_ && (pending_.kind == Ev::Read ||
+                              pending_.kind == Ev::PlainRead));
+    pending_valid_ = false;
+    return;
+  }
   assert(!log_.empty() &&
          (log_.back().kind == Ev::Read || log_.back().kind == Ev::PlainRead));
   log_.pop_back();
@@ -112,7 +148,7 @@ void ThreadRecorder::tx_publish(stm::Cell& c, stm::word_t v) {
   c.raw().store(v, std::memory_order_release);
   const Event e{session_.next_seq(), Ev::Write, sh.loc, v, ver};
   RecordSession::unlock(sh);
-  log_.push_back(e);
+  emit(e);
 }
 
 std::uint64_t ThreadRecorder::loc_version(const stm::Cell& c) {
@@ -138,7 +174,7 @@ stm::word_t ThreadRecorder::plain_load(const stm::Cell& c) {
   const stm::word_t v = c.raw().load(stm::plain_load_order());
   const Event e{session_.next_seq(), Ev::PlainRead, sh.loc, v, sh.version};
   RecordSession::unlock(sh);
-  log_.push_back(e);
+  emit(e);
   return v;
 }
 
@@ -150,7 +186,7 @@ void ThreadRecorder::plain_store(stm::Cell& c, stm::word_t v) {
   c.raw().store(v, stm::plain_store_order());
   const Event e{session_.next_seq(), Ev::PlainWrite, sh.loc, v, ver};
   RecordSession::unlock(sh);
-  log_.push_back(e);
+  emit(e);
 }
 
 }  // namespace mtx::record

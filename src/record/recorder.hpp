@@ -62,10 +62,20 @@ struct Event {
 };
 
 class RecordSession;
+class EventRing;
 
 // Per-thread event log implementing the stm::TxObserver hooks.  Created and
 // owned by the session (so logs survive thread exit until assembly); the
 // installing thread is the only writer.
+//
+// Two capture modes share the hook implementations: post-hoc (default;
+// events append to the owned vector, read at assembly) and streaming
+// (stream_to(ring) set; events flow through a one-slot pending stage into a
+// lock-free EventRing the window cutter drains concurrently).  The pending
+// stage exists for retract_read: a backend that discovers a redo-log hit
+// retracts the just-recorded read, which must therefore not yet be visible
+// to the consumer.  flush() pushes the stage down; mark_epoch() flushes and
+// publishes the round boundary the cutter seals segments at.
 class ThreadRecorder final : public stm::TxObserver {
  public:
   ThreadRecorder(RecordSession& s, int thread_id)
@@ -96,13 +106,25 @@ class ThreadRecorder final : public stm::TxObserver {
   const std::vector<Event>& events() const { return log_; }
   std::uint64_t buffered_reads() const { return buffered_reads_; }
 
+  // Streaming capture: route events into `ring` (nullptr restores post-hoc
+  // capture).  Call from the recording thread only, outside a transaction.
+  void stream_to(EventRing* ring);
+  // Push the pending event down to the ring (no-op in post-hoc mode).
+  void flush();
+  // Flush, then publish the end-of-epoch mark the cutter seals segments at.
+  void mark_epoch(std::uint64_t epoch);
+
  private:
   void push_marker(Ev kind);
+  void emit(const Event& e);
 
   RecordSession& session_;
   int thread_;
   std::vector<Event> log_;
   std::uint64_t buffered_reads_ = 0;
+  EventRing* ring_ = nullptr;
+  Event pending_{};
+  bool pending_valid_ = false;
 };
 
 // One recorded execution.  Create, attach recorders, run the workload, join

@@ -1,0 +1,124 @@
+// Lock-free per-thread event capture for the streaming conformance
+// pipeline: a fixed-slot single-producer / single-consumer ring of recorded
+// Events.
+//
+// The post-hoc recorder appends to a per-thread std::vector and the trace
+// is assembled after the run; nothing can observe an execution while it
+// runs.  Streaming mode replaces that vector with one EventRing per
+// recording thread: the producer is the recording thread (push from the
+// TxObserver hooks), the consumer is the window cutter draining
+// concurrently with traffic.  Slots are fixed at construction — no
+// allocation, no locks, no resizing on the hot path.
+//
+// Overflow accounting is explicit and loud: a push into a full ring DROPS
+// the event and counts it (dropped() / overflowed()).  A dropped event
+// would leave a dangling reads-from in the assembled windows, so the
+// streaming checker treats any overflow as a failed run (StreamReport::ok()
+// is false) rather than silently judging a hole-ridden trace.  Size the
+// ring for the round, or fail visibly — never lose events quietly.
+//
+// Epoch marks: the workload's round barrier is the segment boundary.  At
+// the barrier each producer pushes an in-band mark carrying its epoch
+// number; the consumer knows segment e is complete once every ring has
+// yielded mark(e) (per-ring FIFO order is the thread's program order, and
+// the global seq tickets order events across rings).  Marks must not be
+// dropped — the producer spins for a slot (the consumer is draining and
+// the producer is at a barrier, so the wait is bounded) — and therefore
+// sealing survives data overflow: the segment is still cut, judged, and
+// flagged.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "record/recorder.hpp"
+
+namespace mtx::record {
+
+// One slot in the ring: a recorded event, or an epoch mark.
+struct RingItem {
+  Event ev;
+  std::uint64_t epoch = 0;  // valid when is_mark
+  bool is_mark = false;
+};
+
+class EventRing {
+ public:
+  // Capacity is rounded up to a power of two (slot arithmetic stays a mask).
+  explicit EventRing(std::size_t capacity = 1u << 14) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  // Producer: append an event.  Returns false — and counts the drop —
+  // when the ring is full.  Never blocks, never overwrites.
+  bool push(const Event& e) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) >= slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[t & mask_] = RingItem{e, 0, false};
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Producer: append the end-of-epoch mark, waiting for a slot if the ring
+  // is momentarily full (marks are the sealing protocol and cannot be
+  // dropped; the producer is at a round barrier, the consumer is draining,
+  // so the wait is bounded by one drain pass).
+  void push_mark(std::uint64_t epoch) {
+    for (;;) {
+      const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+      if (t - head_.load(std::memory_order_acquire) < slots_.size()) {
+        slots_[t & mask_] = RingItem{Event{}, epoch, true};
+        tail_.store(t + 1, std::memory_order_release);
+        return;
+      }
+    }
+  }
+
+  // Consumer: pop at most `max` items into `out` (appended).  Returns the
+  // number taken.
+  std::size_t drain(std::vector<RingItem>& out,
+                    std::size_t max = static_cast<std::size_t>(-1)) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    std::size_t n = static_cast<std::size_t>(t - h);
+    if (n > max) n = max;
+    for (std::size_t i = 0; i < n; ++i) out.push_back(slots_[(h + i) & mask_]);
+    head_.store(h + n, std::memory_order_release);
+    return n;
+  }
+
+  // Approximate backlog (racy by nature; exact when producer is quiescent).
+  std::size_t size() const {
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(t - h);
+  }
+
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_acquire);
+  }
+  bool overflowed() const { return dropped() > 0; }
+
+ private:
+  std::vector<RingItem> slots_;
+  std::size_t mask_ = 0;
+  // Producer and consumer indices on separate cache lines; both are
+  // monotone uint64 counters (position = counter & mask), so fullness is
+  // tail - head regardless of wraparound.
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer
+  alignas(64) std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace mtx::record

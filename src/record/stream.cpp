@@ -1,0 +1,371 @@
+#include "record/stream.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "model/analysis.hpp"
+#include "record/assemble.hpp"
+#include "substrate/threading.hpp"
+
+namespace mtx::record {
+
+namespace {
+
+bool is_access(Ev k) {
+  return k == Ev::Read || k == Ev::Write || k == Ev::PlainRead ||
+         k == Ev::PlainWrite;
+}
+
+void merge_into(ConformanceReport& out, const ConformanceReport& sub,
+                const std::string& prefix) {
+  for (const model::WfViolation& v : sub.wf.violations)
+    out.wf.violations.push_back({v.rule, prefix + v.msg});
+  out.l_races += sub.l_races;
+  out.tx_races += sub.tx_races;
+  out.mixed_race = out.mixed_race || sub.mixed_race;
+  out.opaque = out.opaque && sub.opaque;
+  out.opaque_committed = out.opaque_committed && sub.opaque_committed;
+  out.consistent = out.consistent && sub.consistent;
+}
+
+}  // namespace
+
+struct StreamConformance::Impl {
+  RecordSession& session;
+  std::vector<int> threads;  // slot -> model thread id
+  StreamOptions opts;
+  std::vector<EventRing*> rings;
+
+  ThreadPool pool;
+  std::atomic<bool> done{false};
+
+  // Cutter-private (single consumer thread; read by finish() after join).
+  std::vector<std::vector<MergedEvent>> cur;  // slot's in-progress epoch
+  std::vector<std::deque<std::vector<MergedEvent>>> marked;  // completed epochs
+  struct LocState {
+    std::uint64_t version = 0;
+    stm::word_t value = 0;
+  };
+  std::vector<LocState> state;  // by location id: visible at last boundary
+  std::unordered_map<int, std::vector<Event>> open_writes;  // thread -> buffer
+  std::vector<MergedEvent> all_events;  // compare_posthoc keeps everything
+  std::vector<std::size_t> burst_ends;  // all_events offset after each segment
+  std::size_t segments = 0;
+  std::size_t checked_events = 0;
+  std::size_t max_backlog = 0;
+
+  // Shared with checker tasks.
+  std::mutex mu;
+  StreamReport rep;
+
+  bool finished = false;
+  StreamReport final_rep;
+
+  std::thread cutter;  // last member: started after everything else exists
+
+  Impl(RecordSession& s, std::vector<int> th, StreamOptions o,
+       std::vector<EventRing*> r)
+      : session(s),
+        threads(std::move(th)),
+        opts(std::move(o)),
+        rings(std::move(r)),
+        pool(std::max<std::size_t>(1, opts.checkers)),
+        cur(rings.size()),
+        marked(rings.size()) {
+    rep.merged.config = opts.cfg.name;
+    rep.merged.opaque = true;
+    rep.merged.opaque_committed = true;
+    rep.merged.consistent = true;
+    cutter = std::thread([this] { run(); });
+  }
+
+  void apply_write(const Event& e) {
+    if (e.loc < 0) return;
+    const auto x = static_cast<std::size_t>(e.loc);
+    if (state.size() <= x) state.resize(x + 1);
+    // Version allocation order is memory store order (the recorder bumps the
+    // per-location counter under the location's spinlock together with the
+    // store), so the highest nonaborted version is the value memory holds.
+    if (e.version >= state[x].version) state[x] = {e.version, e.value};
+  }
+
+  // Replay the segment through the visible-state rule: plain writes apply
+  // immediately, transactional writes buffer until their resolution (commit
+  // applies, abort drops — the runtime rolled those stores back).
+  void advance_state(const std::vector<MergedEvent>& evs) {
+    for (const MergedEvent& m : evs) {
+      switch (m.ev.kind) {
+        case Ev::Begin:
+        case Ev::Abort:
+          open_writes[m.thread].clear();
+          break;
+        case Ev::Write:
+          open_writes[m.thread].push_back(m.ev);
+          break;
+        case Ev::Commit:
+          for (const Event& w : open_writes[m.thread]) apply_write(w);
+          open_writes[m.thread].clear();
+          break;
+        case Ev::PlainWrite:
+          apply_write(m.ev);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Seal one segment: merge, synthesize the sparse carry from tracked state,
+  // convert to a model trace, and ship the check to the pool.
+  void seal(std::vector<MergedEvent> evs) {
+    const std::size_t seg = segments++;
+    if (evs.empty()) return;
+    std::sort(evs.begin(), evs.end(), [](const MergedEvent& a, const MergedEvent& b) {
+      return a.ev.seq < b.ev.seq;
+    });
+    if (opts.compare_posthoc) {
+      all_events.insert(all_events.end(), evs.begin(), evs.end());
+      burst_ends.push_back(all_events.size());
+    }
+    checked_events += evs.size();
+
+    const int nlocs = session.num_locs();
+    std::vector<char> accessed(static_cast<std::size_t>(nlocs), 0);
+    int max_thread = 0;
+    for (const MergedEvent& m : evs) {
+      max_thread = std::max(max_thread, m.thread);
+      if (is_access(m.ev.kind) && m.ev.loc >= 0 && m.ev.loc < nlocs)
+        accessed[static_cast<std::size_t>(m.ev.loc)] = 1;
+    }
+
+    model::Trace t = model::Trace::with_init(nlocs);
+    if (opts.synthesize_carry) {
+      // Sparse carry: only locations this segment touches and that carry
+      // pre-segment state (version > 0; version-0 locations are still on the
+      // init write).  Same rule as the window carry in cut_windows.
+      std::vector<std::size_t> carried;
+      for (std::size_t x = 0; x < accessed.size(); ++x)
+        if (accessed[x] && x < state.size() && state[x].version > 0)
+          carried.push_back(x);
+      if (!carried.empty()) {
+        const int ct = max_thread + 1;
+        const int b = t.append(model::make_begin(ct));
+        const int bname = t[static_cast<std::size_t>(b)].name;
+        for (std::size_t x : carried)
+          t.append(model::make_write(
+              ct, static_cast<model::Loc>(x),
+              static_cast<model::Value>(state[x].value),
+              Rational(static_cast<std::int64_t>(state[x].version))));
+        t.append(model::make_commit(ct, bname));
+      }
+      advance_state(evs);
+    }
+
+    sink_fences(evs);
+    append_events(t, evs, session, nullptr);
+
+    pool.submit([this, seg, tr = std::move(t)] { check(seg, tr); });
+  }
+
+  // Checker task: fence-bounded windows through one chained analysis (the
+  // incremental context carries relation/hb machinery window to window),
+  // then merge the segment verdict into the stream report.
+  void check(std::size_t seg, const model::Trace& t) {
+    ConformanceReport segrep;
+    segrep.config = opts.cfg.name;
+    segrep.opaque = true;
+    segrep.opaque_committed = true;
+    segrep.consistent = true;
+    std::size_t nwindows = 0;
+    try {
+      WindowPlan plan = cut_windows(t, opts.min_window_events);
+      nwindows = plan.windows.size();
+      model::ChainedAnalysis chain(opts.cfg);
+      for (std::size_t i = 0; i < plan.windows.size(); ++i)
+        merge_into(segrep, check_conformance(chain.advance(plan.windows[i].trace)),
+                   "[segment " + std::to_string(seg) + " window " +
+                       std::to_string(i) + "] ");
+    } catch (const std::exception& e) {
+      segrep.wf.violations.push_back(
+          {0, "[segment " + std::to_string(seg) +
+                  "] checker exception: " + e.what()});
+    }
+    const bool opq =
+        opts.require_full_opacity ? segrep.opaque : segrep.opaque_committed;
+    const bool segok =
+        segrep.wf.ok() && segrep.l_races == 0 && !segrep.mixed_race && opq;
+
+    std::lock_guard<std::mutex> g(mu);
+    rep.windows += nwindows;
+    if (!segok) ++rep.nonconformant;
+    rep.merged.actions += t.size();
+    merge_into(rep.merged, segrep, "");
+  }
+
+  void run() {
+    std::vector<RingItem> buf;
+    for (;;) {
+      const bool fin = done.load(std::memory_order_acquire);
+      bool progress = false;
+      for (std::size_t i = 0; i < rings.size(); ++i) {
+        max_backlog = std::max(max_backlog, rings[i]->size());
+        buf.clear();
+        rings[i]->drain(buf);
+        if (!buf.empty()) progress = true;
+        for (const RingItem& it : buf) {
+          if (it.is_mark) {
+            marked[i].push_back(std::move(cur[i]));
+            cur[i].clear();
+          } else {
+            cur[i].push_back({it.ev, threads[i]});
+          }
+        }
+      }
+      // Seal every epoch all rings have completed.
+      for (;;) {
+        bool all = true;
+        for (const auto& m : marked)
+          if (m.empty()) {
+            all = false;
+            break;
+          }
+        if (!all) break;
+        std::vector<MergedEvent> evs;
+        for (auto& m : marked) {
+          evs.insert(evs.end(), m.front().begin(), m.front().end());
+          m.pop_front();
+        }
+        seal(std::move(evs));
+      }
+      if (fin && !progress) {
+        // Producers are gone: whatever remains (completed epochs missing a
+        // peer's mark, or events past the final mark) is one last quiescent
+        // segment.
+        std::vector<MergedEvent> evs;
+        for (auto& m : marked)
+          for (auto& v : m) evs.insert(evs.end(), v.begin(), v.end());
+        for (auto& v : cur) evs.insert(evs.end(), v.begin(), v.end());
+        if (!evs.empty()) seal(std::move(evs));
+        return;
+      }
+      if (!progress) std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+};
+
+StreamConformance::StreamConformance(RecordSession& session,
+                                     std::vector<int> producer_threads,
+                                     StreamOptions opts) {
+  rings_.reserve(producer_threads.size());
+  std::vector<EventRing*> raw;
+  for (std::size_t i = 0; i < producer_threads.size(); ++i) {
+    rings_.push_back(std::make_unique<EventRing>(opts.ring_capacity));
+    raw.push_back(rings_.back().get());
+  }
+  impl_ = std::make_unique<Impl>(session, std::move(producer_threads),
+                                 std::move(opts), std::move(raw));
+}
+
+StreamConformance::~StreamConformance() {
+  if (impl_ && impl_->cutter.joinable()) {
+    impl_->done.store(true, std::memory_order_release);
+    impl_->cutter.join();
+  }
+}
+
+StreamReport StreamConformance::finish() {
+  if (impl_->finished) return impl_->final_rep;
+  impl_->done.store(true, std::memory_order_release);
+  if (impl_->cutter.joinable()) impl_->cutter.join();
+  impl_->pool.wait_idle();
+
+  StreamReport r;
+  {
+    std::lock_guard<std::mutex> g(impl_->mu);
+    r = impl_->rep;
+  }
+  r.segments = impl_->segments;
+  r.checked_events = impl_->checked_events;
+  r.max_backlog = impl_->max_backlog;
+  for (const auto& ring : rings_) r.ring_dropped += ring->dropped();
+  r.overflow = r.ring_dropped > 0;
+
+  if (impl_->opts.compare_posthoc) {
+    // The oracle: the very same events, reassembled and judged by the
+    // post-hoc windowed checker.  On a conformant run the merged streaming
+    // verdict and this one must be byte-identical.
+    WindowedOptions wopts;
+    wopts.min_window_events = impl_->opts.min_window_events;
+    const auto judge = [&](std::vector<MergedEvent> evs) {
+      std::sort(evs.begin(), evs.end(),
+                [](const MergedEvent& a, const MergedEvent& b) {
+                  return a.ev.seq < b.ev.seq;
+                });
+      sink_fences(evs);
+      model::Trace t = model::Trace::with_init(impl_->session.num_locs());
+      append_events(t, evs, impl_->session, nullptr);
+      return check_conformance_windowed(t, impl_->opts.cfg, wopts);
+    };
+    if (impl_->opts.synthesize_carry) {
+      // Always-on level: the stream is one gapless recorded execution, so
+      // it reassembles into a single trace — the strongest form of the
+      // oracle, since carry synthesis must not change any verdict.
+      r.posthoc = judge(std::move(impl_->all_events));
+    } else {
+      // Sampled stream: disjoint recorded bursts with unrecorded activity
+      // between them.  Concatenating them would judge an artifact — a later
+      // burst's replay has no hb edge from an earlier burst's transactions,
+      // so the monolith manufactures a mixed race no real execution had.
+      // The oracle instead judges each burst independently and merges,
+      // exactly the granularity the cutter committed to.
+      r.posthoc.config = impl_->opts.cfg.name;
+      r.posthoc.opaque = true;
+      r.posthoc.opaque_committed = true;
+      r.posthoc.consistent = true;
+      r.posthoc.windows = 0;
+      std::size_t begin = 0;
+      for (const std::size_t end : impl_->burst_ends) {
+        const ConformanceReport sub = judge(
+            {impl_->all_events.begin() + static_cast<std::ptrdiff_t>(begin),
+             impl_->all_events.begin() + static_cast<std::ptrdiff_t>(end)});
+        r.posthoc.actions += sub.actions;
+        r.posthoc.txns += sub.txns;
+        r.posthoc.committed += sub.committed;
+        r.posthoc.aborted += sub.aborted;
+        r.posthoc.windows += sub.windows;
+        r.posthoc.window_cuts += sub.window_cuts;
+        merge_into(r.posthoc, sub, "");
+        begin = end;
+      }
+    }
+    r.posthoc_checked = true;
+    r.posthoc_match = r.merged.verdict() == r.posthoc.verdict();
+  }
+
+  impl_->final_rep = r;
+  impl_->finished = true;
+  return r;
+}
+
+std::string StreamReport::str() const {
+  std::string s;
+  s += "segments=" + std::to_string(segments) +
+       " windows=" + std::to_string(windows) +
+       " checked_events=" + std::to_string(checked_events) +
+       " nonconformant=" + std::to_string(nonconformant) +
+       " ring_dropped=" + std::to_string(ring_dropped) +
+       " max_backlog=" + std::to_string(max_backlog) + "\n";
+  s += merged.verdict() + "\n";
+  if (posthoc_checked)
+    s += std::string("posthoc_match=") + (posthoc_match ? "yes" : "NO") + "\n";
+  if (!merged.wf.ok()) s += merged.wf.str();
+  return s;
+}
+
+}  // namespace mtx::record

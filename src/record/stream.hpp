@@ -1,0 +1,133 @@
+// Always-on streaming conformance: judge an execution WHILE it runs.
+//
+// The sampled pipeline (kv/workload.hpp) records whole rounds into fresh
+// RecordSessions and judges them after the run.  Streaming keeps ONE
+// continuous RecordSession and moves the checker into the execution:
+//
+//   producers    each recording thread streams its events through a
+//                lock-free EventRing (record/ring.hpp) instead of a
+//                post-hoc log, and publishes an epoch mark at every
+//                quiescent round barrier;
+//   cutter       one consumer thread drains all rings concurrently with
+//                traffic.  When every ring has yielded mark(e) the events
+//                of epoch e form a *segment*: the barrier guarantees no
+//                transaction spans it and every pre-mark ticket precedes
+//                every post-mark ticket, so the segment boundary is as
+//                sound a cut as a sampled session boundary.  The cutter
+//                merges the segment in seq order, sinks fences
+//                (record/assemble.hpp), synthesizes the sparse state-carry
+//                transaction from its own running state, cuts the segment
+//                at interior quiescence fences, and ships the check;
+//   checkers     a small ThreadPool judges segments as they seal — each
+//                through one model::ChainedAnalysis whose context carries
+//                window to window — while the workload keeps running.
+//
+// State carry across segments.  The cutter tracks the visible value and
+// write version of every location by replaying the event stream: plain
+// writes apply immediately; transactional writes buffer per thread and
+// apply on Commit (highest version wins — version allocation order is
+// memory store order) or drop on Abort.  At a segment boundary all
+// transactions are resolved, so the tracked state is exactly memory, and
+// the next segment opens with a synthetic committed transaction re-writing
+// the tracked (value, version) of each location the segment touches —
+// sparse, like the window carry: untouched locations fulfil no read and
+// join no race, so they are omitted.  Segment 0 needs no carry; the
+// workload records its preload state once (KvStore::replay_state_plain) as
+// the first recorded transaction, which both seeds the trace and teaches
+// the cutter the full state.
+//
+// Overflow is loud, never silent: a full ring drops events and counts
+// them; any drop poisons the run (StreamReport::ok() false) because the
+// judged segments would have reads-from holes.  Epoch marks cannot be
+// dropped (EventRing::push_mark), so sealing — and the failure report —
+// survive overflow.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/model_config.hpp"
+#include "record/conformance.hpp"
+#include "record/ring.hpp"
+
+namespace mtx::record {
+
+struct StreamOptions {
+  std::size_t ring_capacity = 1u << 14;   // slots per producer ring
+  std::size_t min_window_events = 64;     // interior cut threshold
+  std::size_t checkers = 2;               // checker pool threads (min 1)
+  model::ModelConfig cfg = model::ModelConfig::implementation();
+  // Hold segments to full opacity (true) or the committed-subsystem
+  // projection (false — backends with zombie reads, Example 3.4 class).
+  bool require_full_opacity = true;
+  // Keep every drained event and, at finish(), reassemble and judge it
+  // post-hoc with the windowed checker — the equivalence oracle (streaming
+  // and post-hoc verdicts must match byte for byte).  A gapless stream
+  // (synthesize_carry on) reassembles into one whole trace; a sampled one
+  // is judged burst by burst.
+  bool compare_posthoc = false;
+  // Synthesize the sparse state-carry transaction at each segment boundary
+  // from the cutter's tracked state.  Requires the cutter to have seen every
+  // write since the stream began; a producer that samples rounds (recording
+  // only every Nth) must turn this off and instead anchor each segment with
+  // its own recorded state replay, or the carry would re-write stale
+  // versions that collide with the replay's.
+  bool synthesize_carry = true;
+};
+
+struct StreamReport {
+  // Pipeline shape.
+  std::size_t segments = 0;        // epochs sealed and judged
+  std::size_t windows = 0;         // fence-bounded windows across segments
+  std::size_t checked_events = 0;  // recorded events shipped to checkers
+  std::size_t nonconformant = 0;   // segments whose verdict failed
+
+  // Capture health.
+  std::uint64_t ring_dropped = 0;  // events lost to full rings (all rings)
+  bool overflow = false;           // any drop anywhere
+  std::size_t max_backlog = 0;     // deepest ring fill the cutter observed
+
+  // Merged judgment across all segments (the windowed checker's merge: WF
+  // violations concatenate, races add, opacity/consistency AND).
+  ConformanceReport merged;
+
+  // Post-hoc oracle (compare_posthoc only).
+  bool posthoc_checked = false;
+  bool posthoc_match = false;      // merged.verdict() == posthoc.verdict()
+  ConformanceReport posthoc;
+
+  bool ok() const { return !overflow && nonconformant == 0; }
+  std::string str() const;
+};
+
+// The streaming pipeline for one execution.  Construction starts the cutter
+// and checker threads; producers stream through ring(slot); finish() (after
+// every producer has stopped pushing and published its final mark) drains
+// the remainder, joins, and returns the report.
+class StreamConformance {
+ public:
+  // One ring per producer; `producer_threads[slot]` is the model thread id
+  // stamped on slot's events.  Rings exist for the object's whole lifetime,
+  // so producers may register with their ThreadRecorder at any time.
+  StreamConformance(RecordSession& session, std::vector<int> producer_threads,
+                    StreamOptions opts = {});
+  ~StreamConformance();
+  StreamConformance(const StreamConformance&) = delete;
+  StreamConformance& operator=(const StreamConformance&) = delete;
+
+  std::size_t producers() const { return rings_.size(); }
+  EventRing& ring(std::size_t slot) { return *rings_[slot]; }
+
+  // Call once, after all producers stopped (e.g. the worker team joined).
+  // Idempotent; the second call returns the same report.
+  StreamReport finish();
+
+ private:
+  struct Impl;
+  std::vector<std::unique_ptr<EventRing>> rings_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mtx::record

@@ -65,6 +65,11 @@ class StmBackend {
 
   virtual StmStats& stats() = 0;
 
+  // The backend's quiescence registry — read-only observability (fence call
+  // and epoch-advance counters) for workload reports; every backend owns
+  // one even when its wait path ignores domain scoping.
+  virtual QuiescenceRegistry& registry() = 0;
+
   // Does this backend keep even *live* transactions on consistent
   // snapshots (no zombies)?  TL2 (clock validation), NOrec (value
   // revalidation) and SGL (mutual exclusion) do; eager encounter-time
@@ -102,6 +107,7 @@ class BackendAdapter final : public StmBackend {
   void quiesce(const QuiesceDomain& d) override { stm_.quiesce(d); }
   int create_domain() override { return stm_.create_domain(); }
   StmStats& stats() override { return stm_.stats(); }
+  QuiescenceRegistry& registry() override { return stm_.registry(); }
   bool zombie_free() const override { return zombie_free_; }
 
   // Escape hatch to the concrete backend (native-path benchmarking).

@@ -113,6 +113,8 @@ class EagerStm {
 
   StmStats& stats() { return stats_; }
 
+  QuiescenceRegistry& registry() { return registry_; }
+
  private:
   GlobalClock clock_;
   OrecTable orecs_;

@@ -114,6 +114,8 @@ class SglStm {
 
   StmStats& stats() { return stats_; }
 
+  QuiescenceRegistry& registry() { return registry_; }
+
  private:
   std::mutex mu_;
   QuiescenceRegistry registry_;

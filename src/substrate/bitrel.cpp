@@ -75,10 +75,35 @@ BitRel BitRel::compose(const BitRel& o) const {
 
 BitRel BitRel::transposed() const {
   BitRel r(n_);
-  for (std::size_t a = 0; a < n_; ++a)
-    for (std::size_t b = 0; b < n_; ++b)
-      if (test(a, b)) r.set(b, a);
+  for (std::size_t a = 0; a < n_; ++a) {
+    const std::uint64_t abit = std::uint64_t{1} << (a % 64);
+    const std::size_t aword = a / 64;
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      std::uint64_t row = bits_[a * words_per_row_ + w];
+      while (row) {
+        const std::size_t b = w * 64 + static_cast<std::size_t>(ctz64(row));
+        row &= row - 1;
+        r.bits_[b * words_per_row_ + aword] |= abit;
+      }
+    }
+  }
   return r;
+}
+
+void BitRel::set_range(std::size_t a, std::size_t lo, std::size_t hi) {
+  assert(a < n_ && hi <= n_);
+  if (lo >= hi) return;
+  std::uint64_t* row = &bits_[a * words_per_row_];
+  const std::size_t wlo = lo / 64, whi = (hi - 1) / 64;
+  const std::uint64_t first = ~std::uint64_t{0} << (lo % 64);
+  const std::uint64_t last = ~std::uint64_t{0} >> (63 - (hi - 1) % 64);
+  if (wlo == whi) {
+    row[wlo] |= first & last;
+    return;
+  }
+  row[wlo] |= first;
+  for (std::size_t w = wlo + 1; w < whi; ++w) row[w] = ~std::uint64_t{0};
+  row[whi] |= last;
 }
 
 bool BitRel::or_row(std::size_t into, const BitRel& src, std::size_t from) {

@@ -52,6 +52,17 @@ class BitRel {
   // closure repropagates newly-derived edges with.
   bool or_row(std::size_t into, const BitRel& src, std::size_t from);
 
+  // Raw word access to row `a` (row_words() words of 64 bits each, column b
+  // at word b/64, bit b%64; tail bits beyond n are zero and must stay so).
+  // The word-parallel relation builders (Relations::compute_fast) construct
+  // rows from precomputed masks through these instead of per-pair set().
+  std::size_t row_words() const { return words_per_row_; }
+  std::uint64_t* row(std::size_t a) { return &bits_[a * words_per_row_]; }
+  const std::uint64_t* row(std::size_t a) const { return &bits_[a * words_per_row_]; }
+
+  // Sets bits [lo, hi) of row a.
+  void set_range(std::size_t a, std::size_t lo, std::size_t hi);
+
   // Single-source reachability: all b with a ->+ b (a itself only if it lies
   // on a cycle), in ascending order.  BFS over bit rows: O(reachable * n/64)
   // instead of the whole-relation closure.

@@ -134,9 +134,11 @@ TEST(CutWindows, ValidFullQuiescenceCutSplits) {
   const WindowPlan plan = cut_windows(b.trace());
   ASSERT_EQ(plan.windows.size(), 2u);
   EXPECT_EQ(plan.cuts, 1u);
-  // Window 1 carries the pre-cut state of both locations...
-  EXPECT_EQ(plan.windows[1].carried, 2u);
-  // ...and its trace replays the read against the carry write cleanly.
+  // Window 1 only accesses location 0, so the carry is sparse: one write
+  // re-establishing x0's pre-cut state.  x1's state is not needed (no read
+  // to fulfil, no race partner) and is not carried.
+  EXPECT_EQ(plan.windows[1].carried, 1u);
+  // The trace replays the read against the carry write cleanly.
   const ConformanceReport rep = check_conformance(plan.windows[1].trace);
   EXPECT_TRUE(rep.wf.ok()) << rep.wf.str() << plan.windows[1].trace.str();
   EXPECT_EQ(rep.l_races, 0u);
@@ -168,9 +170,10 @@ TEST(CutWindows, PartialFenceCutsWhenUncoveredTrafficIsOneSided) {
   ASSERT_EQ(plan.windows.size(), 2u);
   EXPECT_EQ(plan.cut_candidates, 1u);
   EXPECT_EQ(plan.cuts, 1u);
-  // The carry still re-establishes BOTH locations (window independence
-  // needs the full store image, covered or not).
-  EXPECT_EQ(plan.windows[1].carried, 2u);
+  // The carry re-establishes only what window 1 touches: location 0.  The
+  // uncovered (and unaccessed) location 1 contributes nothing to window 1's
+  // judgment, so the sparse carry drops it.
+  EXPECT_EQ(plan.windows[1].carried, 1u);
   const ConformanceReport rep = check_conformance(plan.windows[1].trace);
   EXPECT_TRUE(rep.wf.ok()) << rep.wf.str() << plan.windows[1].trace.str();
   EXPECT_EQ(rep.l_races, 0u);
@@ -200,6 +203,38 @@ TEST(CutWindows, SpanningTransactionInvalidatesCut) {
   const WindowPlan plan = cut_windows(b.trace());
   EXPECT_EQ(plan.cut_candidates, 1u);
   EXPECT_EQ(plan.windows.size(), 1u);
+}
+
+TEST(CutWindows, SummaryFenceEquivalentToPerLocationExpansion) {
+  // A summary <Q*> must judge and cut exactly like the family of <Qx> it
+  // abbreviates: same WF12/HBCQ/HBQB behavior, same window plan shape, same
+  // verdict string.
+  auto build = [](bool summary) {
+    TB b(3);
+    b.begin(2).w(2, 0, 1, 1).w(2, 1, 1, 1).commit(2);
+    b.w(2, 2, 5, 1);  // plain write, published below
+    b.begin(2).w(2, 2, 6, 2).commit(2);
+    if (summary)
+      b.fence_all(3);
+    else
+      b.fence(3, 0).fence(3, 1).fence(3, 2);
+    b.begin(2).r(2, 0, 1, 1).w(2, 0, 2, 2).commit(2);
+    b.begin(4).w(4, 2, 9, 3).commit(4);
+    return b.trace();
+  };
+  const Trace expanded = build(false);
+  const Trace summary = build(true);
+  const WindowPlan pe = cut_windows(expanded);
+  const WindowPlan ps = cut_windows(summary);
+  EXPECT_EQ(pe.cuts, ps.cuts);
+  ASSERT_EQ(pe.windows.size(), ps.windows.size());
+  for (std::size_t k = 0; k < pe.windows.size(); ++k) {
+    EXPECT_EQ(pe.windows[k].carried, ps.windows[k].carried);
+    EXPECT_EQ(check_conformance(pe.windows[k].trace).verdict(),
+              check_conformance(ps.windows[k].trace).verdict());
+  }
+  EXPECT_EQ(check_conformance(expanded).verdict(),
+            check_conformance(summary).verdict());
 }
 
 TEST(CutWindows, MinWindowEventsMergesSmallWindows) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "model/derived.hpp"
+#include "model/happens_before.hpp"
 #include "trace_builders.hpp"
 
 namespace mtx::test {
@@ -119,6 +120,102 @@ TEST(Relations, TxEquivalenceIncludesBoundaries) {
   EXPECT_TRUE(rel.tx.test(3, 5));  // begin ~ commit
   EXPECT_TRUE(rel.tx.test(4, 3));
   for (std::size_t i = 0; i < bld.trace().size(); ++i) EXPECT_TRUE(rel.tx.test(i, i));
+}
+
+// The word-parallel builder (compute_fast) and the forward-closure hb path
+// (compute_hb_fast) must be exact-equivalent to the reference on *every*
+// trace — including the shapes the fast paths were not designed for, where
+// they must fall back rather than diverge: timestamp order against index
+// order, duplicate timestamps (WF3-malformed), aborted and live txns,
+// unfulfilled reads, summary fences, multi-writer value collisions.
+std::vector<Trace> equivalence_zoo() {
+  std::vector<Trace> zoo;
+  {
+    TB b(2);  // plain-only, ww backward in index order
+    b.w(0, 0, 2, 2).w(1, 0, 1, 1).r(0, 0, 1, 1).w(1, 1, 3, 1);
+    zoo.push_back(b.trace());
+  }
+  {
+    TB b(1);  // duplicate timestamps: unrelated in ww either way
+    b.w(0, 0, 1, 1).w(1, 0, 2, 1).r(0, 0, 1, 1);
+    zoo.push_back(b.trace());
+  }
+  {
+    TB b(2);  // committed / aborted / live txns plus plain traffic
+    b.begin(0).w(0, 0, 1, 1).w(0, 1, 1, 1).commit(0);
+    b.begin(1).r(1, 0, 1, 1).w(1, 0, 2, 2).abort(1);
+    b.begin(2).r(2, 1, 1, 1);  // live: never resolves
+    b.w(3, 0, 9, 3).r(3, 0, 9, 3);
+    zoo.push_back(b.trace());
+  }
+  {
+    TB b(3);  // fences: per-location and summary, with post-fence txns
+    b.begin(0).w(0, 0, 1, 1).commit(0);
+    b.fence(2, 0).fence(2, 1);
+    b.begin(1).r(1, 0, 1, 1).w(1, 2, 5, 1).commit(1);
+    b.fence_all(2);
+    b.begin(0).w(0, 2, 6, 2).commit(0);
+    zoo.push_back(b.trace());
+  }
+  {
+    TB b(1);  // same (loc, value, ts) written twice: wr relates both writers
+    b.w(0, 0, 7, 5).w(1, 0, 7, 5).r(2, 0, 7, 5).r(2, 0, 4, 9);  // last unfulfilled
+    zoo.push_back(b.trace());
+  }
+  {
+    TB b(2);  // intra-txn wr/ww pairs survive the lift's same-txn exclusion
+    b.begin(0).w(0, 0, 1, 1).r(0, 0, 1, 1).w(0, 0, 2, 2).commit(0);
+    b.begin(1).r(1, 0, 2, 2).commit(1);
+    zoo.push_back(b.trace());
+  }
+  {
+    TB b(1);  // committed txns whose ts order opposes index order: the hb
+              // seed itself (cww) has a backward edge
+    b.begin(0).w(0, 0, 2, 2).commit(0);
+    b.begin(1).w(1, 0, 1, 1).commit(1);
+    zoo.push_back(b.trace());
+  }
+  zoo.push_back(Trace{});  // empty
+  return zoo;
+}
+
+TEST(Relations, FastBuilderMatchesReferenceOnZoo) {
+  for (const Trace& t : equivalence_zoo()) {
+    const Relations ref = Relations::compute(t);
+    const Relations fast = Relations::compute_fast(t);
+    EXPECT_EQ(ref.index, fast.index);
+    EXPECT_EQ(ref.init, fast.init);
+    EXPECT_EQ(ref.po, fast.po);
+    EXPECT_EQ(ref.ww, fast.ww);
+    EXPECT_EQ(ref.wr, fast.wr);
+    EXPECT_EQ(ref.rw, fast.rw);
+    EXPECT_EQ(ref.tx, fast.tx);
+    EXPECT_EQ(ref.lww, fast.lww);
+    EXPECT_EQ(ref.lwr, fast.lwr);
+    EXPECT_EQ(ref.lrw, fast.lrw);
+    EXPECT_EQ(ref.xww, fast.xww);
+    EXPECT_EQ(ref.xwr, fast.xwr);
+    EXPECT_EQ(ref.xrw, fast.xrw);
+    EXPECT_EQ(ref.cww, fast.cww);
+    EXPECT_EQ(ref.cwr, fast.cwr);
+    EXPECT_EQ(ref.crw, fast.crw);
+  }
+}
+
+TEST(Relations, FastHbMatchesReferenceOnZoo) {
+  // The zoo's first trace has backward seed edges (ts against index), so
+  // this also pins the fallback: compute_hb_fast must detect the
+  // non-forward seed and still agree with the Warshall path.
+  for (const Trace& t : equivalence_zoo()) {
+    const Relations rel = Relations::compute(t);
+    for (const auto& cfg :
+         {model::ModelConfig::implementation(), model::ModelConfig::programmer(),
+          model::ModelConfig::strongest(), model::ModelConfig::base()}) {
+      EXPECT_EQ(model::compute_hb(t, rel, cfg),
+                model::compute_hb_fast(t, rel, cfg))
+          << cfg.name;
+    }
+  }
 }
 
 TEST(Relations, LiftFunctionMatchesStruct) {

@@ -65,6 +65,30 @@ TEST(Trace, TxnMembersAndTouches) {
   EXPECT_EQ(t.resolution_of(4), 7);
 }
 
+// TxnLocCover is the O(1)-per-query snapshot the fence machinery (WF12,
+// the happens-before seed) uses in place of txn_touches; the two must
+// agree on every (transaction, location) pair, including the summary
+// kAllLocs question and transactions with no accesses at all.
+TEST(Trace, TxnLocCoverMatchesTxnTouches) {
+  TB b(3);
+  b.begin(0).w(0, 0, 1, 1).r(0, 1, 0, 0).commit(0);
+  b.begin(1).r(1, 2, 0, 0).abort(1);
+  b.begin(2).commit(2);  // empty transaction: touches nothing
+  b.w(2, 0, 2, 2);       // plain write: no transaction row
+  b.fence(1, 0);
+  b.begin(1).w(1, 1, 3, 3);  // live transaction
+  const Trace& t = b.trace();
+
+  const model::TxnLocCover cover(t);
+  for (std::size_t bi : t.begins()) {
+    EXPECT_EQ(cover.accesses_any(bi), t.txn_accesses_any(bi)) << bi;
+    EXPECT_EQ(cover.touches(bi, model::kAllLocs), t.txn_accesses_any(bi)) << bi;
+    for (model::Loc x = 0; x < t.num_locs(); ++x)
+      EXPECT_EQ(cover.touches(bi, x), t.txn_touches(bi, x))
+          << "txn " << bi << " loc " << x;
+  }
+}
+
 TEST(Trace, BeginsListsAllTransactions) {
   TB b(1);
   b.begin(0).commit(0).begin(1).abort(1);

@@ -42,6 +42,11 @@ class TB {
     t_.append(model::make_qfence(thread, x));
     return *this;
   }
+  // Summary whole-store fence <Q*>.
+  TB& fence_all(int thread) {
+    t_.append(model::make_qfence_all(thread));
+    return *this;
+  }
 
   Trace& trace() { return t_; }
   operator Trace&() { return t_; }
