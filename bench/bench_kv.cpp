@@ -361,9 +361,7 @@ int main(int argc, char** argv) {
             ", \"ops\": " + std::to_string(r.ops) +
             ", \"ms\": " + fixed(r.wall_ms, 3) +
             ", \"ops_per_sec\": " + fixed(r.ops_per_sec, 1) +
-            ", \"p50_ns\": " + std::to_string(r.p50_ns) +
-            ", \"p95_ns\": " + std::to_string(r.p95_ns) +
-            ", \"p99_ns\": " + std::to_string(r.p99_ns) +
+            ", \"latency\": " + r.hist.to_json() +
             ", \"scans_completed\": " + std::to_string(r.scans_completed) +
             ", \"priv_waits\": " + std::to_string(r.priv_waits) + "}";
     json += (i + 1 < rows.size()) ? ",\n" : "\n";

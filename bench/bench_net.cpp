@@ -1,0 +1,297 @@
+// Serving-tier benchmark: open-loop throughput-vs-p99 sweep over the
+// loopback front end, batched vs unbatched, per backend.
+//
+// Usage: bench_net [--backends a,b] [--rates r1,r2,...] [--conns N]
+//                  [--duration-ms N] [--keys N] [--shards N] [--snap N]
+//                  [--batch N] [--mix NAME] [--poisson] [--seed N]
+//                  [--no-stream] [--refresh N]
+//                  [--assert-conformance] [--assert-speedup X]
+//                  [--assert-p99-under-ms X] [--out PATH]
+//
+// For every backend the sweep runs twice — server max_batch = --batch
+// (per-connection transaction batching on) and max_batch = 1 (plain
+// pipelining, one transaction per op) — at each offered rate, with
+// streaming conformance judging the served traffic unless --no-stream.
+// Latency is coordinated-omission-safe (intended-send timestamps; see
+// src/net/loadgen.hpp).  BENCH_net.json reports the full curves plus the
+// peak-throughput batching speedup per backend.
+//
+// --assert-conformance exits 1 on any non-conformant segment, ring drop,
+// bad frame, client error, or malformed value.  --assert-speedup X exits 1
+// unless some backend's batched peak beats its unbatched peak by >= X; on
+// single-hardware-thread hosts this floor is reported but not enforced
+// (the loadgen threads, server thread and checker threads all contend for
+// one core, so the ratio measures scheduler noise, not batching).
+// --assert-p99-under-ms X gates the LOWEST rate point's p99 per backend —
+// a generous sanity floor for CI, not a performance claim.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/report.hpp"
+#include "kv/workload.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
+#include "stm/backend.hpp"
+#include "substrate/format.hpp"
+#include "substrate/threading.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+struct PointRow {
+  std::string backend;
+  bool batched = false;
+  double rate = 0;
+  mtx::net::LoadgenResult lg;
+  mtx::net::ServerStats server;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mtx;
+  std::vector<std::string> backends = stm::backend_names();
+  std::vector<double> rates = {4000, 8000, 16000, 32000};
+  std::size_t conns = 2, keys = 2048, shards = 8, snap = 16, batch = 16,
+              refresh = 4096;
+  std::uint64_t duration_ms = 250, seed = 1;
+  std::string mix_name = "hot", out_path = "BENCH_net.json";
+  bool poisson = false, stream = true;
+  bool assert_conf = false;
+  double assert_speedup = 0, assert_p99_ms = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--backends") == 0)
+      backends = split_csv(next("--backends"));
+    else if (std::strcmp(argv[i], "--rates") == 0) {
+      rates.clear();
+      for (const std::string& r : split_csv(next("--rates")))
+        rates.push_back(std::atof(r.c_str()));
+    } else if (std::strcmp(argv[i], "--conns") == 0)
+      conns = static_cast<std::size_t>(std::atoll(next("--conns")));
+    else if (std::strcmp(argv[i], "--duration-ms") == 0)
+      duration_ms = static_cast<std::uint64_t>(std::atoll(next("--duration-ms")));
+    else if (std::strcmp(argv[i], "--keys") == 0)
+      keys = static_cast<std::size_t>(std::atoll(next("--keys")));
+    else if (std::strcmp(argv[i], "--shards") == 0)
+      shards = static_cast<std::size_t>(std::atoll(next("--shards")));
+    else if (std::strcmp(argv[i], "--snap") == 0)
+      snap = static_cast<std::size_t>(std::atoll(next("--snap")));
+    else if (std::strcmp(argv[i], "--batch") == 0)
+      batch = static_cast<std::size_t>(std::atoll(next("--batch")));
+    else if (std::strcmp(argv[i], "--refresh") == 0)
+      refresh = static_cast<std::size_t>(std::atoll(next("--refresh")));
+    else if (std::strcmp(argv[i], "--mix") == 0)
+      mix_name = next("--mix");
+    else if (std::strcmp(argv[i], "--poisson") == 0)
+      poisson = true;
+    else if (std::strcmp(argv[i], "--seed") == 0)
+      seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    else if (std::strcmp(argv[i], "--no-stream") == 0)
+      stream = false;
+    else if (std::strcmp(argv[i], "--assert-conformance") == 0)
+      assert_conf = true;
+    else if (std::strcmp(argv[i], "--assert-speedup") == 0)
+      assert_speedup = std::atof(next("--assert-speedup"));
+    else if (std::strcmp(argv[i], "--assert-p99-under-ms") == 0)
+      assert_p99_ms = std::atof(next("--assert-p99-under-ms"));
+    else if (std::strcmp(argv[i], "--out") == 0)
+      out_path = next("--out");
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const kv::Mix* mix = kv::mix_by_name(mix_name);
+  if (!mix) {
+    std::fprintf(stderr, "unknown mix: %s\n", mix_name.c_str());
+    return 2;
+  }
+
+  std::vector<PointRow> points;
+  bool conf_clean = true, p99_floor_ok = true;
+  // speedup[backend] = {unbatched peak, batched peak}
+  std::vector<std::pair<double, double>> peaks(backends.size(), {0, 0});
+
+  Table table({"backend", "mode", "rate/s", "achieved/s", "p50us", "p99us",
+               "segments", "NC", "drops"});
+  for (std::size_t b = 0; b < backends.size(); ++b) {
+    for (const bool batched : {true, false}) {
+      std::unique_ptr<stm::StmBackend> stm_ptr = stm::make_backend(backends[b]);
+      if (!stm_ptr) {
+        std::fprintf(stderr, "unknown backend: %s\n", backends[b].c_str());
+        return 2;
+      }
+      // One server per (backend, mode): the whole rate sweep reuses it, so
+      // the stream sees one continuous served execution per configuration.
+      net::ServerOptions so;
+      so.shards = shards;
+      so.preload_keys = keys;
+      so.snap_keys = snap;
+      so.max_batch = batched ? batch : 1;
+      so.snap_refresh_every = refresh;
+      so.stream = stream;
+      net::Server server(*stm_ptr, so);
+      std::thread server_thread([&] { server.run(); });
+
+      for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+        net::LoadgenOptions lg;
+        lg.port = server.port();
+        lg.connections = conns;
+        lg.rate = rates[ri];
+        lg.poisson = poisson;
+        lg.mix = mix;
+        lg.preload_keys = keys;
+        lg.shards = shards;
+        lg.snap_keys = snap;
+        lg.seed = seed + ri;
+        lg.ops_per_conn = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(rates[ri] *
+                                          static_cast<double>(duration_ms) /
+                                          1e3 /
+                                          static_cast<double>(conns)));
+        PointRow row;
+        row.backend = backends[b];
+        row.batched = batched;
+        row.rate = rates[ri];
+        row.lg = net::run_loadgen(lg);
+        points.push_back(row);  // server stats filled after stop
+        auto& peak = batched ? peaks[b].second : peaks[b].first;
+        peak = std::max(peak, row.lg.achieved_per_sec);
+        if (!row.lg.ok()) conf_clean = false;
+        if (assert_p99_ms > 0 && ri == 0 &&
+            static_cast<double>(row.lg.hist.p99()) / 1e6 > assert_p99_ms)
+          p99_floor_ok = false;
+      }
+
+      server.stop();
+      server_thread.join();
+      const net::ServerStats ss = server.stats();
+      if (!ss.ok()) conf_clean = false;
+      for (auto it = points.rbegin();
+           it != points.rend() && it->backend == backends[b] &&
+           it->batched == batched;
+           ++it) {
+        it->server = ss;  // per-configuration stats, shared by its points
+        table.add_row(
+            {it->backend, it->batched ? "batched" : "unbatched",
+             fixed(it->rate, 0), fixed(it->lg.achieved_per_sec, 0),
+             fixed(static_cast<double>(it->lg.hist.p50()) / 1e3, 1),
+             fixed(static_cast<double>(it->lg.hist.p99()) / 1e3, 1),
+             std::to_string(ss.segments), std::to_string(ss.nonconformant),
+             std::to_string(ss.ring_dropped)});
+      }
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  double best_speedup = 0;
+  for (std::size_t b = 0; b < backends.size(); ++b) {
+    const double ratio =
+        peaks[b].first > 0 ? peaks[b].second / peaks[b].first : 0;
+    best_speedup = std::max(best_speedup, ratio);
+    std::printf("%s: peak batched %.0f/s, unbatched %.0f/s, speedup %.2fx\n",
+                backends[b].c_str(), peaks[b].second, peaks[b].first, ratio);
+  }
+
+  const bool speedup_assertable = hw_threads() >= 2;
+  std::string json = "{\n";
+  json += "  \"bench\": \"net\",\n";
+  json += "  \"hw_threads\": " + std::to_string(hw_threads()) + ",\n";
+  json += "  \"mix\": \"" + mix_name + "\",\n";
+  json += "  \"conns\": " + std::to_string(conns) + ",\n";
+  json += "  \"keys\": " + std::to_string(keys) + ",\n";
+  json += "  \"batch\": " + std::to_string(batch) + ",\n";
+  json += "  \"stream\": " + std::string(stream ? "true" : "false") + ",\n";
+  json += "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointRow& p = points[i];
+    json += "    {\"backend\": \"" + p.backend + "\", \"batched\": " +
+            (p.batched ? "true" : "false") +
+            ", \"rate\": " + fixed(p.rate, 1) +
+            ", \"intended\": " + std::to_string(p.lg.intended) +
+            ", \"completed\": " + std::to_string(p.lg.completed) +
+            ", \"errors\": " + std::to_string(p.lg.errors) +
+            ", \"form_violations\": " + std::to_string(p.lg.form_violations) +
+            ", \"achieved_per_sec\": " + fixed(p.lg.achieved_per_sec, 1) +
+            ", \"latency\": " + p.lg.hist.to_json() +
+            ", \"segments\": " + std::to_string(p.server.segments) +
+            ", \"nonconformant\": " + std::to_string(p.server.nonconformant) +
+            ", \"ring_dropped\": " + std::to_string(p.server.ring_dropped) +
+            ", \"transactions\": " + std::to_string(p.server.batch.transactions) +
+            ", \"batched_ops\": " + std::to_string(p.server.batch.ops) + "}";
+    json += (i + 1 < points.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"peaks\": [\n";
+  for (std::size_t b = 0; b < backends.size(); ++b) {
+    const double ratio =
+        peaks[b].first > 0 ? peaks[b].second / peaks[b].first : 0;
+    json += "    {\"backend\": \"" + backends[b] +
+            "\", \"batched_peak_per_sec\": " + fixed(peaks[b].second, 1) +
+            ", \"unbatched_peak_per_sec\": " + fixed(peaks[b].first, 1) +
+            ", \"speedup\": " + fixed(ratio, 3) + "}";
+    json += (b + 1 < backends.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"best_speedup\": " + fixed(best_speedup, 3) + ",\n";
+  json += "  \"speedup_assertable\": " +
+          std::string(speedup_assertable ? "true" : "false") + "\n";
+  json += "}\n";
+  if (!campaign::write_file(out_path, json)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  int rc = 0;
+  if (assert_conf && !conf_clean) {
+    std::fprintf(stderr, "conformance assert failed (see %s)\n",
+                 out_path.c_str());
+    rc = 1;
+  }
+  if (assert_p99_ms > 0 && !p99_floor_ok) {
+    std::fprintf(stderr, "p99 floor assert failed: lowest-rate p99 above "
+                 "%.1f ms\n", assert_p99_ms);
+    rc = 1;
+  }
+  if (assert_speedup > 0 && best_speedup < assert_speedup) {
+    if (speedup_assertable) {
+      std::fprintf(stderr, "speedup assert failed: best %.2fx < %.2fx\n",
+                   best_speedup, assert_speedup);
+      rc = 1;
+    } else {
+      std::printf(
+          "note: single hardware thread — batching speedup %.2fx reported "
+          "but the %.2fx floor is not enforced (client, server and checker "
+          "threads all share one core)\n",
+          best_speedup, assert_speedup);
+    }
+  }
+  return rc;
+}

@@ -1,0 +1,201 @@
+// Open-loop load generator CLI for the serving front end.
+//
+// Usage: loadgen [--host H] [--port P] [--spawn BACKEND]
+//                [--conns N] [--rate OPS_PER_SEC] [--poisson]
+//                [--ops N] [--mix NAME] [--keys N] [--shards N] [--snap N]
+//                [--batch N] [--refresh N] [--stream] [--seed N]
+//                [--duration-ms N] [--assert] [--json PATH]
+//
+// Two modes:
+//   --port P        drive an already-running server at --host:P.
+//   --spawn BACKEND self-host: start an in-process Server on the named STM
+//                   backend (ephemeral port), drive it, and report the
+//                   server's own stats too — batching flushes and, with
+//                   --stream, the streaming-conformance verdicts over the
+//                   served traffic.  This is the CI loopback smoke mode.
+//
+// --rate is the aggregate intended arrival rate across --conns connections
+// (open-loop: the schedule never waits for responses; latency is measured
+// from the INTENDED send time, so queueing is charged, not omitted).
+// --duration-ms sizes --ops from the rate when --ops is not given.
+// --assert exits 1 unless every response arrived, every value was
+// well-formed, and (spawn mode) the server saw no bad frames, no
+// non-conformant segment, and no ring drop.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "campaign/report.hpp"
+#include "kv/workload.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
+#include "stm/backend.hpp"
+#include "substrate/format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mtx;
+  net::LoadgenOptions lg;
+  net::ServerOptions so;
+  std::string spawn_backend, mix_name = "hot", json_path;
+  std::uint64_t duration_ms = 2000;
+  bool ops_given = false, do_assert = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto count = [&](const char* flag) -> std::uint64_t {
+      const long long v = std::atoll(next(flag));
+      if (v < 0) {
+        std::fprintf(stderr, "%s must be >= 0\n", flag);
+        std::exit(2);
+      }
+      return static_cast<std::uint64_t>(v);
+    };
+    if (std::strcmp(argv[i], "--host") == 0)
+      lg.host = next("--host");
+    else if (std::strcmp(argv[i], "--port") == 0)
+      lg.port = static_cast<std::uint16_t>(count("--port"));
+    else if (std::strcmp(argv[i], "--spawn") == 0)
+      spawn_backend = next("--spawn");
+    else if (std::strcmp(argv[i], "--conns") == 0)
+      lg.connections = static_cast<std::size_t>(count("--conns"));
+    else if (std::strcmp(argv[i], "--rate") == 0)
+      lg.rate = static_cast<double>(count("--rate"));
+    else if (std::strcmp(argv[i], "--poisson") == 0)
+      lg.poisson = true;
+    else if (std::strcmp(argv[i], "--ops") == 0) {
+      lg.ops_per_conn = count("--ops");
+      ops_given = true;
+    } else if (std::strcmp(argv[i], "--mix") == 0)
+      mix_name = next("--mix");
+    else if (std::strcmp(argv[i], "--keys") == 0)
+      lg.preload_keys = static_cast<std::size_t>(count("--keys"));
+    else if (std::strcmp(argv[i], "--shards") == 0)
+      lg.shards = static_cast<std::size_t>(count("--shards"));
+    else if (std::strcmp(argv[i], "--snap") == 0)
+      lg.snap_keys = static_cast<std::size_t>(count("--snap"));
+    else if (std::strcmp(argv[i], "--batch") == 0)
+      so.max_batch = static_cast<std::size_t>(count("--batch"));
+    else if (std::strcmp(argv[i], "--refresh") == 0)
+      so.snap_refresh_every = static_cast<std::size_t>(count("--refresh"));
+    else if (std::strcmp(argv[i], "--stream") == 0)
+      so.stream = true;
+    else if (std::strcmp(argv[i], "--seed") == 0)
+      lg.seed = count("--seed");
+    else if (std::strcmp(argv[i], "--duration-ms") == 0)
+      duration_ms = count("--duration-ms");
+    else if (std::strcmp(argv[i], "--assert") == 0)
+      do_assert = true;
+    else if (std::strcmp(argv[i], "--json") == 0)
+      json_path = next("--json");
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  lg.mix = kv::mix_by_name(mix_name);
+  if (!lg.mix) {
+    std::fprintf(stderr, "unknown mix: %s\n", mix_name.c_str());
+    return 2;
+  }
+  if (!ops_given) {
+    // Size the run from rate x duration, split across connections.
+    const double total = lg.rate * static_cast<double>(duration_ms) / 1e3;
+    lg.ops_per_conn = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               total / static_cast<double>(std::max<std::size_t>(
+                           1, lg.connections))));
+  }
+
+  std::unique_ptr<net::Server> server;
+  std::thread server_thread;
+  stm::StmBackend* backend = nullptr;
+  std::unique_ptr<stm::StmBackend> backend_owned;
+  if (!spawn_backend.empty()) {
+    backend_owned = stm::make_backend(spawn_backend);
+    if (!backend_owned) {
+      std::fprintf(stderr, "unknown backend: %s\n", spawn_backend.c_str());
+      return 2;
+    }
+    backend = backend_owned.get();
+    so.shards = lg.shards;
+    so.preload_keys = lg.preload_keys;
+    so.snap_keys = lg.snap_keys;
+    server = std::make_unique<net::Server>(*backend, so);
+    server_thread = std::thread([&] { server->run(); });
+    lg.port = server->port();
+  } else if (lg.port == 0) {
+    std::fprintf(stderr, "need --port or --spawn\n");
+    return 2;
+  }
+
+  const net::LoadgenResult r = net::run_loadgen(lg);
+
+  net::ServerStats sstats;
+  if (server) {
+    server->stop();
+    server_thread.join();
+    sstats = server->stats();
+  }
+
+  std::string json = "{\n";
+  json += "  \"mix\": \"" + mix_name + "\",\n";
+  if (backend) json += "  \"backend\": \"" + std::string(backend->name()) + "\",\n";
+  json += "  \"conns\": " + std::to_string(lg.connections) + ",\n";
+  json += "  \"rate\": " + fixed(lg.rate, 1) + ",\n";
+  json += "  \"poisson\": " + std::string(lg.poisson ? "true" : "false") + ",\n";
+  json += "  \"intended\": " + std::to_string(r.intended) + ",\n";
+  json += "  \"sent\": " + std::to_string(r.sent) + ",\n";
+  json += "  \"completed\": " + std::to_string(r.completed) + ",\n";
+  json += "  \"errors\": " + std::to_string(r.errors) + ",\n";
+  json += "  \"form_violations\": " + std::to_string(r.form_violations) + ",\n";
+  json += "  \"wall_ms\": " + fixed(r.wall_ms, 2) + ",\n";
+  json += "  \"offered_per_sec\": " + fixed(r.offered_per_sec, 1) + ",\n";
+  json += "  \"achieved_per_sec\": " + fixed(r.achieved_per_sec, 1) + ",\n";
+  json += "  \"latency\": " + r.hist.to_json() + ",\n";
+  json += "  \"ops\": {\"get\": " + std::to_string(r.gets) +
+          ", \"snap_read\": " + std::to_string(r.snap_reads) +
+          ", \"put\": " + std::to_string(r.puts) +
+          ", \"insert\": " + std::to_string(r.inserts) +
+          ", \"scan\": " + std::to_string(r.scans) +
+          ", \"rmw\": " + std::to_string(r.rmws) + "}";
+  if (server) {
+    json += ",\n  \"server\": {\"frames\": " + std::to_string(sstats.frames) +
+            ", \"bad_frames\": " + std::to_string(sstats.bad_frames) +
+            ", \"transactions\": " + std::to_string(sstats.batch.transactions) +
+            ", \"batched_ops\": " + std::to_string(sstats.batch.ops) +
+            ", \"snap_refreshes\": " + std::to_string(sstats.snap_refreshes) +
+            ", \"streamed\": " + (sstats.streamed ? "true" : "false") +
+            ", \"segments\": " + std::to_string(sstats.segments) +
+            ", \"windows\": " + std::to_string(sstats.windows) +
+            ", \"nonconformant\": " + std::to_string(sstats.nonconformant) +
+            ", \"ring_dropped\": " + std::to_string(sstats.ring_dropped) +
+            ", \"overflow\": " + (sstats.overflow ? "true" : "false") + "}";
+  }
+  json += "\n}\n";
+  std::fputs(json.c_str(), stdout);
+  if (!json_path.empty() && !campaign::write_file(json_path, json)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 2;
+  }
+
+  if (do_assert) {
+    const bool client_ok = r.ok();
+    const bool server_ok = !server || sstats.ok();
+    if (!client_ok || !server_ok) {
+      std::fprintf(stderr, "loadgen assert failed: client %s, server %s\n",
+                   client_ok ? "ok" : "FAIL", server_ok ? "ok" : "FAIL");
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -9,6 +9,7 @@
 //                 [--kv] [--kv-only] [--kv-ops N] [--kv-seed N] [--kv-keys N]
 //                 [--kv-shards N] [--kv-no-sample] [--kv-global-fence]
 //                 [--kv-stream]
+//                 [--net] [--net-only] [--net-ops N] [--net-rate R]
 //                 [--fuzz N] [--fuzz-only] [--fuzz-seed S] [--fuzz-sched K]
 //                 [--fuzz-no-shrink] [--fuzz-repro-dir DIR]
 //                 [--fuzz-time-budget-ms N] [--fuzz-threads N]
@@ -36,6 +37,13 @@
 // --kv-stream replaces sampling with the always-on streaming pipeline:
 // every round is captured through lock-free per-thread rings and judged
 // concurrently with the run; a ring overflow poisons the row.
+//
+// --net adds the loopback serving smoke grid: every registered backend runs
+// the binary-protocol front end twice — per-connection transaction batching
+// on and off — under open-loop load on the hot mix, with streaming
+// conformance judging the served traffic; any non-conformant segment, ring
+// drop, bad frame or malformed value counts as a mismatch.  --net-only
+// skips the litmus catalog.
 //
 // --fuzz N adds the differential fuzz grid: N random litmus programs (seeded
 // by --fuzz-seed, byte-reproducible) run on every registered backend under
@@ -119,6 +127,15 @@ int main(int argc, char** argv) {
       opts.kv_stream = true;
     else if (std::strcmp(argv[i], "--kv-stream-sample") == 0)
       opts.kv_stream_sample = static_cast<std::size_t>(count("--kv-stream-sample"));
+    else if (std::strcmp(argv[i], "--net") == 0)
+      opts.net_jobs = true;
+    else if (std::strcmp(argv[i], "--net-only") == 0) {
+      opts.net_jobs = true;
+      opts.litmus_jobs = false;
+    } else if (std::strcmp(argv[i], "--net-ops") == 0)
+      opts.net_ops = count("--net-ops");
+    else if (std::strcmp(argv[i], "--net-rate") == 0)
+      opts.net_rate = static_cast<double>(count("--net-rate"));
     else if (std::strcmp(argv[i], "--fuzz") == 0)
       opts.fuzz_count = static_cast<int>(count("--fuzz"));
     else if (std::strcmp(argv[i], "--fuzz-only") == 0)
@@ -193,6 +210,23 @@ int main(int argc, char** argv) {
     std::printf("%s\n", kvt.render().c_str());
   }
 
+  if (!r.net.empty()) {
+    Table nt({"backend", "mode", "verdict", "ops", "txns", "ops/s", "p99us",
+              "segments", "ms"});
+    for (const campaign::NetRow& row : r.net) {
+      char ms[32];
+      std::snprintf(ms, sizeof(ms), "%.1f", row.millis);
+      nt.add_row({row.backend, row.batched ? "batched" : "unbatched",
+                  row.ok() ? "conformant" : "VIOLATION",
+                  std::to_string(row.completed),
+                  std::to_string(row.transactions),
+                  fixed(row.achieved_per_sec, 0),
+                  fixed(static_cast<double>(row.p99_ns) / 1e3, 1),
+                  std::to_string(row.segments), ms});
+    }
+    std::printf("%s\n", nt.render().c_str());
+  }
+
   if (!r.fuzzed.empty()) {
     Table fz({"program", "backend", "verdict", "model outcomes", "races",
               "runs", "ms"});
@@ -213,9 +247,10 @@ int main(int argc, char** argv) {
                     row.backend.c_str(), row.repro.c_str());
   }
 
-  std::printf("rows: %zu  recorded: %zu  kv: %zu  fuzzed: %zu  mismatches: %zu  threads: %zu  shards: %zu  wall: %.1f ms\n",
-              r.jobs.size(), r.recorded.size(), r.kv.size(), r.fuzzed.size(),
-              r.mismatches, r.threads_used, r.shard_count, r.wall_ms);
+  std::printf("rows: %zu  recorded: %zu  kv: %zu  net: %zu  fuzzed: %zu  mismatches: %zu  threads: %zu  shards: %zu  wall: %.1f ms\n",
+              r.jobs.size(), r.recorded.size(), r.kv.size(), r.net.size(),
+              r.fuzzed.size(), r.mismatches, r.threads_used, r.shard_count,
+              r.wall_ms);
 
   if (!json_path.empty() && !campaign::write_file(json_path, campaign::to_json(r))) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());

@@ -4,9 +4,13 @@
 #include <cstdio>
 #include <optional>
 
+#include <thread>
+
 #include "campaign/report.hpp"
 #include "kv/workload.hpp"
 #include "model/model_config.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
 #include "record/conformance.hpp"
 #include "record/workloads.hpp"
 #include "stm/backend.hpp"
@@ -217,6 +221,71 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     return row;
   };
 
+  // Network serving smoke jobs: backend x {batched, unbatched}, in
+  // deterministic grid order.  Each job self-hosts a loopback server on an
+  // ephemeral port and drives it with the open-loop generator, so jobs are
+  // independent and can share the pool.
+  struct NetJob {
+    std::string backend;
+    bool batched;
+  };
+  std::vector<NetJob> net_grid;
+  if (opts.net_jobs) {
+    for (const std::string& b : stm::backend_names())
+      for (const bool batched : {true, false}) net_grid.push_back({b, batched});
+  }
+  auto run_net = [&](std::size_t i) {
+    const NetJob& j = net_grid[i];
+    const auto n0 = Clock::now();
+    NetRow row;
+    row.backend = j.backend;
+    row.batched = j.batched;
+
+    auto stm = stm::make_backend(j.backend);
+    net::ServerOptions so;
+    so.shards = opts.net_shards;
+    so.preload_keys = opts.net_keys;
+    so.snap_keys = opts.net_snap;
+    so.max_batch = j.batched ? opts.net_batch : 1;
+    so.snap_refresh_every = opts.net_refresh;
+    so.stream = true;
+    net::Server server(*stm, so);
+    std::thread server_thread([&] { server.run(); });
+
+    net::LoadgenOptions lg;
+    lg.port = server.port();
+    lg.connections = opts.net_conns;
+    lg.rate = opts.net_rate;
+    lg.mix = kv::mix_by_name("hot");
+    lg.ops_per_conn = opts.net_ops;
+    lg.preload_keys = opts.net_keys;
+    lg.shards = opts.net_shards;
+    lg.snap_keys = opts.net_snap;
+    lg.seed = opts.net_seed;
+    const net::LoadgenResult r = net::run_loadgen(lg);
+    server.stop();
+    server_thread.join();
+    const net::ServerStats ss = server.stats();
+
+    row.intended = r.intended;
+    row.completed = r.completed;
+    row.errors = r.errors;
+    row.form_violations = r.form_violations;
+    row.achieved_per_sec = r.achieved_per_sec;
+    row.p99_ns = r.hist.p99();
+    row.frames = ss.frames;
+    row.bad_frames = ss.bad_frames;
+    row.transactions = ss.batch.transactions;
+    row.segments = ss.segments;
+    row.windows = ss.windows;
+    row.nonconformant = ss.nonconformant;
+    row.ring_dropped = ss.ring_dropped;
+    row.overflow = ss.overflow;
+    row.streamed = ss.streamed;
+    row.millis = ms_since(n0);
+    return row;
+  };
+
   // Differential fuzz jobs: generate the program batch up front (one RNG
   // stream, byte-deterministic), then prepare (model enumeration) and run
   // (program × backend) as pool tasks.
@@ -268,6 +337,7 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
   std::vector<ShardResult> results;
   std::vector<RecordRow> record_rows;
   std::vector<KvRow> kv_rows;
+  std::vector<NetRow> net_rows;
   std::vector<fuzz::FuzzRow> fuzz_rows;
   if (nthreads <= 1) {
     results.reserve(shards.size());
@@ -277,6 +347,8 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
       record_rows.push_back(run_record(i));
     kv_rows.reserve(kv_grid.size());
     for (std::size_t i = 0; i < kv_grid.size(); ++i) kv_rows.push_back(run_kv(i));
+    net_rows.reserve(net_grid.size());
+    for (std::size_t i = 0; i < net_grid.size(); ++i) net_rows.push_back(run_net(i));
     arm_fuzz_deadline();
     fuzz_prepared.reserve(fuzz_progs.size());
     for (std::size_t i = 0; i < fuzz_progs.size(); ++i)
@@ -289,6 +361,7 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     results = parallel_map<ShardResult>(pool, shards.size(), run_shard);
     record_rows = parallel_map<RecordRow>(pool, record_jobs.size(), run_record);
     kv_rows = parallel_map<KvRow>(pool, kv_grid.size(), run_kv);
+    net_rows = parallel_map<NetRow>(pool, net_grid.size(), run_net);
     arm_fuzz_deadline();
     fuzz_prepared =
         parallel_map<fuzz::FuzzProgram>(pool, fuzz_progs.size(), prepare_fuzz);
@@ -326,6 +399,9 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
   out.kv = std::move(kv_rows);
   for (const KvRow& kr : out.kv)
     if (!kr.ok()) ++out.mismatches;
+  out.net = std::move(net_rows);
+  for (const NetRow& nr : out.net)
+    if (!nr.ok()) ++out.mismatches;
   out.fuzzed = std::move(fuzz_rows);
   for (const fuzz::FuzzRow& fr : out.fuzzed) {
     if (!fr.ok()) ++out.mismatches;
@@ -370,6 +446,14 @@ std::string verdict_signature(const CampaignResult& r) {
          std::to_string(kr.reads) + "/" + std::to_string(kr.updates) + "/" +
          std::to_string(kr.inserts) + "/" + std::to_string(kr.scans) + "/" +
          std::to_string(kr.rmws) + "/" + std::to_string(kr.snap_reads) + "\n";
+  }
+  // Net rows: the open-loop generator sends its entire schedule, so the
+  // intended op count is fixed by the options and the verdict must be
+  // conformant on every schedule; throughput, latency, segment and
+  // transaction counts are scheduling-dependent and omitted.
+  for (const NetRow& nr : r.net) {
+    s += "net:" + nr.backend + ":" + (nr.batched ? "batched" : "unbatched") +
+         "," + (nr.ok() ? "C" : "V") + "," + std::to_string(nr.intended) + "\n";
   }
   // Fuzz rows: verdict and model outcome count are schedule-independent for
   // conformant runs (race counts are not — they vary with interleaving).

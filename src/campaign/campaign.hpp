@@ -90,6 +90,24 @@ struct CampaignOptions {
   // recorded state replay.
   std::size_t kv_stream_sample = 1;
 
+  // ----- network serving smoke jobs -----
+  // When enabled, the campaign also runs a short loopback serving smoke per
+  // backend, batched (max_batch = net_batch) and unbatched (max_batch = 1):
+  // an in-process Server driven by the open-loop load generator on the hot
+  // mix, with streaming conformance judging the served traffic.  Rows appear
+  // beside the KV rows; any non-conformant segment, ring drop, bad frame,
+  // client error or malformed value counts as a mismatch.
+  bool net_jobs = false;
+  std::size_t net_conns = 2;
+  double net_rate = 2000;        // aggregate intended arrivals per second
+  std::uint64_t net_ops = 128;   // per connection
+  std::size_t net_keys = 256;
+  std::size_t net_shards = 4;
+  std::size_t net_snap = 8;
+  std::size_t net_batch = 8;     // batched-mode coalescing cap
+  std::size_t net_refresh = 256; // snapshot refresh cadence (requests)
+  std::uint64_t net_seed = 7;
+
   // ----- differential fuzz jobs -----
   // When > 0, generates `fuzz_count` random litmus programs from fuzz_seed,
   // runs each on every registered backend under fuzz_sched_rounds schedule
@@ -181,10 +199,49 @@ struct KvRow {
   bool ok() const { return nonconformant == 0 && invariant_ok && !overflow; }
 };
 
+// One loopback serving smoke verdict: a (backend, batching mode) run of the
+// binary-protocol front end under open-loop load, judged by the streaming
+// conformance pipeline over the served traffic.
+struct NetRow {
+  std::string backend;
+  bool batched = false;  // max_batch > 1 vs the unbatched A/B baseline
+
+  // Schedule-independent (the open-loop generator always sends its whole
+  // schedule; conformant rows complete every op).
+  std::uint64_t intended = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t form_violations = 0;
+
+  // Server-side health + streaming verdict (segment/window counts vary with
+  // scheduling; nonconformant must be 0 on every schedule).
+  std::uint64_t frames = 0;
+  std::uint64_t bad_frames = 0;
+  std::uint64_t transactions = 0;  // batching: < completed when coalescing
+  std::size_t segments = 0;
+  std::size_t windows = 0;
+  std::size_t nonconformant = 0;
+  std::uint64_t ring_dropped = 0;
+  bool overflow = false;
+  bool streamed = false;
+
+  // Informational measurements.
+  double achieved_per_sec = 0;
+  std::uint64_t p99_ns = 0;
+  double millis = 0;
+
+  bool ok() const {
+    return errors == 0 && form_violations == 0 && completed == intended &&
+           bad_frames == 0 && nonconformant == 0 && ring_dropped == 0 &&
+           !overflow;
+  }
+};
+
 struct CampaignResult {
   std::vector<JobResult> jobs;    // catalog order, schedule-independent
   std::vector<RecordRow> recorded;  // backend x workload x threads order
   std::vector<KvRow> kv;            // mix x backend x threads grid order
+  std::vector<NetRow> net;          // backend x {batched, unbatched} order
   std::vector<fuzz::FuzzRow> fuzzed;  // program x backend grid order
   std::size_t mismatches = 0;     // rows where measured != paper, plus
                                   // non-conformant recorded and fuzz rows

@@ -117,6 +117,31 @@ std::string to_json(const CampaignResult& r, const std::string& run_label) {
     s += (i + 1 < r.kv.size()) ? ",\n" : "\n";
   }
   s += "  ],\n";
+  s += "  \"net\": [\n";
+  for (std::size_t i = 0; i < r.net.size(); ++i) {
+    const NetRow& nr = r.net[i];
+    s += "    {\"backend\": \"" + json_escape(nr.backend) +
+         "\", \"batched\": " + (nr.batched ? "true" : "false") +
+         ", \"conformant\": " + (nr.ok() ? "true" : "false") +
+         ", \"intended\": " + std::to_string(nr.intended) +
+         ", \"completed\": " + std::to_string(nr.completed) +
+         ", \"errors\": " + std::to_string(nr.errors) +
+         ", \"form_violations\": " + std::to_string(nr.form_violations) +
+         ", \"frames\": " + std::to_string(nr.frames) +
+         ", \"bad_frames\": " + std::to_string(nr.bad_frames) +
+         ", \"transactions\": " + std::to_string(nr.transactions) +
+         ", \"segments\": " + std::to_string(nr.segments) +
+         ", \"windows\": " + std::to_string(nr.windows) +
+         ", \"nonconformant\": " + std::to_string(nr.nonconformant) +
+         ", \"ring_dropped\": " + std::to_string(nr.ring_dropped) +
+         ", \"overflow\": " + (nr.overflow ? "true" : "false") +
+         ", \"streamed\": " + (nr.streamed ? "true" : "false") +
+         ", \"achieved_per_sec\": " + fmt_ms(nr.achieved_per_sec) +
+         ", \"p99_ns\": " + std::to_string(nr.p99_ns) +
+         ", \"ms\": " + fmt_ms(nr.millis) + "}";
+    s += (i + 1 < r.net.size()) ? ",\n" : "\n";
+  }
+  s += "  ],\n";
   s += "  \"recorded\": [\n";
   for (std::size_t i = 0; i < r.recorded.size(); ++i) {
     const RecordRow& rr = r.recorded[i];
@@ -173,6 +198,16 @@ std::string to_csv(const CampaignResult& r) {
          ",kv,conformant," + (kr.ok() ? "conformant" : "violation") + "," +
          (kr.ok() ? "yes" : "no") + "," + std::to_string(kr.nonconformant) +
          "," + std::to_string(kr.ops) + ",no\n";
+  }
+  // Net rows, same column shape: outcomes carries the non-conformant segment
+  // count and consistent_execs the intended op total (fixed by the options;
+  // the open-loop schedule always sends everything).
+  for (const NetRow& nr : r.net) {
+    s += "net:" + nr.backend + ":" +
+         (nr.batched ? "batched" : "unbatched") + ",net,conformant," +
+         (nr.ok() ? "conformant" : "violation") + "," +
+         (nr.ok() ? "yes" : "no") + "," + std::to_string(nr.nonconformant) +
+         "," + std::to_string(nr.intended) + ",no\n";
   }
   // Fuzz rows, same column shape: outcomes carries the model outcome count
   // and consistent_execs the schedule rounds run — all fields here are

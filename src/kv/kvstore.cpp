@@ -1,5 +1,6 @@
 #include "kv/kvstore.hpp"
 
+#include <cassert>
 #include <thread>
 
 namespace mtx::kv {
@@ -113,6 +114,54 @@ std::size_t KvStore::size() {
   return n;
 }
 
+void KvStore::batch_mutate(std::size_t shard, WriteOp* ops, std::size_t n) {
+  if (n == 0) return;
+  Shard& s = *shards_[shard];
+  // Per-class tallies are a function of the op kinds alone — count once,
+  // bump the shard counters after the transaction lands.
+  std::uint64_t gets = 0, puts = 0, rmws = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    assert(shard_of(ops[i].key) == shard && "batch op routed to wrong shard");
+    switch (ops[i].kind) {
+      case WriteOp::Kind::get: ++gets; break;
+      case WriteOp::Kind::put: ++puts; break;
+      case WriteOp::Kind::rmw: ++rmws; break;
+    }
+  }
+  mutate(s, [&](stm::TxHandle& tx) {
+    // The whole body re-runs on a conflict abort: reset every op's outputs
+    // so a retried attempt starts clean.
+    for (std::size_t i = 0; i < n; ++i) {
+      WriteOp& op = ops[i];
+      op.applied = false;
+      op.result = 0;
+      switch (op.kind) {
+        case WriteOp::Kind::get: {
+          std::int64_t v = 0;
+          op.applied = s.table.get_in(tx, op.key, &v);
+          if (op.applied) op.result = v;
+          break;
+        }
+        case WriteOp::Kind::put:
+          op.applied = s.table.put_in(tx, op.key, op.arg);
+          op.result = op.arg;
+          break;
+        case WriteOp::Kind::rmw: {
+          std::int64_t old = 0;
+          op.applied = s.table.get_in(tx, op.key, &old);
+          if (!op.applied) break;
+          op.result = value_of(op.key, payload_of(old) + op.arg);
+          s.table.put_in(tx, op.key, op.result);
+          break;
+        }
+      }
+    }
+  });
+  s.counters.gets.fetch_add(gets, std::memory_order_relaxed);
+  s.counters.puts.fetch_add(puts, std::memory_order_relaxed);
+  s.counters.rmws.fetch_add(rmws, std::memory_order_relaxed);
+}
+
 ScanResult KvStore::privatize_scan(
     std::size_t shard, const std::function<void(std::int64_t, std::int64_t)>& fn) {
   Shard& s = *shards_[shard];
@@ -169,6 +218,37 @@ bool KvStore::publish_snapshot(const std::vector<std::int64_t>& keys) {
   // ...published by one transactional flag write: the slots are immutable
   // from this commit on, and every reader orders its plain loads after it
   // through snapshot_attach's transactional read.
+  stm_.atomically([&](stm::TxHandle& tx) { tx.write(snap_ready_, 1); });
+  return true;
+}
+
+bool KvStore::refresh_snapshot(const std::vector<std::int64_t>& keys) {
+  if (!snap_published_.load(std::memory_order_acquire)) return false;
+  // Retract: any thread attaching from here on sees "nothing published"
+  // until the re-publication commit below.
+  stm_.atomically([&](stm::TxHandle& tx) { tx.write(snap_ready_, 0); });
+  // Grace period: the retraction is globally visible and no transaction
+  // begun against the previous publication is still running.  Combined with
+  // the caller's quiet-point contract (no snapshot_read in flight), the
+  // slots are unshared again — plain re-writes below race with nothing.
+  stm_.quiesce();
+  for (auto& s : shards_)
+    for (SnapSlot& slot : s->snap) {
+      slot.key.plain_store(0);
+      slot.value.plain_store(0);
+    }
+  std::vector<std::size_t> used(shards_.size(), 0);
+  for (std::int64_t key : keys) {
+    const std::size_t si = shard_of(key);
+    Shard& s = *shards_[si];
+    if (used[si] >= s.snap.size()) continue;  // shard's snapshot is full
+    std::int64_t value = 0;
+    if (!get(key, &value)) continue;
+    s.snap[used[si]].key.plain_store(static_cast<word_t>(key + 1));
+    s.snap[used[si]].value.plain_store(static_cast<word_t>(value));
+    ++used[si];
+  }
+  // Re-publish: the same single transactional handoff as publish_snapshot.
   stm_.atomically([&](stm::TxHandle& tx) { tx.write(snap_ready_, 1); });
   return true;
 }

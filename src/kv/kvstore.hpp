@@ -55,6 +55,28 @@
 
 namespace mtx::kv {
 
+// Canonical keyed-value form, shared by every driver of the store (the
+// in-process workload engine, the network serving tier and its load
+// generator): a value files its key in the high digits — value =
+// key * kValueStride + payload with payload in [0, kValueStride).  Any
+// reader holding a (key, value) pair can audit the pair against the key it
+// was filed under, a schedule-independent correctness check that survives
+// arbitrary interleaving and staleness (a stale value is still *that key's*
+// value).  The wire protocol's RMW op and KvStore::batch_mutate bump the
+// payload modulo the stride, so the form is preserved forever — no audit
+// ever degrades into "probably fine until a counter overflows the stride".
+constexpr std::int64_t kValueStride = 1'000'000;
+
+inline std::int64_t value_of(std::int64_t key, std::int64_t payload) {
+  return key * kValueStride + payload % kValueStride;
+}
+inline std::int64_t payload_of(std::int64_t value) {
+  return ((value % kValueStride) + kValueStride) % kValueStride;
+}
+inline bool value_form_ok(std::int64_t key, std::int64_t value) {
+  return value / kValueStride == key;
+}
+
 // Copyable snapshot of one shard's operation counters.
 struct ShardStats {
   std::uint64_t gets = 0;
@@ -73,6 +95,26 @@ struct ScanResult {
   std::int64_t value_sum = 0;
 };
 
+// One decoded operation of a same-shard batch (KvStore::batch_mutate): the
+// serving front end coalesces a run of pipelined ops from one connection
+// into a single transaction, so the STM begin/commit overhead — and the §5
+// mutator flag check — amortize across the run.  Results are written back
+// in place; a conflict retry re-runs the whole batch body, so the executor
+// resets outputs at the top of every attempt.
+struct WriteOp {
+  enum class Kind : std::uint8_t {
+    get,  // transactional read; applied = found, result = value
+    put,  // applied = fresh insert, result = stored value
+    rmw,  // form-preserving payload bump by `arg` (see kValueStride);
+          // applied = key present, result = new value
+  };
+  Kind kind = Kind::put;
+  std::int64_t key = 0;
+  std::int64_t arg = 0;  // put: value to store; rmw: payload delta
+  bool applied = false;
+  std::int64_t result = 0;
+};
+
 class KvStore {
  public:
   struct Options {
@@ -89,6 +131,7 @@ class KvStore {
   explicit KvStore(stm::StmBackend& stm);  // default Options
   KvStore(stm::StmBackend& stm, const Options& opt);
 
+  stm::StmBackend& stm() { return stm_; }
   std::size_t shards() const { return shards_.size(); }
   std::size_t shard_of(std::int64_t key) const;
   std::size_t bucket_count(std::size_t shard) const;
@@ -103,6 +146,15 @@ class KvStore {
   bool rmw(std::int64_t key, const std::function<std::int64_t(std::int64_t)>& f,
            std::int64_t* out = nullptr);
   std::size_t size();  // transactional count, one transaction per shard
+
+  // Execute `n` decoded ops — every one keyed to shard `shard` — inside ONE
+  // flag-checked transaction (the serving tier's per-connection batch), so
+  // begin/commit overhead and the §5 mutator obligation amortize across the
+  // run.  Semantically equivalent to issuing the ops one at a time on a
+  // single thread: gets observe earlier puts of the same batch
+  // (read-your-writes inside the transaction).  Results land in the WriteOp
+  // entries after the call returns.
+  void batch_mutate(std::size_t shard, WriteOp* ops, std::size_t n);
 
   // ----- mixed-access fast paths ------------------------------------------
 
@@ -128,6 +180,18 @@ class KvStore {
   // Pure plain-load read of a frozen value.  Requires a prior successful
   // snapshot_attach() in this thread; false when the key was not frozen.
   bool snapshot_read(std::int64_t key, std::int64_t* out);
+
+  // Hot-key refresh policy: re-run the publication protocol over the
+  // already-published slots.  Transactionally retract snap_ready, quiesce
+  // (the retraction is globally visible and no publication-era transaction
+  // is still in flight), plain re-write the slots with the keys' CURRENT
+  // values, and re-publish with one transactional snap_ready write.  Caller
+  // contract mirrors publish_snapshot, sharpened: a quiet point with no
+  // concurrent mutator of the refreshed keys AND no snapshot_read in
+  // flight — the serving front end satisfies it for free from its single
+  // op-execution thread between requests.  Returns false when nothing was
+  // ever published (use publish_snapshot first).
+  bool refresh_snapshot(const std::vector<std::int64_t>& keys);
 
   // ----- sampled-conformance support --------------------------------------
 

@@ -20,22 +20,11 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-// Values carry their key in the high digits: value = key * kStride +
-// payload with payload < kStride.  Every write path preserves the form, so
-// scans, gets and snapshot reads can audit any value they see against the
-// key it was filed under — a linearizable-ish correctness check that is
-// schedule-independent.
-constexpr std::int64_t kStride = 1'000'000;
-
-std::int64_t value_of(std::int64_t key, std::int64_t payload) {
-  return key * kStride + payload % kStride;
-}
-
-bool form_ok(std::int64_t key, std::int64_t v) { return v / kStride == key; }
-
-enum class Op { read, update, insert, scan, rmw, snap };
-
-// Per-thread tallies of the deterministic op plan.
+// Per-thread tallies of the deterministic op plan.  Values use the kv-layer
+// keyed form (kv::value_of / value_form_ok): every write path preserves it,
+// so scans, gets and snapshot reads audit any value they see against the
+// key it was filed under — schedule-independent, shared with the serving
+// tier.
 struct Tally {
   std::uint64_t reads = 0, updates = 0, inserts = 0, scans = 0, rmws = 0,
                 snaps = 0;
@@ -53,9 +42,45 @@ const std::vector<Mix>& standard_mixes() {
     // Mixed-access scenarios: the §5 protocols under load.
     v.push_back({"priv_heavy", 40, 25, 10, 20, 5, 0, KeyDist::uniform, 0.99});
     v.push_back({"pub_heavy", 20, 10, 5, 0, 10, 55, KeyDist::zipfian, 0.99});
+    // Serving-tier scenario: 90% reads, 80% of key draws over a 16-key hot
+    // set layered on Zipfian — the contended cache-line shape the network
+    // front end routes through the snapshot publication path.
+    v.push_back({"hot", 90, 8, 0, 0, 2, 0, KeyDist::zipfian, 0.99, 80, 16});
     return v;
   }();
   return mixes;
+}
+
+OpKind draw_op(Rng& rng, const Mix& mix) {
+  const std::uint64_t dice = rng.below(100);
+  std::uint64_t edge = static_cast<std::uint64_t>(mix.read_pct);
+  if (dice < edge) return OpKind::read;
+  if (dice < (edge += static_cast<std::uint64_t>(mix.update_pct)))
+    return OpKind::update;
+  if (dice < (edge += static_cast<std::uint64_t>(mix.insert_pct)))
+    return OpKind::insert;
+  if (dice < (edge += static_cast<std::uint64_t>(mix.scan_pct)))
+    return OpKind::scan;
+  if (dice < (edge += static_cast<std::uint64_t>(mix.rmw_pct)))
+    return OpKind::rmw;
+  return OpKind::snap;
+}
+
+KeyChooser::KeyChooser(const Mix& mix, std::size_t space)
+    : space_(space ? space : 1),
+      hot_pct_(mix.hot_pct),
+      hot_set_(std::min(std::max<std::size_t>(1, mix.hot_set), space_)) {
+  if (mix.dist == KeyDist::zipfian) zipf_.emplace(space_, mix.theta);
+}
+
+std::int64_t KeyChooser::next(Rng& rng) const {
+  // The layer dice is drawn only when the layer is on: mixes with
+  // hot_pct == 0 keep the exact pre-layer Rng stream, so their planned op
+  // counts and single-thread final states stay pinned.
+  if (hot_pct_ > 0 && rng.below(100) < static_cast<std::uint64_t>(hot_pct_))
+    return static_cast<std::int64_t>(rng.below(hot_set_));
+  return static_cast<std::int64_t>(zipf_ ? zipf_->next(rng)
+                                         : rng.below(space_));
 }
 
 const Mix* mix_by_name(const std::string& name) {
@@ -105,10 +130,7 @@ KvResult run_kv_workload(stm::StmBackend& stm, const Mix& mix,
     snap_keys[k] = static_cast<std::int64_t>(k);
   store.publish_snapshot(snap_keys);
 
-  const std::optional<Zipfian> zipf =
-      mix.dist == KeyDist::zipfian
-          ? std::optional<Zipfian>(Zipfian(preload, mix.theta))
-          : std::nullopt;
+  const KeyChooser chooser(mix, preload);
 
   const std::size_t rounds =
       rounds_mode ? (opts.ops_per_thread + opts.round_ops - 1) / opts.round_ops
@@ -166,48 +188,58 @@ KvResult run_kv_workload(stm::StmBackend& stm, const Mix& mix,
     auto run_ops = [&](std::uint64_t first, std::uint64_t n) {
       for (std::uint64_t i = first; i < first + n; ++i) {
         const auto t0 = Clock::now();
-        const std::uint64_t dice = rng.below(100);
-        const auto draw_key = [&]() -> std::int64_t {
-          return static_cast<std::int64_t>(zipf ? zipf->next(rng)
-                                                : rng.below(preload));
-        };
-        std::uint64_t edge = static_cast<std::uint64_t>(mix.read_pct);
-        if (dice < edge) {
-          const std::int64_t key = draw_key();
-          std::int64_t v = 0;
-          if (!store.get(key, &v) || !form_ok(key, v))
-            values_wellformed = false;
-          ++local.reads;
-        } else if (dice < (edge += static_cast<std::uint64_t>(mix.update_pct))) {
-          const std::int64_t key = draw_key();
-          store.put(key, value_of(key, static_cast<std::int64_t>(
-                                           tid * 7919 + i)));
-          ++local.updates;
-        } else if (dice < (edge += static_cast<std::uint64_t>(mix.insert_pct))) {
-          // Unique fresh key per (thread, op index): deterministic, and the
-          // final size() audit becomes exact.
-          const auto key = static_cast<std::int64_t>(
-              preload + tid * opts.ops_per_thread + i);
-          store.put(key, value_of(key, static_cast<std::int64_t>(i)));
-          ++local.inserts;
-        } else if (dice < (edge += static_cast<std::uint64_t>(mix.scan_pct))) {
-          const std::size_t shard = rng.below(store.shards());
-          store.privatize_scan(shard, [&](std::int64_t k, std::int64_t v) {
-            if (!form_ok(k, v)) values_wellformed = false;
-          });
-          ++local.scans;
-        } else if (dice < (edge += static_cast<std::uint64_t>(mix.rmw_pct))) {
-          const std::int64_t key = draw_key();
-          store.rmw(key, [key](std::int64_t old) {
-            return value_of(key, old % kStride + 1);
-          });
-          ++local.rmws;
-        } else {
-          const auto key = static_cast<std::int64_t>(rng.below(snap_count));
-          std::int64_t v = 0;
-          if (store.snapshot_read(key, &v) && !form_ok(key, v))
-            values_wellformed = false;
-          ++local.snaps;
+        // Draw order (op dice, then key) is the determinism contract — the
+        // shared draw_op/KeyChooser helpers consume the same Rng stream the
+        // pre-shared driver did for every hot-layer-free mix.
+        switch (draw_op(rng, mix)) {
+          case OpKind::read: {
+            const std::int64_t key = chooser.next(rng);
+            std::int64_t v = 0;
+            if (!store.get(key, &v) || !value_form_ok(key, v))
+              values_wellformed = false;
+            ++local.reads;
+            break;
+          }
+          case OpKind::update: {
+            const std::int64_t key = chooser.next(rng);
+            store.put(key, value_of(key, static_cast<std::int64_t>(
+                                             tid * 7919 + i)));
+            ++local.updates;
+            break;
+          }
+          case OpKind::insert: {
+            // Unique fresh key per (thread, op index): deterministic, and
+            // the final size() audit becomes exact.
+            const auto key = static_cast<std::int64_t>(
+                preload + tid * opts.ops_per_thread + i);
+            store.put(key, value_of(key, static_cast<std::int64_t>(i)));
+            ++local.inserts;
+            break;
+          }
+          case OpKind::scan: {
+            const std::size_t shard = rng.below(store.shards());
+            store.privatize_scan(shard, [&](std::int64_t k, std::int64_t v) {
+              if (!value_form_ok(k, v)) values_wellformed = false;
+            });
+            ++local.scans;
+            break;
+          }
+          case OpKind::rmw: {
+            const std::int64_t key = chooser.next(rng);
+            store.rmw(key, [key](std::int64_t old) {
+              return value_of(key, payload_of(old) + 1);
+            });
+            ++local.rmws;
+            break;
+          }
+          case OpKind::snap: {
+            const auto key = static_cast<std::int64_t>(rng.below(snap_count));
+            std::int64_t v = 0;
+            if (store.snapshot_read(key, &v) && !value_form_ok(key, v))
+              values_wellformed = false;
+            ++local.snaps;
+            break;
+          }
         }
         lhist.add(static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
@@ -386,7 +418,7 @@ KvResult run_kv_workload(stm::StmBackend& stm, const Mix& mix,
   for (std::size_t k = 0; k < preload && audit; ++k) {
     std::int64_t v = 0;
     const auto key = static_cast<std::int64_t>(k);
-    if (!store.get(key, &v) || !form_ok(key, v)) audit = false;
+    if (!store.get(key, &v) || !value_form_ok(key, v)) audit = false;
   }
   if (store.size() != preload + total.inserts) audit = false;
   store.snapshot_attach();

@@ -34,10 +34,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "kv/kvstore.hpp"
+#include "substrate/rng.hpp"
 #include "substrate/stats.hpp"
 
 namespace mtx::kv {
@@ -61,17 +63,53 @@ struct Mix {
   int snap_pct = 0;
   KeyDist dist = KeyDist::zipfian;
   double theta = 0.99;
+  // Hot-set layer: hot_pct% of key draws come from the tiny set
+  // [0, hot_set) regardless of the base distribution; the rest fall through
+  // to dist/theta, so a hot scenario keeps its long-tail traffic.  0 = off
+  // (and then the layer consumes no Rng values — existing mixes' planned
+  // op streams are bit-identical to the pre-layer driver).
+  int hot_pct = 0;
+  std::size_t hot_set = 16;
 
   int total_pct() const {
     return read_pct + update_pct + insert_pct + scan_pct + rmw_pct + snap_pct;
   }
 };
 
-// {a, b, c, priv_heavy, pub_heavy}: YCSB A (50/50 read/update), B (95/5),
-// C (read-only) on Zipfian keys, plus the two mixed-access scenarios —
-// priv_heavy leans on privatize-scan, pub_heavy on snapshot-read.
+// {a, b, c, priv_heavy, pub_heavy, hot}: YCSB A (50/50 read/update), B
+// (95/5), C (read-only) on Zipfian keys, the two mixed-access scenarios —
+// priv_heavy leans on privatize-scan, pub_heavy on snapshot-read — and the
+// serving-tier scenario `hot`: 90% reads with most key draws over a tiny
+// hot set layered on Zipfian, shared by the in-process driver and the
+// network load generator (bench/loadgen) so both speak one hot-key
+// definition.
 const std::vector<Mix>& standard_mixes();
 const Mix* mix_by_name(const std::string& name);
+
+// The op classes a mix draws from — one vocabulary for the in-process
+// driver, the wire protocol and the load generator.
+enum class OpKind { read, update, insert, scan, rmw, snap };
+
+// Draws the next op class from the mix percentages.  Consumes exactly one
+// Rng value — part of the determinism contract above.
+OpKind draw_op(Rng& rng, const Mix& mix);
+
+// Key chooser for a mix over `space` preloaded keys: the mix's base
+// distribution (Zipfian(theta) or uniform) with the hot-set layer on top.
+// Immutable after construction, safe to share across threads (each caller
+// supplies its own Rng).  Consumes one Rng value per draw, plus one more
+// for the layer dice only when the mix's hot layer is on.
+class KeyChooser {
+ public:
+  KeyChooser(const Mix& mix, std::size_t space);
+  std::int64_t next(Rng& rng) const;
+
+ private:
+  std::optional<Zipfian> zipf_;
+  std::size_t space_;
+  int hot_pct_;
+  std::size_t hot_set_;
+};
 
 struct KvWorkloadOptions {
   std::size_t threads = 2;

@@ -1,0 +1,174 @@
+#include "net/batch.hpp"
+
+namespace mtx::net {
+
+namespace {
+
+kv::WriteOp to_write_op(const Request& req) {
+  kv::WriteOp op;
+  op.key = req.key;
+  switch (req.op) {
+    case OpCode::get:
+      op.kind = kv::WriteOp::Kind::get;
+      break;
+    case OpCode::put:
+    case OpCode::insert:
+      op.kind = kv::WriteOp::Kind::put;
+      op.arg = req.arg;
+      break;
+    case OpCode::rmw:
+      op.kind = kv::WriteOp::Kind::rmw;
+      op.arg = req.arg;
+      break;
+    default:
+      break;  // unreachable: only batchable ops are enqueued
+  }
+  return op;
+}
+
+Response to_response(const kv::WriteOp& op, OpCode code) {
+  Response r;
+  r.op = code;
+  switch (op.kind) {
+    case kv::WriteOp::Kind::get:
+      r.status = op.applied ? Status::ok : Status::not_found;
+      r.value = op.result;
+      break;
+    case kv::WriteOp::Kind::put:
+      r.status = Status::ok;
+      r.flag = op.applied ? 1 : 0;  // fresh insert
+      break;
+    case kv::WriteOp::Kind::rmw:
+      r.status = op.applied ? Status::ok : Status::not_found;
+      r.value = op.result;
+      break;
+  }
+  return r;
+}
+
+}  // namespace
+
+BatchExecutor::BatchExecutor(kv::KvStore& store, std::size_t max_batch)
+    : store_(store), max_batch_(max_batch ? max_batch : 1) {
+  pending_.reserve(max_batch_);
+  pending_codes_.reserve(max_batch_);
+}
+
+void BatchExecutor::flush(std::vector<Response>& out) {
+  if (pending_.empty()) return;
+  store_.batch_mutate(pending_shard_, pending_.data(), pending_.size());
+  ++stats_.transactions;
+  for (std::size_t i = 0; i < pending_.size(); ++i)
+    out.push_back(to_response(pending_[i], pending_codes_[i]));
+  pending_.clear();
+  pending_codes_.clear();
+}
+
+void BatchExecutor::enqueue(const Request& req, std::vector<Response>& out) {
+  const std::size_t shard = store_.shard_of(req.key);
+  if (!pending_.empty() && shard != pending_shard_) {
+    ++stats_.flushes_shard;
+    flush(out);  // rule 1: the run is same-shard by construction
+  }
+  pending_shard_ = shard;
+  pending_.push_back(to_write_op(req));
+  pending_codes_.push_back(req.op);
+  ++stats_.ops;
+  if (pending_.size() >= max_batch_) {
+    ++stats_.flushes_full;
+    flush(out);  // rule 2
+  }
+}
+
+Response BatchExecutor::execute_barrier(const Request& req) {
+  Response r;
+  r.op = req.op;
+  switch (req.op) {
+    case OpCode::scan: {
+      if (req.shard >= store_.shards()) {
+        r.status = Status::error;
+        break;
+      }
+      const kv::ScanResult sr = store_.privatize_scan(req.shard);
+      r.status = Status::ok;
+      r.count = sr.keys;
+      r.value = sr.value_sum;
+      r.flag = sr.privatized ? 1 : 0;
+      break;
+    }
+    case OpCode::snap_read: {
+      // Publication handoff once per connection: one transactional read of
+      // snap_ready orders all of this executor's later plain slot loads
+      // after the publish (or refresh) commit.
+      if (!snap_attached_) snap_attached_ = store_.snapshot_attach();
+      std::int64_t v = 0;
+      if (snap_attached_ && store_.snapshot_read(req.key, &v)) {
+        r.status = Status::ok;
+        r.value = v;
+      } else {
+        r.status = Status::not_found;
+      }
+      break;
+    }
+    case OpCode::fence:
+      store_.stm().quiesce();
+      r.status = Status::ok;
+      break;
+    default:
+      r.status = Status::error;
+      break;
+  }
+  ++stats_.ops;
+  return r;
+}
+
+void BatchExecutor::submit(const Request& req, std::vector<Response>& out) {
+  switch (req.op) {
+    case OpCode::get:
+    case OpCode::put:
+    case OpCode::insert:
+    case OpCode::rmw:
+      enqueue(req, out);
+      return;
+    case OpCode::batch: {
+      // The frame is its own transaction-boundary contract: earlier
+      // pipelined ops commit first (rule 3 applies to the frame as a
+      // whole), then the frame's sub-ops run through the same coalescer
+      // and flush at frame end — a same-shard batch frame is exactly one
+      // transaction.
+      if (!pending_.empty()) {
+        ++stats_.flushes_barrier;
+        flush(out);
+      }
+      Response r;
+      r.op = OpCode::batch;
+      r.status = Status::ok;
+      for (const Request& s : req.sub) submit(s, r.sub);
+      if (!pending_.empty()) {
+        ++stats_.flushes_drain;
+        flush(r.sub);
+      }
+      out.push_back(std::move(r));
+      return;
+    }
+    case OpCode::scan:
+    case OpCode::snap_read:
+    case OpCode::fence:
+      // Rule 3: read-barrier ops leave the transactional world — commit the
+      // pending run before the barrier so it bounds everything submitted.
+      if (!pending_.empty()) {
+        ++stats_.flushes_barrier;
+        flush(out);
+      }
+      out.push_back(execute_barrier(req));
+      return;
+  }
+}
+
+void BatchExecutor::drain(std::vector<Response>& out) {
+  if (pending_.empty()) return;
+  ++stats_.flushes_drain;
+  flush(out);
+}
+
+}  // namespace mtx::net

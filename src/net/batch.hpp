@@ -1,0 +1,81 @@
+// Per-connection transaction batching: the serving tier's perf lever.
+//
+// A pipelined connection delivers runs of consecutive requests; the batcher
+// coalesces the batchable ones (GET/PUT/INSERT/RMW) that route to the SAME
+// shard into one pending run and executes the run as a single flag-checked
+// transaction (KvStore::batch_mutate), so per-op STM begin/commit overhead
+// — and the §5 mutator flag obligation — amortize across the run.  GETs
+// join the transaction rather than flushing it: they observe earlier puts
+// of the same batch (read-your-writes), which is exactly what executing the
+// pipeline one-op-per-transaction would have returned on this connection.
+//
+// Flush rules (why a batch never spans a fence): the pending run flushes
+//   1. when the next batchable op routes to a different shard,
+//   2. when the run reaches max_batch,
+//   3. BEFORE any read-barrier op — SCAN, SNAP_READ and FENCE leave the
+//      transactional world (privatize-scan quiesces the shard, snapshot
+//      reads are plain loads of published slots, FENCE is an explicit
+//      whole-store quiesce).  A batch spanning one would reorder its own
+//      writes relative to the barrier: the scan's plain phase must observe
+//      every op the connection issued before the SCAN, and a fence must
+//      bound everything already submitted — so the batch commits first,
+//      then the barrier runs.  BATCH frames also flush first (the frame is
+//      its own transaction boundary contract).
+//   4. at end-of-readable-input (the event loop drained the socket: no
+//      more pipeline to coalesce with, responses are owed) and on close.
+//
+// Responses are emitted strictly in submission order: batchable ops'
+// responses appear when their run flushes, and every non-batchable op
+// flushes the run first, so no response ever overtakes another.
+//
+// max_batch = 1 degenerates to unbatched pipelining — the A/B baseline the
+// benchmark compares against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kv/kvstore.hpp"
+#include "net/protocol.hpp"
+
+namespace mtx::net {
+
+class BatchExecutor {
+ public:
+  struct Stats {
+    std::uint64_t ops = 0;          // requests executed (batch subs counted)
+    std::uint64_t transactions = 0; // atomically blocks issued for them
+    std::uint64_t flushes_shard = 0;   // rule 1
+    std::uint64_t flushes_full = 0;    // rule 2
+    std::uint64_t flushes_barrier = 0; // rule 3
+    std::uint64_t flushes_drain = 0;   // rule 4
+  };
+
+  BatchExecutor(kv::KvStore& store, std::size_t max_batch);
+
+  // Submit one decoded request; completed responses (zero or more — a
+  // batchable op may stay pending) are appended to `out` in submission
+  // order.
+  void submit(const Request& req, std::vector<Response>& out);
+
+  // Rule 4: drain the pending run (end of readable input / close).
+  void drain(std::vector<Response>& out);
+
+  std::size_t pending() const { return pending_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void flush(std::vector<Response>& out);
+  void enqueue(const Request& req, std::vector<Response>& out);
+  Response execute_barrier(const Request& req);
+
+  kv::KvStore& store_;
+  std::size_t max_batch_;
+  std::size_t pending_shard_ = 0;
+  std::vector<kv::WriteOp> pending_;
+  std::vector<OpCode> pending_codes_;  // INSERT vs PUT vs GET, for responses
+  bool snap_attached_ = false;
+  Stats stats_;
+};
+
+}  // namespace mtx::net

@@ -1,0 +1,305 @@
+#include "net/loadgen.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <deque>
+
+#include "net/protocol.hpp"
+#include "substrate/rng.hpp"
+#include "substrate/threading.hpp"
+
+namespace mtx::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t now_ns(Clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+
+int connect_loopback(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  return fd;
+}
+
+// What one connection remembers about an issued frame: enough to stamp the
+// coordinated-omission-safe latency and audit the response.
+struct InFlight {
+  std::uint64_t intended_ns;
+  OpCode op;
+  std::int64_t key;
+};
+
+struct ConnTally {
+  std::uint64_t intended = 0, sent = 0, completed = 0, errors = 0,
+                form_violations = 0;
+  std::uint64_t gets = 0, snap_reads = 0, puts = 0, inserts = 0, scans = 0,
+                rmws = 0;
+  LatencyHist hist;
+};
+
+}  // namespace
+
+LoadgenResult run_loadgen(const LoadgenOptions& opts) {
+  LoadgenResult res;
+  const kv::Mix* mix = opts.mix ? opts.mix : kv::mix_by_name("hot");
+  if (!mix) return res;
+  const std::size_t conns = std::max<std::size_t>(1, opts.connections);
+  const double per_conn_rate = opts.rate / static_cast<double>(conns);
+  const double mean_gap_ns =
+      per_conn_rate > 0 ? 1e9 / per_conn_rate : 1e6;
+  const std::size_t preload = std::max<std::size_t>(1, opts.preload_keys);
+  const std::size_t snap_n =
+      std::max<std::size_t>(1, std::min(opts.snap_keys, preload));
+  const kv::KeyChooser chooser(*mix, preload);
+
+  std::vector<ConnTally> tallies(conns);
+  const auto t0 = Clock::now();
+  const std::uint64_t deadline = opts.deadline_ms * 1'000'000ull;
+
+  run_team(conns, [&](std::size_t cid) {
+    ConnTally& tally = tallies[cid];
+    const int fd = connect_loopback(opts.host, opts.port);
+    if (fd < 0) {
+      ++tally.errors;
+      return;
+    }
+    // Same (seed, id) derivation as the in-process driver's workers, so a
+    // (mix, seed, connections, ops) tuple names one planned op stream.
+    Rng rng(opts.seed * 0x9e3779b9ULL + cid * 131 + 1);
+
+    std::vector<std::uint8_t> out, in;
+    std::size_t out_off = 0, in_off = 0;
+    std::deque<InFlight> inflight;
+    std::uint64_t next_send = now_ns(t0);  // schedule starts immediately
+    std::uint64_t sent = 0, completed = 0;
+    bool dead = false;
+
+    const auto schedule_gap = [&]() -> std::uint64_t {
+      if (!opts.poisson) return static_cast<std::uint64_t>(mean_gap_ns);
+      // Exponential inter-arrival: -ln(1-u) * mean, one Rng value per gap.
+      const double u = rng.uniform01();
+      const double gap = -std::log(1.0 - u) * mean_gap_ns;
+      return static_cast<std::uint64_t>(std::max(1.0, gap));
+    };
+
+    const auto build_request = [&](std::uint64_t i) -> Request {
+      Request req;
+      switch (kv::draw_op(rng, *mix)) {
+        case kv::OpKind::read: {
+          req.key = chooser.next(rng);
+          // Hot-set reads ride the snapshot publication fast path.
+          if (req.key < static_cast<std::int64_t>(snap_n)) {
+            req.op = OpCode::snap_read;
+            ++tally.snap_reads;
+          } else {
+            req.op = OpCode::get;
+            ++tally.gets;
+          }
+          break;
+        }
+        case kv::OpKind::update:
+          req.op = OpCode::put;
+          req.key = chooser.next(rng);
+          req.arg = kv::value_of(req.key,
+                                 static_cast<std::int64_t>(cid * 7919 + i));
+          ++tally.puts;
+          break;
+        case kv::OpKind::insert:
+          req.op = OpCode::insert;
+          req.key = static_cast<std::int64_t>(preload +
+                                              cid * opts.ops_per_conn + i);
+          req.arg = kv::value_of(req.key, static_cast<std::int64_t>(i));
+          ++tally.inserts;
+          break;
+        case kv::OpKind::scan:
+          req.op = OpCode::scan;
+          req.shard = static_cast<std::uint32_t>(
+              rng.below(std::max<std::size_t>(1, opts.shards)));
+          ++tally.scans;
+          break;
+        case kv::OpKind::rmw:
+          req.op = OpCode::rmw;
+          req.key = chooser.next(rng);
+          req.arg = 1;
+          ++tally.rmws;
+          break;
+        case kv::OpKind::snap: {
+          req.op = OpCode::snap_read;
+          req.key = static_cast<std::int64_t>(rng.below(snap_n));
+          ++tally.snap_reads;
+          break;
+        }
+      }
+      return req;
+    };
+
+    const auto audit = [&](const InFlight& f, const Response& r) {
+      if (r.op != f.op) {
+        ++tally.errors;  // response stream desynced
+        return;
+      }
+      switch (r.op) {
+        case OpCode::get:
+        case OpCode::snap_read:
+        case OpCode::rmw:
+          if (r.status == Status::ok && !kv::value_form_ok(f.key, r.value))
+            ++tally.form_violations;
+          if (r.status == Status::error) ++tally.errors;
+          break;
+        default:
+          if (r.status == Status::error) ++tally.errors;
+          break;
+      }
+    };
+
+    while (!dead && (sent < opts.ops_per_conn || !inflight.empty())) {
+      std::uint64_t now = now_ns(t0);
+      if (now > deadline) {
+        ++tally.errors;
+        break;
+      }
+      // Open loop: enqueue every arrival the schedule owes by now — the
+      // intended timestamp is the SCHEDULED time, never the actual send.
+      while (sent < opts.ops_per_conn && now >= next_send) {
+        const Request req = build_request(sent);
+        inflight.push_back({next_send, req.op, req.key});
+        encode_request(req, out);
+        ++tally.intended;
+        ++sent;
+        next_send += schedule_gap();
+      }
+      // Push bytes; EAGAIN leaves them queued locally — that delay is real
+      // and the intended timestamps will charge it to latency.
+      while (out_off < out.size()) {
+        const ssize_t n = ::send(fd, out.data() + out_off,
+                                 out.size() - out_off, MSG_NOSIGNAL);
+        if (n > 0) {
+          out_off += static_cast<std::size_t>(n);
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        dead = true;
+        ++tally.errors;
+        break;
+      }
+      if (out_off == out.size()) {
+        out.clear();
+        out_off = 0;
+        tally.sent = sent;
+      }
+      // Drain responses.
+      for (;;) {
+        std::uint8_t buf[4096];
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+          in.insert(in.end(), buf, buf + n);
+          continue;
+        }
+        if (n == 0) {
+          if (!inflight.empty()) {
+            dead = true;
+            ++tally.errors;
+          }
+        } else if (errno != EAGAIN && errno != EWOULDBLOCK) {
+          dead = true;
+          ++tally.errors;
+        }
+        break;
+      }
+      now = now_ns(t0);
+      for (;;) {
+        Response resp;
+        std::size_t consumed = 0;
+        const Decode d = decode_response(in.data() + in_off,
+                                         in.size() - in_off, &resp, &consumed);
+        if (d == Decode::need_more) break;
+        if (d == Decode::bad_frame || inflight.empty()) {
+          dead = true;
+          ++tally.errors;
+          break;
+        }
+        in_off += consumed;
+        const InFlight f = inflight.front();
+        inflight.pop_front();
+        audit(f, resp);
+        tally.hist.add(now > f.intended_ns ? now - f.intended_ns : 0);
+        ++completed;
+      }
+      if (in_off == in.size()) {
+        in.clear();
+        in_off = 0;
+      }
+      // Sleep until the schedule or the socket needs us.
+      if (!dead && (sent < opts.ops_per_conn || !inflight.empty())) {
+        pollfd pfd{fd, POLLIN, 0};
+        if (out_off < out.size()) pfd.events |= POLLOUT;
+        int timeout_ms = 0;
+        if (sent < opts.ops_per_conn) {
+          now = now_ns(t0);
+          timeout_ms = now >= next_send
+                           ? 0
+                           : static_cast<int>((next_send - now) / 1'000'000);
+        } else {
+          timeout_ms = 1;
+        }
+        if (timeout_ms > 0) ::poll(&pfd, 1, std::min(timeout_ms, 10));
+      }
+    }
+    tally.sent = sent;
+    tally.completed = completed;
+    ::close(fd);
+  });
+
+  res.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  for (const ConnTally& t : tallies) {
+    res.intended += t.intended;
+    res.sent += t.sent;
+    res.completed += t.completed;
+    res.errors += t.errors;
+    res.form_violations += t.form_violations;
+    res.gets += t.gets;
+    res.snap_reads += t.snap_reads;
+    res.puts += t.puts;
+    res.inserts += t.inserts;
+    res.scans += t.scans;
+    res.rmws += t.rmws;
+    res.hist.merge(t.hist);
+  }
+  if (res.wall_ms > 0) {
+    res.offered_per_sec =
+        static_cast<double>(res.intended) / (res.wall_ms / 1e3);
+    res.achieved_per_sec =
+        static_cast<double>(res.completed) / (res.wall_ms / 1e3);
+  }
+  return res;
+}
+
+}  // namespace mtx::net

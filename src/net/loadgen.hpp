@@ -1,0 +1,66 @@
+// Open-loop load generator for the serving front end.
+//
+// Closed-loop drivers (issue, wait, issue) hide queueing: when the server
+// stalls, the driver stops offering load, so the recorded latencies are
+// exactly the ones the stall never touched — coordinated omission.  This
+// generator is open-loop: each connection precomputes an arrival schedule
+// (fixed-rate or Poisson exponential gaps) and STAMPS EVERY REQUEST WITH
+// ITS INTENDED SEND TIME; latency is measured from that intended time to
+// response receipt, so schedule slip — whether the socket backed up or the
+// server queued — lands in the histogram instead of vanishing from it.
+// The schedule never waits for responses (no in-flight cap); per-thread
+// LatencyHist sinks merge into one histogram at the end.
+//
+// Op/key choice reuses the in-process driver's shared scenario vocabulary
+// (kv::draw_op + kv::KeyChooser, e.g. the `hot` mix), so the network tier
+// and the in-process tier speak one hot-key definition.  Reads of hot-set
+// keys (rank < snap_keys) are issued as SNAP_READ — the snapshot
+// publication fast path — and every returned value is audited against
+// kv::value_form_ok.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "kv/workload.hpp"
+#include "substrate/stats.hpp"
+
+namespace mtx::net {
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t connections = 2;     // one thread + socket each
+  double rate = 20000;             // intended arrivals/sec, aggregate
+  bool poisson = false;            // exponential gaps instead of fixed
+  std::uint64_t ops_per_conn = 2000;
+  const kv::Mix* mix = nullptr;    // nullptr = the `hot` standard mix
+  std::size_t preload_keys = 1024; // must match the server's preload
+  std::size_t shards = 8;          // SCAN target range (must match server)
+  std::size_t snap_keys = 16;      // reads below this rank go SNAP_READ
+  std::uint64_t seed = 1;
+  std::uint64_t deadline_ms = 30000;  // hard cap; overruns count as errors
+};
+
+struct LoadgenResult {
+  std::uint64_t intended = 0;   // scheduled arrivals
+  std::uint64_t sent = 0;       // frames actually written
+  std::uint64_t completed = 0;  // responses received and matched
+  std::uint64_t errors = 0;     // connect/send/decode/mismatch/deadline
+  std::uint64_t form_violations = 0;  // kv::value_form_ok failures
+  double wall_ms = 0;
+  double offered_per_sec = 0;   // intended / wall
+  double achieved_per_sec = 0;  // completed / wall
+  LatencyHist hist;  // ns from INTENDED send to response receipt
+  // Planned op classes (deterministic per mix/seed/connections/ops).
+  std::uint64_t gets = 0, snap_reads = 0, puts = 0, inserts = 0, scans = 0,
+                rmws = 0;
+  bool ok() const {
+    return errors == 0 && form_violations == 0 && completed == sent &&
+           sent == intended;
+  }
+};
+
+LoadgenResult run_loadgen(const LoadgenOptions& opts);
+
+}  // namespace mtx::net

@@ -1,0 +1,261 @@
+#include "net/protocol.hpp"
+
+namespace mtx::net {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+// Bounded little-endian reader over one frame body.  `fail` latches: a
+// short read poisons everything after it, so decoders check once at the
+// end — truncated-inside-the-body and trailing-garbage both land in
+// bad_frame (the length prefix already promised the full body).
+struct Reader {
+  const std::uint8_t* p;
+  std::size_t left;
+  bool fail = false;
+
+  std::uint8_t u8() {
+    if (left < 1) return fail = true, 0;
+    --left;
+    return *p++;
+  }
+  std::uint16_t u16() {
+    if (left < 2) return fail = true, 0;
+    std::uint16_t v = static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+    p += 2, left -= 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (left < 4) return fail = true, 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    p += 4, left -= 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (left < 8) return fail = true, 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    p += 8, left -= 8;
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+};
+
+bool valid_op(std::uint8_t op) {
+  return op >= static_cast<std::uint8_t>(OpCode::get) &&
+         op <= static_cast<std::uint8_t>(OpCode::batch);
+}
+
+bool batchable(OpCode op) {
+  return op == OpCode::get || op == OpCode::put || op == OpCode::insert ||
+         op == OpCode::rmw;
+}
+
+void encode_request_body(const Request& req, std::vector<std::uint8_t>& out) {
+  out.push_back(static_cast<std::uint8_t>(req.op));
+  switch (req.op) {
+    case OpCode::get:
+    case OpCode::snap_read:
+      put_i64(out, req.key);
+      break;
+    case OpCode::put:
+    case OpCode::insert:
+      put_i64(out, req.key);
+      put_i64(out, req.arg);
+      break;
+    case OpCode::rmw:
+      put_i64(out, req.key);
+      put_i64(out, req.arg);
+      break;
+    case OpCode::scan:
+      put_u32(out, req.shard);
+      break;
+    case OpCode::fence:
+      break;
+    case OpCode::batch:
+      put_u16(out, static_cast<std::uint16_t>(req.sub.size()));
+      for (const Request& s : req.sub) encode_request_body(s, out);
+      break;
+  }
+}
+
+bool decode_request_body(Reader& r, Request* out, bool nested) {
+  const std::uint8_t raw = r.u8();
+  if (r.fail || !valid_op(raw)) return false;
+  out->op = static_cast<OpCode>(raw);
+  switch (out->op) {
+    case OpCode::get:
+    case OpCode::snap_read:
+      out->key = r.i64();
+      break;
+    case OpCode::put:
+    case OpCode::insert:
+    case OpCode::rmw:
+      out->key = r.i64();
+      out->arg = r.i64();
+      break;
+    case OpCode::scan:
+      out->shard = r.u32();
+      break;
+    case OpCode::fence:
+      break;
+    case OpCode::batch: {
+      if (nested) return false;  // one level only
+      const std::uint16_t n = r.u16();
+      if (r.fail || n > kMaxBatchOps) return false;
+      out->sub.resize(n);
+      for (std::uint16_t i = 0; i < n; ++i) {
+        if (!decode_request_body(r, &out->sub[i], /*nested=*/true))
+          return false;
+        if (!batchable(out->sub[i].op)) return false;
+      }
+      break;
+    }
+  }
+  return !r.fail;
+}
+
+void encode_response_body(const Response& resp, std::vector<std::uint8_t>& out) {
+  out.push_back(static_cast<std::uint8_t>(resp.op));
+  out.push_back(static_cast<std::uint8_t>(resp.status));
+  if (resp.status != Status::ok && resp.op != OpCode::batch) return;
+  switch (resp.op) {
+    case OpCode::get:
+    case OpCode::rmw:
+    case OpCode::snap_read:
+      put_i64(out, resp.value);
+      break;
+    case OpCode::put:
+    case OpCode::insert:
+      out.push_back(resp.flag);
+      break;
+    case OpCode::scan:
+      put_u64(out, resp.count);
+      put_i64(out, resp.value);
+      out.push_back(resp.flag);
+      break;
+    case OpCode::fence:
+      break;
+    case OpCode::batch:
+      put_u16(out, static_cast<std::uint16_t>(resp.sub.size()));
+      for (const Response& s : resp.sub) encode_response_body(s, out);
+      break;
+  }
+}
+
+bool decode_response_body(Reader& r, Response* out, bool nested) {
+  const std::uint8_t raw = r.u8();
+  if (r.fail || !valid_op(raw)) return false;
+  out->op = static_cast<OpCode>(raw);
+  const std::uint8_t st = r.u8();
+  if (r.fail || st > static_cast<std::uint8_t>(Status::error)) return false;
+  out->status = static_cast<Status>(st);
+  if (out->status != Status::ok && out->op != OpCode::batch) return true;
+  switch (out->op) {
+    case OpCode::get:
+    case OpCode::rmw:
+    case OpCode::snap_read:
+      out->value = r.i64();
+      break;
+    case OpCode::put:
+    case OpCode::insert:
+      out->flag = r.u8();
+      break;
+    case OpCode::scan:
+      out->count = r.u64();
+      out->value = r.i64();
+      out->flag = r.u8();
+      break;
+    case OpCode::fence:
+      break;
+    case OpCode::batch: {
+      if (nested) return false;
+      const std::uint16_t n = r.u16();
+      if (r.fail || n > kMaxBatchOps) return false;
+      out->sub.resize(n);
+      for (std::uint16_t i = 0; i < n; ++i)
+        if (!decode_response_body(r, &out->sub[i], /*nested=*/true))
+          return false;
+      break;
+    }
+  }
+  return !r.fail;
+}
+
+// Shared frame walk: length prefix, size bound, exact-body decode.
+template <class Body, class Decoder>
+Decode decode_frame(const std::uint8_t* data, std::size_t len, Body* out,
+                    std::size_t* consumed, Decoder&& body_decoder) {
+  if (len < 4) return Decode::need_more;
+  std::uint32_t body_len = 0;
+  for (int i = 0; i < 4; ++i)
+    body_len |= static_cast<std::uint32_t>(data[i]) << (8 * i);
+  if (body_len == 0 || body_len > kMaxFrame) return Decode::bad_frame;
+  if (len < 4 + static_cast<std::size_t>(body_len)) return Decode::need_more;
+  Reader r{data + 4, body_len};
+  *out = Body{};
+  if (!body_decoder(r, out) || r.left != 0) return Decode::bad_frame;
+  *consumed = 4 + static_cast<std::size_t>(body_len);
+  return Decode::ok;
+}
+
+template <class Body, class Encoder>
+void encode_frame(const Body& body, std::vector<std::uint8_t>& out,
+                  Encoder&& body_encoder) {
+  const std::size_t prefix_at = out.size();
+  put_u32(out, 0);  // patched below
+  body_encoder(body, out);
+  const std::size_t body_len = out.size() - prefix_at - 4;
+  for (int i = 0; i < 4; ++i)
+    out[prefix_at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(body_len >> (8 * i));
+}
+
+}  // namespace
+
+void encode_request(const Request& req, std::vector<std::uint8_t>& out) {
+  encode_frame(req, out, [](const Request& r, std::vector<std::uint8_t>& o) {
+    encode_request_body(r, o);
+  });
+}
+
+void encode_response(const Response& resp, std::vector<std::uint8_t>& out) {
+  encode_frame(resp, out, [](const Response& r, std::vector<std::uint8_t>& o) {
+    encode_response_body(r, o);
+  });
+}
+
+Decode decode_request(const std::uint8_t* data, std::size_t len, Request* out,
+                      std::size_t* consumed) {
+  return decode_frame(data, len, out, consumed, [](Reader& r, Request* o) {
+    return decode_request_body(r, o, /*nested=*/false);
+  });
+}
+
+Decode decode_response(const std::uint8_t* data, std::size_t len,
+                       Response* out, std::size_t* consumed) {
+  return decode_frame(data, len, out, consumed, [](Reader& r, Response* o) {
+    return decode_response_body(r, o, /*nested=*/false);
+  });
+}
+
+}  // namespace mtx::net

@@ -1,0 +1,99 @@
+// Length-prefixed binary wire protocol over the KV store — the serving
+// front end's frame vocabulary.
+//
+// Every frame is  u32-LE body length | body , body <= kMaxFrame.  Request
+// bodies open with an opcode byte; response bodies echo the opcode and add
+// a status byte, so a pipelined client can always re-associate responses
+// without trusting its own bookkeeping (and a desynced stream is detected
+// instead of silently mis-paired).  Integers are little-endian, fixed
+// width; no varints, no alignment games — the codec must be boring because
+// the conformance story depends on the *execution*, not the encoding.
+//
+// Request payloads:
+//   GET        i64 key
+//   PUT        i64 key, i64 value        (value should be kv::value_of form)
+//   INSERT     i64 key, i64 value        (same execution as PUT; tallied
+//                                         separately, fresh-key convention)
+//   SCAN       u32 shard                 (privatize-scan, plain read path)
+//   RMW        i64 key, i64 delta        (form-preserving payload bump)
+//   SNAP_READ  i64 key                   (plain read of the published
+//                                         snapshot — the hot-key fast path)
+//   FENCE      (empty)                   (flush batch + whole-store quiesce)
+//   BATCH      u16 count, then count sub-requests (batchable opcodes only:
+//              GET/PUT/INSERT/RMW; nesting rejected)
+//
+// Response payloads (after opcode + status):
+//   GET        ok → i64 value            not_found → empty
+//   PUT/INSERT ok → u8 fresh (1 = new key)
+//   SCAN       ok → u64 keys, i64 value_sum, u8 privatized
+//   RMW        ok → i64 new value        not_found → empty
+//   SNAP_READ  ok → i64 value            not_found → empty (not in snapshot)
+//   FENCE      ok, empty
+//   BATCH      u16 count, then count sub-responses
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mtx::net {
+
+enum class OpCode : std::uint8_t {
+  get = 1,
+  put = 2,
+  insert = 3,
+  scan = 4,
+  rmw = 5,
+  snap_read = 6,
+  fence = 7,
+  batch = 8,
+};
+
+enum class Status : std::uint8_t {
+  ok = 0,
+  not_found = 1,
+  error = 2,
+};
+
+// Oversized-frame rejection bound: anything claiming a longer body is a
+// protocol violation, not a request to buffer unbounded attacker-controlled
+// input.  Generous for real frames (a max BATCH is ~4.3 KiB).
+constexpr std::size_t kMaxFrame = 1u << 16;
+constexpr std::size_t kMaxBatchOps = 256;
+
+struct Request {
+  OpCode op = OpCode::get;
+  std::int64_t key = 0;
+  std::int64_t arg = 0;      // PUT/INSERT value; RMW delta
+  std::uint32_t shard = 0;   // SCAN
+  std::vector<Request> sub;  // BATCH (one level deep)
+};
+
+struct Response {
+  OpCode op = OpCode::get;
+  Status status = Status::ok;
+  std::int64_t value = 0;     // GET/RMW/SNAP_READ value; SCAN value_sum
+  std::uint64_t count = 0;    // SCAN keys
+  std::uint8_t flag = 0;      // PUT/INSERT fresh; SCAN privatized
+  std::vector<Response> sub;  // BATCH
+};
+
+enum class Decode {
+  ok,         // one frame decoded, *consumed advanced past it
+  need_more,  // buffer holds a frame prefix; read more bytes and retry
+  bad_frame,  // protocol violation — close the connection
+};
+
+// Append one framed request/response to `out`.
+void encode_request(const Request& req, std::vector<std::uint8_t>& out);
+void encode_response(const Response& resp, std::vector<std::uint8_t>& out);
+
+// Decode the frame at data[0..len); on ok, *consumed is the total frame
+// size (prefix included).  Rejects bodies over kMaxFrame, unknown opcodes,
+// trailing bytes inside a frame, and nested/oversized batches.
+Decode decode_request(const std::uint8_t* data, std::size_t len, Request* out,
+                      std::size_t* consumed);
+Decode decode_response(const std::uint8_t* data, std::size_t len,
+                       Response* out, std::size_t* consumed);
+
+}  // namespace mtx::net

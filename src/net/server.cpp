@@ -1,0 +1,346 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "record/recorder.hpp"
+#include "record/stream.hpp"
+
+namespace mtx::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 4096;
+
+}  // namespace
+
+struct Server::Conn {
+  Conn(kv::KvStore& store, std::size_t max_batch, int fd_)
+      : fd(fd_), exec(store, max_batch) {}
+  int fd;
+  std::vector<std::uint8_t> in;
+  std::size_t in_off = 0;
+  std::vector<std::uint8_t> out;
+  std::size_t out_off = 0;
+  bool want_write = false;
+  BatchExecutor exec;
+};
+
+// The one-producer streaming pipeline: the loop thread records into ring 0,
+// the cutter seals a segment at every epoch mark, checker threads judge
+// while the loop keeps serving.
+struct Server::StreamState {
+  record::RecordSession session;
+  std::unique_ptr<record::StreamConformance> conf;
+  std::unique_ptr<record::ScopedRecorder> rec;
+};
+
+Server::Server(stm::StmBackend& stm, const ServerOptions& opt)
+    : stm_(stm), opt_(opt) {
+  kv::KvStore::Options sopt;
+  sopt.shards = opt_.shards ? opt_.shards : 1;
+  sopt.expected_keys = opt_.preload_keys * 2;
+  sopt.snap_slots = std::max<std::size_t>(1, opt_.snap_keys);
+  std::unique_ptr<kv::KvStore> store =
+      std::make_unique<kv::KvStore>(stm_, sopt);
+
+  // Preload + publish the hot set, mirroring the in-process driver's load
+  // phase: keys 0..N-1 hold value_of(k, 0); the snap_keys hottest ranks are
+  // frozen into the per-shard snapshot slots.
+  for (std::size_t k = 0; k < opt_.preload_keys; ++k)
+    store->put(static_cast<std::int64_t>(k),
+               kv::value_of(static_cast<std::int64_t>(k), 0));
+  const std::size_t snap_n =
+      std::max<std::size_t>(1, std::min(opt_.snap_keys, opt_.preload_keys));
+  snap_keys_.resize(snap_n);
+  for (std::size_t k = 0; k < snap_n; ++k)
+    snap_keys_[k] = static_cast<std::int64_t>(k);
+  store->publish_snapshot(snap_keys_);
+  store_ = std::move(store);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("net: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opt_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("net: bind/listen failed");
+  }
+  socklen_t alen = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("net: eventfd() failed");
+  }
+}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  for (auto& c : conns_)
+    if (c && c->fd >= 0) ::close(c->fd);
+}
+
+void Server::stop() {
+  const std::uint64_t one = 1;
+  // Signal-safe poke; the loop reads running=false from the event itself.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Server::update_epoll(Conn& c) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (c.want_write ? EPOLLOUT : 0u);
+  ev.data.fd = c.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+void Server::handle_accept() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) return;  // EAGAIN or transient error: back to the loop
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.push_back(std::make_unique<Conn>(*store_, opt_.max_batch, fd));
+    ++stats_.accepted;
+  }
+}
+
+bool Server::flush_writes(Conn& c) {
+  while (c.out_off < c.out.size()) {
+    const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                             c.out.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!c.want_write) {
+        c.want_write = true;
+        update_epoll(c);
+      }
+      return true;
+    }
+    return false;  // peer vanished
+  }
+  c.out.clear();
+  c.out_off = 0;
+  if (c.want_write) {
+    c.want_write = false;
+    update_epoll(c);
+  }
+  return true;
+}
+
+bool Server::handle_readable(Conn& c) {
+  // Drain the socket fully (edge-ish batching even under level-triggered
+  // epoll: the more pipelined frames one drain yields, the longer the
+  // same-shard runs the executor can coalesce).
+  for (;;) {
+    const std::size_t old = c.in.size();
+    c.in.resize(old + kReadChunk);
+    const ssize_t n = ::recv(c.fd, c.in.data() + old, kReadChunk, 0);
+    if (n > 0) {
+      c.in.resize(old + static_cast<std::size_t>(n));
+      continue;
+    }
+    c.in.resize(old);
+    if (n == 0) return false;  // orderly shutdown from the peer
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return false;
+  }
+
+  std::vector<Response> responses;
+  for (;;) {
+    Request req;
+    std::size_t consumed = 0;
+    const Decode d = decode_request(c.in.data() + c.in_off,
+                                    c.in.size() - c.in_off, &req, &consumed);
+    if (d == Decode::need_more) break;
+    if (d == Decode::bad_frame) {
+      ++stats_.bad_frames;
+      return false;
+    }
+    c.in_off += consumed;
+    ++stats_.frames;
+    ++requests_since_refresh_;
+    ++requests_since_epoch_;
+    c.exec.submit(req, responses);
+  }
+  // Rule 4: the pipeline is drained — no more frames to coalesce with, and
+  // every submitted op is owed its response now.
+  c.exec.drain(responses);
+
+  if (c.in_off > 0 && c.in_off == c.in.size()) {
+    c.in.clear();
+    c.in_off = 0;
+  } else if (c.in_off > kReadChunk) {
+    c.in.erase(c.in.begin(),
+               c.in.begin() + static_cast<std::ptrdiff_t>(c.in_off));
+    c.in_off = 0;
+  }
+
+  for (const Response& r : responses) encode_response(r, c.out);
+  return flush_writes(c);
+}
+
+void Server::close_conn(std::size_t idx) {
+  Conn& c = *conns_[idx];
+  std::vector<Response> tail;
+  c.exec.drain(tail);  // commit pending work; the peer is gone, drop replies
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c.fd, nullptr);
+  ::close(c.fd);
+  c.fd = -1;
+  const BatchExecutor::Stats& b = c.exec.stats();
+  stats_.batch.ops += b.ops;
+  stats_.batch.transactions += b.transactions;
+  stats_.batch.flushes_shard += b.flushes_shard;
+  stats_.batch.flushes_full += b.flushes_full;
+  stats_.batch.flushes_barrier += b.flushes_barrier;
+  stats_.batch.flushes_drain += b.flushes_drain;
+  ++stats_.closed;
+  conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(idx));
+}
+
+void Server::maybe_refresh_snapshot() {
+  if (opt_.snap_refresh_every == 0 ||
+      requests_since_refresh_ < opt_.snap_refresh_every)
+    return;
+  requests_since_refresh_ = 0;
+  // Between requests on the only op-execution thread: the refresh's
+  // quiet-point contract (no mutator, no snapshot read in flight) holds by
+  // construction.
+  if (store_->refresh_snapshot(snap_keys_)) ++stats_.snap_refreshes;
+}
+
+void Server::maybe_mark_epoch() {
+  if (!stream_ || requests_since_epoch_ < opt_.stream_epoch_ops) return;
+  requests_since_epoch_ = 0;
+  // Segment boundary: everything served so far precedes the mark, and the
+  // single producer ring means the cutter can seal immediately.
+  stream_->rec->rec().mark_epoch(next_epoch_++);
+  // Per-segment publication handoff: the new segment opens with a
+  // synthesized carry transaction, and hb reaches a plain snapshot load
+  // only through a transactional read in its own thread — so every segment
+  // needs its own snap_ready read, exactly like the in-process driver's
+  // per-round re-attach.  (Connections' BatchExecutors attach once and
+  // memoize; this loop-thread read covers all of them — same thread.)
+  store_->snapshot_attach();
+}
+
+void Server::run() {
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) throw std::runtime_error("net: epoll_create1 failed");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  if (opt_.stream) {
+    stream_ = std::make_unique<StreamState>();
+    record::StreamOptions sropts;
+    sropts.ring_capacity = opt_.stream_ring_capacity;
+    sropts.min_window_events = opt_.stream_window_min_events;
+    sropts.checkers = opt_.stream_checkers;
+    sropts.require_full_opacity = stm_.zombie_free();
+    // One continuous recording: the cutter sees every access from the
+    // anchor on, so later segments' carries can be synthesized.
+    sropts.synthesize_carry = true;
+    stream_->conf = std::make_unique<record::StreamConformance>(
+        stream_->session, std::vector<int>{0}, sropts);
+    stream_->rec = std::make_unique<record::ScopedRecorder>(stream_->session,
+                                                            /*thread=*/0);
+    stream_->rec->rec().stream_to(&stream_->conf->ring(0));
+    // State-carry anchor: the preloaded store replayed as the stream's
+    // first committed transaction, so segment 0's reads resolve in-stream.
+    stream_->rec->rec().synthetic_begin();
+    store_->replay_state_plain();
+    stream_->rec->rec().synthetic_commit();
+  }
+
+  bool running = true;
+  epoll_event events[32];
+  while (running) {
+    const int n = ::epoll_wait(epoll_fd_, events, 32, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        running = false;
+        continue;
+      }
+      if (fd == listen_fd_) {
+        handle_accept();
+        continue;
+      }
+      std::size_t idx = conns_.size();
+      for (std::size_t j = 0; j < conns_.size(); ++j)
+        if (conns_[j]->fd == fd) {
+          idx = j;
+          break;
+        }
+      if (idx == conns_.size()) continue;  // closed earlier this wake
+      Conn& c = *conns_[idx];
+      bool alive = true;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) alive = false;
+      if (alive && (events[i].events & EPOLLOUT)) alive = flush_writes(c);
+      if (alive && (events[i].events & EPOLLIN)) alive = handle_readable(c);
+      if (!alive) close_conn(idx);
+    }
+    maybe_refresh_snapshot();
+    maybe_mark_epoch();
+  }
+
+  while (!conns_.empty()) close_conn(conns_.size() - 1);
+
+  if (stream_) {
+    // Seal the tail: everything after the last mark becomes the final
+    // segment at finish().
+    stream_->rec->rec().flush();
+    stream_->rec.reset();  // detach before finish joins the checkers
+    const record::StreamReport rep = stream_->conf->finish();
+    stats_.streamed = true;
+    stats_.segments = rep.segments;
+    stats_.windows = rep.windows;
+    stats_.nonconformant = rep.nonconformant;
+    stats_.ring_dropped = rep.ring_dropped;
+    stats_.overflow = rep.overflow;
+    stats_.max_backlog = rep.max_backlog;
+  }
+
+  ::close(epoll_fd_);
+  epoll_fd_ = -1;
+}
+
+}  // namespace mtx::net

@@ -1,0 +1,131 @@
+// Non-blocking epoll serving front end over KvStore.
+//
+// One thread owns everything: accept, socket I/O, decode, and op execution
+// (call run() from a dedicated thread; stop() from any other).  Requests
+// pipeline per connection — the loop drains each readable socket, decodes
+// every complete frame, and feeds them through the connection's
+// BatchExecutor, which coalesces same-shard runs into single transactions
+// (see net/batch.hpp for the flush rules).  Responses are written back in
+// submission order; a connection that can't take them immediately parks on
+// EPOLLOUT.
+//
+// The single op-execution thread is a feature, not a shortcut:
+//   - it is the quiet point the hot-key snapshot REFRESH policy needs —
+//     every snap_refresh_every requests the loop re-runs the publication
+//     protocol (KvStore::refresh_snapshot) between requests, when no
+//     transaction or plain snapshot read can be in flight;
+//   - it makes streaming conformance a one-producer pipeline: with
+//     opts.stream on, the loop thread records every transactional and
+//     plain access it performs into a lock-free ring, marks an epoch every
+//     stream_epoch_ops requests, and record::StreamConformance seals and
+//     judges segments of REAL served traffic on checker threads while the
+//     server keeps serving.  The stream opens with a synthetic state-carry
+//     replay (the preloaded store), exactly like the in-process driver's
+//     always-on level.
+//
+// Serving semantics note: snapshot reads (SNAP_READ) serve the published
+// frozen values — stale by design between refreshes, but always
+// key-consistent (kv::value_form_ok holds for every served value).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/batch.hpp"
+#include "stm/backend.hpp"
+
+namespace mtx::net {
+
+struct ServerOptions {
+  std::uint16_t port = 0;  // 0 = kernel-assigned; Server::port() reports it
+  std::size_t shards = 8;
+  std::size_t preload_keys = 1024;  // keys 0..N-1 preloaded as value_of(k, 0)
+  std::size_t snap_keys = 16;  // hottest ranks published into the snapshot
+  std::size_t max_batch = 16;  // per-connection run cap; 1 = unbatched
+  // Re-publish the hot set's current values every N requests (0 = never):
+  // the refresh runs between requests, the single-thread quiet point.
+  std::size_t snap_refresh_every = 0;
+
+  // Streaming conformance while serving.
+  bool stream = false;
+  std::size_t stream_ring_capacity = 1u << 15;
+  std::size_t stream_checkers = 1;
+  std::size_t stream_epoch_ops = 512;  // requests per sealed segment
+  std::size_t stream_window_min_events = 64;
+};
+
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t bad_frames = 0;  // protocol violations (connection dropped)
+  std::uint64_t frames = 0;      // request frames decoded
+  std::uint64_t snap_refreshes = 0;
+  BatchExecutor::Stats batch;  // aggregated across connections
+
+  // Streaming verdicts (valid after run() returns; stream mode only).
+  bool streamed = false;
+  std::size_t segments = 0;
+  std::size_t windows = 0;
+  std::size_t nonconformant = 0;
+  std::uint64_t ring_dropped = 0;
+  bool overflow = false;
+  std::size_t max_backlog = 0;
+
+  bool ok() const {
+    return bad_frames == 0 && nonconformant == 0 && !overflow &&
+           ring_dropped == 0;
+  }
+};
+
+class Server {
+ public:
+  // Binds and listens on 127.0.0.1 immediately (so callers may connect
+  // before run() starts); throws std::runtime_error on socket failure.
+  Server(stm::StmBackend& stm, const ServerOptions& opt);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  kv::KvStore& store() { return *store_; }
+
+  // Event loop; blocks until stop().  Call from a dedicated thread.
+  void run();
+  // Thread-safe, idempotent shutdown request.
+  void stop();
+
+  // Valid after run() returns.
+  const ServerStats& stats() const { return stats_; }
+
+ private:
+  struct Conn;
+  struct StreamState;
+
+  void handle_accept();
+  // Returns false when the connection must be closed.
+  bool handle_readable(Conn& c);
+  bool flush_writes(Conn& c);
+  void close_conn(std::size_t idx);
+  void update_epoll(Conn& c);
+  void maybe_refresh_snapshot();
+  void maybe_mark_epoch();
+
+  stm::StmBackend& stm_;
+  ServerOptions opt_;
+  std::unique_ptr<kv::KvStore> store_;
+  std::vector<std::int64_t> snap_keys_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: stop() pokes the epoll_wait
+  std::uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::uint64_t requests_since_refresh_ = 0;
+  std::uint64_t requests_since_epoch_ = 0;
+  std::uint64_t next_epoch_ = 0;
+  std::unique_ptr<StreamState> stream_;
+  ServerStats stats_;
+};
+
+}  // namespace mtx::net

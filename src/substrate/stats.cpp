@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace mtx {
 
@@ -100,6 +101,18 @@ std::uint64_t LatencyHist::quantile(double q) const {
     }
   }
   return max_;
+}
+
+std::string LatencyHist::to_json() const {
+  char mean_buf[32];
+  std::snprintf(mean_buf, sizeof(mean_buf), "%.1f", mean());
+  return "{\"count\": " + std::to_string(count()) +
+         ", \"mean_ns\": " + mean_buf +
+         ", \"min_ns\": " + std::to_string(min()) +
+         ", \"max_ns\": " + std::to_string(max()) +
+         ", \"p50_ns\": " + std::to_string(p50()) +
+         ", \"p95_ns\": " + std::to_string(p95()) +
+         ", \"p99_ns\": " + std::to_string(p99()) + "}";
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)

@@ -64,6 +64,12 @@ class LatencyHist {
   std::uint64_t p95() const { return quantile(0.95); }
   std::uint64_t p99() const { return quantile(0.99); }
 
+  // JSON object fragment — count, mean, min/max and the standard quantiles
+  // (nanosecond fields) — one dump shared by every reporter (bench_kv,
+  // bench_net, the network load generator), so artifact field names never
+  // drift between benchmarks.
+  std::string to_json() const;
+
   // Bucket geometry (exposed for the oracle tests).
   static std::size_t bucket_of(std::uint64_t v);
   static std::uint64_t bucket_lower(std::size_t i);

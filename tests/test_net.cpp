@@ -1,0 +1,502 @@
+// The serving front end: wire-codec round-trips and rejection paths, the
+// per-connection transaction batcher's determinism pin (batched and
+// unbatched pipelines must produce identical responses and final store
+// state on every registered backend), and — the concurrency half — a real
+// loopback server driven by the open-loop load generator with streaming
+// conformance judging the served traffic.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <map>
+#include <thread>
+
+#include "kv/kvstore.hpp"
+#include "kv/workload.hpp"
+#include "net/batch.hpp"
+#include "net/loadgen.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "stm/backend.hpp"
+#include "substrate/rng.hpp"
+
+namespace {
+
+using namespace mtx;
+
+// ---------------------------------------------------------------------------
+// Codec round-trips.
+
+net::Request roundtrip_request(const net::Request& in) {
+  std::vector<std::uint8_t> buf;
+  net::encode_request(in, buf);
+  net::Request out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(net::decode_request(buf.data(), buf.size(), &out, &consumed),
+            net::Decode::ok);
+  EXPECT_EQ(consumed, buf.size());
+  return out;
+}
+
+net::Response roundtrip_response(const net::Response& in) {
+  std::vector<std::uint8_t> buf;
+  net::encode_response(in, buf);
+  net::Response out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(net::decode_response(buf.data(), buf.size(), &out, &consumed),
+            net::Decode::ok);
+  EXPECT_EQ(consumed, buf.size());
+  return out;
+}
+
+TEST(NetCodec, RequestRoundTripEveryOpcode) {
+  for (const net::OpCode op :
+       {net::OpCode::get, net::OpCode::put, net::OpCode::insert,
+        net::OpCode::scan, net::OpCode::rmw, net::OpCode::snap_read,
+        net::OpCode::fence}) {
+    net::Request in;
+    in.op = op;
+    in.key = -7'000'000'123LL;  // sign must survive the i64 encoding
+    in.arg = kv::value_of(in.key, 42);
+    in.shard = 3;
+    const net::Request out = roundtrip_request(in);
+    EXPECT_EQ(out.op, op);
+    switch (op) {
+      case net::OpCode::get:
+      case net::OpCode::snap_read:
+        EXPECT_EQ(out.key, in.key);
+        break;
+      case net::OpCode::put:
+      case net::OpCode::insert:
+      case net::OpCode::rmw:
+        EXPECT_EQ(out.key, in.key);
+        EXPECT_EQ(out.arg, in.arg);
+        break;
+      case net::OpCode::scan:
+        EXPECT_EQ(out.shard, in.shard);
+        break;
+      default:
+        break;  // fence carries no payload
+    }
+  }
+}
+
+TEST(NetCodec, ResponseRoundTripEveryOpcode) {
+  for (const net::OpCode op :
+       {net::OpCode::get, net::OpCode::put, net::OpCode::insert,
+        net::OpCode::scan, net::OpCode::rmw, net::OpCode::snap_read,
+        net::OpCode::fence}) {
+    net::Response in;
+    in.op = op;
+    in.status = net::Status::ok;
+    in.value = kv::value_of(9, 99);
+    in.count = 17;
+    in.flag = 1;
+    const net::Response out = roundtrip_response(in);
+    EXPECT_EQ(out.op, op);
+    EXPECT_EQ(out.status, net::Status::ok);
+    switch (op) {
+      case net::OpCode::get:
+      case net::OpCode::rmw:
+      case net::OpCode::snap_read:
+        EXPECT_EQ(out.value, in.value);
+        break;
+      case net::OpCode::put:
+      case net::OpCode::insert:
+        EXPECT_EQ(out.flag, in.flag);
+        break;
+      case net::OpCode::scan:
+        EXPECT_EQ(out.count, in.count);
+        EXPECT_EQ(out.value, in.value);
+        EXPECT_EQ(out.flag, in.flag);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+TEST(NetCodec, NonOkResponsesCarryStatusButNoPayload) {
+  net::Response in;
+  in.op = net::OpCode::get;
+  in.status = net::Status::not_found;
+  in.value = 12345;  // must NOT travel: not_found bodies are empty
+  const net::Response out = roundtrip_response(in);
+  EXPECT_EQ(out.status, net::Status::not_found);
+  EXPECT_EQ(out.value, 0);
+}
+
+TEST(NetCodec, BatchFrameRoundTrip) {
+  net::Request in;
+  in.op = net::OpCode::batch;
+  for (int i = 0; i < 5; ++i) {
+    net::Request sub;
+    sub.op = i % 2 ? net::OpCode::put : net::OpCode::get;
+    sub.key = i * 11;
+    sub.arg = kv::value_of(sub.key, i);
+    in.sub.push_back(sub);
+  }
+  const net::Request out = roundtrip_request(in);
+  ASSERT_EQ(out.sub.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(out.sub[static_cast<std::size_t>(i)].op, in.sub[static_cast<std::size_t>(i)].op);
+    EXPECT_EQ(out.sub[static_cast<std::size_t>(i)].key, i * 11);
+  }
+
+  net::Response rin;
+  rin.op = net::OpCode::batch;
+  rin.status = net::Status::ok;
+  for (int i = 0; i < 3; ++i) {
+    net::Response sub;
+    sub.op = net::OpCode::get;
+    sub.status = net::Status::ok;
+    sub.value = kv::value_of(i, i);
+    rin.sub.push_back(sub);
+  }
+  const net::Response rout = roundtrip_response(rin);
+  ASSERT_EQ(rout.sub.size(), 3u);
+  EXPECT_EQ(rout.sub[2].value, kv::value_of(2, 2));
+}
+
+TEST(NetCodec, EveryTruncationOfAValidFrameNeedsMore) {
+  net::Request in;
+  in.op = net::OpCode::put;
+  in.key = 5;
+  in.arg = kv::value_of(5, 1);
+  std::vector<std::uint8_t> buf;
+  net::encode_request(in, buf);
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    net::Request out;
+    std::size_t consumed = 0;
+    EXPECT_EQ(net::decode_request(buf.data(), len, &out, &consumed),
+              net::Decode::need_more)
+        << "prefix length " << len;
+  }
+}
+
+TEST(NetCodec, RejectsOversizedZeroLengthUnknownAndTrailing) {
+  net::Request out;
+  std::size_t consumed = 0;
+
+  // Claimed body over kMaxFrame: reject immediately, do not buffer.
+  std::vector<std::uint8_t> big = {0xff, 0xff, 0xff, 0x00};  // 16 MiB - ish
+  EXPECT_EQ(net::decode_request(big.data(), big.size(), &out, &consumed),
+            net::Decode::bad_frame);
+
+  // Zero-length body: no opcode to read.
+  std::vector<std::uint8_t> zero = {0, 0, 0, 0};
+  EXPECT_EQ(net::decode_request(zero.data(), zero.size(), &out, &consumed),
+            net::Decode::bad_frame);
+
+  // Unknown opcode.
+  std::vector<std::uint8_t> unk = {1, 0, 0, 0, 0x7f};
+  EXPECT_EQ(net::decode_request(unk.data(), unk.size(), &out, &consumed),
+            net::Decode::bad_frame);
+
+  // Trailing bytes inside the frame body.
+  net::Request fence;
+  fence.op = net::OpCode::fence;
+  std::vector<std::uint8_t> buf;
+  net::encode_request(fence, buf);
+  buf.push_back(0xaa);      // junk byte inside the declared body...
+  buf[0] += 1;              // ...accounted for by the length prefix
+  EXPECT_EQ(net::decode_request(buf.data(), buf.size(), &out, &consumed),
+            net::Decode::bad_frame);
+}
+
+TEST(NetCodec, RejectsNestedBatchAndNonBatchableSubOps) {
+  net::Request out;
+  std::size_t consumed = 0;
+
+  net::Request nested;
+  nested.op = net::OpCode::batch;
+  net::Request inner;
+  inner.op = net::OpCode::batch;
+  nested.sub.push_back(inner);
+  std::vector<std::uint8_t> buf;
+  net::encode_request(nested, buf);
+  EXPECT_EQ(net::decode_request(buf.data(), buf.size(), &out, &consumed),
+            net::Decode::bad_frame);
+
+  net::Request barrier_sub;
+  barrier_sub.op = net::OpCode::batch;
+  net::Request scan;
+  scan.op = net::OpCode::scan;
+  barrier_sub.sub.push_back(scan);
+  buf.clear();
+  net::encode_request(barrier_sub, buf);
+  EXPECT_EQ(net::decode_request(buf.data(), buf.size(), &out, &consumed),
+            net::Decode::bad_frame);
+}
+
+TEST(NetCodec, PipelinedFramesDecodeBackToBack) {
+  std::vector<std::uint8_t> buf;
+  for (int i = 0; i < 4; ++i) {
+    net::Request r;
+    r.op = net::OpCode::get;
+    r.key = i;
+    net::encode_request(r, buf);
+  }
+  std::size_t off = 0;
+  for (int i = 0; i < 4; ++i) {
+    net::Request out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(net::decode_request(buf.data() + off, buf.size() - off, &out,
+                                  &consumed),
+              net::Decode::ok);
+    EXPECT_EQ(out.key, i);
+    off += consumed;
+  }
+  EXPECT_EQ(off, buf.size());
+}
+
+// ---------------------------------------------------------------------------
+// Batcher determinism pin: a pipelined request stream must produce the same
+// responses and the same final store state whether the executor coalesces
+// runs (max_batch = 16) or degenerates to one transaction per op
+// (max_batch = 1), on every registered backend.
+
+std::vector<net::Request> pinned_stream(std::size_t n) {
+  std::vector<net::Request> reqs;
+  Rng rng(0xfeedULL);
+  for (std::size_t i = 0; i < n; ++i) {
+    net::Request r;
+    switch (rng.below(10)) {
+      case 0: case 1: case 2:
+        r.op = net::OpCode::get;
+        r.key = static_cast<std::int64_t>(rng.below(64));
+        break;
+      case 3: case 4: case 5:
+        r.op = net::OpCode::put;
+        r.key = static_cast<std::int64_t>(rng.below(64));
+        r.arg = kv::value_of(r.key, static_cast<std::int64_t>(i));
+        break;
+      case 6:
+        r.op = net::OpCode::rmw;
+        r.key = static_cast<std::int64_t>(rng.below(64));
+        r.arg = 3;
+        break;
+      case 7:
+        r.op = net::OpCode::snap_read;
+        r.key = static_cast<std::int64_t>(rng.below(8));
+        break;
+      case 8:
+        r.op = net::OpCode::scan;
+        r.shard = static_cast<std::uint32_t>(rng.below(4));
+        break;
+      default:
+        r.op = net::OpCode::batch;
+        for (int j = 0; j < 4; ++j) {
+          net::Request sub;
+          sub.op = j % 2 ? net::OpCode::put : net::OpCode::get;
+          sub.key = static_cast<std::int64_t>(rng.below(64));
+          sub.arg = kv::value_of(sub.key, static_cast<std::int64_t>(j));
+          r.sub.push_back(sub);
+        }
+        break;
+    }
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+struct PipelineRun {
+  std::vector<net::Response> responses;
+  std::map<std::int64_t, std::int64_t> final_state;
+  net::BatchExecutor::Stats stats;
+};
+
+PipelineRun run_pipeline(const std::string& backend,
+                         const std::vector<net::Request>& reqs,
+                         std::size_t max_batch) {
+  auto stm = stm::make_backend(backend);
+  kv::KvStore::Options sopt;
+  sopt.shards = 4;
+  sopt.expected_keys = 128;
+  sopt.snap_slots = 8;
+  kv::KvStore store(*stm, sopt);
+  for (std::int64_t k = 0; k < 64; ++k) store.put(k, kv::value_of(k, 0));
+  std::vector<std::int64_t> snap;
+  for (std::int64_t k = 0; k < 8; ++k) snap.push_back(k);
+  store.publish_snapshot(snap);
+
+  PipelineRun run;
+  net::BatchExecutor exec(store, max_batch);
+  // Chunks of 5 emulate socket drains; drain (rule 4) between chunks.
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    exec.submit(reqs[i], run.responses);
+    if (i % 5 == 4) exec.drain(run.responses);
+  }
+  exec.drain(run.responses);
+  run.stats = exec.stats();
+  for (std::int64_t k = 0; k < 64; ++k) {
+    std::int64_t v = 0;
+    if (store.get(k, &v)) run.final_state[k] = v;
+  }
+  return run;
+}
+
+bool responses_equal(const net::Response& a, const net::Response& b) {
+  if (a.op != b.op || a.status != b.status || a.value != b.value ||
+      a.count != b.count || a.flag != b.flag || a.sub.size() != b.sub.size())
+    return false;
+  for (std::size_t i = 0; i < a.sub.size(); ++i)
+    if (!responses_equal(a.sub[i], b.sub[i])) return false;
+  return true;
+}
+
+TEST(NetBatch, BatchedEqualsUnbatchedOnEveryBackend) {
+  const std::vector<net::Request> reqs = pinned_stream(120);
+  for (const std::string& backend : stm::backend_names()) {
+    const PipelineRun batched = run_pipeline(backend, reqs, 16);
+    const PipelineRun unbatched = run_pipeline(backend, reqs, 1);
+
+    ASSERT_EQ(batched.responses.size(), unbatched.responses.size()) << backend;
+    for (std::size_t i = 0; i < batched.responses.size(); ++i)
+      EXPECT_TRUE(responses_equal(batched.responses[i], unbatched.responses[i]))
+          << backend << " response " << i;
+    EXPECT_EQ(batched.final_state, unbatched.final_state) << backend;
+
+    // Same ops executed; batching must actually coalesce (fewer
+    // transactions than the unbatched run) for this stream.
+    EXPECT_EQ(batched.stats.ops, unbatched.stats.ops) << backend;
+    EXPECT_LT(batched.stats.transactions, unbatched.stats.transactions)
+        << backend;
+  }
+}
+
+TEST(NetBatch, GetsJoinTheBatchAndSeeEarlierPuts) {
+  auto stm = stm::make_backend("tl2");
+  kv::KvStore::Options sopt;
+  sopt.shards = 1;  // one shard: nothing can flush the run early
+  sopt.expected_keys = 32;
+  kv::KvStore store(*stm, sopt);
+  store.put(1, kv::value_of(1, 0));
+
+  net::BatchExecutor exec(store, 16);
+  std::vector<net::Response> out;
+  net::Request put;
+  put.op = net::OpCode::put;
+  put.key = 1;
+  put.arg = kv::value_of(1, 77);
+  exec.submit(put, out);
+  net::Request get;
+  get.op = net::OpCode::get;
+  get.key = 1;
+  exec.submit(get, out);
+  EXPECT_TRUE(out.empty());  // both pending: same shard, under max_batch
+  exec.drain(out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].value, kv::value_of(1, 77));  // read-your-writes
+  EXPECT_EQ(exec.stats().transactions, 1u);      // one txn for both ops
+}
+
+TEST(NetBatch, ReadBarrierOpsFlushTheRunFirst) {
+  auto stm = stm::make_backend("tl2");
+  kv::KvStore::Options sopt;
+  sopt.shards = 2;
+  sopt.expected_keys = 64;
+  sopt.snap_slots = 4;
+  kv::KvStore store(*stm, sopt);
+  for (std::int64_t k = 0; k < 16; ++k) store.put(k, kv::value_of(k, 0));
+  store.publish_snapshot({0, 1, 2, 3});
+
+  net::BatchExecutor exec(store, 16);
+  std::vector<net::Response> out;
+  net::Request put;
+  put.op = net::OpCode::put;
+  put.key = 0;
+  put.arg = kv::value_of(0, 5);
+  exec.submit(put, out);
+  ASSERT_EQ(exec.pending(), 1u);
+
+  net::Request scan;
+  scan.op = net::OpCode::scan;
+  scan.shard = 0;
+  exec.submit(scan, out);
+  EXPECT_EQ(exec.pending(), 0u);  // rule 3: the scan flushed the run
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].op, net::OpCode::put);   // in submission order
+  EXPECT_EQ(out[1].op, net::OpCode::scan);
+  EXPECT_EQ(exec.stats().flushes_barrier, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback smoke: a real server and the open-loop generator, streaming
+// conformance judging the served traffic (concurrency + oracle surface).
+
+TEST(NetServer, LoopbackServeWithStreamingConformance) {
+  auto stm = stm::make_backend("tl2");
+  net::ServerOptions so;
+  so.shards = 4;
+  so.preload_keys = 256;
+  so.snap_keys = 8;
+  so.max_batch = 8;
+  so.snap_refresh_every = 128;
+  so.stream = true;
+  so.stream_epoch_ops = 128;
+  net::Server server(*stm, so);
+  std::thread server_thread([&] { server.run(); });
+
+  net::LoadgenOptions lg;
+  lg.port = server.port();
+  lg.connections = 2;
+  lg.rate = 4000;
+  lg.ops_per_conn = 200;
+  lg.preload_keys = 256;
+  lg.shards = 4;
+  lg.snap_keys = 8;
+  lg.seed = 3;
+  const net::LoadgenResult r = net::run_loadgen(lg);
+  server.stop();
+  server_thread.join();
+  const net::ServerStats& ss = server.stats();
+
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.form_violations, 0u);
+  EXPECT_EQ(r.completed, r.intended);
+  EXPECT_EQ(ss.bad_frames, 0u);
+  EXPECT_EQ(ss.frames, r.sent);
+  EXPECT_TRUE(ss.streamed);
+  EXPECT_GT(ss.segments, 0u);
+  EXPECT_EQ(ss.nonconformant, 0u);
+  EXPECT_EQ(ss.ring_dropped, 0u);
+  EXPECT_FALSE(ss.overflow);
+}
+
+TEST(NetServer, BadFrameDropsTheConnectionAndCounts) {
+  auto stm = stm::make_backend("sgl");
+  net::ServerOptions so;
+  so.shards = 2;
+  so.preload_keys = 32;
+  so.snap_keys = 4;
+  net::Server server(*stm, so);
+  std::thread server_thread([&] { server.run(); });
+
+  // Raw socket: claim a body far over kMaxFrame.  The server must count
+  // the violation and close the connection (we observe EOF).
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::uint8_t evil[4] = {0xff, 0xff, 0xff, 0x00};
+  ASSERT_EQ(::send(fd, evil, sizeof(evil), 0), 4);
+  std::uint8_t byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);  // orderly close from the server
+  ::close(fd);
+
+  server.stop();
+  server_thread.join();
+  EXPECT_EQ(server.stats().bad_frames, 1u);
+  EXPECT_EQ(server.stats().accepted, 1u);
+  EXPECT_EQ(server.stats().closed, 1u);
+}
+
+}  // namespace

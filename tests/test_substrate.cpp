@@ -469,6 +469,40 @@ TEST(LatencyHist, MergeEqualsWholeAndTracksMinMaxMean) {
   EXPECT_NEAR(whole.mean(), sum / 5000.0, 1e-6);
 }
 
+TEST(LatencyHist, CountMeanMaxExactOracle) {
+  // count/mean/min/max are tracked outside the bucket array, so they are
+  // EXACT — pin them against hand-computed values, not bucket tolerances.
+  LatencyHist h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  for (std::uint64_t v : {7ull, 100ull, 3ull, 1000000ull, 90ull}) h.add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 1000000u);
+  EXPECT_NEAR(h.mean(), (7.0 + 100.0 + 3.0 + 1000000.0 + 90.0) / 5.0, 1e-9);
+}
+
+TEST(LatencyHist, ToJsonCarriesTheExactFields) {
+  LatencyHist h;
+  for (std::uint64_t v = 1; v <= 4; ++v) h.add(v);  // mean = 2.5, exact
+  const std::string j = h.to_json();
+  EXPECT_NE(j.find("\"count\": 4"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"mean_ns\": 2.5"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"min_ns\": 1"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"max_ns\": 4"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"p50_ns\": " + std::to_string(h.p50())),
+            std::string::npos) << j;
+  EXPECT_NE(j.find("\"p95_ns\": " + std::to_string(h.p95())),
+            std::string::npos) << j;
+  EXPECT_NE(j.find("\"p99_ns\": " + std::to_string(h.p99())),
+            std::string::npos) << j;
+  // Balanced braces, object-shaped.
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+}
+
 TEST(Zipfian, DeterministicPerSeedAndInRange) {
   const Zipfian z(100, 0.99);
   Rng a(12), b(12), c(13);
