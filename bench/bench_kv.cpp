@@ -139,9 +139,9 @@ int main(int argc, char** argv) {
         o.threads = t;
         o.seed = 31;
         o.ops_per_thread = ops / t;  // fixed total work per row
-        o.preload_keys = keys;
-        o.shards = 8;
-        o.snap_keys = 32;
+        o.store.preload_keys = keys;
+        o.store.shards = 8;
+        o.store.snap_keys = 32;
         kv::KvResult r = kv::run_kv_workload(*stm, mix, o);
         all_ok = all_ok && r.invariant_ok;
         table.add_row({r.backend, r.mix, std::to_string(r.threads),
@@ -168,9 +168,9 @@ int main(int argc, char** argv) {
     o.threads = 3;
     o.seed = 47;
     o.ops_per_thread = oracle_ops;
-    o.preload_keys = 24;
-    o.shards = 2;
-    o.snap_keys = 4;
+    o.store.preload_keys = 24;
+    o.store.shards = 2;
+    o.store.snap_keys = 4;
     o.sample_every = 2;
     o.round_ops = 16;
     const kv::KvResult r =
@@ -220,9 +220,9 @@ int main(int argc, char** argv) {
       o.threads = sthreads;
       o.seed = 53;
       o.ops_per_thread = ops / sthreads;
-      o.preload_keys = keys;
-      o.shards = cfg.shards;
-      o.snap_keys = 32;
+      o.store.preload_keys = keys;
+      o.store.shards = cfg.shards;
+      o.store.snap_keys = 32;
       o.scoped_fences = cfg.scoped;
       kv::KvResult r =
           kv::run_kv_workload(*stm, *kv::mix_by_name("priv_heavy"), o);
@@ -287,9 +287,9 @@ int main(int argc, char** argv) {
     o.threads = sthreads;
     o.seed = 59;
     o.ops_per_thread = stream_ops / sthreads;
-    o.preload_keys = stream_keys;
-    o.shards = 8;
-    o.snap_keys = 32;
+    o.store.preload_keys = stream_keys;
+    o.store.shards = 8;
+    o.store.snap_keys = 32;
     double unchecked = 0;
     {
       auto stm = stm::make_backend(backend);

@@ -4,8 +4,9 @@
 // Usage: bench_net [--backends a,b] [--rates r1,r2,...] [--conns N]
 //                  [--duration-ms N] [--keys N] [--shards N] [--snap N]
 //                  [--batch N] [--mix NAME] [--poisson] [--seed N]
-//                  [--no-stream] [--refresh N]
+//                  [--no-stream] [--refresh N] [--reactors r1,r2,...]
 //                  [--assert-conformance] [--assert-speedup X]
+//                  [--assert-reactor-scaling X]
 //                  [--assert-p99-under-ms X] [--out PATH]
 //
 // For every backend the sweep runs twice — server max_batch = --batch
@@ -24,6 +25,15 @@
 // one core, so the ratio measures scheduler noise, not batching).
 // --assert-p99-under-ms X gates the LOWEST rate point's p99 per backend —
 // a generous sanity floor for CI, not a performance claim.
+//
+// After the batching sweep, a reactor-scaling sweep runs each backend
+// (batched, streaming off so checker threads don't pollute the
+// measurement) at the highest offered rate for every reactor count in
+// --reactors (default 1,2,4; counts above --shards are skipped), reported
+// in the `reactor_scaling` JSON section.  --assert-reactor-scaling X exits
+// 1 unless some backend's best multi-reactor throughput beats its
+// 1-reactor throughput by >= X; on hosts with < 4 hardware threads the
+// floor is reported but not enforced — there are no cores to scale onto.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -63,6 +73,14 @@ struct PointRow {
   mtx::net::ServerStats server;
 };
 
+struct ScalePoint {
+  std::string backend;
+  std::size_t reactors = 0;
+  double achieved = 0;
+  std::uint64_t handoffs = 0;
+  bool clean = true;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -75,7 +93,8 @@ int main(int argc, char** argv) {
   std::string mix_name = "hot", out_path = "BENCH_net.json";
   bool poisson = false, stream = true;
   bool assert_conf = false;
-  double assert_speedup = 0, assert_p99_ms = 0;
+  double assert_speedup = 0, assert_p99_ms = 0, assert_rscale = 0;
+  std::vector<std::size_t> reactor_list = {1, 2, 4};
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -105,6 +124,11 @@ int main(int argc, char** argv) {
       batch = static_cast<std::size_t>(std::atoll(next("--batch")));
     else if (std::strcmp(argv[i], "--refresh") == 0)
       refresh = static_cast<std::size_t>(std::atoll(next("--refresh")));
+    else if (std::strcmp(argv[i], "--reactors") == 0) {
+      reactor_list.clear();
+      for (const std::string& r : split_csv(next("--reactors")))
+        reactor_list.push_back(static_cast<std::size_t>(std::atoll(r.c_str())));
+    }
     else if (std::strcmp(argv[i], "--mix") == 0)
       mix_name = next("--mix");
     else if (std::strcmp(argv[i], "--poisson") == 0)
@@ -117,6 +141,8 @@ int main(int argc, char** argv) {
       assert_conf = true;
     else if (std::strcmp(argv[i], "--assert-speedup") == 0)
       assert_speedup = std::atof(next("--assert-speedup"));
+    else if (std::strcmp(argv[i], "--assert-reactor-scaling") == 0)
+      assert_rscale = std::atof(next("--assert-reactor-scaling"));
     else if (std::strcmp(argv[i], "--assert-p99-under-ms") == 0)
       assert_p99_ms = std::atof(next("--assert-p99-under-ms"));
     else if (std::strcmp(argv[i], "--out") == 0)
@@ -149,14 +175,14 @@ int main(int argc, char** argv) {
       }
       // One server per (backend, mode): the whole rate sweep reuses it, so
       // the stream sees one continuous served execution per configuration.
-      net::ServerOptions so;
-      so.shards = shards;
-      so.preload_keys = keys;
-      so.snap_keys = snap;
-      so.max_batch = batched ? batch : 1;
-      so.snap_refresh_every = refresh;
-      so.stream = stream;
-      net::Server server(*stm_ptr, so);
+      net::ServerConfig cfg;
+      cfg.store.shards = shards;
+      cfg.store.preload_keys = keys;
+      cfg.store.snap_keys = snap;
+      cfg.reactors.max_batch = batched ? batch : 1;
+      cfg.reactors.snap_refresh_every = refresh;
+      cfg.stream.enabled = stream;
+      net::Server server(*stm_ptr, cfg);
       std::thread server_thread([&] { server.run(); });
 
       for (std::size_t ri = 0; ri < rates.size(); ++ri) {
@@ -166,9 +192,7 @@ int main(int argc, char** argv) {
         lg.rate = rates[ri];
         lg.poisson = poisson;
         lg.mix = mix;
-        lg.preload_keys = keys;
-        lg.shards = shards;
-        lg.snap_keys = snap;
+        lg.store = cfg.store;
         lg.seed = seed + ri;
         lg.ops_per_conn = std::max<std::uint64_t>(
             1, static_cast<std::uint64_t>(rates[ri] *
@@ -219,7 +243,84 @@ int main(int argc, char** argv) {
                 backends[b].c_str(), peaks[b].second, peaks[b].first, ratio);
   }
 
+  // Reactor-scaling sweep: same store geometry, batched, streaming off,
+  // saturating offered rate; only the reactor count varies.
+  double max_rate = 0;
+  for (const double r : rates) max_rate = std::max(max_rate, r);
+  std::size_t max_reactors = 1;
+  for (const std::size_t r : reactor_list)
+    if (r >= 1 && r <= shards) max_reactors = std::max(max_reactors, r);
+  std::vector<ScalePoint> scale_points;
+  // scaling peaks per backend: {1-reactor achieved, best multi achieved}
+  std::vector<std::pair<double, double>> rpeaks(backends.size(), {0, 0});
+  Table rtable({"backend", "reactors", "rate/s", "achieved/s", "handoffs"});
+  for (std::size_t b = 0; b < backends.size(); ++b) {
+    for (const std::size_t nr : reactor_list) {
+      if (nr < 1 || nr > shards) {
+        std::printf("note: skipping --reactors %zu (> %zu shards)\n", nr,
+                    shards);
+        continue;
+      }
+      std::unique_ptr<stm::StmBackend> stm_ptr = stm::make_backend(backends[b]);
+      if (!stm_ptr) continue;
+      net::ServerConfig cfg;
+      cfg.store.shards = shards;
+      cfg.store.preload_keys = keys;
+      cfg.store.snap_keys = snap;
+      cfg.reactors.count = nr;
+      cfg.reactors.max_batch = batch;
+      cfg.reactors.snap_refresh_every = refresh;
+      net::Server server(*stm_ptr, cfg);
+      std::thread server_thread([&] { server.run(); });
+
+      net::LoadgenOptions lg;
+      lg.port = server.port();
+      // Enough connections to occupy every loop (round-robin deal).
+      lg.connections = std::max(conns, max_reactors);
+      lg.rate = max_rate * 2;  // saturate: measure capacity, not schedule
+      lg.poisson = poisson;
+      lg.mix = mix;
+      lg.store = cfg.store;
+      lg.seed = seed;
+      lg.ops_per_conn = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 lg.rate * static_cast<double>(duration_ms) / 1e3 /
+                 static_cast<double>(lg.connections)));
+      const net::LoadgenResult res = net::run_loadgen(lg);
+      server.stop();
+      server_thread.join();
+
+      ScalePoint sp;
+      sp.backend = backends[b];
+      sp.reactors = nr;
+      sp.achieved = res.achieved_per_sec;
+      sp.handoffs = server.stats().handoffs;
+      sp.clean = res.ok() && server.stats().ok();
+      if (!sp.clean) conf_clean = false;
+      scale_points.push_back(sp);
+      if (nr == 1)
+        rpeaks[b].first = std::max(rpeaks[b].first, sp.achieved);
+      else
+        rpeaks[b].second = std::max(rpeaks[b].second, sp.achieved);
+      rtable.add_row({sp.backend, std::to_string(sp.reactors),
+                      fixed(lg.rate, 0), fixed(sp.achieved, 0),
+                      std::to_string(sp.handoffs)});
+    }
+  }
+  std::printf("%s\n", rtable.render().c_str());
+
+  double best_rscale = 0;
+  for (std::size_t b = 0; b < backends.size(); ++b) {
+    const double ratio =
+        rpeaks[b].first > 0 ? rpeaks[b].second / rpeaks[b].first : 0;
+    best_rscale = std::max(best_rscale, ratio);
+    std::printf("%s: 1-reactor %.0f/s, best multi %.0f/s, scaling %.2fx\n",
+                backends[b].c_str(), rpeaks[b].first, rpeaks[b].second,
+                ratio);
+  }
+
   const bool speedup_assertable = hw_threads() >= 2;
+  const bool rscale_assertable = hw_threads() >= 4;
   std::string json = "{\n";
   json += "  \"bench\": \"net\",\n";
   json += "  \"hw_threads\": " + std::to_string(hw_threads()) + ",\n";
@@ -259,9 +360,23 @@ int main(int argc, char** argv) {
     json += (b + 1 < backends.size()) ? ",\n" : "\n";
   }
   json += "  ],\n";
+  json += "  \"reactor_scaling\": [\n";
+  for (std::size_t i = 0; i < scale_points.size(); ++i) {
+    const ScalePoint& p = scale_points[i];
+    json += "    {\"backend\": \"" + p.backend +
+            "\", \"reactors\": " + std::to_string(p.reactors) +
+            ", \"achieved_per_sec\": " + fixed(p.achieved, 1) +
+            ", \"handoffs\": " + std::to_string(p.handoffs) +
+            ", \"clean\": " + (p.clean ? "true" : "false") + "}";
+    json += (i + 1 < scale_points.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
   json += "  \"best_speedup\": " + fixed(best_speedup, 3) + ",\n";
   json += "  \"speedup_assertable\": " +
-          std::string(speedup_assertable ? "true" : "false") + "\n";
+          std::string(speedup_assertable ? "true" : "false") + ",\n";
+  json += "  \"best_reactor_scaling\": " + fixed(best_rscale, 3) + ",\n";
+  json += "  \"reactor_scaling_assertable\": " +
+          std::string(rscale_assertable ? "true" : "false") + "\n";
   json += "}\n";
   if (!campaign::write_file(out_path, json)) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -291,6 +406,19 @@ int main(int argc, char** argv) {
           "but the %.2fx floor is not enforced (client, server and checker "
           "threads all share one core)\n",
           best_speedup, assert_speedup);
+    }
+  }
+  if (assert_rscale > 0 && best_rscale < assert_rscale) {
+    if (rscale_assertable) {
+      std::fprintf(stderr,
+                   "reactor scaling assert failed: best %.2fx < %.2fx\n",
+                   best_rscale, assert_rscale);
+      rc = 1;
+    } else {
+      std::printf(
+          "note: %zu hardware threads — reactor scaling %.2fx reported but "
+          "the %.2fx floor is not enforced (nothing to scale onto)\n",
+          hw_threads(), best_rscale, assert_rscale);
     }
   }
   return rc;

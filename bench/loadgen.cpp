@@ -3,7 +3,8 @@
 // Usage: loadgen [--host H] [--port P] [--spawn BACKEND]
 //                [--conns N] [--rate OPS_PER_SEC] [--poisson]
 //                [--ops N] [--mix NAME] [--keys N] [--shards N] [--snap N]
-//                [--batch N] [--refresh N] [--stream] [--seed N]
+//                [--reactors N] [--batch N] [--refresh N] [--stream]
+//                [--require-hello] [--no-hello] [--seed N]
 //                [--duration-ms N] [--assert] [--json PATH]
 //
 // Two modes:
@@ -38,7 +39,7 @@
 int main(int argc, char** argv) {
   using namespace mtx;
   net::LoadgenOptions lg;
-  net::ServerOptions so;
+  net::ServerConfig cfg;  // spawn mode; cfg.store is shared with lg.store
   std::string spawn_backend, mix_name = "hot", json_path;
   std::uint64_t duration_ms = 2000;
   bool ops_given = false, do_assert = false;
@@ -77,17 +78,24 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--mix") == 0)
       mix_name = next("--mix");
     else if (std::strcmp(argv[i], "--keys") == 0)
-      lg.preload_keys = static_cast<std::size_t>(count("--keys"));
+      lg.store.preload_keys = static_cast<std::size_t>(count("--keys"));
     else if (std::strcmp(argv[i], "--shards") == 0)
-      lg.shards = static_cast<std::size_t>(count("--shards"));
+      lg.store.shards = static_cast<std::size_t>(count("--shards"));
     else if (std::strcmp(argv[i], "--snap") == 0)
-      lg.snap_keys = static_cast<std::size_t>(count("--snap"));
+      lg.store.snap_keys = static_cast<std::size_t>(count("--snap"));
+    else if (std::strcmp(argv[i], "--reactors") == 0)
+      cfg.reactors.count = static_cast<std::size_t>(count("--reactors"));
     else if (std::strcmp(argv[i], "--batch") == 0)
-      so.max_batch = static_cast<std::size_t>(count("--batch"));
+      cfg.reactors.max_batch = static_cast<std::size_t>(count("--batch"));
     else if (std::strcmp(argv[i], "--refresh") == 0)
-      so.snap_refresh_every = static_cast<std::size_t>(count("--refresh"));
+      cfg.reactors.snap_refresh_every =
+          static_cast<std::size_t>(count("--refresh"));
     else if (std::strcmp(argv[i], "--stream") == 0)
-      so.stream = true;
+      cfg.stream.enabled = true;
+    else if (std::strcmp(argv[i], "--require-hello") == 0)
+      cfg.listener.require_hello = true;
+    else if (std::strcmp(argv[i], "--no-hello") == 0)
+      lg.hello = false;
     else if (std::strcmp(argv[i], "--seed") == 0)
       lg.seed = count("--seed");
     else if (std::strcmp(argv[i], "--duration-ms") == 0)
@@ -127,10 +135,13 @@ int main(int argc, char** argv) {
       return 2;
     }
     backend = backend_owned.get();
-    so.shards = lg.shards;
-    so.preload_keys = lg.preload_keys;
-    so.snap_keys = lg.snap_keys;
-    server = std::make_unique<net::Server>(*backend, so);
+    cfg.store = lg.store;  // one geometry, both sides
+    const std::string cfg_err = cfg.validate();
+    if (!cfg_err.empty()) {
+      std::fprintf(stderr, "bad config: %s\n", cfg_err.c_str());
+      return 2;
+    }
+    server = std::make_unique<net::Server>(*backend, cfg);
     server_thread = std::thread([&] { server->run(); });
     lg.port = server->port();
   } else if (lg.port == 0) {
@@ -169,8 +180,13 @@ int main(int argc, char** argv) {
           ", \"scan\": " + std::to_string(r.scans) +
           ", \"rmw\": " + std::to_string(r.rmws) + "}";
   if (server) {
-    json += ",\n  \"server\": {\"frames\": " + std::to_string(sstats.frames) +
+    json += ",\n  \"server\": {\"reactors\": " +
+            std::to_string(sstats.reactors) +
+            ", \"frames\": " + std::to_string(sstats.frames) +
             ", \"bad_frames\": " + std::to_string(sstats.bad_frames) +
+            ", \"handoffs\": " + std::to_string(sstats.handoffs) +
+            ", \"hellos\": " + std::to_string(sstats.hellos) +
+            ", \"hello_rejects\": " + std::to_string(sstats.hello_rejects) +
             ", \"transactions\": " + std::to_string(sstats.batch.transactions) +
             ", \"batched_ops\": " + std::to_string(sstats.batch.ops) +
             ", \"snap_refreshes\": " + std::to_string(sstats.snap_refreshes) +

@@ -10,6 +10,7 @@
 //                 [--kv-shards N] [--kv-no-sample] [--kv-global-fence]
 //                 [--kv-stream]
 //                 [--net] [--net-only] [--net-ops N] [--net-rate R]
+//                 [--net-reactors r1,r2,...]
 //                 [--fuzz N] [--fuzz-only] [--fuzz-seed S] [--fuzz-sched K]
 //                 [--fuzz-no-shrink] [--fuzz-repro-dir DIR]
 //                 [--fuzz-time-budget-ms N] [--fuzz-threads N]
@@ -39,11 +40,11 @@
 // concurrently with the run; a ring overflow poisons the row.
 //
 // --net adds the loopback serving smoke grid: every registered backend runs
-// the binary-protocol front end twice — per-connection transaction batching
-// on and off — under open-loop load on the hot mix, with streaming
-// conformance judging the served traffic; any non-conformant segment, ring
-// drop, bad frame or malformed value counts as a mismatch.  --net-only
-// skips the litmus catalog.
+// the binary-protocol front end per batching mode (on and off) and per
+// reactor count in --net-reactors (default 1,2) — under open-loop load on
+// the hot mix, with per-reactor streaming conformance judging the served
+// traffic; any non-conformant segment, ring drop, bad frame or malformed
+// value counts as a mismatch.  --net-only skips the litmus catalog.
 //
 // --fuzz N adds the differential fuzz grid: N random litmus programs (seeded
 // by --fuzz-seed, byte-reproducible) run on every registered backend under
@@ -136,6 +137,20 @@ int main(int argc, char** argv) {
       opts.net_ops = count("--net-ops");
     else if (std::strcmp(argv[i], "--net-rate") == 0)
       opts.net_rate = static_cast<double>(count("--net-rate"));
+    else if (std::strcmp(argv[i], "--net-reactors") == 0) {
+      opts.net_reactors.clear();
+      const std::string v = next("--net-reactors");
+      std::size_t pos = 0;
+      while (pos < v.size()) {
+        const std::size_t comma = v.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? v.size() : comma;
+        if (end > pos)
+          opts.net_reactors.push_back(static_cast<std::size_t>(
+              std::atoll(v.substr(pos, end - pos).c_str())));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    }
     else if (std::strcmp(argv[i], "--fuzz") == 0)
       opts.fuzz_count = static_cast<int>(count("--fuzz"));
     else if (std::strcmp(argv[i], "--fuzz-only") == 0)
@@ -211,15 +226,17 @@ int main(int argc, char** argv) {
   }
 
   if (!r.net.empty()) {
-    Table nt({"backend", "mode", "verdict", "ops", "txns", "ops/s", "p99us",
-              "segments", "ms"});
+    Table nt({"backend", "mode", "reactors", "verdict", "ops", "txns",
+              "handoffs", "ops/s", "p99us", "segments", "ms"});
     for (const campaign::NetRow& row : r.net) {
       char ms[32];
       std::snprintf(ms, sizeof(ms), "%.1f", row.millis);
       nt.add_row({row.backend, row.batched ? "batched" : "unbatched",
+                  std::to_string(row.reactors),
                   row.ok() ? "conformant" : "VIOLATION",
                   std::to_string(row.completed),
                   std::to_string(row.transactions),
+                  std::to_string(row.handoffs),
                   fixed(row.achieved_per_sec, 0),
                   fixed(static_cast<double>(row.p99_ns) / 1e3, 1),
                   std::to_string(row.segments), ms});

@@ -73,9 +73,9 @@ int main(int argc, char** argv) {
     o.threads = threads;
     o.seed = 7;
     o.ops_per_thread = ops / (threads ? threads : 1);
-    o.preload_keys = 24;
-    o.shards = 2;
-    o.snap_keys = 4;
+    o.store.preload_keys = 24;
+    o.store.shards = 2;
+    o.store.snap_keys = 4;
     o.sample_every = 4;
     o.round_ops = 16;
     const kv::KvResult r =

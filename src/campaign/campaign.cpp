@@ -182,9 +182,9 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     wopts.threads = j.threads;
     wopts.seed = opts.kv_seed;
     wopts.ops_per_thread = opts.kv_ops;
-    wopts.preload_keys = opts.kv_keys;
-    wopts.shards = opts.kv_shards;
-    wopts.snap_keys = 4;
+    wopts.store.preload_keys = opts.kv_keys;
+    wopts.store.shards = opts.kv_shards;
+    wopts.store.snap_keys = 4;
     wopts.sample_every = opts.kv_sample_every;
     wopts.round_ops = 16;
     wopts.scoped_fences = opts.kv_scoped_fences;
@@ -221,18 +221,23 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     return row;
   };
 
-  // Network serving smoke jobs: backend x {batched, unbatched}, in
-  // deterministic grid order.  Each job self-hosts a loopback server on an
-  // ephemeral port and drives it with the open-loop generator, so jobs are
-  // independent and can share the pool.
+  // Network serving smoke jobs: backend x {batched, unbatched} x reactor
+  // count, in deterministic grid order.  Each job self-hosts a loopback
+  // server on an ephemeral port and drives it with the open-loop generator,
+  // so jobs are independent and can share the pool.
   struct NetJob {
     std::string backend;
     bool batched;
+    std::size_t reactors;
   };
   std::vector<NetJob> net_grid;
   if (opts.net_jobs) {
     for (const std::string& b : stm::backend_names())
-      for (const bool batched : {true, false}) net_grid.push_back({b, batched});
+      for (const bool batched : {true, false})
+        for (const std::size_t nr : opts.net_reactors) {
+          if (nr < 1 || nr > opts.net_shards) continue;  // would not validate
+          net_grid.push_back({b, batched, nr});
+        }
   }
   auto run_net = [&](std::size_t i) {
     const NetJob& j = net_grid[i];
@@ -240,16 +245,18 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     NetRow row;
     row.backend = j.backend;
     row.batched = j.batched;
+    row.reactors = j.reactors;
 
     auto stm = stm::make_backend(j.backend);
-    net::ServerOptions so;
-    so.shards = opts.net_shards;
-    so.preload_keys = opts.net_keys;
-    so.snap_keys = opts.net_snap;
-    so.max_batch = j.batched ? opts.net_batch : 1;
-    so.snap_refresh_every = opts.net_refresh;
-    so.stream = true;
-    net::Server server(*stm, so);
+    net::ServerConfig cfg;
+    cfg.store.shards = opts.net_shards;
+    cfg.store.preload_keys = opts.net_keys;
+    cfg.store.snap_keys = opts.net_snap;
+    cfg.reactors.count = j.reactors;
+    cfg.reactors.max_batch = j.batched ? opts.net_batch : 1;
+    cfg.reactors.snap_refresh_every = opts.net_refresh;
+    cfg.stream.enabled = true;
+    net::Server server(*stm, cfg);
     std::thread server_thread([&] { server.run(); });
 
     net::LoadgenOptions lg;
@@ -258,9 +265,7 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     lg.rate = opts.net_rate;
     lg.mix = kv::mix_by_name("hot");
     lg.ops_per_conn = opts.net_ops;
-    lg.preload_keys = opts.net_keys;
-    lg.shards = opts.net_shards;
-    lg.snap_keys = opts.net_snap;
+    lg.store = cfg.store;
     lg.seed = opts.net_seed;
     const net::LoadgenResult r = net::run_loadgen(lg);
     server.stop();
@@ -276,6 +281,7 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     row.frames = ss.frames;
     row.bad_frames = ss.bad_frames;
     row.transactions = ss.batch.transactions;
+    row.handoffs = ss.handoffs;
     row.segments = ss.segments;
     row.windows = ss.windows;
     row.nonconformant = ss.nonconformant;
@@ -453,7 +459,8 @@ std::string verdict_signature(const CampaignResult& r) {
   // transaction counts are scheduling-dependent and omitted.
   for (const NetRow& nr : r.net) {
     s += "net:" + nr.backend + ":" + (nr.batched ? "batched" : "unbatched") +
-         "," + (nr.ok() ? "C" : "V") + "," + std::to_string(nr.intended) + "\n";
+         ":r" + std::to_string(nr.reactors) + "," + (nr.ok() ? "C" : "V") +
+         "," + std::to_string(nr.intended) + "\n";
   }
   // Fuzz rows: verdict and model outcome count are schedule-independent for
   // conformant runs (race counts are not — they vary with interleaving).

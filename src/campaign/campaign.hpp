@@ -106,6 +106,9 @@ struct CampaignOptions {
   std::size_t net_snap = 8;
   std::size_t net_batch = 8;     // batched-mode coalescing cap
   std::size_t net_refresh = 256; // snapshot refresh cadence (requests)
+  // Reactor counts to smoke per (backend, mode); entries above net_shards
+  // are skipped (ServerConfig::validate would reject them).
+  std::vector<std::size_t> net_reactors = {1, 2};
   std::uint64_t net_seed = 7;
 
   // ----- differential fuzz jobs -----
@@ -205,6 +208,7 @@ struct KvRow {
 struct NetRow {
   std::string backend;
   bool batched = false;  // max_batch > 1 vs the unbatched A/B baseline
+  std::size_t reactors = 1;  // event loops serving this row
 
   // Schedule-independent (the open-loop generator always sends its whole
   // schedule; conformant rows complete every op).
@@ -218,6 +222,7 @@ struct NetRow {
   std::uint64_t frames = 0;
   std::uint64_t bad_frames = 0;
   std::uint64_t transactions = 0;  // batching: < completed when coalescing
+  std::uint64_t handoffs = 0;      // cross-reactor mailbox shipments
   std::size_t segments = 0;
   std::size_t windows = 0;
   std::size_t nonconformant = 0;
@@ -241,7 +246,7 @@ struct CampaignResult {
   std::vector<JobResult> jobs;    // catalog order, schedule-independent
   std::vector<RecordRow> recorded;  // backend x workload x threads order
   std::vector<KvRow> kv;            // mix x backend x threads grid order
-  std::vector<NetRow> net;          // backend x {batched, unbatched} order
+  std::vector<NetRow> net;  // backend x {batched, unbatched} x reactors order
   std::vector<fuzz::FuzzRow> fuzzed;  // program x backend grid order
   std::size_t mismatches = 0;     // rows where measured != paper, plus
                                   // non-conformant recorded and fuzz rows

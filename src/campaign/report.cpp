@@ -122,6 +122,7 @@ std::string to_json(const CampaignResult& r, const std::string& run_label) {
     const NetRow& nr = r.net[i];
     s += "    {\"backend\": \"" + json_escape(nr.backend) +
          "\", \"batched\": " + (nr.batched ? "true" : "false") +
+         ", \"reactors\": " + std::to_string(nr.reactors) +
          ", \"conformant\": " + (nr.ok() ? "true" : "false") +
          ", \"intended\": " + std::to_string(nr.intended) +
          ", \"completed\": " + std::to_string(nr.completed) +
@@ -130,6 +131,7 @@ std::string to_json(const CampaignResult& r, const std::string& run_label) {
          ", \"frames\": " + std::to_string(nr.frames) +
          ", \"bad_frames\": " + std::to_string(nr.bad_frames) +
          ", \"transactions\": " + std::to_string(nr.transactions) +
+         ", \"handoffs\": " + std::to_string(nr.handoffs) +
          ", \"segments\": " + std::to_string(nr.segments) +
          ", \"windows\": " + std::to_string(nr.windows) +
          ", \"nonconformant\": " + std::to_string(nr.nonconformant) +
@@ -204,7 +206,8 @@ std::string to_csv(const CampaignResult& r) {
   // the open-loop schedule always sends everything).
   for (const NetRow& nr : r.net) {
     s += "net:" + nr.backend + ":" +
-         (nr.batched ? "batched" : "unbatched") + ",net,conformant," +
+         (nr.batched ? "batched" : "unbatched") + ":r" +
+         std::to_string(nr.reactors) + ",net,conformant," +
          (nr.ok() ? "conformant" : "violation") + "," +
          (nr.ok() ? "yes" : "no") + "," + std::to_string(nr.nonconformant) +
          "," + std::to_string(nr.intended) + ",no\n";

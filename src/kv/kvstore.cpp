@@ -31,6 +31,7 @@ KvStore::KvStore(stm::StmBackend& stm, const Options& opt)
         visit(slot.key);
         visit(slot.value);
       }
+      visit(sh->snap_ready);
     };
   }
 }
@@ -62,16 +63,28 @@ ShardStats KvStore::stats(std::size_t shard) const {
 
 void KvStore::priv_wait_pause() { std::this_thread::yield(); }
 
-bool KvStore::put(std::int64_t key, std::int64_t value) {
-  Shard& s = *shards_[shard_of(key)];
+// ---------------------------------------------------------------------------
+// ShardHandle — the per-shard capability all operations actually live on.
+// ---------------------------------------------------------------------------
+
+std::size_t ShardHandle::bucket_count() const {
+  return store_->shards_[idx_]->table.bucket_count();
+}
+
+ShardStats ShardHandle::stats() const { return store_->stats(idx_); }
+
+bool ShardHandle::put(std::int64_t key, std::int64_t value) {
+  assert(store_->shard_of(key) == idx_ && "key routed through wrong handle");
+  KvStore::Shard& s = *store_->shards_[idx_];
   bool fresh = false;
-  mutate(s, [&](stm::TxHandle& tx) { fresh = s.table.put_in(tx, key, value); });
+  store_->mutate(s, [&](stm::TxHandle& tx) { fresh = s.table.put_in(tx, key, value); });
   s.counters.puts.fetch_add(1, std::memory_order_relaxed);
   return fresh;
 }
 
-bool KvStore::get(std::int64_t key, std::int64_t* out) {
-  Shard& s = *shards_[shard_of(key)];
+bool ShardHandle::get(std::int64_t key, std::int64_t* out) {
+  assert(store_->shard_of(key) == idx_ && "key routed through wrong handle");
+  KvStore::Shard& s = *store_->shards_[idx_];
   // Read-only: no flag check — gets conflict with nothing the scanner's
   // plain phase does, so readers flow through privatized shards.
   stm::DomainScope scope(s.domain.id);
@@ -80,20 +93,22 @@ bool KvStore::get(std::int64_t key, std::int64_t* out) {
   return found;
 }
 
-bool KvStore::erase(std::int64_t key) {
-  Shard& s = *shards_[shard_of(key)];
+bool ShardHandle::erase(std::int64_t key) {
+  assert(store_->shard_of(key) == idx_ && "key routed through wrong handle");
+  KvStore::Shard& s = *store_->shards_[idx_];
   bool removed = false;
-  mutate(s, [&](stm::TxHandle& tx) { removed = s.table.erase_in(tx, key); });
+  store_->mutate(s, [&](stm::TxHandle& tx) { removed = s.table.erase_in(tx, key); });
   s.counters.erases.fetch_add(1, std::memory_order_relaxed);
   return removed;
 }
 
-bool KvStore::rmw(std::int64_t key,
-                  const std::function<std::int64_t(std::int64_t)>& f,
-                  std::int64_t* out) {
-  Shard& s = *shards_[shard_of(key)];
+bool ShardHandle::rmw(std::int64_t key,
+                      const std::function<std::int64_t(std::int64_t)>& f,
+                      std::int64_t* out) {
+  assert(store_->shard_of(key) == idx_ && "key routed through wrong handle");
+  KvStore::Shard& s = *store_->shards_[idx_];
   bool found = false;
-  mutate(s, [&](stm::TxHandle& tx) {
+  store_->mutate(s, [&](stm::TxHandle& tx) {
     std::int64_t old = 0;
     found = s.table.get_in(tx, key, &old);
     if (!found) return;
@@ -105,30 +120,21 @@ bool KvStore::rmw(std::int64_t key,
   return found;
 }
 
-std::size_t KvStore::size() {
-  std::size_t n = 0;
-  for (auto& s : shards_) {
-    stm::DomainScope scope(s->domain.id);
-    n += s->table.size();
-  }
-  return n;
-}
-
-void KvStore::batch_mutate(std::size_t shard, WriteOp* ops, std::size_t n) {
+void ShardHandle::batch_mutate(WriteOp* ops, std::size_t n) {
   if (n == 0) return;
-  Shard& s = *shards_[shard];
+  KvStore::Shard& s = *store_->shards_[idx_];
   // Per-class tallies are a function of the op kinds alone — count once,
   // bump the shard counters after the transaction lands.
   std::uint64_t gets = 0, puts = 0, rmws = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    assert(shard_of(ops[i].key) == shard && "batch op routed to wrong shard");
+    assert(store_->shard_of(ops[i].key) == idx_ && "batch op routed to wrong shard");
     switch (ops[i].kind) {
       case WriteOp::Kind::get: ++gets; break;
       case WriteOp::Kind::put: ++puts; break;
       case WriteOp::Kind::rmw: ++rmws; break;
     }
   }
-  mutate(s, [&](stm::TxHandle& tx) {
+  store_->mutate(s, [&](stm::TxHandle& tx) {
     // The whole body re-runs on a conflict abort: reset every op's outputs
     // so a retried attempt starts clean.
     for (std::size_t i = 0; i < n; ++i) {
@@ -162,14 +168,15 @@ void KvStore::batch_mutate(std::size_t shard, WriteOp* ops, std::size_t n) {
   s.counters.rmws.fetch_add(rmws, std::memory_order_relaxed);
 }
 
-ScanResult KvStore::privatize_scan(
-    std::size_t shard, const std::function<void(std::int64_t, std::int64_t)>& fn) {
-  Shard& s = *shards_[shard];
+ScanResult ShardHandle::privatize_scan(
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  KvStore::Shard& s = *store_->shards_[idx_];
+  stm::StmBackend& stm = store_->stm_;
   ScanResult r;
   stm::DomainScope scope(s.domain.id);
   // CAS open→closed.  Reading the flag (not blind-writing it) is what links
   // this scan into the previous owner's reopen commit via cwr.
-  stm_.atomically([&](stm::TxHandle& tx) {
+  stm.atomically([&](stm::TxHandle& tx) {
     r.privatized = tx.read(s.priv_flag) == 0;
     if (r.privatized) tx.write(s.priv_flag, 1);
   });
@@ -181,10 +188,10 @@ ScanResult KvStore::privatize_scan(
   // resolved; any still-running writer will fail its flag validation.
   // Scoped: only this shard's domain (and whole-store transactions) gate
   // the wait, so other shards' writers keep committing.
-  if (scoped_fences_)
-    stm_.quiesce(s.domain);
+  if (store_->scoped_fences_)
+    stm.quiesce(s.domain);
   else
-    stm_.quiesce();
+    stm.quiesce();
   // Plain phase: we own the shard's writers.
   s.table.for_each_plain([&](std::int64_t k, std::int64_t v) {
     ++r.keys;
@@ -195,9 +202,133 @@ ScanResult KvStore::privatize_scan(
   s.scan_result.plain_store(static_cast<word_t>(r.value_sum));
   // Publication back: the reopen commit is the hb anchor every later
   // flag-checking mutator orders itself after.
-  stm_.atomically([&](stm::TxHandle& tx) { tx.write(s.priv_flag, 0); });
+  stm.atomically([&](stm::TxHandle& tx) { tx.write(s.priv_flag, 0); });
   s.counters.scans.fetch_add(1, std::memory_order_relaxed);
   return r;
+}
+
+bool ShardHandle::snapshot_attach() {
+  KvStore::Shard& s = *store_->shards_[idx_];
+  stm::DomainScope scope(s.domain.id);
+  word_t ready = 0;
+  store_->stm_.atomically([&](stm::TxHandle& tx) { ready = tx.read(s.snap_ready); });
+  return ready != 0;
+}
+
+bool ShardHandle::snapshot_read(std::int64_t key, std::int64_t* out) {
+  assert(store_->shard_of(key) == idx_ && "key routed through wrong handle");
+  KvStore::Shard& s = *store_->shards_[idx_];
+  for (KvStore::SnapSlot& slot : s.snap) {
+    const word_t k = slot.key.plain_load();
+    if (k == 0) break;  // slots fill front-to-back
+    if (k == static_cast<word_t>(key + 1)) {
+      if (out) *out = static_cast<std::int64_t>(slot.value.plain_load());
+      s.counters.snap_reads.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  s.counters.snap_reads.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+bool ShardHandle::refresh_snapshot(const std::vector<std::int64_t>& keys) {
+  KvStore& st = *store_;
+  if (!st.snap_published_.load(std::memory_order_acquire)) return false;
+  KvStore::Shard& s = *st.shards_[idx_];
+  // Retract THIS shard: any thread attaching to it from here on sees
+  // "nothing published" until the re-publication commit below.  Other
+  // shards' publications stay live throughout — a refresh never blinds
+  // readers of shards it doesn't touch.
+  {
+    stm::DomainScope scope(s.domain.id);
+    st.stm_.atomically([&](stm::TxHandle& tx) { tx.write(s.snap_ready, 0); });
+  }
+  // Grace period, scoped to this shard's domain: the retraction is visible
+  // to every later attacher, and no transaction begun against the previous
+  // publication of THIS shard is still running (attach transactions are
+  // either scoped to this domain or whole-store; both gate the scoped
+  // fence).  Combined with the caller's per-shard quiet-point contract (no
+  // mutator of the refreshed keys, no snapshot_read of this shard in
+  // flight), the shard's slots are unshared again — plain re-writes below
+  // race with nothing.
+  if (st.scoped_fences_)
+    st.stm_.quiesce(s.domain);
+  else
+    st.stm_.quiesce();
+  for (KvStore::SnapSlot& slot : s.snap) {
+    slot.key.plain_store(0);
+    slot.value.plain_store(0);
+  }
+  std::size_t used = 0;
+  for (std::int64_t key : keys) {
+    if (st.shard_of(key) != idx_) continue;   // not this shard's key
+    if (used >= s.snap.size()) continue;      // shard's snapshot is full
+    std::int64_t value = 0;
+    if (!get(key, &value)) continue;
+    s.snap[used].key.plain_store(static_cast<word_t>(key + 1));
+    s.snap[used].value.plain_store(static_cast<word_t>(value));
+    ++used;
+  }
+  // Re-publish: the same single transactional handoff as publish_snapshot.
+  stm::DomainScope scope(s.domain.id);
+  st.stm_.atomically([&](stm::TxHandle& tx) { tx.write(s.snap_ready, 1); });
+  return true;
+}
+
+void ShardHandle::replay_state_plain() {
+  KvStore::Shard& s = *store_->shards_[idx_];
+  const auto replay = [](stm::Cell& c) {
+    c.plain_store(c.raw().load(std::memory_order_relaxed));
+  };
+  s.table.for_each_cell(replay);
+  replay(s.priv_flag);
+  replay(s.scan_result);
+  for (KvStore::SnapSlot& slot : s.snap) {
+    replay(slot.key);
+    replay(slot.value);
+  }
+  replay(s.snap_ready);
+}
+
+std::size_t ShardHandle::cell_count() const {
+  KvStore::Shard& s = *store_->shards_[idx_];
+  std::size_t nodes = 0;
+  s.table.for_each_cell([&](stm::Cell&) { ++nodes; });
+  return nodes + 3 + 2 * s.snap.size();  // priv_flag + scan_result + snap_ready
+}
+
+// ---------------------------------------------------------------------------
+// Whole-store convenience surface: route the key, delegate to the handle.
+// ---------------------------------------------------------------------------
+
+bool KvStore::put(std::int64_t key, std::int64_t value) {
+  return shard(shard_of(key)).put(key, value);
+}
+
+bool KvStore::get(std::int64_t key, std::int64_t* out) {
+  return shard(shard_of(key)).get(key, out);
+}
+
+bool KvStore::erase(std::int64_t key) { return shard(shard_of(key)).erase(key); }
+
+bool KvStore::rmw(std::int64_t key,
+                  const std::function<std::int64_t(std::int64_t)>& f,
+                  std::int64_t* out) {
+  return shard(shard_of(key)).rmw(key, f, out);
+}
+
+std::size_t KvStore::size() {
+  std::size_t n = 0;
+  for (auto& s : shards_) {
+    stm::DomainScope scope(s->domain.id);
+    n += s->table.size();
+  }
+  return n;
+}
+
+ScanResult KvStore::privatize_scan(
+    std::size_t shard_idx, const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  return shard(shard_idx).privatize_scan(fn);
 }
 
 bool KvStore::publish_snapshot(const std::vector<std::int64_t>& keys) {
@@ -215,87 +346,53 @@ bool KvStore::publish_snapshot(const std::vector<std::int64_t>& keys) {
     s.snap[slot].value.plain_store(static_cast<word_t>(value));
     ++used[shard_of(key)];
   }
-  // ...published by one transactional flag write: the slots are immutable
-  // from this commit on, and every reader orders its plain loads after it
-  // through snapshot_attach's transactional read.
-  stm_.atomically([&](stm::TxHandle& tx) { tx.write(snap_ready_, 1); });
+  // ...published per shard by one transactional ready write each: a shard's
+  // slots are immutable from its commit on, and every reader orders its
+  // plain loads after it through an attach's transactional read.  EVERY
+  // shard publishes (even ones no key routes to), so per-shard refresh is
+  // uniformly available afterwards.
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    stm::DomainScope scope(s.domain.id);
+    stm_.atomically([&](stm::TxHandle& tx) { tx.write(s.snap_ready, 1); });
+  }
   return true;
 }
 
 bool KvStore::refresh_snapshot(const std::vector<std::int64_t>& keys) {
   if (!snap_published_.load(std::memory_order_acquire)) return false;
-  // Retract: any thread attaching from here on sees "nothing published"
-  // until the re-publication commit below.
-  stm_.atomically([&](stm::TxHandle& tx) { tx.write(snap_ready_, 0); });
-  // Grace period: the retraction is globally visible and no transaction
-  // begun against the previous publication is still running.  Combined with
-  // the caller's quiet-point contract (no snapshot_read in flight), the
-  // slots are unshared again — plain re-writes below race with nothing.
-  stm_.quiesce();
-  for (auto& s : shards_)
-    for (SnapSlot& slot : s->snap) {
-      slot.key.plain_store(0);
-      slot.value.plain_store(0);
-    }
-  std::vector<std::size_t> used(shards_.size(), 0);
-  for (std::int64_t key : keys) {
-    const std::size_t si = shard_of(key);
-    Shard& s = *shards_[si];
-    if (used[si] >= s.snap.size()) continue;  // shard's snapshot is full
-    std::int64_t value = 0;
-    if (!get(key, &value)) continue;
-    s.snap[used[si]].key.plain_store(static_cast<word_t>(key + 1));
-    s.snap[used[si]].value.plain_store(static_cast<word_t>(value));
-    ++used[si];
-  }
-  // Re-publish: the same single transactional handoff as publish_snapshot.
-  stm_.atomically([&](stm::TxHandle& tx) { tx.write(snap_ready_, 1); });
+  for (std::size_t i = 0; i < shards_.size(); ++i) shard(i).refresh_snapshot(keys);
   return true;
 }
 
 bool KvStore::snapshot_attach() {
-  word_t ready = 0;
-  stm_.atomically([&](stm::TxHandle& tx) { ready = tx.read(snap_ready_); });
-  return ready != 0;
+  // ONE whole-store (unscoped) transaction reading every shard's ready
+  // cell: it orders this thread's later plain snapshot loads of any shard
+  // after that shard's publication, and — being unscoped — it gates every
+  // shard's scoped refresh fence.
+  word_t all_ready = 1;
+  stm_.atomically([&](stm::TxHandle& tx) {
+    all_ready = 1;
+    for (auto& s : shards_)
+      if (tx.read(s->snap_ready) == 0) all_ready = 0;
+  });
+  return all_ready != 0;
 }
 
 bool KvStore::snapshot_read(std::int64_t key, std::int64_t* out) {
-  Shard& s = *shards_[shard_of(key)];
-  for (SnapSlot& slot : s.snap) {
-    const word_t k = slot.key.plain_load();
-    if (k == 0) break;  // slots fill front-to-back
-    if (k == static_cast<word_t>(key + 1)) {
-      if (out) *out = static_cast<std::int64_t>(slot.value.plain_load());
-      s.counters.snap_reads.fetch_add(1, std::memory_order_relaxed);
-      return true;
-    }
-  }
-  s.counters.snap_reads.fetch_add(1, std::memory_order_relaxed);
-  return false;
+  return shard(shard_of(key)).snapshot_read(key, out);
 }
 
 void KvStore::replay_state_plain() {
-  const auto replay = [](stm::Cell& c) {
-    c.plain_store(c.raw().load(std::memory_order_relaxed));
-  };
-  for (auto& s : shards_) {
-    s->table.for_each_cell(replay);
-    replay(s->priv_flag);
-    replay(s->scan_result);
-    for (SnapSlot& slot : s->snap) {
-      replay(slot.key);
-      replay(slot.value);
-    }
-  }
-  replay(snap_ready_);
+  for (std::size_t i = 0; i < shards_.size(); ++i) shard(i).replay_state_plain();
 }
 
 std::size_t KvStore::cell_count() const {
-  std::size_t n = 1;  // snap_ready_
+  std::size_t n = 0;
   for (auto& s : shards_) {
     std::size_t nodes = 0;
     s->table.for_each_cell([&](stm::Cell&) { ++nodes; });
-    n += nodes + 2 + 2 * s->snap.size();
+    n += nodes + 3 + 2 * s->snap.size();
   }
   return n;
 }

@@ -2,17 +2,28 @@
 // the paper's two bounded mixed-access protocols as first-class fast paths.
 //
 // Layout: N shards, each an independent THash table plus a privatization
-// flag, a scan-result cell, and a small immutable snapshot array.  Keys
-// route to shards by multiplicative hashing; all shards share ONE backend
-// instance, but each shard owns a quiescence *domain* (stm::QuiesceDomain):
-// every shard operation runs its transactions under the shard's domain
-// annotation, so a privatize-scan fences only its own shard — writers on
-// other shards are not waited for.  Privatization bounds mixed races in
-// SPACE (only the privatized shard's cells are plain-accessed) while the
-// now shard-scoped fence bounds them in TIME, which is exactly the paper's
-// pitch, sharpened by locality.  Options::scoped_fences = false restores
-// the conservative whole-store fence (the pre-domain baseline, kept for
-// A/B verdict pins and benchmarks).
+// flag, a scan-result cell, a small immutable snapshot array and its OWN
+// snap_ready publication cell.  Keys route to shards by multiplicative
+// hashing; all shards share ONE backend instance, but each shard owns a
+// quiescence *domain* (stm::QuiesceDomain): every shard operation runs its
+// transactions under the shard's domain annotation, so a privatize-scan or
+// a snapshot refresh fences only its own shard — writers on other shards
+// are not waited for.  Privatization bounds mixed races in SPACE (only the
+// privatized shard's cells are plain-accessed) while the shard-scoped fence
+// bounds them in TIME, which is exactly the paper's pitch, sharpened by
+// locality.  Options::scoped_fences = false restores the conservative
+// whole-store fence (the pre-domain baseline, kept for A/B verdict pins
+// and benchmarks).
+//
+// The shard is also the store's UNIT OF OWNERSHIP.  All mutation, scan and
+// snapshot entry points live on ShardHandle — a capability to exactly one
+// shard, minted by KvStore::shard(i).  A caller that holds handles only for
+// the shards it owns (the multi-reactor serving tier hands each reactor a
+// disjoint handle set) cannot address another reactor's shard at all:
+// cross-shard access is a missing-capability type error, not a runtime
+// race.  The whole-store convenience API (put/get/scan/... on KvStore)
+// routes keys and delegates to handles — single-owner callers keep the
+// simple surface.
 //
 // Mixed-access protocols (and their fence obligations):
 //
@@ -32,12 +43,17 @@
 //
 //   snapshot-read (publication):  publish_snapshot() plain-writes a chosen
 //   key set's current values into per-shard snapshot slots, then publishes
-//   them with a single transactional snap_ready write.  The slots are
-//   immutable from that commit on (publish is once-only), so any thread
-//   that has observed snap_ready — snapshot_attach() runs one transactional
-//   read, the publication pattern's handoff — may read slots with pure
-//   plain loads forever after: the paper's "plain reads of published
-//   immutable values", no fence or flag on the per-read path at all.
+//   each shard with a single transactional write of THAT SHARD's snap_ready
+//   cell.  The slots are immutable from that commit on, so any thread that
+//   has observed the shard's snap_ready — ShardHandle::snapshot_attach()
+//   runs one transactional read, the publication pattern's handoff — may
+//   read the shard's slots with pure plain loads: the paper's "plain reads
+//   of published immutable values", no fence or flag on the per-read path.
+//   Because the ready cell is per shard and INSIDE the shard's domain,
+//   ShardHandle::refresh_snapshot re-runs the whole protocol (retract,
+//   quiesce, rewrite, republish) scoped to one shard — the serving tier's
+//   per-reactor quiet points refresh owned shards without ever fencing the
+//   whole store on the hot path.
 //
 // Both protocols are auditable at runtime: under a RecordSession every
 // plain access above is captured, and the sampled-conformance driver
@@ -45,6 +61,7 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -62,9 +79,9 @@ namespace mtx::kv {
 // reader holding a (key, value) pair can audit the pair against the key it
 // was filed under, a schedule-independent correctness check that survives
 // arbitrary interleaving and staleness (a stale value is still *that key's*
-// value).  The wire protocol's RMW op and KvStore::batch_mutate bump the
-// payload modulo the stride, so the form is preserved forever — no audit
-// ever degrades into "probably fine until a counter overflows the stride".
+// value).  The wire protocol's RMW op and batch_mutate bump the payload
+// modulo the stride, so the form is preserved forever — no audit ever
+// degrades into "probably fine until a counter overflows the stride".
 constexpr std::int64_t kValueStride = 1'000'000;
 
 inline std::int64_t value_of(std::int64_t key, std::int64_t payload) {
@@ -76,6 +93,17 @@ inline std::int64_t payload_of(std::int64_t value) {
 inline bool value_form_ok(std::int64_t key, std::int64_t value) {
   return value / kValueStride == key;
 }
+
+// The store geometry every tier agrees on: shard count, preloaded
+// key-space, published hot-set size.  One struct, embedded by the KV
+// workload driver, the server config and the load generator, so a
+// (server, client) pair is configured from ONE value instead of three
+// re-declared field triples that can silently drift.
+struct StoreShape {
+  std::size_t shards = 8;
+  std::size_t preload_keys = 1024;  // keys 0..N-1 preloaded as value_of(k, 0)
+  std::size_t snap_keys = 16;       // hottest ranks published for snap reads
+};
 
 // Copyable snapshot of one shard's operation counters.
 struct ShardStats {
@@ -95,12 +123,12 @@ struct ScanResult {
   std::int64_t value_sum = 0;
 };
 
-// One decoded operation of a same-shard batch (KvStore::batch_mutate): the
-// serving front end coalesces a run of pipelined ops from one connection
-// into a single transaction, so the STM begin/commit overhead — and the §5
-// mutator flag check — amortize across the run.  Results are written back
-// in place; a conflict retry re-runs the whole batch body, so the executor
-// resets outputs at the top of every attempt.
+// One decoded operation of a same-shard batch (ShardHandle::batch_mutate):
+// the serving front end coalesces a run of pipelined ops from one
+// connection into a single transaction, so the STM begin/commit overhead —
+// and the §5 mutator flag check — amortize across the run.  Results are
+// written back in place; a conflict retry re-runs the whole batch body, so
+// the executor resets outputs at the top of every attempt.
 struct WriteOp {
   enum class Kind : std::uint8_t {
     get,  // transactional read; applied = found, result = value
@@ -115,6 +143,86 @@ struct WriteOp {
   std::int64_t result = 0;
 };
 
+class KvStore;
+
+// A capability to one shard: every mutation, scan and snapshot entry point
+// of the store, scoped to the shard the handle was minted for.  Handles are
+// small value types (store pointer + index) — copy them freely, hand a
+// reactor exactly the set it owns.  Keyed operations assert the key routes
+// here; calling through the wrong handle is a routing bug, not a fallback.
+class ShardHandle {
+ public:
+  ShardHandle() = default;
+
+  std::size_t index() const { return idx_; }
+  std::size_t bucket_count() const;
+  ShardStats stats() const;
+
+  // ----- transactional operations (writers wait out a privatized shard) ---
+  bool put(std::int64_t key, std::int64_t value);  // true = fresh insert
+  bool get(std::int64_t key, std::int64_t* out);
+  bool erase(std::int64_t key);
+  bool rmw(std::int64_t key, const std::function<std::int64_t(std::int64_t)>& f,
+           std::int64_t* out = nullptr);
+
+  // Execute `n` decoded ops — every one keyed to THIS shard — inside ONE
+  // flag-checked transaction (the serving tier's per-connection batch).
+  // Semantically equivalent to issuing the ops one at a time on a single
+  // thread: gets observe earlier puts of the same batch (read-your-writes
+  // inside the transaction).  Results land in the WriteOp entries.
+  void batch_mutate(WriteOp* ops, std::size_t n);
+
+  // ----- mixed-access fast paths ------------------------------------------
+
+  // Privatize this shard, plain-scan it (fn(key, value) per live entry,
+  // when fn is given), plain-write the value sum into the shard's scan
+  // cell, publish the shard back.  Returns privatized=false without
+  // scanning when another scanner holds the shard.
+  ScanResult privatize_scan(
+      const std::function<void(std::int64_t, std::int64_t)>& fn = nullptr);
+
+  // The publication handoff for this shard: one transactional read of its
+  // snap_ready cell (under the shard's domain).  Run it once per reading
+  // thread before its first snapshot_read of this shard; every later
+  // snapshot access in that thread is ordered after the publication by po
+  // from this transaction.  False while nothing is published.
+  bool snapshot_attach();
+
+  // Pure plain-load read of a frozen value of this shard.  Requires a prior
+  // successful snapshot_attach() in this thread (or the publishing thread
+  // itself); false when the key was not frozen here.
+  bool snapshot_read(std::int64_t key, std::int64_t* out);
+
+  // Hot-key refresh, scoped to this shard: transactionally retract the
+  // shard's snap_ready, quiesce THE SHARD'S DOMAIN ONLY (whole-store when
+  // the store was built with scoped_fences off), plain re-write the shard's
+  // slots with the CURRENT values of the keys routing here (in `keys`
+  // order, front to back), re-publish with one transactional snap_ready
+  // write.  Caller contract: a quiet point for THIS shard — no concurrent
+  // mutator of the refreshed keys and no snapshot_read of this shard in
+  // flight.  The multi-reactor serving tier satisfies it per reactor: all
+  // mutations and snap reads of an owned shard execute on the owning
+  // reactor thread, so between its requests the shard is quiet.  False when
+  // nothing was ever published.
+  bool refresh_snapshot(const std::vector<std::int64_t>& keys);
+
+  // Re-establish this shard's cells' current values with recorded plain
+  // stores (same contract as KvStore::replay_state_plain, per shard) — the
+  // per-reactor streaming pipeline's state-carry anchor over exactly the
+  // owned domain set.
+  void replay_state_plain();
+
+  // Cells replay_state_plain touches (trace-size planning).
+  std::size_t cell_count() const;
+
+ private:
+  friend class KvStore;
+  ShardHandle(KvStore* store, std::size_t idx) : store_(store), idx_(idx) {}
+
+  KvStore* store_ = nullptr;
+  std::size_t idx_ = 0;
+};
+
 class KvStore {
  public:
   struct Options {
@@ -123,8 +231,9 @@ class KvStore {
     // THash::recommended_buckets(expected_keys / shards).
     std::size_t expected_keys = 1024;
     std::size_t snap_slots = 8;  // immutable snapshot capacity per shard
-    // Give each shard its own quiescence domain so privatize-scan fences
-    // only that shard (false = whole-store fences, the pre-domain behavior).
+    // Give each shard its own quiescence domain so privatize-scan and
+    // snapshot refresh fence only that shard (false = whole-store fences,
+    // the pre-domain behavior).
     bool scoped_fences = true;
   };
 
@@ -134,63 +243,50 @@ class KvStore {
   stm::StmBackend& stm() { return stm_; }
   std::size_t shards() const { return shards_.size(); }
   std::size_t shard_of(std::int64_t key) const;
+
+  // The shard capability: all per-shard operations live on the handle.
+  ShardHandle shard(std::size_t i) {
+    assert(i < shards_.size());
+    return ShardHandle(this, i);
+  }
+
   std::size_t bucket_count(std::size_t shard) const;
   ShardStats stats(std::size_t shard) const;
 
-  // ----- transactional operations (writers wait out privatized shards) ----
+  // ----- whole-store convenience surface (routes and delegates) -----------
 
   bool put(std::int64_t key, std::int64_t value);  // true = fresh insert
   bool get(std::int64_t key, std::int64_t* out);
   bool erase(std::int64_t key);
-  // Read-modify-write in one transaction: *out gets f(old) when present.
   bool rmw(std::int64_t key, const std::function<std::int64_t(std::int64_t)>& f,
            std::int64_t* out = nullptr);
   std::size_t size();  // transactional count, one transaction per shard
 
-  // Execute `n` decoded ops — every one keyed to shard `shard` — inside ONE
-  // flag-checked transaction (the serving tier's per-connection batch), so
-  // begin/commit overhead and the §5 mutator obligation amortize across the
-  // run.  Semantically equivalent to issuing the ops one at a time on a
-  // single thread: gets observe earlier puts of the same batch
-  // (read-your-writes inside the transaction).  Results land in the WriteOp
-  // entries after the call returns.
-  void batch_mutate(std::size_t shard, WriteOp* ops, std::size_t n);
-
-  // ----- mixed-access fast paths ------------------------------------------
-
-  // Privatize shard `shard`, plain-scan it (fn(key, value) per live entry,
-  // when fn is given), plain-write the value sum into the shard's scan
-  // cell, publish the shard back.  Returns privatized=false without
-  // scanning when another scanner holds the shard.
   ScanResult privatize_scan(std::size_t shard,
                             const std::function<void(std::int64_t, std::int64_t)>& fn = nullptr);
 
   // Freeze the CURRENT values of `keys` (at most snap_slots per shard) into
-  // the immutable snapshot and publish it.  Once-only; returns false (and
-  // publishes nothing) on a second call.  Caller must be in a quiet phase
-  // (no concurrent mutators of the snapshotted keys).
+  // the immutable snapshot and publish every shard's snap_ready.  Once-only
+  // for the whole store; returns false (and publishes nothing) on a second
+  // call.  Caller must be in a quiet phase (no concurrent mutators of the
+  // snapshotted keys).  Every shard publishes — including shards no key
+  // routes to — so per-shard refresh is uniformly available afterwards.
   bool publish_snapshot(const std::vector<std::int64_t>& keys);
 
-  // The publication handoff: one transactional read of snap_ready.  Run it
-  // once per reading thread before its first snapshot_read; every later
-  // snapshot access in that thread is ordered after the publication by
-  // po from this transaction.  Returns false while nothing is published.
+  // The whole-store publication handoff: ONE transaction reading every
+  // shard's snap_ready cell, ordering this thread's later plain snapshot
+  // loads of ANY shard after the publication.  (Single-owner callers attach
+  // once here; shard-owning callers use ShardHandle::snapshot_attach per
+  // owned shard instead.)  False while nothing is published.
   bool snapshot_attach();
 
-  // Pure plain-load read of a frozen value.  Requires a prior successful
-  // snapshot_attach() in this thread; false when the key was not frozen.
+  // Pure plain-load read of a frozen value (routes to the key's shard).
   bool snapshot_read(std::int64_t key, std::int64_t* out);
 
-  // Hot-key refresh policy: re-run the publication protocol over the
-  // already-published slots.  Transactionally retract snap_ready, quiesce
-  // (the retraction is globally visible and no publication-era transaction
-  // is still in flight), plain re-write the slots with the keys' CURRENT
-  // values, and re-publish with one transactional snap_ready write.  Caller
-  // contract mirrors publish_snapshot, sharpened: a quiet point with no
-  // concurrent mutator of the refreshed keys AND no snapshot_read in
-  // flight — the serving front end satisfies it for free from its single
-  // op-execution thread between requests.  Returns false when nothing was
-  // ever published (use publish_snapshot first).
+  // Refresh every shard's published hot set: per-shard scoped refreshes in
+  // shard order (see ShardHandle::refresh_snapshot).  Caller contract is
+  // the per-shard quiet point, for all shards at once.  False when nothing
+  // was ever published.
   bool refresh_snapshot(const std::vector<std::int64_t>& keys);
 
   // ----- sampled-conformance support --------------------------------------
@@ -209,6 +305,8 @@ class KvStore {
   std::size_t cell_count() const;
 
  private:
+  friend class ShardHandle;
+
   struct SnapSlot {
     stm::Cell key;  // key + 1; 0 = empty slot
     stm::Cell value;
@@ -221,6 +319,9 @@ class KvStore {
     stm::Cell priv_flag;    // 0 = open, 1 = privatized
     stm::Cell scan_result;  // plain-written by the owning scanner
     std::vector<SnapSlot> snap;
+    stm::Cell snap_ready;   // 0 until THIS shard's publication commits;
+                            // inside the shard's domain, so refresh fences
+                            // stay shard-scoped
     // The shard's quiescence domain: id 0 + null cells when scoped fences
     // are off (or the backend has no scoped wait path AND recording scope
     // is unwanted); otherwise id from create_domain() and an enumerator
@@ -264,10 +365,7 @@ class KvStore {
   stm::StmBackend& stm_;
   std::vector<std::unique_ptr<Shard>> shards_;
   bool scoped_fences_ = true;
-  stm::Cell snap_ready_;  // 0 until publish_snapshot commits; deliberately
-                          // outside every shard domain (snapshot txns are
-                          // whole-store)
-  std::atomic<bool> snap_published_{false};
+  std::atomic<bool> snap_published_{false};  // whole-store once-only latch
 };
 
 }  // namespace mtx::kv

@@ -96,9 +96,9 @@ KvResult run_kv_workload(stm::StmBackend& stm, const Mix& mix,
                                 "' percentages sum to " +
                                 std::to_string(mix.total_pct()) + ", not 100");
   const std::size_t threads = std::max<std::size_t>(1, opts.threads);
-  const std::size_t preload = std::max<std::size_t>(1, opts.preload_keys);
+  const std::size_t preload = std::max<std::size_t>(1, opts.store.preload_keys);
   const std::size_t snap_count =
-      std::max<std::size_t>(1, std::min(opts.snap_keys, preload));
+      std::max<std::size_t>(1, std::min(opts.store.snap_keys, preload));
   const bool streaming = opts.stream && opts.round_ops > 0;
   const std::size_t stream_every =
       std::max<std::size_t>(1, opts.stream_sample_every);
@@ -113,7 +113,7 @@ KvResult run_kv_workload(stm::StmBackend& stm, const Mix& mix,
   res.ops = static_cast<std::uint64_t>(threads) * opts.ops_per_thread;
 
   KvStore::Options sopt;
-  sopt.shards = opts.shards;
+  sopt.shards = opts.store.shards;
   sopt.expected_keys = preload * 2;
   sopt.snap_slots = snap_count;  // per shard: generous, so no key is dropped
   sopt.scoped_fences = opts.scoped_fences;

@@ -115,9 +115,10 @@ struct KvWorkloadOptions {
   std::size_t threads = 2;
   std::uint64_t seed = 1;
   std::uint64_t ops_per_thread = 1000;
-  std::size_t preload_keys = 128;  // keys 0..preload-1 inserted before the run
-  std::size_t shards = 4;
-  std::size_t snap_keys = 16;      // hottest ranks, frozen by publish_snapshot
+  // Store geometry (shards / preload_keys / snap_keys) — the same shape
+  // struct the serving tier and load generator embed, so a paired
+  // configuration is ONE value.
+  StoreShape store{4, 128, 16};
   // Per-shard quiescence domains (KvStore::Options::scoped_fences).  False
   // restores whole-store fences — the A/B baseline for the determinism pin
   // that scoped and unscoped runs give identical verdicts.

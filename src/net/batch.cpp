@@ -2,9 +2,7 @@
 
 namespace mtx::net {
 
-namespace {
-
-kv::WriteOp to_write_op(const Request& req) {
+kv::WriteOp run_op(const Request& req) {
   kv::WriteOp op;
   op.key = req.key;
   switch (req.op) {
@@ -21,12 +19,12 @@ kv::WriteOp to_write_op(const Request& req) {
       op.arg = req.arg;
       break;
     default:
-      break;  // unreachable: only batchable ops are enqueued
+      break;  // unreachable: only batchable ops are coalesced
   }
   return op;
 }
 
-Response to_response(const kv::WriteOp& op, OpCode code) {
+Response run_response(const kv::WriteOp& op, OpCode code) {
   Response r;
   r.op = code;
   switch (op.kind) {
@@ -46,38 +44,67 @@ Response to_response(const kv::WriteOp& op, OpCode code) {
   return r;
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// RunCoalescer
+// ---------------------------------------------------------------------------
+
+RunCoalescer::RunCoalescer(std::size_t max_batch)
+    : max_batch_(max_batch ? max_batch : 1) {
+  cur_.ops.reserve(max_batch_);
+  cur_.codes.reserve(max_batch_);
+}
+
+void RunCoalescer::emit(std::vector<Run>& out) {
+  out.push_back(std::move(cur_));
+  cur_ = Run{};
+  cur_.ops.reserve(max_batch_);
+  cur_.codes.reserve(max_batch_);
+}
+
+void RunCoalescer::add(const Request& req, std::size_t shard,
+                       std::vector<Run>& out) {
+  if (!cur_.ops.empty() && shard != cur_.shard) {
+    ++stats_.flushes_shard;
+    emit(out);  // rule 1: the run is same-shard by construction
+  }
+  cur_.shard = shard;
+  cur_.ops.push_back(run_op(req));
+  cur_.codes.push_back(req.op);
+  ++stats_.ops;
+  if (cur_.ops.size() >= max_batch_) {
+    ++stats_.flushes_full;
+    emit(out);  // rule 2
+  }
+}
+
+void RunCoalescer::flush_barrier(std::vector<Run>& out) {
+  if (cur_.ops.empty()) return;
+  ++stats_.flushes_barrier;
+  emit(out);
+}
+
+void RunCoalescer::flush_drain(std::vector<Run>& out) {
+  if (cur_.ops.empty()) return;
+  ++stats_.flushes_drain;
+  emit(out);
+}
+
+// ---------------------------------------------------------------------------
+// BatchExecutor
+// ---------------------------------------------------------------------------
 
 BatchExecutor::BatchExecutor(kv::KvStore& store, std::size_t max_batch)
-    : store_(store), max_batch_(max_batch ? max_batch : 1) {
-  pending_.reserve(max_batch_);
-  pending_codes_.reserve(max_batch_);
-}
+    : store_(store), coalescer_(max_batch) {}
 
-void BatchExecutor::flush(std::vector<Response>& out) {
-  if (pending_.empty()) return;
-  store_.batch_mutate(pending_shard_, pending_.data(), pending_.size());
-  ++stats_.transactions;
-  for (std::size_t i = 0; i < pending_.size(); ++i)
-    out.push_back(to_response(pending_[i], pending_codes_[i]));
-  pending_.clear();
-  pending_codes_.clear();
-}
-
-void BatchExecutor::enqueue(const Request& req, std::vector<Response>& out) {
-  const std::size_t shard = store_.shard_of(req.key);
-  if (!pending_.empty() && shard != pending_shard_) {
-    ++stats_.flushes_shard;
-    flush(out);  // rule 1: the run is same-shard by construction
+void BatchExecutor::execute(std::vector<Run>& runs,
+                            std::vector<Response>& out) {
+  for (Run& run : runs) {
+    store_.shard(run.shard).batch_mutate(run.ops.data(), run.ops.size());
+    ++coalescer_.stats().transactions;
+    for (std::size_t i = 0; i < run.ops.size(); ++i)
+      out.push_back(run_response(run.ops[i], run.codes[i]));
   }
-  pending_shard_ = shard;
-  pending_.push_back(to_write_op(req));
-  pending_codes_.push_back(req.op);
-  ++stats_.ops;
-  if (pending_.size() >= max_batch_) {
-    ++stats_.flushes_full;
-    flush(out);  // rule 2
-  }
+  runs.clear();
 }
 
 Response BatchExecutor::execute_barrier(const Request& req) {
@@ -89,7 +116,7 @@ Response BatchExecutor::execute_barrier(const Request& req) {
         r.status = Status::error;
         break;
       }
-      const kv::ScanResult sr = store_.privatize_scan(req.shard);
+      const kv::ScanResult sr = store_.shard(req.shard).privatize_scan();
       r.status = Status::ok;
       r.count = sr.keys;
       r.value = sr.value_sum;
@@ -98,8 +125,8 @@ Response BatchExecutor::execute_barrier(const Request& req) {
     }
     case OpCode::snap_read: {
       // Publication handoff once per connection: one transactional read of
-      // snap_ready orders all of this executor's later plain slot loads
-      // after the publish (or refresh) commit.
+      // the ready cells orders all of this executor's later plain slot
+      // loads after the publish (or refresh) commit.
       if (!snap_attached_) snap_attached_ = store_.snapshot_attach();
       std::int64_t v = 0;
       if (snap_attached_ && store_.snapshot_read(req.key, &v)) {
@@ -118,7 +145,7 @@ Response BatchExecutor::execute_barrier(const Request& req) {
       r.status = Status::error;
       break;
   }
-  ++stats_.ops;
+  ++coalescer_.stats().ops;
   return r;
 }
 
@@ -128,7 +155,8 @@ void BatchExecutor::submit(const Request& req, std::vector<Response>& out) {
     case OpCode::put:
     case OpCode::insert:
     case OpCode::rmw:
-      enqueue(req, out);
+      coalescer_.add(req, store_.shard_of(req.key), scratch_);
+      execute(scratch_, out);
       return;
     case OpCode::batch: {
       // The frame is its own transaction-boundary contract: earlier
@@ -136,18 +164,14 @@ void BatchExecutor::submit(const Request& req, std::vector<Response>& out) {
       // whole), then the frame's sub-ops run through the same coalescer
       // and flush at frame end — a same-shard batch frame is exactly one
       // transaction.
-      if (!pending_.empty()) {
-        ++stats_.flushes_barrier;
-        flush(out);
-      }
+      coalescer_.flush_barrier(scratch_);
+      execute(scratch_, out);
       Response r;
       r.op = OpCode::batch;
       r.status = Status::ok;
       for (const Request& s : req.sub) submit(s, r.sub);
-      if (!pending_.empty()) {
-        ++stats_.flushes_drain;
-        flush(r.sub);
-      }
+      coalescer_.flush_drain(scratch_);
+      execute(scratch_, r.sub);
       out.push_back(std::move(r));
       return;
     }
@@ -156,19 +180,34 @@ void BatchExecutor::submit(const Request& req, std::vector<Response>& out) {
     case OpCode::fence:
       // Rule 3: read-barrier ops leave the transactional world — commit the
       // pending run before the barrier so it bounds everything submitted.
-      if (!pending_.empty()) {
-        ++stats_.flushes_barrier;
-        flush(out);
-      }
+      coalescer_.flush_barrier(scratch_);
+      execute(scratch_, out);
       out.push_back(execute_barrier(req));
       return;
+    case OpCode::hello: {
+      // A handshake reaching the executor (compat path: HELLO accepted at
+      // any point) is answered from the codec constants — it touches no
+      // store state and joins no batch (but, like any non-batchable frame,
+      // it does not reorder past pending ops).
+      coalescer_.flush_barrier(scratch_);
+      execute(scratch_, out);
+      Response r;
+      r.op = OpCode::hello;
+      r.major = kProtoMajor;
+      r.minor = kProtoMinor;
+      r.features = kServerFeatures;
+      r.status = req.major == kProtoMajor ? Status::ok
+                                          : Status::version_mismatch;
+      ++coalescer_.stats().ops;
+      out.push_back(std::move(r));
+      return;
+    }
   }
 }
 
 void BatchExecutor::drain(std::vector<Response>& out) {
-  if (pending_.empty()) return;
-  ++stats_.flushes_drain;
-  flush(out);
+  coalescer_.flush_drain(scratch_);
+  execute(scratch_, out);
 }
 
 }  // namespace mtx::net

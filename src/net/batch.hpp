@@ -1,13 +1,14 @@
 // Per-connection transaction batching: the serving tier's perf lever.
 //
-// A pipelined connection delivers runs of consecutive requests; the batcher
-// coalesces the batchable ones (GET/PUT/INSERT/RMW) that route to the SAME
-// shard into one pending run and executes the run as a single flag-checked
-// transaction (KvStore::batch_mutate), so per-op STM begin/commit overhead
-// — and the §5 mutator flag obligation — amortize across the run.  GETs
-// join the transaction rather than flushing it: they observe earlier puts
-// of the same batch (read-your-writes), which is exactly what executing the
-// pipeline one-op-per-transaction would have returned on this connection.
+// A pipelined connection delivers runs of consecutive requests; the
+// coalescer collects the batchable ones (GET/PUT/INSERT/RMW) that route to
+// the SAME shard into one pending run, to be executed as a single
+// flag-checked transaction (ShardHandle::batch_mutate), so per-op STM
+// begin/commit overhead — and the §5 mutator flag obligation — amortize
+// across the run.  GETs join the transaction rather than flushing it: they
+// observe earlier puts of the same batch (read-your-writes), which is
+// exactly what executing the pipeline one-op-per-transaction would have
+// returned on this connection.
 //
 // Flush rules (why a batch never spans a fence): the pending run flushes
 //   1. when the next batchable op routes to a different shard,
@@ -30,6 +31,18 @@
 //
 // max_batch = 1 degenerates to unbatched pipelining — the A/B baseline the
 // benchmark compares against.
+//
+// The layer is split in two so the multi-reactor server can route runs it
+// does NOT own:
+//   RunCoalescer   — pure batching policy: requests in, same-shard Runs
+//                    out, no execution.  A reactor executes an owned Run on
+//                    the owning ShardHandle and ships a non-owned Run to
+//                    its owner's mailbox intact — the run is the handoff
+//                    unit, so cross-reactor traffic batches exactly like
+//                    local traffic.
+//   BatchExecutor  — the single-owner composition (coalesce + execute
+//                    inline on the store), used by direct in-process
+//                    drivers and the executor-level tests.
 #pragma once
 
 #include <cstdint>
@@ -40,16 +53,64 @@
 
 namespace mtx::net {
 
+// Flush-rule and op tallies, aggregated per connection (and across
+// connections into ServerStats).
+struct BatchStats {
+  std::uint64_t ops = 0;          // requests executed (batch subs counted)
+  std::uint64_t transactions = 0; // atomically blocks issued for them
+  std::uint64_t flushes_shard = 0;   // rule 1
+  std::uint64_t flushes_full = 0;    // rule 2
+  std::uint64_t flushes_barrier = 0; // rule 3
+  std::uint64_t flushes_drain = 0;   // rule 4
+};
+
+// One coalesced same-shard run: the unit of execution (one transaction via
+// ShardHandle::batch_mutate) and of cross-reactor handoff.  `codes` keeps
+// the wire opcodes (INSERT vs PUT vs GET) the responses must echo.
+struct Run {
+  std::size_t shard = 0;
+  std::vector<kv::WriteOp> ops;
+  std::vector<OpCode> codes;
+};
+
+// Request → store op for the batchable opcodes (GET/PUT/INSERT/RMW).
+kv::WriteOp run_op(const Request& req);
+// Executed store op → wire response echoing `code`.
+Response run_response(const kv::WriteOp& op, OpCode code);
+
+// The batching policy alone: accumulates batchable requests, emits
+// same-shard Runs per the flush rules above.  Counts ops and flush reasons
+// in stats(); the executing side bumps stats().transactions when a run
+// actually lands.
+class RunCoalescer {
+ public:
+  explicit RunCoalescer(std::size_t max_batch);
+
+  // Append a batchable request routed to `shard`; any runs the flush rules
+  // emit (0, 1 — or 2: a shard switch followed by max_batch == 1) are
+  // appended to `out` in submission order.
+  void add(const Request& req, std::size_t shard, std::vector<Run>& out);
+
+  // Rule 3 / rule 4 flushes (no-ops while nothing is pending).
+  void flush_barrier(std::vector<Run>& out);
+  void flush_drain(std::vector<Run>& out);
+
+  std::size_t pending() const { return cur_.ops.size(); }
+  BatchStats& stats() { return stats_; }
+  const BatchStats& stats() const { return stats_; }
+
+ private:
+  void emit(std::vector<Run>& out);
+
+  std::size_t max_batch_;
+  Run cur_;
+  BatchStats stats_;
+};
+
+// Coalesce + execute inline: the single-owner front end over one store.
 class BatchExecutor {
  public:
-  struct Stats {
-    std::uint64_t ops = 0;          // requests executed (batch subs counted)
-    std::uint64_t transactions = 0; // atomically blocks issued for them
-    std::uint64_t flushes_shard = 0;   // rule 1
-    std::uint64_t flushes_full = 0;    // rule 2
-    std::uint64_t flushes_barrier = 0; // rule 3
-    std::uint64_t flushes_drain = 0;   // rule 4
-  };
+  using Stats = BatchStats;
 
   BatchExecutor(kv::KvStore& store, std::size_t max_batch);
 
@@ -61,21 +122,17 @@ class BatchExecutor {
   // Rule 4: drain the pending run (end of readable input / close).
   void drain(std::vector<Response>& out);
 
-  std::size_t pending() const { return pending_.size(); }
-  const Stats& stats() const { return stats_; }
+  std::size_t pending() const { return coalescer_.pending(); }
+  const Stats& stats() const { return coalescer_.stats(); }
 
  private:
-  void flush(std::vector<Response>& out);
-  void enqueue(const Request& req, std::vector<Response>& out);
+  void execute(std::vector<Run>& runs, std::vector<Response>& out);
   Response execute_barrier(const Request& req);
 
   kv::KvStore& store_;
-  std::size_t max_batch_;
-  std::size_t pending_shard_ = 0;
-  std::vector<kv::WriteOp> pending_;
-  std::vector<OpCode> pending_codes_;  // INSERT vs PUT vs GET, for responses
+  RunCoalescer coalescer_;
+  std::vector<Run> scratch_;
   bool snap_attached_ = false;
-  Stats stats_;
 };
 
 }  // namespace mtx::net

@@ -1,0 +1,111 @@
+// Layered serving-tier configuration.
+//
+// The PR 8 server took one flat ServerOptions struct, and every front end
+// (bench/loadgen --spawn, bench/bench_net, campaign --net) re-declared the
+// same store-geometry fields into its own options — three copies that could
+// silently drift.  The multi-reactor server needs strictly more knobs
+// (reactor count, shard ownership policy, per-reactor stream sizing), so
+// the flat struct is replaced by composition:
+//
+//   ListenerConfig  — the socket: port, accept backlog, handshake policy
+//   ReactorConfig   — the event loops: count, shard ownership policy,
+//                     batching and snapshot-refresh cadence (per reactor)
+//   StreamConfig    — per-reactor streaming conformance sizing
+//   kv::StoreShape  — store geometry, THE shared struct the KV workload
+//                     driver and the load generator also embed
+//
+// composed into ServerConfig, with validate() rejecting inconsistent
+// combinations up front (reactors > shards, streaming with zero checkers,
+// ...) instead of letting them misbehave at serve time.  Server's
+// constructor throws std::invalid_argument on a non-empty validate().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "kv/kvstore.hpp"
+
+namespace mtx::net {
+
+// Socket and accept-path policy.
+struct ListenerConfig {
+  std::uint16_t port = 0;  // 0 = kernel-assigned; Server::port() reports it
+  int backlog = 64;
+  // Require a versioned HELLO as a connection's first frame; anything else
+  // is a protocol violation (bad_frame, connection dropped).  Off by
+  // default for one release: the no-HELLO compat path keeps pre-handshake
+  // clients working while they migrate.
+  bool require_hello = false;
+};
+
+// How shards map to reactors.  Both policies give reactor r a disjoint,
+// exhaustive slice of [0, shards); they differ only in locality shape.
+enum class ShardPolicy : std::uint8_t {
+  modulo,  // shard s → reactor s % count (striped; default)
+  block,   // shard s → reactor s / ceil(shards/count) (contiguous runs)
+};
+
+// The per-core event loops.
+struct ReactorConfig {
+  std::size_t count = 1;
+  ShardPolicy policy = ShardPolicy::modulo;
+  std::size_t max_batch = 16;  // per-connection same-shard run cap; 1 = unbatched
+  // Re-publish the hot set's current values every N executed requests
+  // (0 = never).  Per reactor: each reactor refreshes ONLY the shards it
+  // owns, between its own requests — its quiet point — via the scoped
+  // ShardHandle::refresh_snapshot, so a refresh never fences the whole
+  // store on the hot path.
+  std::size_t snap_refresh_every = 0;
+};
+
+// Streaming conformance while serving.  Per reactor: each reactor records
+// into its own ring, marks its own epochs, and is judged by its own
+// StreamConformance instance over exactly the shards it owns.
+struct StreamConfig {
+  bool enabled = false;
+  std::size_t ring_capacity = 1u << 15;
+  std::size_t checkers = 1;       // checker threads per reactor
+  std::size_t epoch_ops = 512;    // executed requests per sealed segment
+  std::size_t window_min_events = 64;
+};
+
+struct ServerConfig {
+  ListenerConfig listener;
+  ReactorConfig reactors;
+  StreamConfig stream;
+  kv::StoreShape store;
+
+  // Empty string = consistent; otherwise a human-readable reason.
+  std::string validate() const {
+    if (reactors.count == 0) return "reactors.count must be >= 1";
+    if (store.shards == 0) return "store.shards must be >= 1";
+    if (reactors.count > store.shards)
+      return "reactors.count (" + std::to_string(reactors.count) +
+             ") exceeds store.shards (" + std::to_string(store.shards) +
+             "): a reactor with no shards can serve nothing";
+    if (reactors.max_batch == 0) return "reactors.max_batch must be >= 1";
+    if (reactors.snap_refresh_every > 0 && store.snap_keys == 0)
+      return "snap_refresh_every set but store.snap_keys == 0: nothing to refresh";
+    if (stream.enabled) {
+      if (stream.checkers == 0)
+        return "stream enabled with zero checkers: segments would never be judged";
+      if (stream.ring_capacity == 0)
+        return "stream enabled with zero ring capacity";
+      if (stream.epoch_ops == 0)
+        return "stream enabled with epoch_ops == 0: no segment boundary";
+    }
+    return "";
+  }
+
+  // The owning reactor of a shard under the configured policy.
+  std::size_t owner_of(std::size_t shard) const {
+    if (reactors.policy == ShardPolicy::modulo) return shard % reactors.count;
+    const std::size_t per =
+        (store.shards + reactors.count - 1) / reactors.count;
+    const std::size_t r = shard / per;
+    return r < reactors.count ? r : reactors.count - 1;
+  }
+};
+
+}  // namespace mtx::net

@@ -74,9 +74,9 @@ LoadgenResult run_loadgen(const LoadgenOptions& opts) {
   const double per_conn_rate = opts.rate / static_cast<double>(conns);
   const double mean_gap_ns =
       per_conn_rate > 0 ? 1e9 / per_conn_rate : 1e6;
-  const std::size_t preload = std::max<std::size_t>(1, opts.preload_keys);
+  const std::size_t preload = std::max<std::size_t>(1, opts.store.preload_keys);
   const std::size_t snap_n =
-      std::max<std::size_t>(1, std::min(opts.snap_keys, preload));
+      std::max<std::size_t>(1, std::min(opts.store.snap_keys, preload));
   const kv::KeyChooser chooser(*mix, preload);
 
   std::vector<ConnTally> tallies(conns);
@@ -100,6 +100,18 @@ LoadgenResult run_loadgen(const LoadgenOptions& opts) {
     std::uint64_t next_send = now_ns(t0);  // schedule starts immediately
     std::uint64_t sent = 0, completed = 0;
     bool dead = false;
+
+    if (opts.hello) {
+      // Announce before the schedule starts; the handshake rides the same
+      // pipeline and its response is audited (but it is not a workload op:
+      // it joins neither intended/sent/completed nor the histogram).
+      Request h;
+      h.op = OpCode::hello;
+      h.major = kProtoMajor;
+      h.minor = kProtoMinor;
+      encode_request(h, out);
+      inflight.push_back({now_ns(t0), OpCode::hello, 0});
+    }
 
     const auto schedule_gap = [&]() -> std::uint64_t {
       if (!opts.poisson) return static_cast<std::uint64_t>(mean_gap_ns);
@@ -141,7 +153,7 @@ LoadgenResult run_loadgen(const LoadgenOptions& opts) {
         case kv::OpKind::scan:
           req.op = OpCode::scan;
           req.shard = static_cast<std::uint32_t>(
-              rng.below(std::max<std::size_t>(1, opts.shards)));
+              rng.below(std::max<std::size_t>(1, opts.store.shards)));
           ++tally.scans;
           break;
         case kv::OpKind::rmw:
@@ -248,6 +260,13 @@ LoadgenResult run_loadgen(const LoadgenOptions& opts) {
         in_off += consumed;
         const InFlight f = inflight.front();
         inflight.pop_front();
+        if (f.op == OpCode::hello) {
+          if (resp.op != OpCode::hello || resp.status != Status::ok ||
+              resp.major != kProtoMajor ||
+              (resp.features & kFeatBatching) == 0)
+            ++tally.errors;
+          continue;
+        }
         audit(f, resp);
         tally.hist.add(now > f.intended_ns ? now - f.intended_ns : 0);
         ++completed;

@@ -35,9 +35,15 @@ struct LoadgenOptions {
   bool poisson = false;            // exponential gaps instead of fixed
   std::uint64_t ops_per_conn = 2000;
   const kv::Mix* mix = nullptr;    // nullptr = the `hot` standard mix
-  std::size_t preload_keys = 1024; // must match the server's preload
-  std::size_t shards = 8;          // SCAN target range (must match server)
-  std::size_t snap_keys = 16;      // reads below this rank go SNAP_READ
+  // Store geometry as the SERVER sees it (one shared struct, so the
+  // generator and ServerConfig can be built from the same value):
+  // preload_keys bounds the key space, shards the SCAN target range,
+  // snap_keys the rank below which reads go SNAP_READ.
+  kv::StoreShape store;
+  // Open each connection with a versioned HELLO and audit the response
+  // (protocol major must match, batching must be advertised).  Off =
+  // the pre-handshake compat path.
+  bool hello = true;
   std::uint64_t seed = 1;
   std::uint64_t deadline_ms = 30000;  // hard cap; overruns count as errors
 };

@@ -62,7 +62,7 @@ struct Reader {
 
 bool valid_op(std::uint8_t op) {
   return op >= static_cast<std::uint8_t>(OpCode::get) &&
-         op <= static_cast<std::uint8_t>(OpCode::batch);
+         op <= static_cast<std::uint8_t>(OpCode::hello);
 }
 
 bool batchable(OpCode op) {
@@ -91,6 +91,11 @@ void encode_request_body(const Request& req, std::vector<std::uint8_t>& out) {
       break;
     case OpCode::fence:
       break;
+    case OpCode::hello:
+      put_u16(out, req.major);
+      put_u16(out, req.minor);
+      put_u32(out, req.features);
+      break;
     case OpCode::batch:
       put_u16(out, static_cast<std::uint16_t>(req.sub.size()));
       for (const Request& s : req.sub) encode_request_body(s, out);
@@ -118,6 +123,12 @@ bool decode_request_body(Reader& r, Request* out, bool nested) {
       break;
     case OpCode::fence:
       break;
+    case OpCode::hello:
+      if (nested) return false;  // a handshake inside a batch is nonsense
+      out->major = r.u16();
+      out->minor = r.u16();
+      out->features = r.u32();
+      break;
     case OpCode::batch: {
       if (nested) return false;  // one level only
       const std::uint16_t n = r.u16();
@@ -134,10 +145,19 @@ bool decode_request_body(Reader& r, Request* out, bool nested) {
   return !r.fail;
 }
 
+// Does a response of this (op, status) carry a payload?  Non-ok responses
+// are bare opcode+status — except BATCH (the sub list is the result) and a
+// HELLO version_mismatch, whose payload (the server's version) is the very
+// thing the client needs to act on the error.
+bool response_has_payload(OpCode op, Status st) {
+  if (st == Status::ok || op == OpCode::batch) return true;
+  return op == OpCode::hello && st == Status::version_mismatch;
+}
+
 void encode_response_body(const Response& resp, std::vector<std::uint8_t>& out) {
   out.push_back(static_cast<std::uint8_t>(resp.op));
   out.push_back(static_cast<std::uint8_t>(resp.status));
-  if (resp.status != Status::ok && resp.op != OpCode::batch) return;
+  if (!response_has_payload(resp.op, resp.status)) return;
   switch (resp.op) {
     case OpCode::get:
     case OpCode::rmw:
@@ -155,6 +175,11 @@ void encode_response_body(const Response& resp, std::vector<std::uint8_t>& out) 
       break;
     case OpCode::fence:
       break;
+    case OpCode::hello:
+      put_u16(out, resp.major);
+      put_u16(out, resp.minor);
+      put_u32(out, resp.features);
+      break;
     case OpCode::batch:
       put_u16(out, static_cast<std::uint16_t>(resp.sub.size()));
       for (const Response& s : resp.sub) encode_response_body(s, out);
@@ -167,9 +192,13 @@ bool decode_response_body(Reader& r, Response* out, bool nested) {
   if (r.fail || !valid_op(raw)) return false;
   out->op = static_cast<OpCode>(raw);
   const std::uint8_t st = r.u8();
-  if (r.fail || st > static_cast<std::uint8_t>(Status::error)) return false;
+  if (r.fail || st > static_cast<std::uint8_t>(Status::version_mismatch))
+    return false;
   out->status = static_cast<Status>(st);
-  if (out->status != Status::ok && out->op != OpCode::batch) return true;
+  // version_mismatch is a HELLO-only status.
+  if (out->status == Status::version_mismatch && out->op != OpCode::hello)
+    return false;
+  if (!response_has_payload(out->op, out->status)) return true;
   switch (out->op) {
     case OpCode::get:
     case OpCode::rmw:
@@ -186,6 +215,12 @@ bool decode_response_body(Reader& r, Response* out, bool nested) {
       out->flag = r.u8();
       break;
     case OpCode::fence:
+      break;
+    case OpCode::hello:
+      if (nested) return false;
+      out->major = r.u16();
+      out->minor = r.u16();
+      out->features = r.u32();
       break;
     case OpCode::batch: {
       if (nested) return false;

@@ -10,6 +10,14 @@
 // the conformance story depends on the *execution*, not the encoding.
 //
 // Request payloads:
+//   HELLO      u16 major, u16 minor, u32 feature bitmap (kFeat*) — optional
+//              versioned handshake, sent first on a connection.  A server
+//              accepts equal majors (minor skew is fine: minors only add
+//              frames) and answers ok with its own version + features; a
+//              mismatched major gets status=version_mismatch carrying the
+//              server's version so the client can report WHAT to upgrade
+//              to, then the connection is closed.  Servers running with
+//              require_hello accept nothing before the handshake.
 //   GET        i64 key
 //   PUT        i64 key, i64 value        (value should be kv::value_of form)
 //   INSERT     i64 key, i64 value        (same execution as PUT; tallied
@@ -23,6 +31,10 @@
 //              GET/PUT/INSERT/RMW; nesting rejected)
 //
 // Response payloads (after opcode + status):
+//   HELLO      ok → u16 major, u16 minor, u32 features (the server's)
+//              version_mismatch → same payload (the one non-ok response
+//              that carries a body: the server's version IS the error
+//              detail)
 //   GET        ok → i64 value            not_found → empty
 //   PUT/INSERT ok → u8 fresh (1 = new key)
 //   SCAN       ok → u64 keys, i64 value_sum, u8 privatized
@@ -47,13 +59,28 @@ enum class OpCode : std::uint8_t {
   snap_read = 6,
   fence = 7,
   batch = 8,
+  hello = 9,
 };
 
 enum class Status : std::uint8_t {
   ok = 0,
   not_found = 1,
   error = 2,
+  version_mismatch = 3,  // HELLO only; payload = the server's version
 };
+
+// Protocol version spoken by this codec.  Majors gate compatibility
+// (frame layouts may differ across majors); minors only ever ADD opcodes,
+// so any equal-major peers interoperate.
+constexpr std::uint16_t kProtoMajor = 1;
+constexpr std::uint16_t kProtoMinor = 0;
+
+// HELLO feature bitmap: what the peer is prepared to use (client) or
+// serve (server).  Advisory — a server never rejects on features, it just
+// advertises its own set back.
+constexpr std::uint32_t kFeatBatching = 1u << 0;   // BATCH frames
+constexpr std::uint32_t kFeatSnapRead = 1u << 1;   // SNAP_READ fast path
+constexpr std::uint32_t kServerFeatures = kFeatBatching | kFeatSnapRead;
 
 // Oversized-frame rejection bound: anything claiming a longer body is a
 // protocol violation, not a request to buffer unbounded attacker-controlled
@@ -64,9 +91,12 @@ constexpr std::size_t kMaxBatchOps = 256;
 struct Request {
   OpCode op = OpCode::get;
   std::int64_t key = 0;
-  std::int64_t arg = 0;      // PUT/INSERT value; RMW delta
-  std::uint32_t shard = 0;   // SCAN
-  std::vector<Request> sub;  // BATCH (one level deep)
+  std::int64_t arg = 0;       // PUT/INSERT value; RMW delta
+  std::uint32_t shard = 0;    // SCAN
+  std::uint16_t major = 0;    // HELLO
+  std::uint16_t minor = 0;    // HELLO
+  std::uint32_t features = 0; // HELLO (kFeat* bitmap)
+  std::vector<Request> sub;   // BATCH (one level deep)
 };
 
 struct Response {
@@ -75,6 +105,9 @@ struct Response {
   std::int64_t value = 0;     // GET/RMW/SNAP_READ value; SCAN value_sum
   std::uint64_t count = 0;    // SCAN keys
   std::uint8_t flag = 0;      // PUT/INSERT fresh; SCAN privatized
+  std::uint16_t major = 0;    // HELLO (the server's version — also on
+  std::uint16_t minor = 0;    //        version_mismatch)
+  std::uint32_t features = 0; // HELLO (the server's kFeat* bitmap)
   std::vector<Response> sub;  // BATCH
 };
 

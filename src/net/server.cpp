@@ -10,63 +10,157 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <deque>
 #include <stdexcept>
+#include <thread>
+#include <unordered_map>
 
 #include "record/recorder.hpp"
 #include "record/stream.hpp"
+#include "substrate/spsc.hpp"
 
 namespace mtx::net {
 
 namespace {
 
 constexpr std::size_t kReadChunk = 4096;
+constexpr std::size_t kMailSlots = 4096;  // per directed reactor pair
+
+void poke(int fd) {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(fd, &one, sizeof(one));
+}
 
 }  // namespace
 
-struct Server::Conn {
-  Conn(kv::KvStore& store, std::size_t max_batch, int fd_)
-      : fd(fd_), exec(store, max_batch) {}
-  int fd;
+// One cross-reactor work item: a coalesced same-shard Run, or a barrier op
+// (SCAN / SNAP_READ) addressed to a foreign shard.  The run is the handoff
+// unit, so cross-reactor traffic amortizes its transaction exactly like
+// local traffic.
+struct Handoff {
+  enum class Kind : std::uint8_t { run, scan, snap_read };
+  Kind kind = Kind::run;
+  std::uint64_t conn = 0;        // connection id on the origin reactor
+  std::uint64_t slot = 0;        // first pending slot (or the BATCH frame's)
+  std::int32_t sub_base = -1;    // >= 0: index into the frame's sub responses
+  std::size_t shard = 0;         // run / scan
+  std::int64_t key = 0;          // snap_read
+  std::vector<kv::WriteOp> ops;  // run
+  std::vector<OpCode> codes;     // run
+};
+
+struct HandoffReply {
+  std::uint64_t conn = 0;
+  std::uint64_t slot = 0;
+  std::int32_t sub_base = -1;
+  std::vector<Response> resps;
+};
+
+// One slot of a connection's in-order response queue.  Responses release
+// strictly from the front: a slot with waiting > 0 (cross-shard work in
+// flight) holds everything behind it back, so submission order survives
+// arbitrary reactor interleaving.
+struct Pending {
+  Response resp;
+  std::uint32_t waiting = 0;
+  bool fence = false;  // run the whole-store quiesce when it reaches the front
+};
+
+struct RConn {
+  explicit RConn(std::size_t max_batch) : coal(max_batch) {}
+  int fd = -1;
+  std::uint64_t id = 0;
   std::vector<std::uint8_t> in;
   std::size_t in_off = 0;
   std::vector<std::uint8_t> out;
   std::size_t out_off = 0;
   bool want_write = false;
-  BatchExecutor exec;
+  bool hello_done = false;
+  bool kill = false;  // flush what's owed, then close (handshake rejection)
+  bool gone = false;  // socket retired; responses are dropped
+  RunCoalescer coal;
+  std::deque<Pending> pend;
+  std::uint64_t front_slot = 0;  // slot id of pend.front()
+
+  std::uint64_t next_slot() const { return front_slot + pend.size(); }
 };
 
-// The one-producer streaming pipeline: the loop thread records into ring 0,
-// the cutter seals a segment at every epoch mark, checker threads judge
-// while the loop keeps serving.
-struct Server::StreamState {
-  record::RecordSession session;
+struct Server::Reactor {
+  Server* srv = nullptr;
+  std::size_t idx = 0;
+  int epfd = -1;
+  int wakefd = -1;
+  std::thread thread;
+
+  SpscRing<int> incoming{256};  // acceptor → reactor: fresh sockets
+  // Directed SPSC rings, indexed by the PRODUCING reactor.
+  std::vector<std::unique_ptr<SpscRing<Handoff>>> mail_in;
+  std::vector<std::unique_ptr<SpscRing<HandoffReply>>> reply_in;
+  // Local overflow queues (per target) for when a ring is momentarily
+  // full: items flush FIFO ahead of new pushes, so per-(origin, owner)
+  // order is preserved and a full ring can never deadlock two reactors
+  // pushing at each other.
+  std::vector<std::deque<Handoff>> mail_out;
+  std::vector<std::deque<HandoffReply>> reply_out;
+
+  std::vector<std::size_t> owned;       // shard indices this reactor owns
+  std::vector<kv::ShardHandle> handle;  // [shard]; valid iff owns[shard]
+  std::vector<char> owns;               // [shard]
+  std::vector<char> attached;           // [shard] publication-handoff memo
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<RConn>> conns;
+  std::uint64_t next_conn = 1;  // epoll data.u64 0 is the wake eventfd
+  std::uint64_t since_refresh = 0;
+  std::uint64_t since_epoch = 0;
+  std::uint64_t next_epoch = 0;
+  bool settled = false;
+
+  // Per-reactor stats, summed into ServerStats after join.
+  std::uint64_t closed = 0, bad_frames = 0, frames = 0, snap_refreshes = 0,
+                handoffs = 0, hellos = 0, hello_rejects = 0;
+  BatchStats batch;
+
+  // Streaming: the per-reactor pipeline over the owned domain set.
+  std::unique_ptr<record::RecordSession> session;
   std::unique_ptr<record::StreamConformance> conf;
   std::unique_ptr<record::ScopedRecorder> rec;
+  bool streamed = false;
+  record::StreamReport report;
+  std::string verdict;
+
+  // Scratch (reused across iterations).
+  std::vector<Run> runs;
+  std::vector<Handoff> mail_tmp;
+  std::vector<HandoffReply> reply_tmp;
+  std::vector<int> fd_tmp;
 };
 
-Server::Server(stm::StmBackend& stm, const ServerOptions& opt)
-    : stm_(stm), opt_(opt) {
+Server::Server(stm::StmBackend& stm, const ServerConfig& cfg)
+    : stm_(stm), cfg_(cfg) {
+  const std::string err = cfg_.validate();
+  if (!err.empty())
+    throw std::invalid_argument("net: inconsistent ServerConfig: " + err);
+
   kv::KvStore::Options sopt;
-  sopt.shards = opt_.shards ? opt_.shards : 1;
-  sopt.expected_keys = opt_.preload_keys * 2;
-  sopt.snap_slots = std::max<std::size_t>(1, opt_.snap_keys);
-  std::unique_ptr<kv::KvStore> store =
-      std::make_unique<kv::KvStore>(stm_, sopt);
+  sopt.shards = cfg_.store.shards;
+  sopt.expected_keys = cfg_.store.preload_keys * 2;
+  sopt.snap_slots = std::max<std::size_t>(1, cfg_.store.snap_keys);
+  store_ = std::make_unique<kv::KvStore>(stm_, sopt);
 
   // Preload + publish the hot set, mirroring the in-process driver's load
   // phase: keys 0..N-1 hold value_of(k, 0); the snap_keys hottest ranks are
   // frozen into the per-shard snapshot slots.
-  for (std::size_t k = 0; k < opt_.preload_keys; ++k)
-    store->put(static_cast<std::int64_t>(k),
-               kv::value_of(static_cast<std::int64_t>(k), 0));
-  const std::size_t snap_n =
-      std::max<std::size_t>(1, std::min(opt_.snap_keys, opt_.preload_keys));
+  for (std::size_t k = 0; k < cfg_.store.preload_keys; ++k)
+    store_->put(static_cast<std::int64_t>(k),
+                kv::value_of(static_cast<std::int64_t>(k), 0));
+  const std::size_t snap_n = std::max<std::size_t>(
+      1, std::min(cfg_.store.snap_keys, cfg_.store.preload_keys));
   snap_keys_.resize(snap_n);
   for (std::size_t k = 0; k < snap_n; ++k)
     snap_keys_[k] = static_cast<std::int64_t>(k);
-  store->publish_snapshot(snap_keys_);
-  store_ = std::move(store);
+  store_->publish_snapshot(snap_keys_);
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (listen_fd_ < 0) throw std::runtime_error("net: socket() failed");
@@ -75,10 +169,10 @@ Server::Server(stm::StmBackend& stm, const ServerOptions& opt)
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(opt_.port);
+  addr.sin_port = htons(cfg_.listener.port);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
           0 ||
-      ::listen(listen_fd_, 64) < 0) {
+      ::listen(listen_fd_, cfg_.listener.backlog) < 0) {
     ::close(listen_fd_);
     throw std::runtime_error("net: bind/listen failed");
   }
@@ -91,256 +185,774 @@ Server::Server(stm::StmBackend& stm, const ServerOptions& opt)
     ::close(listen_fd_);
     throw std::runtime_error("net: eventfd() failed");
   }
+
+  // Reactors: ownership map, mailboxes and wake fds built up front, so
+  // every cross-reactor address is valid the moment run() spawns threads.
+  const std::size_t R = cfg_.reactors.count;
+  reactors_.reserve(R);
+  for (std::size_t r = 0; r < R; ++r) {
+    auto rx = std::make_unique<Reactor>();
+    rx->srv = this;
+    rx->idx = r;
+    rx->wakefd = ::eventfd(0, EFD_NONBLOCK);
+    rx->mail_in.resize(R);
+    rx->reply_in.resize(R);
+    for (std::size_t f = 0; f < R; ++f) {
+      rx->mail_in[f] = std::make_unique<SpscRing<Handoff>>(kMailSlots);
+      rx->reply_in[f] = std::make_unique<SpscRing<HandoffReply>>(kMailSlots);
+    }
+    rx->mail_out.resize(R);
+    rx->reply_out.resize(R);
+    rx->owns.assign(cfg_.store.shards, 0);
+    rx->attached.assign(cfg_.store.shards, 0);
+    rx->handle.resize(cfg_.store.shards);
+    for (std::size_t s = 0; s < cfg_.store.shards; ++s)
+      if (cfg_.owner_of(s) == r) {
+        rx->owns[s] = 1;
+        rx->owned.push_back(s);
+        rx->handle[s] = store_->shard(s);
+      }
+    reactors_.push_back(std::move(rx));
+  }
 }
 
 Server::~Server() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (wake_fd_ >= 0) ::close(wake_fd_);
-  if (epoll_fd_ >= 0) ::close(epoll_fd_);
-  for (auto& c : conns_)
-    if (c && c->fd >= 0) ::close(c->fd);
+  if (accept_epoll_ >= 0) ::close(accept_epoll_);
+  for (auto& rx : reactors_) {
+    if (!rx) continue;
+    if (rx->wakefd >= 0) ::close(rx->wakefd);
+    if (rx->epfd >= 0) ::close(rx->epfd);
+    for (auto& [id, c] : rx->conns)
+      if (c && c->fd >= 0) ::close(c->fd);
+  }
 }
 
 void Server::stop() {
-  const std::uint64_t one = 1;
-  // Signal-safe poke; the loop reads running=false from the event itself.
-  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  // Signal-safe poke; the acceptor reads shutdown from the event itself.
+  poke(wake_fd_);
 }
 
-void Server::update_epoll(Conn& c) {
-  epoll_event ev{};
-  ev.events = EPOLLIN | (c.want_write ? EPOLLOUT : 0u);
-  ev.data.fd = c.fd;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
-}
-
-void Server::handle_accept() {
-  for (;;) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
-    if (fd < 0) return;  // EAGAIN or transient error: back to the loop
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+void Server::reactor_main(Reactor& r) {
+  r.epfd = ::epoll_create1(0);
+  const bool degraded = r.epfd < 0;  // cannot poll sockets; still must
+                                     // service mailboxes and settle
+  if (!degraded) {
     epoll_event ev{};
     ev.events = EPOLLIN;
-    ev.data.fd = fd;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
-      ::close(fd);
-      continue;
-    }
-    conns_.push_back(std::make_unique<Conn>(*store_, opt_.max_batch, fd));
-    ++stats_.accepted;
+    ev.data.u64 = 0;
+    ::epoll_ctl(r.epfd, EPOLL_CTL_ADD, r.wakefd, &ev);
   }
-}
 
-bool Server::flush_writes(Conn& c) {
-  while (c.out_off < c.out.size()) {
-    const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
-                             c.out.size() - c.out_off, MSG_NOSIGNAL);
-    if (n > 0) {
-      c.out_off += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      if (!c.want_write) {
-        c.want_write = true;
-        update_epoll(c);
-      }
+  if (cfg_.stream.enabled) {
+    r.session = std::make_unique<record::RecordSession>();
+    record::StreamOptions so;
+    so.ring_capacity = cfg_.stream.ring_capacity;
+    so.min_window_events = cfg_.stream.window_min_events;
+    so.checkers = cfg_.stream.checkers;
+    so.require_full_opacity = stm_.zombie_free();
+    // One continuous recording per reactor: the cutter sees every access
+    // from the anchor on, so later segments' carries can be synthesized.
+    so.synthesize_carry = true;
+    r.conf = std::make_unique<record::StreamConformance>(
+        *r.session, std::vector<int>{0}, so);
+    r.rec = std::make_unique<record::ScopedRecorder>(*r.session, /*thread=*/0);
+    r.rec->rec().stream_to(&r.conf->ring(0));
+    // State-carry anchor over exactly the owned domain set: this reactor's
+    // shards replayed as the stream's first committed transaction.  With
+    // shard ownership the reactors' traces are location-disjoint, which is
+    // what makes per-reactor judging sound.
+    r.rec->rec().synthetic_begin();
+    for (std::size_t s : r.owned) r.handle[s].replay_state_plain();
+    r.rec->rec().synthetic_commit();
+  }
+
+  // Initial publication handoff for every owned shard: one transactional
+  // ready read each, the hb anchor for this thread's plain snapshot loads.
+  for (std::size_t s : r.owned)
+    r.attached[s] = r.handle[s].snapshot_attach() ? 1 : 0;
+
+  auto update_epoll = [&](RConn& c) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (c.want_write ? EPOLLOUT : 0u);
+    ev.data.u64 = c.id;
+    ::epoll_ctl(r.epfd, EPOLL_CTL_MOD, c.fd, &ev);
+  };
+
+  auto retire_socket = [&](RConn& c) {
+    if (c.fd < 0) return;
+    ::epoll_ctl(r.epfd, EPOLL_CTL_DEL, c.fd, nullptr);
+    ::close(c.fd);
+    c.fd = -1;
+    c.gone = true;
+  };
+
+  // Destroys the conn once nothing is owed; returns true when destroyed.
+  auto destroy_if_done = [&](RConn& c) -> bool {
+    if (!c.gone || !c.pend.empty()) return false;
+    const BatchStats& b = c.coal.stats();
+    r.batch.ops += b.ops;
+    r.batch.transactions += b.transactions;
+    r.batch.flushes_shard += b.flushes_shard;
+    r.batch.flushes_full += b.flushes_full;
+    r.batch.flushes_barrier += b.flushes_barrier;
+    r.batch.flushes_drain += b.flushes_drain;
+    ++r.closed;
+    r.conns.erase(c.id);
+    return true;
+  };
+
+  auto flush_writes = [&](RConn& c) -> bool {  // false = peer vanished
+    if (c.gone) {
+      c.out.clear();
+      c.out_off = 0;
       return true;
     }
-    return false;  // peer vanished
-  }
-  c.out.clear();
-  c.out_off = 0;
-  if (c.want_write) {
-    c.want_write = false;
-    update_epoll(c);
-  }
-  return true;
-}
-
-bool Server::handle_readable(Conn& c) {
-  // Drain the socket fully (edge-ish batching even under level-triggered
-  // epoll: the more pipelined frames one drain yields, the longer the
-  // same-shard runs the executor can coalesce).
-  for (;;) {
-    const std::size_t old = c.in.size();
-    c.in.resize(old + kReadChunk);
-    const ssize_t n = ::recv(c.fd, c.in.data() + old, kReadChunk, 0);
-    if (n > 0) {
-      c.in.resize(old + static_cast<std::size_t>(n));
-      continue;
-    }
-    c.in.resize(old);
-    if (n == 0) return false;  // orderly shutdown from the peer
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    return false;
-  }
-
-  std::vector<Response> responses;
-  for (;;) {
-    Request req;
-    std::size_t consumed = 0;
-    const Decode d = decode_request(c.in.data() + c.in_off,
-                                    c.in.size() - c.in_off, &req, &consumed);
-    if (d == Decode::need_more) break;
-    if (d == Decode::bad_frame) {
-      ++stats_.bad_frames;
+    while (c.out_off < c.out.size()) {
+      const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                               c.out.size() - c.out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        c.out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!c.want_write) {
+          c.want_write = true;
+          update_epoll(c);
+        }
+        return true;
+      }
       return false;
     }
-    c.in_off += consumed;
-    ++stats_.frames;
-    ++requests_since_refresh_;
-    ++requests_since_epoch_;
-    c.exec.submit(req, responses);
+    c.out.clear();
+    c.out_off = 0;
+    if (c.want_write) {
+      c.want_write = false;
+      update_epoll(c);
+    }
+    return true;
+  };
+
+  // Release ready responses from the queue front, in submission order; a
+  // fence slot executes its whole-store quiesce exactly when everything
+  // submitted before it has resolved.
+  auto pump = [&](RConn& c) {
+    while (!c.pend.empty()) {
+      Pending& p = c.pend.front();
+      if (p.waiting > 0) break;
+      if (p.fence) {
+        stm_.quiesce();
+        p.fence = false;
+      }
+      if (!c.gone) encode_response(p.resp, c.out);
+      c.pend.pop_front();
+      ++c.front_slot;
+    }
+    if (!c.out.empty()) {
+      if (!flush_writes(c)) retire_socket(c);
+    }
+    if (c.kill && !c.gone && c.pend.empty() && c.out.empty())
+      retire_socket(c);  // handshake rejection: the reply is out, hang up
+  };
+
+  auto pending_at = [&](RConn& c, std::uint64_t slot) -> Pending& {
+    return c.pend[static_cast<std::size_t>(slot - c.front_slot)];
+  };
+
+  // FIFO outboxes: ring full never blocks (and never reorders) — parked
+  // items flush ahead of new ones each iteration.
+  auto flush_mail_out = [&](std::size_t to) {
+    auto& q = r.mail_out[to];
+    auto& ring = *reactors_[to]->mail_in[r.idx];
+    bool sent = false;
+    while (!q.empty() && ring.try_push(q.front())) {
+      q.pop_front();
+      sent = true;
+    }
+    if (sent) poke(reactors_[to]->wakefd);
+  };
+  auto flush_reply_out = [&](std::size_t to) {
+    auto& q = r.reply_out[to];
+    auto& ring = *reactors_[to]->reply_in[r.idx];
+    bool sent = false;
+    while (!q.empty() && ring.try_push(q.front())) {
+      q.pop_front();
+      sent = true;
+    }
+    if (sent) poke(reactors_[to]->wakefd);
+  };
+  auto outboxes_empty = [&]() {
+    for (std::size_t t = 0; t < reactors_.size(); ++t)
+      if (!r.mail_out[t].empty() || !r.reply_out[t].empty()) return false;
+    return true;
+  };
+
+  auto ship = [&](std::size_t owner, Handoff h) {
+    r.mail_out[owner].push_back(std::move(h));
+    flush_mail_out(owner);
+    ++r.handoffs;
+  };
+
+  auto exec_scan = [&](std::size_t shard) {
+    Response resp;
+    resp.op = OpCode::scan;
+    const kv::ScanResult sr = r.handle[shard].privatize_scan();
+    resp.status = Status::ok;
+    resp.count = sr.keys;
+    resp.value = sr.value_sum;
+    resp.flag = sr.privatized ? 1 : 0;
+    return resp;
+  };
+
+  auto exec_snap = [&](std::size_t shard, std::int64_t key) {
+    Response resp;
+    resp.op = OpCode::snap_read;
+    // Per-shard publication handoff, memoized per reactor: all snapshot
+    // reads of an owned shard happen on this thread, so one transactional
+    // ready read covers them (and stays valid across this thread's own
+    // refreshes by program order).
+    if (!r.attached[shard])
+      r.attached[shard] = r.handle[shard].snapshot_attach() ? 1 : 0;
+    std::int64_t v = 0;
+    if (r.attached[shard] && r.handle[shard].snapshot_read(key, &v)) {
+      resp.status = Status::ok;
+      resp.value = v;
+    } else {
+      resp.status = Status::not_found;
+    }
+    return resp;
+  };
+
+  // Dispatch coalesced runs at top level: owned runs execute inline (one
+  // transaction each); foreign runs ship to their owner, leaving one
+  // placeholder slot per op.
+  auto dispatch_top = [&](RConn& c) {
+    for (Run& run : r.runs) {
+      if (r.owns[run.shard]) {
+        r.handle[run.shard].batch_mutate(run.ops.data(), run.ops.size());
+        ++r.batch.transactions;
+        for (std::size_t i = 0; i < run.ops.size(); ++i) {
+          Pending p;
+          p.resp = run_response(run.ops[i], run.codes[i]);
+          c.pend.push_back(std::move(p));
+        }
+      } else {
+        Handoff h;
+        h.kind = Handoff::Kind::run;
+        h.conn = c.id;
+        h.slot = c.next_slot();
+        h.shard = run.shard;
+        h.ops = std::move(run.ops);
+        h.codes = std::move(run.codes);
+        const std::size_t n = h.ops.size();
+        for (std::size_t i = 0; i < n; ++i) {
+          Pending p;
+          p.waiting = 1;
+          c.pend.push_back(std::move(p));
+        }
+        ship(cfg_.owner_of(run.shard), std::move(h));
+      }
+    }
+    r.runs.clear();
+  };
+
+  // Dispatch runs of a BATCH frame into the frame's sub-response array.
+  auto dispatch_frame = [&](RConn& c, std::uint64_t frame_slot,
+                            std::size_t& pos) {
+    for (Run& run : r.runs) {
+      Pending& f = pending_at(c, frame_slot);
+      if (r.owns[run.shard]) {
+        r.handle[run.shard].batch_mutate(run.ops.data(), run.ops.size());
+        ++r.batch.transactions;
+        for (std::size_t i = 0; i < run.ops.size(); ++i)
+          f.resp.sub[pos + i] = run_response(run.ops[i], run.codes[i]);
+        pos += run.ops.size();
+      } else {
+        Handoff h;
+        h.kind = Handoff::Kind::run;
+        h.conn = c.id;
+        h.slot = frame_slot;
+        h.sub_base = static_cast<std::int32_t>(pos);
+        h.shard = run.shard;
+        h.ops = std::move(run.ops);
+        h.codes = std::move(run.codes);
+        pos += h.ops.size();
+        ++f.waiting;
+        ship(cfg_.owner_of(run.shard), std::move(h));
+      }
+    }
+    r.runs.clear();
+  };
+
+  auto process = [&](RConn& c, Request& req) {
+    switch (req.op) {
+      case OpCode::get:
+      case OpCode::put:
+      case OpCode::insert:
+      case OpCode::rmw:
+        c.coal.add(req, store_->shard_of(req.key), r.runs);
+        dispatch_top(c);
+        return;
+      case OpCode::batch: {
+        c.coal.flush_barrier(r.runs);
+        dispatch_top(c);
+        Pending f;
+        f.resp.op = OpCode::batch;
+        f.resp.status = Status::ok;
+        f.resp.sub.resize(req.sub.size());
+        f.waiting = 1;  // construction hold: released after every sub is
+                        // dispatched, so a half-built frame never releases
+        const std::uint64_t frame_slot = c.next_slot();
+        c.pend.push_back(std::move(f));
+        std::size_t pos = 0;
+        for (const Request& s : req.sub) {
+          c.coal.add(s, store_->shard_of(s.key), r.runs);
+          dispatch_frame(c, frame_slot, pos);
+        }
+        c.coal.flush_drain(r.runs);
+        dispatch_frame(c, frame_slot, pos);
+        --pending_at(c, frame_slot).waiting;
+        return;
+      }
+      case OpCode::scan: {
+        c.coal.flush_barrier(r.runs);
+        dispatch_top(c);
+        ++c.coal.stats().ops;
+        Pending p;
+        if (req.shard >= store_->shards()) {
+          p.resp.op = OpCode::scan;
+          p.resp.status = Status::error;
+        } else if (r.owns[req.shard]) {
+          p.resp = exec_scan(req.shard);
+        } else {
+          Handoff h;
+          h.kind = Handoff::Kind::scan;
+          h.conn = c.id;
+          h.slot = c.next_slot();
+          h.shard = req.shard;
+          p.waiting = 1;
+          c.pend.push_back(std::move(p));
+          ship(cfg_.owner_of(req.shard), std::move(h));
+          return;
+        }
+        c.pend.push_back(std::move(p));
+        return;
+      }
+      case OpCode::snap_read: {
+        c.coal.flush_barrier(r.runs);
+        dispatch_top(c);
+        ++c.coal.stats().ops;
+        const std::size_t shard = store_->shard_of(req.key);
+        Pending p;
+        if (r.owns[shard]) {
+          p.resp = exec_snap(shard, req.key);
+          c.pend.push_back(std::move(p));
+        } else {
+          Handoff h;
+          h.kind = Handoff::Kind::snap_read;
+          h.conn = c.id;
+          h.slot = c.next_slot();
+          h.shard = shard;
+          h.key = req.key;
+          p.waiting = 1;
+          c.pend.push_back(std::move(p));
+          ship(cfg_.owner_of(shard), std::move(h));
+        }
+        return;
+      }
+      case OpCode::fence: {
+        c.coal.flush_barrier(r.runs);
+        dispatch_top(c);
+        ++c.coal.stats().ops;
+        Pending p;
+        p.resp.op = OpCode::fence;
+        p.resp.status = Status::ok;
+        p.fence = true;  // executes at the queue front: everything the
+                         // connection submitted first has resolved by then
+        c.pend.push_back(std::move(p));
+        return;
+      }
+      case OpCode::hello: {
+        c.coal.flush_barrier(r.runs);
+        dispatch_top(c);
+        ++c.coal.stats().ops;
+        Pending p;
+        p.resp.op = OpCode::hello;
+        p.resp.major = kProtoMajor;
+        p.resp.minor = kProtoMinor;
+        p.resp.features = kServerFeatures;
+        if (req.major == kProtoMajor) {
+          p.resp.status = Status::ok;
+          c.hello_done = true;
+          ++r.hellos;
+        } else {
+          // Typed rejection carrying the server's version, then hang up.
+          p.resp.status = Status::version_mismatch;
+          c.kill = true;
+          ++r.hello_rejects;
+        }
+        c.pend.push_back(std::move(p));
+        return;
+      }
+    }
+  };
+
+  auto handle_readable = [&](RConn& c) -> bool {
+    // Drain the socket fully (edge-ish batching even under level-triggered
+    // epoll: the more pipelined frames one drain yields, the longer the
+    // same-shard runs the coalescer can build).
+    for (;;) {
+      const std::size_t old = c.in.size();
+      c.in.resize(old + kReadChunk);
+      const ssize_t n = ::recv(c.fd, c.in.data() + old, kReadChunk, 0);
+      if (n > 0) {
+        c.in.resize(old + static_cast<std::size_t>(n));
+        continue;
+      }
+      c.in.resize(old);
+      if (n == 0) return false;  // orderly shutdown from the peer
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+
+    for (;;) {
+      Request req;
+      std::size_t consumed = 0;
+      const Decode d = decode_request(c.in.data() + c.in_off,
+                                      c.in.size() - c.in_off, &req, &consumed);
+      if (d == Decode::need_more) break;
+      if (d == Decode::bad_frame) {
+        ++r.bad_frames;
+        return false;
+      }
+      if (cfg_.listener.require_hello && !c.hello_done &&
+          req.op != OpCode::hello) {
+        // The listener demands a handshake first; anything else is a
+        // protocol violation, same as a malformed frame.
+        ++r.bad_frames;
+        return false;
+      }
+      c.in_off += consumed;
+      ++r.frames;
+      ++r.since_refresh;
+      ++r.since_epoch;
+      process(c, req);
+      if (c.kill) break;  // handshake rejected: drop the rest of the input
+    }
+
+    if (c.in_off > 0 && c.in_off == c.in.size()) {
+      c.in.clear();
+      c.in_off = 0;
+    } else if (c.in_off > kReadChunk) {
+      c.in.erase(c.in.begin(),
+                 c.in.begin() + static_cast<std::ptrdiff_t>(c.in_off));
+      c.in_off = 0;
+    }
+
+    // Rule 4: the pipeline is drained — no more frames to coalesce with,
+    // and every submitted op is owed its response now.
+    c.coal.flush_drain(r.runs);
+    dispatch_top(c);
+    pump(c);
+    return true;
+  };
+
+  // Commit owed work, hang up, keep the husk until cross-shard replies
+  // land (their responses are dropped), then destroy.
+  auto drop_conn = [&](RConn& c) {
+    c.coal.flush_drain(r.runs);
+    dispatch_top(c);
+    retire_socket(c);
+    pump(c);
+    destroy_if_done(c);
+  };
+
+  auto service_mail = [&] {
+    for (std::size_t from = 0; from < reactors_.size(); ++from) {
+      auto& ring = *r.mail_in[from];
+      if (ring.empty()) continue;
+      r.mail_tmp.clear();
+      ring.drain(r.mail_tmp);
+      for (Handoff& h : r.mail_tmp) {
+        HandoffReply rep;
+        rep.conn = h.conn;
+        rep.slot = h.slot;
+        rep.sub_base = h.sub_base;
+        switch (h.kind) {
+          case Handoff::Kind::run:
+            r.handle[h.shard].batch_mutate(h.ops.data(), h.ops.size());
+            ++r.batch.transactions;
+            rep.resps.reserve(h.ops.size());
+            for (std::size_t i = 0; i < h.ops.size(); ++i)
+              rep.resps.push_back(run_response(h.ops[i], h.codes[i]));
+            r.since_refresh += h.ops.size();
+            r.since_epoch += h.ops.size();
+            break;
+          case Handoff::Kind::scan:
+            rep.resps.push_back(exec_scan(h.shard));
+            ++r.since_refresh;
+            ++r.since_epoch;
+            break;
+          case Handoff::Kind::snap_read:
+            rep.resps.push_back(exec_snap(h.shard, h.key));
+            ++r.since_refresh;
+            ++r.since_epoch;
+            break;
+        }
+        r.reply_out[from].push_back(std::move(rep));
+      }
+      flush_reply_out(from);
+    }
+  };
+
+  auto service_replies = [&] {
+    for (std::size_t from = 0; from < reactors_.size(); ++from) {
+      auto& ring = *r.reply_in[from];
+      if (ring.empty()) continue;
+      r.reply_tmp.clear();
+      ring.drain(r.reply_tmp);
+      for (HandoffReply& rep : r.reply_tmp) {
+        auto it = r.conns.find(rep.conn);
+        if (it == r.conns.end()) continue;
+        RConn& c = *it->second;
+        if (rep.sub_base >= 0) {
+          Pending& f = pending_at(c, rep.slot);
+          for (std::size_t i = 0; i < rep.resps.size(); ++i)
+            f.resp.sub[static_cast<std::size_t>(rep.sub_base) + i] =
+                std::move(rep.resps[i]);
+          --f.waiting;
+        } else {
+          for (std::size_t i = 0; i < rep.resps.size(); ++i) {
+            Pending& p = pending_at(c, rep.slot + i);
+            p.resp = std::move(rep.resps[i]);
+            p.waiting = 0;
+          }
+        }
+        pump(c);
+        destroy_if_done(c);
+      }
+    }
+  };
+
+  bool stopped_conns = false;
+  epoll_event events[64];
+  for (;;) {
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    int n = 0;
+    if (!degraded) {
+      const int timeout = (stopping || !outboxes_empty()) ? 2 : -1;
+      n = ::epoll_wait(r.epfd, events, 64, timeout);
+      if (n < 0) n = 0;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t id = events[i].data.u64;
+      if (id == 0) {
+        std::uint64_t buf = 0;
+        while (::read(r.wakefd, &buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      auto it = r.conns.find(id);
+      if (it == r.conns.end()) continue;
+      RConn& c = *it->second;
+      if (c.fd < 0) continue;
+      bool alive = true;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) alive = false;
+      if (alive && (events[i].events & EPOLLOUT)) {
+        alive = flush_writes(c);
+        if (alive) pump(c);  // a kill conn closes once its reply is out
+      }
+      if (alive && c.fd >= 0 && (events[i].events & EPOLLIN))
+        alive = handle_readable(c);
+      if (!alive) {
+        drop_conn(c);
+        continue;
+      }
+      destroy_if_done(c);
+    }
+
+    // Adopt freshly dealt sockets.
+    if (!r.incoming.empty()) {
+      r.fd_tmp.clear();
+      r.incoming.drain(r.fd_tmp);
+      for (int fd : r.fd_tmp) {
+        if (degraded || stopping) {
+          ::close(fd);
+          ++r.closed;
+          continue;
+        }
+        auto c = std::make_unique<RConn>(cfg_.reactors.max_batch);
+        c->fd = fd;
+        c->id = r.next_conn++;
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = c->id;
+        if (::epoll_ctl(r.epfd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+          ::close(fd);
+          ++r.closed;
+          continue;
+        }
+        r.conns.emplace(c->id, std::move(c));
+      }
+    }
+
+    // Cross-reactor traffic, then retry anything parked in the outboxes.
+    service_mail();
+    service_replies();
+    for (std::size_t t = 0; t < reactors_.size(); ++t) {
+      flush_mail_out(t);
+      flush_reply_out(t);
+    }
+
+    // Quiet-point periodic work: this thread runs every mutation and
+    // snapshot read of its owned shards, so between requests each owned
+    // shard satisfies the per-shard refresh contract.
+    if (cfg_.reactors.snap_refresh_every != 0 &&
+        r.since_refresh >= cfg_.reactors.snap_refresh_every) {
+      r.since_refresh = 0;
+      for (std::size_t s : r.owned)
+        if (r.handle[s].refresh_snapshot(snap_keys_)) ++r.snap_refreshes;
+    }
+    if (r.rec && r.since_epoch >= cfg_.stream.epoch_ops) {
+      r.since_epoch = 0;
+      // Segment boundary: everything this reactor executed so far precedes
+      // the mark, and the single producer ring lets the cutter seal
+      // immediately.  The new segment opens with a synthesized carry, and
+      // hb reaches a plain snapshot load only through a transactional read
+      // in its own thread — so re-run the publication handoff per owned
+      // shard, exactly like the in-process driver's per-round re-attach.
+      r.rec->rec().mark_epoch(r.next_epoch++);
+      for (std::size_t s : r.owned)
+        r.attached[s] = r.handle[s].snapshot_attach() ? 1 : 0;
+    }
+
+    if (!stopping) continue;
+
+    if (!stopped_conns) {
+      stopped_conns = true;
+      // Commit every connection's pending work and hang up; conns with
+      // cross-shard work in flight linger until the replies land.
+      std::vector<std::uint64_t> ids;
+      ids.reserve(r.conns.size());
+      for (auto& [id, c] : r.conns) ids.push_back(id);
+      for (std::uint64_t id : ids) {
+        auto it = r.conns.find(id);
+        if (it != r.conns.end()) drop_conn(*it->second);
+      }
+    }
+    if (!r.settled && r.conns.empty() && outboxes_empty()) {
+      r.settled = true;
+      settled_.fetch_add(1, std::memory_order_acq_rel);
+      for (auto& other : reactors_) poke(other->wakefd);
+    }
+    if (settled_.load(std::memory_order_acquire) == reactors_.size()) {
+      // Every reactor has resolved its own connections, so no new
+      // handoffs or replies can be produced; drain what's left and leave.
+      bool idle = outboxes_empty();
+      for (std::size_t f = 0; idle && f < reactors_.size(); ++f)
+        if (!r.mail_in[f]->empty() || !r.reply_in[f]->empty()) idle = false;
+      if (idle) break;
+    }
   }
-  // Rule 4: the pipeline is drained — no more frames to coalesce with, and
-  // every submitted op is owed its response now.
-  c.exec.drain(responses);
 
-  if (c.in_off > 0 && c.in_off == c.in.size()) {
-    c.in.clear();
-    c.in_off = 0;
-  } else if (c.in_off > kReadChunk) {
-    c.in.erase(c.in.begin(),
-               c.in.begin() + static_cast<std::ptrdiff_t>(c.in_off));
-    c.in_off = 0;
+  if (r.rec) {
+    // Seal the tail: everything after the last mark becomes the final
+    // segment at finish().
+    r.rec->rec().flush();
+    r.rec.reset();  // detach before finish joins the checkers
+    r.report = r.conf->finish();
+    r.streamed = true;
+    r.verdict = r.report.merged.verdict();
   }
 
-  for (const Response& r : responses) encode_response(r, c.out);
-  return flush_writes(c);
-}
-
-void Server::close_conn(std::size_t idx) {
-  Conn& c = *conns_[idx];
-  std::vector<Response> tail;
-  c.exec.drain(tail);  // commit pending work; the peer is gone, drop replies
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c.fd, nullptr);
-  ::close(c.fd);
-  c.fd = -1;
-  const BatchExecutor::Stats& b = c.exec.stats();
-  stats_.batch.ops += b.ops;
-  stats_.batch.transactions += b.transactions;
-  stats_.batch.flushes_shard += b.flushes_shard;
-  stats_.batch.flushes_full += b.flushes_full;
-  stats_.batch.flushes_barrier += b.flushes_barrier;
-  stats_.batch.flushes_drain += b.flushes_drain;
-  ++stats_.closed;
-  conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(idx));
-}
-
-void Server::maybe_refresh_snapshot() {
-  if (opt_.snap_refresh_every == 0 ||
-      requests_since_refresh_ < opt_.snap_refresh_every)
-    return;
-  requests_since_refresh_ = 0;
-  // Between requests on the only op-execution thread: the refresh's
-  // quiet-point contract (no mutator, no snapshot read in flight) holds by
-  // construction.
-  if (store_->refresh_snapshot(snap_keys_)) ++stats_.snap_refreshes;
-}
-
-void Server::maybe_mark_epoch() {
-  if (!stream_ || requests_since_epoch_ < opt_.stream_epoch_ops) return;
-  requests_since_epoch_ = 0;
-  // Segment boundary: everything served so far precedes the mark, and the
-  // single producer ring means the cutter can seal immediately.
-  stream_->rec->rec().mark_epoch(next_epoch_++);
-  // Per-segment publication handoff: the new segment opens with a
-  // synthesized carry transaction, and hb reaches a plain snapshot load
-  // only through a transactional read in its own thread — so every segment
-  // needs its own snap_ready read, exactly like the in-process driver's
-  // per-round re-attach.  (Connections' BatchExecutors attach once and
-  // memoize; this loop-thread read covers all of them — same thread.)
-  store_->snapshot_attach();
+  if (r.epfd >= 0) {
+    ::close(r.epfd);
+    r.epfd = -1;
+  }
 }
 
 void Server::run() {
-  epoll_fd_ = ::epoll_create1(0);
-  if (epoll_fd_ < 0) throw std::runtime_error("net: epoll_create1 failed");
+  accept_epoll_ = ::epoll_create1(0);
+  if (accept_epoll_ < 0) throw std::runtime_error("net: epoll_create1 failed");
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = listen_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ::epoll_ctl(accept_epoll_, EPOLL_CTL_ADD, listen_fd_, &ev);
   ev.data.fd = wake_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  ::epoll_ctl(accept_epoll_, EPOLL_CTL_ADD, wake_fd_, &ev);
 
-  if (opt_.stream) {
-    stream_ = std::make_unique<StreamState>();
-    record::StreamOptions sropts;
-    sropts.ring_capacity = opt_.stream_ring_capacity;
-    sropts.min_window_events = opt_.stream_window_min_events;
-    sropts.checkers = opt_.stream_checkers;
-    sropts.require_full_opacity = stm_.zombie_free();
-    // One continuous recording: the cutter sees every access from the
-    // anchor on, so later segments' carries can be synthesized.
-    sropts.synthesize_carry = true;
-    stream_->conf = std::make_unique<record::StreamConformance>(
-        stream_->session, std::vector<int>{0}, sropts);
-    stream_->rec = std::make_unique<record::ScopedRecorder>(stream_->session,
-                                                            /*thread=*/0);
-    stream_->rec->rec().stream_to(&stream_->conf->ring(0));
-    // State-carry anchor: the preloaded store replayed as the stream's
-    // first committed transaction, so segment 0's reads resolve in-stream.
-    stream_->rec->rec().synthetic_begin();
-    store_->replay_state_plain();
-    stream_->rec->rec().synthetic_commit();
+  for (auto& rx : reactors_) {
+    Reactor* rp = rx.get();
+    rp->thread = std::thread([this, rp] { reactor_main(*rp); });
   }
 
+  std::size_t rr = 0;
   bool running = true;
-  epoll_event events[32];
+  epoll_event events[16];
   while (running) {
-    const int n = ::epoll_wait(epoll_fd_, events, 32, -1);
+    const int n = ::epoll_wait(accept_epoll_, events, 16, -1);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
     for (int i = 0; i < n; ++i) {
-      const int fd = events[i].data.fd;
-      if (fd == wake_fd_) {
+      if (events[i].data.fd == wake_fd_) {
         running = false;
         continue;
       }
-      if (fd == listen_fd_) {
-        handle_accept();
-        continue;
+      if (events[i].data.fd != listen_fd_) continue;
+      for (;;) {
+        const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+        if (fd < 0) break;  // EAGAIN or transient error: back to the loop
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        Reactor& tgt = *reactors_[rr];
+        rr = (rr + 1) % reactors_.size();
+        tgt.incoming.push(fd);
+        poke(tgt.wakefd);
+        ++stats_.accepted;
       }
-      std::size_t idx = conns_.size();
-      for (std::size_t j = 0; j < conns_.size(); ++j)
-        if (conns_[j]->fd == fd) {
-          idx = j;
-          break;
-        }
-      if (idx == conns_.size()) continue;  // closed earlier this wake
-      Conn& c = *conns_[idx];
-      bool alive = true;
-      if (events[i].events & (EPOLLHUP | EPOLLERR)) alive = false;
-      if (alive && (events[i].events & EPOLLOUT)) alive = flush_writes(c);
-      if (alive && (events[i].events & EPOLLIN)) alive = handle_readable(c);
-      if (!alive) close_conn(idx);
     }
-    maybe_refresh_snapshot();
-    maybe_mark_epoch();
   }
 
-  while (!conns_.empty()) close_conn(conns_.size() - 1);
+  stopping_.store(true, std::memory_order_release);
+  for (auto& rx : reactors_) poke(rx->wakefd);
+  for (auto& rx : reactors_)
+    if (rx->thread.joinable()) rx->thread.join();
 
-  if (stream_) {
-    // Seal the tail: everything after the last mark becomes the final
-    // segment at finish().
-    stream_->rec->rec().flush();
-    stream_->rec.reset();  // detach before finish joins the checkers
-    const record::StreamReport rep = stream_->conf->finish();
-    stats_.streamed = true;
-    stats_.segments = rep.segments;
-    stats_.windows = rep.windows;
-    stats_.nonconformant = rep.nonconformant;
-    stats_.ring_dropped = rep.ring_dropped;
-    stats_.overflow = rep.overflow;
-    stats_.max_backlog = rep.max_backlog;
+  stats_.reactors = reactors_.size();
+  for (auto& rx : reactors_) {
+    stats_.closed += rx->closed;
+    stats_.bad_frames += rx->bad_frames;
+    stats_.frames += rx->frames;
+    stats_.snap_refreshes += rx->snap_refreshes;
+    stats_.handoffs += rx->handoffs;
+    stats_.hellos += rx->hellos;
+    stats_.hello_rejects += rx->hello_rejects;
+    stats_.batch.ops += rx->batch.ops;
+    stats_.batch.transactions += rx->batch.transactions;
+    stats_.batch.flushes_shard += rx->batch.flushes_shard;
+    stats_.batch.flushes_full += rx->batch.flushes_full;
+    stats_.batch.flushes_barrier += rx->batch.flushes_barrier;
+    stats_.batch.flushes_drain += rx->batch.flushes_drain;
+    if (rx->streamed) {
+      stats_.streamed = true;
+      stats_.segments += rx->report.segments;
+      stats_.windows += rx->report.windows;
+      stats_.nonconformant += rx->report.nonconformant;
+      stats_.ring_dropped += rx->report.ring_dropped;
+      stats_.overflow = stats_.overflow || rx->report.overflow;
+      stats_.max_backlog = std::max(stats_.max_backlog, rx->report.max_backlog);
+      stats_.stream_verdicts.push_back(rx->verdict);
+    }
   }
 
-  ::close(epoll_fd_);
-  epoll_fd_ = -1;
+  ::close(accept_epoll_);
+  accept_epoll_ = -1;
 }
 
 }  // namespace mtx::net

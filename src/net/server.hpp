@@ -1,69 +1,82 @@
-// Non-blocking epoll serving front end over KvStore.
+// Multi-reactor epoll serving front end over KvStore.
 //
-// One thread owns everything: accept, socket I/O, decode, and op execution
-// (call run() from a dedicated thread; stop() from any other).  Requests
-// pipeline per connection — the loop drains each readable socket, decodes
-// every complete frame, and feeds them through the connection's
-// BatchExecutor, which coalesces same-shard runs into single transactions
-// (see net/batch.hpp for the flush rules).  Responses are written back in
-// submission order; a connection that can't take them immediately parks on
-// EPOLLOUT.
+// One acceptor thread owns the listening socket and deals new connections
+// round-robin to N reactors (ServerConfig::reactors.count).  Each reactor
+// is a single-threaded epoll event loop that OWNS a disjoint slice of the
+// store's shards (ServerConfig::owner_of), holding kv::ShardHandle
+// capabilities for exactly that slice — reactor code cannot address a
+// shard it doesn't own, by construction.
 //
-// The single op-execution thread is a feature, not a shortcut:
-//   - it is the quiet point the hot-key snapshot REFRESH policy needs —
-//     every snap_refresh_every requests the loop re-runs the publication
-//     protocol (KvStore::refresh_snapshot) between requests, when no
-//     transaction or plain snapshot read can be in flight;
-//   - it makes streaming conformance a one-producer pipeline: with
-//     opts.stream on, the loop thread records every transactional and
-//     plain access it performs into a lock-free ring, marks an epoch every
-//     stream_epoch_ops requests, and record::StreamConformance seals and
-//     judges segments of REAL served traffic on checker threads while the
-//     server keeps serving.  The stream opens with a synthetic state-carry
-//     replay (the preloaded store), exactly like the in-process driver's
-//     always-on level.
+// Shard-affine execution: a connection's pipelined requests are coalesced
+// into same-shard Runs (net/batch.hpp flush rules).  A run on an owned
+// shard executes inline on the reactor thread, one flag-checked
+// transaction per run.  A run on a foreign shard is handed off INTACT to
+// its owner through a lock-free SPSC mailbox (one ring per directed
+// reactor pair, the record::EventRing design generalized in
+// substrate/spsc.hpp), executed on the owner's thread, and its responses
+// returned through the reverse ring.  Per-connection responses are
+// released strictly in submission order: a deque of pending response
+// slots holds results back until everything ahead of them has resolved,
+// so cross-shard traffic batches — and answers — exactly like local
+// traffic, just later.
+//
+// The reactor thread is the quiet point for ITS shards only:
+//   - hot-key snapshot refresh (reactors.snap_refresh_every) re-runs the
+//     publication protocol per owned shard between requests via the SCOPED
+//     ShardHandle::refresh_snapshot — retract, per-domain fence, rewrite,
+//     republish — never a whole-store fence on the hot path.  The contract
+//     holds because every mutation and snapshot read of an owned shard
+//     executes on the owning reactor's thread.
+//   - an explicit FENCE request is the exception that proves the rule: it
+//     parks in the connection's pending queue until everything submitted
+//     before it has resolved (cross-shard included), then runs one
+//     whole-store quiesce on the origin reactor.
+//
+// Streaming conformance is per-reactor: each reactor records its own
+// transactional and plain accesses into its own ring, marks epochs on its
+// own cadence (stream.epoch_ops executed requests), and a per-reactor
+// record::StreamConformance seals and judges segments over the reactor's
+// owned domain set while serving continues.  Ownership makes the traces
+// disjoint — no cross-reactor reads-from can exist — so N per-reactor
+// verdicts carry exactly the evidence of the single-reactor verdict,
+// byte-identically (pinned in tests/test_net.cpp).  Each stream opens with
+// a synthetic state-carry replay of the reactor's own shards, and every
+// segment re-runs the per-shard publication handoff (snapshot_attach) just
+// like the in-process driver's per-round re-attach.
 //
 // Serving semantics note: snapshot reads (SNAP_READ) serve the published
 // frozen values — stale by design between refreshes, but always
 // key-consistent (kv::value_form_ok holds for every served value).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/batch.hpp"
+#include "net/config.hpp"
 #include "stm/backend.hpp"
 
 namespace mtx::net {
 
-struct ServerOptions {
-  std::uint16_t port = 0;  // 0 = kernel-assigned; Server::port() reports it
-  std::size_t shards = 8;
-  std::size_t preload_keys = 1024;  // keys 0..N-1 preloaded as value_of(k, 0)
-  std::size_t snap_keys = 16;  // hottest ranks published into the snapshot
-  std::size_t max_batch = 16;  // per-connection run cap; 1 = unbatched
-  // Re-publish the hot set's current values every N requests (0 = never):
-  // the refresh runs between requests, the single-thread quiet point.
-  std::size_t snap_refresh_every = 0;
-
-  // Streaming conformance while serving.
-  bool stream = false;
-  std::size_t stream_ring_capacity = 1u << 15;
-  std::size_t stream_checkers = 1;
-  std::size_t stream_epoch_ops = 512;  // requests per sealed segment
-  std::size_t stream_window_min_events = 64;
-};
-
 struct ServerStats {
+  std::size_t reactors = 0;      // event loops the server ran
   std::uint64_t accepted = 0;
   std::uint64_t closed = 0;
   std::uint64_t bad_frames = 0;  // protocol violations (connection dropped)
   std::uint64_t frames = 0;      // request frames decoded
-  std::uint64_t snap_refreshes = 0;
-  BatchExecutor::Stats batch;  // aggregated across connections
+  std::uint64_t snap_refreshes = 0;  // per-shard scoped refreshes run
+  std::uint64_t handoffs = 0;    // cross-reactor mailbox shipments
+  std::uint64_t hellos = 0;      // handshakes accepted
+  std::uint64_t hello_rejects = 0;  // version_mismatch responses sent
+  BatchStats batch;              // aggregated across connections
 
   // Streaming verdicts (valid after run() returns; stream mode only).
+  // Totals are summed across reactors; stream_verdicts holds each
+  // reactor's merged ConformanceReport::verdict() string — with ownership
+  // the per-reactor verdicts are byte-identical to the single-reactor one.
   bool streamed = false;
   std::size_t segments = 0;
   std::size_t windows = 0;
@@ -71,6 +84,7 @@ struct ServerStats {
   std::uint64_t ring_dropped = 0;
   bool overflow = false;
   std::size_t max_backlog = 0;
+  std::vector<std::string> stream_verdicts;  // one per reactor
 
   bool ok() const {
     return bad_frames == 0 && nonconformant == 0 && !overflow &&
@@ -81,8 +95,10 @@ struct ServerStats {
 class Server {
  public:
   // Binds and listens on 127.0.0.1 immediately (so callers may connect
-  // before run() starts); throws std::runtime_error on socket failure.
-  Server(stm::StmBackend& stm, const ServerOptions& opt);
+  // before run() starts).  Throws std::invalid_argument when
+  // cfg.validate() rejects the configuration, std::runtime_error on
+  // socket failure.
+  Server(stm::StmBackend& stm, const ServerConfig& cfg);
   ~Server();
 
   Server(const Server&) = delete;
@@ -90,8 +106,10 @@ class Server {
 
   std::uint16_t port() const { return port_; }
   kv::KvStore& store() { return *store_; }
+  const ServerConfig& config() const { return cfg_; }
 
-  // Event loop; blocks until stop().  Call from a dedicated thread.
+  // Acceptor loop; spawns the reactor threads, blocks until stop(), joins
+  // them.  Call from a dedicated thread.
   void run();
   // Thread-safe, idempotent shutdown request.
   void stop();
@@ -100,31 +118,21 @@ class Server {
   const ServerStats& stats() const { return stats_; }
 
  private:
-  struct Conn;
-  struct StreamState;
+  struct Reactor;  // the per-core event loop (net/server.cpp)
 
-  void handle_accept();
-  // Returns false when the connection must be closed.
-  bool handle_readable(Conn& c);
-  bool flush_writes(Conn& c);
-  void close_conn(std::size_t idx);
-  void update_epoll(Conn& c);
-  void maybe_refresh_snapshot();
-  void maybe_mark_epoch();
+  void reactor_main(Reactor& r);
 
   stm::StmBackend& stm_;
-  ServerOptions opt_;
+  ServerConfig cfg_;
   std::unique_ptr<kv::KvStore> store_;
   std::vector<std::int64_t> snap_keys_;
   int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;  // eventfd: stop() pokes the epoll_wait
+  int accept_epoll_ = -1;
+  int wake_fd_ = -1;  // eventfd: stop() pokes the acceptor
   std::uint16_t port_ = 0;
-  std::vector<std::unique_ptr<Conn>> conns_;
-  std::uint64_t requests_since_refresh_ = 0;
-  std::uint64_t requests_since_epoch_ = 0;
-  std::uint64_t next_epoch_ = 0;
-  std::unique_ptr<StreamState> stream_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> settled_{0};  // reactors done with own conns
   ServerStats stats_;
 };
 

@@ -1,0 +1,86 @@
+// Generic fixed-slot single-producer / single-consumer ring — the
+// cross-reactor mailbox primitive of the serving tier.
+//
+// Same design as record::EventRing (monotone uint64 head/tail counters,
+// power-of-two slot count so position arithmetic is one mask, producer and
+// consumer indices on separate cache lines), generalized over the item type
+// and with MOVE semantics: mailbox items own heap state (a shipped batch
+// run carries its WriteOp vector), so slots are moved in on push and moved
+// out on drain rather than copied.
+//
+// Unlike EventRing there is no drop path: a mailbox item is a request some
+// connection is owed a response for, so losing one silently would wedge
+// that connection forever.  push() spins for a slot when the ring is
+// momentarily full — the consumer is another live reactor draining its
+// mailboxes every loop iteration, so the wait is bounded by one drain
+// pass — and try_push() is the non-blocking probe for callers that can
+// park the item elsewhere.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mtx {
+
+template <class T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to a power of two.
+  explicit SpscRing(std::size_t capacity = 1u << 10) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  // Producer: move `v` into the ring; false (item untouched) when full.
+  bool try_push(T& v) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) >= slots_.size())
+      return false;
+    slots_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Producer: move `v` into the ring, spinning while full (see header).
+  void push(T v) {
+    while (!try_push(v)) {}
+  }
+
+  // Consumer: move at most `max` items out into `out` (appended).
+  std::size_t drain(std::vector<T>& out,
+                    std::size_t max = static_cast<std::size_t>(-1)) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    std::size_t n = static_cast<std::size_t>(t - h);
+    if (n > max) n = max;
+    for (std::size_t i = 0; i < n; ++i)
+      out.push_back(std::move(slots_[(h + i) & mask_]));
+    head_.store(h + n, std::memory_order_release);
+    return n;
+  }
+
+  // Approximate backlog (exact when the producer is quiescent).
+  std::size_t size() const {
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(t - h);
+  }
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer
+};
+
+}  // namespace mtx

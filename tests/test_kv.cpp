@@ -128,9 +128,9 @@ kv::KvWorkloadOptions small_opts(std::size_t threads, std::uint64_t seed,
   // carry transaction re-writing O(cells) state before the O(n^2)/O(n^3)
   // model passes — geometry stays modest, not minimal.
   o.ops_per_thread = 48;
-  o.preload_keys = 40;
-  o.shards = 4;
-  o.snap_keys = 4;
+  o.store.preload_keys = 40;
+  o.store.shards = 4;
+  o.store.snap_keys = 4;
   if (sampled) {
     o.sample_every = 2;
     o.round_ops = 16;
@@ -210,7 +210,7 @@ TEST(KvConformance, ScopedAndGlobalFencesAgreeOnVerdicts) {
   for (const std::string& name : stm::backend_names()) {
     kv::KvWorkloadOptions scoped = small_opts(3, 21, true);
     scoped.ops_per_thread = 32;  // A/B doubles the runs (and TSan multiplies
-    scoped.preload_keys = 24;    // them again): keep this pin's geometry lean
+    scoped.store.preload_keys = 24;    // them again): keep this pin's geometry lean
     kv::KvWorkloadOptions global = scoped;
     global.scoped_fences = false;
     auto s1 = stm::make_backend(name);

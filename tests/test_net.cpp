@@ -12,6 +12,8 @@
 #include <unistd.h>
 
 #include <map>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "kv/kvstore.hpp"
@@ -127,6 +129,106 @@ TEST(NetCodec, NonOkResponsesCarryStatusButNoPayload) {
   const net::Response out = roundtrip_response(in);
   EXPECT_EQ(out.status, net::Status::not_found);
   EXPECT_EQ(out.value, 0);
+}
+
+TEST(NetCodec, HelloRoundTripsAndMismatchCarriesServerVersion) {
+  net::Request in;
+  in.op = net::OpCode::hello;
+  in.major = net::kProtoMajor;
+  in.minor = 3;
+  in.features = net::kFeatBatching;
+  const net::Request out = roundtrip_request(in);
+  EXPECT_EQ(out.op, net::OpCode::hello);
+  EXPECT_EQ(out.major, net::kProtoMajor);
+  EXPECT_EQ(out.minor, 3);
+  EXPECT_EQ(out.features, net::kFeatBatching);
+
+  net::Response rok;
+  rok.op = net::OpCode::hello;
+  rok.status = net::Status::ok;
+  rok.major = net::kProtoMajor;
+  rok.minor = net::kProtoMinor;
+  rok.features = net::kServerFeatures;
+  const net::Response rout = roundtrip_response(rok);
+  EXPECT_EQ(rout.major, net::kProtoMajor);
+  EXPECT_EQ(rout.features, net::kServerFeatures);
+
+  // The one exception to "non-ok responses carry no payload": a typed
+  // version_mismatch rejection still tells the client the server's version.
+  net::Response rbad = rok;
+  rbad.status = net::Status::version_mismatch;
+  const net::Response bout = roundtrip_response(rbad);
+  EXPECT_EQ(bout.status, net::Status::version_mismatch);
+  EXPECT_EQ(bout.major, net::kProtoMajor);
+  EXPECT_EQ(bout.features, net::kServerFeatures);
+
+  // And version_mismatch is hello-only on the wire: any other opcode
+  // claiming it is a malformed frame.
+  net::Response evil;
+  evil.op = net::OpCode::get;
+  evil.status = net::Status::version_mismatch;
+  std::vector<std::uint8_t> buf;
+  net::encode_response(evil, buf);
+  net::Response decoded;
+  std::size_t consumed = 0;
+  EXPECT_EQ(net::decode_response(buf.data(), buf.size(), &decoded, &consumed),
+            net::Decode::bad_frame);
+}
+
+// ---------------------------------------------------------------------------
+// Layered config: validation and the shard-ownership map.
+
+TEST(NetConfig, ValidateRejectsInconsistentCombos) {
+  net::ServerConfig cfg;
+  EXPECT_TRUE(cfg.validate().empty());  // defaults are consistent
+
+  cfg.reactors.count = 8;
+  cfg.store.shards = 4;
+  EXPECT_FALSE(cfg.validate().empty());  // a reactor with no shards
+
+  cfg = net::ServerConfig{};
+  cfg.reactors.count = 0;
+  EXPECT_FALSE(cfg.validate().empty());
+
+  cfg = net::ServerConfig{};
+  cfg.stream.enabled = true;
+  cfg.stream.checkers = 0;
+  EXPECT_FALSE(cfg.validate().empty());  // nobody would judge segments
+
+  cfg = net::ServerConfig{};
+  cfg.reactors.snap_refresh_every = 64;
+  cfg.store.snap_keys = 0;
+  EXPECT_FALSE(cfg.validate().empty());  // refresh with nothing published
+}
+
+TEST(NetConfig, ServerConstructorThrowsOnInvalidConfig) {
+  auto stm = stm::make_backend("sgl");
+  net::ServerConfig cfg;
+  cfg.reactors.count = 8;
+  cfg.store.shards = 4;
+  EXPECT_THROW(net::Server(*stm, cfg), std::invalid_argument);
+}
+
+TEST(NetConfig, OwnershipPoliciesPartitionTheShards) {
+  for (const net::ShardPolicy policy :
+       {net::ShardPolicy::modulo, net::ShardPolicy::block}) {
+    net::ServerConfig cfg;
+    cfg.store.shards = 10;
+    cfg.reactors.count = 3;
+    cfg.reactors.policy = policy;
+    std::vector<std::size_t> per_reactor(3, 0);
+    for (std::size_t s = 0; s < 10; ++s) {
+      const std::size_t owner = cfg.owner_of(s);
+      ASSERT_LT(owner, 3u);
+      ++per_reactor[owner];
+      if (policy == net::ShardPolicy::modulo) {
+        EXPECT_EQ(owner, s % 3);
+      }
+    }
+    // Disjoint by construction (one owner per shard); exhaustive: every
+    // reactor got at least one shard at this geometry.
+    for (const std::size_t n : per_reactor) EXPECT_GE(n, 1u);
+  }
 }
 
 TEST(NetCodec, BatchFrameRoundTrip) {
@@ -425,20 +527,386 @@ TEST(NetBatch, ReadBarrierOpsFlushTheRunFirst) {
 }
 
 // ---------------------------------------------------------------------------
+// Loopback plumbing: a minimal blocking wire client for pinned-byte tests.
+
+struct WireClient {
+  int fd = -1;
+  std::vector<std::uint8_t> buf;
+  std::size_t off = 0;
+
+  bool connect_to(std::uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    timeval tv{};
+    tv.tv_sec = 10;  // a hung server fails the test instead of the run
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    return ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+           0;
+  }
+
+  bool send_all(const std::vector<std::uint8_t>& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  // Decode exactly `want` responses; optionally append their raw frame
+  // bytes to `raw` (the byte-identity pins compare those directly).
+  bool read_responses(std::size_t want, std::vector<net::Response>* out,
+                      std::vector<std::uint8_t>* raw = nullptr) {
+    std::size_t got = 0;
+    while (got < want) {
+      net::Response resp;
+      std::size_t consumed = 0;
+      const net::Decode d = net::decode_response(
+          buf.data() + off, buf.size() - off, &resp, &consumed);
+      if (d == net::Decode::ok) {
+        if (raw != nullptr) {
+          raw->insert(raw->end(),
+                      buf.begin() + static_cast<std::ptrdiff_t>(off),
+                      buf.begin() + static_cast<std::ptrdiff_t>(off + consumed));
+        }
+        off += consumed;
+        out->push_back(std::move(resp));
+        ++got;
+        continue;
+      }
+      if (d == net::Decode::bad_frame) return false;
+      std::uint8_t chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;  // EOF or timeout mid-stream
+      buf.insert(buf.end(), chunk, chunk + n);
+    }
+    return true;
+  }
+
+  bool read_eof() {
+    std::uint8_t b = 0;
+    return ::recv(fd, &b, 1, 0) == 0;
+  }
+
+  ~WireClient() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+// Serve the pinned request stream over a real socket with `reactors` event
+// loops and return everything a determinism pin could want: the decoded
+// responses, the raw response bytes, the final store state as observed via
+// trailing GETs, and the server's stats.
+struct ServeOutcome {
+  std::vector<net::Response> resps;
+  std::vector<std::uint8_t> raw;
+  std::map<std::int64_t, std::int64_t> final_state;
+  net::ServerStats stats;
+};
+
+ServeOutcome serve_pinned(const std::string& backend, std::size_t reactors,
+                          bool stream) {
+  auto stm = stm::make_backend(backend);
+  net::ServerConfig cfg;
+  cfg.store.shards = 4;
+  cfg.store.preload_keys = 64;
+  cfg.store.snap_keys = 8;
+  cfg.reactors.count = reactors;
+  cfg.reactors.max_batch = 8;
+  cfg.stream.enabled = stream;
+  cfg.stream.epoch_ops = 64;
+  net::Server server(*stm, cfg);
+  std::thread th([&] { server.run(); });
+
+  ServeOutcome o;
+  {
+    WireClient c;
+    EXPECT_TRUE(c.connect_to(server.port()));
+    const std::vector<net::Request> reqs = pinned_stream(120);
+    std::vector<std::uint8_t> out;
+    for (const net::Request& req : reqs) net::encode_request(req, out);
+    EXPECT_TRUE(c.send_all(out));
+    EXPECT_TRUE(c.read_responses(reqs.size(), &o.resps, &o.raw));
+
+    out.clear();
+    for (std::int64_t k = 0; k < 64; ++k) {
+      net::Request g;
+      g.op = net::OpCode::get;
+      g.key = k;
+      net::encode_request(g, out);
+    }
+    EXPECT_TRUE(c.send_all(out));
+    std::vector<net::Response> gets;
+    EXPECT_TRUE(c.read_responses(64, &gets));
+    for (std::size_t k = 0; k < gets.size(); ++k) {
+      if (gets[k].status == net::Status::ok)
+        o.final_state[static_cast<std::int64_t>(k)] = gets[k].value;
+    }
+  }
+  server.stop();
+  th.join();
+  o.stats = server.stats();
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-reactor pins: N event loops must be observationally identical to
+// one — same response bytes, same final state, same streaming verdicts.
+
+TEST(NetServer, MultiReactorMatchesSingleReactorOnEveryBackend) {
+  for (const std::string& backend : stm::backend_names()) {
+    SCOPED_TRACE(backend);
+    const ServeOutcome one = serve_pinned(backend, 1, false);
+    EXPECT_EQ(one.stats.handoffs, 0u);  // sole reactor owns every shard
+    for (const std::size_t nr : {std::size_t{2}, std::size_t{4}}) {
+      SCOPED_TRACE(nr);
+      const ServeOutcome multi = serve_pinned(backend, nr, false);
+      EXPECT_EQ(multi.stats.reactors, nr);
+      EXPECT_GT(multi.stats.handoffs, 0u);  // the stream straddles shards
+      EXPECT_EQ(multi.raw, one.raw);        // byte-identical responses
+      EXPECT_EQ(multi.final_state, one.final_state);
+      EXPECT_EQ(multi.stats.bad_frames, 0u);
+      EXPECT_EQ(multi.stats.ring_dropped, 0u);
+      EXPECT_FALSE(multi.stats.overflow);
+    }
+  }
+}
+
+TEST(NetServer, PerReactorStreamVerdictsMatchSingleReactor) {
+  for (const std::string& backend : stm::backend_names()) {
+    SCOPED_TRACE(backend);
+    const ServeOutcome one = serve_pinned(backend, 1, true);
+    ASSERT_EQ(one.stats.stream_verdicts.size(), 1u);
+    EXPECT_EQ(one.stats.nonconformant, 0u);
+
+    const ServeOutcome multi = serve_pinned(backend, 4, true);
+    ASSERT_EQ(multi.stats.stream_verdicts.size(), 4u);
+    EXPECT_EQ(multi.stats.nonconformant, 0u);
+    for (const std::string& v : multi.stats.stream_verdicts) {
+      EXPECT_EQ(v, one.stats.stream_verdicts[0]);  // byte-identical verdicts
+    }
+    EXPECT_EQ(multi.raw, one.raw);  // streaming must not perturb serving
+  }
+}
+
+TEST(NetServer, CrossShardHandoffKeepsSubmissionOrderAndReadYourWrites) {
+  auto stm = stm::make_backend("tl2");
+  net::ServerConfig cfg;
+  cfg.store.shards = 4;
+  cfg.store.preload_keys = 64;
+  cfg.store.snap_keys = 4;
+  cfg.reactors.count = 2;  // modulo: reactor 0 owns {0,2}, reactor 1 {1,3}
+  cfg.reactors.max_batch = 4;
+  net::Server server(*stm, cfg);
+  std::thread th([&] { server.run(); });
+
+  {
+    WireClient c;
+    ASSERT_TRUE(c.connect_to(server.port()));
+    std::vector<std::uint8_t> out;
+    std::size_t expect = 0;
+    // Strict shard alternation: every consecutive pair crosses an
+    // ownership boundary, so half the runs travel the mailbox path.
+    for (std::int64_t k = 0; k < 40; ++k) {
+      net::Request put;
+      put.op = net::OpCode::put;
+      put.key = k;
+      put.arg = kv::value_of(k, 1000 + k);
+      net::encode_request(put, out);
+      net::Request get;
+      get.op = net::OpCode::get;
+      get.key = k;
+      net::encode_request(get, out);
+      expect += 2;
+    }
+    // A batch frame spanning all four shards: its sub-responses gather
+    // from both reactors yet release as one in-order frame.
+    net::Request batch;
+    batch.op = net::OpCode::batch;
+    for (std::int64_t k = 0; k < 4; ++k) {
+      net::Request sub;
+      sub.op = net::OpCode::get;
+      sub.key = k;
+      batch.sub.push_back(sub);
+    }
+    net::encode_request(batch, out);
+    ++expect;
+    net::Request fence;
+    fence.op = net::OpCode::fence;
+    net::encode_request(fence, out);
+    ++expect;
+
+    ASSERT_TRUE(c.send_all(out));
+    std::vector<net::Response> resps;
+    ASSERT_TRUE(c.read_responses(expect, &resps));
+
+    for (std::size_t k = 0; k < 40; ++k) {
+      SCOPED_TRACE(k);
+      const net::Response& p = resps[2 * k];
+      const net::Response& g = resps[2 * k + 1];
+      EXPECT_EQ(p.op, net::OpCode::put);  // submission order held
+      EXPECT_EQ(p.status, net::Status::ok);
+      EXPECT_EQ(g.op, net::OpCode::get);
+      EXPECT_EQ(g.status, net::Status::ok);
+      // Read-your-writes across the handoff path.
+      EXPECT_EQ(g.value,
+                kv::value_of(static_cast<std::int64_t>(k),
+                             1000 + static_cast<std::int64_t>(k)));
+    }
+    const net::Response& b = resps[expect - 2];
+    ASSERT_EQ(b.op, net::OpCode::batch);
+    ASSERT_EQ(b.sub.size(), 4u);
+    for (std::size_t k = 0; k < 4; ++k) {
+      EXPECT_EQ(b.sub[k].status, net::Status::ok);
+      EXPECT_EQ(b.sub[k].value,
+                kv::value_of(static_cast<std::int64_t>(k),
+                             1000 + static_cast<std::int64_t>(k)));
+    }
+    EXPECT_EQ(resps.back().op, net::OpCode::fence);
+    EXPECT_EQ(resps.back().status, net::Status::ok);
+  }
+
+  server.stop();
+  th.join();
+  EXPECT_GT(server.stats().handoffs, 0u);
+  EXPECT_EQ(server.stats().bad_frames, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// HELLO handshake: negotiation, typed rejection, and the require-hello gate.
+
+TEST(NetServer, HelloNegotiatesAndMismatchRejectsTyped) {
+  auto stm = stm::make_backend("sgl");
+  net::ServerConfig cfg;
+  cfg.store.shards = 2;
+  cfg.store.preload_keys = 16;
+  cfg.store.snap_keys = 4;
+  net::Server server(*stm, cfg);
+  std::thread th([&] { server.run(); });
+
+  {
+    WireClient c;  // well-versioned client: negotiated, then served
+    ASSERT_TRUE(c.connect_to(server.port()));
+    std::vector<std::uint8_t> out;
+    net::Request h;
+    h.op = net::OpCode::hello;
+    h.major = net::kProtoMajor;
+    h.minor = net::kProtoMinor;
+    h.features = net::kFeatBatching;
+    net::encode_request(h, out);
+    net::Request g;
+    g.op = net::OpCode::get;
+    g.key = 1;
+    net::encode_request(g, out);
+    ASSERT_TRUE(c.send_all(out));
+    std::vector<net::Response> resps;
+    ASSERT_TRUE(c.read_responses(2, &resps));
+    EXPECT_EQ(resps[0].op, net::OpCode::hello);
+    EXPECT_EQ(resps[0].status, net::Status::ok);
+    EXPECT_EQ(resps[0].major, net::kProtoMajor);
+    EXPECT_EQ(resps[0].minor, net::kProtoMinor);
+    EXPECT_EQ(resps[0].features, net::kServerFeatures);
+    EXPECT_EQ(resps[1].op, net::OpCode::get);
+    EXPECT_EQ(resps[1].status, net::Status::ok);
+  }
+  {
+    WireClient c;  // wrong major: typed rejection, then the server hangs up
+    ASSERT_TRUE(c.connect_to(server.port()));
+    std::vector<std::uint8_t> out;
+    net::Request h;
+    h.op = net::OpCode::hello;
+    h.major = net::kProtoMajor + 1;
+    net::encode_request(h, out);
+    net::Request g;  // pipelined behind the bad handshake: never answered
+    g.op = net::OpCode::get;
+    g.key = 1;
+    net::encode_request(g, out);
+    ASSERT_TRUE(c.send_all(out));
+    std::vector<net::Response> resps;
+    ASSERT_TRUE(c.read_responses(1, &resps));
+    EXPECT_EQ(resps[0].op, net::OpCode::hello);
+    EXPECT_EQ(resps[0].status, net::Status::version_mismatch);
+    EXPECT_EQ(resps[0].major, net::kProtoMajor);  // carries the server version
+    EXPECT_EQ(resps[0].features, net::kServerFeatures);
+    EXPECT_TRUE(c.read_eof());
+  }
+
+  server.stop();
+  th.join();
+  EXPECT_EQ(server.stats().hellos, 1u);
+  EXPECT_EQ(server.stats().hello_rejects, 1u);
+  EXPECT_EQ(server.stats().bad_frames, 0u);
+}
+
+TEST(NetServer, RequireHelloGatesTheFirstFrame) {
+  auto stm = stm::make_backend("sgl");
+  net::ServerConfig cfg;
+  cfg.store.shards = 2;
+  cfg.store.preload_keys = 16;
+  cfg.store.snap_keys = 4;
+  cfg.listener.require_hello = true;
+  net::Server server(*stm, cfg);
+  std::thread th([&] { server.run(); });
+
+  {
+    WireClient c;  // unannounced first frame: dropped as a violation
+    ASSERT_TRUE(c.connect_to(server.port()));
+    std::vector<std::uint8_t> out;
+    net::Request g;
+    g.op = net::OpCode::get;
+    g.key = 1;
+    net::encode_request(g, out);
+    ASSERT_TRUE(c.send_all(out));
+    EXPECT_TRUE(c.read_eof());
+  }
+  {
+    WireClient c;  // handshake first: served normally
+    ASSERT_TRUE(c.connect_to(server.port()));
+    std::vector<std::uint8_t> out;
+    net::Request h;
+    h.op = net::OpCode::hello;
+    h.major = net::kProtoMajor;
+    h.minor = net::kProtoMinor;
+    net::encode_request(h, out);
+    net::Request g;
+    g.op = net::OpCode::get;
+    g.key = 1;
+    net::encode_request(g, out);
+    ASSERT_TRUE(c.send_all(out));
+    std::vector<net::Response> resps;
+    ASSERT_TRUE(c.read_responses(2, &resps));
+    EXPECT_EQ(resps[0].status, net::Status::ok);
+    EXPECT_EQ(resps[1].status, net::Status::ok);
+  }
+
+  server.stop();
+  th.join();
+  EXPECT_EQ(server.stats().bad_frames, 1u);
+  EXPECT_EQ(server.stats().hellos, 1u);
+}
+
+// ---------------------------------------------------------------------------
 // Loopback smoke: a real server and the open-loop generator, streaming
 // conformance judging the served traffic (concurrency + oracle surface).
 
 TEST(NetServer, LoopbackServeWithStreamingConformance) {
   auto stm = stm::make_backend("tl2");
-  net::ServerOptions so;
-  so.shards = 4;
-  so.preload_keys = 256;
-  so.snap_keys = 8;
-  so.max_batch = 8;
-  so.snap_refresh_every = 128;
-  so.stream = true;
-  so.stream_epoch_ops = 128;
-  net::Server server(*stm, so);
+  net::ServerConfig cfg;
+  cfg.store.shards = 4;
+  cfg.store.preload_keys = 256;
+  cfg.store.snap_keys = 8;
+  cfg.reactors.count = 2;
+  cfg.reactors.max_batch = 8;
+  cfg.reactors.snap_refresh_every = 128;
+  cfg.stream.enabled = true;
+  cfg.stream.epoch_ops = 128;
+  net::Server server(*stm, cfg);
   std::thread server_thread([&] { server.run(); });
 
   net::LoadgenOptions lg;
@@ -446,9 +914,7 @@ TEST(NetServer, LoopbackServeWithStreamingConformance) {
   lg.connections = 2;
   lg.rate = 4000;
   lg.ops_per_conn = 200;
-  lg.preload_keys = 256;
-  lg.shards = 4;
-  lg.snap_keys = 8;
+  lg.store = cfg.store;
   lg.seed = 3;
   const net::LoadgenResult r = net::run_loadgen(lg);
   server.stop();
@@ -459,7 +925,11 @@ TEST(NetServer, LoopbackServeWithStreamingConformance) {
   EXPECT_EQ(r.form_violations, 0u);
   EXPECT_EQ(r.completed, r.intended);
   EXPECT_EQ(ss.bad_frames, 0u);
-  EXPECT_EQ(ss.frames, r.sent);
+  // The generator opens each connection with a HELLO, which the server
+  // counts as a frame but the workload tallies exclude.
+  EXPECT_EQ(ss.frames, r.sent + lg.connections);
+  EXPECT_EQ(ss.hellos, lg.connections);
+  EXPECT_EQ(ss.hello_rejects, 0u);
   EXPECT_TRUE(ss.streamed);
   EXPECT_GT(ss.segments, 0u);
   EXPECT_EQ(ss.nonconformant, 0u);
@@ -469,11 +939,11 @@ TEST(NetServer, LoopbackServeWithStreamingConformance) {
 
 TEST(NetServer, BadFrameDropsTheConnectionAndCounts) {
   auto stm = stm::make_backend("sgl");
-  net::ServerOptions so;
-  so.shards = 2;
-  so.preload_keys = 32;
-  so.snap_keys = 4;
-  net::Server server(*stm, so);
+  net::ServerConfig cfg;
+  cfg.store.shards = 2;
+  cfg.store.preload_keys = 32;
+  cfg.store.snap_keys = 4;
+  net::Server server(*stm, cfg);
   std::thread server_thread([&] { server.run(); });
 
   // Raw socket: claim a body far over kMaxFrame.  The server must count

@@ -200,9 +200,9 @@ kv::KvWorkloadOptions stream_opts(std::size_t threads, std::uint64_t seed) {
   o.threads = threads;
   o.seed = seed;
   o.ops_per_thread = 48;
-  o.preload_keys = 40;
-  o.shards = 4;
-  o.snap_keys = 4;
+  o.store.preload_keys = 40;
+  o.store.shards = 4;
+  o.store.snap_keys = 4;
   o.stream = true;
   o.round_ops = 16;
   o.stream_compare_posthoc = true;  // every test doubles as the oracle pin
