@@ -1,0 +1,301 @@
+// Live-migration bench: the cost envelope of online split/move/merge
+// (src/kv/migrate.*, docs/migration.md) in two sections.
+//
+// 1. Plain-copy throughput: per backend, a quiet store merges one shard
+//    into another and reports keys/s through the uninstrumented copy path
+//    plus the privatize grace-period cost (fence_ns).  This is the number
+//    the space bound buys — the copy runs at memcpy-class speed because
+//    the privatized region has exactly one mutator.
+//
+// 2. Live move under load: per backend, worker threads run a mixed
+//    put/get/rmw loop while the engine moves half of shard 0's slots to
+//    another shard mid-run.  Every op stamps its latency into a per-phase
+//    histogram (before / during / after the migration), so the artifact
+//    records the writer stall p99 during privatize and the throughput dip
+//    while the move is in flight — the two costs a serving tier actually
+//    pays for a migration.  The store audit (size + value form) must pass
+//    and the routing epoch must advance exactly once, or the bench exits
+//    nonzero.
+//
+// Usage: bench_migrate [--ops N] [--keys N] [--threads N] [--out PATH]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/report.hpp"
+#include "kv/kvstore.hpp"
+#include "kv/migrate.hpp"
+#include "stm/backend.hpp"
+#include "substrate/format.hpp"
+#include "substrate/rng.hpp"
+#include "substrate/stats.hpp"
+#include "substrate/threading.hpp"
+
+namespace {
+
+using namespace mtx;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct CopyRow {
+  std::string backend;
+  std::size_t keys_moved = 0, slots_moved = 0;
+  std::uint64_t fence_ns = 0, copy_ns = 0, total_ns = 0;
+  double keys_per_sec = 0;
+};
+
+struct LiveRow {
+  std::string backend;
+  double before_ops_per_sec = 0, during_ops_per_sec = 0, after_ops_per_sec = 0;
+  double dip_ratio = 0;  // during / before
+  std::uint64_t p99_before_ns = 0, p99_during_ns = 0, p99_after_ns = 0;
+  std::size_t keys_moved = 0;
+  std::uint64_t fence_ns = 0, migrate_ns = 0;
+  std::uint64_t epoch_after = 0;
+  bool audit_ok = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t ops = 60000;
+  std::size_t keys = 8192;
+  std::size_t threads = std::min<std::size_t>(hw_threads(), 3);
+  std::string out_path = "BENCH_migrate.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc)
+      ops = static_cast<std::uint64_t>(std::max(1ll, std::atoll(argv[++i])));
+    else if (std::strcmp(argv[i], "--keys") == 0 && i + 1 < argc)
+      keys = static_cast<std::size_t>(std::max(64ll, std::atoll(argv[++i])));
+    else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<std::size_t>(std::max(1ll, std::atoll(argv[++i])));
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  bool all_ok = true;
+
+  // --- Copy throughput: quiet store, merge shard 0 into shard 1. ---------
+  std::vector<CopyRow> copy_rows;
+  Table ctable({"backend", "keys", "slots", "fence_ms", "copy_ms", "keys/s"});
+  for (const std::string& backend : stm::backend_names()) {
+    auto stm = stm::make_backend(backend);
+    kv::KvStore::Options so;
+    so.shards = 4;
+    so.expected_keys = keys;
+    so.snap_slots = 1;
+    so.scoped_fences = true;
+    kv::KvStore store(*stm, so);
+    for (std::size_t k = 0; k < keys; ++k)
+      store.put(static_cast<std::int64_t>(k),
+                kv::value_of(static_cast<std::int64_t>(k), 0));
+    kv::MigrationEngine engine(store);
+    const kv::MigrateReport rep = engine.merge(0, 1);
+    CopyRow row;
+    row.backend = backend;
+    row.keys_moved = rep.keys_moved;
+    row.slots_moved = rep.slots_moved;
+    row.fence_ns = rep.fence_ns;
+    row.copy_ns = rep.copy_ns;
+    row.total_ns = rep.total_ns;
+    row.keys_per_sec = rep.copy_ns
+                           ? static_cast<double>(rep.keys_moved) * 1e9 /
+                                 static_cast<double>(rep.copy_ns)
+                           : 0;
+    all_ok = all_ok && rep.performed && store.size() == keys;
+    ctable.add_row({backend, std::to_string(row.keys_moved),
+                    std::to_string(row.slots_moved),
+                    fixed(static_cast<double>(row.fence_ns) / 1e6, 3),
+                    fixed(static_cast<double>(row.copy_ns) / 1e6, 3),
+                    fixed(row.keys_per_sec, 0)});
+    copy_rows.push_back(std::move(row));
+  }
+  std::printf("plain-copy throughput (quiet merge, shards=4, %zu keys):\n%s\n",
+              keys, ctable.render().c_str());
+
+  // --- Live move under load: phase-split latency + throughput. -----------
+  std::vector<LiveRow> live_rows;
+  Table ltable({"backend", "before ops/s", "during ops/s", "after ops/s",
+                "dip", "p99us before", "p99us during", "keys moved"});
+  for (const std::string& backend : stm::backend_names()) {
+    auto stm = stm::make_backend(backend);
+    kv::KvStore::Options so;
+    so.shards = 4;
+    so.expected_keys = keys;
+    so.snap_slots = 1;
+    so.scoped_fences = true;
+    kv::KvStore store(*stm, so);
+    for (std::size_t k = 0; k < keys; ++k)
+      store.put(static_cast<std::int64_t>(k),
+                kv::value_of(static_cast<std::int64_t>(k), 0));
+
+    // phase: 0 before the migration, 1 while it runs, 2 after.
+    std::atomic<int> phase{0};
+    std::atomic<std::uint64_t> done{0};
+    std::atomic<std::uint64_t> phase_ops[3] = {{0}, {0}, {0}};
+    std::vector<LatencyHist> hists(threads * 3);
+    const std::uint64_t per_thread = ops / threads;
+
+    auto worker = [&](std::size_t tid) {
+      Rng rng(0x51ULL * 2654435761ULL + tid);
+      for (std::uint64_t i = 0; i < per_thread; ++i) {
+        const auto key = static_cast<std::int64_t>(rng.below(keys));
+        const std::uint64_t t0 = now_ns();
+        switch (rng.below(4)) {
+          case 0:
+          case 1:
+            store.put(key, kv::value_of(key, static_cast<std::int64_t>(i)));
+            break;
+          case 2: {
+            std::int64_t v;
+            store.get(key, &v);
+            break;
+          }
+          case 3:
+            store.rmw(key, [key](std::int64_t old) {
+              return kv::value_of(key, kv::payload_of(old) + 1);
+            });
+            break;
+        }
+        const int p = phase.load(std::memory_order_relaxed);
+        hists[tid * 3 + static_cast<std::size_t>(p)].add(now_ns() - t0);
+        phase_ops[p].fetch_add(1, std::memory_order_relaxed);
+        done.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+
+    const std::uint64_t bench_t0 = now_ns();
+    kv::MigrateReport rep;
+    std::uint64_t t_mig_start = 0, t_mig_end = 0;
+    std::thread mig([&] {
+      while (done.load(std::memory_order_relaxed) < ops / 3)
+        std::this_thread::yield();
+      kv::MigrationEngine engine(store);
+      t_mig_start = now_ns();
+      phase.store(1, std::memory_order_relaxed);
+      const std::size_t take =
+          std::max<std::size_t>(1, store.routing().slots_of(0).size() / 2);
+      rep = engine.move(0, 3, take);
+      phase.store(2, std::memory_order_relaxed);
+      t_mig_end = now_ns();
+    });
+    std::vector<std::thread> team;
+    for (std::size_t t = 0; t < threads; ++t) team.emplace_back(worker, t);
+    for (auto& th : team) th.join();
+    mig.join();
+    const std::uint64_t bench_t1 = now_ns();
+
+    LatencyHist merged[3];
+    for (std::size_t t = 0; t < threads; ++t)
+      for (int p = 0; p < 3; ++p) merged[p].merge(hists[t * 3 + p]);
+    const double before_s = static_cast<double>(t_mig_start - bench_t0) / 1e9;
+    const double during_s = static_cast<double>(t_mig_end - t_mig_start) / 1e9;
+    const double after_s = static_cast<double>(bench_t1 - t_mig_end) / 1e9;
+
+    LiveRow row;
+    row.backend = backend;
+    row.before_ops_per_sec =
+        before_s > 0 ? static_cast<double>(phase_ops[0].load()) / before_s : 0;
+    row.during_ops_per_sec =
+        during_s > 0 ? static_cast<double>(phase_ops[1].load()) / during_s : 0;
+    row.after_ops_per_sec =
+        after_s > 0 ? static_cast<double>(phase_ops[2].load()) / after_s : 0;
+    row.dip_ratio = row.before_ops_per_sec > 0
+                        ? row.during_ops_per_sec / row.before_ops_per_sec
+                        : 0;
+    row.p99_before_ns = merged[0].p99();
+    row.p99_during_ns = merged[1].p99();
+    row.p99_after_ns = merged[2].p99();
+    row.keys_moved = rep.keys_moved;
+    row.fence_ns = rep.fence_ns;
+    row.migrate_ns = rep.total_ns;
+    row.epoch_after = rep.epoch_after;
+
+    // Post-run audit: nothing lost, every value keyed, epoch advanced once.
+    bool audit = rep.performed && store.size() == keys &&
+                 rep.epoch_after == rep.epoch_before + 1;
+    for (std::size_t k = 0; audit && k < keys; k += 97) {
+      std::int64_t v = 0;
+      audit = store.get(static_cast<std::int64_t>(k), &v) &&
+              kv::value_form_ok(static_cast<std::int64_t>(k), v);
+    }
+    row.audit_ok = audit;
+    all_ok = all_ok && audit;
+
+    ltable.add_row({backend, fixed(row.before_ops_per_sec, 0),
+                    fixed(row.during_ops_per_sec, 0),
+                    fixed(row.after_ops_per_sec, 0), fixed(row.dip_ratio, 2),
+                    fixed(static_cast<double>(row.p99_before_ns) / 1e3, 1),
+                    fixed(static_cast<double>(row.p99_during_ns) / 1e3, 1),
+                    std::to_string(row.keys_moved)});
+    live_rows.push_back(std::move(row));
+  }
+  std::printf("live move under load (%zu threads, %llu ops, move half of "
+              "shard 0 -> 3):\n%s\n",
+              threads, static_cast<unsigned long long>(ops),
+              ltable.render().c_str());
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"migrate\",\n";
+  json += "  \"hw_threads\": " + std::to_string(hw_threads()) + ",\n";
+  json += "  \"keys\": " + std::to_string(keys) + ",\n";
+  json += "  \"ops\": " + std::to_string(ops) + ",\n";
+  json += "  \"threads\": " + std::to_string(threads) + ",\n";
+  json += "  \"copy\": [\n";
+  for (std::size_t i = 0; i < copy_rows.size(); ++i) {
+    const CopyRow& r = copy_rows[i];
+    json += "    {\"backend\": \"" + r.backend +
+            "\", \"keys_moved\": " + std::to_string(r.keys_moved) +
+            ", \"slots_moved\": " + std::to_string(r.slots_moved) +
+            ", \"fence_ns\": " + std::to_string(r.fence_ns) +
+            ", \"copy_ns\": " + std::to_string(r.copy_ns) +
+            ", \"total_ns\": " + std::to_string(r.total_ns) +
+            ", \"keys_per_sec\": " + fixed(r.keys_per_sec, 1) + "}";
+    json += (i + 1 < copy_rows.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"live_move\": [\n";
+  for (std::size_t i = 0; i < live_rows.size(); ++i) {
+    const LiveRow& r = live_rows[i];
+    json += "    {\"backend\": \"" + r.backend +
+            "\", \"before_ops_per_sec\": " + fixed(r.before_ops_per_sec, 1) +
+            ", \"during_ops_per_sec\": " + fixed(r.during_ops_per_sec, 1) +
+            ", \"after_ops_per_sec\": " + fixed(r.after_ops_per_sec, 1) +
+            ", \"dip_ratio\": " + fixed(r.dip_ratio, 4) +
+            ", \"p99_before_ns\": " + std::to_string(r.p99_before_ns) +
+            ", \"p99_during_ns\": " + std::to_string(r.p99_during_ns) +
+            ", \"p99_after_ns\": " + std::to_string(r.p99_after_ns) +
+            ", \"keys_moved\": " + std::to_string(r.keys_moved) +
+            ", \"fence_ns\": " + std::to_string(r.fence_ns) +
+            ", \"migrate_ns\": " + std::to_string(r.migrate_ns) +
+            ", \"routing_epoch_after\": " + std::to_string(r.epoch_after) +
+            ", \"audit_ok\": " + (r.audit_ok ? "true" : "false") + "}";
+    json += (i + 1 < live_rows.size()) ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  if (!mtx::campaign::write_file(out_path, json)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!all_ok) {
+    std::fprintf(stderr, "bench_migrate: failed audit or empty migration\n");
+    return 1;
+  }
+  return 0;
+}

@@ -4,6 +4,8 @@
 //                [--conns N] [--rate OPS_PER_SEC] [--poisson]
 //                [--ops N] [--mix NAME] [--keys N] [--shards N] [--snap N]
 //                [--reactors N] [--batch N] [--refresh N] [--stream]
+//                [--move-at N] [--move-kind split|move|merge]
+//                [--move-src S] [--move-dst S]
 //                [--require-hello] [--no-hello] [--seed N]
 //                [--duration-ms N] [--assert] [--json PATH]
 //
@@ -19,6 +21,12 @@
 // (open-loop: the schedule never waits for responses; latency is measured
 // from the INTENDED send time, so queueing is charged, not omitted).
 // --duration-ms sizes --ops from the rate when --ops is not given.
+// --move-at N (spawn mode) scripts a live migration: once the owning
+// reactor has executed N requests it runs --move-kind from --move-src to
+// --move-dst at its quiet point, mid-load.  Bounced requests come back as
+// Status::moved and the generator retries them transparently (original
+// intended timestamp preserved; moved_retries reported).  --move-dst
+// defaults to the lowest shard sharing --move-src's owning reactor.
 // --assert exits 1 unless every response arrived, every value was
 // well-formed, and (spawn mode) the server saw no bad frames, no
 // non-conformant segment, and no ring drop.
@@ -42,7 +50,7 @@ int main(int argc, char** argv) {
   net::ServerConfig cfg;  // spawn mode; cfg.store is shared with lg.store
   std::string spawn_backend, mix_name = "hot", json_path;
   std::uint64_t duration_ms = 2000;
-  bool ops_given = false, do_assert = false;
+  bool ops_given = false, do_assert = false, move_dst_given = false;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -92,6 +100,20 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(count("--refresh"));
     else if (std::strcmp(argv[i], "--stream") == 0)
       cfg.stream.enabled = true;
+    else if (std::strcmp(argv[i], "--move-at") == 0)
+      cfg.migrate.after_ops = static_cast<std::size_t>(count("--move-at"));
+    else if (std::strcmp(argv[i], "--move-kind") == 0) {
+      const char* name = next("--move-kind");
+      if (!kv::migrate_kind_from(name, &cfg.migrate.kind)) {
+        std::fprintf(stderr, "unknown --move-kind: %s\n", name);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--move-src") == 0)
+      cfg.migrate.src = static_cast<std::size_t>(count("--move-src"));
+    else if (std::strcmp(argv[i], "--move-dst") == 0) {
+      cfg.migrate.dst = static_cast<std::size_t>(count("--move-dst"));
+      move_dst_given = true;
+    }
     else if (std::strcmp(argv[i], "--require-hello") == 0)
       cfg.listener.require_hello = true;
     else if (std::strcmp(argv[i], "--no-hello") == 0)
@@ -136,6 +158,18 @@ int main(int argc, char** argv) {
     }
     backend = backend_owned.get();
     cfg.store = lg.store;  // one geometry, both sides
+    if (cfg.migrate.after_ops > 0 && !move_dst_given) {
+      // Default destination: the lowest other shard on src's reactor, so
+      // the scripted migration satisfies the same-owner constraint out of
+      // the box (under the modulo policy that is src + reactors.count).
+      for (std::size_t s = 0; s < cfg.store.shards; ++s) {
+        if (s != cfg.migrate.src &&
+            cfg.owner_of(s) == cfg.owner_of(cfg.migrate.src)) {
+          cfg.migrate.dst = s;
+          break;
+        }
+      }
+    }
     const std::string cfg_err = cfg.validate();
     if (!cfg_err.empty()) {
       std::fprintf(stderr, "bad config: %s\n", cfg_err.c_str());
@@ -169,6 +203,7 @@ int main(int argc, char** argv) {
   json += "  \"completed\": " + std::to_string(r.completed) + ",\n";
   json += "  \"errors\": " + std::to_string(r.errors) + ",\n";
   json += "  \"form_violations\": " + std::to_string(r.form_violations) + ",\n";
+  json += "  \"moved_retries\": " + std::to_string(r.moved_retries) + ",\n";
   json += "  \"wall_ms\": " + fixed(r.wall_ms, 2) + ",\n";
   json += "  \"offered_per_sec\": " + fixed(r.offered_per_sec, 1) + ",\n";
   json += "  \"achieved_per_sec\": " + fixed(r.achieved_per_sec, 1) + ",\n";
@@ -190,6 +225,10 @@ int main(int argc, char** argv) {
             ", \"transactions\": " + std::to_string(sstats.batch.transactions) +
             ", \"batched_ops\": " + std::to_string(sstats.batch.ops) +
             ", \"snap_refreshes\": " + std::to_string(sstats.snap_refreshes) +
+            ", \"moved\": " + std::to_string(sstats.moved) +
+            ", \"migrations\": " + std::to_string(sstats.migrations) +
+            ", \"keys_migrated\": " + std::to_string(sstats.keys_migrated) +
+            ", \"routing_epoch\": " + std::to_string(sstats.routing_epoch) +
             ", \"streamed\": " + (sstats.streamed ? "true" : "false") +
             ", \"segments\": " + std::to_string(sstats.segments) +
             ", \"windows\": " + std::to_string(sstats.windows) +
@@ -207,9 +246,15 @@ int main(int argc, char** argv) {
   if (do_assert) {
     const bool client_ok = r.ok();
     const bool server_ok = !server || sstats.ok();
-    if (!client_ok || !server_ok) {
-      std::fprintf(stderr, "loadgen assert failed: client %s, server %s\n",
-                   client_ok ? "ok" : "FAIL", server_ok ? "ok" : "FAIL");
+    // A scripted migration must actually have run: if the reactor never
+    // reached --move-at the smoke test proved nothing.
+    const bool migrate_ok =
+        !server || cfg.migrate.after_ops == 0 || sstats.migrations > 0;
+    if (!client_ok || !server_ok || !migrate_ok) {
+      std::fprintf(stderr,
+                   "loadgen assert failed: client %s, server %s, migrate %s\n",
+                   client_ok ? "ok" : "FAIL", server_ok ? "ok" : "FAIL",
+                   migrate_ok ? "ok" : "FAIL");
       return 1;
     }
   }

@@ -11,6 +11,9 @@
 //                 [--kv-stream]
 //                 [--net] [--net-only] [--net-ops N] [--net-rate R]
 //                 [--net-reactors r1,r2,...]
+//                 [--kv-migrate] [--kv-migrate-only] [--kv-migrate-seed N]
+//                 [--kv-migrate-ops N] [--kv-migrate-no-baits]
+//                 [--kv-migrate-no-shrink]
 //                 [--fuzz N] [--fuzz-only] [--fuzz-seed S] [--fuzz-sched K]
 //                 [--fuzz-no-shrink] [--fuzz-repro-dir DIR]
 //                 [--fuzz-time-budget-ms N] [--fuzz-threads N]
@@ -45,6 +48,18 @@
 // the hot mix, with per-reactor streaming conformance judging the served
 // traffic; any non-conformant segment, ring drop, bad frame or malformed
 // value counts as a mismatch.  --net-only skips the litmus catalog.
+//
+// --kv-migrate adds the live-migration protocol grid: every backend runs
+// every migration kind (split / move / merge) as a recorded protocol
+// sequence under mixed traffic at several logical thread counts, judged by
+// the model layer plus a transactional key audit — and, unless
+// --kv-migrate-no-baits, every deliberately broken bait variant
+// (skip_source_fence, publish_before_copy, stale_route) of every kind,
+// which MUST each trip the oracle and shrink to a minimal reproducer (a
+// silent bait is a detection gap and counts as a mismatch).  The oracle is
+// single-OS-thread deterministic, so the grid's verdict signature is
+// byte-stable across runs and modes.  --kv-migrate-only skips the litmus
+// catalog; bait reproducers land in --fuzz-repro-dir when given.
 //
 // --fuzz N adds the differential fuzz grid: N random litmus programs (seeded
 // by --fuzz-seed, byte-reproducible) run on every registered backend under
@@ -151,6 +166,19 @@ int main(int argc, char** argv) {
         pos = comma + 1;
       }
     }
+    else if (std::strcmp(argv[i], "--kv-migrate") == 0)
+      opts.migrate_jobs = true;
+    else if (std::strcmp(argv[i], "--kv-migrate-only") == 0) {
+      opts.migrate_jobs = true;
+      opts.litmus_jobs = false;
+    } else if (std::strcmp(argv[i], "--kv-migrate-seed") == 0)
+      opts.migrate_seed = count("--kv-migrate-seed");
+    else if (std::strcmp(argv[i], "--kv-migrate-ops") == 0)
+      opts.migrate_ops = count("--kv-migrate-ops");
+    else if (std::strcmp(argv[i], "--kv-migrate-no-baits") == 0)
+      opts.migrate_baits = false;
+    else if (std::strcmp(argv[i], "--kv-migrate-no-shrink") == 0)
+      opts.migrate_shrink = false;
     else if (std::strcmp(argv[i], "--fuzz") == 0)
       opts.fuzz_count = static_cast<int>(count("--fuzz"));
     else if (std::strcmp(argv[i], "--fuzz-only") == 0)
@@ -244,6 +272,36 @@ int main(int argc, char** argv) {
     std::printf("%s\n", nt.render().c_str());
   }
 
+  if (!r.migrate.empty()) {
+    Table mg({"backend", "kind", "bait", "threads", "verdict", "keys moved",
+              "races", "shrunk t/o/k", "ms"});
+    for (const fuzz::KvProtoRow& row : r.migrate) {
+      char ms[32];
+      std::snprintf(ms, sizeof(ms), "%.1f", row.millis);
+      // Bait rows are SUPPOSED to violate: caught = the bait tripped the
+      // oracle and shrank to a reproducer; MISSED = it slipped through.
+      const std::string verdict =
+          row.baited()
+              ? (row.ok() ? "caught(" + row.failure + ")" : "MISSED")
+              : (row.ok() ? "conformant" : "VIOLATION(" + row.failure + ")");
+      const std::string shrunk =
+          row.violation ? std::to_string(row.shrunk_threads) + "/" +
+                              std::to_string(row.shrunk_ops) + "/" +
+                              std::to_string(row.shrunk_keys)
+                        : "-";
+      mg.add_row({row.backend, row.kind, row.bait,
+                  std::to_string(row.threads), verdict,
+                  std::to_string(row.keys_moved),
+                  std::to_string(row.l_races), shrunk, ms});
+    }
+    std::printf("%s\n", mg.render().c_str());
+    for (const fuzz::KvProtoRow& row : r.migrate)
+      if (!row.repro.empty())
+        std::printf("migration reproducer (%s %s on %s):\n%s\n",
+                    row.kind.c_str(), row.bait.c_str(), row.backend.c_str(),
+                    row.repro.c_str());
+  }
+
   if (!r.fuzzed.empty()) {
     Table fz({"program", "backend", "verdict", "model outcomes", "races",
               "runs", "ms"});
@@ -264,10 +322,10 @@ int main(int argc, char** argv) {
                     row.backend.c_str(), row.repro.c_str());
   }
 
-  std::printf("rows: %zu  recorded: %zu  kv: %zu  net: %zu  fuzzed: %zu  mismatches: %zu  threads: %zu  shards: %zu  wall: %.1f ms\n",
+  std::printf("rows: %zu  recorded: %zu  kv: %zu  net: %zu  migrate: %zu  fuzzed: %zu  mismatches: %zu  threads: %zu  shards: %zu  wall: %.1f ms\n",
               r.jobs.size(), r.recorded.size(), r.kv.size(), r.net.size(),
-              r.fuzzed.size(), r.mismatches, r.threads_used, r.shard_count,
-              r.wall_ms);
+              r.migrate.size(), r.fuzzed.size(), r.mismatches, r.threads_used,
+              r.shard_count, r.wall_ms);
 
   if (!json_path.empty() && !campaign::write_file(json_path, campaign::to_json(r))) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());

@@ -292,6 +292,43 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     return row;
   };
 
+  // Live-migration protocol jobs: backend x kind x threads on the real
+  // engine, then backend x kind x bait.  Each job is self-contained (own
+  // backend, own store, single OS thread), so the grid shares the pool.
+  std::vector<fuzz::KvProtoSpec> migrate_grid;
+  if (opts.migrate_jobs) {
+    for (const std::string& b : stm::backend_names())
+      for (const std::string& k : kv::migrate_kind_names()) {
+        fuzz::KvProtoSpec spec;
+        spec.backend = b;
+        kv::migrate_kind_from(k, &spec.kind);
+        spec.keys = opts.migrate_keys;
+        spec.shards = opts.migrate_shards;
+        spec.ops_per_thread = opts.migrate_ops;
+        spec.seed = opts.migrate_seed;
+        for (std::size_t t : opts.migrate_threads) {
+          spec.threads = t;
+          spec.bait = kv::MigrateBait::none;
+          migrate_grid.push_back(spec);
+        }
+        if (opts.migrate_baits) {
+          spec.threads = opts.migrate_threads.empty()
+                             ? 2
+                             : opts.migrate_threads.back();
+          for (const std::string& bait : kv::migrate_bait_names()) {
+            if (bait == "none") continue;
+            kv::migrate_bait_from(bait, &spec.bait);
+            migrate_grid.push_back(spec);
+          }
+        }
+      }
+  }
+  auto run_migrate = [&](std::size_t i) {
+    fuzz::KvProtoOptions mopts;
+    mopts.shrink = opts.migrate_shrink;
+    return fuzz::run_kvproto(migrate_grid[i], mopts);
+  };
+
   // Differential fuzz jobs: generate the program batch up front (one RNG
   // stream, byte-deterministic), then prepare (model enumeration) and run
   // (program × backend) as pool tasks.
@@ -344,6 +381,7 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
   std::vector<RecordRow> record_rows;
   std::vector<KvRow> kv_rows;
   std::vector<NetRow> net_rows;
+  std::vector<fuzz::KvProtoRow> migrate_rows;
   std::vector<fuzz::FuzzRow> fuzz_rows;
   if (nthreads <= 1) {
     results.reserve(shards.size());
@@ -355,6 +393,9 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     for (std::size_t i = 0; i < kv_grid.size(); ++i) kv_rows.push_back(run_kv(i));
     net_rows.reserve(net_grid.size());
     for (std::size_t i = 0; i < net_grid.size(); ++i) net_rows.push_back(run_net(i));
+    migrate_rows.reserve(migrate_grid.size());
+    for (std::size_t i = 0; i < migrate_grid.size(); ++i)
+      migrate_rows.push_back(run_migrate(i));
     arm_fuzz_deadline();
     fuzz_prepared.reserve(fuzz_progs.size());
     for (std::size_t i = 0; i < fuzz_progs.size(); ++i)
@@ -368,6 +409,8 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     record_rows = parallel_map<RecordRow>(pool, record_jobs.size(), run_record);
     kv_rows = parallel_map<KvRow>(pool, kv_grid.size(), run_kv);
     net_rows = parallel_map<NetRow>(pool, net_grid.size(), run_net);
+    migrate_rows =
+        parallel_map<fuzz::KvProtoRow>(pool, migrate_grid.size(), run_migrate);
     arm_fuzz_deadline();
     fuzz_prepared =
         parallel_map<fuzz::FuzzProgram>(pool, fuzz_progs.size(), prepare_fuzz);
@@ -408,6 +451,19 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
   out.net = std::move(net_rows);
   for (const NetRow& nr : out.net)
     if (!nr.ok()) ++out.mismatches;
+  out.migrate = std::move(migrate_rows);
+  for (const fuzz::KvProtoRow& mr : out.migrate) {
+    if (!mr.ok()) ++out.mismatches;
+    if (!mr.repro.empty() && !opts.fuzz_repro_dir.empty()) {
+      const std::string path = opts.fuzz_repro_dir + "/migrate_" + mr.kind +
+                               "_" + mr.bait + "_" + mr.backend + ".kvproto";
+      if (!write_file(path, mr.repro))
+        std::fprintf(stderr,
+                     "failed to write migration reproducer %s (is the "
+                     "directory present and writable?)\n",
+                     path.c_str());
+    }
+  }
   out.fuzzed = std::move(fuzz_rows);
   for (const fuzz::FuzzRow& fr : out.fuzzed) {
     if (!fr.ok()) ++out.mismatches;
@@ -461,6 +517,18 @@ std::string verdict_signature(const CampaignResult& r) {
     s += "net:" + nr.backend + ":" + (nr.batched ? "batched" : "unbatched") +
          ":r" + std::to_string(nr.reactors) + "," + (nr.ok() ? "C" : "V") +
          "," + std::to_string(nr.intended) + "\n";
+  }
+  // Migration protocol rows: the oracle runs on one OS thread, so EVERY
+  // field is deterministic — verdict, failure class, keys moved, and the
+  // shrunk spec all replay bit-for-bit.
+  for (const fuzz::KvProtoRow& mr : r.migrate) {
+    s += "migrate:" + mr.kind + ":" + mr.bait + ":" + mr.backend + ":t" +
+         std::to_string(mr.threads) + "," + (mr.ok() ? "C" : "V") + "," +
+         (mr.failure.empty() ? "clean" : mr.failure) + "," +
+         std::to_string(mr.keys_moved) + ",s" +
+         std::to_string(mr.shrunk_threads) + "/" +
+         std::to_string(mr.shrunk_ops) + "/" + std::to_string(mr.shrunk_keys) +
+         "\n";
   }
   // Fuzz rows: verdict and model outcome count are schedule-independent for
   // conformant runs (race counts are not — they vary with interleaving).

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "fuzz/fuzz.hpp"
+#include "fuzz/kvproto.hpp"
 #include "litmus/catalog.hpp"
 
 namespace mtx::campaign {
@@ -110,6 +111,23 @@ struct CampaignOptions {
   // are skipped (ServerConfig::validate would reject them).
   std::vector<std::size_t> net_reactors = {1, 2};
   std::uint64_t net_seed = 7;
+
+  // ----- live-migration protocol jobs -----
+  // When enabled, the campaign runs the kvproto oracle (fuzz/kvproto.hpp)
+  // over backend x {split, move, merge} x thread-count with the REAL
+  // migration engine — every row must be conformant — and, unless baits
+  // are disabled, one row per backend x kind x bait variant, where the
+  // row passes only if the sabotaged engine both trips the oracle AND
+  // shrinks to a reproducer.  A silent bait is a detection gap and counts
+  // as a mismatch like any violation.
+  bool migrate_jobs = false;
+  std::vector<std::size_t> migrate_threads = {1, 2};
+  std::uint64_t migrate_ops = 8;
+  std::size_t migrate_keys = 24;
+  std::size_t migrate_shards = 4;
+  std::uint64_t migrate_seed = 1;
+  bool migrate_baits = true;
+  bool migrate_shrink = true;
 
   // ----- differential fuzz jobs -----
   // When > 0, generates `fuzz_count` random litmus programs from fuzz_seed,
@@ -247,6 +265,8 @@ struct CampaignResult {
   std::vector<RecordRow> recorded;  // backend x workload x threads order
   std::vector<KvRow> kv;            // mix x backend x threads grid order
   std::vector<NetRow> net;  // backend x {batched, unbatched} x reactors order
+  // backend x kind x threads (bait = none), then backend x kind x bait.
+  std::vector<fuzz::KvProtoRow> migrate;
   std::vector<fuzz::FuzzRow> fuzzed;  // program x backend grid order
   std::size_t mismatches = 0;     // rows where measured != paper, plus
                                   // non-conformant recorded and fuzz rows

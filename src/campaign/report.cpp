@@ -144,6 +144,41 @@ std::string to_json(const CampaignResult& r, const std::string& run_label) {
     s += (i + 1 < r.net.size()) ? ",\n" : "\n";
   }
   s += "  ],\n";
+  s += "  \"migrate\": [\n";
+  for (std::size_t i = 0; i < r.migrate.size(); ++i) {
+    const fuzz::KvProtoRow& mr = r.migrate[i];
+    s += "    {\"backend\": \"" + json_escape(mr.backend) +
+         "\", \"kind\": \"" + json_escape(mr.kind) + "\", \"bait\": \"" +
+         json_escape(mr.bait) +
+         "\", \"threads\": " + std::to_string(mr.threads) +
+         ", \"keys\": " + std::to_string(mr.keys) +
+         ", \"shards\": " + std::to_string(mr.shards) +
+         ", \"ops\": " + std::to_string(mr.ops) +
+         ", \"seed\": " + std::to_string(mr.seed) +
+         ", \"ok\": " + (mr.ok() ? "true" : "false") +
+         ", \"performed\": " + (mr.performed ? "true" : "false") +
+         ", \"slots_moved\": " + std::to_string(mr.slots_moved) +
+         ", \"keys_moved\": " + std::to_string(mr.keys_moved) +
+         ", \"epoch_before\": " + std::to_string(mr.epoch_before) +
+         ", \"epoch_after\": " + std::to_string(mr.epoch_after) +
+         ", \"wellformed\": " + (mr.wellformed ? "true" : "false") +
+         ", \"l_races\": " + std::to_string(mr.l_races) +
+         ", \"mixed_race\": " + (mr.mixed_race ? "true" : "false") +
+         ", \"opaque_ok\": " + (mr.opaque_ok ? "true" : "false") +
+         ", \"audit_ok\": " + (mr.audit_ok ? "true" : "false") +
+         ", \"windows\": " + std::to_string(mr.windows) +
+         ", \"actions\": " + std::to_string(mr.actions) +
+         ", \"violation\": " + (mr.violation ? "true" : "false") +
+         ", \"failure\": \"" + json_escape(mr.failure) +
+         "\", \"shrunk_threads\": " + std::to_string(mr.shrunk_threads) +
+         ", \"shrunk_ops\": " + std::to_string(mr.shrunk_ops) +
+         ", \"shrunk_keys\": " + std::to_string(mr.shrunk_keys) +
+         ", \"shrink_attempts\": " + std::to_string(mr.shrink_attempts) +
+         ", \"repro\": \"" + json_escape(mr.repro) +
+         "\", \"ms\": " + fmt_ms(mr.millis) + "}";
+    s += (i + 1 < r.migrate.size()) ? ",\n" : "\n";
+  }
+  s += "  ],\n";
   s += "  \"recorded\": [\n";
   for (std::size_t i = 0; i < r.recorded.size(); ++i) {
     const RecordRow& rr = r.recorded[i];
@@ -211,6 +246,18 @@ std::string to_csv(const CampaignResult& r) {
          (nr.ok() ? "conformant" : "violation") + "," +
          (nr.ok() ? "yes" : "no") + "," + std::to_string(nr.nonconformant) +
          "," + std::to_string(nr.intended) + ",no\n";
+  }
+  // Migration protocol rows, same column shape: expected distinguishes the
+  // real engine ("conformant") from baits ("violation" — the bait MUST be
+  // caught); outcomes carries the L-race count and consistent_execs the
+  // keys moved.  Fully deterministic: the oracle runs on one OS thread.
+  for (const fuzz::KvProtoRow& mr : r.migrate) {
+    s += "migrate:" + mr.kind + ":" + mr.bait + ":" + mr.backend + ":t" +
+         std::to_string(mr.threads) + ",migrate," +
+         (mr.baited() ? "violation" : "conformant") + "," +
+         (mr.violation ? "violation" : "conformant") + "," +
+         (mr.ok() ? "yes" : "no") + "," + std::to_string(mr.l_races) + "," +
+         std::to_string(mr.keys_moved) + ",no\n";
   }
   // Fuzz rows, same column shape: outcomes carries the model outcome count
   // and consistent_execs the schedule rounds run — all fields here are

@@ -126,18 +126,24 @@ class THash {
     return removed;
   }
 
+  // Entry count inside the caller's transaction (composes with a migration
+  // flag read the way the other `_in` forms do).
+  template <class Tx>
+  std::size_t size_in(Tx& tx) {
+    std::size_t n = 0;
+    for (stm::Cell& head : heads_) {
+      Node* cur = decode(tx.read(head));
+      while (cur) {
+        ++n;
+        cur = decode(tx.read(cur->next));
+      }
+    }
+    return n;
+  }
+
   std::size_t size() {
     std::size_t n = 0;
-    stm_.atomically([&](auto& tx) {
-      n = 0;
-      for (stm::Cell& head : heads_) {
-        Node* cur = decode(tx.read(head));
-        while (cur) {
-          ++n;
-          cur = decode(tx.read(cur->next));
-        }
-      }
-    });
+    stm_.atomically([&](auto& tx) { n = size_in(tx); });
     return n;
   }
 
@@ -161,6 +167,54 @@ class THash {
         cur = decode(cur->next.plain_load());
       }
     }
+  }
+
+  // Plain-access insert-or-update: the uninstrumented copy path a migration
+  // uses after privatizing BOTH endpoint shards (writers fenced out by the
+  // flag-CAS + quiesce, readers by the migration flag).  Same chain
+  // discipline as put_in — sorted position, fresh node's own cells
+  // initialized before the link store — so a recorded copy is a faithful
+  // plain-write image of the transactional insert.  Returns true when the
+  // key was new.
+  bool plain_put(std::int64_t key, std::int64_t value) {
+    stm::Cell& head = heads_[bucket(key)];
+    Node* prev = nullptr;
+    Node* cur = decode(head.plain_load());
+    while (cur && cur->key < key) {
+      prev = cur;
+      cur = decode(cur->next.plain_load());
+    }
+    if (cur && cur->key == key) {
+      cur->value.plain_store(static_cast<stm::word_t>(value));
+      return false;
+    }
+    Node* fresh_node = new_node(key, value);
+    fresh_node->next.plain_store(encode(cur));
+    if (prev)
+      prev->next.plain_store(encode(fresh_node));
+    else
+      head.plain_store(encode(fresh_node));
+    return true;
+  }
+
+  // Plain-access unlink (the migration source's post-copy erase).  The node
+  // stays allocated and enumerable (for_each_cell) — a doomed zombie reader
+  // may still dereference it.  Returns true when the key was present.
+  bool plain_erase(std::int64_t key) {
+    stm::Cell& head = heads_[bucket(key)];
+    Node* prev = nullptr;
+    Node* cur = decode(head.plain_load());
+    while (cur && cur->key < key) {
+      prev = cur;
+      cur = decode(cur->next.plain_load());
+    }
+    if (!cur || cur->key != key) return false;
+    const stm::word_t nxt = cur->next.plain_load();
+    if (prev)
+      prev->next.plain_store(nxt);
+    else
+      head.plain_store(nxt);
+    return true;
   }
 
   // fn(cell) for every Cell the table has ever allocated: bucket heads plus

@@ -1,0 +1,290 @@
+#include "fuzz/kvproto.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "record/assemble.hpp"
+#include "record/conformance.hpp"
+#include "record/recorder.hpp"
+#include "stm/backend.hpp"
+#include "substrate/rng.hpp"
+
+namespace mtx::fuzz {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// The oracle's verdict for one execution of a spec.
+struct Verdict {
+  bool performed = false;
+  std::size_t slots_moved = 0, keys_moved = 0;
+  std::uint64_t epoch_before = 0, epoch_after = 0;
+  bool wellformed = false;
+  std::size_t l_races = 0;
+  bool mixed_race = false;
+  bool opaque_ok = false;
+  bool audit_ok = false;
+  std::size_t windows = 0, actions = 0;
+  bool violation = false;
+  std::string failure;
+};
+
+// Executes the protocol sequence once and judges it.  Everything runs on
+// the calling thread; logical threads are recorder ids run back-to-back
+// (see the header for why that loses no violations).
+Verdict run_once(const KvProtoSpec& spec, const KvProtoOptions& opts) {
+  Verdict v;
+  auto stm = stm::make_backend(spec.backend);
+  if (!stm) {
+    v.violation = true;
+    v.failure = "backend";
+    return v;
+  }
+  const std::size_t keys = std::max<std::size_t>(1, spec.keys);
+  const std::size_t shards = std::max<std::size_t>(2, spec.shards);
+
+  kv::KvStore::Options sopt;
+  sopt.shards = shards;
+  sopt.expected_keys = keys * 2;
+  sopt.snap_slots = 1;
+  sopt.scoped_fences = true;
+  kv::KvStore store(*stm, sopt);
+
+  for (std::size_t k = 0; k < keys; ++k)
+    store.put(static_cast<std::int64_t>(k),
+              kv::value_of(static_cast<std::int64_t>(k), 0));
+
+  record::RecordSession session;
+  std::uint64_t inserts = 0;
+  kv::MigrateReport rep;
+  {
+    // State carry: the recorded window opens with the whole preloaded
+    // store re-established as one synthetic committed transaction, so
+    // every later read resolves inside the trace.
+    record::ScopedRecorder rec(session, 0);
+    rec.rec().synthetic_begin();
+    store.replay_state_plain();
+    rec.rec().synthetic_commit();
+  }
+  // Phase 1: worker traffic.  The draw stream is a pure function of
+  // (seed, tid), so the shrinker's candidate specs replay exactly.
+  for (std::size_t tid = 0; tid < spec.threads; ++tid) {
+    record::ScopedRecorder rec(session, static_cast<int>(tid) + 1);
+    Rng rng(spec.seed * 0x9e3779b9ULL + tid * 131 + 1);
+    for (std::uint64_t i = 0; i < spec.ops_per_thread; ++i) {
+      const auto key = static_cast<std::int64_t>(rng.below(keys));
+      switch (rng.below(4)) {
+        case 0:
+          store.put(key, kv::value_of(key, static_cast<std::int64_t>(
+                                               tid * 7919 + i)));
+          break;
+        case 1: {
+          std::int64_t out = 0;
+          store.get(key, &out);
+          break;
+        }
+        case 2:
+          store.rmw(key, [key](std::int64_t old) {
+            return kv::value_of(key, kv::payload_of(old) + 1);
+          });
+          break;
+        case 3: {
+          const auto fresh = static_cast<std::int64_t>(
+              keys + tid * spec.ops_per_thread + i);
+          store.put(fresh, kv::value_of(fresh, static_cast<std::int64_t>(i)));
+          ++inserts;
+          break;
+        }
+      }
+    }
+  }
+  // The migration, recorded from its own logical thread: its close/reopen
+  // transactions, its (possibly sabotaged) fences, and its plain copy all
+  // land in the trace the checker judges.
+  {
+    record::ScopedRecorder rec(session,
+                               static_cast<int>(spec.threads) + 1);
+    kv::MigrationEngine engine(store);
+    if (spec.kind == kv::MigrateKind::move) {
+      // A 1-slot move can land on a keyless slot (nothing copied, nothing
+      // for a bait to lose).  Size the take so the moved suffix includes
+      // the highest key-bearing slot the source owns — deterministic, and
+      // still a partial move rather than a merge whenever keys exist.
+      bool has_key[kv::RoutingTable::kSlots] = {};
+      for (std::size_t k = 0; k < keys; ++k)
+        has_key[kv::RoutingTable::slot_of(static_cast<std::int64_t>(k))] =
+            true;
+      const std::vector<std::size_t> slots = store.routing().slots_of(0);
+      std::size_t take = 1;
+      for (std::size_t i = slots.size(); i-- > 0;) {
+        if (has_key[slots[i]]) {
+          take = slots.size() - i;
+          break;
+        }
+      }
+      rep = engine.move(0, shards - 1, take, spec.bait);
+    } else {
+      rep = engine.run(spec.kind, 0, shards - 1, spec.bait);
+    }
+  }
+  v.performed = rep.performed;
+  v.slots_moved = rep.slots_moved;
+  v.keys_moved = rep.keys_moved;
+  v.epoch_before = rep.epoch_before;
+  v.epoch_after = rep.epoch_after;
+  // Phase 3: the prober sweeps every preloaded key transactionally — its
+  // gate reads take the cwr edge from the reopen commits, so against the
+  // real engine everything it touches is ordered after the copy; against
+  // publish_before_copy exactly this sweep exposes the race.
+  {
+    record::ScopedRecorder rec(session,
+                               static_cast<int>(spec.threads) + 2);
+    for (std::size_t k = 0; k < keys; ++k) {
+      std::int64_t out = 0;
+      store.get(static_cast<std::int64_t>(k), &out);
+    }
+  }
+
+  const record::RecordedTrace trace = record::assemble(session);
+  record::WindowedOptions wopts;
+  wopts.min_window_events = opts.window_min_events;
+  const record::ConformanceReport conf = record::check_conformance_windowed(
+      trace.trace, model::ModelConfig::implementation(), wopts);
+  v.wellformed = conf.wf.ok();
+  v.l_races = conf.l_races;
+  v.mixed_race = conf.mixed_race;
+  v.opaque_ok = stm->zombie_free() ? conf.opaque : conf.opaque_committed;
+  v.windows = conf.windows;
+  v.actions = conf.actions;
+
+  // Transactional key audit (unrecorded): every key findable through the
+  // CURRENT routing with a well-formed value, and the store grew by
+  // exactly the insert count.  stale_route leaves the trace clean and
+  // fails here instead.
+  bool audit = store.size() == keys + inserts;
+  for (std::size_t k = 0; k < keys && audit; ++k) {
+    std::int64_t out = 0;
+    const auto key = static_cast<std::int64_t>(k);
+    if (!store.get(key, &out) || !kv::value_form_ok(key, out)) audit = false;
+  }
+  v.audit_ok = audit;
+
+  if (!v.wellformed)
+    v.failure = "wellformed";
+  else if (v.l_races > 0 || v.mixed_race)
+    v.failure = "race";
+  else if (!v.opaque_ok)
+    v.failure = "opacity";
+  else if (!v.audit_ok)
+    v.failure = "audit";
+  v.violation = !v.failure.empty();
+  return v;
+}
+
+}  // namespace
+
+std::string kvproto_repro(const KvProtoSpec& spec, const std::string& failure) {
+  std::string s;
+  s += "# kvproto reproducer: live-migration protocol violation (" + failure +
+       ")\n";
+  s += "# Deterministic: replaying this spec through fuzz::run_kvproto\n";
+  s += "# reproduces the verdict bit-for-bit on any schedule (the sequence\n";
+  s += "# runs on one OS thread; the violation is trace-structural).\n";
+  s += "backend " + spec.backend + "\n";
+  s += "kind " + std::string(kv::to_string(spec.kind)) + "\n";
+  s += "bait " + std::string(kv::to_string(spec.bait)) + "\n";
+  s += "threads " + std::to_string(spec.threads) + "\n";
+  s += "ops " + std::to_string(spec.ops_per_thread) + "\n";
+  s += "keys " + std::to_string(spec.keys) + "\n";
+  s += "shards " + std::to_string(spec.shards) + "\n";
+  s += "seed " + std::to_string(spec.seed) + "\n";
+  s += "failure " + failure + "\n";
+  return s;
+}
+
+KvProtoRow run_kvproto(const KvProtoSpec& spec, const KvProtoOptions& opts) {
+  const auto t0 = Clock::now();
+  KvProtoRow row;
+  row.backend = spec.backend;
+  row.kind = kv::to_string(spec.kind);
+  row.bait = kv::to_string(spec.bait);
+  row.threads = spec.threads;
+  row.keys = spec.keys;
+  row.shards = spec.shards;
+  row.ops = spec.ops_per_thread;
+  row.seed = spec.seed;
+
+  const Verdict v = run_once(spec, opts);
+  row.performed = v.performed;
+  row.slots_moved = v.slots_moved;
+  row.keys_moved = v.keys_moved;
+  row.epoch_before = v.epoch_before;
+  row.epoch_after = v.epoch_after;
+  row.wellformed = v.wellformed;
+  row.l_races = v.l_races;
+  row.mixed_race = v.mixed_race;
+  row.opaque_ok = v.opaque_ok;
+  row.audit_ok = v.audit_ok;
+  row.windows = v.windows;
+  row.actions = v.actions;
+  row.violation = v.violation;
+  row.failure = v.failure;
+
+  if (v.violation && opts.shrink) {
+    // Greedy minimization: accept a candidate only when it still violates
+    // with the SAME failure class, so a shrink step can never trade one
+    // bug for another.  Exact, because the oracle is deterministic.
+    KvProtoSpec cur = spec;
+    std::size_t attempts = 0;
+    bool progressed = true;
+    while (progressed && attempts < opts.shrink_max_attempts) {
+      progressed = false;
+      auto try_spec = [&](KvProtoSpec cand) {
+        if (attempts >= opts.shrink_max_attempts) return;
+        ++attempts;
+        const Verdict cv = run_once(cand, opts);
+        if (cv.violation && cv.failure == v.failure) {
+          cur = cand;
+          progressed = true;
+        }
+      };
+      if (cur.threads > 0) {
+        KvProtoSpec c = cur;
+        c.threads = cur.threads / 2;
+        try_spec(c);
+      }
+      if (!progressed && cur.threads > 0) {
+        KvProtoSpec c = cur;
+        c.threads -= 1;
+        try_spec(c);
+      }
+      if (cur.ops_per_thread > 1) {
+        KvProtoSpec c = cur;
+        c.ops_per_thread = cur.ops_per_thread / 2;
+        try_spec(c);
+      }
+      if (cur.keys > 1) {
+        KvProtoSpec c = cur;
+        c.keys = cur.keys / 2;
+        try_spec(c);
+      }
+      if (!progressed && cur.keys > 1) {
+        KvProtoSpec c = cur;
+        c.keys -= 1;
+        try_spec(c);
+      }
+    }
+    row.shrunk_threads = cur.threads;
+    row.shrunk_ops = cur.ops_per_thread;
+    row.shrunk_keys = cur.keys;
+    row.shrink_attempts = attempts;
+    row.repro = kvproto_repro(cur, v.failure);
+  }
+
+  row.millis =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  return row;
+}
+
+}  // namespace mtx::fuzz

@@ -1,0 +1,110 @@
+// KV protocol-sequence fuzzing: the live-migration engine run inside a
+// recorded execution and judged by the model layer, with deliberately
+// broken bait variants that must each yield a minimized reproducer.
+//
+// One kvproto job replays a deterministic protocol sequence on a fresh
+// store — preload, a few logical worker threads of mixed traffic, one
+// migration (split / move / merge, optionally sabotaged by a
+// kv::MigrateBait), then a prober thread sweeping every key — all under
+// one RecordSession.  The assembled trace is judged by the windowed
+// conformance checker and a post-run transactional key audit.
+//
+// The whole sequence executes on ONE OS thread: each logical thread is a
+// separate ScopedRecorder id run to completion before the next starts.
+// That is sound because the violations the baits plant are
+// SCHEDULE-INDEPENDENT — the paper's model gives plain accesses
+// happens-before only through fences and cwr∘po, never through real-time
+// order or reads-from alone:
+//
+//   skip_source_fence  — the source shard's quiesce is dropped, so every
+//     committed transaction that touched the source (the state-carry
+//     replay included) is hb-unordered with the migrator's plain copy of
+//     it: the trace carries a race however the phases interleave in time.
+//   publish_before_copy — the shards reopen before the copy, so the plain
+//     copy is po-AFTER the reopen commit and the prober's gate read
+//     (cwr from that commit) orders nothing: its transactional reads of
+//     the copied buckets race the copy's plain writes.
+//   stale_route — fences and copy are correct but the RoutingTable never
+//     learns: the trace is clean, and the transactional key audit fails
+//     instead (moved keys live where no route points).
+//
+// Determinism makes the greedy shrinker exact: a violating spec is
+// re-judged after each candidate reduction (fewer threads, fewer ops,
+// fewer keys), and the shrunk spec's reproducer text re-runs bit-for-bit.
+// The real engine (bait = none) must be conformant on every backend —
+// that grid row is the campaign's acceptance gate for the migration
+// subsystem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "kv/migrate.hpp"
+
+namespace mtx::fuzz {
+
+// One protocol-sequence job, fully naming its deterministic execution.
+struct KvProtoSpec {
+  std::string backend = "tl2";
+  std::size_t threads = 2;  // phase-1 logical worker threads
+  std::size_t keys = 24;    // preloaded key space [0, keys)
+  std::size_t shards = 4;   // >= 2 (src = 0, dst = shards - 1)
+  std::uint64_t ops_per_thread = 8;
+  std::uint64_t seed = 1;
+  kv::MigrateKind kind = kv::MigrateKind::move;
+  kv::MigrateBait bait = kv::MigrateBait::none;
+};
+
+struct KvProtoOptions {
+  bool shrink = true;
+  std::size_t shrink_max_attempts = 64;
+  std::size_t window_min_events = 64;  // forwarded to the windowed checker
+};
+
+struct KvProtoRow {
+  // Spec echo (reports and the verdict signature key on these).
+  std::string backend;
+  std::string kind, bait;
+  std::size_t threads = 0, keys = 0, shards = 0;
+  std::uint64_t ops = 0, seed = 0;
+
+  // Migration outcome (deterministic: single-OS-thread execution).
+  bool performed = false;
+  std::size_t slots_moved = 0, keys_moved = 0;
+  std::uint64_t epoch_before = 0, epoch_after = 0;
+
+  // Verdict.
+  bool wellformed = false;
+  std::size_t l_races = 0;
+  bool mixed_race = false;
+  bool opaque_ok = false;  // held to the backend's declared guarantee
+  bool audit_ok = false;   // transactional key audit (routing vs placement)
+  std::size_t windows = 0, actions = 0;
+  bool violation = false;
+  std::string failure;  // "race" / "audit" / "wellformed" / "opacity"
+
+  // Shrink payload (violating rows only).
+  std::string repro;
+  std::size_t shrunk_threads = 0, shrunk_keys = 0;
+  std::uint64_t shrunk_ops = 0;
+  std::size_t shrink_attempts = 0;
+
+  double millis = 0;
+
+  bool baited() const { return bait != "none"; }
+  // Real-engine rows must be clean; bait rows must both trip the oracle
+  // AND carry a minimized reproducer — a bait that fails silently is a
+  // detection gap, not a pass.
+  bool ok() const {
+    return baited() ? (violation && !repro.empty()) : !violation;
+  }
+};
+
+// Runs the job (constructing its own backend from spec.backend), judges
+// it, and on violation shrinks the spec to a minimal reproducer.
+KvProtoRow run_kvproto(const KvProtoSpec& spec, const KvProtoOptions& opts = {});
+
+// The self-contained reproducer text a violating row carries.
+std::string kvproto_repro(const KvProtoSpec& spec, const std::string& failure);
+
+}  // namespace mtx::fuzz

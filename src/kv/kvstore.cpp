@@ -1,17 +1,36 @@
 #include "kv/kvstore.hpp"
 
 #include <cassert>
+#include <stdexcept>
 #include <thread>
 
 namespace mtx::kv {
 
 using stm::word_t;
 
+std::string StoreShape::validate() const {
+  if (shards == 0) return "store shape: shards must be >= 1";
+  if (shards >= static_cast<std::size_t>(stm::kMaxQuiesceDomains))
+    return "store shape: " + std::to_string(shards) +
+           " shards exceeds the quiescence domain budget (ids 1.." +
+           std::to_string(stm::kMaxQuiesceDomains - 1) +
+           "; more shards would alias domains and fence the wrong cells)";
+  return "";
+}
+
 KvStore::KvStore(stm::StmBackend& stm) : KvStore(stm, Options()) {}
 
 KvStore::KvStore(stm::StmBackend& stm, const Options& opt)
-    : stm_(stm), scoped_fences_(opt.scoped_fences) {
+    : stm_(stm),
+      routing_(opt.shards ? opt.shards : 1),
+      scoped_fences_(opt.scoped_fences) {
   const std::size_t nshards = opt.shards ? opt.shards : 1;
+  {
+    StoreShape shape;
+    shape.shards = nshards;
+    const std::string why = shape.validate();
+    if (!why.empty()) throw std::invalid_argument("KvStore: " + why);
+  }
   const std::size_t buckets = containers::THash<stm::StmBackend>::recommended_buckets(
       opt.expected_keys / nshards + 1);
   shards_.reserve(nshards);
@@ -22,11 +41,16 @@ KvStore::KvStore(stm::StmBackend& stm, const Options& opt)
     // Backends without a scoped wait path return 0 here; the fence then
     // waits whole-store but is still *recorded* as covering only this
     // shard's cells — a sound under-claim that keeps recorded traces small.
+    // The enumerator walks the LIVE table, so when a migration re-homes a
+    // key range the receiving shard's fence cover grows to the copied
+    // nodes automatically — the domain re-covers as ranges change hands.
     sh->domain.id = stm_.create_domain();
     sh->domain.cells = [sh](const stm::QuiesceDomain::CellVisitor& visit) {
       sh->table.for_each_cell([&](stm::Cell& c) { visit(c); });
       visit(sh->priv_flag);
       visit(sh->scan_result);
+      visit(sh->mig_flag);
+      visit(sh->mig_epoch);
       for (SnapSlot& slot : sh->snap) {
         visit(slot.key);
         visit(slot.value);
@@ -37,10 +61,7 @@ KvStore::KvStore(stm::StmBackend& stm, const Options& opt)
 }
 
 std::size_t KvStore::shard_of(std::int64_t key) const {
-  // Different multiplier than THash's bucket hash so shard routing and
-  // bucket striping stay uncorrelated.
-  const auto h = static_cast<std::uint64_t>(key) * 0xd1b54a32d192ed03ULL;
-  return static_cast<std::size_t>(h >> 33) % shards_.size();
+  return routing_.shard_of(key);
 }
 
 std::size_t KvStore::bucket_count(std::size_t shard) const {
@@ -58,10 +79,16 @@ ShardStats KvStore::stats(std::size_t shard) const {
   s.scan_busy = c.scan_busy.load(std::memory_order_relaxed);
   s.snap_reads = c.snap_reads.load(std::memory_order_relaxed);
   s.priv_waits = c.priv_waits.load(std::memory_order_relaxed);
+  s.mig_waits = c.mig_waits.load(std::memory_order_relaxed);
+  s.moved = c.moved.load(std::memory_order_relaxed);
   return s;
 }
 
 void KvStore::priv_wait_pause() { std::this_thread::yield(); }
+
+void KvStore::gate_park(Shard& s) {
+  while (s.gate_hint.load(std::memory_order_acquire) != 0) priv_wait_pause();
+}
 
 // ---------------------------------------------------------------------------
 // ShardHandle — the per-shard capability all operations actually live on.
@@ -73,42 +100,93 @@ std::size_t ShardHandle::bucket_count() const {
 
 ShardStats ShardHandle::stats() const { return store_->stats(idx_); }
 
-bool ShardHandle::put(std::int64_t key, std::int64_t value) {
-  assert(store_->shard_of(key) == idx_ && "key routed through wrong handle");
+bool ShardHandle::put(std::int64_t key, std::int64_t value, bool* moved) {
+  assert((moved || store_->shard_of(key) == idx_) &&
+         "key routed through wrong handle");
   KvStore::Shard& s = *store_->shards_[idx_];
-  bool fresh = false;
-  store_->mutate(s, [&](stm::TxHandle& tx) { fresh = s.table.put_in(tx, key, value); });
+  bool fresh = false, mv = false;
+  store_->mutate(s, [&](stm::TxHandle& tx) {
+    fresh = false;
+    mv = moved && store_->routing_.shard_of(key) != idx_;
+    if (mv) return;
+    fresh = s.table.put_in(tx, key, value);
+  });
+  if (mv) {
+    *moved = true;
+    s.counters.moved.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   s.counters.puts.fetch_add(1, std::memory_order_relaxed);
   return fresh;
 }
 
-bool ShardHandle::get(std::int64_t key, std::int64_t* out) {
-  assert(store_->shard_of(key) == idx_ && "key routed through wrong handle");
+bool ShardHandle::get(std::int64_t key, std::int64_t* out, bool* moved) {
+  assert((moved || store_->shard_of(key) == idx_) &&
+         "key routed through wrong handle");
   KvStore::Shard& s = *store_->shards_[idx_];
-  // Read-only: no flag check — gets conflict with nothing the scanner's
-  // plain phase does, so readers flow through privatized shards.
+  // Readers skip the privatization flag — gets conflict with nothing a
+  // scanner's plain phase does — but must gate on the MIGRATION flag: a
+  // migration plain-writes the table itself, so a transactional read racing
+  // it would be a mixed race.  The gate read doubles as the publication
+  // handoff (cwr into the migration's reopen commit).
   stm::DomainScope scope(s.domain.id);
-  const bool found = s.table.get(key, out);
+  bool found = false, mv = false;
+  for (;;) {
+    bool migrating = false;
+    store_->stm_.atomically([&](stm::TxHandle& tx) {
+      found = false;
+      mv = false;
+      migrating = tx.read(s.mig_flag) != 0;
+      if (migrating) return;
+      mv = moved && store_->routing_.shard_of(key) != idx_;
+      if (mv) return;
+      found = s.table.get_in(tx, key, out);
+    });
+    if (!migrating) break;
+    s.counters.mig_waits.fetch_add(1, std::memory_order_relaxed);
+    KvStore::priv_wait_pause();
+    KvStore::gate_park(s);
+  }
+  if (mv) {
+    *moved = true;
+    s.counters.moved.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   s.counters.gets.fetch_add(1, std::memory_order_relaxed);
   return found;
 }
 
-bool ShardHandle::erase(std::int64_t key) {
-  assert(store_->shard_of(key) == idx_ && "key routed through wrong handle");
+bool ShardHandle::erase(std::int64_t key, bool* moved) {
+  assert((moved || store_->shard_of(key) == idx_) &&
+         "key routed through wrong handle");
   KvStore::Shard& s = *store_->shards_[idx_];
-  bool removed = false;
-  store_->mutate(s, [&](stm::TxHandle& tx) { removed = s.table.erase_in(tx, key); });
+  bool removed = false, mv = false;
+  store_->mutate(s, [&](stm::TxHandle& tx) {
+    removed = false;
+    mv = moved && store_->routing_.shard_of(key) != idx_;
+    if (mv) return;
+    removed = s.table.erase_in(tx, key);
+  });
+  if (mv) {
+    *moved = true;
+    s.counters.moved.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   s.counters.erases.fetch_add(1, std::memory_order_relaxed);
   return removed;
 }
 
 bool ShardHandle::rmw(std::int64_t key,
                       const std::function<std::int64_t(std::int64_t)>& f,
-                      std::int64_t* out) {
-  assert(store_->shard_of(key) == idx_ && "key routed through wrong handle");
+                      std::int64_t* out, bool* moved) {
+  assert((moved || store_->shard_of(key) == idx_) &&
+         "key routed through wrong handle");
   KvStore::Shard& s = *store_->shards_[idx_];
-  bool found = false;
+  bool found = false, mv = false;
   store_->mutate(s, [&](stm::TxHandle& tx) {
+    found = false;
+    mv = moved && store_->routing_.shard_of(key) != idx_;
+    if (mv) return;
     std::int64_t old = 0;
     found = s.table.get_in(tx, key, &old);
     if (!found) return;
@@ -116,6 +194,11 @@ bool ShardHandle::rmw(std::int64_t key,
     s.table.put_in(tx, key, neu);
     if (out) *out = neu;
   });
+  if (mv) {
+    *moved = true;
+    s.counters.moved.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   s.counters.rmws.fetch_add(1, std::memory_order_relaxed);
   return found;
 }
@@ -123,24 +206,21 @@ bool ShardHandle::rmw(std::int64_t key,
 void ShardHandle::batch_mutate(WriteOp* ops, std::size_t n) {
   if (n == 0) return;
   KvStore::Shard& s = *store_->shards_[idx_];
-  // Per-class tallies are a function of the op kinds alone — count once,
-  // bump the shard counters after the transaction lands.
-  std::uint64_t gets = 0, puts = 0, rmws = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    assert(store_->shard_of(ops[i].key) == idx_ && "batch op routed to wrong shard");
-    switch (ops[i].kind) {
-      case WriteOp::Kind::get: ++gets; break;
-      case WriteOp::Kind::put: ++puts; break;
-      case WriteOp::Kind::rmw: ++rmws; break;
-    }
-  }
   store_->mutate(s, [&](stm::TxHandle& tx) {
     // The whole body re-runs on a conflict abort: reset every op's outputs
     // so a retried attempt starts clean.
     for (std::size_t i = 0; i < n; ++i) {
       WriteOp& op = ops[i];
       op.applied = false;
+      op.moved = false;
       op.result = 0;
+      // The batch was coalesced under a routing decision that a live
+      // migration may have invalidated; re-check per op inside the gated
+      // transaction and bounce (not execute) ops that re-homed away.
+      if (store_->routing_.shard_of(op.key) != idx_) {
+        op.moved = true;
+        continue;
+      }
       switch (op.kind) {
         case WriteOp::Kind::get: {
           std::int64_t v = 0;
@@ -163,9 +243,23 @@ void ShardHandle::batch_mutate(WriteOp* ops, std::size_t n) {
       }
     }
   });
+  // Tally executed ops only (bounced ones re-run elsewhere after re-route).
+  std::uint64_t gets = 0, puts = 0, rmws = 0, moved = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ops[i].moved) {
+      ++moved;
+      continue;
+    }
+    switch (ops[i].kind) {
+      case WriteOp::Kind::get: ++gets; break;
+      case WriteOp::Kind::put: ++puts; break;
+      case WriteOp::Kind::rmw: ++rmws; break;
+    }
+  }
   s.counters.gets.fetch_add(gets, std::memory_order_relaxed);
   s.counters.puts.fetch_add(puts, std::memory_order_relaxed);
   s.counters.rmws.fetch_add(rmws, std::memory_order_relaxed);
+  s.counters.moved.fetch_add(moved, std::memory_order_relaxed);
 }
 
 ScanResult ShardHandle::privatize_scan(
@@ -184,6 +278,9 @@ ScanResult ShardHandle::privatize_scan(
     s.counters.scan_busy.fetch_add(1, std::memory_order_relaxed);
     return r;
   }
+  // Owner: raise the advisory hint so bounced writers park instead of
+  // busy-retrying through the STM for the whole plain phase.
+  s.gate_hint.store(1, std::memory_order_release);
   // Grace period: every transaction that read the flag open has now
   // resolved; any still-running writer will fail its flag validation.
   // Scoped: only this shard's domain (and whole-store transactions) gate
@@ -203,6 +300,7 @@ ScanResult ShardHandle::privatize_scan(
   // Publication back: the reopen commit is the hb anchor every later
   // flag-checking mutator orders itself after.
   stm.atomically([&](stm::TxHandle& tx) { tx.write(s.priv_flag, 0); });
+  s.gate_hint.store(0, std::memory_order_release);
   s.counters.scans.fetch_add(1, std::memory_order_relaxed);
   return r;
 }
@@ -216,7 +314,10 @@ bool ShardHandle::snapshot_attach() {
 }
 
 bool ShardHandle::snapshot_read(std::int64_t key, std::int64_t* out) {
-  assert(store_->shard_of(key) == idx_ && "key routed through wrong handle");
+  // No routing assertion: snapshot reads are stale-tolerant by design, and
+  // a live migration may re-home a key after its value was frozen here —
+  // the frozen value is still *that key's* value (kValueStride audit).  A
+  // re-homed key simply stops being found once this shard refreshes.
   KvStore::Shard& s = *store_->shards_[idx_];
   for (KvStore::SnapSlot& slot : s.snap) {
     const word_t k = slot.key.plain_load();
@@ -264,7 +365,8 @@ bool ShardHandle::refresh_snapshot(const std::vector<std::int64_t>& keys) {
     if (st.shard_of(key) != idx_) continue;   // not this shard's key
     if (used >= s.snap.size()) continue;      // shard's snapshot is full
     std::int64_t value = 0;
-    if (!get(key, &value)) continue;
+    bool moved = false;  // defensive: skip keys re-homed mid-refresh
+    if (!get(key, &value, &moved) || moved) continue;
     s.snap[used].key.plain_store(static_cast<word_t>(key + 1));
     s.snap[used].value.plain_store(static_cast<word_t>(value));
     ++used;
@@ -283,6 +385,8 @@ void ShardHandle::replay_state_plain() {
   s.table.for_each_cell(replay);
   replay(s.priv_flag);
   replay(s.scan_result);
+  replay(s.mig_flag);
+  replay(s.mig_epoch);
   for (KvStore::SnapSlot& slot : s.snap) {
     replay(slot.key);
     replay(slot.value);
@@ -294,34 +398,76 @@ std::size_t ShardHandle::cell_count() const {
   KvStore::Shard& s = *store_->shards_[idx_];
   std::size_t nodes = 0;
   s.table.for_each_cell([&](stm::Cell&) { ++nodes; });
-  return nodes + 3 + 2 * s.snap.size();  // priv_flag + scan_result + snap_ready
+  // priv_flag + scan_result + mig_flag + mig_epoch + snap_ready
+  return nodes + 5 + 2 * s.snap.size();
 }
 
 // ---------------------------------------------------------------------------
 // Whole-store convenience surface: route the key, delegate to the handle.
 // ---------------------------------------------------------------------------
 
+// Route on the current table and chase migrations: a `moved` verdict means
+// the key re-homed between routing and execution — re-resolve and retry.
+// Terminates because migrations are finite and serialized (engine mutex);
+// routing for any key is eventually stable.
+
 bool KvStore::put(std::int64_t key, std::int64_t value) {
-  return shard(shard_of(key)).put(key, value);
+  for (;;) {
+    bool moved = false;
+    const bool fresh = shard(shard_of(key)).put(key, value, &moved);
+    if (!moved) return fresh;
+  }
 }
 
 bool KvStore::get(std::int64_t key, std::int64_t* out) {
-  return shard(shard_of(key)).get(key, out);
+  for (;;) {
+    bool moved = false;
+    const bool found = shard(shard_of(key)).get(key, out, &moved);
+    if (!moved) return found;
+  }
 }
 
-bool KvStore::erase(std::int64_t key) { return shard(shard_of(key)).erase(key); }
+bool KvStore::erase(std::int64_t key) {
+  for (;;) {
+    bool moved = false;
+    const bool removed = shard(shard_of(key)).erase(key, &moved);
+    if (!moved) return removed;
+  }
+}
 
 bool KvStore::rmw(std::int64_t key,
                   const std::function<std::int64_t(std::int64_t)>& f,
                   std::int64_t* out) {
-  return shard(shard_of(key)).rmw(key, f, out);
+  for (;;) {
+    bool moved = false;
+    const bool found = shard(shard_of(key)).rmw(key, f, out, &moved);
+    if (!moved) return found;
+  }
 }
 
 std::size_t KvStore::size() {
   std::size_t n = 0;
   for (auto& s : shards_) {
     stm::DomainScope scope(s->domain.id);
-    n += s->table.size();
+    // Counting walks the table transactionally, so it must wait out a
+    // migration that owns the shard (same reader gate as ShardHandle::get).
+    for (;;) {
+      bool migrating = false;
+      std::size_t cnt = 0;
+      stm_.atomically([&](stm::TxHandle& tx) {
+        cnt = 0;
+        migrating = tx.read(s->mig_flag) != 0;
+        if (migrating) return;
+        cnt = s->table.size_in(tx);
+      });
+      if (!migrating) {
+        n += cnt;
+        break;
+      }
+      s->counters.mig_waits.fetch_add(1, std::memory_order_relaxed);
+      priv_wait_pause();
+      gate_park(*s);
+    }
   }
   return n;
 }

@@ -65,9 +65,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "containers/thash.hpp"
+#include "kv/routing.hpp"
 #include "stm/backend.hpp"
 
 namespace mtx::kv {
@@ -103,6 +105,13 @@ struct StoreShape {
   std::size_t shards = 8;
   std::size_t preload_keys = 1024;  // keys 0..N-1 preloaded as value_of(k, 0)
   std::size_t snap_keys = 16;       // hottest ranks published for snap reads
+
+  // Human-readable reason the shape is unservable, "" when fine.  The shard
+  // ceiling is the QuiescenceRegistry domain budget: each shard owns one
+  // scoped-fence domain and ids live in [1, kMaxQuiesceDomains); a larger
+  // store would silently alias domain ids and fence the wrong shards, so it
+  // is rejected up front instead.
+  std::string validate() const;
 };
 
 // Copyable snapshot of one shard's operation counters.
@@ -115,6 +124,8 @@ struct ShardStats {
   std::uint64_t scan_busy = 0;   // privatize attempts that found it closed
   std::uint64_t snap_reads = 0;
   std::uint64_t priv_waits = 0;  // mutator retries against a closed flag
+  std::uint64_t mig_waits = 0;   // reader retries against a migrating shard
+  std::uint64_t moved = 0;       // ops bounced for stale routing
 };
 
 struct ScanResult {
@@ -140,6 +151,11 @@ struct WriteOp {
   std::int64_t key = 0;
   std::int64_t arg = 0;  // put: value to store; rmw: payload delta
   bool applied = false;
+  // The key no longer routes to the shard the batch executed on (a live
+  // migration re-homed it between coalescing and execution).  The op did
+  // NOT run; the caller re-routes on the current table (the serving tier
+  // answers Status::moved and lets the client retry).
+  bool moved = false;
   std::int64_t result = 0;
 };
 
@@ -159,11 +175,21 @@ class ShardHandle {
   ShardStats stats() const;
 
   // ----- transactional operations (writers wait out a privatized shard) ---
-  bool put(std::int64_t key, std::int64_t value);  // true = fresh insert
-  bool get(std::int64_t key, std::int64_t* out);
-  bool erase(std::int64_t key);
+  //
+  // All keyed ops take an optional `moved` out-flag for live-migration
+  // callers: when non-null, the op re-checks the routing table INSIDE its
+  // flag-checked transaction and — if the key was re-homed away from this
+  // shard — sets *moved and returns without executing (return value false).
+  // The in-transaction check is what makes detection sound: the migration
+  // flag read is cwr-ordered after the migration's reopen commit, which is
+  // po-after its routing-table stores, so a transaction that passes the
+  // gate always sees post-migration routing.  Callers that pass nullptr
+  // assert the pre-migration contract (key statically routes here).
+  bool put(std::int64_t key, std::int64_t value, bool* moved = nullptr);
+  bool get(std::int64_t key, std::int64_t* out, bool* moved = nullptr);
+  bool erase(std::int64_t key, bool* moved = nullptr);
   bool rmw(std::int64_t key, const std::function<std::int64_t(std::int64_t)>& f,
-           std::int64_t* out = nullptr);
+           std::int64_t* out = nullptr, bool* moved = nullptr);
 
   // Execute `n` decoded ops — every one keyed to THIS shard — inside ONE
   // flag-checked transaction (the serving tier's per-connection batch).
@@ -237,12 +263,23 @@ class KvStore {
     bool scoped_fences = true;
   };
 
+  // Throws std::invalid_argument when the shard count exceeds the
+  // QuiescenceRegistry domain budget (see StoreShape::validate).
   explicit KvStore(stm::StmBackend& stm);  // default Options
   KvStore(stm::StmBackend& stm, const Options& opt);
 
   stm::StmBackend& stm() { return stm_; }
   std::size_t shards() const { return shards_.size(); }
+
+  // Current routing decision for `key` — a hint that can go stale under a
+  // live migration; the keyed ops' in-transaction re-check (see
+  // ShardHandle) is the authoritative gate.
   std::size_t shard_of(std::int64_t key) const;
+
+  // The epoch-stamped routing table itself (migration engine + serving
+  // tier: slot re-homing, epoch echo in `moved` responses).
+  RoutingTable& routing() { return routing_; }
+  const RoutingTable& routing() const { return routing_; }
 
   // The shard capability: all per-shard operations live on the handle.
   ShardHandle shard(std::size_t i) {
@@ -255,6 +292,9 @@ class KvStore {
 
   // ----- whole-store convenience surface (routes and delegates) -----------
 
+  // The whole-store ops route on the current table and transparently chase
+  // a concurrent migration: a `moved` verdict re-routes and retries, so
+  // callers never observe the topology change.
   bool put(std::int64_t key, std::int64_t value);  // true = fresh insert
   bool get(std::int64_t key, std::int64_t* out);
   bool erase(std::int64_t key);
@@ -306,6 +346,8 @@ class KvStore {
 
  private:
   friend class ShardHandle;
+  friend class MigrationEngine;  // src/kv/migrate.hpp: flag-CAS, plain copy,
+                                 // reopen handoff on the endpoint shards
 
   struct SnapSlot {
     stm::Cell key;  // key + 1; 0 = empty slot
@@ -318,6 +360,17 @@ class KvStore {
     containers::THash<stm::StmBackend> table;
     stm::Cell priv_flag;    // 0 = open, 1 = privatized
     stm::Cell scan_result;  // plain-written by the owning scanner
+    // Migration gate + publication cell.  mig_flag is the READER-side gate:
+    // a privatize-scan pauses only writers (readers race with nothing it
+    // does), but a migration plain-WRITES table cells, so readers must be
+    // excluded too — keyed reads gate on mig_flag inside their transaction
+    // and wait while it is set.  mig_epoch is the routing epoch the
+    // migration's reopen commit publishes (the snapshot-publication
+    // handoff's ready cell): the same transaction clears both flags and
+    // stamps the epoch, so any gate-passing transaction is cwr-ordered
+    // after the whole migration (plain copy AND routing stores).
+    stm::Cell mig_flag;     // 0 = open, 1 = a migration owns this shard
+    stm::Cell mig_epoch;    // routing epoch of the last migration reopen
     std::vector<SnapSlot> snap;
     stm::Cell snap_ready;   // 0 until THIS shard's publication commits;
                             // inside the shard's domain, so refresh fences
@@ -327,10 +380,25 @@ class KvStore {
     // is unwanted); otherwise id from create_domain() and an enumerator
     // over exactly this shard's cells.
     stm::QuiesceDomain domain;
+    // Advisory "shard is closed" hint — a raw atomic, NOT a Cell, so it is
+    // invisible to the STM and to recording.  Raised by a privatize owner
+    // (scan or migration) once it wins the flag CAS, cleared after its
+    // reopen commit.  Bounced gate-spinners park on it instead of retrying
+    // transactionally; correctness still rests entirely on the
+    // in-transaction flag read (the hint may be stale in either direction —
+    // a stale value only delays a retry).  Parking matters for recorded
+    // runs: spinners that busy-retry through the STM flood the trace with
+    // back-to-back gate transactions for the whole closure, leaving no
+    // point at which no transaction is open — and the assembler, which must
+    // place each recorded fence after the transactions it waited out, would
+    // be pushed past the owner's own plain accesses, inverting program
+    // order in the recorded trace (see sink_fences in record/assemble.cpp).
+    std::atomic<std::uint32_t> gate_hint{0};
 
     struct Counters {
       std::atomic<std::uint64_t> gets{0}, puts{0}, erases{0}, rmws{0},
-          scans{0}, scan_busy{0}, snap_reads{0}, priv_waits{0};
+          scans{0}, scan_busy{0}, snap_reads{0}, priv_waits{0}, mig_waits{0},
+          moved{0};
     } counters;
   };
 
@@ -351,19 +419,26 @@ class KvStore {
         fn(tx);
       });
       if (!closed) return;
-      // The shard is privatized: its owner is mid-plain-scan.  Spin
-      // politely; the flag read above re-validates on every retry, so the
-      // first transaction to see the reopen commit proceeds (and is
-      // hb-ordered after the scanner's plain accesses through that read).
+      // The shard is privatized: its owner is mid-plain-scan.  Park until
+      // the hint clears, then retry; the flag read above re-validates on
+      // every retry, so the first transaction to see the reopen commit
+      // proceeds (and is hb-ordered after the scanner's plain accesses
+      // through that read).
       s.counters.priv_waits.fetch_add(1, std::memory_order_relaxed);
       priv_wait_pause();
+      gate_park(s);
     }
   }
 
   static void priv_wait_pause();
+  // Wait (outside any transaction) while the shard's advisory closed hint
+  // is up.  Purely a retry throttle: callers always re-check the real gate
+  // flag transactionally afterwards.
+  static void gate_park(Shard& s);
 
   stm::StmBackend& stm_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  RoutingTable routing_;
   bool scoped_fences_ = true;
   std::atomic<bool> snap_published_{false};  // whole-store once-only latch
 };

@@ -1,0 +1,208 @@
+#include "kv/migrate.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace mtx::kv {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* to_string(MigrateKind k) {
+  switch (k) {
+    case MigrateKind::split: return "split";
+    case MigrateKind::move: return "move";
+    case MigrateKind::merge: return "merge";
+  }
+  return "?";
+}
+
+const char* to_string(MigrateBait b) {
+  switch (b) {
+    case MigrateBait::none: return "none";
+    case MigrateBait::skip_source_fence: return "skip_source_fence";
+    case MigrateBait::publish_before_copy: return "publish_before_copy";
+    case MigrateBait::stale_route: return "stale_route";
+  }
+  return "?";
+}
+
+bool migrate_kind_from(const std::string& name, MigrateKind* out) {
+  for (MigrateKind k :
+       {MigrateKind::split, MigrateKind::move, MigrateKind::merge})
+    if (name == to_string(k)) {
+      *out = k;
+      return true;
+    }
+  return false;
+}
+
+bool migrate_bait_from(const std::string& name, MigrateBait* out) {
+  for (MigrateBait b :
+       {MigrateBait::none, MigrateBait::skip_source_fence,
+        MigrateBait::publish_before_copy, MigrateBait::stale_route})
+    if (name == to_string(b)) {
+      *out = b;
+      return true;
+    }
+  return false;
+}
+
+const std::vector<std::string>& migrate_kind_names() {
+  static const std::vector<std::string> names = {"split", "move", "merge"};
+  return names;
+}
+
+const std::vector<std::string>& migrate_bait_names() {
+  static const std::vector<std::string> names = {
+      "none", "skip_source_fence", "publish_before_copy", "stale_route"};
+  return names;
+}
+
+MigrateReport MigrationEngine::split(std::size_t src, std::size_t dst,
+                                     MigrateBait bait) {
+  return run(MigrateKind::split, src, dst, bait);
+}
+
+MigrateReport MigrationEngine::move(std::size_t src, std::size_t dst,
+                                    std::size_t take, MigrateBait bait) {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<std::size_t> slots = store_.routing().slots_of(src);
+  if (take < slots.size()) slots.erase(slots.begin(), slots.end() - take);
+  return migrate_slots(MigrateKind::move, src, dst, std::move(slots), bait);
+}
+
+MigrateReport MigrationEngine::merge(std::size_t src, std::size_t dst,
+                                     MigrateBait bait) {
+  return run(MigrateKind::merge, src, dst, bait);
+}
+
+MigrateReport MigrationEngine::run(MigrateKind kind, std::size_t src,
+                                   std::size_t dst, MigrateBait bait) {
+  if (kind == MigrateKind::move) return move(src, dst, 1, bait);
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<std::size_t> slots = store_.routing().slots_of(src);
+  if (kind == MigrateKind::split) {
+    // A 1-slot shard cannot split; keep the LOWER half, re-home the upper.
+    if (slots.size() < 2) slots.clear();
+    else slots.erase(slots.begin(), slots.begin() + slots.size() / 2);
+  }
+  return migrate_slots(kind, src, dst, std::move(slots), bait);
+}
+
+MigrateReport MigrationEngine::migrate_slots(MigrateKind kind, std::size_t src,
+                                             std::size_t dst,
+                                             std::vector<std::size_t> slots,
+                                             MigrateBait bait) {
+  MigrateReport r;
+  r.kind = kind;
+  r.bait = bait;
+  r.src = src;
+  r.dst = dst;
+  r.epoch_before = r.epoch_after = store_.routing().epoch();
+  if (src == dst || src >= store_.shards() || dst >= store_.shards() ||
+      slots.empty())
+    return r;
+  r.performed = true;
+  r.slots_moved = slots.size();
+  const std::uint64_t t0 = now_ns();
+
+  KvStore::Shard& a = *store_.shards_[src];
+  KvStore::Shard& b = *store_.shards_[dst];
+
+  // Phase 1 — privatize an endpoint: CAS priv_flag open→closed and raise
+  // mig_flag in ONE transaction (writers gate on the former, readers on the
+  // latter; reading the flag rather than blind-writing it is the cwr link
+  // into the previous owner's reopen), then run the scoped grace period.
+  const auto close_shard = [&](KvStore::Shard& s, bool fence) {
+    stm::DomainScope scope(s.domain.id);
+    for (;;) {
+      bool won = false;
+      store_.stm_.atomically([&](stm::TxHandle& tx) {
+        won = tx.read(s.priv_flag) == 0;
+        if (!won) return;
+        tx.write(s.priv_flag, 1);
+        tx.write(s.mig_flag, 1);
+      });
+      if (won) break;  // a scanner (or another migration) owns it; wait
+      KvStore::priv_wait_pause();
+      KvStore::gate_park(s);
+    }
+    // Owner: raise the advisory hint so bounced workers park instead of
+    // busy-retrying through the STM until reopen.  Their recorded gate
+    // transactions would otherwise tile the trace gaplessly for the whole
+    // closure, and the assembler could then not place the fence below
+    // before this thread's own plain copy (see Shard::gate_hint).
+    s.gate_hint.store(1, std::memory_order_release);
+    if (!fence) return;  // the skip_source_fence bait drops this obligation
+    const std::uint64_t f0 = now_ns();
+    if (store_.scoped_fences_)
+      store_.stm_.quiesce(s.domain);
+    else
+      store_.stm_.quiesce();
+    r.fence_ns += now_ns() - f0;
+  };
+
+  // Phase 3 — publish an endpoint back: one transaction stamps the routing
+  // epoch and clears both flags; every gate-passer is cwr-ordered after
+  // this commit, hence after the plain copy and the routing stores.
+  const auto reopen_shard = [&](KvStore::Shard& s) {
+    stm::DomainScope scope(s.domain.id);
+    store_.stm_.atomically([&](stm::TxHandle& tx) {
+      tx.write(s.mig_epoch, static_cast<stm::word_t>(r.epoch_after));
+      tx.write(s.mig_flag, 0);
+      tx.write(s.priv_flag, 0);
+    });
+    s.gate_hint.store(0, std::memory_order_release);
+  };
+
+  close_shard(a, bait != MigrateBait::skip_source_fence);
+  close_shard(b, true);
+
+  // Slot membership for the copy filter.
+  bool moving[RoutingTable::kSlots] = {};
+  for (std::size_t s : slots) moving[s] = true;
+
+  const auto copy_range = [&] {
+    const std::uint64_t c0 = now_ns();
+    // Collect first, then relink: plain_erase during for_each_plain would
+    // mutate the chains under the traversal.
+    std::vector<std::pair<std::int64_t, std::int64_t>> pairs;
+    a.table.for_each_plain([&](std::int64_t k, std::int64_t v) {
+      if (moving[RoutingTable::slot_of(k)]) pairs.emplace_back(k, v);
+    });
+    for (const auto& kv : pairs) b.table.plain_put(kv.first, kv.second);
+    for (const auto& kv : pairs) a.table.plain_erase(kv.first);
+    r.keys_moved = pairs.size();
+    r.copy_ns = now_ns() - c0;
+  };
+
+  if (bait == MigrateBait::publish_before_copy) {
+    // BROKEN ordering: routing + reopen first, copy after — the copy's
+    // plain accesses end up po-after the handoff commit, unreachable by any
+    // gate-passer's cwr edge.
+    r.epoch_after = store_.routing().rehome(slots, dst);
+    reopen_shard(b);
+    reopen_shard(a);
+    copy_range();
+  } else {
+    copy_range();
+    if (bait != MigrateBait::stale_route)
+      r.epoch_after = store_.routing().rehome(slots, dst);
+    reopen_shard(b);
+    reopen_shard(a);
+  }
+
+  r.total_ns = now_ns() - t0;
+  return r;
+}
+
+}  // namespace mtx::kv

@@ -1,0 +1,121 @@
+// Live shard migration: online split / move / merge as a composition of the
+// paper's two bounded mixed-access protocols, under continuous traffic.
+//
+// A migration re-homes a set of routing slots (kv::RoutingTable) from a
+// source shard to a destination shard in three phases:
+//
+//   1. PRIVATIZE both endpoints (§5 privatization, space bound): on each
+//      shard, one transaction CASes priv_flag open→closed AND raises
+//      mig_flag — writers gate on the former, readers on the latter — then
+//      a scoped quiesce(shard.domain) runs the grace period (time bound):
+//      every transaction that saw the shard open has resolved, every
+//      later one re-validates its flag read and waits.  Both shards are
+//      now private to the migrator.
+//
+//   2. PLAIN-COPY (the fast path the space bound licenses): walk the source
+//      table with uninstrumented loads, plain_put each moving key into the
+//      destination, plain_erase it from the source.  No STM instrumentation,
+//      no aborts — just the migrator alone in a privatized region.
+//
+//   3. PUBLISH (snapshot-publication handoff): store the new slot owners
+//      into the RoutingTable (plain atomic stores, epoch bump), then reopen
+//      each shard with ONE transaction writing {mig_epoch = new epoch,
+//      mig_flag = 0, priv_flag = 0}.  A blocked reader or writer re-runs its
+//      gate read, which now reads-from the reopen commit — cwr∘po orders
+//      everything it does after the migrator's plain copy AND after the
+//      routing stores (po-before the commit in the migrator thread).  Stale
+//      routing is therefore always DETECTED, never acted on: a transaction
+//      that passes the gate re-checks routing and bounces `moved`.
+//
+// Split, move and merge are the same engine over different slot selections:
+// split re-homes the upper half of the source's slots, move a chosen number
+// of its slots, merge all of them (emptying the source's range).
+//
+// BAIT VARIANTS (MigrateBait) deliberately break one obligation each, for
+// the differential fuzzer/campaign oracle — the broken engine must yield a
+// counterexample (a recorded mixed race or a failed key audit) while the
+// real engine yields zero:
+//
+//   skip_source_fence  — privatize the source WITHOUT its quiesce.  Any
+//     committed pre-migration transaction on the moved range then has no
+//     happens-before edge to the migrator's plain accesses (rf alone never
+//     orders plain accesses in the model), so the recorded trace carries a
+//     mixed race no matter how the run was scheduled.
+//   publish_before_copy — reopen both shards BEFORE the copy.  The plain
+//     copy is then po-AFTER the reopen commit, so gate-passing transactions
+//     get no cwr ordering to it: any post-reopen access of a copied bucket
+//     races the copy.
+//   stale_route — do the whole dance but never update the RoutingTable.
+//     The trace is fence-clean, but the moved keys now live where no route
+//     points: a transactional post-run key audit fails deterministically.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "kv/kvstore.hpp"
+
+namespace mtx::kv {
+
+enum class MigrateKind : std::uint8_t { split, move, merge };
+enum class MigrateBait : std::uint8_t {
+  none,
+  skip_source_fence,
+  publish_before_copy,
+  stale_route,
+};
+
+const char* to_string(MigrateKind k);
+const char* to_string(MigrateBait b);
+// Returns false for unknown names.
+bool migrate_kind_from(const std::string& name, MigrateKind* out);
+bool migrate_bait_from(const std::string& name, MigrateBait* out);
+const std::vector<std::string>& migrate_kind_names();
+const std::vector<std::string>& migrate_bait_names();
+
+struct MigrateReport {
+  bool performed = false;  // false: nothing to re-home (or src == dst)
+  MigrateKind kind = MigrateKind::move;
+  MigrateBait bait = MigrateBait::none;
+  std::size_t src = 0, dst = 0;
+  std::size_t slots_moved = 0;
+  std::size_t keys_moved = 0;
+  std::uint64_t epoch_before = 0;
+  std::uint64_t epoch_after = 0;  // == epoch_before under stale_route
+  std::uint64_t fence_ns = 0;     // privatize grace periods (both shards)
+  std::uint64_t copy_ns = 0;      // plain copy phase
+  std::uint64_t total_ns = 0;
+};
+
+class MigrationEngine {
+ public:
+  explicit MigrationEngine(KvStore& store) : store_(store) {}
+
+  // Re-home the upper half of src's routing slots to dst.  Needs src to own
+  // at least 2 slots (a 1-slot shard cannot split).
+  MigrateReport split(std::size_t src, std::size_t dst,
+                      MigrateBait bait = MigrateBait::none);
+
+  // Re-home `take` of src's slots (highest first) to dst.
+  MigrateReport move(std::size_t src, std::size_t dst, std::size_t take = 1,
+                     MigrateBait bait = MigrateBait::none);
+
+  // Re-home ALL of src's slots to dst, emptying src's range.
+  MigrateReport merge(std::size_t src, std::size_t dst,
+                      MigrateBait bait = MigrateBait::none);
+
+  MigrateReport run(MigrateKind kind, std::size_t src, std::size_t dst,
+                    MigrateBait bait = MigrateBait::none);
+
+ private:
+  MigrateReport migrate_slots(MigrateKind kind, std::size_t src,
+                              std::size_t dst, std::vector<std::size_t> slots,
+                              MigrateBait bait);
+
+  KvStore& store_;
+  std::mutex mu_;  // one migration at a time (slot selections must not race)
+};
+
+}  // namespace mtx::kv

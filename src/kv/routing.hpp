@@ -1,0 +1,90 @@
+// Epoch-stamped key→shard routing, factored out of KvStore::shard_of so the
+// map can CHANGE while the store serves (live split/move/merge,
+// src/kv/migrate.hpp).
+//
+// The key space is hashed onto a fixed grid of kSlots routing slots (the
+// same multiplicative hash the store always used for shard routing, widened
+// to a slot index); each slot names its owning shard in an atomic word.  A
+// migration re-homes a set of slots to a new owner and bumps the table's
+// epoch — one monotone counter that stamps every published routing state, so
+// any party holding a routing decision can cheaply detect that it went
+// stale (compare epochs) without diffing the map.
+//
+// Synchronization contract: the table itself is only atomically consistent,
+// not transactional — a concurrent reader may observe the new owner of slot
+// A before the new owner of slot B.  That is deliberate and safe because
+// routing is only an ADDRESSING hint; correctness comes from the store's
+// migration gate (KvStore re-checks routing INSIDE the flag-checked
+// transaction, where the mig_flag read's cwr edge into the migration's
+// reopen commit orders the check after the migrator's routing stores — see
+// docs/migration.md).  Stale routing therefore surfaces as a typed `moved`
+// verdict to retry, never as misplaced data.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace mtx::kv {
+
+class RoutingTable {
+ public:
+  // Slot grid: 256 slots keeps re-home granularity fine enough that every
+  // shard of a ≤63-shard store (the QuiescenceRegistry domain budget) owns
+  // several slots, so split can halve any shard's range.
+  static constexpr std::size_t kSlots = 256;
+
+  explicit RoutingTable(std::size_t shards) : shards_(shards ? shards : 1) {
+    for (std::size_t s = 0; s < kSlots; ++s)
+      owners_[s].store(static_cast<std::uint32_t>(s % shards_),
+                       std::memory_order_relaxed);
+    epoch_.store(1, std::memory_order_release);
+  }
+
+  RoutingTable(const RoutingTable&) = delete;
+  RoutingTable& operator=(const RoutingTable&) = delete;
+
+  std::size_t shards() const { return shards_; }
+
+  // Key → slot: the store's historical shard hash (a different multiplier
+  // than THash's bucket hash, so routing and bucket striping stay
+  // uncorrelated), widened to take the top 8 bits as the slot index.
+  static std::size_t slot_of(std::int64_t key) {
+    const auto h = static_cast<std::uint64_t>(key) * 0xd1b54a32d192ed03ULL;
+    return static_cast<std::size_t>(h >> 56);  // kSlots = 2^8
+  }
+
+  std::size_t owner(std::size_t slot) const {
+    return owners_[slot].load(std::memory_order_acquire);
+  }
+
+  std::size_t shard_of(std::int64_t key) const { return owner(slot_of(key)); }
+
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  // Slots currently owned by `shard`, ascending.
+  std::vector<std::size_t> slots_of(std::size_t shard) const {
+    std::vector<std::size_t> out;
+    for (std::size_t s = 0; s < kSlots; ++s)
+      if (owner(s) == shard) out.push_back(s);
+    return out;
+  }
+
+  // Re-home `slots` to `dst` and bump the epoch once; returns the new
+  // epoch.  Caller contract: one migration at a time (the migration engine
+  // serializes), and the stores must be published to concurrent readers
+  // through a transactional handoff (the migration reopen commit) before
+  // the moved range is considered live at `dst`.
+  std::uint64_t rehome(const std::vector<std::size_t>& slots, std::size_t dst) {
+    for (std::size_t s : slots)
+      owners_[s].store(static_cast<std::uint32_t>(dst), std::memory_order_release);
+    return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+ private:
+  std::size_t shards_;
+  std::atomic<std::uint32_t> owners_[kSlots];
+  std::atomic<std::uint64_t> epoch_{1};
+};
+
+}  // namespace mtx::kv

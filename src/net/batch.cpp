@@ -24,9 +24,18 @@ kv::WriteOp run_op(const Request& req) {
   return op;
 }
 
-Response run_response(const kv::WriteOp& op, OpCode code) {
+Response run_response(const kv::WriteOp& op, OpCode code,
+                      std::uint64_t routing_epoch) {
   Response r;
   r.op = code;
+  if (op.moved) {
+    // The op did not execute: a live migration re-homed its key after the
+    // run was coalesced.  Echo the current routing epoch so the client can
+    // observe the routing state advance across its retry.
+    r.status = Status::moved;
+    r.epoch = routing_epoch;
+    return r;
+  }
   switch (op.kind) {
     case kv::WriteOp::Kind::get:
       r.status = op.applied ? Status::ok : Status::not_found;
@@ -101,8 +110,16 @@ void BatchExecutor::execute(std::vector<Run>& runs,
   for (Run& run : runs) {
     store_.shard(run.shard).batch_mutate(run.ops.data(), run.ops.size());
     ++coalescer_.stats().transactions;
-    for (std::size_t i = 0; i < run.ops.size(); ++i)
+    for (std::size_t i = 0; i < run.ops.size(); ++i) {
+      // The inline executor is its own client: chase a migration here (like
+      // the whole-store convenience ops) instead of surfacing moved.
+      while (run.ops[i].moved) {
+        const std::size_t to = store_.shard_of(run.ops[i].key);
+        store_.shard(to).batch_mutate(&run.ops[i], 1);
+        ++coalescer_.stats().transactions;
+      }
       out.push_back(run_response(run.ops[i], run.codes[i]));
+    }
   }
   runs.clear();
 }

@@ -75,8 +75,12 @@ struct Run {
 
 // Request → store op for the batchable opcodes (GET/PUT/INSERT/RMW).
 kv::WriteOp run_op(const Request& req);
-// Executed store op → wire response echoing `code`.
-Response run_response(const kv::WriteOp& op, OpCode code);
+// Executed store op → wire response echoing `code`.  A bounced op
+// (op.moved, live migration) becomes Status::moved carrying
+// `routing_epoch` — pass the store's current epoch when serving migrations,
+// 0 is fine for fixed-topology callers.
+Response run_response(const kv::WriteOp& op, OpCode code,
+                      std::uint64_t routing_epoch = 0);
 
 // The batching policy alone: accumulates batchable requests, emits
 // same-shard Runs per the flush rules above.  Counts ops and flush reasons

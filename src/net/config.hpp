@@ -25,6 +25,7 @@
 #include <string>
 
 #include "kv/kvstore.hpp"
+#include "kv/migrate.hpp"
 
 namespace mtx::net {
 
@@ -70,16 +71,33 @@ struct StreamConfig {
   std::size_t window_min_events = 64;
 };
 
+// A scripted live migration, executed mid-serve at the owning reactor's
+// quiet point (between its requests, same place snapshot refreshes run).
+// Both endpoint shards must be owned by the SAME reactor: the migration's
+// plain accesses then flow into that reactor's recording stream and its
+// fence covers stay inside the reactor's disjoint domain set — the other
+// reactors only ever observe the epoch-stamped routing table flip, and
+// in-flight requests for the moved range bounce as Status::moved.
+struct MigrateConfig {
+  std::size_t after_ops = 0;  // run once this reactor has executed N
+                              // requests; 0 = no scripted migration
+  kv::MigrateKind kind = kv::MigrateKind::move;
+  std::size_t src = 0;
+  std::size_t dst = 0;
+};
+
 struct ServerConfig {
   ListenerConfig listener;
   ReactorConfig reactors;
   StreamConfig stream;
+  MigrateConfig migrate;
   kv::StoreShape store;
 
   // Empty string = consistent; otherwise a human-readable reason.
   std::string validate() const {
     if (reactors.count == 0) return "reactors.count must be >= 1";
     if (store.shards == 0) return "store.shards must be >= 1";
+    if (const std::string why = store.validate(); !why.empty()) return why;
     if (reactors.count > store.shards)
       return "reactors.count (" + std::to_string(reactors.count) +
              ") exceeds store.shards (" + std::to_string(store.shards) +
@@ -94,6 +112,18 @@ struct ServerConfig {
         return "stream enabled with zero ring capacity";
       if (stream.epoch_ops == 0)
         return "stream enabled with epoch_ops == 0: no segment boundary";
+    }
+    if (migrate.after_ops > 0) {
+      if (migrate.src >= store.shards || migrate.dst >= store.shards)
+        return "migrate.src/dst must name shards in [0, store.shards)";
+      if (migrate.src == migrate.dst)
+        return "migrate.src == migrate.dst: nothing to re-home";
+      if (owner_of(migrate.src) != owner_of(migrate.dst))
+        return "migrate.src (reactor " + std::to_string(owner_of(migrate.src)) +
+               ") and migrate.dst (reactor " +
+               std::to_string(owner_of(migrate.dst)) +
+               ") have different owners: a scripted migration must stay on "
+               "one reactor so its plain accesses land in one stream";
     }
     return "";
   }

@@ -48,17 +48,20 @@ int connect_loopback(const std::string& host, std::uint16_t port) {
   return fd;
 }
 
-// What one connection remembers about an issued frame: enough to stamp the
-// coordinated-omission-safe latency and audit the response.
+// What one connection remembers about an issued frame: the full request
+// (so a Status::moved bounce can be re-issued verbatim) plus the intended
+// timestamp that stamps the coordinated-omission-safe latency.  The
+// intended time survives retries: a moved round-trip is part of the op's
+// latency, not a fresh arrival.
 struct InFlight {
   std::uint64_t intended_ns;
-  OpCode op;
-  std::int64_t key;
+  Request req;
 };
 
 struct ConnTally {
   std::uint64_t intended = 0, sent = 0, completed = 0, errors = 0,
                 form_violations = 0;
+  std::uint64_t moved_retries = 0;
   std::uint64_t gets = 0, snap_reads = 0, puts = 0, inserts = 0, scans = 0,
                 rmws = 0;
   LatencyHist hist;
@@ -110,7 +113,7 @@ LoadgenResult run_loadgen(const LoadgenOptions& opts) {
       h.major = kProtoMajor;
       h.minor = kProtoMinor;
       encode_request(h, out);
-      inflight.push_back({now_ns(t0), OpCode::hello, 0});
+      inflight.push_back({now_ns(t0), h});
     }
 
     const auto schedule_gap = [&]() -> std::uint64_t {
@@ -173,7 +176,7 @@ LoadgenResult run_loadgen(const LoadgenOptions& opts) {
     };
 
     const auto audit = [&](const InFlight& f, const Response& r) {
-      if (r.op != f.op) {
+      if (r.op != f.req.op) {
         ++tally.errors;  // response stream desynced
         return;
       }
@@ -181,7 +184,8 @@ LoadgenResult run_loadgen(const LoadgenOptions& opts) {
         case OpCode::get:
         case OpCode::snap_read:
         case OpCode::rmw:
-          if (r.status == Status::ok && !kv::value_form_ok(f.key, r.value))
+          if (r.status == Status::ok &&
+              !kv::value_form_ok(f.req.key, r.value))
             ++tally.form_violations;
           if (r.status == Status::error) ++tally.errors;
           break;
@@ -201,7 +205,7 @@ LoadgenResult run_loadgen(const LoadgenOptions& opts) {
       // intended timestamp is the SCHEDULED time, never the actual send.
       while (sent < opts.ops_per_conn && now >= next_send) {
         const Request req = build_request(sent);
-        inflight.push_back({next_send, req.op, req.key});
+        inflight.push_back({next_send, req});
         encode_request(req, out);
         ++tally.intended;
         ++sent;
@@ -260,11 +264,23 @@ LoadgenResult run_loadgen(const LoadgenOptions& opts) {
         in_off += consumed;
         const InFlight f = inflight.front();
         inflight.pop_front();
-        if (f.op == OpCode::hello) {
+        if (f.req.op == OpCode::hello) {
           if (resp.op != OpCode::hello || resp.status != Status::ok ||
               resp.major != kProtoMajor ||
               (resp.features & kFeatBatching) == 0)
             ++tally.errors;
+          continue;
+        }
+        if (resp.status == Status::moved && resp.op == f.req.op) {
+          // Live migration bounced the op: routing moved its key after the
+          // frame was coalesced server-side.  Re-issue the SAME request,
+          // keeping the ORIGINAL intended timestamp — the op hasn't
+          // completed, so it joins neither the histogram nor `completed`,
+          // and the retry's extra round-trip is charged to its latency.
+          // intended/sent are untouched: this is the same logical arrival.
+          encode_request(f.req, out);
+          inflight.push_back(f);
+          ++tally.moved_retries;
           continue;
         }
         audit(f, resp);
@@ -304,6 +320,7 @@ LoadgenResult run_loadgen(const LoadgenOptions& opts) {
     res.completed += t.completed;
     res.errors += t.errors;
     res.form_violations += t.form_violations;
+    res.moved_retries += t.moved_retries;
     res.gets += t.gets;
     res.snap_reads += t.snap_reads;
     res.puts += t.puts;

@@ -58,6 +58,11 @@ struct LoadgenResult {
   double offered_per_sec = 0;   // intended / wall
   double achieved_per_sec = 0;  // completed / wall
   LatencyHist hist;  // ns from INTENDED send to response receipt
+  // Status::moved bounces retried transparently: the request is re-issued
+  // with its ORIGINAL intended timestamp, so the retry round-trip is
+  // charged to the op's latency (coordinated omission stays charged) and
+  // the op completes exactly once.  Informational — ok() is unchanged.
+  std::uint64_t moved_retries = 0;
   // Planned op classes (deterministic per mix/seed/connections/ops).
   std::uint64_t gets = 0, snap_reads = 0, puts = 0, inserts = 0, scans = 0,
                 rmws = 0;

@@ -146,9 +146,10 @@ bool decode_request_body(Reader& r, Request* out, bool nested) {
 }
 
 // Does a response of this (op, status) carry a payload?  Non-ok responses
-// are bare opcode+status — except BATCH (the sub list is the result) and a
+// are bare opcode+status — except BATCH (the sub list is the result), a
 // HELLO version_mismatch, whose payload (the server's version) is the very
-// thing the client needs to act on the error.
+// thing the client needs to act on the error, and `moved` (handled before
+// this check: its payload is the routing epoch, uniform across ops).
 bool response_has_payload(OpCode op, Status st) {
   if (st == Status::ok || op == OpCode::batch) return true;
   return op == OpCode::hello && st == Status::version_mismatch;
@@ -157,6 +158,11 @@ bool response_has_payload(OpCode op, Status st) {
 void encode_response_body(const Response& resp, std::vector<std::uint8_t>& out) {
   out.push_back(static_cast<std::uint8_t>(resp.op));
   out.push_back(static_cast<std::uint8_t>(resp.status));
+  if (resp.status == Status::moved) {
+    // Uniform moved payload, whatever the keyed op: the routing epoch.
+    put_u64(out, resp.epoch);
+    return;
+  }
   if (!response_has_payload(resp.op, resp.status)) return;
   switch (resp.op) {
     case OpCode::get:
@@ -192,12 +198,18 @@ bool decode_response_body(Reader& r, Response* out, bool nested) {
   if (r.fail || !valid_op(raw)) return false;
   out->op = static_cast<OpCode>(raw);
   const std::uint8_t st = r.u8();
-  if (r.fail || st > static_cast<std::uint8_t>(Status::version_mismatch))
-    return false;
+  if (r.fail || st > static_cast<std::uint8_t>(Status::moved)) return false;
   out->status = static_cast<Status>(st);
   // version_mismatch is a HELLO-only status.
   if (out->status == Status::version_mismatch && out->op != OpCode::hello)
     return false;
+  // moved is a keyed-table-op-only status (exactly the batchable set), and
+  // its payload is always the u64 routing epoch.
+  if (out->status == Status::moved) {
+    if (!batchable(out->op)) return false;
+    out->epoch = r.u64();
+    return !r.fail;
+  }
   if (!response_has_payload(out->op, out->status)) return true;
   switch (out->op) {
     case OpCode::get:

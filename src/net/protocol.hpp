@@ -42,6 +42,10 @@
 //   SNAP_READ  ok → i64 value            not_found → empty (not in snapshot)
 //   FENCE      ok, empty
 //   BATCH      u16 count, then count sub-responses
+//   GET/PUT/INSERT/RMW with status=moved → u64 routing epoch (the second
+//              non-ok response with a body: a live migration re-homed the
+//              key, the op did not run, and the epoch lets the client see
+//              the routing state advance across its retry)
 #pragma once
 
 #include <cstddef>
@@ -67,6 +71,11 @@ enum class Status : std::uint8_t {
   not_found = 1,
   error = 2,
   version_mismatch = 3,  // HELLO only; payload = the server's version
+  moved = 4,             // keyed table ops (GET/PUT/INSERT/RMW, standalone or
+                         // in a BATCH): a live shard migration re-homed the
+                         // key between routing and execution.  Payload = the
+                         // server's current routing epoch (u64); the op did
+                         // NOT run — retry it (the retry routes freshly).
 };
 
 // Protocol version spoken by this codec.  Majors gate compatibility
@@ -108,6 +117,7 @@ struct Response {
   std::uint16_t major = 0;    // HELLO (the server's version — also on
   std::uint16_t minor = 0;    //        version_mismatch)
   std::uint32_t features = 0; // HELLO (the server's kFeat* bitmap)
+  std::uint64_t epoch = 0;    // moved: the server's current routing epoch
   std::vector<Response> sub;  // BATCH
 };
 

@@ -115,11 +115,15 @@ struct Server::Reactor {
   std::uint64_t since_refresh = 0;
   std::uint64_t since_epoch = 0;
   std::uint64_t next_epoch = 0;
+  std::uint64_t exec_total = 0;  // lifetime executed requests (migration
+                                 // trigger; never reset)
+  bool migrated = false;         // scripted migration already ran here
   bool settled = false;
 
   // Per-reactor stats, summed into ServerStats after join.
   std::uint64_t closed = 0, bad_frames = 0, frames = 0, snap_refreshes = 0,
-                handoffs = 0, hellos = 0, hello_rejects = 0;
+                handoffs = 0, hellos = 0, hello_rejects = 0, moved_sent = 0,
+                migrations = 0, keys_migrated = 0;
   BatchStats batch;
 
   // Streaming: the per-reactor pipeline over the owned domain set.
@@ -148,6 +152,7 @@ Server::Server(stm::StmBackend& stm, const ServerConfig& cfg)
   sopt.expected_keys = cfg_.store.preload_keys * 2;
   sopt.snap_slots = std::max<std::size_t>(1, cfg_.store.snap_keys);
   store_ = std::make_unique<kv::KvStore>(stm_, sopt);
+  migrator_ = std::make_unique<kv::MigrationEngine>(*store_);
 
   // Preload + publish the hot set, mirroring the in-process driver's load
   // phase: keys 0..N-1 hold value_of(k, 0); the snap_keys hottest ranks are
@@ -433,8 +438,10 @@ void Server::reactor_main(Reactor& r) {
         r.handle[run.shard].batch_mutate(run.ops.data(), run.ops.size());
         ++r.batch.transactions;
         for (std::size_t i = 0; i < run.ops.size(); ++i) {
+          if (run.ops[i].moved) ++r.moved_sent;
           Pending p;
-          p.resp = run_response(run.ops[i], run.codes[i]);
+          p.resp = run_response(run.ops[i], run.codes[i],
+                                store_->routing().epoch());
           c.pend.push_back(std::move(p));
         }
       } else {
@@ -465,8 +472,11 @@ void Server::reactor_main(Reactor& r) {
       if (r.owns[run.shard]) {
         r.handle[run.shard].batch_mutate(run.ops.data(), run.ops.size());
         ++r.batch.transactions;
-        for (std::size_t i = 0; i < run.ops.size(); ++i)
-          f.resp.sub[pos + i] = run_response(run.ops[i], run.codes[i]);
+        for (std::size_t i = 0; i < run.ops.size(); ++i) {
+          if (run.ops[i].moved) ++r.moved_sent;
+          f.resp.sub[pos + i] = run_response(run.ops[i], run.codes[i],
+                                             store_->routing().epoch());
+        }
         pos += run.ops.size();
       } else {
         Handoff h;
@@ -637,6 +647,7 @@ void Server::reactor_main(Reactor& r) {
       ++r.frames;
       ++r.since_refresh;
       ++r.since_epoch;
+      ++r.exec_total;
       process(c, req);
       if (c.kill) break;  // handshake rejected: drop the rest of the input
     }
@@ -684,20 +695,26 @@ void Server::reactor_main(Reactor& r) {
             r.handle[h.shard].batch_mutate(h.ops.data(), h.ops.size());
             ++r.batch.transactions;
             rep.resps.reserve(h.ops.size());
-            for (std::size_t i = 0; i < h.ops.size(); ++i)
-              rep.resps.push_back(run_response(h.ops[i], h.codes[i]));
+            for (std::size_t i = 0; i < h.ops.size(); ++i) {
+              if (h.ops[i].moved) ++r.moved_sent;
+              rep.resps.push_back(run_response(h.ops[i], h.codes[i],
+                                               store_->routing().epoch()));
+            }
             r.since_refresh += h.ops.size();
             r.since_epoch += h.ops.size();
+            r.exec_total += h.ops.size();
             break;
           case Handoff::Kind::scan:
             rep.resps.push_back(exec_scan(h.shard));
             ++r.since_refresh;
             ++r.since_epoch;
+            ++r.exec_total;
             break;
           case Handoff::Kind::snap_read:
             rep.resps.push_back(exec_snap(h.shard, h.key));
             ++r.since_refresh;
             ++r.since_epoch;
+            ++r.exec_total;
             break;
         }
         r.reply_out[from].push_back(std::move(rep));
@@ -817,6 +834,22 @@ void Server::reactor_main(Reactor& r) {
       for (std::size_t s : r.owned)
         if (r.handle[s].refresh_snapshot(snap_keys_)) ++r.snap_refreshes;
     }
+    // Scripted live migration, run once at the owning reactor's quiet point
+    // (validate() pinned both endpoints to one owner — this thread — so the
+    // engine's plain copy lands in THIS reactor's recording stream and its
+    // scoped fences cover only domains this reactor owns).  Concurrent
+    // traffic keeps flowing: foreign reactors only see the routing table
+    // flip, and requests already routed to the source bounce Status::moved.
+    if (cfg_.migrate.after_ops != 0 && !r.migrated &&
+        r.owns[cfg_.migrate.src] && r.exec_total >= cfg_.migrate.after_ops) {
+      r.migrated = true;
+      const kv::MigrateReport mr =
+          migrator_->run(cfg_.migrate.kind, cfg_.migrate.src, cfg_.migrate.dst);
+      if (mr.performed) {
+        ++r.migrations;
+        r.keys_migrated += mr.keys_moved;
+      }
+    }
     if (r.rec && r.since_epoch >= cfg_.stream.epoch_ops) {
       r.since_epoch = 0;
       // Segment boundary: everything this reactor executed so far precedes
@@ -933,6 +966,9 @@ void Server::run() {
     stats_.handoffs += rx->handoffs;
     stats_.hellos += rx->hellos;
     stats_.hello_rejects += rx->hello_rejects;
+    stats_.moved += rx->moved_sent;
+    stats_.migrations += rx->migrations;
+    stats_.keys_migrated += rx->keys_migrated;
     stats_.batch.ops += rx->batch.ops;
     stats_.batch.transactions += rx->batch.transactions;
     stats_.batch.flushes_shard += rx->batch.flushes_shard;
@@ -950,6 +986,7 @@ void Server::run() {
       stats_.stream_verdicts.push_back(rx->verdict);
     }
   }
+  stats_.routing_epoch = store_->routing().epoch();
 
   ::close(accept_epoll_);
   accept_epoll_ = -1;

@@ -71,6 +71,11 @@ struct ServerStats {
   std::uint64_t handoffs = 0;    // cross-reactor mailbox shipments
   std::uint64_t hellos = 0;      // handshakes accepted
   std::uint64_t hello_rejects = 0;  // version_mismatch responses sent
+  std::uint64_t moved = 0;       // Status::moved responses sent (live
+                                 // migration bounced a stale-routed op)
+  std::uint64_t migrations = 0;  // scripted migrations performed
+  std::uint64_t keys_migrated = 0;
+  std::uint64_t routing_epoch = 0;  // store's routing epoch at shutdown
   BatchStats batch;              // aggregated across connections
 
   // Streaming verdicts (valid after run() returns; stream mode only).
@@ -125,6 +130,7 @@ class Server {
   stm::StmBackend& stm_;
   ServerConfig cfg_;
   std::unique_ptr<kv::KvStore> store_;
+  std::unique_ptr<kv::MigrationEngine> migrator_;
   std::vector<std::int64_t> snap_keys_;
   int listen_fd_ = -1;
   int accept_epoll_ = -1;

@@ -7,40 +7,97 @@
 
 namespace mtx::record {
 
-// Sink each fence past the resolutions of all transactions open at its
+// Sink each fence past the resolutions of the transactions open at its
 // position (see header).  Fences are pulled out first and their insertion
 // points computed against the *fence-free* event list, whose indices are
 // stable: each fence's target only ever increases and is bounded by the
 // list length, so the fixpoint terminates, and fences cannot perturb each
 // other's spans (two concurrent fences inside one transaction both sink
 // just past its resolution, keeping their relative order).
-void sink_fences(std::vector<MergedEvent>& evs) {
+//
+// A scoped fence is split into one event per covered location, and each
+// <Qx> sinks only past spans whose transaction touches x.  WF12 is a
+// per-location constraint, so this is exactly as much motion as the
+// adjustment needs — and no more.  The restraint is what keeps program
+// order honest: an unrelated transaction in another thread can bracket
+// thousands of events (a long-preempted thread resumes after a privatize
+// owner's tight plain-copy loop has drawn that many seq tickets), and a
+// fence that sank past every open span would cross its own thread's later
+// plain accesses, inverting po and severing the commit -> <Qx> -> po ->
+// plain-access happens-before chain the §5 protocols rest on.  Spans that
+// DO touch x are short-lived gate bounces the runtime really did not wait
+// for; sinking past them is the WF12 adjustment working as intended.
+//
+// Whole-store fences have no cover to discriminate by and keep the
+// original behavior: they sink past every open span, settling at the
+// first position where no transaction is open in any thread.
+void sink_fences(std::vector<MergedEvent>& evs, const RecordSession& s) {
   std::vector<MergedEvent> fences, rest;
   std::vector<std::size_t> targets;  // insertion index of each fence in `rest`
   for (const MergedEvent& m : evs) {
-    if (m.ev.kind == Ev::Fence) {
+    if (m.ev.kind != Ev::Fence) {
+      rest.push_back(m);
+      continue;
+    }
+    if (m.ev.cover >= 0) {
+      // Split: one single-location fence event per covered location.  The
+      // first carries version = 1 so assembly still counts ONE fence.
+      bool first = true;
+      for (std::int32_t x : s.fence_cover(m.ev.cover)) {
+        MergedEvent f = m;
+        f.ev.loc = x;
+        f.ev.cover = kFenceCoverSingle;
+        f.ev.version = first ? 1 : 0;
+        first = false;
+        fences.push_back(f);
+        targets.push_back(rest.size());
+      }
+      if (first) {  // empty cover: keep the fence for accounting only
+        MergedEvent f = m;
+        f.ev.loc = -1;
+        f.ev.cover = kFenceCoverSingle;
+        f.ev.version = 1;
+        fences.push_back(f);
+        targets.push_back(rest.size());
+      }
+    } else {
       fences.push_back(m);
       targets.push_back(rest.size());
-    } else {
-      rest.push_back(m);
     }
   }
   if (fences.empty()) return;
 
-  // Transaction spans (begin index, resolution index) over `rest`.
+  // Transaction spans (begin index, resolution index) over `rest`, with
+  // the locations the transaction touches (transactional accesses only —
+  // the same footprint WF12's cover check uses).
   struct Span {
     std::size_t begin, end;
+    std::vector<std::int32_t> locs;
+    bool touches(std::int32_t x) const {
+      return std::find(locs.begin(), locs.end(), x) != locs.end();
+    }
   };
   std::vector<Span> spans;
-  std::map<int, std::size_t> open;  // thread -> begin index
+  struct OpenTxn {
+    std::size_t begin;
+    std::vector<std::int32_t> locs;
+  };
+  std::map<int, OpenTxn> open;  // thread -> open transaction
   for (std::size_t i = 0; i < rest.size(); ++i) {
-    const Ev k = rest[i].ev.kind;
-    if (k == Ev::Begin) {
-      open[rest[i].thread] = i;
-    } else if (k == Ev::Commit || k == Ev::Abort) {
-      auto it = open.find(rest[i].thread);
+    const Event& e = rest[i].ev;
+    const int th = rest[i].thread;
+    if (e.kind == Ev::Begin) {
+      open[th] = {i, {}};
+    } else if (e.kind == Ev::Read || e.kind == Ev::Write) {
+      auto it = open.find(th);
+      if (it != open.end() && e.loc >= 0 &&
+          std::find(it->second.locs.begin(), it->second.locs.end(), e.loc) ==
+              it->second.locs.end())
+        it->second.locs.push_back(e.loc);
+    } else if (e.kind == Ev::Commit || e.kind == Ev::Abort) {
+      auto it = open.find(th);
       if (it != open.end()) {
-        spans.push_back({it->second, i});
+        spans.push_back({it->second.begin, i, std::move(it->second.locs)});
         open.erase(it);
       }
     }
@@ -49,15 +106,19 @@ void sink_fences(std::vector<MergedEvent>& evs) {
   // A fence inserted at index t has rest[0..t-1] before it; a span is open
   // across it iff begin < t <= end.  Sinking to end+1 may enter new spans,
   // so iterate to the (monotone, bounded) fixpoint.
-  for (std::size_t& t : targets) {
+  for (std::size_t fi = 0; fi < fences.size(); ++fi) {
+    std::size_t& t = targets[fi];
+    const bool single = fences[fi].ev.cover == kFenceCoverSingle;
+    const std::int32_t x = fences[fi].ev.loc;
     bool moved = true;
     while (moved) {
       moved = false;
-      for (const Span& s : spans)
-        if (s.begin < t && s.end >= t) {
-          t = s.end + 1;
-          moved = true;
-        }
+      for (const Span& sp : spans) {
+        if (!(sp.begin < t && sp.end >= t)) continue;
+        if (single && !sp.touches(x)) continue;
+        t = sp.end + 1;
+        moved = true;
+      }
     }
   }
 
@@ -123,6 +184,13 @@ void append_events(model::Trace& t, const std::vector<MergedEvent>& evs,
         ++(e.kind == Ev::Write ? m_.writes : m_.plain_writes);
         break;
       case Ev::Fence:
+        if (e.cover == kFenceCoverSingle) {
+          // Post-split scoped fence (sink_fences): one <Qx> for this
+          // event's location; loc < 0 is an empty cover kept for counting.
+          if (e.loc >= 0) t.append(model::make_qfence(m.thread, e.loc));
+          if (e.version != 0) ++m_.fences;
+          break;
+        }
         if (e.cover >= 0) {
           // Domain-scoped fence: the runtime only waited for transactions
           // that can touch the recorded cover set, so the model gets one
@@ -155,7 +223,7 @@ RecordedTrace assemble(const RecordSession& s) {
     return a.ev.seq < b.ev.seq;
   });
 
-  sink_fences(evs);
+  sink_fences(evs, s);
 
   meta.events = evs.size();
   meta.threads = static_cast<int>(threads.size());

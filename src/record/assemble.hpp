@@ -62,10 +62,16 @@ struct MergedEvent {
   int thread = 0;
 };
 
-// Sink each fence past the resolutions of all transactions open at its
-// position (the WF12 adjustment described above).  `evs` must be in seq
-// order; it is rewritten in place.
-void sink_fences(std::vector<MergedEvent>& evs);
+// Sink each fence past the resolutions of the transactions open at its
+// position (the WF12 adjustment described above).  A scoped fence is first
+// split into one per-location event (Event::cover = kFenceCoverSingle,
+// Event::loc = the covered location) so each <Qx> settles independently:
+// it sinks only past open transactions that touch x, never past the
+// fencing thread's unrelated neighbors' spans — crucial when another
+// thread's long-preempted transaction brackets the fence owner's
+// subsequent plain phase.  `evs` must be in seq order; it is rewritten in
+// place; covers resolve through `s`.
+void sink_fences(std::vector<MergedEvent>& evs, const RecordSession& s);
 
 // Append `evs` (seq-sorted, fences already sunk) to `t`, converting each
 // event to its model action: versions become write timestamps, fence covers

@@ -57,9 +57,14 @@ struct Event {
   std::uint64_t version = 0;    // write: version created; read: version seen
   // Fence events only: -1 = whole store (expand to a QFence per location);
   // >= 0 = index into the session's fence-cover table, and the fence claims
-  // ordering for exactly those locations.
+  // ordering for exactly those locations.  kFenceCoverSingle is produced
+  // only by the assembler's sink_fences split (loc holds the one covered
+  // location; loc < 0 marks an empty cover kept for fence accounting) —
+  // recorders never emit it.
   std::int32_t cover = -1;
 };
+
+inline constexpr std::int32_t kFenceCoverSingle = -2;
 
 class RecordSession;
 class EventRing;

@@ -167,7 +167,7 @@ struct StreamConformance::Impl {
       advance_state(evs);
     }
 
-    sink_fences(evs);
+    sink_fences(evs, session);
     append_events(t, evs, session, nullptr);
 
     pool.submit([this, seg, tr = std::move(t)] { check(seg, tr); });
@@ -307,7 +307,7 @@ StreamReport StreamConformance::finish() {
                 [](const MergedEvent& a, const MergedEvent& b) {
                   return a.ev.seq < b.ev.seq;
                 });
-      sink_fences(evs);
+      sink_fences(evs, impl_->session);
       model::Trace t = model::Trace::with_init(impl_->session.num_locs());
       append_events(t, evs, impl_->session, nullptr);
       return check_conformance_windowed(t, impl_->opts.cfg, wopts);
